@@ -1,0 +1,111 @@
+//! Bit-packing and bound-computation throughput — the phase-2 hot path
+//! (candidate reduction runs `|C(q)|` bound computations per query, each
+//! decoding `d` τ-bit codes), plus the DESIGN.md §6 packed-vs-unpacked
+//! ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hc_core::bounds::BoundsAcc;
+use hc_core::codes::PackedCodes;
+use hc_core::histogram::classic::equi_width;
+use hc_core::quantize::Quantizer;
+use hc_core::scheme::{ApproxScheme, GlobalScheme};
+
+fn dataset_points(n: usize, d: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| (0..d).map(|j| ((i * 31 + j * 7) % 997) as f32 / 997.0).collect())
+        .collect()
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let d = 150;
+    let pts = dataset_points(256, d);
+    let quant = Quantizer::new(0.0, 1.0, 1024);
+    let scheme = GlobalScheme::new(equi_width(1024, 1024), quant, d);
+    let mut group = c.benchmark_group("codes");
+    group.throughput(Throughput::Elements(256));
+
+    group.bench_function("encode_256x150d_tau10", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(256 * scheme.words_per_point());
+            for p in &pts {
+                scheme.encode_into(std::hint::black_box(p), &mut out);
+            }
+            out
+        })
+    });
+
+    let mut packed = PackedCodes::new(d, 10);
+    let unpacked: Vec<Vec<u32>> = pts
+        .iter()
+        .map(|p| {
+            let w = scheme.encode(p);
+            let codes: Vec<u32> = hc_core::codes::CodeIter::new(&w, 10, d).collect();
+            packed.push(codes.iter().copied());
+            codes
+        })
+        .collect();
+
+    group.bench_function("decode_packed", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..packed.len() {
+                for code in packed.decode(i) {
+                    acc = acc.wrapping_add(code as u64);
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("decode_unpacked_vec_u32", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for codes in &unpacked {
+                for &code in codes {
+                    acc = acc.wrapping_add(code as u64);
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds");
+    for d in [150usize, 960] {
+        let pts = dataset_points(64, d);
+        let quant = Quantizer::new(0.0, 1.0, 1024);
+        let scheme = GlobalScheme::new(equi_width(1024, 1024), quant, d);
+        let words: Vec<Vec<u64>> = pts.iter().map(|p| scheme.encode(p)).collect();
+        let q: Vec<f32> = (0..d).map(|j| (j % 13) as f32 / 13.0).collect();
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("scheme_bounds", d), &d, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for w in &words {
+                    acc += scheme.bounds(std::hint::black_box(&q), w).lb;
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("raw_rect_bounds", d), &d, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for p in &pts {
+                    let mut a = BoundsAcc::new();
+                    for j in 0..d {
+                        a.add(q[j], p[j] - 0.01, p[j] + 0.01);
+                    }
+                    acc += a.finish().lb;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_decode, bench_bounds);
+criterion_main!(benches);

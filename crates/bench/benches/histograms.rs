@@ -1,0 +1,55 @@
+//! Histogram-construction benchmarks, including the DESIGN.md §6 ablation:
+//! Algorithm 2 with vs without the Lemma 3 early-termination rule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hc_core::histogram::knn_optimal::knn_optimal_with_pruning;
+use hc_core::histogram::HistogramKind;
+
+/// A skewed F' array resembling a real workload: a few hot regions over a
+/// 1024-level domain.
+fn skewed_f_prime(n_dom: usize) -> Vec<u64> {
+    (0..n_dom)
+        .map(|x| {
+            let hot = [(100usize, 40u64), (310, 90), (700, 25)];
+            hot.iter()
+                .map(|&(c, peak)| {
+                    let d = x.abs_diff(c) as u64;
+                    peak.saturating_sub(d * 2)
+                })
+                .sum()
+        })
+        .collect()
+}
+
+fn bench_constructions(c: &mut Criterion) {
+    let freq = skewed_f_prime(1024);
+    let mut group = c.benchmark_group("histogram_build");
+    group.sample_size(10);
+    for kind in [
+        HistogramKind::EquiWidth,
+        HistogramKind::EquiDepth,
+        HistogramKind::VOptimal,
+        HistogramKind::KnnOptimal,
+    ] {
+        group.bench_with_input(BenchmarkId::new("B256", kind.label()), &kind, |b, kind| {
+            b.iter(|| kind.build(std::hint::black_box(&freq), 256));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lemma3_ablation(c: &mut Criterion) {
+    let freq = skewed_f_prime(1024);
+    let mut group = c.benchmark_group("algorithm2_lemma3");
+    group.sample_size(10);
+    for (name, prune) in [("with_pruning", true), ("without_pruning", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| knn_optimal_with_pruning(std::hint::black_box(&freq), 128, prune));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructions, bench_lemma3_ablation);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! End-to-end query benchmarks: Algorithm 1 under each cache, and the
+//! §3.6.1 tree search under each node cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hc_bench::world::{Method, World};
+use hc_cache::node::{CompactNodeCache, ExactNodeCache, NoNodeCache, NodeCache};
+use hc_core::histogram::HistogramKind;
+use hc_index::idistance::IDistance;
+use hc_index::traits::LeafedIndex;
+use hc_query::{replay_leaf_accesses, KnnEngine, TreeSearchEngine};
+use hc_workload::{Preset, Scale};
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let world = World::build(Preset::nus_wide(Scale::Test), 10);
+    let mut group = c.benchmark_group("algorithm1_query");
+    group.sample_size(10);
+    for (name, method) in [
+        ("no_cache", Method::NoCache),
+        ("exact", Method::Exact),
+        ("hc_w", Method::Hc(HistogramKind::EquiWidth)),
+        ("hc_o", Method::Hc(HistogramKind::KnnOptimal)),
+    ] {
+        let cache = world.cache(method, 8, world.cache_bytes);
+        let mut engine = KnnEngine::new(&world.index, &world.file, cache);
+        let queries = world.log.test.clone();
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                engine.query(std::hint::black_box(q), 10)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_search(c: &mut Criterion) {
+    let world = World::build(Preset::nus_wide(Scale::Test), 10);
+    let ds = &world.dataset;
+    let leaf_cap = (4096 / ds.point_bytes()).max(1);
+    let index = IDistance::build(ds, 16, leaf_cap, 3);
+    let leaf_freq = replay_leaf_accesses(&index, ds, &world.log.workload, 10);
+    let scheme = world.scheme(HistogramKind::KnnOptimal, 8);
+    let mut exact = ExactNodeCache::new(ds.dim(), world.cache_bytes);
+    let mut compact = CompactNodeCache::new(scheme, world.cache_bytes);
+    for &(leaf, _) in &leaf_freq {
+        exact.try_fill(leaf, index.leaf_points(leaf).len());
+        compact.try_fill(leaf, index.leaf_points(leaf).iter().map(|p| ds.point(*p)));
+    }
+    let mut group = c.benchmark_group("tree_search");
+    group.sample_size(10);
+    let caches: Vec<(&str, &dyn NodeCache)> =
+        vec![("no_cache", &NoNodeCache), ("exact_node", &exact), ("hc_o_node", &compact)];
+    for (name, cache) in caches {
+        let engine = TreeSearchEngine::new(&index, ds, cache);
+        let queries = world.log.test.clone();
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                engine.query(std::hint::black_box(q), 10)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm1, bench_tree_search);
+criterion_main!(benches);

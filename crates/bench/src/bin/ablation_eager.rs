@@ -1,0 +1,5 @@
+//! Regenerates the footnote-6 eager-refetch ablation. `--scale test|bench|full`.
+
+fn main() {
+    print!("{}", hc_bench::experiments::ablation_eager::run(hc_bench::scale_from_args()));
+}

@@ -1,0 +1,34 @@
+//! Runs the entire experiment suite — every table and figure of the paper's
+//! evaluation — and prints the results section by section.
+//! `--scale test|bench|full` (default full).
+
+use hc_bench::experiments as e;
+
+type ExperimentFn = fn(hc_workload::Scale) -> String;
+
+fn main() {
+    let scale = hc_bench::scale_from_args();
+    let sections: Vec<(&str, ExperimentFn)> = vec![
+        ("Fig 1", e::fig01_motivation::run),
+        ("Fig 6", e::fig06_example::run),
+        ("Fig 8", e::fig08_policy::run),
+        ("Fig 9", e::fig09_ordering::run),
+        ("Table 3", e::table3_categories::run),
+        ("Fig 10", e::fig10_cva::run),
+        ("Fig 11", e::fig11_pruning::run),
+        ("Fig 12", e::fig12_costmodel::run),
+        ("Table 4", e::table4_refinement::run),
+        ("Fig 13", e::fig13_cachesize::run),
+        ("Fig 14", e::fig14_k::run),
+        ("Fig 15", e::fig15_tau::run),
+        ("Fig 16", e::fig16_exact_indexes::run),
+        ("Appendix B", e::appendix_b::run),
+        ("Footnote-6 ablation", e::ablation_eager::run),
+    ];
+    for (name, f) in sections {
+        let t = std::time::Instant::now();
+        println!("================ {name} ================");
+        print!("{}", f(scale));
+        println!("[{name} done in {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+}

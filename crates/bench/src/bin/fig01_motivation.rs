@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig01 experiment. `--scale test|bench|full`.
+
+fn main() {
+    print!("{}", hc_bench::experiments::fig01_motivation::run(hc_bench::scale_from_args()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig08 experiment. `--scale test|bench|full`.
+
+fn main() {
+    print!("{}", hc_bench::experiments::fig08_policy::run(hc_bench::scale_from_args()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig09 experiment. `--scale test|bench|full`.
+
+fn main() {
+    print!("{}", hc_bench::experiments::fig09_ordering::run(hc_bench::scale_from_args()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig12 experiment. `--scale test|bench|full`.
+
+fn main() {
+    print!("{}", hc_bench::experiments::fig12_costmodel::run(hc_bench::scale_from_args()));
+}

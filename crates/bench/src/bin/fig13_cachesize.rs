@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig13 experiment. `--scale test|bench|full`.
+
+fn main() {
+    print!("{}", hc_bench::experiments::fig13_cachesize::run(hc_bench::scale_from_args()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig14 experiment. `--scale test|bench|full`.
+
+fn main() {
+    print!("{}", hc_bench::experiments::fig14_k::run(hc_bench::scale_from_args()));
+}

@@ -1,0 +1,36 @@
+//! Figure 1: C2LSH running time split into candidate generation vs candidate
+//! refinement on the three datasets — the motivation that refinement
+//! dominates.
+
+use std::fmt::Write;
+
+use hc_workload::{Preset, Scale};
+
+use crate::world::{Method, World};
+
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fig 1 — C2LSH response-time split (NO-CACHE), k = 10\n\
+         {:<10} {:>12} {:>14} {:>12}",
+        "dataset", "gen (s)", "refine (s)", "refine share"
+    )
+    .expect("write to string");
+    for preset in Preset::all(scale) {
+        let world = World::build(preset, 10);
+        let agg = world.measure_method(Method::NoCache, crate::world::DEFAULT_TAU);
+        let total = agg.avg_gen_secs + agg.avg_reduce_secs + agg.avg_refine_secs;
+        writeln!(
+            out,
+            "{:<10} {:>12.4} {:>14.4} {:>11.1}%",
+            world.preset.name,
+            agg.avg_gen_secs,
+            agg.avg_refine_secs,
+            100.0 * agg.avg_refine_secs / total.max(1e-12)
+        )
+        .expect("write to string");
+    }
+    out.push_str("paper: refinement dominates (>80 % of response time) on all datasets\n");
+    out
+}

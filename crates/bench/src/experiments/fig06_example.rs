@@ -1,0 +1,119 @@
+//! Figure 6: the paper's worked 1-d example of histogram effectiveness.
+//!
+//! Dataset {3,4,10,12,22,24,30,31}, single workload query q = 17, k = 2,
+//! B = 4 buckets. The paper reports remaining candidates: equi-width 6,
+//! equi-depth = V-optimal 4, optimal histogram 0.
+//!
+//! Two caveats make the toy example sensitive in ways the real experiments
+//! are not: (a) the paper computes bounds on the integer value domain where
+//! bucket [8..15] truly ends at 15, while our sound real-valued intervals
+//! are one quantization level wider; (b) at B = 4 the M2/M3 surrogate metric
+//! places boundaries *at* the hot values, so a candidate just left of a
+//! boundary sits one level inside the adjacent bucket — enough to flip a
+//! strict `lb > ub_k` comparison on integer-spaced data. We therefore run
+//! the example on a fine 1024-level domain and assert the property Algorithm
+//! 2 actually guarantees — HC-O minimizes the M3 metric among all four
+//! histograms — and report the measured remaining-candidate counts next to
+//! the paper's.
+
+use std::collections::HashSet;
+use std::fmt::Write;
+
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::histogram::knn_optimal::m3_metric;
+use hc_core::histogram::HistogramKind;
+use hc_core::metric::{m1_metric, QueryCandidates};
+use hc_core::quantize::Quantizer;
+use hc_core::scheme::GlobalScheme;
+use hc_workload::Scale;
+
+/// The four histograms' `(M3 metric, remaining candidates)` on the example.
+pub fn evaluate() -> Vec<(HistogramKind, f64, u64)> {
+    let values = [3.0f32, 4.0, 10.0, 12.0, 22.0, 24.0, 30.0, 31.0];
+    let ds = Dataset::from_rows(&values.iter().map(|&v| vec![v]).collect::<Vec<_>>());
+    let quant = Quantizer::new(0.0, 32.0, 1024);
+    let k = 2;
+
+    let f_data = quant.frequency_array(ds.as_flat());
+    // QR = q's k nearest candidates: 12 and 22 (both at distance 5).
+    let mut f_prime = vec![0u64; 1024];
+    f_prime[quant.level(12.0) as usize] = 1;
+    f_prime[quant.level(22.0) as usize] = 1;
+
+    let candidates = QueryCandidates {
+        query: vec![17.0],
+        candidates: (0..values.len()).map(PointId::from).collect(),
+    };
+    let cached: HashSet<PointId> = (0..values.len()).map(PointId::from).collect();
+
+    [
+        HistogramKind::EquiWidth,
+        HistogramKind::EquiDepth,
+        HistogramKind::VOptimal,
+        HistogramKind::KnnOptimal,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let freq = if kind.uses_workload_frequencies() { &f_prime } else { &f_data };
+        let hist = kind.build(freq, 4);
+        let m3 = m3_metric(&hist, &f_prime);
+        let scheme = GlobalScheme::new(hist, quant.clone(), 1);
+        let remaining = m1_metric(&scheme, &ds, std::slice::from_ref(&candidates), &cached, k);
+        (kind, m3, remaining)
+    })
+    .collect()
+}
+
+pub fn run(_scale: Scale) -> String {
+    let rows = evaluate();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fig 6 — 1-d worked example, dataset {{3,4,10,12,22,24,30,31}}, q = 17, k = 2, B = 4\n\
+         {:<12} {:>14} {:>12} {:>14}",
+        "histogram", "M3 metric", "remaining", "paper remaining"
+    )
+    .expect("write");
+    for (kind, m3, remaining) in &rows {
+        let paper = match kind {
+            HistogramKind::EquiWidth => "6",
+            HistogramKind::EquiDepth | HistogramKind::VOptimal => "4",
+            HistogramKind::KnnOptimal => "0",
+        };
+        writeln!(out, "{:<12} {:>14.0} {:>12} {:>14}", kind.label(), m3, remaining, paper)
+            .expect("write");
+    }
+    let m3_of = |kind: HistogramKind| {
+        rows.iter().find(|(k2, _, _)| *k2 == kind).expect("present").1
+    };
+    let hco = m3_of(HistogramKind::KnnOptimal);
+    let optimal = rows.iter().all(|&(_, m3, _)| hco <= m3 + 1e-9);
+    writeln!(out, "HC-O minimizes the M3 metric among all histograms: {optimal}").expect("write");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hco_minimizes_m3_on_the_example() {
+        let rows = evaluate();
+        let hco = rows
+            .iter()
+            .find(|(k, _, _)| *k == HistogramKind::KnnOptimal)
+            .expect("present");
+        for (kind, m3, _) in &rows {
+            assert!(hco.1 <= m3 + 1e-9, "HC-O m3 {} > {} for {kind:?}", hco.1, m3);
+        }
+    }
+
+    #[test]
+    fn hco_prunes_at_least_as_well_as_equi_width() {
+        let rows = evaluate();
+        let rem = |kind: HistogramKind| {
+            rows.iter().find(|(k2, _, _)| *k2 == kind).expect("present").2
+        };
+        assert!(rem(HistogramKind::KnnOptimal) <= rem(HistogramKind::EquiWidth));
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 8: caching policy — HFF vs LRU, EXACT cache, refinement time as a
+//! function of k. The paper finds HFF consistently better (the workload's
+//! frequency skew is stable, so the static policy wins) and adopts it as the
+//! default.
+
+use std::fmt::Write;
+
+use hc_cache::point::ExactPointCache;
+use hc_query::KnnEngine;
+use hc_workload::{Preset, Scale};
+
+use crate::world::{Method, World};
+
+pub fn run(scale: Scale) -> String {
+    let world = World::build(Preset::sogou(scale), 10);
+    let ks = [1usize, 20, 40, 60, 80, 100];
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fig 8 — caching policy (EXACT cache, {}), avg refinement time (s) vs k\n\
+         {:>4} {:>12} {:>12}",
+        world.preset.name, "k", "HFF", "LRU"
+    )
+    .expect("write");
+
+    for &k in &ks {
+        // HFF: static fill from the workload replay ranking.
+        let hff = world.measure(world.cache(Method::Exact, crate::world::DEFAULT_TAU, world.cache_bytes), k);
+
+        // LRU: start empty, warm on the historical workload, then measure.
+        let lru = ExactPointCache::lru(world.dataset.dim(), world.cache_bytes);
+        let mut engine = KnnEngine::new(&world.index, &world.file, Box::new(lru));
+        for q in &world.log.workload {
+            let _ = engine.query(q, k);
+        }
+        let lru_agg = engine.run_batch(&world.log.test, k);
+
+        writeln!(out, "{k:>4} {:>12.4} {:>12.4}", hff.avg_refine_secs, lru_agg.avg_refine_secs)
+            .expect("write");
+    }
+    out.push_str("paper: HFF below LRU at every k\n");
+    out
+}

@@ -1,0 +1,43 @@
+//! Figure 12: cost-model validation — estimated vs measured query I/O of
+//! HC-W as a function of the code length τ, on all three datasets. The
+//! model's chosen τ should land near the measured optimum.
+
+use std::fmt::Write;
+
+use hc_core::cost_model::{estimate_equiwidth, optimal_tau_equiwidth};
+use hc_core::histogram::HistogramKind;
+use hc_workload::{Preset, Scale};
+
+use crate::world::{Method, World};
+
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    for preset in Preset::all(scale) {
+        let world = World::build(preset, 10);
+        let stats = world.replay.workload_stats(&world.dataset);
+        writeln!(
+            out,
+            "Fig 12 — HC-W estimated vs measured I/O ({})\n{:>4} {:>14} {:>14}",
+            world.preset.name, "τ", "estimated", "measured"
+        )
+        .expect("write");
+        let mut best_measured = (0u32, f64::INFINITY);
+        for tau in [4u32, 6, 8, 10, 12] {
+            let est = estimate_equiwidth(&stats, world.cache_bytes, &world.quantizer, tau);
+            let agg = world.measure_method(Method::Hc(HistogramKind::EquiWidth), tau);
+            if agg.avg_io_pages < best_measured.1 {
+                best_measured = (tau, agg.avg_io_pages);
+            }
+            writeln!(out, "{tau:>4} {:>14.1} {:>14.1}", est.refine_io, agg.avg_io_pages)
+                .expect("write");
+        }
+        let model = optimal_tau_equiwidth(&stats, world.cache_bytes, &world.quantizer, 2..=12);
+        writeln!(
+            out,
+            "model τ* = {}, measured τ* = {} (paper: model lands near measured optimum)\n",
+            model.tau, best_measured.0
+        )
+        .expect("write");
+    }
+    out
+}

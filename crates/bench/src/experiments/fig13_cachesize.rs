@@ -1,0 +1,45 @@
+//! Figure 13: average query response time vs cache size `CS` on all three
+//! datasets, for NO-CACHE, EXACT, C-VA, HC-W, HC-D, HC-O. The compact
+//! caches should plateau once `CS` reaches roughly a third of the file.
+
+use std::fmt::Write;
+
+use hc_core::histogram::HistogramKind;
+use hc_workload::{Preset, Scale};
+
+use crate::world::{Method, World};
+
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    let methods = [
+        Method::NoCache,
+        Method::Exact,
+        Method::CVa,
+        Method::Hc(HistogramKind::EquiWidth),
+        Method::Hc(HistogramKind::EquiDepth),
+        Method::Hc(HistogramKind::KnnOptimal),
+    ];
+    for preset in Preset::all(scale) {
+        let world = World::build(preset, 10);
+        let file_bytes = world.dataset.file_bytes();
+        writeln!(
+            out,
+            "Fig 13 — response time (s) vs cache size ({})\n\
+             {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            world.preset.name, "CS", "NO-CACHE", "EXACT", "C-VA", "HC-W", "HC-D", "HC-O"
+        )
+        .expect("write");
+        for frac in [0.10f64, 0.20, 0.33, 0.50] {
+            let cs = (file_bytes as f64 * frac) as usize;
+            let mut row = format!("{:>7.0}%", frac * 100.0);
+            for m in methods {
+                let agg = world.measure(world.cache(m, crate::world::DEFAULT_TAU, cs), world.k);
+                write!(row, " {:>10.4}", agg.avg_response_secs).expect("write");
+            }
+            writeln!(out, "{row}").expect("write");
+        }
+        out.push('\n');
+    }
+    out.push_str("paper: caches plateau near CS ≈ 1/3 of the file; HC-O lowest throughout\n");
+    out
+}

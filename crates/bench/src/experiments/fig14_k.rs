@@ -1,0 +1,41 @@
+//! Figure 14: average query response time vs result size k on all three
+//! datasets for C-VA, HC-W, HC-D, HC-O. Expected ordering at every k:
+//! HC-O < HC-D < HC-W (and response time grows with k).
+
+use std::fmt::Write;
+
+use hc_core::histogram::HistogramKind;
+use hc_workload::{Preset, Scale};
+
+use crate::world::{Method, World};
+
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    let methods = [
+        Method::CVa,
+        Method::Hc(HistogramKind::EquiWidth),
+        Method::Hc(HistogramKind::EquiDepth),
+        Method::Hc(HistogramKind::KnnOptimal),
+    ];
+    for preset in Preset::all(scale) {
+        let world = World::build(preset, 10);
+        writeln!(
+            out,
+            "Fig 14 — response time (s) vs k ({})\n\
+             {:>4} {:>10} {:>10} {:>10} {:>10}",
+            world.preset.name, "k", "C-VA", "HC-W", "HC-D", "HC-O"
+        )
+        .expect("write");
+        for k in [1usize, 20, 40, 60, 80, 100] {
+            let mut row = format!("{k:>4}");
+            for m in methods {
+                let agg = world.measure(world.cache(m, crate::world::DEFAULT_TAU, world.cache_bytes), k);
+                write!(row, " {:>10.4}", agg.avg_response_secs).expect("write");
+            }
+            writeln!(out, "{row}").expect("write");
+        }
+        out.push('\n');
+    }
+    out.push_str("paper: HC-O < HC-D < HC-W at every k; all rise with k\n");
+    out
+}

@@ -1,0 +1,55 @@
+//! Figure 15: effect of the code length τ on the SOGOU-like dataset —
+//! (a) ρ_hit·ρ_prune, (b) average remaining candidates C_refine, (c) average
+//! refinement time, each for HC-W, HC-D, HC-O.
+//!
+//! Expected shapes: ρ_hit·ρ_prune peaks at an interior τ (small τ → weak
+//! bounds, large τ → small cache); I/O and time are U-shaped; HC-O is both
+//! lowest and flattest (robust to τ, especially at small τ).
+
+use std::fmt::Write;
+
+use hc_core::histogram::HistogramKind;
+use hc_workload::{Preset, Scale};
+
+use crate::world::{Method, World};
+
+pub fn run(scale: Scale) -> String {
+    let world = World::build(Preset::sogou(scale), 10);
+    let methods = [
+        Method::Hc(HistogramKind::EquiWidth),
+        Method::Hc(HistogramKind::EquiDepth),
+        Method::Hc(HistogramKind::KnnOptimal),
+    ];
+    let taus = [2u32, 4, 6, 8, 10, 12];
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fig 15 — effect of code length τ ({}), k = 10, CS = {:.0} MB",
+        world.preset.name,
+        world.cache_bytes as f64 / 1e6
+    )
+    .expect("write");
+    for (title, col) in [
+        ("(a) ρ_hit·ρ_prune", 0usize),
+        ("(b) avg C_refine", 1),
+        ("(c) avg refinement time (s)", 2),
+    ] {
+        writeln!(out, "{title}\n{:>4} {:>10} {:>10} {:>10}", "τ", "HC-W", "HC-D", "HC-O")
+            .expect("write");
+        for &tau in &taus {
+            let mut row = format!("{tau:>4}");
+            for m in methods {
+                let agg = world.measure_method(m, tau);
+                let v = match col {
+                    0 => agg.avg_hit_times_prune,
+                    1 => agg.avg_c_refine,
+                    _ => agg.avg_refine_secs,
+                };
+                write!(row, " {:>10.4}", v).expect("write");
+            }
+            writeln!(out, "{row}").expect("write");
+        }
+    }
+    out.push_str("paper: interior optimum per method (HC-W 10, HC-D 8, HC-O 8); HC-O flattest\n");
+    out
+}

@@ -1,0 +1,18 @@
+//! One module per paper table/figure. Every `run` returns the formatted
+//! experiment output so binaries, `all_experiments`, and tests can share it.
+
+pub mod ablation_eager;
+pub mod appendix_b;
+pub mod fig01_motivation;
+pub mod fig06_example;
+pub mod fig08_policy;
+pub mod fig09_ordering;
+pub mod fig10_cva;
+pub mod fig11_pruning;
+pub mod fig12_costmodel;
+pub mod fig13_cachesize;
+pub mod fig14_k;
+pub mod fig15_tau;
+pub mod fig16_exact_indexes;
+pub mod table3_categories;
+pub mod table4_refinement;

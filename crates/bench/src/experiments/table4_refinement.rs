@@ -1,0 +1,63 @@
+//! Table 4: average refinement time at the default τ = 10 and at each
+//! method's optimal τ*, for EXACT, HC-W, HC-V, HC-D, HC-O on all three
+//! datasets. Headline claim: HC-O beats EXACT by about an order of
+//! magnitude.
+
+use std::fmt::Write;
+
+use hc_workload::{Preset, Scale};
+
+use crate::world::{Method, World};
+
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Table 4 — avg refinement time (s) at default τ and optimal τ*\n\
+         {:<10} {:<8} {:>12} {:>12} {:>6}",
+        "dataset", "method", "default", "optimal", "τ*"
+    )
+    .expect("write");
+    for preset in Preset::all(scale) {
+        let world = World::build(preset, 10);
+        let mut exact_time = 0.0f64;
+        let mut hco_best = f64::INFINITY;
+        for method in Method::table4() {
+            let default = world.measure_method(method, crate::world::DEFAULT_TAU).avg_refine_secs;
+            let (mut best_tau, mut best_time) = (crate::world::DEFAULT_TAU, default);
+            if method != Method::Exact {
+                for tau in [4u32, 6, 10, 12] {
+                    let t = world.measure_method(method, tau).avg_refine_secs;
+                    if t < best_time {
+                        best_time = t;
+                        best_tau = tau;
+                    }
+                }
+            }
+            if method == Method::Exact {
+                exact_time = default;
+            }
+            if method.label() == "HC-O" {
+                hco_best = best_time;
+            }
+            writeln!(
+                out,
+                "{:<10} {:<8} {:>12.4} {:>12.4} {:>6}",
+                world.preset.name,
+                method.label(),
+                default,
+                best_time,
+                best_tau
+            )
+            .expect("write");
+        }
+        writeln!(
+            out,
+            "  {}: EXACT / HC-O(τ*) speedup = {:.1}× (paper: ≈ an order of magnitude)",
+            world.preset.name,
+            exact_time / hco_best.max(1e-12)
+        )
+        .expect("write");
+    }
+    out
+}

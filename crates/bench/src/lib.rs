@@ -1,0 +1,34 @@
+//! # hc-bench
+//!
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation (§5), each exposing `run(scale) -> String` that regenerates the
+//! corresponding rows/series. Thin binaries under `src/bin/` print them;
+//! `all_experiments` runs the whole suite. Criterion micro-benchmarks live in
+//! `benches/`.
+//!
+//! Absolute numbers differ from the paper (synthetic data, simulated disk —
+//! see DESIGN.md §4); the *shape* — which method wins, by roughly what
+//! factor, where crossovers fall — is the reproduction target, recorded
+//! experiment-by-experiment in EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod world;
+
+pub use world::{Method, World};
+
+/// Parse `--scale test|bench|full` from the process arguments (default:
+/// full) — shared by the experiment binaries.
+pub fn scale_from_args() -> hc_workload::Scale {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            return match args.next().as_deref() {
+                Some("test") => hc_workload::Scale::Test,
+                Some("bench") => hc_workload::Scale::Bench,
+                Some("full") | None => hc_workload::Scale::Full,
+                Some(other) => panic!("unknown scale {other:?} (use test|bench|full)"),
+            };
+        }
+    }
+    hc_workload::Scale::Full
+}

@@ -1,0 +1,190 @@
+//! Shared experiment setup: one `World` per dataset preset, holding the
+//! dataset, simulated disk file, C2LSH index, workload replay, and factories
+//! for every caching method the paper compares.
+
+use std::sync::Arc;
+
+use hc_cache::cva::cva_cache;
+use hc_cache::point::{CompactPointCache, ExactPointCache, NoCache, PointCache};
+use hc_core::dataset::Dataset;
+use hc_core::histogram::individual::build_per_dim;
+use hc_core::histogram::multidim::MultiDimBuckets;
+use hc_core::histogram::HistogramKind;
+use hc_core::quantize::Quantizer;
+use hc_core::scheme::{ApproxScheme, GlobalScheme, IndividualScheme, MultiDimScheme};
+use hc_index::lsh::{C2lsh, C2lshParams};
+use hc_index::rtree::RTree;
+use hc_query::{replay_workload, AggregateStats, KnnEngine, Replay};
+use hc_storage::point_file::PointFile;
+use hc_workload::{Preset, QueryLog};
+
+/// Every caching method of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    NoCache,
+    Exact,
+    /// Global histogram cache HC-* at a given kind.
+    Hc(HistogramKind),
+    /// Individual-dimension histogram cache iHC-*.
+    IHc(HistogramKind),
+    /// Multi-dimensional (R-tree) histogram cache mHC-R.
+    MhcR,
+    /// Whole-VA-file cache C-VA.
+    CVa,
+}
+
+impl Method {
+    pub fn label(&self) -> String {
+        match self {
+            Method::NoCache => "NO-CACHE".into(),
+            Method::Exact => "EXACT".into(),
+            Method::Hc(kind) => kind.label().into(),
+            Method::IHc(kind) => format!("i{}", kind.label()),
+            Method::MhcR => "mHC-R".into(),
+            Method::CVa => "C-VA".into(),
+        }
+    }
+
+    /// The methods of Table 4 / Figs. 13–14, in the paper's order.
+    pub fn table4() -> Vec<Method> {
+        vec![
+            Method::Exact,
+            Method::Hc(HistogramKind::EquiWidth),
+            Method::Hc(HistogramKind::VOptimal),
+            Method::Hc(HistogramKind::EquiDepth),
+            Method::Hc(HistogramKind::KnnOptimal),
+        ]
+    }
+}
+
+/// A fully-instantiated experiment environment for one dataset preset.
+pub struct World {
+    pub preset: Preset,
+    pub log: QueryLog,
+    pub dataset: Dataset,
+    pub index: C2lsh,
+    pub file: PointFile,
+    pub replay: Replay,
+    pub quantizer: Quantizer,
+    /// Data frequency array `F[x]`.
+    pub f_data: Vec<u64>,
+    /// Workload frequency array `F'[x]` (Eqn. 3).
+    pub f_prime: Vec<u64>,
+    /// Default cache budget (≈30 % of the file).
+    pub cache_bytes: usize,
+    pub k: usize,
+}
+
+impl World {
+    /// Build the full environment for a preset (index construction and
+    /// workload replay are the offline phase; they cost no simulated I/O).
+    pub fn build(preset: Preset, k: usize) -> Self {
+        let log = preset.instantiate();
+        let dataset = log.dataset.clone();
+        let index = C2lsh::build(&dataset, C2lshParams::default());
+        let file = PointFile::new(dataset.clone());
+        let replay = replay_workload(&index, &dataset, &log.workload, k);
+        let quantizer = Quantizer::for_range(dataset.value_range());
+        let f_data = quantizer.frequency_array(dataset.as_flat());
+        let f_prime = replay.f_prime(&dataset, &quantizer);
+        let cache_bytes = dataset.file_bytes() * 3 / 10;
+        Self { preset, log, dataset, index, file, replay, quantizer, f_data, f_prime, cache_bytes, k }
+    }
+
+    /// A global-histogram scheme of the given kind at code length τ.
+    pub fn scheme(&self, kind: HistogramKind, tau: u32) -> Arc<dyn ApproxScheme> {
+        let freq = if kind.uses_workload_frequencies() { &self.f_prime } else { &self.f_data };
+        let hist = kind.build(freq, 1u32 << tau.min(20));
+        Arc::new(GlobalScheme::new(hist, self.quantizer.clone(), self.dataset.dim()))
+    }
+
+    /// An individual-dimension scheme (iHC-*) at code length τ.
+    pub fn individual_scheme(&self, kind: HistogramKind, tau: u32) -> Arc<dyn ApproxScheme> {
+        let b = 1u32 << tau.min(20);
+        let freq_per_dim = if kind.uses_workload_frequencies() {
+            self.replay.f_prime_per_dim(&self.dataset, &self.quantizer)
+        } else {
+            per_dim_data_frequencies(&self.dataset, &self.quantizer)
+        };
+        let hists = build_per_dim(kind, &freq_per_dim, b);
+        let quants = vec![self.quantizer.clone(); self.dataset.dim()];
+        Arc::new(IndividualScheme::new(hists, quants))
+    }
+
+    /// The mHC-R scheme: R-tree with 2^τ leaves, leaf MBRs as buckets.
+    pub fn mhc_r_scheme(&self, tau: u32) -> Arc<dyn ApproxScheme> {
+        let leaves = 1usize << tau.min(16);
+        let rtree = RTree::with_num_leaves(&self.dataset, leaves);
+        let buckets = MultiDimBuckets::from_rects(&rtree.leaf_rects());
+        Arc::new(MultiDimScheme::new(buckets))
+    }
+
+    /// Construct a point cache for a method at the given τ and budget.
+    pub fn cache(&self, method: Method, tau: u32, cache_bytes: usize) -> Box<dyn PointCache> {
+        match method {
+            Method::NoCache => Box::new(NoCache),
+            Method::Exact => Box::new(ExactPointCache::hff(
+                &self.dataset,
+                &self.replay.ranking,
+                cache_bytes,
+            )),
+            Method::Hc(kind) => Box::new(CompactPointCache::hff(
+                &self.dataset,
+                &self.replay.ranking,
+                cache_bytes,
+                self.scheme(kind, tau),
+            )),
+            Method::IHc(kind) => Box::new(CompactPointCache::hff(
+                &self.dataset,
+                &self.replay.ranking,
+                cache_bytes,
+                self.individual_scheme(kind, tau),
+            )),
+            Method::MhcR => Box::new(CompactPointCache::hff(
+                &self.dataset,
+                &self.replay.ranking,
+                cache_bytes,
+                self.mhc_r_scheme(tau),
+            )),
+            Method::CVa => Box::new(cva_cache(&self.dataset, &self.quantizer, cache_bytes)),
+        }
+    }
+
+    /// Run the held-out test queries under a cache and aggregate.
+    pub fn measure(&self, cache: Box<dyn PointCache>, k: usize) -> AggregateStats {
+        let mut engine = KnnEngine::new(&self.index, &self.file, cache);
+        engine.run_batch(&self.log.test, k)
+    }
+
+    /// Convenience: measure a method at the default τ / budget / k.
+    pub fn measure_method(&self, method: Method, tau: u32) -> AggregateStats {
+        self.measure(self.cache(method, tau, self.cache_bytes), self.k)
+    }
+}
+
+/// Per-dimension data frequency arrays `F_j[x]`.
+pub fn per_dim_data_frequencies(dataset: &Dataset, quantizer: &Quantizer) -> Vec<Vec<u64>> {
+    let d = dataset.dim();
+    let mut per = vec![vec![0u64; quantizer.n_dom() as usize]; d];
+    for (_, p) in dataset.iter() {
+        for (j, &v) in p.iter().enumerate() {
+            per[j][quantizer.level(v) as usize] += 1;
+        }
+    }
+    per
+}
+
+/// Right-pad a label for fixed-width table output.
+pub fn pad(s: &str, w: usize) -> String {
+    format!("{s:<w$}")
+}
+
+/// Default code length used across the experiments.
+///
+/// The paper's default is τ = 10 against raw values of `L_value = 32` bits.
+/// Our discrete level domain has `log2(N_dom) = 10` effective bits, so τ = 10
+/// would make every histogram degenerate to singleton buckets and erase the
+/// differences the paper measures. τ = 8 plays the paper's role — coarser
+/// than the stored precision, fine enough to prune — and the τ sweeps
+/// (Fig 12 / Fig 15) cover the saturated region τ ≥ 10 explicitly.
+pub const DEFAULT_TAU: u32 = 8;

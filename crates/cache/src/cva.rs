@@ -1,0 +1,128 @@
+//! The C-VA baseline (paper §5.2.4): cache the **whole** VA-file.
+//!
+//! C-VA keeps an approximation of *every* point in RAM and tunes the number
+//! of bits per point down until the full array fits the cache budget. The
+//! paper notes the VA-file's encoding scheme equals equi-depth (\[32\],
+//! footnote 10 context), so C-VA is a full-coverage compact cache under an
+//! equi-depth global histogram whose τ is budget-derived rather than
+//! model-tuned — at small budgets it is forced into very coarse codes, which
+//! is exactly why HC-D beats it there (Fig. 10).
+
+use std::sync::Arc;
+
+use hc_core::codes::words_per_point;
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::histogram::HistogramKind;
+use hc_core::quantize::Quantizer;
+use hc_core::scheme::GlobalScheme;
+
+use crate::point::CompactPointCache;
+
+/// Largest code length C-VA will consider.
+const MAX_TAU: u32 = 16;
+
+/// Build the C-VA cache: every point encoded with the largest equi-depth
+/// code length that fits `capacity_bytes`.
+///
+/// If even τ = 1 cannot hold all points, the cache still uses τ = 1 and
+/// covers the ranking prefix that fits (the paper never runs C-VA below that
+/// regime; we degrade gracefully instead of panicking).
+pub fn cva_cache(
+    dataset: &Dataset,
+    quantizer: &Quantizer,
+    capacity_bytes: usize,
+) -> CompactPointCache {
+    let n = dataset.len();
+    let d = dataset.dim();
+    let tau = best_fitting_tau(n, d, capacity_bytes);
+    let freq = quantizer.frequency_array(dataset.as_flat());
+    let hist = HistogramKind::EquiDepth.build(&freq, 1u32 << tau);
+    let scheme = Arc::new(GlobalScheme::new(hist, quantizer.clone(), d));
+    let ranking: Vec<PointId> = (0..n).map(PointId::from).collect();
+    CompactPointCache::hff(dataset, &ranking, capacity_bytes, scheme)
+}
+
+/// The largest τ ∈ [1, 16] such that `n` word-packed points of `d` τ-bit
+/// codes fit in the budget (τ = 1 if none does).
+pub fn best_fitting_tau(n: usize, d: usize, capacity_bytes: usize) -> u32 {
+    let mut best = 1;
+    for tau in 1..=MAX_TAU {
+        let bytes = n * words_per_point(d, tau) * 8;
+        if bytes <= capacity_bytes {
+            best = tau;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{CacheLookup, PointCache};
+    use hc_core::distance::euclidean;
+
+    fn dataset(n: usize, d: usize) -> Dataset {
+        Dataset::from_rows(
+            &(0..n)
+                .map(|i| (0..d).map(|j| ((i * 7 + j * 3) % 50) as f32).collect())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn tau_grows_with_budget() {
+        let (n, d) = (1000, 64);
+        let tiny = best_fitting_tau(n, d, n * 8); // 1 word per point
+        let big = best_fitting_tau(n, d, n * 64 * 2 + 8 * n);
+        assert!(tiny <= big);
+        assert!(best_fitting_tau(n, d, usize::MAX / 2) == MAX_TAU);
+        assert_eq!(best_fitting_tau(n, d, 0), 1);
+    }
+
+    #[test]
+    fn cva_covers_every_point_when_budget_allows() {
+        let ds = dataset(50, 8);
+        let quant = Quantizer::new(0.0, 50.0, 256);
+        let mut cache = cva_cache(&ds, &quant, 1 << 20);
+        assert_eq!(cache.len(), 50, "full coverage expected");
+        let q = vec![10.0f32; 8];
+        for (id, p) in ds.iter() {
+            match cache.lookup(&q, id) {
+                CacheLookup::Bounds(b) => assert!(b.contains(euclidean(&q, p))),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn small_budget_forces_coarse_codes() {
+        let ds = dataset(100, 16);
+        let quant = Quantizer::new(0.0, 50.0, 256);
+        // One word per point: word-aligned packing lets τ grow to 4 for free
+        // (16 dims × 4 bits = 64 bits), but no further.
+        let cache = cva_cache(&ds, &quant, 100 * 8);
+        assert_eq!(cache.scheme().tau(), 4);
+        assert_eq!(cache.len(), 100);
+    }
+
+    #[test]
+    fn bounds_get_tighter_with_larger_budget() {
+        let ds = dataset(64, 128);
+        let quant = Quantizer::new(0.0, 50.0, 1024);
+        let q = vec![25.0f32; 128];
+        let slack = |capacity: usize| {
+            let mut c = cva_cache(&ds, &quant, capacity);
+            let mut total = 0.0;
+            for (id, _) in ds.iter() {
+                if let CacheLookup::Bounds(b) = c.lookup(&q, id) {
+                    total += b.slack();
+                }
+            }
+            total
+        };
+        // 16 B per point holds exactly two words → τ = 1 at d = 128.
+        let coarse = slack(64 * 16);
+        let fine = slack(1 << 22); // τ = 16 (buckets capped at N_dom = 1024)
+        assert!(fine < coarse, "fine {fine} >= coarse {coarse}");
+    }
+}

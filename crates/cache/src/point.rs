@@ -1,0 +1,518 @@
+//! Point-level caches: what Algorithm 1's phase 2 consults for every
+//! candidate id (paper Fig. 3, step 2.1).
+//!
+//! Three information levels:
+//! * [`NoCache`] — the NO-CACHE baseline: every candidate goes to disk.
+//! * [`ExactPointCache`] — the EXACT baseline: raw `f32` vectors; a hit
+//!   yields the exact distance but each item costs `d·4` bytes.
+//! * [`CompactPointCache`] — the paper's approach: bit-packed approximate
+//!   points under any [`ApproxScheme`]; a hit yields distance *bounds* but an
+//!   item costs only `⌈d·τ/64⌉` words, so the same budget covers `L_value/τ`
+//!   times more points (Theorem 1).
+//!
+//! Each cache supports the static **HFF** policy (constructed full from the
+//! workload's frequency ranking, immutable at query time) and the dynamic
+//! **LRU** policy (admit on fetch, evict least-recently-used).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hc_core::bounds::DistBounds;
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::distance::euclidean;
+use hc_core::scheme::ApproxScheme;
+
+use crate::lru::LruList;
+
+/// Cache replacement / placement policy (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Highest-frequency-first: static content fixed offline from the query
+    /// workload \[25\].
+    Hff,
+    /// Least-recently-used: dynamic, admits points as they are fetched.
+    Lru,
+}
+
+impl std::fmt::Display for CachePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CachePolicy::Hff => "HFF",
+            CachePolicy::Lru => "LRU",
+        })
+    }
+}
+
+/// Result of a cache probe for one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheLookup {
+    /// Not cached: Algorithm 1 assigns the unknown bounds `(0, +∞)`.
+    Miss,
+    /// Exact cache hit: the true distance, no disk I/O needed at all.
+    Exact(f64),
+    /// Compact cache hit: sound lower/upper bounds from the τ-bit codes.
+    Bounds(DistBounds),
+}
+
+/// The interface Algorithm 1 consumes.
+pub trait PointCache {
+    /// Probe the cache for candidate `id` against query `q`.
+    fn lookup(&mut self, q: &[f32], id: PointId) -> CacheLookup;
+
+    /// Offer a point that refinement just fetched from disk. Dynamic
+    /// policies admit (possibly evicting); static policies ignore.
+    fn admit(&mut self, id: PointId, point: &[f32]);
+
+    /// Whether `id` is currently resident (no recency side effects).
+    fn contains(&self, id: PointId) -> bool;
+
+    /// Payload bytes currently used.
+    fn used_bytes(&self) -> usize;
+
+    /// Configured byte budget `CS`.
+    fn capacity_bytes(&self) -> usize;
+
+    /// Label for experiment tables, e.g. `"EXACT/HFF"`.
+    fn label(&self) -> String;
+}
+
+/// The NO-CACHE baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoCache;
+
+impl PointCache for NoCache {
+    fn lookup(&mut self, _q: &[f32], _id: PointId) -> CacheLookup {
+        CacheLookup::Miss
+    }
+
+    fn admit(&mut self, _id: PointId, _point: &[f32]) {}
+
+    fn contains(&self, _id: PointId) -> bool {
+        false
+    }
+
+    fn used_bytes(&self) -> usize {
+        0
+    }
+
+    fn capacity_bytes(&self) -> usize {
+        0
+    }
+
+    fn label(&self) -> String {
+        "NO-CACHE".to_owned()
+    }
+}
+
+/// Slot-allocated storage bookkeeping shared by both cache kinds.
+struct Slots {
+    map: HashMap<PointId, u32>,
+    ids: Vec<PointId>,
+    free: Vec<u32>,
+    lru: Option<LruList>,
+    max_items: usize,
+}
+
+impl Slots {
+    fn new(max_items: usize, policy: CachePolicy) -> Self {
+        Self {
+            map: HashMap::with_capacity(max_items.min(1 << 20)),
+            ids: Vec::new(),
+            free: Vec::new(),
+            lru: match policy {
+                CachePolicy::Hff => None,
+                CachePolicy::Lru => Some(LruList::new()),
+            },
+            max_items,
+        }
+    }
+
+    fn get(&mut self, id: PointId) -> Option<u32> {
+        let slot = *self.map.get(&id)?;
+        if let Some(lru) = &mut self.lru {
+            lru.touch(slot as usize);
+        }
+        Some(slot)
+    }
+
+    /// Allocate a slot for `id`, evicting if needed. Returns `None` when the
+    /// cache is static (HFF) or has zero capacity, `Some((slot, evicted))`
+    /// otherwise.
+    fn allocate(&mut self, id: PointId) -> Option<u32> {
+        if self.max_items == 0 || self.map.contains_key(&id) {
+            return None;
+        }
+        self.lru.as_ref()?; // static caches never admit
+        let slot = if self.map.len() < self.max_items {
+            self.free.pop().unwrap_or_else(|| {
+                let s = self.ids.len() as u32;
+                self.ids.push(id);
+                s
+            })
+        } else {
+            let victim = self
+                .lru
+                .as_mut()
+                .expect("dynamic cache")
+                .pop_back()
+                .expect("full cache has entries") as u32;
+            let old = self.ids[victim as usize];
+            self.map.remove(&old);
+            victim
+        };
+        self.ids[slot as usize] = id;
+        self.map.insert(id, slot);
+        self.lru
+            .as_mut()
+            .expect("dynamic cache")
+            .push_front(slot as usize);
+        Some(slot)
+    }
+
+    /// Static fill used by HFF construction (bypasses the LRU-only guard).
+    fn fill(&mut self, id: PointId) -> u32 {
+        debug_assert!(self.lru.is_none(), "fill is for static caches");
+        debug_assert!(self.map.len() < self.max_items);
+        let slot = self.ids.len() as u32;
+        self.ids.push(id);
+        self.map.insert(id, slot);
+        slot
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// EXACT cache: raw `f32` points.
+pub struct ExactPointCache {
+    slots: Slots,
+    data: Vec<f32>,
+    dim: usize,
+    capacity_bytes: usize,
+    policy: CachePolicy,
+}
+
+impl ExactPointCache {
+    /// Bytes per cached item.
+    pub fn bytes_per_point(dim: usize) -> usize {
+        dim * std::mem::size_of::<f32>()
+    }
+
+    /// Static HFF cache: fill with the ranking's most frequent points until
+    /// the budget is exhausted.
+    pub fn hff(dataset: &Dataset, ranking: &[PointId], capacity_bytes: usize) -> Self {
+        let dim = dataset.dim();
+        let per = Self::bytes_per_point(dim);
+        let max_items = (capacity_bytes / per).min(dataset.len());
+        let mut slots = Slots::new(max_items, CachePolicy::Hff);
+        let mut data = Vec::with_capacity(max_items * dim);
+        for &id in ranking.iter().take(max_items) {
+            slots.fill(id);
+            data.extend_from_slice(dataset.point(id));
+        }
+        Self { slots, data, dim, capacity_bytes, policy: CachePolicy::Hff }
+    }
+
+    /// Dynamic LRU cache, initially empty.
+    pub fn lru(dim: usize, capacity_bytes: usize) -> Self {
+        let per = Self::bytes_per_point(dim);
+        let max_items = capacity_bytes / per;
+        Self {
+            slots: Slots::new(max_items, CachePolicy::Lru),
+            data: Vec::new(),
+            dim,
+            capacity_bytes,
+            policy: CachePolicy::Lru,
+        }
+    }
+
+    /// Number of resident points.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.len() == 0
+    }
+
+    fn point(&self, slot: u32) -> &[f32] {
+        let s = slot as usize;
+        &self.data[s * self.dim..(s + 1) * self.dim]
+    }
+}
+
+impl PointCache for ExactPointCache {
+    fn lookup(&mut self, q: &[f32], id: PointId) -> CacheLookup {
+        match self.slots.get(id) {
+            Some(slot) => CacheLookup::Exact(euclidean(q, self.point(slot))),
+            None => CacheLookup::Miss,
+        }
+    }
+
+    fn admit(&mut self, id: PointId, point: &[f32]) {
+        debug_assert_eq!(point.len(), self.dim);
+        if let Some(slot) = self.slots.allocate(id) {
+            let s = slot as usize;
+            if self.data.len() < (s + 1) * self.dim {
+                self.data.resize((s + 1) * self.dim, 0.0);
+            }
+            self.data[s * self.dim..(s + 1) * self.dim].copy_from_slice(point);
+        }
+    }
+
+    fn contains(&self, id: PointId) -> bool {
+        self.slots.map.contains_key(&id)
+    }
+
+    fn used_bytes(&self) -> usize {
+        self.slots.len() * Self::bytes_per_point(self.dim)
+    }
+
+    fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    fn label(&self) -> String {
+        format!("EXACT/{}", self.policy)
+    }
+}
+
+/// Compact cache of bit-packed approximate points under a scheme.
+pub struct CompactPointCache {
+    slots: Slots,
+    scheme: Arc<dyn ApproxScheme>,
+    words: Vec<u64>,
+    wpp: usize,
+    capacity_bytes: usize,
+    policy: CachePolicy,
+    scratch: Vec<u64>,
+}
+
+impl CompactPointCache {
+    /// Static HFF cache filled from the frequency ranking.
+    pub fn hff(
+        dataset: &Dataset,
+        ranking: &[PointId],
+        capacity_bytes: usize,
+        scheme: Arc<dyn ApproxScheme>,
+    ) -> Self {
+        assert_eq!(scheme.dim(), dataset.dim());
+        let wpp = scheme.words_per_point();
+        let per = scheme.bytes_per_point();
+        let max_items = (capacity_bytes / per).min(dataset.len());
+        let mut slots = Slots::new(max_items, CachePolicy::Hff);
+        let mut words = Vec::with_capacity(max_items * wpp);
+        for &id in ranking.iter().take(max_items) {
+            slots.fill(id);
+            scheme.encode_into(dataset.point(id), &mut words);
+        }
+        Self {
+            slots,
+            scheme,
+            words,
+            wpp,
+            capacity_bytes,
+            policy: CachePolicy::Hff,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Dynamic LRU cache, initially empty.
+    pub fn lru(scheme: Arc<dyn ApproxScheme>, capacity_bytes: usize) -> Self {
+        let wpp = scheme.words_per_point();
+        let per = scheme.bytes_per_point();
+        let max_items = capacity_bytes / per;
+        Self {
+            slots: Slots::new(max_items, CachePolicy::Lru),
+            scheme,
+            words: Vec::new(),
+            wpp,
+            capacity_bytes,
+            policy: CachePolicy::Lru,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of resident points.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.len() == 0
+    }
+
+    /// The coding scheme in use.
+    pub fn scheme(&self) -> &Arc<dyn ApproxScheme> {
+        &self.scheme
+    }
+}
+
+impl PointCache for CompactPointCache {
+    fn lookup(&mut self, q: &[f32], id: PointId) -> CacheLookup {
+        match self.slots.get(id) {
+            Some(slot) => {
+                let s = slot as usize;
+                let w = &self.words[s * self.wpp..(s + 1) * self.wpp];
+                CacheLookup::Bounds(self.scheme.bounds(q, w))
+            }
+            None => CacheLookup::Miss,
+        }
+    }
+
+    fn admit(&mut self, id: PointId, point: &[f32]) {
+        if let Some(slot) = self.slots.allocate(id) {
+            let s = slot as usize;
+            self.scratch.clear();
+            self.scheme.encode_into(point, &mut self.scratch);
+            if self.words.len() < (s + 1) * self.wpp {
+                self.words.resize((s + 1) * self.wpp, 0);
+            }
+            self.words[s * self.wpp..(s + 1) * self.wpp].copy_from_slice(&self.scratch);
+        }
+    }
+
+    fn contains(&self, id: PointId) -> bool {
+        self.slots.map.contains_key(&id)
+    }
+
+    fn used_bytes(&self) -> usize {
+        self.slots.len() * self.scheme.bytes_per_point()
+    }
+
+    fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    fn label(&self) -> String {
+        format!("COMPACT(τ={})/{}", self.scheme.tau(), self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_core::histogram::classic::equi_width;
+    use hc_core::quantize::Quantizer;
+    use hc_core::scheme::GlobalScheme;
+
+    fn dataset() -> Dataset {
+        Dataset::from_rows(
+            &(0..20)
+                .map(|i| vec![i as f32, (20 - i) as f32])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn scheme(ds: &Dataset, b: u32) -> Arc<dyn ApproxScheme> {
+        let quant = Quantizer::new(0.0, 21.0, 64);
+        Arc::new(GlobalScheme::new(equi_width(64, b), quant, ds.dim()))
+    }
+
+    #[test]
+    fn hff_exact_fills_ranking_prefix() {
+        let ds = dataset();
+        let ranking: Vec<PointId> = (0u32..20).map(PointId).collect();
+        // Budget for exactly 3 points (2 dims × 4 bytes = 8 bytes each).
+        let mut c = ExactPointCache::hff(&ds, &ranking, 24);
+        assert_eq!(c.len(), 3);
+        assert!(matches!(c.lookup(&[0.0, 20.0], PointId(0)), CacheLookup::Exact(d) if d < 1e-9));
+        assert_eq!(c.lookup(&[0.0, 0.0], PointId(5)), CacheLookup::Miss);
+        assert_eq!(c.used_bytes(), 24);
+    }
+
+    #[test]
+    fn hff_is_immutable_at_runtime() {
+        let ds = dataset();
+        let mut c = ExactPointCache::hff(&ds, &[PointId(0)], 8);
+        c.admit(PointId(5), ds.point(PointId(5)));
+        assert!(!c.contains(PointId(5)), "HFF must ignore admissions");
+    }
+
+    #[test]
+    fn lru_exact_admits_and_evicts() {
+        let ds = dataset();
+        let mut c = ExactPointCache::lru(2, 16); // 2 points
+        c.admit(PointId(1), ds.point(PointId(1)));
+        c.admit(PointId(2), ds.point(PointId(2)));
+        // Touch 1 so 2 becomes the LRU victim.
+        let _ = c.lookup(&[0.0, 0.0], PointId(1));
+        c.admit(PointId(3), ds.point(PointId(3)));
+        assert!(c.contains(PointId(1)));
+        assert!(!c.contains(PointId(2)), "LRU victim should be evicted");
+        assert!(c.contains(PointId(3)));
+    }
+
+    #[test]
+    fn compact_holds_more_items_than_exact_at_same_budget() {
+        let ds = Dataset::from_rows(&vec![vec![0.5f32; 64]; 100]);
+        let quant = Quantizer::new(0.0, 1.0, 64);
+        let s: Arc<dyn ApproxScheme> =
+            Arc::new(GlobalScheme::new(equi_width(64, 16), quant, 64));
+        let ranking: Vec<PointId> = (0u32..100).map(PointId).collect();
+        let budget = 64 * 4 * 10; // ten exact points
+        let exact = ExactPointCache::hff(&ds, &ranking, budget);
+        let compact = CompactPointCache::hff(&ds, &ranking, budget, s);
+        assert_eq!(exact.len(), 10);
+        // τ=4, d=64 → 256 bits = 4 words = 32 bytes/point → 80 items.
+        assert!(compact.len() > 4 * exact.len(), "{} vs {}", compact.len(), exact.len());
+    }
+
+    #[test]
+    fn compact_lookup_bounds_are_sound() {
+        let ds = dataset();
+        let s = scheme(&ds, 16);
+        let ranking: Vec<PointId> = (0u32..20).map(PointId).collect();
+        let mut c = CompactPointCache::hff(&ds, &ranking, 1 << 20, s);
+        let q = [3.3f32, 17.2];
+        for (id, p) in ds.iter() {
+            match c.lookup(&q, id) {
+                CacheLookup::Bounds(b) => {
+                    let d = euclidean(&q, p);
+                    assert!(b.contains(d), "{id}: {d} outside [{}, {}]", b.lb, b.ub);
+                }
+                other => panic!("expected bounds, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn compact_lru_round_trips_admissions() {
+        let ds = dataset();
+        let s = scheme(&ds, 8);
+        let per = s.bytes_per_point();
+        let mut c = CompactPointCache::lru(s, per * 2);
+        c.admit(PointId(4), ds.point(PointId(4)));
+        assert!(c.contains(PointId(4)));
+        match c.lookup(&[4.0, 16.0], PointId(4)) {
+            CacheLookup::Bounds(b) => assert!(b.lb <= 1e-6),
+            other => panic!("{other:?}"),
+        }
+        // Fill beyond capacity; first admission unused since, so it evicts.
+        c.admit(PointId(5), ds.point(PointId(5)));
+        c.admit(PointId(6), ds.point(PointId(6)));
+        assert!(!c.contains(PointId(4)) || !c.contains(PointId(5)));
+        assert!(c.contains(PointId(6)));
+        assert!(c.used_bytes() <= c.capacity_bytes());
+    }
+
+    #[test]
+    fn zero_capacity_caches_never_hit() {
+        let ds = dataset();
+        let mut e = ExactPointCache::lru(2, 0);
+        e.admit(PointId(0), ds.point(PointId(0)));
+        assert_eq!(e.lookup(&[0.0, 0.0], PointId(0)), CacheLookup::Miss);
+        let mut n = NoCache;
+        assert_eq!(n.lookup(&[0.0, 0.0], PointId(0)), CacheLookup::Miss);
+    }
+
+    #[test]
+    fn labels_identify_configuration() {
+        let ds = dataset();
+        let e = ExactPointCache::hff(&ds, &[], 0);
+        assert_eq!(e.label(), "EXACT/HFF");
+        let c = CompactPointCache::lru(scheme(&ds, 16), 128);
+        assert!(c.label().starts_with("COMPACT(τ=4)/LRU"));
+    }
+}

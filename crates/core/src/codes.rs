@@ -1,0 +1,252 @@
+//! Bit-packed code storage (paper §3.1, footnote 5).
+//!
+//! An approximate point is a sequence of `d` τ-bit bucket codes packed into
+//! `⌈d·τ / 64⌉` consecutive 64-bit words — "to achieve a compact cache, we
+//! pack the bit-string encoding of each point into one or multiple consecutive
+//! words in memory". Codes may straddle word boundaries; extraction uses only
+//! shifts and masks.
+
+/// Number of 64-bit words needed for `d` codes of `tau` bits each.
+#[inline]
+pub fn words_per_point(d: usize, tau: u32) -> usize {
+    (d * tau as usize).div_ceil(64)
+}
+
+/// Append `d` codes of `tau` bits into `out` (which receives exactly
+/// `words_per_point(d, tau)` words).
+///
+/// # Panics
+/// Debug-asserts every code fits in `tau` bits and `1 <= tau <= 32`.
+pub fn pack_codes(codes: impl ExactSizeIterator<Item = u32>, tau: u32, out: &mut Vec<u64>) {
+    debug_assert!((1..=32).contains(&tau));
+    let d = codes.len();
+    let start = out.len();
+    out.resize(start + words_per_point(d, tau), 0);
+    let words = &mut out[start..];
+    let mut bit: usize = 0;
+    for code in codes {
+        debug_assert!(tau == 32 || code < (1u32 << tau), "code {code} exceeds {tau} bits");
+        let w = bit / 64;
+        let shift = bit % 64;
+        words[w] |= (code as u64) << shift;
+        let spill = shift + tau as usize;
+        if spill > 64 {
+            words[w + 1] |= (code as u64) >> (64 - shift);
+        }
+        bit += tau as usize;
+    }
+}
+
+/// Extract the `i`-th τ-bit code from a packed word slice.
+#[inline]
+pub fn unpack_code(words: &[u64], tau: u32, i: usize) -> u32 {
+    let bit = i * tau as usize;
+    let w = bit / 64;
+    let shift = bit % 64;
+    let mask = if tau == 32 { u32::MAX as u64 } else { (1u64 << tau) - 1 };
+    let mut v = words[w] >> shift;
+    if shift + tau as usize > 64 {
+        v |= words[w + 1] << (64 - shift);
+    }
+    (v & mask) as u32
+}
+
+/// Iterator over the `d` codes of one packed point.
+pub struct CodeIter<'a> {
+    words: &'a [u64],
+    tau: u32,
+    d: usize,
+    i: usize,
+}
+
+impl<'a> CodeIter<'a> {
+    pub fn new(words: &'a [u64], tau: u32, d: usize) -> Self {
+        debug_assert!(words.len() >= words_per_point(d, tau));
+        Self { words, tau, d, i: 0 }
+    }
+}
+
+impl Iterator for CodeIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.i == self.d {
+            return None;
+        }
+        let c = unpack_code(self.words, self.tau, self.i);
+        self.i += 1;
+        Some(c)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.d - self.i;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for CodeIter<'_> {}
+
+/// A dense, indexable container of packed approximate points sharing one
+/// `(d, τ)` configuration — the storage behind the compact cache and the
+/// VA-file's approximation array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedCodes {
+    d: usize,
+    tau: u32,
+    wpp: usize,
+    words: Vec<u64>,
+}
+
+impl PackedCodes {
+    pub fn new(d: usize, tau: u32) -> Self {
+        assert!((1..=32).contains(&tau), "tau must be in [1, 32]");
+        assert!(d > 0);
+        Self { d, tau, wpp: words_per_point(d, tau), words: Vec::new() }
+    }
+
+    /// Pre-allocate room for `n` points.
+    pub fn with_capacity(d: usize, tau: u32, n: usize) -> Self {
+        let mut s = Self::new(d, tau);
+        s.words.reserve(n * s.wpp);
+        s
+    }
+
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    #[inline]
+    pub fn tau(&self) -> u32 {
+        self.tau
+    }
+
+    /// Packed words per point.
+    #[inline]
+    pub fn words_per_point(&self) -> usize {
+        self.wpp
+    }
+
+    /// Bytes one approximate point occupies (word-aligned, as cached).
+    #[inline]
+    pub fn bytes_per_point(&self) -> usize {
+        self.wpp * 8
+    }
+
+    /// Number of stored points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.len().checked_div(self.wpp).unwrap_or(0)
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Append one point's codes; returns its slot index.
+    pub fn push(&mut self, codes: impl ExactSizeIterator<Item = u32>) -> usize {
+        debug_assert_eq!(codes.len(), self.d);
+        let slot = self.len();
+        pack_codes(codes, self.tau, &mut self.words);
+        slot
+    }
+
+    /// The packed words of point `slot`.
+    #[inline]
+    pub fn point_words(&self, slot: usize) -> &[u64] {
+        &self.words[slot * self.wpp..(slot + 1) * self.wpp]
+    }
+
+    /// Decode point `slot` into its code sequence.
+    #[inline]
+    pub fn decode(&self, slot: usize) -> CodeIter<'_> {
+        CodeIter::new(self.point_words(slot), self.tau, self.d)
+    }
+
+    /// Total payload bytes of the container.
+    pub fn total_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(d: usize, tau: u32, codes: &[u32]) {
+        assert_eq!(codes.len(), d);
+        let mut pc = PackedCodes::new(d, tau);
+        let slot = pc.push(codes.iter().copied());
+        let back: Vec<u32> = pc.decode(slot).collect();
+        assert_eq!(back, codes, "d={d} tau={tau}");
+    }
+
+    #[test]
+    fn round_trips_across_word_boundaries() {
+        // τ=10, d=13 → 130 bits → codes straddle both word boundaries.
+        let codes: Vec<u32> = (0..13).map(|i| (i * 97 + 5) % 1024).collect();
+        round_trip(13, 10, &codes);
+    }
+
+    #[test]
+    fn round_trips_all_taus() {
+        for tau in 1..=32u32 {
+            let max = if tau == 32 { u32::MAX } else { (1u32 << tau) - 1 };
+            let codes: Vec<u32> = (0..7u64)
+                .map(|i| (i.wrapping_mul(2654435761) as u32) & max)
+                .collect();
+            round_trip(7, tau, &codes);
+        }
+    }
+
+    #[test]
+    fn paper_fig5_packing() {
+        // p1' = |00|10| : two 2-bit codes 0b00 and 0b10.
+        let mut pc = PackedCodes::new(2, 2);
+        pc.push([0b00u32, 0b10].into_iter());
+        assert_eq!(pc.decode(0).collect::<Vec<_>>(), vec![0, 2]);
+        // 4 bits packed into one word; the cache of Fig. 5c is 16 bits for 4 pts.
+        assert_eq!(pc.words_per_point(), 1);
+    }
+
+    #[test]
+    fn words_per_point_matches_footnote5() {
+        // Paper footnote 5: an approximate point occupies ⌈d·τ / L_word⌉ words.
+        assert_eq!(words_per_point(150, 10), 24); // 1500 bits → 24 words
+        assert_eq!(words_per_point(960, 10), 150);
+        assert_eq!(words_per_point(64, 1), 1);
+        assert_eq!(words_per_point(65, 1), 2);
+    }
+
+    #[test]
+    fn container_indexes_multiple_points() {
+        let mut pc = PackedCodes::with_capacity(5, 7, 3);
+        let pts: Vec<Vec<u32>> = (0..3)
+            .map(|p| (0..5).map(|j| ((p * 31 + j * 17) % 128) as u32).collect())
+            .collect();
+        for p in &pts {
+            pc.push(p.iter().copied());
+        }
+        assert_eq!(pc.len(), 3);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(&pc.decode(i).collect::<Vec<_>>(), p);
+        }
+    }
+
+    #[test]
+    fn unpack_individual_codes() {
+        let mut words = Vec::new();
+        pack_codes([3u32, 1, 2, 0, 3].into_iter(), 2, &mut words);
+        assert_eq!(unpack_code(&words, 2, 0), 3);
+        assert_eq!(unpack_code(&words, 2, 3), 0);
+        assert_eq!(unpack_code(&words, 2, 4), 3);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let pc = PackedCodes::new(150, 10);
+        assert_eq!(pc.bytes_per_point(), 192); // 24 words × 8
+    }
+}

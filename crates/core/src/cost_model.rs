@@ -1,0 +1,309 @@
+//! The paper's cost estimation model (§4): predict refinement I/O as a
+//! function of the cache size `CS` and the code length τ, and auto-tune the
+//! optimal τ.
+//!
+//! Model structure (Eqn. 1): `C_refine = (1 − ρ_hit · ρ_prune) · |C(q)|`.
+//!
+//! * `ρ_hit` — estimated from the workload's candidate access-frequency
+//!   distribution under the HFF policy (§4.1.2 / Theorem 1): the compact cache
+//!   holds `L_value/τ` times more items than the exact cache, so its hit
+//!   ratio is at most that factor higher.
+//! * `ρ_prune = 1 − ρ_refine`, where `ρ_refine` is bounded by the error-vector
+//!   norm of the k-th upper-bound candidate over the maximum candidate
+//!   distance (Theorem 2), with the closed form `√d · w / D_max` for
+//!   equi-width buckets of real width `w` (Theorem 3).
+//!
+//! The tuning loop (§4.2) simply evaluates the model for each τ and keeps the
+//! minimizer. All functions here are pure and O(τ_range) so tuning is
+//! effectively free compared to histogram construction.
+
+use crate::histogram::Histogram;
+use crate::quantize::Quantizer;
+
+/// Inputs shared by every cost estimate: the workload statistics gathered by
+/// the offline builder.
+#[derive(Debug, Clone)]
+pub struct WorkloadStats {
+    /// Candidate access frequencies, sorted descending (HFF order):
+    /// `freq(p) = |{q ∈ WL : p ∈ C(q)}|` for every point that appeared in at
+    /// least one candidate set. Points never requested may be omitted — they
+    /// contribute zero mass.
+    pub freq_desc: Vec<u64>,
+    /// Average candidate-set size `E[|C(q)|]` over the workload.
+    pub avg_candidates: f64,
+    /// Largest candidate distance `D_max` observed (or the LSH
+    /// `(R,c)`-guarantee value `c·R`, Theorem 3).
+    pub d_max: f64,
+    /// Dataset cardinality `|P|`.
+    pub n_points: usize,
+    /// Dimensionality `d`.
+    pub dim: usize,
+}
+
+impl WorkloadStats {
+    /// Total access mass `Σ_p freq(p)` (denominator of every hit ratio).
+    pub fn total_mass(&self) -> u64 {
+        self.freq_desc.iter().sum()
+    }
+}
+
+/// Bits per raw dimension value (`L_value`); we store `f32`, matching the
+/// paper's typical 32.
+pub const L_VALUE_BITS: u32 = 32;
+
+/// How many *exact* points fit in `cache_bytes`.
+pub fn exact_cache_items(cache_bytes: usize, dim: usize) -> usize {
+    let per = dim * (L_VALUE_BITS as usize / 8);
+    cache_bytes.checked_div(per).unwrap_or(0)
+}
+
+/// How many *compact* points of code length τ fit in `cache_bytes`
+/// (word-aligned packing, paper footnote 5).
+pub fn compact_cache_items(cache_bytes: usize, dim: usize, tau: u32) -> usize {
+    let per = crate::codes::words_per_point(dim, tau) * 8;
+    cache_bytes.checked_div(per).unwrap_or(0)
+}
+
+/// HFF hit ratio when the cache holds the `n_items` most frequent candidates:
+/// `ρ = Σ_{i<n_items} f_i / Σ_i f_i` (§4.1.2). Capped at 1 when the cache
+/// holds every requested point.
+pub fn hff_hit_ratio(stats: &WorkloadStats, n_items: usize) -> f64 {
+    let total = stats.total_mass();
+    if total == 0 {
+        return 0.0;
+    }
+    let covered: u64 = stats.freq_desc.iter().take(n_items).sum();
+    covered as f64 / total as f64
+}
+
+/// Theorem 1 upper bound: `ρ_hit ≤ (L_value / τ) · ρ*_hit`, saturating at 1
+/// once the compact cache holds the entire dataset.
+pub fn theorem1_hit_bound(rho_exact: f64, tau: u32, holds_all_points: bool) -> f64 {
+    if holds_all_points {
+        return 1.0;
+    }
+    ((L_VALUE_BITS as f64 / tau as f64) * rho_exact).min(1.0)
+}
+
+/// Theorem 3: `ρ_refine ≤ min(√d · w / D_max, 1)` for equi-width buckets of
+/// *real-valued* width `w`.
+pub fn rho_refine_equiwidth(dim: usize, bucket_width: f64, d_max: f64) -> f64 {
+    if d_max <= 0.0 {
+        return 1.0;
+    }
+    (((dim as f64).sqrt() * bucket_width) / d_max).min(1.0)
+}
+
+/// Theorem 2 instantiated for an arbitrary histogram: estimate the expected
+/// error-vector norm `||ε(b_k)||` by averaging squared *real* bucket widths
+/// under the workload weight `F'` and taking `√(d · E[w²])`, then
+/// `ρ_refine ≤ min(||ε|| / D_max, 1)`.
+pub fn rho_refine_histogram(
+    hist: &Histogram,
+    quantizer: &Quantizer,
+    f_prime: &[u64],
+    dim: usize,
+    d_max: f64,
+) -> f64 {
+    assert_eq!(f_prime.len(), quantizer.n_dom() as usize);
+    let mut mass = 0.0f64;
+    let mut w2 = 0.0f64;
+    for (l, u) in hist.buckets() {
+        let weight: u64 = f_prime[l as usize..=u as usize].iter().sum();
+        if weight == 0 {
+            continue;
+        }
+        let (lo, hi) = quantizer.levels_to_real(l, u);
+        let w = (hi - lo) as f64;
+        mass += weight as f64;
+        w2 += weight as f64 * w * w;
+    }
+    if mass == 0.0 || d_max <= 0.0 {
+        return 1.0;
+    }
+    let eps = (dim as f64 * (w2 / mass)).sqrt();
+    (eps / d_max).min(1.0)
+}
+
+/// Estimated refinement I/O per query (Eqn. 1):
+/// `(1 − ρ_hit · ρ_prune) · E[|C(q)|]`.
+pub fn estimate_refine_io(rho_hit: f64, rho_refine: f64, avg_candidates: f64) -> f64 {
+    let rho_prune = 1.0 - rho_refine;
+    (1.0 - rho_hit * rho_prune) * avg_candidates
+}
+
+/// One row of a τ sweep: the model's intermediate quantities at a given code
+/// length, handy for the Fig. 12 / Fig. 15 experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TauEstimate {
+    pub tau: u32,
+    pub rho_hit: f64,
+    pub rho_refine: f64,
+    pub refine_io: f64,
+}
+
+/// Model estimate for the **equi-width** scheme at code length τ (closed
+/// form, §4.2.1): bucket width `w = range / 2^τ`, floored at the quantizer's
+/// level resolution (finer buckets than levels are impossible).
+pub fn estimate_equiwidth(
+    stats: &WorkloadStats,
+    cache_bytes: usize,
+    quantizer: &Quantizer,
+    tau: u32,
+) -> TauEstimate {
+    let items = compact_cache_items(cache_bytes, stats.dim, tau);
+    let rho_hit = if items >= stats.n_points {
+        1.0
+    } else {
+        hff_hit_ratio(stats, items)
+    };
+    let range = (quantizer.max() - quantizer.min()) as f64;
+    let buckets = 2f64.powi(tau as i32).min(quantizer.n_dom() as f64);
+    let w = range / buckets;
+    let rho_refine = rho_refine_equiwidth(stats.dim, w, stats.d_max);
+    TauEstimate {
+        tau,
+        rho_hit,
+        rho_refine,
+        refine_io: estimate_refine_io(rho_hit, rho_refine, stats.avg_candidates),
+    }
+}
+
+/// §4.2: sweep τ over `tau_range` with the equi-width closed form and return
+/// the estimate minimizing refinement I/O.
+pub fn optimal_tau_equiwidth(
+    stats: &WorkloadStats,
+    cache_bytes: usize,
+    quantizer: &Quantizer,
+    tau_range: std::ops::RangeInclusive<u32>,
+) -> TauEstimate {
+    tau_range
+        .map(|tau| estimate_equiwidth(stats, cache_bytes, quantizer, tau))
+        .min_by(|a, b| a.refine_io.partial_cmp(&b.refine_io).expect("non-NaN"))
+        .expect("non-empty tau range")
+}
+
+/// Generic tuner (§4.2 opening): evaluate a caller-supplied model at each τ
+/// and keep the minimizer. Used for non-equi-width histograms, where the
+/// caller rebuilds the histogram per τ and estimates `ρ_refine` via
+/// [`rho_refine_histogram`].
+pub fn optimal_tau_by<F>(tau_range: std::ops::RangeInclusive<u32>, estimate: F) -> TauEstimate
+where
+    F: FnMut(u32) -> TauEstimate,
+{
+    tau_range
+        .map(estimate)
+        .min_by(|a, b| a.refine_io.partial_cmp(&b.refine_io).expect("non-NaN"))
+        .expect("non-empty tau range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::classic::equi_width;
+
+    fn stats() -> WorkloadStats {
+        // Zipf-ish frequency tail over 1000 requested points.
+        let freq_desc: Vec<u64> = (1..=1000u64).map(|i| 10_000 / i).collect();
+        WorkloadStats {
+            freq_desc,
+            avg_candidates: 200.0,
+            d_max: 10.0,
+            n_points: 5000,
+            dim: 50,
+        }
+    }
+
+    #[test]
+    fn cache_item_counts() {
+        assert_eq!(exact_cache_items(600 * 10, 150), 10);
+        // τ=10, d=150 → 192 bytes/point.
+        assert_eq!(compact_cache_items(192 * 7, 150, 10), 7);
+        // Compact cache holds more items than exact at the same budget.
+        assert!(compact_cache_items(1 << 20, 150, 10) > exact_cache_items(1 << 20, 150));
+    }
+
+    #[test]
+    fn hff_hit_ratio_monotone_in_items() {
+        let s = stats();
+        let mut last = 0.0;
+        for items in [0usize, 1, 10, 100, 1000, 2000] {
+            let r = hff_hit_ratio(&s, items);
+            assert!(r >= last);
+            assert!((0.0..=1.0).contains(&r));
+            last = r;
+        }
+        assert_eq!(hff_hit_ratio(&s, 1000), 1.0);
+    }
+
+    #[test]
+    fn theorem1_bound_shape() {
+        assert_eq!(theorem1_hit_bound(0.5, 32, false), 0.5);
+        assert_eq!(theorem1_hit_bound(0.1, 8, false), 0.4);
+        assert_eq!(theorem1_hit_bound(0.9, 8, false), 1.0); // capped
+        assert_eq!(theorem1_hit_bound(0.01, 16, true), 1.0);
+    }
+
+    #[test]
+    fn rho_refine_shrinks_with_buckets() {
+        let r1 = rho_refine_equiwidth(100, 1.0, 50.0);
+        let r2 = rho_refine_equiwidth(100, 0.25, 50.0);
+        assert!(r2 < r1);
+        assert_eq!(rho_refine_equiwidth(100, 1000.0, 1.0), 1.0); // capped
+    }
+
+    #[test]
+    fn refine_io_decreases_with_pruning() {
+        let base = estimate_refine_io(0.8, 1.0, 100.0); // no pruning power
+        let good = estimate_refine_io(0.8, 0.1, 100.0);
+        assert!((base - 100.0).abs() < 1e-9);
+        assert!(good < base);
+        assert!((good - (1.0 - 0.8 * 0.9) * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tau_sweep_is_u_shaped_and_tuner_finds_minimum() {
+        let s = stats();
+        let quant = Quantizer::new(0.0, 100.0, 1024);
+        let cache_bytes = 64 * 1024; // small enough that hit ratio matters
+        let sweep: Vec<TauEstimate> = (1..=20)
+            .map(|t| estimate_equiwidth(&s, cache_bytes, &quant, t))
+            .collect();
+        let best = optimal_tau_equiwidth(&s, cache_bytes, &quant, 1..=20);
+        assert!(sweep.iter().all(|e| e.refine_io >= best.refine_io));
+        // Extremes are worse than the interior optimum: τ=1 gives useless
+        // bounds, τ=20 gives a tiny cache.
+        assert!(sweep[0].refine_io > best.refine_io);
+        assert!(sweep.last().expect("non-empty").refine_io > best.refine_io);
+        assert!(best.tau > 1 && best.tau < 20);
+    }
+
+    #[test]
+    fn histogram_rho_refine_uses_weighted_widths() {
+        let quant = Quantizer::new(0.0, 64.0, 64);
+        let mut f_prime = vec![0u64; 64];
+        f_prime[10] = 100; // all workload mass on level 10
+        // Histogram with a singleton bucket at level 10 → ε ≈ level width only.
+        let tight = Histogram::from_starts(vec![0, 10, 11], 64);
+        let loose = equi_width(64, 2);
+        let r_tight = rho_refine_histogram(&tight, &quant, &f_prime, 4, 100.0);
+        let r_loose = rho_refine_histogram(&loose, &quant, &f_prime, 4, 100.0);
+        assert!(r_tight < r_loose, "{r_tight} vs {r_loose}");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        let s = WorkloadStats {
+            freq_desc: vec![],
+            avg_candidates: 0.0,
+            d_max: 0.0,
+            n_points: 0,
+            dim: 10,
+        };
+        assert_eq!(hff_hit_ratio(&s, 100), 0.0);
+        assert_eq!(rho_refine_equiwidth(10, 1.0, 0.0), 1.0);
+        let quant = Quantizer::new(0.0, 1.0, 16);
+        let e = estimate_equiwidth(&s, 1024, &quant, 4);
+        assert_eq!(e.refine_io, 0.0);
+    }
+}

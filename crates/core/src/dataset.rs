@@ -1,0 +1,284 @@
+//! Point and dataset representations.
+//!
+//! The paper (Definition 1) models each object as a `d`-dimensional point of
+//! real values. We store a dataset as a single flat, row-major `f32` buffer so
+//! that a point is a contiguous `&[f32]` slice — the same layout the sequential
+//! dataset file on disk uses (`hc-storage::PointFile`), which keeps the
+//! in-memory and on-disk geometry identical (important for page-level I/O
+//! accounting).
+
+use std::fmt;
+
+/// Identifier of a point within a dataset (the paper's "object identifier").
+///
+/// LSH indexes and candidate sets carry `PointId`s rather than actual points;
+/// resolving an id to its raw vector is exactly the operation that costs disk
+/// I/O in the paper's model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PointId(pub u32);
+
+impl PointId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for PointId {
+    fn from(v: u32) -> Self {
+        PointId(v)
+    }
+}
+
+impl From<usize> for PointId {
+    fn from(v: usize) -> Self {
+        PointId(u32::try_from(v).expect("point id exceeds u32 range"))
+    }
+}
+
+/// A dense, row-major collection of `d`-dimensional `f32` points.
+///
+/// This is the in-memory form of the paper's point set `P`. It is used both as
+/// the source of truth when building indexes/histograms offline, and as the
+/// backing store of the simulated disk file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    dim: usize,
+    values: Vec<f32>,
+}
+
+impl Dataset {
+    /// Create a dataset from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `values.len()` is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, values: Vec<f32>) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(
+            values.len().is_multiple_of(dim),
+            "flat buffer length {} is not a multiple of dim {dim}",
+            values.len()
+        );
+        Self { dim, values }
+    }
+
+    /// Create a dataset from a list of equally-sized rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "dataset must contain at least one point");
+        let dim = rows[0].len();
+        let mut values = Vec::with_capacity(rows.len() * dim);
+        for (i, row) in rows.iter().enumerate() {
+            assert!(row.len() == dim, "row {i} has length {} != {dim}", row.len());
+            values.extend_from_slice(row);
+        }
+        Self::from_flat(dim, values)
+    }
+
+    /// An empty dataset with the given dimensionality (useful as a builder).
+    pub fn with_dim(dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self { dim, values: Vec::new() }
+    }
+
+    /// Append one point.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != self.dim()`.
+    pub fn push(&mut self, point: &[f32]) {
+        assert_eq!(point.len(), self.dim, "point dimensionality mismatch");
+        self.values.extend_from_slice(point);
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len() / self.dim
+    }
+
+    /// Whether the dataset holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Dimensionality `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow the point with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn point(&self, id: PointId) -> &[f32] {
+        let i = id.index();
+        &self.values[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The flat row-major value buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterate over `(id, point)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, &[f32])> + '_ {
+        self.values
+            .chunks_exact(self.dim)
+            .enumerate()
+            .map(|(i, p)| (PointId::from(i), p))
+    }
+
+    /// Global minimum and maximum over *all* values of *all* dimensions.
+    ///
+    /// The paper's global histogram treats every dimension value as drawn from
+    /// a single shared domain `[0..N_dom]` (Definition 6), normalizing first if
+    /// dimensions differ in scale. This method supplies that shared range.
+    ///
+    /// Returns `(0.0, 1.0)` for an empty dataset, and widens a degenerate
+    /// range (`min == max`) by one ulp-ish epsilon so downstream quantizers
+    /// never divide by zero.
+    pub fn value_range(&self) -> (f32, f32) {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &v in &self.values {
+            debug_assert!(v.is_finite(), "dataset contains non-finite value {v}");
+            if v < min {
+                min = v;
+            }
+            if v > max {
+                max = v;
+            }
+        }
+        if !min.is_finite() || !max.is_finite() {
+            return (0.0, 1.0);
+        }
+        if min == max {
+            max = min + f32::max(min.abs() * 1e-6, 1e-6);
+        }
+        (min, max)
+    }
+
+    /// Per-dimension `(min, max)` ranges (used by individual-dimension
+    /// histograms, paper §3.6.2, and by R-tree bulk loading).
+    pub fn per_dim_ranges(&self) -> Vec<(f32, f32)> {
+        let mut ranges = vec![(f32::INFINITY, f32::NEG_INFINITY); self.dim];
+        for row in self.values.chunks_exact(self.dim) {
+            for (j, &v) in row.iter().enumerate() {
+                let r = &mut ranges[j];
+                if v < r.0 {
+                    r.0 = v;
+                }
+                if v > r.1 {
+                    r.1 = v;
+                }
+            }
+        }
+        for r in &mut ranges {
+            if !r.0.is_finite() || !r.1.is_finite() {
+                *r = (0.0, 1.0);
+            } else if r.0 == r.1 {
+                r.1 = r.0 + f32::max(r.0.abs() * 1e-6, 1e-6);
+            }
+        }
+        ranges
+    }
+
+    /// Bytes one raw point occupies on disk / in an exact cache
+    /// (`d · 4` for `f32` values; the paper's `L_value = 32` bits).
+    #[inline]
+    pub fn point_bytes(&self) -> usize {
+        self.dim * std::mem::size_of::<f32>()
+    }
+
+    /// Total size of the raw dataset file in bytes.
+    #[inline]
+    pub fn file_bytes(&self) -> usize {
+        self.len() * self.point_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_round_trips_points() {
+        let ds = Dataset::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.point(PointId(0)), &[1.0, 2.0]);
+        assert_eq!(ds.point(PointId(2)), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let ds = Dataset::from_rows(&[vec![1.0], vec![2.0]]);
+        let ids: Vec<u32> = ds.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn value_range_spans_all_dims() {
+        let ds = Dataset::from_rows(&[vec![-3.0, 10.0], vec![2.0, 7.5]]);
+        assert_eq!(ds.value_range(), (-3.0, 10.0));
+    }
+
+    #[test]
+    fn value_range_widens_degenerate_range() {
+        let ds = Dataset::from_rows(&[vec![5.0, 5.0]]);
+        let (lo, hi) = ds.value_range();
+        assert_eq!(lo, 5.0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn per_dim_ranges_are_independent() {
+        let ds = Dataset::from_rows(&[vec![0.0, 100.0], vec![1.0, 50.0]]);
+        let r = ds.per_dim_ranges();
+        assert_eq!(r[0], (0.0, 1.0));
+        assert_eq!(r[1], (50.0, 100.0));
+    }
+
+    #[test]
+    fn push_extends_dataset() {
+        let mut ds = Dataset::with_dim(3);
+        assert!(ds.is_empty());
+        ds.push(&[1.0, 2.0, 3.0]);
+        ds.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.point(PointId(1)), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn byte_accounting_matches_f32_layout() {
+        let ds = Dataset::from_rows(&vec![vec![0.0; 150]; 4]);
+        assert_eq!(ds.point_bytes(), 600); // 150-d point = 600 bytes, as in the paper's Table 2
+        assert_eq!(ds.file_bytes(), 2400);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_rejects_ragged_buffer() {
+        let _ = Dataset::from_flat(3, vec![1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn push_rejects_wrong_dim() {
+        let mut ds = Dataset::with_dim(2);
+        ds.push(&[1.0]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Euclidean distance (the paper's Definition 2) and helpers.
+//!
+//! All pruning logic in the library operates on *squared* distances where
+//! possible to avoid `sqrt` in hot loops; the public query results report true
+//! Euclidean distances.
+
+/// Squared Euclidean distance `||q - c||²`.
+///
+/// # Panics
+/// Debug-asserts equal dimensionality.
+#[inline]
+pub fn sq_euclidean(q: &[f32], c: &[f32]) -> f64 {
+    debug_assert_eq!(q.len(), c.len(), "dimensionality mismatch");
+    // f64 accumulation: at d = 960 (SOGOU) f32 accumulation loses enough
+    // precision to flip prune decisions near the ub_k threshold.
+    let mut acc = 0.0f64;
+    for (&a, &b) in q.iter().zip(c.iter()) {
+        let diff = (a - b) as f64;
+        acc += diff * diff;
+    }
+    acc
+}
+
+/// Euclidean distance `||q - c||` (paper Definition 2).
+#[inline]
+pub fn euclidean(q: &[f32], c: &[f32]) -> f64 {
+    sq_euclidean(q, c).sqrt()
+}
+
+/// A `(distance, payload)` pair ordered by distance. Useful for k-th smallest
+/// selections where `f64` distances must be totally ordered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistEntry<T> {
+    pub dist: f64,
+    pub item: T,
+}
+
+impl<T> DistEntry<T> {
+    pub fn new(dist: f64, item: T) -> Self {
+        debug_assert!(!dist.is_nan(), "NaN distance");
+        Self { dist, item }
+    }
+}
+
+impl<T: PartialEq> Eq for DistEntry<T> {}
+
+impl<T: PartialEq> PartialOrd for DistEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: PartialEq> Ord for DistEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .expect("distances must not be NaN")
+    }
+}
+
+/// Return the k-th smallest value (1-indexed: `k = 1` is the minimum) of a
+/// slice of non-NaN `f64`s, or `f64::INFINITY` when fewer than `k` values
+/// exist. This mirrors Algorithm 1 lines 7–8, where `lb_k`/`ub_k` are the k-th
+/// minima over the candidate set.
+pub fn kth_smallest(values: &[f64], k: usize) -> f64 {
+    assert!(k >= 1, "k must be at least 1");
+    if values.len() < k {
+        return f64::INFINITY;
+    }
+    // Selection via a bounded max-heap of size k: O(n log k), no allocation of
+    // a full sorted copy. Candidate sets are small (hundreds), so this is
+    // plenty fast and avoids perturbing the caller's ordering.
+    let mut heap = std::collections::BinaryHeap::with_capacity(k);
+    for &v in values {
+        debug_assert!(!v.is_nan());
+        if heap.len() < k {
+            heap.push(DistEntry::new(v, ()));
+        } else if v < heap.peek().expect("non-empty").dist {
+            heap.pop();
+            heap.push(DistEntry::new(v, ()));
+        }
+    }
+    heap.peek().expect("len >= k").dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        // Paper §3.2 example: q=(9,11), p2 bucket ([8..15],[16..23]) has
+        // dist+ = sqrt(6² + 12²) = 13.42; here we check the plain distance.
+        let q = [9.0, 11.0];
+        let p = [10.0, 16.0];
+        let d = euclidean(&q, &p);
+        assert!((d - (1.0f64 + 25.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sq_euclidean_zero_for_identical_points() {
+        let p = [1.5, -2.5, 3.25];
+        assert_eq!(sq_euclidean(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn sq_euclidean_is_symmetric() {
+        let a = [0.5, 1.0, -4.0];
+        let b = [2.0, -1.0, 0.0];
+        assert_eq!(sq_euclidean(&a, &b), sq_euclidean(&b, &a));
+    }
+
+    #[test]
+    fn kth_smallest_basic() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(kth_smallest(&v, 1), 1.0);
+        assert_eq!(kth_smallest(&v, 3), 3.0);
+        assert_eq!(kth_smallest(&v, 5), 5.0);
+    }
+
+    #[test]
+    fn kth_smallest_with_too_few_values_is_infinite() {
+        assert_eq!(kth_smallest(&[1.0, 2.0], 3), f64::INFINITY);
+        assert_eq!(kth_smallest(&[], 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn kth_smallest_handles_duplicates() {
+        let v = [2.0, 2.0, 2.0, 1.0];
+        assert_eq!(kth_smallest(&v, 2), 2.0);
+        assert_eq!(kth_smallest(&v, 4), 2.0);
+    }
+
+    #[test]
+    fn dist_entry_orders_by_distance() {
+        let mut v = [DistEntry::new(2.0, 'b'), DistEntry::new(1.0, 'a')];
+        v.sort();
+        assert_eq!(v[0].item, 'a');
+    }
+}

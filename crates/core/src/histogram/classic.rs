@@ -1,0 +1,135 @@
+//! Heuristic histograms from the selectivity-estimation literature
+//! (paper §3.3.1): equi-width (HC-W) and equi-depth (HC-D).
+
+use super::Histogram;
+use crate::quantize::Level;
+
+/// Equi-width histogram: `b` buckets of (near-)equal level width.
+///
+/// When `b` does not divide `n_dom` the remainder is spread across the first
+/// buckets, so widths differ by at most one level. When `b >= n_dom`, every
+/// level becomes its own bucket.
+pub fn equi_width(n_dom: u32, b: u32) -> Histogram {
+    assert!(b >= 1, "need at least one bucket");
+    let b = b.min(n_dom);
+    let base = n_dom / b;
+    let extra = n_dom % b;
+    let mut starts = Vec::with_capacity(b as usize);
+    let mut pos: Level = 0;
+    for i in 0..b {
+        starts.push(pos);
+        pos += base + u32::from(i < extra);
+    }
+    debug_assert_eq!(pos, n_dom);
+    Histogram::from_starts(starts, n_dom)
+}
+
+/// Equi-depth histogram: `b` buckets with approximately equal total frequency
+/// (`Σ F[x]` per bucket). This is also the encoding scheme of the VA-file
+/// (paper §5.1, footnote on \[32\]).
+///
+/// A greedy sweep closes the current bucket once its accumulated frequency
+/// reaches the remaining-average target; trailing all-zero regions merge into
+/// the final bucket. The result always has *at most* `b` buckets and exactly
+/// covers the domain.
+pub fn equi_depth(freq: &[u64], b: u32) -> Histogram {
+    assert!(b >= 1, "need at least one bucket");
+    let n_dom = freq.len() as u32;
+    assert!(n_dom >= 1, "empty frequency array");
+    let b = b.min(n_dom);
+    let total: u64 = freq.iter().sum();
+    if total == 0 {
+        // Degenerate workload: fall back to equi-width so the domain is still
+        // covered with b buckets.
+        return equi_width(n_dom, b);
+    }
+
+    let mut starts: Vec<Level> = vec![0];
+    let mut acc: u64 = 0;
+    let mut consumed: u64 = 0;
+    for (x, &f) in freq.iter().enumerate() {
+        let remaining_buckets = (b as usize - starts.len() + 1) as u64;
+        // Target depth recomputed from what's left so late buckets absorb
+        // rounding drift instead of overflowing past `b` buckets.
+        let target = (total - consumed).div_ceil(remaining_buckets);
+        acc += f;
+        if acc >= target && (starts.len() as u32) < b && x + 1 < n_dom as usize {
+            starts.push((x + 1) as Level);
+            consumed += acc;
+            acc = 0;
+        }
+    }
+    Histogram::from_starts(starts, n_dom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equi_width_divides_domain_evenly() {
+        let h = equi_width(32, 4);
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets, vec![(0, 7), (8, 15), (16, 23), (24, 31)]);
+    }
+
+    #[test]
+    fn equi_width_spreads_remainder() {
+        let h = equi_width(10, 3);
+        let widths: Vec<u32> = (0..3).map(|i| h.bucket_width(i) + 1).collect();
+        assert_eq!(widths.iter().sum::<u32>(), 10);
+        assert!(widths.iter().all(|&w| w == 3 || w == 4));
+    }
+
+    #[test]
+    fn equi_width_saturates_at_singletons() {
+        let h = equi_width(8, 100);
+        assert_eq!(h.num_buckets(), 8);
+        assert!(h.buckets().all(|(l, u)| l == u));
+    }
+
+    #[test]
+    fn equi_depth_balances_frequencies() {
+        // Paper Fig. 6 dataset: values {3,4,10,12,22,24,30,31}, each freq 1.
+        let mut freq = vec![0u64; 32];
+        for v in [3usize, 4, 10, 12, 22, 24, 30, 31] {
+            freq[v] = 1;
+        }
+        let h = equi_depth(&freq, 4);
+        assert_eq!(h.num_buckets(), 4);
+        // Each bucket holds exactly two of the eight values.
+        for (l, u) in h.buckets() {
+            let depth: u64 = freq[l as usize..=u as usize].iter().sum();
+            assert_eq!(depth, 2, "bucket [{l},{u}]");
+        }
+    }
+
+    #[test]
+    fn equi_depth_handles_skew() {
+        let mut freq = vec![1u64; 16];
+        freq[0] = 1000; // one heavy level
+        let h = equi_depth(&freq, 4);
+        assert_eq!(h.num_buckets(), 4);
+        // The heavy level sits alone in the first bucket.
+        assert_eq!(h.bucket_levels(0), (0, 0));
+    }
+
+    #[test]
+    fn equi_depth_zero_frequency_falls_back_to_equi_width() {
+        let h = equi_depth(&[0u64; 12], 3);
+        assert_eq!(h.num_buckets(), 3);
+        let widths: Vec<u32> = (0..3).map(|i| h.bucket_width(i)).collect();
+        assert_eq!(widths, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn equi_depth_never_exceeds_bucket_budget() {
+        let freq: Vec<u64> = (0..100).map(|i| (i * 7919) % 13).collect();
+        for b in 1..=20 {
+            let h = equi_depth(&freq, b);
+            assert!(h.num_buckets() as u32 <= b, "b={b} got {}", h.num_buckets());
+            // Domain fully covered by construction (from_starts sentinel).
+            assert_eq!(h.bucket_levels(h.num_buckets() as u32 - 1).1, 99);
+        }
+    }
+}

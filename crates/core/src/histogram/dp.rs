@@ -1,0 +1,224 @@
+//! Generic optimal-partition dynamic program shared by the V-optimal (HC-V)
+//! and kNN-optimal (HC-O, Algorithm 2) histogram builders.
+//!
+//! Both problems are instances of: partition the level domain `[0 .. N_dom)`
+//! into at most `B` contiguous buckets minimizing the sum of a per-bucket
+//! interval cost, where the cost is *monotone*: widening a bucket on the left
+//! never decreases its cost (paper Lemma 3 for the Υ cost; the classic
+//! variance argument for SSE). Monotonicity enables the early-termination rule
+//! of Algorithm 2 lines 14–15: scanning split positions right-to-left, once
+//! the last bucket alone costs at least the best solution found, no further
+//! split can win.
+
+use super::Histogram;
+use crate::quantize::Level;
+
+/// Cost of a single bucket covering the inclusive level interval `[l ..= u]`.
+///
+/// Implementations must be monotone in interval expansion
+/// (`cost(l₁, u) >= cost(l₂, u)` whenever `l₁ <= l₂`) for pruned runs to stay
+/// exact, and should be O(1) (typically via prefix sums) — the DP calls it up
+/// to `O(N_dom² · B)` times.
+pub trait IntervalCost {
+    fn cost(&self, l: Level, u: Level) -> f64;
+}
+
+impl<F: Fn(Level, Level) -> f64> IntervalCost for F {
+    fn cost(&self, l: Level, u: Level) -> f64 {
+        self(l, u)
+    }
+}
+
+/// Exact minimizer of `Σ_buckets cost(l_i, u_i)` over partitions of
+/// `[0 .. n_dom)` into at most `b` buckets.
+///
+/// `prune` toggles the Lemma 3 early-termination rule; the result is
+/// identical either way (verified by tests), pruning only affects running
+/// time. This switch exists so the ablation bench can quantify the speedup.
+pub fn optimal_partition(
+    n_dom: u32,
+    b: u32,
+    cost: &impl IntervalCost,
+    prune: bool,
+) -> Histogram {
+    assert!(n_dom >= 1, "empty domain");
+    assert!(b >= 1, "need at least one bucket");
+    if b >= n_dom {
+        // Every level its own bucket: each bucket has zero width, which is
+        // optimal for any monotone cost with cost(l, l) minimal.
+        return Histogram::from_starts((0..n_dom).collect(), n_dom);
+    }
+    let n = n_dom as usize;
+    let b = b as usize;
+
+    // prev[x] = OPT(x, m-1): min cost covering levels [0 .. x) with at most
+    // m-1 buckets. Rolling rows keep memory at O(N_dom); `split[m][x]` stores
+    // the chosen split for reconstruction (u32::MAX = "reuse the m-1 row").
+    let mut prev: Vec<f64> = vec![0.0; n + 1];
+    for (x, slot) in prev.iter_mut().enumerate().skip(1) {
+        *slot = cost.cost(0, (x - 1) as Level);
+    }
+    let mut split: Vec<u32> = vec![u32::MAX; (b + 1) * (n + 1)];
+
+    let mut cur: Vec<f64> = vec![0.0; n + 1];
+    for m in 2..=b {
+        let row = m * (n + 1);
+        for x in 1..=n {
+            // Using fewer than m buckets is always allowed ("at most m").
+            let mut best = prev[x];
+            let mut best_t = u32::MAX;
+            // Last bucket covers [t .. x-1]; scan t right-to-left so the
+            // last-bucket cost grows monotonically and pruning is sound.
+            for t in (1..x).rev() {
+                let tail = cost.cost(t as Level, (x - 1) as Level);
+                if prune && tail >= best {
+                    break; // Lemma 3: tail only grows as t decreases.
+                }
+                let total = prev[t] + tail;
+                if total < best {
+                    best = total;
+                    best_t = t as u32;
+                }
+            }
+            cur[x] = best;
+            split[row + x] = best_t;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+
+    // Reconstruct split positions from (b, n) back to the left edge.
+    let mut starts: Vec<Level> = Vec::new();
+    let mut x = n;
+    let mut m = b;
+    while x > 0 {
+        let t = if m >= 2 { split[m * (n + 1) + x] } else { u32::MAX };
+        if t == u32::MAX {
+            if m >= 2 {
+                // This prefix is optimal with fewer buckets; drop a level.
+                m -= 1;
+                continue;
+            }
+            // m == 1: single bucket covers [0 .. x).
+            starts.push(0);
+            break;
+        }
+        starts.push(t);
+        x = t as usize;
+        m -= 1;
+    }
+    if starts.last() != Some(&0) {
+        starts.push(0);
+    }
+    starts.reverse();
+    starts.dedup();
+    Histogram::from_starts(starts, n_dom)
+}
+
+/// Total partition cost of a histogram under a cost function (for tests and
+/// the metric-evaluation API).
+pub fn partition_cost(h: &Histogram, cost: &impl IntervalCost) -> f64 {
+    h.buckets().map(|(l, u)| cost.cost(l, u)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive minimum over all partitions of [0..n) into at most b
+    /// non-empty contiguous buckets.
+    fn brute_force(n: u32, b: u32, cost: &impl IntervalCost) -> f64 {
+        fn rec(start: u32, n: u32, b: u32, cost: &impl IntervalCost) -> f64 {
+            if start == n {
+                return 0.0;
+            }
+            if b == 1 {
+                return cost.cost(start, n - 1);
+            }
+            let mut best = f64::INFINITY;
+            for end in start..n {
+                let c = cost.cost(start, end) + rec(end + 1, n, b - 1, cost);
+                if c < best {
+                    best = c;
+                }
+            }
+            best
+        }
+        rec(0, n, b, cost)
+    }
+
+    /// Υ-style cost from a weight array: W([l,u]) · (u−l)².
+    fn upsilon_cost(weights: Vec<f64>) -> impl IntervalCost {
+        move |l: Level, u: Level| {
+            let w: f64 = weights[l as usize..=u as usize].iter().sum();
+            let width = (u - l) as f64;
+            w * width * width
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_domains() {
+        let weights = vec![3.0, 0.0, 0.0, 5.0, 1.0, 0.0, 2.0, 2.0, 0.0, 4.0];
+        let cost = upsilon_cost(weights);
+        for b in 1..=6u32 {
+            let h = optimal_partition(10, b, &cost, true);
+            let got = partition_cost(&h, &cost);
+            let want = brute_force(10, b, &cost);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "b={b}: dp={got} brute={want} ({h:?})"
+            );
+            assert!(h.num_buckets() as u32 <= b);
+        }
+    }
+
+    #[test]
+    fn pruning_does_not_change_the_result_cost() {
+        let weights: Vec<f64> = (0..40).map(|i| ((i * 37) % 11) as f64).collect();
+        let cost = upsilon_cost(weights);
+        for b in [2u32, 4, 8, 16] {
+            let pruned = optimal_partition(40, b, &cost, true);
+            let full = optimal_partition(40, b, &cost, false);
+            let a = partition_cost(&pruned, &cost);
+            let bb = partition_cost(&full, &cost);
+            assert!((a - bb).abs() < 1e-9, "b={b}: {a} vs {bb}");
+        }
+    }
+
+    #[test]
+    fn concentrated_weight_gets_tight_buckets() {
+        // All weight on levels 4 and 5. With 3 buckets the best the optimum
+        // can do is a width-1 bucket [4..5] (cost 20·1² = 20); with 4 buckets
+        // both hot levels become free singletons.
+        let mut weights = vec![0.0; 12];
+        weights[4] = 10.0;
+        weights[5] = 10.0;
+        let cost = upsilon_cost(weights);
+        let h3 = optimal_partition(12, 3, &cost, true);
+        assert_eq!(partition_cost(&h3, &cost), 20.0);
+        let h4 = optimal_partition(12, 4, &cost, true);
+        assert_eq!(partition_cost(&h4, &cost), 0.0);
+    }
+
+    #[test]
+    fn b_geq_domain_yields_singletons() {
+        let cost = upsilon_cost(vec![1.0; 6]);
+        let h = optimal_partition(6, 99, &cost, true);
+        assert_eq!(h.num_buckets(), 6);
+        assert!(h.buckets().all(|(l, u)| l == u));
+    }
+
+    #[test]
+    fn single_bucket_when_b_is_one() {
+        let cost = upsilon_cost(vec![1.0; 9]);
+        let h = optimal_partition(9, 1, &cost, true);
+        assert_eq!(h.num_buckets(), 1);
+        assert_eq!(h.bucket_levels(0), (0, 8));
+    }
+
+    #[test]
+    fn zero_weight_domain_is_free() {
+        let cost = upsilon_cost(vec![0.0; 20]);
+        let h = optimal_partition(20, 4, &cost, true);
+        assert_eq!(partition_cost(&h, &cost), 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The paper's optimal kNN histogram (HC-O): Algorithm 2.
+//!
+//! Minimizes the M3 metric
+//! `M2_kNN(H) = Σ_i Σ_{x ∈ [l_i,u_i]} F'[x] · (u_i − l_i)²` (paper Eqn. M3),
+//! where `F'[x]` counts how often level `x` appears among the coordinates of
+//! the per-query k-th-upper-bound contributors `QR` collected from the query
+//! workload (Eqns. 2–3). The inner sum per bucket is
+//! `Υ([l,u]) = W([l,u]) · (u−l)²` with `W` a prefix-summed weight — O(1) per
+//! evaluation — and the dynamic program of [`super::dp`] solves the partition
+//! exactly, using the Lemma 3 monotonicity of Υ for early termination.
+
+use super::dp::{optimal_partition, partition_cost, IntervalCost};
+use super::Histogram;
+use crate::quantize::Level;
+
+/// O(1) evaluation of `Υ([l,u]) = (Σ_{x∈[l,u]} F'[x]) · (u−l)²` via prefix
+/// sums (paper Eqn. 4).
+pub struct UpsilonCost {
+    prefix: Vec<f64>,
+}
+
+impl UpsilonCost {
+    pub fn new(f_prime: &[u64]) -> Self {
+        let mut prefix = Vec::with_capacity(f_prime.len() + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0f64;
+        for &f in f_prime {
+            acc += f as f64;
+            prefix.push(acc);
+        }
+        Self { prefix }
+    }
+
+    /// Total workload weight `Σ_x F'[x]`.
+    pub fn total_weight(&self) -> f64 {
+        *self.prefix.last().expect("non-empty prefix")
+    }
+}
+
+impl IntervalCost for UpsilonCost {
+    #[inline]
+    fn cost(&self, l: Level, u: Level) -> f64 {
+        let w = self.prefix[u as usize + 1] - self.prefix[l as usize];
+        let width = (u - l) as f64;
+        w * width * width
+    }
+}
+
+/// Build the kNN-optimal histogram (Algorithm 2) with at most `b = 2^τ`
+/// buckets from the workload-derived frequency array `F'`.
+///
+/// `F'` is produced offline by replaying the query workload and counting the
+/// coordinates of each query's k nearest cached candidates — see
+/// `hc-query::builder::collect_f_prime`.
+pub fn knn_optimal(f_prime: &[u64], b: u32) -> Histogram {
+    knn_optimal_with_pruning(f_prime, b, true)
+}
+
+/// As [`knn_optimal`], with the Lemma 3 early-termination rule toggleable for
+/// the ablation benchmark. Results are identical; only build time differs.
+pub fn knn_optimal_with_pruning(f_prime: &[u64], b: u32, prune: bool) -> Histogram {
+    let cost = UpsilonCost::new(f_prime);
+    optimal_partition(f_prime.len() as u32, b, &cost, prune)
+}
+
+/// The M3 metric value `M2^WL_kNN(H)` of an arbitrary histogram against `F'`
+/// (used to compare HC-W / HC-D / HC-V / HC-O under the paper's objective).
+pub fn m3_metric(h: &Histogram, f_prime: &[u64]) -> f64 {
+    let cost = UpsilonCost::new(f_prime);
+    partition_cost(h, &cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::classic::{equi_depth, equi_width};
+
+    #[test]
+    fn upsilon_matches_definition() {
+        let f = [0u64, 3, 0, 0, 2, 1];
+        let cost = UpsilonCost::new(&f);
+        // Υ([1,4]) = (3+0+0+2) · 3² = 45
+        assert_eq!(cost.cost(1, 4), 45.0);
+        // Singleton buckets are free regardless of weight.
+        assert_eq!(cost.cost(1, 1), 0.0);
+        assert_eq!(cost.total_weight(), 6.0);
+    }
+
+    #[test]
+    fn lemma3_monotonicity_holds() {
+        let f = [4u64, 0, 7, 1, 0, 0, 9, 2];
+        let cost = UpsilonCost::new(&f);
+        for u in 0..f.len() as u32 {
+            for l2 in 0..=u {
+                for l1 in 0..=l2 {
+                    assert!(cost.cost(l1, u) >= cost.cost(l2, u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_beats_classic_histograms_on_m3() {
+        // Weight concentrated near the workload's hot region (levels 10..14),
+        // data spread across the domain — the setting of paper Fig. 6.
+        let mut f_prime = vec![0u64; 64];
+        for slot in f_prime.iter_mut().take(14).skip(10) {
+            *slot = 25;
+        }
+        f_prime[40] = 1;
+        f_prime[60] = 1;
+        let b = 8;
+        let opt = knn_optimal(&f_prime, b);
+        let m_opt = m3_metric(&opt, &f_prime);
+        let m_w = m3_metric(&equi_width(64, b), &f_prime);
+        let m_d = m3_metric(&equi_depth(&f_prime, b), &f_prime);
+        assert!(m_opt <= m_w && m_opt <= m_d, "opt={m_opt} w={m_w} d={m_d}");
+    }
+
+    #[test]
+    fn hot_levels_become_singletons_when_budget_allows() {
+        let mut f_prime = vec![0u64; 32];
+        f_prime[5] = 100;
+        f_prime[20] = 100;
+        // 5 buckets: enough to isolate both hot levels with zero M3.
+        let h = knn_optimal(&f_prime, 5);
+        assert_eq!(m3_metric(&h, &f_prime), 0.0);
+        let hot_bucket_5 = h.bucket_of_level(5);
+        let hot_bucket_20 = h.bucket_of_level(20);
+        // Each hot level lives in a bucket of zero width or zero weight overlap.
+        assert!(h.bucket_width(hot_bucket_5) == 0 || h.bucket_width(hot_bucket_20) == 0);
+    }
+
+    #[test]
+    fn pruning_toggle_is_cost_equivalent() {
+        let f: Vec<u64> = (0..50).map(|i| ((i * 31) % 9) as u64).collect();
+        for b in [2u32, 4, 8] {
+            let a = m3_metric(&knn_optimal_with_pruning(&f, b, true), &f);
+            let c = m3_metric(&knn_optimal_with_pruning(&f, b, false), &f);
+            assert!((a - c).abs() < 1e-9, "b={b}");
+        }
+    }
+
+    #[test]
+    fn more_buckets_never_increase_m3() {
+        let f: Vec<u64> = (0..40).map(|i| ((i * 17) % 5) as u64).collect();
+        let mut last = f64::INFINITY;
+        for b in 1..=12 {
+            let m = m3_metric(&knn_optimal(&f, b), &f);
+            assert!(m <= last + 1e-9, "b={b}");
+            last = m;
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Histograms over the discrete value domain (paper Definition 6).
+//!
+//! A [`Histogram`] is an ordered partition of the level domain `[0 .. N_dom)`
+//! into `B` contiguous buckets. In this problem — unlike selectivity
+//! estimation — only the bucket *intervals* matter, not their frequencies
+//! (paper §3.1): the bucket index of a value is its τ-bit code, and the bucket
+//! interval supplies the lower/upper distance bounds.
+//!
+//! Submodules provide the construction algorithms compared in the paper:
+//! * [`classic`] — equi-width (HC-W) and equi-depth (HC-D) heuristics,
+//! * [`v_optimal`] — the V-optimal histogram under the SSE metric (HC-V),
+//! * [`knn_optimal`] — the paper's optimal kNN histogram via the Algorithm 2
+//!   dynamic program with Lemma 3 pruning (HC-O),
+//! * [`individual`] — per-dimension histograms (iHC-*, §3.6.2),
+//! * [`multidim`] — multi-dimensional bucket sets (mHC-R, §3.6.2).
+
+pub mod classic;
+pub mod dp;
+pub mod individual;
+pub mod knn_optimal;
+pub mod multidim;
+pub mod v_optimal;
+
+use crate::quantize::{Level, Quantizer};
+
+/// The histogram construction methods compared throughout the paper's
+/// evaluation (HC-W, HC-D, HC-V, HC-O and their iHC-* variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HistogramKind {
+    /// Equi-width (HC-W). Ignores the frequency array except for its length.
+    EquiWidth,
+    /// Equi-depth (HC-D) over the supplied frequencies. With data frequencies
+    /// `F` this is also the VA-file's encoding scheme (paper §5.1).
+    EquiDepth,
+    /// V-optimal (HC-V) under the SSE metric over data frequencies `F`.
+    VOptimal,
+    /// The paper's optimal kNN histogram (HC-O, Algorithm 2) over the
+    /// workload-derived frequencies `F'`.
+    KnnOptimal,
+}
+
+impl HistogramKind {
+    /// Build a histogram of at most `b` buckets from a frequency array.
+    ///
+    /// Which array to pass depends on the kind: data frequencies `F[x]` for
+    /// `EquiWidth`/`EquiDepth`/`VOptimal`, workload frequencies `F'[x]` for
+    /// `KnnOptimal` (paper §3.4.2).
+    pub fn build(&self, freq: &[u64], b: u32) -> Histogram {
+        match self {
+            HistogramKind::EquiWidth => classic::equi_width(freq.len() as u32, b),
+            HistogramKind::EquiDepth => classic::equi_depth(freq, b),
+            HistogramKind::VOptimal => v_optimal::v_optimal(freq, b),
+            HistogramKind::KnnOptimal => knn_optimal::knn_optimal(freq, b),
+        }
+    }
+
+    /// Whether this kind consumes the workload frequency array `F'` rather
+    /// than the data frequency array `F`.
+    pub fn uses_workload_frequencies(&self) -> bool {
+        matches!(self, HistogramKind::KnnOptimal)
+    }
+
+    /// Paper method name with the `HC-` prefix.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HistogramKind::EquiWidth => "HC-W",
+            HistogramKind::EquiDepth => "HC-D",
+            HistogramKind::VOptimal => "HC-V",
+            HistogramKind::KnnOptimal => "HC-O",
+        }
+    }
+}
+
+impl std::fmt::Display for HistogramKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An ordered partition of `[0 .. N_dom)` into contiguous buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// `starts[i]` is the first level of bucket `i`; `starts[B] == n_dom` is a
+    /// sentinel. Strictly increasing, `starts[0] == 0`.
+    starts: Vec<Level>,
+    n_dom: u32,
+}
+
+impl Histogram {
+    /// Build from bucket start positions (without the sentinel).
+    ///
+    /// # Panics
+    /// Panics unless `starts` is non-empty, begins at 0, is strictly
+    /// increasing, and stays below `n_dom`.
+    pub fn from_starts(mut starts: Vec<Level>, n_dom: u32) -> Self {
+        assert!(!starts.is_empty(), "histogram needs at least one bucket");
+        assert_eq!(starts[0], 0, "first bucket must start at level 0");
+        for w in starts.windows(2) {
+            assert!(w[0] < w[1], "bucket starts must be strictly increasing");
+        }
+        assert!(
+            *starts.last().expect("non-empty") < n_dom,
+            "bucket start beyond domain"
+        );
+        starts.push(n_dom);
+        Self { starts, n_dom }
+    }
+
+    /// The single-bucket histogram covering the whole domain.
+    pub fn trivial(n_dom: u32) -> Self {
+        Self::from_starts(vec![0], n_dom)
+    }
+
+    /// Number of buckets `B`.
+    #[inline]
+    pub fn num_buckets(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Code length `τ = ceil(log2 B)` in bits (paper §3.1). A one-bucket
+    /// histogram still needs one bit per stored code.
+    #[inline]
+    pub fn tau(&self) -> u32 {
+        let b = self.num_buckets() as u32;
+        if b <= 1 {
+            1
+        } else {
+            32 - (b - 1).leading_zeros()
+        }
+    }
+
+    /// Domain size `N_dom`.
+    #[inline]
+    pub fn n_dom(&self) -> u32 {
+        self.n_dom
+    }
+
+    /// Bucket index containing the given level (Definition 7, `H(v)`).
+    #[inline]
+    pub fn bucket_of_level(&self, level: Level) -> u32 {
+        debug_assert!(level < self.n_dom);
+        // partition_point returns the first start > level; that bucket's
+        // predecessor contains the level.
+        let idx = self.starts.partition_point(|&s| s <= level);
+        (idx - 1) as u32
+    }
+
+    /// The level interval `[l_i ..= u_i]` of bucket `i`.
+    #[inline]
+    pub fn bucket_levels(&self, bucket: u32) -> (Level, Level) {
+        let i = bucket as usize;
+        (self.starts[i], self.starts[i + 1] - 1)
+    }
+
+    /// Bucket width `u_i − l_i` in levels — the quantity the M3 metric
+    /// penalizes quadratically.
+    #[inline]
+    pub fn bucket_width(&self, bucket: u32) -> u32 {
+        let (l, u) = self.bucket_levels(bucket);
+        u - l
+    }
+
+    /// Iterate over `(l_i, u_i)` level intervals.
+    pub fn buckets(&self) -> impl Iterator<Item = (Level, Level)> + '_ {
+        self.starts
+            .windows(2)
+            .map(|w| (w[0], w[1] - 1))
+    }
+
+    /// Dense level → bucket lookup table for O(1) encoding.
+    pub fn level_index(&self) -> Vec<u32> {
+        let mut table = vec![0u32; self.n_dom as usize];
+        for (b, (l, u)) in self.buckets().enumerate() {
+            for entry in &mut table[l as usize..=u as usize] {
+                *entry = b as u32;
+            }
+        }
+        table
+    }
+
+    /// Real-valued closed bucket intervals under a quantizer, used for sound
+    /// distance bounds against exact `f32` data.
+    pub fn real_buckets(&self, quantizer: &Quantizer) -> Vec<(f32, f32)> {
+        assert_eq!(
+            quantizer.n_dom(),
+            self.n_dom,
+            "quantizer domain must match histogram domain"
+        );
+        self.buckets()
+            .map(|(l, u)| quantizer.levels_to_real(l, u))
+            .collect()
+    }
+
+    /// In-memory footprint of the bucket boundary table in bytes (reported in
+    /// the paper's Table 3 "Space" row).
+    pub fn space_bytes(&self) -> usize {
+        self.starts.len() * std::mem::size_of::<Level>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig5_histogram() -> Histogram {
+        // Paper Figure 5b: τ=2, buckets [0..7], [8..15], [16..23], [24..31].
+        Histogram::from_starts(vec![0, 8, 16, 24], 32)
+    }
+
+    #[test]
+    fn fig5_bucket_lookup() {
+        let h = fig5_histogram();
+        assert_eq!(h.num_buckets(), 4);
+        assert_eq!(h.tau(), 2);
+        assert_eq!(h.bucket_of_level(2), 0); // p1.x = 2 → code 00
+        assert_eq!(h.bucket_of_level(20), 2); // p1.y = 20 → code 10
+        assert_eq!(h.bucket_of_level(26), 3);
+        assert_eq!(h.bucket_levels(1), (8, 15));
+    }
+
+    #[test]
+    fn tau_is_ceil_log2() {
+        let mk = |b: u32| {
+            Histogram::from_starts((0..b).collect(), 1024).tau()
+        };
+        assert_eq!(mk(1), 1);
+        assert_eq!(mk(2), 1);
+        assert_eq!(mk(3), 2);
+        assert_eq!(mk(4), 2);
+        assert_eq!(mk(5), 3);
+        assert_eq!(mk(1024), 10);
+    }
+
+    #[test]
+    fn level_index_agrees_with_binary_search() {
+        let h = Histogram::from_starts(vec![0, 3, 10, 11, 20], 32);
+        let idx = h.level_index();
+        for level in 0..32u32 {
+            assert_eq!(idx[level as usize], h.bucket_of_level(level), "level {level}");
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_domain() {
+        let h = Histogram::from_starts(vec![0, 5, 9], 16);
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets, vec![(0, 4), (5, 8), (9, 15)]);
+        assert_eq!(h.bucket_width(0), 4);
+        assert_eq!(h.bucket_width(2), 6);
+    }
+
+    #[test]
+    fn real_buckets_cover_quantized_values() {
+        let q = Quantizer::new(0.0, 32.0, 32);
+        let h = fig5_histogram();
+        let real = h.real_buckets(&q);
+        // Value 20.0 quantizes into bucket 2 whose real interval must contain it.
+        let b = h.bucket_of_level(q.level(20.0)) as usize;
+        assert_eq!(b, 2);
+        assert!(real[b].0 <= 20.0 && 20.0 <= real[b].1);
+    }
+
+    #[test]
+    fn trivial_histogram_has_one_bucket() {
+        let h = Histogram::trivial(64);
+        assert_eq!(h.num_buckets(), 1);
+        assert_eq!(h.bucket_levels(0), (0, 63));
+        assert_eq!(h.bucket_of_level(63), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_starts() {
+        let _ = Histogram::from_starts(vec![0, 8, 8], 32);
+    }
+}

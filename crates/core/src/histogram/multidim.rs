@@ -1,0 +1,210 @@
+//! Multi-dimensional histogram buckets (mHC-R, paper §3.6.2 and Appendix B).
+//!
+//! A multi-dimensional histogram partitions the *space* (not each axis) into
+//! bounding rectangles; an approximate point is the identifier of the bucket
+//! enclosing it — one code per point instead of one per dimension. The paper
+//! derives the buckets from the leaf MBRs of an R-tree with `2^τ` leaves and
+//! shows (Appendix B) that the curse of dimensionality makes the average
+//! bucket side length `w_br ≥ (2/n)^{1/d}` — close to the full domain width in
+//! high dimensions — so mHC-R produces near-useless bounds. We implement it
+//! faithfully as the paper's negative baseline.
+//!
+//! This module only defines the bucket set; `hc-index`'s R-tree supplies the
+//! rectangles via its `leaf_mbrs()`.
+
+use crate::bounds::{bounds_to_rect, DistBounds};
+
+/// A set of axis-aligned bucket rectangles in `d` dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiDimBuckets {
+    d: usize,
+    /// Flattened `lows[i*d .. (i+1)*d]` per rectangle.
+    lows: Vec<f32>,
+    highs: Vec<f32>,
+}
+
+impl MultiDimBuckets {
+    /// Build from `(low, high)` rectangle pairs.
+    ///
+    /// # Panics
+    /// Panics if rectangles are empty, dimensionally inconsistent, or
+    /// inverted.
+    pub fn from_rects(rects: &[(Vec<f32>, Vec<f32>)]) -> Self {
+        assert!(!rects.is_empty(), "need at least one bucket rectangle");
+        let d = rects[0].0.len();
+        assert!(d > 0);
+        let mut lows = Vec::with_capacity(rects.len() * d);
+        let mut highs = Vec::with_capacity(rects.len() * d);
+        for (i, (lo, hi)) in rects.iter().enumerate() {
+            assert!(lo.len() == d && hi.len() == d, "rect {i} has wrong dim");
+            for j in 0..d {
+                assert!(lo[j] <= hi[j], "rect {i} inverted on dim {j}");
+            }
+            lows.extend_from_slice(lo);
+            highs.extend_from_slice(hi);
+        }
+        Self { d, lows, highs }
+    }
+
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lows.len() / self.d
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lows.is_empty()
+    }
+
+    /// Code length: one `⌈log₂ len⌉`-bit code per point.
+    pub fn tau(&self) -> u32 {
+        let n = self.len() as u32;
+        if n <= 1 { 1 } else { 32 - (n - 1).leading_zeros() }
+    }
+
+    /// The rectangle of bucket `i` as `(lows, highs)` slices.
+    #[inline]
+    pub fn rect(&self, i: u32) -> (&[f32], &[f32]) {
+        let i = i as usize;
+        (
+            &self.lows[i * self.d..(i + 1) * self.d],
+            &self.highs[i * self.d..(i + 1) * self.d],
+        )
+    }
+
+    /// Index of the first bucket containing `p`, if any. Construction from an
+    /// R-tree over the dataset guarantees every *data* point is contained in
+    /// some leaf MBR; arbitrary points may fall outside all buckets.
+    pub fn find_containing(&self, p: &[f32]) -> Option<u32> {
+        debug_assert_eq!(p.len(), self.d);
+        'rect: for i in 0..self.len() {
+            let (lo, hi) = self.rect(i as u32);
+            for j in 0..self.d {
+                if p[j] < lo[j] || p[j] > hi[j] {
+                    continue 'rect;
+                }
+            }
+            return Some(i as u32);
+        }
+        None
+    }
+
+    /// Bucket assignment for encoding: the containing bucket, falling back to
+    /// the bucket whose rectangle is nearest (distance-bound soundness is then
+    /// lost for that point, which cannot happen for dataset points).
+    pub fn assign(&self, p: &[f32]) -> u32 {
+        if let Some(i) = self.find_containing(p) {
+            return i;
+        }
+        debug_assert!(false, "encoding a point outside every mHC-R bucket");
+        let mut best = 0u32;
+        let mut best_d = f64::INFINITY;
+        for i in 0..self.len() as u32 {
+            let (lo, hi) = self.rect(i);
+            let d = crate::bounds::min_dist_sq_to_rect(p, lo, hi);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Distance bounds from a query to the bucket rectangle `code`.
+    #[inline]
+    pub fn bounds(&self, q: &[f32], code: u32) -> DistBounds {
+        let (lo, hi) = self.rect(code);
+        bounds_to_rect(q, lo, hi)
+    }
+
+    /// Squared error-vector norm of a bucket: `Σ_j (u_j − l_j)²`.
+    pub fn error_norm_sq(&self, code: u32) -> f64 {
+        let (lo, hi) = self.rect(code);
+        lo.iter()
+            .zip(hi.iter())
+            .map(|(&l, &h)| {
+                let w = (h - l) as f64;
+                w * w
+            })
+            .sum()
+    }
+
+    /// Average bucket side width `w_br` (paper Appendix B): the mean, over all
+    /// buckets and dimensions, of the side length.
+    pub fn avg_side_width(&self) -> f64 {
+        let total: f64 = self
+            .lows
+            .iter()
+            .zip(self.highs.iter())
+            .map(|(&l, &h)| (h - l) as f64)
+            .sum();
+        total / self.lows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_buckets() -> MultiDimBuckets {
+        MultiDimBuckets::from_rects(&[
+            (vec![0.0, 0.0], vec![1.0, 1.0]),
+            (vec![2.0, 2.0], vec![4.0, 5.0]),
+        ])
+    }
+
+    #[test]
+    fn containment_lookup() {
+        let b = two_buckets();
+        assert_eq!(b.find_containing(&[0.5, 0.5]), Some(0));
+        assert_eq!(b.find_containing(&[3.0, 4.0]), Some(1));
+        assert_eq!(b.find_containing(&[1.5, 1.5]), None);
+    }
+
+    #[test]
+    fn tau_is_log2_of_bucket_count() {
+        let b = two_buckets();
+        assert_eq!(b.tau(), 1);
+        let rects: Vec<_> = (0..5)
+            .map(|i| (vec![i as f32], vec![i as f32 + 0.5]))
+            .collect();
+        assert_eq!(MultiDimBuckets::from_rects(&rects).tau(), 3);
+    }
+
+    #[test]
+    fn bounds_are_rect_min_max_distances() {
+        let b = two_buckets();
+        let db = b.bounds(&[5.0, 5.0], 0);
+        // Nearest corner of bucket 0 is (1,1): lb = sqrt(32); farthest (0,0): ub = sqrt(50).
+        assert!((db.lb - 32.0f64.sqrt()).abs() < 1e-6);
+        assert!((db.ub - 50.0f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn error_norm_is_diagonal_length() {
+        let b = two_buckets();
+        assert!((b.error_norm_sq(1) - (4.0 + 9.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn avg_side_width_reflects_curse_of_dimensionality() {
+        // A single bucket spanning [0,1]^d has w_br = 1 regardless of d — the
+        // Appendix B pathology.
+        let d = 16;
+        let rects = vec![(vec![0.0; d], vec![1.0; d])];
+        let b = MultiDimBuckets::from_rects(&rects);
+        assert_eq!(b.avg_side_width(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn rejects_inverted_rects() {
+        let _ = MultiDimBuckets::from_rects(&[(vec![1.0], vec![0.0])]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-dimension normalization (paper §3.1: "if the dataset has different
+//! domain sizes for different dimensions, then we may apply normalization to
+//! scale each dimension").
+//!
+//! A global histogram assumes all dimensions share one value domain. When
+//! they do not (e.g. one feature in `[0, 1]` and another in `[0, 10⁴]`), the
+//! global histogram wastes all its buckets on the wide dimension. A
+//! [`Normalizer`] affinely maps every dimension onto `[0, 1]` — both dataset
+//! and queries — after which the global-histogram machinery applies
+//! unchanged. Euclidean *order* is generally not preserved by anisotropic
+//! scaling, so this is a modeling choice made once, up front: the normalized
+//! space IS the search space (exactly how the paper's feature pipelines
+//! z-scale descriptors before indexing).
+
+use crate::dataset::Dataset;
+
+/// Affine per-dimension map onto `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    /// Per-dimension `(offset, inverse-width)` pairs: `v ↦ (v − off) · inv`.
+    params: Vec<(f32, f32)>,
+}
+
+impl Normalizer {
+    /// Fit to a dataset's per-dimension ranges. `Dataset::per_dim_ranges`
+    /// widens degenerate (constant) dimensions by an epsilon, so every
+    /// dimension has positive width and constant dimensions map to ≈0.
+    pub fn fit(dataset: &Dataset) -> Self {
+        let params = dataset
+            .per_dim_ranges()
+            .into_iter()
+            .map(|(lo, hi)| (lo, 1.0 / (hi - lo)))
+            .collect();
+        Self { params }
+    }
+
+    /// Dimensionality this normalizer was fitted for.
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Normalize one point in place.
+    pub fn apply_in_place(&self, point: &mut [f32]) {
+        debug_assert_eq!(point.len(), self.dim());
+        for (v, &(off, inv)) in point.iter_mut().zip(&self.params) {
+            *v = ((*v - off) * inv).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Normalize one point into a new vector (for queries at search time).
+    pub fn apply(&self, point: &[f32]) -> Vec<f32> {
+        let mut out = point.to_vec();
+        self.apply_in_place(&mut out);
+        out
+    }
+
+    /// Normalize a whole dataset (the offline step before building the
+    /// quantizer / histograms / indexes).
+    pub fn normalize_dataset(&self, dataset: &Dataset) -> Dataset {
+        assert_eq!(dataset.dim(), self.dim());
+        let mut out = Dataset::with_dim(dataset.dim());
+        let mut row = vec![0.0f32; dataset.dim()];
+        for (_, p) in dataset.iter() {
+            row.copy_from_slice(p);
+            self.apply_in_place(&mut row);
+            out.push(&row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::Quantizer;
+
+    fn skewed_dataset() -> Dataset {
+        // Dim 0 in [0, 1], dim 1 in [0, 10_000].
+        Dataset::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.25, 2_500.0],
+            vec![0.5, 5_000.0],
+            vec![1.0, 10_000.0],
+        ])
+    }
+
+    #[test]
+    fn maps_every_dimension_onto_unit_interval() {
+        let ds = skewed_dataset();
+        let norm = Normalizer::fit(&ds);
+        let nds = norm.normalize_dataset(&ds);
+        let (lo, hi) = nds.value_range();
+        assert!(lo >= 0.0 && hi <= 1.0);
+        // Proportions survive: the midpoint stays the midpoint on both dims.
+        let mid = nds.point(crate::dataset::PointId(2));
+        assert!((mid[0] - 0.5).abs() < 1e-6);
+        assert!((mid[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn queries_map_consistently_with_data() {
+        let ds = skewed_dataset();
+        let norm = Normalizer::fit(&ds);
+        let q = norm.apply(&[0.5, 5_000.0]);
+        let nds = norm.normalize_dataset(&ds);
+        let p = nds.point(crate::dataset::PointId(2));
+        assert!((q[0] - p[0]).abs() < 1e-6 && (q[1] - p[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_range_queries_clamp() {
+        let ds = skewed_dataset();
+        let norm = Normalizer::fit(&ds);
+        let q = norm.apply(&[-5.0, 20_000.0]);
+        assert_eq!(q, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_dimension_maps_consistently() {
+        let ds = Dataset::from_rows(&[vec![7.0, 1.0], vec![7.0, 2.0]]);
+        let norm = Normalizer::fit(&ds);
+        let a = norm.apply(&[7.0, 1.5]);
+        let b = norm.apply(&[7.0, 1.0]);
+        // A constant dimension maps every (in-range) value to the same spot.
+        assert!((a[0] - b[0]).abs() < 1e-6);
+        assert!((0.0..=1.0).contains(&a[0]));
+    }
+
+    #[test]
+    fn normalization_restores_global_histogram_resolution() {
+        // Without normalization, a global quantizer over [0, 10000] gives
+        // dim 0 a single level; after normalization both dims use the full
+        // level range.
+        let ds = skewed_dataset();
+        let quant_raw = Quantizer::for_range(ds.value_range());
+        let spread_raw: Vec<u32> = ds.iter().map(|(_, p)| quant_raw.level(p[0])).collect();
+        assert!(spread_raw.iter().all(|&l| l == 0), "dim 0 crushed to one level");
+
+        let norm = Normalizer::fit(&ds);
+        let nds = norm.normalize_dataset(&ds);
+        let quant = Quantizer::for_range(nds.value_range());
+        let spread: Vec<u32> = nds.iter().map(|(_, p)| quant.level(p[0])).collect();
+        let distinct: std::collections::HashSet<u32> = spread.into_iter().collect();
+        assert!(distinct.len() >= 3, "normalized dim 0 should span many levels");
+    }
+}

@@ -1,0 +1,209 @@
+//! Discretization of floating-point dimension values onto the integer domain
+//! `[0 .. N_dom)` over which histograms are defined.
+//!
+//! The paper's histograms operate on a discrete value domain (Definition 6,
+//! with footnote 7: "we can extend this method to handle other value domains,
+//! e.g., by applying discretization on floating-point values"). A
+//! [`Quantizer`] performs that discretization with uniform levels over the
+//! dataset's global `[min, max]` range, and — crucially for correctness —
+//! maps each discrete *level* (and hence each histogram bucket) back to a
+//! closed real interval that is guaranteed to contain every original value
+//! mapped into it. Distance bounds computed against those real intervals are
+//! therefore valid with respect to exact `f32` distances.
+
+/// A discrete level in `[0 .. N_dom)`.
+pub type Level = u32;
+
+/// Uniform scalar quantizer over a real range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantizer {
+    min: f32,
+    max: f32,
+    n_dom: u32,
+    step: f64,
+}
+
+impl Quantizer {
+    /// Default domain size used across the library. 1024 levels keeps the
+    /// optimal-histogram DP (Algorithm 2, `O(N_dom² · B)` worst case) well
+    /// within interactive build times while leaving room for the paper's
+    /// τ sweep (τ ≤ 10 yields non-trivial buckets at this domain size).
+    pub const DEFAULT_N_DOM: u32 = 1024;
+
+    /// Create a quantizer over `[min, max]` with `n_dom` levels.
+    ///
+    /// # Panics
+    /// Panics if `min >= max`, the bounds are not finite, or `n_dom == 0`.
+    pub fn new(min: f32, max: f32, n_dom: u32) -> Self {
+        assert!(min.is_finite() && max.is_finite(), "range must be finite");
+        assert!(min < max, "empty quantizer range [{min}, {max}]");
+        assert!(n_dom > 0, "domain size must be positive");
+        let step = (max as f64 - min as f64) / n_dom as f64;
+        Self { min, max, n_dom, step }
+    }
+
+    /// Build from a dataset's global value range with the default domain size.
+    pub fn for_range((min, max): (f32, f32)) -> Self {
+        Self::new(min, max, Self::DEFAULT_N_DOM)
+    }
+
+    /// Number of discrete levels `N_dom`.
+    #[inline]
+    pub fn n_dom(&self) -> u32 {
+        self.n_dom
+    }
+
+    /// Lower end of the real range.
+    #[inline]
+    pub fn min(&self) -> f32 {
+        self.min
+    }
+
+    /// Upper end of the real range.
+    #[inline]
+    pub fn max(&self) -> f32 {
+        self.max
+    }
+
+    /// Width of one level in real units.
+    #[inline]
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Map a real value to its level. Values outside `[min, max]` clamp to the
+    /// boundary levels (robustness for queries that lie slightly outside the
+    /// data range).
+    #[inline]
+    pub fn level(&self, v: f32) -> Level {
+        if v <= self.min {
+            return 0;
+        }
+        if v >= self.max {
+            return self.n_dom - 1;
+        }
+        let idx = ((v as f64 - self.min as f64) / self.step) as u32;
+        idx.min(self.n_dom - 1)
+    }
+
+    /// The closed real interval `[lo, hi]` covered by the level range
+    /// `[lo_level ..= hi_level]`.
+    ///
+    /// The returned interval is *conservative*: every value that quantizes
+    /// into the range is contained in it (including `max` itself for the top
+    /// level). Histogram buckets use this to derive sound distance bounds.
+    #[inline]
+    pub fn levels_to_real(&self, lo_level: Level, hi_level: Level) -> (f32, f32) {
+        debug_assert!(lo_level <= hi_level && hi_level < self.n_dom);
+        let lo = self.min as f64 + self.step * lo_level as f64;
+        let hi = self.min as f64 + self.step * (hi_level as f64 + 1.0);
+        // Round outward so f64→f32 rounding can never shrink the interval.
+        let lo = next_down_f32(lo as f32, self.min);
+        let hi = next_up_f32(hi as f32, self.max);
+        (lo, hi)
+    }
+
+    /// Histogram-domain frequency array `F[x]`: how many dimension values of
+    /// the flat buffer map to each level. This is the paper's `F[x]` used by
+    /// equi-depth and V-optimal construction (§3.3.1).
+    pub fn frequency_array(&self, flat_values: &[f32]) -> Vec<u64> {
+        let mut freq = vec![0u64; self.n_dom as usize];
+        for &v in flat_values {
+            freq[self.level(v) as usize] += 1;
+        }
+        freq
+    }
+}
+
+/// One step toward negative infinity, clamped at `floor`.
+#[inline]
+fn next_down_f32(v: f32, floor: f32) -> f32 {
+    let stepped = f32::from_bits(if v > 0.0 {
+        v.to_bits() - 1
+    } else if v < 0.0 {
+        v.to_bits() + 1
+    } else {
+        (-f32::MIN_POSITIVE).to_bits()
+    });
+    stepped.max(floor)
+}
+
+/// One step toward positive infinity, clamped at `ceil`.
+#[inline]
+fn next_up_f32(v: f32, ceil: f32) -> f32 {
+    let stepped = f32::from_bits(if v > 0.0 {
+        v.to_bits() + 1
+    } else if v < 0.0 {
+        v.to_bits() - 1
+    } else {
+        f32::MIN_POSITIVE.to_bits()
+    });
+    stepped.min(ceil)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_partition_the_range() {
+        let q = Quantizer::new(0.0, 32.0, 4);
+        assert_eq!(q.level(0.0), 0);
+        assert_eq!(q.level(7.9), 0);
+        assert_eq!(q.level(8.0), 1);
+        assert_eq!(q.level(23.9), 2);
+        assert_eq!(q.level(31.9), 3);
+        assert_eq!(q.level(32.0), 3); // max clamps to top level
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let q = Quantizer::new(0.0, 1.0, 10);
+        assert_eq!(q.level(-5.0), 0);
+        assert_eq!(q.level(5.0), 9);
+    }
+
+    #[test]
+    fn real_interval_contains_all_values_of_its_levels() {
+        let q = Quantizer::new(-1.0, 1.0, 16);
+        let mut v = -1.0f32;
+        while v <= 1.0 {
+            let lvl = q.level(v);
+            let (lo, hi) = q.levels_to_real(lvl, lvl);
+            assert!(lo <= v && v <= hi, "value {v} outside level {lvl} interval [{lo}, {hi}]");
+            v += 0.00731;
+        }
+    }
+
+    #[test]
+    fn wider_level_ranges_nest() {
+        let q = Quantizer::new(0.0, 100.0, 32);
+        let (lo_a, hi_a) = q.levels_to_real(4, 7);
+        let (lo_b, hi_b) = q.levels_to_real(4, 20);
+        assert!(lo_b <= lo_a && hi_b >= hi_a);
+    }
+
+    #[test]
+    fn frequency_array_counts_every_value() {
+        let q = Quantizer::new(0.0, 4.0, 4);
+        let freq = q.frequency_array(&[0.1, 0.2, 1.5, 3.9, 2.5, 2.6]);
+        assert_eq!(freq, vec![2, 1, 2, 1]);
+        assert_eq!(freq.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn paper_example_histogram_domain() {
+        // Figure 5: values in [0..31], τ=2, B=4 equi-width buckets of width 8.
+        let q = Quantizer::new(0.0, 32.0, 32);
+        assert_eq!(q.level(2.0), 2);
+        assert_eq!(q.level(20.0), 20);
+        let (lo, hi) = q.levels_to_real(0, 7);
+        assert!(lo <= 0.0 && hi >= 8.0 - 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty quantizer range")]
+    fn rejects_degenerate_range() {
+        let _ = Quantizer::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,373 @@
+//! Approximation schemes: the bridge between histograms and the cache.
+//!
+//! A scheme knows how to (a) encode an exact point into packed τ-bit codes
+//! and (b) turn those codes back into sound distance bounds against a query.
+//! The three scheme families mirror the paper's histogram categories
+//! (§3.1, §3.6.2):
+//!
+//! * [`GlobalScheme`] — one histogram `H` shared by every dimension (HC-*),
+//! * [`IndividualScheme`] — a histogram `H_j` per dimension (iHC-*),
+//! * [`MultiDimScheme`] — one spatial bucket id per point (mHC-R).
+//!
+//! All cache and query machinery is generic over [`ApproxScheme`], so a
+//! single Algorithm 1 implementation serves every variant.
+
+use crate::bounds::{BoundsAcc, DistBounds};
+use crate::codes::{pack_codes, words_per_point, CodeIter};
+use crate::histogram::multidim::MultiDimBuckets;
+use crate::histogram::Histogram;
+use crate::quantize::Quantizer;
+
+/// Encode points to packed code words and derive distance bounds from them.
+pub trait ApproxScheme: Send + Sync {
+    /// Dimensionality of the points this scheme encodes.
+    fn dim(&self) -> usize;
+
+    /// Code length τ in bits per stored code.
+    fn tau(&self) -> u32;
+
+    /// Packed 64-bit words per approximate point.
+    fn words_per_point(&self) -> usize;
+
+    /// Append the packed encoding of `point` (exactly
+    /// [`Self::words_per_point`] words) to `out`.
+    fn encode_into(&self, point: &[f32], out: &mut Vec<u64>);
+
+    /// Sound lower/upper distance bounds of the encoded candidate from `q`:
+    /// `dist⁻_q(c) ≤ dist_q(c) ≤ dist⁺_q(c)` for every point that encodes to
+    /// `words`.
+    fn bounds(&self, q: &[f32], words: &[u64]) -> DistBounds;
+
+    /// Squared error-vector norm `||ε(c)||²` (paper Definition 10) of the
+    /// encoded candidate — the diagonal of its bounding rectangle.
+    fn error_norm_sq(&self, words: &[u64]) -> f64;
+
+    /// Bytes one cached approximate point occupies (word-aligned packing,
+    /// paper footnote 5).
+    fn bytes_per_point(&self) -> usize {
+        self.words_per_point() * 8
+    }
+
+    /// Convenience: encode into a fresh buffer.
+    fn encode(&self, point: &[f32]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.words_per_point());
+        self.encode_into(point, &mut out);
+        out
+    }
+}
+
+/// Global-histogram scheme: every dimension value is coded by one shared
+/// histogram over the dataset-wide value domain (paper Definition 8).
+pub struct GlobalScheme {
+    dim: usize,
+    tau: u32,
+    quantizer: Quantizer,
+    /// Dense level → bucket table for O(1) encoding.
+    level_index: Vec<u32>,
+    /// Per-bucket closed real intervals for sound bounds.
+    real: Vec<(f32, f32)>,
+    histogram: Histogram,
+}
+
+impl GlobalScheme {
+    pub fn new(histogram: Histogram, quantizer: Quantizer, dim: usize) -> Self {
+        assert_eq!(histogram.n_dom(), quantizer.n_dom(), "domain mismatch");
+        assert!(dim > 0);
+        let level_index = histogram.level_index();
+        let real = histogram.real_buckets(&quantizer);
+        Self { dim, tau: histogram.tau(), quantizer, level_index, real, histogram }
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
+    }
+
+    /// The quantizer mapping real values onto the level domain.
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    #[inline]
+    fn code_of(&self, v: f32) -> u32 {
+        self.level_index[self.quantizer.level(v) as usize]
+    }
+}
+
+impl ApproxScheme for GlobalScheme {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn tau(&self) -> u32 {
+        self.tau
+    }
+
+    fn words_per_point(&self) -> usize {
+        words_per_point(self.dim, self.tau)
+    }
+
+    fn encode_into(&self, point: &[f32], out: &mut Vec<u64>) {
+        debug_assert_eq!(point.len(), self.dim);
+        pack_codes(point.iter().map(|&v| self.code_of(v)), self.tau, out);
+    }
+
+    fn bounds(&self, q: &[f32], words: &[u64]) -> DistBounds {
+        debug_assert_eq!(q.len(), self.dim);
+        let mut acc = BoundsAcc::new();
+        for (j, code) in CodeIter::new(words, self.tau, self.dim).enumerate() {
+            let (lo, hi) = self.real[code as usize];
+            acc.add(q[j], lo, hi);
+        }
+        acc.finish()
+    }
+
+    fn error_norm_sq(&self, words: &[u64]) -> f64 {
+        CodeIter::new(words, self.tau, self.dim)
+            .map(|code| {
+                let (lo, hi) = self.real[code as usize];
+                let w = (hi - lo) as f64;
+                w * w
+            })
+            .sum()
+    }
+}
+
+/// Per-dimension histogram scheme (iHC-*): dimension `j` is coded by its own
+/// histogram `H_j` and quantizer.
+pub struct IndividualScheme {
+    tau: u32,
+    quantizers: Vec<Quantizer>,
+    level_index: Vec<Vec<u32>>,
+    real: Vec<Vec<(f32, f32)>>,
+}
+
+impl IndividualScheme {
+    /// `histograms[j]` codes dimension `j` using `quantizers[j]`. The packed
+    /// code width is the maximum τ over dimensions so decoding stays uniform.
+    pub fn new(histograms: Vec<Histogram>, quantizers: Vec<Quantizer>) -> Self {
+        assert!(!histograms.is_empty());
+        assert_eq!(histograms.len(), quantizers.len());
+        let tau = histograms.iter().map(|h| h.tau()).max().expect("non-empty");
+        let mut level_index = Vec::with_capacity(histograms.len());
+        let mut real = Vec::with_capacity(histograms.len());
+        for (h, q) in histograms.iter().zip(quantizers.iter()) {
+            assert_eq!(h.n_dom(), q.n_dom(), "domain mismatch");
+            level_index.push(h.level_index());
+            real.push(h.real_buckets(q));
+        }
+        Self { tau, quantizers, level_index, real }
+    }
+
+    /// Total boundary-table space across all dimensions (Table 3 "Space").
+    pub fn space_bytes(&self) -> usize {
+        self.real.iter().map(|r| (r.len() + 1) * 4).sum()
+    }
+}
+
+impl ApproxScheme for IndividualScheme {
+    fn dim(&self) -> usize {
+        self.quantizers.len()
+    }
+
+    fn tau(&self) -> u32 {
+        self.tau
+    }
+
+    fn words_per_point(&self) -> usize {
+        words_per_point(self.dim(), self.tau)
+    }
+
+    fn encode_into(&self, point: &[f32], out: &mut Vec<u64>) {
+        debug_assert_eq!(point.len(), self.dim());
+        let codes = point.iter().enumerate().map(|(j, &v)| {
+            self.level_index[j][self.quantizers[j].level(v) as usize]
+        });
+        pack_codes(codes, self.tau, out);
+    }
+
+    fn bounds(&self, q: &[f32], words: &[u64]) -> DistBounds {
+        let mut acc = BoundsAcc::new();
+        for (j, code) in CodeIter::new(words, self.tau, self.dim()).enumerate() {
+            let (lo, hi) = self.real[j][code as usize];
+            acc.add(q[j], lo, hi);
+        }
+        acc.finish()
+    }
+
+    fn error_norm_sq(&self, words: &[u64]) -> f64 {
+        CodeIter::new(words, self.tau, self.dim())
+            .enumerate()
+            .map(|(j, code)| {
+                let (lo, hi) = self.real[j][code as usize];
+                let w = (hi - lo) as f64;
+                w * w
+            })
+            .sum()
+    }
+}
+
+/// Multi-dimensional bucket scheme (mHC-R): one bucket id per point, bounds
+/// from the bucket's bounding rectangle.
+pub struct MultiDimScheme {
+    dim: usize,
+    buckets: MultiDimBuckets,
+}
+
+impl MultiDimScheme {
+    pub fn new(buckets: MultiDimBuckets) -> Self {
+        Self { dim: buckets.dim(), buckets }
+    }
+
+    pub fn buckets(&self) -> &MultiDimBuckets {
+        &self.buckets
+    }
+}
+
+impl ApproxScheme for MultiDimScheme {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn tau(&self) -> u32 {
+        self.buckets.tau()
+    }
+
+    fn words_per_point(&self) -> usize {
+        1 // a single ≤32-bit bucket id
+    }
+
+    fn encode_into(&self, point: &[f32], out: &mut Vec<u64>) {
+        out.push(self.buckets.assign(point) as u64);
+    }
+
+    fn bounds(&self, q: &[f32], words: &[u64]) -> DistBounds {
+        self.buckets.bounds(q, words[0] as u32)
+    }
+
+    fn error_norm_sq(&self, words: &[u64]) -> f64 {
+        self.buckets.error_norm_sq(words[0] as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::euclidean;
+    use crate::histogram::classic::equi_width;
+
+    fn fig5_scheme() -> GlobalScheme {
+        // Paper Figure 5: domain [0,32), τ=2, equi-width buckets of width 8.
+        let q = Quantizer::new(0.0, 32.0, 32);
+        GlobalScheme::new(equi_width(32, 4), q, 2)
+    }
+
+    #[test]
+    fn fig5_encoding_matches_paper() {
+        let s = fig5_scheme();
+        let codes: Vec<u32> = CodeIter::new(&s.encode(&[2.0, 20.0]), 2, 2).collect();
+        assert_eq!(codes, vec![0b00, 0b10]); // p1' = |00|10|
+        let codes: Vec<u32> = CodeIter::new(&s.encode(&[26.0, 4.0]), 2, 2).collect();
+        assert_eq!(codes, vec![0b11, 0b00]); // p4' = |11|00|
+    }
+
+    #[test]
+    fn fig5_bounds_match_table1() {
+        // Table 1 computes bounds on the *integer* value domain where bucket
+        // [8..15] really ends at 15. Our real-valued bucket intervals are one
+        // level wider ([8, 16)), so bounds are sound but up to one level-width
+        // looser: p2' → paper [5.00 .. 13.42], ours [5.00 .. 14.77];
+        // p3' → paper [14.76 .. 24.41], ours [≤14.77 .. ≤25.8].
+        let s = fig5_scheme();
+        let q = [9.0f32, 11.0];
+        let b2 = s.bounds(&q, &s.encode(&[10.0, 16.0]));
+        assert!((b2.lb - 5.0).abs() < 0.05, "lb {}", b2.lb);
+        assert!(b2.ub >= 13.42 && b2.ub <= 13.42 + 2.0f32.hypot(1.0) as f64 + 0.05, "ub {}", b2.ub);
+        let b3 = s.bounds(&q, &s.encode(&[19.0, 30.0]));
+        assert!(b3.lb <= 14.76 + 0.05 && b3.lb >= 14.76 - 1.5, "lb {}", b3.lb);
+        assert!(b3.ub >= 24.41 - 0.05 && b3.ub <= 24.41 + 1.5, "ub {}", b3.ub);
+        // Both candidates' exact distances remain sandwiched.
+        assert!(b2.contains(euclidean(&q, &[10.0, 16.0])));
+        assert!(b3.contains(euclidean(&q, &[19.0, 30.0])));
+    }
+
+    #[test]
+    fn global_bounds_sandwich_exact_distances() {
+        let quant = Quantizer::new(-2.0, 2.0, 256);
+        let s = GlobalScheme::new(equi_width(256, 16), quant, 4);
+        let pts = [
+            [0.1f32, -1.9, 1.5, 0.0],
+            [2.0, 2.0, 2.0, 2.0],
+            [-2.0, 0.33, -0.77, 1.99],
+        ];
+        let q = [0.5f32, 0.5, -0.5, -0.5];
+        for p in &pts {
+            let b = s.bounds(&q, &s.encode(p));
+            let d = euclidean(&q, p);
+            assert!(b.contains(d), "dist {d} not in [{}, {}]", b.lb, b.ub);
+        }
+    }
+
+    #[test]
+    fn lemma1_error_vector_inequality() {
+        // dist⁺ − dist ≤ ||ε(c)|| for every encoded point (paper Lemma 1).
+        let quant = Quantizer::new(0.0, 1.0, 64);
+        let s = GlobalScheme::new(equi_width(64, 8), quant, 3);
+        let q = [0.2f32, 0.9, 0.4];
+        for p in [[0.0f32, 0.5, 1.0], [0.33, 0.33, 0.33], [0.9, 0.01, 0.77]] {
+            let w = s.encode(&p);
+            let b = s.bounds(&q, &w);
+            let eps = s.error_norm_sq(&w).sqrt();
+            let d = euclidean(&q, &p);
+            assert!(b.ub - d <= eps + 1e-6, "slack {} > eps {eps}", b.ub - d);
+        }
+    }
+
+    #[test]
+    fn individual_scheme_uses_per_dim_domains() {
+        // Dim 0 in [0,1], dim 1 in [100,200]: individual quantizers keep each
+        // dimension's resolution; bounds remain sound.
+        let h0 = equi_width(64, 8);
+        let h1 = equi_width(64, 8);
+        let q0 = Quantizer::new(0.0, 1.0, 64);
+        let q1 = Quantizer::new(100.0, 200.0, 64);
+        let s = IndividualScheme::new(vec![h0, h1], vec![q0, q1]);
+        assert_eq!(s.dim(), 2);
+        let p = [0.5f32, 150.0];
+        let query = [0.25f32, 120.0];
+        let b = s.bounds(&query, &s.encode(&p));
+        assert!(b.contains(euclidean(&query, &p)));
+        // An individual bucket on dim 0 is ~1/8 wide; on dim 1 ~12.5 wide.
+        let eps_sq = s.error_norm_sq(&s.encode(&p));
+        assert!(eps_sq > 100.0 / 64.0, "dim-1 width should dominate");
+    }
+
+    #[test]
+    fn multidim_scheme_bounds_through_mbr() {
+        let buckets = MultiDimBuckets::from_rects(&[
+            (vec![0.0, 0.0], vec![1.0, 1.0]),
+            (vec![5.0, 5.0], vec![6.0, 6.0]),
+        ]);
+        let s = MultiDimScheme::new(buckets);
+        assert_eq!(s.tau(), 1);
+        let p = [5.5f32, 5.5];
+        let q = [0.0f32, 0.0];
+        let w = s.encode(&p);
+        assert_eq!(w[0], 1);
+        let b = s.bounds(&q, &w);
+        assert!(b.contains(euclidean(&q, &p)));
+    }
+
+    #[test]
+    fn bytes_per_point_shrinks_with_tau() {
+        let quant = Quantizer::new(0.0, 1.0, 1024);
+        let d = 150;
+        let fat = GlobalScheme::new(equi_width(1024, 1024), quant.clone(), d);
+        let slim = GlobalScheme::new(equi_width(1024, 4), quant, d);
+        assert_eq!(fat.tau(), 10);
+        assert_eq!(slim.tau(), 2);
+        assert!(slim.bytes_per_point() < fat.bytes_per_point());
+        // Exact point: 600 bytes; τ=10 approx: 192 bytes; τ=2: 38 bytes rounded to words.
+        assert_eq!(fat.bytes_per_point(), 192);
+    }
+}

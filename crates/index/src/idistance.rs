@@ -1,0 +1,224 @@
+//! iDistance: exact kNN index via reference-point distance keys
+//! (Jagadish, Ooi, Tan, Yu, Zhang; TODS 2005 — the paper's reference \[20\]).
+//!
+//! Each point is assigned to its nearest reference point (k-means center)
+//! and keyed by `key(p) = cluster · C + dist(p, center_cluster)` with `C`
+//! larger than any cluster radius; a B+-tree over the keys makes a range of
+//! keys a contiguous run of leaf pages. We keep the paper's split: non-leaf
+//! information (centers, radii, per-leaf key ranges) in memory, leaf pages of
+//! points on disk.
+//!
+//! Leaves never span clusters, so every leaf carries `(cluster, [d_lo, d_hi])`
+//! — the distance-to-center interval of its members — from which the triangle
+//! inequality yields the per-leaf lower bound
+//! `max(0, dist(q, center) − d_hi, d_lo − dist(q, center))` used by the
+//! interleaved tree search of §3.6.1.
+
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::distance::euclidean;
+
+use crate::kmeans::{kmeans, KMeans};
+use crate::traits::LeafedIndex;
+
+/// One iDistance leaf node's in-memory branch entry.
+#[derive(Debug, Clone)]
+struct LeafMeta {
+    cluster: u32,
+    /// Distance-to-center interval of members.
+    d_lo: f64,
+    d_hi: f64,
+    /// Members, sorted by distance to the cluster center.
+    points: Vec<PointId>,
+}
+
+/// The iDistance index.
+pub struct IDistance {
+    km: KMeans,
+    leaves: Vec<LeafMeta>,
+    leaf_of: Vec<u32>,
+    leaf_capacity: usize,
+}
+
+impl IDistance {
+    /// Build with `num_refs` k-means reference points and the given leaf
+    /// capacity (typically the page capacity: `⌊4096 / point_bytes⌋`).
+    pub fn build(dataset: &Dataset, num_refs: usize, leaf_capacity: usize, seed: u64) -> Self {
+        assert!(leaf_capacity >= 1);
+        let km = kmeans(dataset, num_refs, seed, 25);
+        // Group points by cluster, sort each group by distance to center.
+        let mut groups: Vec<Vec<(f64, u32)>> = vec![Vec::new(); km.k()];
+        for (i, &c) in km.assignment.iter().enumerate() {
+            groups[c as usize].push((km.dist_to_center[i], i as u32));
+        }
+        let mut leaves = Vec::new();
+        let mut leaf_of = vec![0u32; dataset.len()];
+        for (c, group) in groups.iter_mut().enumerate() {
+            group.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+            for chunk in group.chunks(leaf_capacity) {
+                let leaf_id = leaves.len() as u32;
+                let points: Vec<PointId> = chunk.iter().map(|&(_, id)| PointId(id)).collect();
+                for p in &points {
+                    leaf_of[p.index()] = leaf_id;
+                }
+                leaves.push(LeafMeta {
+                    cluster: c as u32,
+                    d_lo: chunk.first().expect("non-empty chunk").0,
+                    d_hi: chunk.last().expect("non-empty chunk").0,
+                    points,
+                });
+            }
+        }
+        Self { km, leaves, leaf_of, leaf_capacity }
+    }
+
+    /// The reference-point clustering.
+    pub fn kmeans(&self) -> &KMeans {
+        &self.km
+    }
+
+    /// Leaf capacity (points per disk node).
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_capacity
+    }
+
+    /// A file ordering that lays leaves out consecutively (feeds
+    /// `PointFile::with_order` so co-leaf points share disk pages — the
+    /// Clustered ordering of §5.2.2).
+    pub fn file_order(&self) -> Vec<u32> {
+        self.leaves
+            .iter()
+            .flat_map(|l| l.points.iter().map(|p| p.0))
+            .collect()
+    }
+}
+
+impl LeafedIndex for IDistance {
+    fn num_leaves(&self) -> u32 {
+        self.leaves.len() as u32
+    }
+
+    fn leaf_points(&self, leaf: u32) -> &[PointId] {
+        &self.leaves[leaf as usize].points
+    }
+
+    fn leaf_lower_bounds(&self, q: &[f32]) -> Vec<(u32, f64)> {
+        // One center distance per cluster, then O(1) per leaf.
+        let center_dist: Vec<f64> = (0..self.km.k() as u32)
+            .map(|c| euclidean(q, self.km.center(c)))
+            .collect();
+        self.leaves
+            .iter()
+            .enumerate()
+            .map(|(i, leaf)| {
+                let dc = center_dist[leaf.cluster as usize];
+                let lb = (dc - leaf.d_hi).max(leaf.d_lo - dc).max(0.0);
+                (i as u32, lb)
+            })
+            .collect()
+    }
+
+    fn leaf_of(&self, id: PointId) -> u32 {
+        self.leaf_of[id.index()]
+    }
+
+    fn name(&self) -> &'static str {
+        "iDistance"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_rows(
+            &(0..n)
+                .map(|_| (0..d).map(|_| rng.gen_range(0.0..10.0)).collect())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn every_point_is_in_exactly_one_leaf() {
+        let ds = dataset(200, 5, 1);
+        let idx = IDistance::build(&ds, 8, 6, 1);
+        let mut seen = vec![false; ds.len()];
+        for leaf in 0..idx.num_leaves() {
+            for p in idx.leaf_points(leaf) {
+                assert!(!seen[p.index()], "{p} duplicated");
+                seen[p.index()] = true;
+                assert_eq!(idx.leaf_of(*p), leaf);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn leaves_respect_capacity_and_clusters() {
+        let ds = dataset(150, 4, 2);
+        let idx = IDistance::build(&ds, 5, 7, 2);
+        for leaf in 0..idx.num_leaves() {
+            let pts = idx.leaf_points(leaf);
+            assert!(pts.len() <= 7);
+            let meta_cluster = idx.km.assignment[pts[0].index()];
+            for p in pts {
+                assert_eq!(idx.km.assignment[p.index()], meta_cluster);
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_lower_bounds_are_sound() {
+        let ds = dataset(120, 6, 3);
+        let idx = IDistance::build(&ds, 6, 5, 3);
+        let q: Vec<f32> = (0..6).map(|j| j as f32).collect();
+        for (leaf, lb) in idx.leaf_lower_bounds(&q) {
+            for p in idx.leaf_points(leaf) {
+                let d = euclidean(&q, ds.point(*p));
+                assert!(lb <= d + 1e-9, "leaf {leaf}: lb {lb} > dist {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn file_order_is_a_permutation_grouping_leaves() {
+        let ds = dataset(90, 3, 4);
+        let idx = IDistance::build(&ds, 4, 6, 4);
+        let order = idx.file_order();
+        assert_eq!(order.len(), ds.len());
+        let mut seen = vec![false; ds.len()];
+        for &id in &order {
+            assert!(!seen[id as usize]);
+            seen[id as usize] = true;
+        }
+        // Consecutive positions within a leaf_capacity-sized window share a
+        // leaf wherever the leaf is full.
+        let mut pos = 0usize;
+        for leaf in 0..idx.num_leaves() {
+            let len = idx.leaf_points(leaf).len();
+            for &id in &order[pos..pos + len] {
+                assert_eq!(idx.leaf_of(PointId(id)), leaf);
+            }
+            pos += len;
+        }
+    }
+
+    #[test]
+    fn near_leaves_have_smaller_bounds_than_far_leaves() {
+        let ds = dataset(100, 4, 5);
+        let idx = IDistance::build(&ds, 6, 5, 5);
+        let q = ds.point(PointId(0)).to_vec();
+        let bounds = idx.leaf_lower_bounds(&q);
+        let own_leaf = idx.leaf_of(PointId(0));
+        let own_lb = bounds.iter().find(|&&(l, _)| l == own_leaf).expect("has leaf").1;
+        assert!(own_lb <= 1e-6, "query's own leaf must have ~zero bound");
+        let max_lb = bounds
+            .iter()
+            .map(|&(_, lb)| lb)
+            .fold(0.0f64, f64::max);
+        assert!(max_lb > own_lb);
+    }
+}

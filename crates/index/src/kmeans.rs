@@ -1,0 +1,224 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Used for (a) the iDistance reference points (paper \[20\] picks cluster
+//! centers as references) and (b) the Clustered file ordering of §5.2.2.
+
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::distance::sq_euclidean;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Flattened centers, `k × d` row-major.
+    centers: Vec<f32>,
+    dim: usize,
+    /// Per-point cluster assignment.
+    pub assignment: Vec<u32>,
+    /// Per-point distance to its assigned center.
+    pub dist_to_center: Vec<f64>,
+}
+
+impl KMeans {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centers.len() / self.dim
+    }
+
+    /// Center of cluster `i`.
+    pub fn center(&self, i: u32) -> &[f32] {
+        let i = i as usize;
+        &self.centers[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Maximum assigned-point distance per cluster (the iDistance cluster
+    /// radius `r_i`).
+    pub fn cluster_radii(&self) -> Vec<f64> {
+        let mut radii = vec![0.0f64; self.k()];
+        for (a, d) in self.assignment.iter().zip(&self.dist_to_center) {
+            let r = &mut radii[*a as usize];
+            if *d > *r {
+                *r = *d;
+            }
+        }
+        radii
+    }
+
+    /// Nearest center to an arbitrary point: `(cluster, distance)`.
+    pub fn assign(&self, p: &[f32]) -> (u32, f64) {
+        let mut best = 0u32;
+        let mut best_d = f64::INFINITY;
+        for i in 0..self.k() as u32 {
+            let d = sq_euclidean(p, self.center(i));
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        (best, best_d.sqrt())
+    }
+}
+
+/// Run k-means. `k` is capped at the dataset size; `max_iters` Lloyd rounds
+/// (convergence usually happens earlier and stops the loop).
+pub fn kmeans(dataset: &Dataset, k: usize, seed: u64, max_iters: usize) -> KMeans {
+    let n = dataset.len();
+    assert!(n > 0, "k-means needs a non-empty dataset");
+    let k = k.clamp(1, n);
+    let d = dataset.dim();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding: first center uniform, then D² sampling.
+    let mut centers: Vec<f32> = Vec::with_capacity(k * d);
+    let first = rng.gen_range(0..n);
+    centers.extend_from_slice(dataset.point(PointId::from(first)));
+    let mut d2: Vec<f64> = dataset
+        .iter()
+        .map(|(_, p)| sq_euclidean(p, &centers[..d]))
+        .collect();
+    while centers.len() / d < k {
+        let total: f64 = d2.iter().sum();
+        let chosen = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    idx = i;
+                    break;
+                }
+                target -= w;
+            }
+            idx
+        };
+        let c0 = centers.len();
+        centers.extend_from_slice(dataset.point(PointId::from(chosen)));
+        let new_center = centers[c0..].to_vec();
+        for (i, (_, p)) in dataset.iter().enumerate() {
+            let nd = sq_euclidean(p, &new_center);
+            if nd < d2[i] {
+                d2[i] = nd;
+            }
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0u32; n];
+    let mut dist_to_center = vec![0.0f64; n];
+    for _ in 0..max_iters.max(1) {
+        let mut changed = false;
+        for (i, (_, p)) in dataset.iter().enumerate() {
+            let mut best = 0u32;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k as u32 {
+                let cd = sq_euclidean(p, &centers[c as usize * d..(c as usize + 1) * d]);
+                if cd < best_d {
+                    best_d = cd;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+            dist_to_center[i] = best_d.sqrt();
+        }
+        if !changed {
+            break;
+        }
+        // Recompute centers; empty clusters keep their previous position.
+        let mut sums = vec![0.0f64; k * d];
+        let mut counts = vec![0u64; k];
+        for (i, (_, p)) in dataset.iter().enumerate() {
+            let c = assignment[i] as usize;
+            counts[c] += 1;
+            for (j, &v) in p.iter().enumerate() {
+                sums[c * d + j] += v as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                continue;
+            }
+            for j in 0..d {
+                centers[c * d + j] = (sums[c * d + j] / counts[c] as f64) as f32;
+            }
+        }
+    }
+
+    KMeans { centers, dim: d, assignment, dist_to_center }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_dataset() -> Dataset {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f32 * 0.01;
+            rows.push(vec![0.0 + jitter, 0.0 + jitter]);
+        }
+        for i in 0..20 {
+            let jitter = (i % 5) as f32 * 0.01;
+            rows.push(vec![10.0 + jitter, 10.0 + jitter]);
+        }
+        Dataset::from_rows(&rows)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let km = kmeans(&two_blob_dataset(), 2, 1, 50);
+        assert_eq!(km.k(), 2);
+        let a0 = km.assignment[0];
+        assert!(km.assignment[..20].iter().all(|&a| a == a0));
+        assert!(km.assignment[20..].iter().all(|&a| a != a0));
+    }
+
+    #[test]
+    fn distances_match_assignment() {
+        let ds = two_blob_dataset();
+        let km = kmeans(&ds, 2, 3, 50);
+        for (i, (_, p)) in ds.iter().enumerate() {
+            let c = km.center(km.assignment[i]);
+            let d = hc_core::distance::euclidean(p, c);
+            assert!((d - km.dist_to_center[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn radii_cover_all_members() {
+        let ds = two_blob_dataset();
+        let km = kmeans(&ds, 2, 5, 50);
+        let radii = km.cluster_radii();
+        for (i, &a) in km.assignment.iter().enumerate() {
+            assert!(km.dist_to_center[i] <= radii[a as usize] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn assign_returns_nearest_center() {
+        let km = kmeans(&two_blob_dataset(), 2, 7, 50);
+        let (c_near_origin, d) = km.assign(&[0.5, 0.5]);
+        let (c_far, _) = km.assign(&[9.5, 9.5]);
+        assert_ne!(c_near_origin, c_far);
+        assert!(d < 2.0);
+    }
+
+    #[test]
+    fn k_capped_at_dataset_size() {
+        let ds = Dataset::from_rows(&[vec![1.0], vec![2.0]]);
+        let km = kmeans(&ds, 10, 0, 10);
+        assert_eq!(km.k(), 2);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let ds = two_blob_dataset();
+        let a = kmeans(&ds, 3, 11, 30);
+        let b = kmeans(&ds, 3, 11, 30);
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

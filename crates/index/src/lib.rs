@@ -1,0 +1,36 @@
+//! # hc-index
+//!
+//! Disk-based kNN indexes built from scratch for the reproduction:
+//!
+//! * [`lsh::C2lsh`] — the paper's default candidate-generation index \[13\]
+//!   (p-stable projections + dynamic collision counting at virtually-rehashed
+//!   radii),
+//! * [`vafile::VaFile`] — the vector-approximation file \[32\]\[33\], also the
+//!   substrate of the C-VA cache baseline,
+//! * [`idistance::IDistance`] — reference-point distance keys over paged
+//!   leaves \[20\],
+//! * [`vptree::VpTree`] — vantage-point metric tree \[4\],
+//! * [`rtree::RTree`] — STR-bulk-loaded R-tree (supplies mHC-R's leaf-MBR
+//!   buckets, §3.6.2),
+//! * [`kmeans`] — Lloyd's k-means with k-means++ seeding (iDistance
+//!   references, Clustered file ordering).
+//!
+//! The [`traits`] module defines the two index abstractions the shared query
+//! pipeline consumes: [`traits::CandidateIndex`] (phase-1 candidate
+//! generation) and [`traits::LeafedIndex`] (exact tree search over paged
+//! leaves, paper §3.6.1).
+
+pub mod idistance;
+pub mod kmeans;
+pub mod lsh;
+pub mod rtree;
+pub mod traits;
+pub mod vafile;
+pub mod vptree;
+
+pub use idistance::IDistance;
+pub use lsh::{C2lsh, C2lshParams};
+pub use rtree::RTree;
+pub use traits::{CandidateIndex, LeafedIndex};
+pub use vafile::VaFile;
+pub use vptree::VpTree;

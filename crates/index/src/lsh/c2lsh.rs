@@ -1,0 +1,384 @@
+//! C2LSH: locality-sensitive hashing with dynamic collision counting
+//! (Gan, Feng, Fang, Ng; SIGMOD 2012 — the paper's reference \[13\] and its
+//! default candidate-generation index).
+//!
+//! Structure: `m` p-stable hash functions over *base* buckets of width `w`.
+//! Instead of many hash tables, C2LSH counts, per point, how many of the `m`
+//! functions put the point into the same bucket as the query. Counting starts
+//! at search radius `R = 1` (base buckets) and proceeds through *virtual
+//! rehashing*: at radius `R`, `R` consecutive base buckets merge into one
+//! super-bucket (`⌊h/R⌋`), so collisions only accumulate as `R` grows by the
+//! approximation ratio `c` per level. A point whose collision count reaches
+//! the threshold `l = ⌈α·m⌉` becomes a candidate; the search stops once
+//! `k + β` candidates exist (the paper's `k + βn` false-positive allowance).
+//!
+//! Implementation notes: each function keeps its points sorted by base bucket
+//! id. Super-bucket intervals are dyadic-nested as `R` multiplies by an
+//! integer `c` (`⌊⌊h/R⌋/c⌋ = ⌊h/(cR)⌋`), so per function we keep a coverage
+//! window into the sorted array and only process *newly covered* entries at
+//! each level — every table entry is touched at most once per query.
+
+use std::cell::RefCell;
+
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::distance::euclidean;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::family::{sample_family, PStableHash};
+use crate::traits::CandidateIndex;
+
+/// C2LSH tuning knobs with paper-style defaults.
+#[derive(Debug, Clone)]
+pub struct C2lshParams {
+    /// Number of hash functions `m`.
+    pub m: usize,
+    /// Collision threshold fraction `α`; threshold `l = ⌈α·m⌉`.
+    pub alpha: f64,
+    /// Approximation ratio `c` (integer radius multiplier per level).
+    pub approx_ratio: i64,
+    /// Base bucket width `w`; `None` derives it from sampled pair distances.
+    pub base_width: Option<f64>,
+    /// Candidate budget beyond `k` (the `βn` allowance; the C2LSH paper uses
+    /// `β = 100/n`, i.e. ~100 extra candidates).
+    pub extra_candidates: usize,
+    /// RNG seed for the hash family.
+    pub seed: u64,
+}
+
+impl Default for C2lshParams {
+    fn default() -> Self {
+        Self {
+            m: 20,
+            alpha: 0.6,
+            approx_ratio: 2,
+            base_width: None,
+            extra_candidates: 250,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Diagnostics of one candidate-generation run.
+#[derive(Debug, Clone)]
+pub struct C2lshRun {
+    pub candidates: Vec<PointId>,
+    /// Number of virtual-rehashing levels executed.
+    pub levels: u32,
+    /// The `(R, c)`-guarantee distance `c · R · w` at termination — an upper
+    /// bound on how far accepted candidates can be (Theorem 3's `D_max`).
+    pub guarantee_distance: f64,
+}
+
+struct Scratch {
+    counts: Vec<u16>,
+    epoch: Vec<u32>,
+    cur_epoch: u32,
+    /// Per-function coverage window `[lo, hi)` into the sorted table.
+    windows: Vec<(usize, usize)>,
+}
+
+/// The C2LSH index.
+pub struct C2lsh {
+    params: C2lshParams,
+    hashes: Vec<PStableHash>,
+    /// Per function: `(base_bucket, point_id)` sorted by bucket.
+    tables: Vec<Vec<(i64, u32)>>,
+    threshold: u16,
+    n: usize,
+    width: f64,
+    /// Largest |base bucket id| across all tables: once the radius exceeds
+    /// twice this span the coverage windows can no longer grow (dyadic
+    /// `⌊h/R⌋` intervals never cross zero), so the search must stop.
+    max_abs_bucket: i64,
+    scratch: RefCell<Scratch>,
+}
+
+impl C2lsh {
+    /// Build over a dataset (offline; costs no simulated I/O).
+    pub fn build(dataset: &Dataset, params: C2lshParams) -> Self {
+        assert!(params.m >= 1);
+        assert!(params.approx_ratio >= 2, "c must be an integer ≥ 2");
+        assert!((0.0..=1.0).contains(&params.alpha));
+        let n = dataset.len();
+        let width = params
+            .base_width
+            .unwrap_or_else(|| data_scale_width(dataset, params.seed));
+        let hashes = sample_family(params.m, dataset.dim(), width, params.seed);
+        let tables: Vec<Vec<(i64, u32)>> = hashes
+            .iter()
+            .map(|h| {
+                let mut t: Vec<(i64, u32)> = dataset
+                    .iter()
+                    .map(|(id, p)| (h.bucket(p), id.0))
+                    .collect();
+                t.sort_unstable();
+                t
+            })
+            .collect();
+        let threshold = ((params.alpha * params.m as f64).ceil() as u16).max(1);
+        let m = params.m;
+        let max_abs_bucket = tables
+            .iter()
+            .flat_map(|t: &Vec<(i64, u32)>| {
+                [t.first().map(|&(b, _)| b.abs()), t.last().map(|&(b, _)| b.abs())]
+            })
+            .flatten()
+            .max()
+            .unwrap_or(0);
+        Self {
+            params,
+            hashes,
+            tables,
+            threshold,
+            n,
+            width,
+            max_abs_bucket,
+            scratch: RefCell::new(Scratch {
+                counts: vec![0; n],
+                epoch: vec![0; n],
+                cur_epoch: 0,
+                windows: vec![(0, 0); m],
+            }),
+        }
+    }
+
+    /// Base bucket width in use.
+    pub fn base_width(&self) -> f64 {
+        self.width
+    }
+
+    /// Collision threshold `l`.
+    pub fn threshold(&self) -> u16 {
+        self.threshold
+    }
+
+    /// Candidate generation with diagnostics.
+    pub fn run(&self, q: &[f32], k: usize) -> C2lshRun {
+        let limit = k + self.params.extra_candidates;
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        s.cur_epoch = s.cur_epoch.wrapping_add(1);
+        if s.cur_epoch == 0 {
+            // Epoch counter wrapped: hard-reset to stay sound.
+            s.epoch.iter_mut().for_each(|e| *e = 0);
+            s.cur_epoch = 1;
+        }
+        for w in &mut s.windows {
+            *w = (0, 0);
+        }
+
+        let q_buckets: Vec<i64> = self.hashes.iter().map(|h| h.bucket(q)).collect();
+        let mut candidates: Vec<PointId> = Vec::with_capacity(limit.min(self.n));
+        let mut radius: i64 = 1;
+        let mut levels = 0u32;
+        let mut initialized = vec![false; self.params.m];
+
+        loop {
+            levels += 1;
+            let mut fully_covered = true;
+            for (i, table) in self.tables.iter().enumerate() {
+                let a = q_buckets[i].div_euclid(radius);
+                let (lo_val, hi_val) = (a * radius, a * radius + radius - 1);
+                let new_lo = table.partition_point(|&(b, _)| b < lo_val);
+                let new_hi = table.partition_point(|&(b, _)| b <= hi_val);
+                let (old_lo, old_hi) = s.windows[i];
+                let ranges: [(usize, usize); 2] = if initialized[i] {
+                    debug_assert!(new_lo <= old_lo && new_hi >= old_hi, "windows must nest");
+                    [(new_lo, old_lo), (old_hi, new_hi)]
+                } else {
+                    initialized[i] = true;
+                    [(new_lo, new_hi), (0, 0)]
+                };
+                for (lo, hi) in ranges {
+                    for &(_, id) in &table[lo..hi] {
+                        let idx = id as usize;
+                        if s.epoch[idx] != s.cur_epoch {
+                            s.epoch[idx] = s.cur_epoch;
+                            s.counts[idx] = 0;
+                        }
+                        s.counts[idx] += 1;
+                        if s.counts[idx] == self.threshold {
+                            candidates.push(PointId(id));
+                        }
+                    }
+                }
+                s.windows[i] = (new_lo, new_hi);
+                if new_lo != 0 || new_hi != table.len() {
+                    fully_covered = false;
+                }
+            }
+            // Stop on: enough candidates; every table fully covered; or the
+            // radius has outgrown the bucket span — beyond that the dyadic
+            // ⌊h/R⌋ windows are final (a window rooted at a non-negative
+            // query bucket never reaches negative buckets and vice versa),
+            // so points below the collision threshold can never become
+            // candidates and further rehashing is a no-op.
+            let exhausted = radius > 4 * (self.max_abs_bucket + 1);
+            if candidates.len() >= limit || fully_covered || exhausted {
+                break;
+            }
+            radius = radius.saturating_mul(self.params.approx_ratio);
+        }
+
+        C2lshRun {
+            candidates,
+            levels,
+            guarantee_distance: self.params.approx_ratio as f64 * radius as f64 * self.width,
+        }
+    }
+}
+
+impl CandidateIndex for C2lsh {
+    fn candidates(&self, q: &[f32], k: usize) -> Vec<PointId> {
+        self.run(q, k).candidates
+    }
+
+    fn name(&self) -> &'static str {
+        "C2LSH"
+    }
+}
+
+/// Heuristic base width: an eighth of the median distance over sampled pairs,
+/// so that genuinely close pairs collide at small radii while far pairs need
+/// several virtual rehashes. Shared with the E2LSH index.
+pub(crate) fn data_scale_width(dataset: &Dataset, seed: u64) -> f64 {
+    let n = dataset.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA11CE);
+    let samples = 256.min(n * (n - 1) / 2).max(1);
+    let mut dists: Vec<f64> = (0..samples)
+        .map(|_| {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n);
+            if b == a {
+                b = (b + 1) % n;
+            }
+            euclidean(
+                dataset.point(PointId::from(a)),
+                dataset.point(PointId::from(b)),
+            )
+        })
+        .collect();
+    dists.sort_by(|x, y| x.partial_cmp(y).expect("finite distances"));
+    let median = dists[dists.len() / 2];
+    if median > 0.0 {
+        median / 8.0
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clustered_dataset(n_per: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        for c in 0..4 {
+            let center = c as f32 * 10.0;
+            for _ in 0..n_per {
+                rows.push((0..d).map(|_| center + rng.gen_range(-0.5..0.5)).collect());
+            }
+        }
+        Dataset::from_rows(&rows)
+    }
+
+    #[test]
+    fn finds_near_cluster_candidates_first() {
+        let ds = clustered_dataset(50, 8, 1);
+        let idx = C2lsh::build(
+            &ds,
+            C2lshParams { extra_candidates: 30, ..Default::default() },
+        );
+        // Query at the center of cluster 0: candidates should be dominated by
+        // cluster-0 ids (0..50).
+        let q = vec![0.0f32; 8];
+        let cands = idx.candidates(&q, 10);
+        assert!(cands.len() >= 40, "too few candidates: {}", cands.len());
+        let in_cluster0 = cands.iter().filter(|id| id.0 < 50).count();
+        assert!(
+            in_cluster0 * 2 > cands.len(),
+            "cluster 0 hits {in_cluster0}/{}",
+            cands.len()
+        );
+    }
+
+    #[test]
+    fn recall_of_true_nn_is_high() {
+        let ds = clustered_dataset(50, 8, 2);
+        let idx = C2lsh::build(&ds, C2lshParams::default());
+        let mut hits = 0;
+        let queries = 20;
+        for qi in 0..queries {
+            let q: Vec<f32> = ds.point(PointId(qi * 7)).to_vec();
+            // Exact NN excluding the point itself.
+            let exact = ds
+                .iter()
+                .filter(|(id, _)| id.0 != qi * 7)
+                .min_by(|a, b| {
+                    euclidean(&q, a.1).partial_cmp(&euclidean(&q, b.1)).expect("finite")
+                })
+                .expect("non-empty")
+                .0;
+            if idx.candidates(&q, 10).contains(&exact) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= queries * 8 / 10, "recall {hits}/{queries}");
+    }
+
+    #[test]
+    fn candidate_budget_is_respected_approximately() {
+        let ds = clustered_dataset(100, 8, 3);
+        let extra = 50;
+        let idx = C2lsh::build(&ds, C2lshParams { extra_candidates: extra, ..Default::default() });
+        let cands = idx.candidates(&[0.0f32; 8], 10);
+        // One level can overshoot, but not by the whole dataset.
+        assert!(cands.len() >= 10);
+        assert!(cands.len() < 400, "overshoot: {}", cands.len());
+    }
+
+    #[test]
+    fn unreachable_candidate_budget_still_terminates() {
+        // Tiny dataset, impossible budget: the radius bound must end the
+        // search once coverage windows stop growing. Points that collide in
+        // fewer than l functions (e.g. whose projections land on the other
+        // side of zero in many tables) legitimately never become candidates.
+        let ds = clustered_dataset(3, 4, 4);
+        let idx = C2lsh::build(&ds, C2lshParams { extra_candidates: 10_000, ..Default::default() });
+        let run = idx.run(&[0.0f32; 4], 1);
+        assert!(!run.candidates.is_empty());
+        assert!(run.candidates.len() <= ds.len());
+        // No duplicates.
+        let mut ids: Vec<u32> = run.candidates.iter().map(|p| p.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), run.candidates.len());
+    }
+
+    #[test]
+    fn runs_are_independent_across_queries() {
+        let ds = clustered_dataset(30, 8, 5);
+        let idx = C2lsh::build(&ds, C2lshParams::default());
+        let q0 = vec![0.0f32; 8];
+        let a = idx.candidates(&q0, 10);
+        let _ = idx.candidates(&[30.0f32; 8], 10);
+        let b = idx.candidates(&q0, 10);
+        assert_eq!(a, b, "scratch state leaked between queries");
+    }
+
+    #[test]
+    fn guarantee_distance_grows_with_levels() {
+        let ds = clustered_dataset(50, 8, 6);
+        let idx = C2lsh::build(&ds, C2lshParams::default());
+        let run = idx.run(&[0.0f32; 8], 10);
+        assert!(run.levels >= 1);
+        assert!(run.guarantee_distance > 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Classic E2LSH (Datar et al. \[7\], Gionis et al. \[16\]): `L` hash tables,
+//! each keyed by the concatenation of `m` p-stable projections, with optional
+//! multi-probe (Lv et al. \[24\]).
+//!
+//! The paper's caching framework is index-agnostic ("our proposed solution
+//! can be used on both types of index structures", §6); C2LSH is its default
+//! but any candidate-generation index plugs into Algorithm 1. E2LSH is the
+//! classic alternative: a query probes its own bucket in each table (plus,
+//! with multi-probe, the buckets whose keys differ by ±1 in one position)
+//! and the union of colliding points forms `C(q)`.
+
+use std::collections::HashMap;
+
+use hc_core::dataset::{Dataset, PointId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::family::PStableHash;
+use crate::traits::CandidateIndex;
+
+/// E2LSH parameters.
+#[derive(Debug, Clone)]
+pub struct E2lshParams {
+    /// Number of hash tables `L`.
+    pub tables: usize,
+    /// Projections concatenated per table key (`m`, often called `k` in the
+    /// LSH literature; renamed to avoid clashing with the result size).
+    pub projections: usize,
+    /// Base bucket width `w`; `None` derives it from the data like C2LSH.
+    pub width: Option<f64>,
+    /// Multi-probe: additionally probe buckets whose key differs by ±1 in
+    /// exactly one coordinate (2·m extra probes per table).
+    pub multi_probe: bool,
+    pub seed: u64,
+}
+
+impl Default for E2lshParams {
+    fn default() -> Self {
+        Self { tables: 8, projections: 4, width: None, multi_probe: true, seed: 0xE25 }
+    }
+}
+
+/// One hash table: composite key → point ids.
+struct Table {
+    hashes: Vec<PStableHash>,
+    buckets: HashMap<Vec<i64>, Vec<u32>>,
+}
+
+impl Table {
+    fn key(&self, p: &[f32]) -> Vec<i64> {
+        self.hashes.iter().map(|h| h.bucket(p)).collect()
+    }
+}
+
+/// The E2LSH index.
+pub struct E2lsh {
+    tables: Vec<Table>,
+    multi_probe: bool,
+    n: usize,
+}
+
+impl E2lsh {
+    pub fn build(dataset: &Dataset, params: E2lshParams) -> Self {
+        assert!(params.tables >= 1 && params.projections >= 1);
+        let width = params
+            .width
+            .unwrap_or_else(|| super::c2lsh::data_scale_width(dataset, params.seed) * 4.0);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let tables = (0..params.tables)
+            .map(|_| {
+                let hashes: Vec<PStableHash> = (0..params.projections)
+                    .map(|_| PStableHash::sample(dataset.dim(), width, &mut rng))
+                    .collect();
+                let mut buckets: HashMap<Vec<i64>, Vec<u32>> = HashMap::new();
+                let table = Table { hashes, buckets: HashMap::new() };
+                for (id, p) in dataset.iter() {
+                    buckets.entry(table.key(p)).or_default().push(id.0);
+                }
+                Table { hashes: table.hashes, buckets }
+            })
+            .collect();
+        Self { tables, multi_probe: params.multi_probe, n: dataset.len() }
+    }
+
+    /// Number of non-empty buckets across all tables (diagnostics).
+    pub fn total_buckets(&self) -> usize {
+        self.tables.iter().map(|t| t.buckets.len()).sum()
+    }
+}
+
+impl CandidateIndex for E2lsh {
+    fn candidates(&self, q: &[f32], _k: usize) -> Vec<PointId> {
+        let mut seen = vec![false; self.n];
+        let mut out = Vec::new();
+        let mut collect = |ids: Option<&Vec<u32>>| {
+            if let Some(ids) = ids {
+                for &id in ids {
+                    if !seen[id as usize] {
+                        seen[id as usize] = true;
+                        out.push(PointId(id));
+                    }
+                }
+            }
+        };
+        for t in &self.tables {
+            let key = t.key(q);
+            collect(t.buckets.get(&key));
+            if self.multi_probe {
+                for i in 0..key.len() {
+                    for delta in [-1i64, 1] {
+                        let mut probe = key.clone();
+                        probe[i] += delta;
+                        collect(t.buckets.get(&probe));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "E2LSH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_core::distance::euclidean;
+    use rand::Rng;
+
+    fn clustered(n_per: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        for c in 0..4 {
+            let center = c as f32 * 8.0;
+            for _ in 0..n_per {
+                rows.push((0..d).map(|_| center + rng.gen_range(-0.5..0.5)).collect());
+            }
+        }
+        Dataset::from_rows(&rows)
+    }
+
+    #[test]
+    fn candidates_are_unique() {
+        let ds = clustered(40, 8, 1);
+        let idx = E2lsh::build(&ds, E2lshParams::default());
+        let cands = idx.candidates(&[0.0f32; 8], 5);
+        let mut ids: Vec<u32> = cands.iter().map(|p| p.0).collect();
+        ids.sort_unstable();
+        let len = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), len, "duplicate candidates");
+    }
+
+    #[test]
+    fn nn_recall_is_reasonable() {
+        let ds = clustered(50, 8, 2);
+        let idx = E2lsh::build(&ds, E2lshParams::default());
+        let mut hits = 0;
+        for qi in 0..20u32 {
+            let q = ds.point(PointId(qi * 9)).to_vec();
+            let nn = ds
+                .iter()
+                .filter(|(id, _)| id.0 != qi * 9)
+                .min_by(|a, b| euclidean(&q, a.1).partial_cmp(&euclidean(&q, b.1)).expect("finite"))
+                .expect("non-empty")
+                .0;
+            if idx.candidates(&q, 1).contains(&nn) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 14, "recall {hits}/20");
+    }
+
+    #[test]
+    fn multi_probe_widens_candidate_sets() {
+        let ds = clustered(50, 8, 3);
+        let base = E2lsh::build(
+            &ds,
+            E2lshParams { multi_probe: false, ..Default::default() },
+        );
+        let probed = E2lsh::build(
+            &ds,
+            E2lshParams { multi_probe: true, ..Default::default() },
+        );
+        let q = vec![0.2f32; 8];
+        assert!(probed.candidates(&q, 1).len() >= base.candidates(&q, 1).len());
+    }
+
+    #[test]
+    fn more_tables_increase_recall_surface() {
+        let ds = clustered(50, 8, 4);
+        let small = E2lsh::build(&ds, E2lshParams { tables: 1, ..Default::default() });
+        let large = E2lsh::build(&ds, E2lshParams { tables: 12, ..Default::default() });
+        let q = vec![8.1f32; 8];
+        assert!(large.candidates(&q, 1).len() >= small.candidates(&q, 1).len());
+        assert!(large.total_buckets() > small.total_buckets());
+    }
+
+    #[test]
+    fn works_through_the_candidate_trait() {
+        let ds = clustered(30, 4, 5);
+        let idx: Box<dyn CandidateIndex> = Box::new(E2lsh::build(&ds, E2lshParams::default()));
+        assert_eq!(idx.name(), "E2LSH");
+        assert!(!idx.candidates(&[0.0f32; 4], 3).is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! p-stable LSH hash family (Datar et al. \[7\]).
+//!
+//! `h_{a,b}(p) = ⌊(a·p + b) / w⌋` with `a` a vector of i.i.d. standard
+//! Gaussians and `b` uniform in `[0, w)`. Nearby points collide in the same
+//! base bucket with probability decreasing in their distance — the property
+//! both classic LSH and C2LSH's collision counting rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One p-stable hash function.
+#[derive(Debug, Clone)]
+pub struct PStableHash {
+    a: Vec<f32>,
+    b: f64,
+    w: f64,
+}
+
+impl PStableHash {
+    /// Draw a function for dimensionality `d` with bucket width `w`.
+    pub fn sample(d: usize, w: f64, rng: &mut StdRng) -> Self {
+        assert!(w > 0.0, "bucket width must be positive");
+        // Box–Muller Gaussians: keeps us independent of rand_distr.
+        let mut a = Vec::with_capacity(d);
+        while a.len() < d {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            a.push((r * theta.cos()) as f32);
+            if a.len() < d {
+                a.push((r * theta.sin()) as f32);
+            }
+        }
+        let b = rng.gen_range(0.0..w);
+        Self { a, b, w }
+    }
+
+    /// The raw projection `a·p + b` (before bucketing).
+    #[inline]
+    pub fn project(&self, p: &[f32]) -> f64 {
+        debug_assert_eq!(p.len(), self.a.len());
+        let dot: f64 = self
+            .a
+            .iter()
+            .zip(p.iter())
+            .map(|(&ai, &pi)| ai as f64 * pi as f64)
+            .sum();
+        dot + self.b
+    }
+
+    /// The base bucket id `⌊(a·p + b) / w⌋`.
+    #[inline]
+    pub fn bucket(&self, p: &[f32]) -> i64 {
+        (self.project(p) / self.w).floor() as i64
+    }
+
+    /// Base bucket width `w`.
+    pub fn width(&self) -> f64 {
+        self.w
+    }
+}
+
+/// Sample `m` independent functions.
+pub fn sample_family(m: usize, d: usize, w: f64, seed: u64) -> Vec<PStableHash> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m).map(|_| PStableHash::sample(d, w, &mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_is_linear() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = PStableHash::sample(4, 1.0, &mut rng);
+        let p = [1.0f32, 2.0, 3.0, 4.0];
+        let q = [2.0f32, 4.0, 6.0, 8.0];
+        let zero = [0.0f32; 4];
+        let hp = h.project(&p) - h.project(&zero);
+        let hq = h.project(&q) - h.project(&zero);
+        assert!((hq - 2.0 * hp).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_points_share_buckets() {
+        let fam = sample_family(10, 8, 4.0, 42);
+        let p = [0.5f32; 8];
+        for h in &fam {
+            assert_eq!(h.bucket(&p), h.bucket(&p));
+        }
+    }
+
+    #[test]
+    fn near_points_collide_more_than_far_points() {
+        let fam = sample_family(200, 16, 4.0, 7);
+        let p = [0.0f32; 16];
+        let mut near = [0.0f32; 16];
+        near[0] = 0.5;
+        let mut far = [0.0f32; 16];
+        for v in far.iter_mut() {
+            *v = 5.0;
+        }
+        let collisions = |a: &[f32], b: &[f32]| {
+            fam.iter().filter(|h| h.bucket(a) == h.bucket(b)).count()
+        };
+        let c_near = collisions(&p, &near);
+        let c_far = collisions(&p, &far);
+        assert!(c_near > c_far, "near {c_near} vs far {c_far}");
+    }
+
+    #[test]
+    fn family_is_deterministic_per_seed() {
+        let a = sample_family(3, 5, 2.0, 99);
+        let b = sample_family(3, 5, 2.0, 99);
+        let p = [1.0f32, -2.0, 0.5, 3.3, -0.1];
+        for (ha, hb) in a.iter().zip(&b) {
+            assert_eq!(ha.bucket(&p), hb.bucket(&p));
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Locality-sensitive hashing: the p-stable family and the C2LSH index.
+
+pub mod c2lsh;
+pub mod e2lsh;
+pub mod family;
+
+pub use c2lsh::{C2lsh, C2lshParams, C2lshRun};
+pub use e2lsh::{E2lsh, E2lshParams};
+pub use family::{sample_family, PStableHash};

@@ -1,0 +1,410 @@
+//! R-tree with Sort-Tile-Recursive (STR) bulk loading.
+//!
+//! Two roles in the reproduction:
+//!
+//! * its **leaf MBRs** define the multi-dimensional histogram buckets of
+//!   mHC-R (paper §3.6.2): "we build an R-tree with 2^τ leaf nodes … then map
+//!   the MBR of each leaf node to a bucket";
+//! * it serves as a third [`LeafedIndex`] (MBR min-dist lower bounds) and a
+//!   self-contained exact kNN baseline for tests — while also demonstrating
+//!   the §6 observation that tree indexes degenerate in high dimensions.
+//!
+//! STR here tiles recursively over the highest-variance dimensions (at most
+//! four levels of tiling — beyond that, high-dimensional tiling adds nothing
+//! and the classic curse-of-dimensionality behaviour emerges, which is
+//! exactly what Appendix B predicts for mHC-R).
+
+use std::collections::BinaryHeap;
+
+use hc_core::bounds::min_dist_sq_to_rect;
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::distance::{euclidean, DistEntry};
+
+use crate::traits::LeafedIndex;
+
+/// An axis-aligned minimum bounding rectangle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mbr {
+    pub lo: Vec<f32>,
+    pub hi: Vec<f32>,
+}
+
+impl Mbr {
+    fn of_points(dataset: &Dataset, ids: &[u32]) -> Self {
+        let d = dataset.dim();
+        let mut lo = vec![f32::INFINITY; d];
+        let mut hi = vec![f32::NEG_INFINITY; d];
+        for &id in ids {
+            for (j, &v) in dataset.point(PointId(id)).iter().enumerate() {
+                if v < lo[j] {
+                    lo[j] = v;
+                }
+                if v > hi[j] {
+                    hi[j] = v;
+                }
+            }
+        }
+        Self { lo, hi }
+    }
+
+    fn union(rects: &[&Mbr]) -> Self {
+        let d = rects[0].lo.len();
+        let mut lo = vec![f32::INFINITY; d];
+        let mut hi = vec![f32::NEG_INFINITY; d];
+        for r in rects {
+            for j in 0..d {
+                lo[j] = lo[j].min(r.lo[j]);
+                hi[j] = hi[j].max(r.hi[j]);
+            }
+        }
+        Self { lo, hi }
+    }
+
+    /// Squared minimum distance from a query to this rectangle.
+    pub fn min_dist_sq(&self, q: &[f32]) -> f64 {
+        min_dist_sq_to_rect(q, &self.lo, &self.hi)
+    }
+}
+
+struct InternalNode {
+    mbr: Mbr,
+    /// Child indices: into `internals` at `level-1`, or leaf ids at level 0.
+    children: Vec<u32>,
+}
+
+/// STR-bulk-loaded R-tree.
+pub struct RTree {
+    leaves: Vec<Vec<PointId>>,
+    leaf_mbrs: Vec<Mbr>,
+    leaf_of: Vec<u32>,
+    /// `levels[0]` groups leaves; `levels.last()` is the root level.
+    levels: Vec<Vec<InternalNode>>,
+    fanout: usize,
+}
+
+impl RTree {
+    /// Bulk load with the given leaf capacity. Internal fanout is 32.
+    pub fn bulk_load(dataset: &Dataset, leaf_capacity: usize) -> Self {
+        assert!(leaf_capacity >= 1);
+        assert!(!dataset.is_empty());
+        let split_dims = top_variance_dims(dataset, 4);
+        let mut leaves: Vec<Vec<u32>> = Vec::new();
+        let ids: Vec<u32> = (0..dataset.len() as u32).collect();
+        str_tile(dataset, ids, leaf_capacity, &split_dims, &mut leaves);
+
+        let mut leaf_of = vec![0u32; dataset.len()];
+        for (li, leaf) in leaves.iter().enumerate() {
+            for &id in leaf {
+                leaf_of[id as usize] = li as u32;
+            }
+        }
+        let leaf_mbrs: Vec<Mbr> = leaves.iter().map(|l| Mbr::of_points(dataset, l)).collect();
+
+        // Build internal levels by grouping consecutive children.
+        let fanout = 32usize;
+        let mut levels: Vec<Vec<InternalNode>> = Vec::new();
+        let mut child_mbrs: Vec<Mbr> = leaf_mbrs.clone();
+        while child_mbrs.len() > 1 {
+            let mut level = Vec::new();
+            for (gi, group) in child_mbrs.chunks(fanout).enumerate() {
+                let refs: Vec<&Mbr> = group.iter().collect();
+                level.push(InternalNode {
+                    mbr: Mbr::union(&refs),
+                    children: (0..group.len() as u32)
+                        .map(|c| (gi * fanout) as u32 + c)
+                        .collect(),
+                });
+            }
+            child_mbrs = level.iter().map(|n| n.mbr.clone()).collect();
+            levels.push(level);
+            if levels.last().expect("just pushed").len() == 1 {
+                break;
+            }
+        }
+
+        Self {
+            leaves: leaves
+                .into_iter()
+                .map(|l| l.into_iter().map(PointId).collect())
+                .collect(),
+            leaf_mbrs,
+            leaf_of,
+            levels,
+            fanout,
+        }
+    }
+
+    /// Bulk load targeting (at most) `num_leaves` leaves — the mHC-R
+    /// constructor's "R-tree with 2^τ leaf nodes".
+    pub fn with_num_leaves(dataset: &Dataset, num_leaves: usize) -> Self {
+        let cap = dataset.len().div_ceil(num_leaves.max(1)).max(1);
+        Self::bulk_load(dataset, cap)
+    }
+
+    /// The leaf MBRs as `(low, high)` pairs for
+    /// [`hc_core::histogram::multidim::MultiDimBuckets::from_rects`].
+    pub fn leaf_rects(&self) -> Vec<(Vec<f32>, Vec<f32>)> {
+        self.leaf_mbrs
+            .iter()
+            .map(|m| (m.lo.clone(), m.hi.clone()))
+            .collect()
+    }
+
+    /// Exact in-memory kNN via best-first MBR traversal (test baseline; the
+    /// disk-aware search goes through `hc-query`'s tree pipeline instead).
+    pub fn knn(&self, dataset: &Dataset, q: &[f32], k: usize) -> Vec<(PointId, f64)> {
+        #[derive(PartialEq)]
+        enum Entry {
+            Leaf(u32),
+            Node(usize, u32), // (level, index)
+        }
+        let mut heap: BinaryHeap<std::cmp::Reverse<DistEntry<Entry>>> = BinaryHeap::new();
+        if let Some(top) = self.levels.last() {
+            for (i, n) in top.iter().enumerate() {
+                heap.push(std::cmp::Reverse(DistEntry::new(
+                    n.mbr.min_dist_sq(q),
+                    Entry::Node(self.levels.len() - 1, i as u32),
+                )));
+            }
+        } else {
+            for li in 0..self.leaves.len() {
+                heap.push(std::cmp::Reverse(DistEntry::new(
+                    self.leaf_mbrs[li].min_dist_sq(q),
+                    Entry::Leaf(li as u32),
+                )));
+            }
+        }
+        let mut result: Vec<(PointId, f64)> = Vec::new();
+        let mut worst = f64::INFINITY;
+        while let Some(std::cmp::Reverse(e)) = heap.pop() {
+            if result.len() >= k && e.dist > worst * worst {
+                break;
+            }
+            match e.item {
+                Entry::Node(level, idx) => {
+                    let node = &self.levels[level][idx as usize];
+                    for &c in &node.children {
+                        if level == 0 {
+                            heap.push(std::cmp::Reverse(DistEntry::new(
+                                self.leaf_mbrs[c as usize].min_dist_sq(q),
+                                Entry::Leaf(c),
+                            )));
+                        } else {
+                            heap.push(std::cmp::Reverse(DistEntry::new(
+                                self.levels[level - 1][c as usize].mbr.min_dist_sq(q),
+                                Entry::Node(level - 1, c),
+                            )));
+                        }
+                    }
+                }
+                Entry::Leaf(li) => {
+                    for p in &self.leaves[li as usize] {
+                        let d = euclidean(q, dataset.point(*p));
+                        result.push((*p, d));
+                    }
+                    result.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                    result.truncate(k);
+                    if result.len() == k {
+                        worst = result[k - 1].1;
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Internal fanout (exposed for tests).
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+}
+
+/// Indices of the `take` highest-variance dimensions.
+fn top_variance_dims(dataset: &Dataset, take: usize) -> Vec<usize> {
+    let d = dataset.dim();
+    let n = dataset.len() as f64;
+    let mut sums = vec![0.0f64; d];
+    let mut sums2 = vec![0.0f64; d];
+    for (_, p) in dataset.iter() {
+        for (j, &v) in p.iter().enumerate() {
+            sums[j] += v as f64;
+            sums2[j] += (v as f64) * (v as f64);
+        }
+    }
+    let mut vars: Vec<(f64, usize)> = (0..d)
+        .map(|j| (sums2[j] / n - (sums[j] / n).powi(2), j))
+        .collect();
+    vars.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite variance"));
+    vars.into_iter().take(take.min(d)).map(|(_, j)| j).collect()
+}
+
+/// Recursive STR tiling: sort by the current split dimension, cut into slabs
+/// sized so the remaining dimensions can finish the job, recurse.
+fn str_tile(
+    dataset: &Dataset,
+    mut ids: Vec<u32>,
+    cap: usize,
+    dims: &[usize],
+    out: &mut Vec<Vec<u32>>,
+) {
+    let leaves_needed = ids.len().div_ceil(cap);
+    if leaves_needed <= 1 || dims.is_empty() {
+        for chunk in ids.chunks(cap) {
+            out.push(chunk.to_vec());
+        }
+        return;
+    }
+    let dim = dims[0];
+    ids.sort_by(|&a, &b| {
+        dataset.point(PointId(a))[dim]
+            .partial_cmp(&dataset.point(PointId(b))[dim])
+            .expect("finite")
+            .then(a.cmp(&b))
+    });
+    let slabs = (leaves_needed as f64)
+        .powf(1.0 / dims.len() as f64)
+        .ceil() as usize;
+    let slab_size = ids.len().div_ceil(slabs.max(1));
+    let mut rest = ids;
+    while !rest.is_empty() {
+        let take = slab_size.min(rest.len());
+        let slab: Vec<u32> = rest.drain(..take).collect();
+        str_tile(dataset, slab, cap, &dims[1..], out);
+    }
+}
+
+impl LeafedIndex for RTree {
+    fn num_leaves(&self) -> u32 {
+        self.leaves.len() as u32
+    }
+
+    fn leaf_points(&self, leaf: u32) -> &[PointId] {
+        &self.leaves[leaf as usize]
+    }
+
+    fn leaf_lower_bounds(&self, q: &[f32]) -> Vec<(u32, f64)> {
+        self.leaf_mbrs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i as u32, m.min_dist_sq(q).sqrt()))
+            .collect()
+    }
+
+    fn leaf_of(&self, id: PointId) -> u32 {
+        self.leaf_of[id.index()]
+    }
+
+    fn name(&self) -> &'static str {
+        "R-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_rows(
+            &(0..n)
+                .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn exact_knn(ds: &Dataset, q: &[f32], k: usize) -> Vec<PointId> {
+        let mut all: Vec<(f64, PointId)> =
+            ds.iter().map(|(id, p)| (euclidean(q, p), id)).collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        all.into_iter().take(k).map(|(_, id)| id).collect()
+    }
+
+    #[test]
+    fn leaves_partition_points_and_mbrs_cover_them() {
+        let ds = dataset(200, 3, 1);
+        let t = RTree::bulk_load(&ds, 8);
+        let mut seen = vec![false; ds.len()];
+        for li in 0..t.num_leaves() {
+            for p in t.leaf_points(li) {
+                assert!(!seen[p.index()]);
+                seen[p.index()] = true;
+                let m = &t.leaf_mbrs[li as usize];
+                for (j, &v) in ds.point(*p).iter().enumerate() {
+                    assert!(m.lo[j] <= v && v <= m.hi[j]);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn with_num_leaves_hits_the_target_roughly() {
+        let ds = dataset(256, 4, 2);
+        let t = RTree::with_num_leaves(&ds, 16);
+        let n = t.num_leaves() as usize;
+        assert!((12..=24).contains(&n), "got {n} leaves");
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let ds = dataset(300, 4, 3);
+        let t = RTree::bulk_load(&ds, 10);
+        for qi in [0usize, 50, 123] {
+            let q = ds.point(PointId::from(qi)).to_vec();
+            let got: Vec<PointId> = t.knn(&ds, &q, 5).into_iter().map(|(id, _)| id).collect();
+            let want = exact_knn(&ds, &q, 5);
+            // Distances may tie; compare distance multisets instead of ids.
+            let gd: Vec<f64> = got.iter().map(|id| euclidean(&q, ds.point(*id))).collect();
+            let wd: Vec<f64> = want.iter().map(|id| euclidean(&q, ds.point(*id))).collect();
+            for (a, b) in gd.iter().zip(&wd) {
+                assert!((a - b).abs() < 1e-9, "q{qi}: {gd:?} vs {wd:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_lower_bounds_are_sound() {
+        let ds = dataset(150, 5, 4);
+        let t = RTree::bulk_load(&ds, 7);
+        let q = vec![0.5f32; 5];
+        for (leaf, lb) in t.leaf_lower_bounds(&q) {
+            for p in t.leaf_points(leaf) {
+                assert!(lb <= euclidean(&q, ds.point(*p)) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn low_dim_leaf_rects_are_tight_but_high_dim_are_wide() {
+        // Appendix B: in 2-d STR produces small tiles; in 32-d each leaf MBR
+        // spans most of the domain on most dimensions.
+        let narrow = dataset(512, 2, 5);
+        let wide = dataset(512, 32, 5);
+        let avg_side = |ds: &Dataset| {
+            let t = RTree::with_num_leaves(ds, 64);
+            let rects = t.leaf_rects();
+            let mut total = 0.0f64;
+            let mut count = 0usize;
+            for (lo, hi) in &rects {
+                for j in 0..lo.len() {
+                    total += (hi[j] - lo[j]) as f64;
+                    count += 1;
+                }
+            }
+            total / count as f64
+        };
+        let s2 = avg_side(&narrow);
+        let s32 = avg_side(&wide);
+        assert!(s32 > 2.0 * s2, "2-d {s2} vs 32-d {s32}");
+    }
+
+    #[test]
+    fn single_page_dataset_has_one_leaf() {
+        let ds = dataset(5, 3, 6);
+        let t = RTree::bulk_load(&ds, 8);
+        assert_eq!(t.num_leaves(), 1);
+        assert_eq!(t.knn(&ds, &[0.0, 0.0, 0.0], 2).len(), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Index abstractions the query pipeline builds on.
+//!
+//! Two families, matching the paper:
+//!
+//! * [`CandidateIndex`] — candidate-generation indexes (C2LSH, VA-file):
+//!   phase 1 of the paper's framework reports a set of point identifiers
+//!   `C(q)` from in-memory structures; fetching the actual points is the
+//!   refinement phase's job.
+//! * [`LeafedIndex`] — exact tree indexes (iDistance, VP-tree, R-tree) whose
+//!   kNN search interleaves candidate generation and refinement over disk
+//!   pages holding *leaf nodes* (paper §3.6.1). The non-leaf part is held in
+//!   memory; the search asks for leaves through a fetcher so the node cache
+//!   can intercept.
+
+use hc_core::dataset::PointId;
+
+/// Phase-1 candidate generation: report `C(q)` (paper Definition 4).
+pub trait CandidateIndex {
+    /// Candidate identifiers for a query. `k` informs termination (e.g.
+    /// C2LSH stops once `k + βn` frequent points are found) but the result is
+    /// typically much larger than `k`.
+    fn candidates(&self, q: &[f32], k: usize) -> Vec<PointId>;
+
+    /// Human-readable index name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// An exact index organized as in-memory branch information over paged
+/// leaves of data points.
+pub trait LeafedIndex {
+    /// Number of leaf nodes.
+    fn num_leaves(&self) -> u32;
+
+    /// Identifiers of the points stored in a leaf (branch metadata — reading
+    /// this does not cost I/O; the *vectors* do).
+    fn leaf_points(&self, leaf: u32) -> &[PointId];
+
+    /// Lower bounds on `dist(q, p)` for every point `p` in each leaf,
+    /// computed purely from in-memory branch information (MBRs, cluster
+    /// radii, vantage-point distances). Returned as `(leaf, lower_bound)`
+    /// pairs covering every leaf.
+    fn leaf_lower_bounds(&self, q: &[f32]) -> Vec<(u32, f64)>;
+
+    /// The leaf holding a given point (for refinement: fetching an individual
+    /// point costs the I/O of its leaf node, paper Fig. 7).
+    fn leaf_of(&self, id: PointId) -> u32;
+
+    /// Human-readable index name for experiment tables.
+    fn name(&self) -> &'static str;
+}

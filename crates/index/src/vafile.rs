@@ -1,0 +1,312 @@
+//! VA-file: the vector-approximation file of Weber & Blott (\[32\], \[33\]).
+//!
+//! The VA-file accelerates linear scan: each dimension is quantized into
+//! `2^bits` cells with **equi-depth** boundaries (the encoding the paper
+//! attributes to VA-file in §5.1), and a compact approximation array — a few
+//! bits per dimension per point — is scanned in memory. The scan yields
+//! lower/upper distance bounds per point; only points whose lower bound beats
+//! the running k-th upper bound become candidates and ever touch the disk.
+//!
+//! In this reproduction the VA-file plays two roles:
+//! * an exact [`CandidateIndex`] for the Fig. 16 experiment (phase-1 scan in
+//!   memory, refinement through the shared pipeline), and
+//! * the basis of the C-VA baseline (§5.2.4), which caches the *whole*
+//!   approximation array with the bit budget tuned to the cache size —
+//!   implemented in `hc-cache::cva` on top of this quantization.
+
+use hc_core::bounds::BoundsAcc;
+use hc_core::codes::PackedCodes;
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::distance::DistEntry;
+
+use crate::traits::CandidateIndex;
+
+/// Per-dimension equi-depth cell boundaries.
+///
+/// Dimension `j` has `cells` cells; cell `c` covers
+/// `[boundaries[j][c], boundaries[j][c+1]]` (closed on both ends at the
+/// extremes so every value is covered).
+#[derive(Debug, Clone)]
+pub struct VaGrid {
+    dim: usize,
+    bits: u32,
+    /// `dim` arrays of `cells + 1` ascending boundary values.
+    boundaries: Vec<Vec<f32>>,
+}
+
+impl VaGrid {
+    /// Build equi-depth boundaries from the data (offline).
+    pub fn fit(dataset: &Dataset, bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "VA-file bits per dim in [1,16]");
+        let d = dataset.dim();
+        let n = dataset.len();
+        assert!(n > 0);
+        let cells = 1usize << bits;
+        let mut boundaries = Vec::with_capacity(d);
+        let mut column: Vec<f32> = Vec::with_capacity(n);
+        for j in 0..d {
+            column.clear();
+            column.extend(dataset.iter().map(|(_, p)| p[j]));
+            column.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            let mut bounds = Vec::with_capacity(cells + 1);
+            bounds.push(column[0]);
+            for c in 1..cells {
+                let idx = (c * n) / cells;
+                let v = column[idx.min(n - 1)];
+                // Boundaries must be non-decreasing; duplicates collapse the
+                // cell (harmless: it just never gets used).
+                bounds.push(v.max(*bounds.last().expect("non-empty")));
+            }
+            bounds.push(column[n - 1]);
+            boundaries.push(bounds);
+        }
+        Self { dim: d, bits, boundaries }
+    }
+
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bits per dimension.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of cells per dimension.
+    #[inline]
+    pub fn cells(&self) -> usize {
+        1 << self.bits
+    }
+
+    /// Cell index of a value on dimension `j` (clamped at the extremes).
+    #[inline]
+    pub fn cell(&self, j: usize, v: f32) -> u32 {
+        let b = &self.boundaries[j];
+        // partition_point gives the count of boundaries <= v; the cell is one
+        // less, clamped to the valid range.
+        let idx = b.partition_point(|&x| x <= v);
+        (idx.saturating_sub(1)).min(self.cells() - 1) as u32
+    }
+
+    /// The closed interval covered by cell `c` of dimension `j`.
+    #[inline]
+    pub fn cell_interval(&self, j: usize, c: u32) -> (f32, f32) {
+        let b = &self.boundaries[j];
+        (b[c as usize], b[c as usize + 1])
+    }
+
+    /// Encode every point of a dataset into a packed approximation array.
+    pub fn encode_all(&self, dataset: &Dataset) -> PackedCodes {
+        assert_eq!(dataset.dim(), self.dim);
+        let mut codes = PackedCodes::with_capacity(self.dim, self.bits, dataset.len());
+        for (_, p) in dataset.iter() {
+            codes.push(ApproxIter { grid: self, point: p, j: 0 });
+        }
+        codes
+    }
+}
+
+struct ApproxIter<'a> {
+    grid: &'a VaGrid,
+    point: &'a [f32],
+    j: usize,
+}
+
+impl Iterator for ApproxIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.j == self.point.len() {
+            return None;
+        }
+        let c = self.grid.cell(self.j, self.point[self.j]);
+        self.j += 1;
+        Some(c)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.point.len() - self.j;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for ApproxIter<'_> {}
+
+/// The VA-file index: in-memory approximation array + phase-1 scan.
+pub struct VaFile {
+    grid: VaGrid,
+    approx: PackedCodes,
+    n: usize,
+}
+
+impl VaFile {
+    /// Default bits per dimension, as commonly used for VA-files.
+    pub const DEFAULT_BITS: u32 = 8;
+
+    pub fn build(dataset: &Dataset, bits: u32) -> Self {
+        let grid = VaGrid::fit(dataset, bits);
+        let approx = grid.encode_all(dataset);
+        Self { grid, approx, n: dataset.len() }
+    }
+
+    pub fn grid(&self) -> &VaGrid {
+        &self.grid
+    }
+
+    /// Size of the approximation array in bytes (what C-VA must fit in the
+    /// cache; also the sequential-scan volume of a disk-resident VA-file).
+    pub fn approximation_bytes(&self) -> usize {
+        self.approx.total_bytes()
+    }
+
+    /// Phase-1 scan: per-point bounds, returning candidates whose lower bound
+    /// does not exceed the k-th smallest upper bound (VA-SSA). Candidates are
+    /// returned in ascending lower-bound order, which is exactly the access
+    /// order the multi-step refinement wants.
+    pub fn scan(&self, q: &[f32], k: usize) -> Vec<(PointId, f64, f64)> {
+        assert!(k >= 1);
+        let mut entries: Vec<(f64, f64, u32)> = Vec::with_capacity(self.n);
+        // Running k-th smallest upper bound via a bounded max-heap.
+        let mut heap: std::collections::BinaryHeap<DistEntry<()>> =
+            std::collections::BinaryHeap::with_capacity(k);
+        for i in 0..self.n {
+            let mut acc = BoundsAcc::new();
+            for (j, cell) in self.approx.decode(i).enumerate() {
+                let (lo, hi) = self.grid.cell_interval(j, cell);
+                acc.add(q[j], lo, hi);
+            }
+            let b = acc.finish();
+            if heap.len() < k {
+                heap.push(DistEntry::new(b.ub, ()));
+            } else if b.ub < heap.peek().expect("k>=1").dist {
+                heap.pop();
+                heap.push(DistEntry::new(b.ub, ()));
+            }
+            entries.push((b.lb, b.ub, i as u32));
+        }
+        let kth_ub = heap.peek().map(|e| e.dist).unwrap_or(f64::INFINITY);
+        let mut cands: Vec<(PointId, f64, f64)> = entries
+            .into_iter()
+            .filter(|&(lb, _, _)| lb <= kth_ub)
+            .map(|(lb, ub, i)| (PointId(i), lb, ub))
+            .collect();
+        cands.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite bounds"));
+        cands
+    }
+}
+
+impl CandidateIndex for VaFile {
+    fn candidates(&self, q: &[f32], k: usize) -> Vec<PointId> {
+        self.scan(q, k).into_iter().map(|(id, _, _)| id).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "VA-file"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_core::distance::euclidean;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dataset(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        Dataset::from_rows(&rows)
+    }
+
+    fn exact_knn(ds: &Dataset, q: &[f32], k: usize) -> Vec<PointId> {
+        let mut all: Vec<(f64, PointId)> =
+            ds.iter().map(|(id, p)| (euclidean(q, p), id)).collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        all.into_iter().take(k).map(|(_, id)| id).collect()
+    }
+
+    #[test]
+    fn equi_depth_cells_balance_counts() {
+        let ds = random_dataset(256, 2, 1);
+        let grid = VaGrid::fit(&ds, 2); // 4 cells per dim
+        for j in 0..2 {
+            let mut counts = [0usize; 4];
+            for (_, p) in ds.iter() {
+                counts[grid.cell(j, p[j]) as usize] += 1;
+            }
+            for &c in &counts {
+                assert!((40..=90).contains(&c), "unbalanced cells {counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cell_interval_contains_its_values() {
+        let ds = random_dataset(100, 3, 2);
+        let grid = VaGrid::fit(&ds, 3);
+        for (_, p) in ds.iter() {
+            for (j, &v) in p.iter().enumerate() {
+                let c = grid.cell(j, v);
+                let (lo, hi) = grid.cell_interval(j, c);
+                assert!(lo <= v && v <= hi, "v={v} cell=[{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_bounds_sandwich_exact_distances() {
+        let ds = random_dataset(60, 4, 3);
+        let va = VaFile::build(&ds, 4);
+        let q = [0.1f32, -0.2, 0.3, 0.0];
+        for (id, lb, ub) in va.scan(&q, 5) {
+            let d = euclidean(&q, ds.point(id));
+            assert!(lb <= d + 1e-9 && d <= ub + 1e-9, "{id}: {lb} ≤ {d} ≤ {ub}");
+        }
+    }
+
+    #[test]
+    fn candidates_contain_exact_knn() {
+        // VA-file is an exact method: its candidate set must contain the true
+        // k nearest neighbors for any k.
+        let ds = random_dataset(200, 6, 4);
+        let va = VaFile::build(&ds, 6);
+        let q: Vec<f32> = (0..6).map(|j| 0.05 * j as f32).collect();
+        for k in [1usize, 5, 10] {
+            let cands = va.candidates(&q, k);
+            for nn in exact_knn(&ds, &q, k) {
+                assert!(cands.contains(&nn), "k={k}: missing {nn}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_bits_shrink_candidate_sets() {
+        let ds = random_dataset(300, 8, 5);
+        let q = vec![0.0f32; 8];
+        let coarse = VaFile::build(&ds, 2).candidates(&q, 10).len();
+        let fine = VaFile::build(&ds, 8).candidates(&q, 10).len();
+        assert!(fine <= coarse, "fine {fine} > coarse {coarse}");
+    }
+
+    #[test]
+    fn approximation_bytes_scale_with_bits() {
+        let ds = random_dataset(100, 10, 6);
+        let b4 = VaFile::build(&ds, 4).approximation_bytes();
+        let b8 = VaFile::build(&ds, 8).approximation_bytes();
+        assert!(b8 > b4);
+    }
+
+    #[test]
+    fn scan_is_sorted_by_lower_bound() {
+        let ds = random_dataset(80, 4, 7);
+        let va = VaFile::build(&ds, 4);
+        let scan = va.scan(&[0.0, 0.0, 0.0, 0.0], 3);
+        for w in scan.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The offline construction pipeline (paper §3.4–§4, Fig. 3 "Workload").
+//!
+//! Everything the runtime needs is derived here by replaying the historical
+//! query workload `WL` against the index (an offline phase — no simulated
+//! I/O is charged, matching the paper's setup where histograms and caches are
+//! rebuilt periodically, §3.5 "Histogram maintenance"):
+//!
+//! * candidate access frequencies → the HFF ranking and `ρ*_hit` estimates,
+//! * the `QR` multiset of each query's k nearest candidates (the
+//!   k-th-upper-bound contributors `b^q_r` of Eqn. 2) → the workload
+//!   frequency array `F'[x]` (Eqn. 3) feeding Algorithm 2,
+//! * `D_max` and `E[|C(q)|]` for the §4 cost model,
+//! * leaf access frequencies for the node caches of §3.6.1.
+//!
+//! One practical note mirrored from the paper: Eqn. 2 defines `b^q_r` through
+//! the cache contents, which are themselves being built — we resolve the
+//! circularity the way the paper's construction implies, taking each query's
+//! k nearest *candidates* (offline exact distances) as the contributors.
+
+use std::collections::HashMap;
+
+use hc_core::cost_model::WorkloadStats;
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::distance::euclidean;
+use hc_core::metric::QueryCandidates;
+use hc_core::quantize::Quantizer;
+use hc_index::traits::{CandidateIndex, LeafedIndex};
+
+use hc_cache::node::NoNodeCache;
+
+use crate::tree_search::TreeSearchEngine;
+
+/// Everything learned from replaying a workload against a candidate index.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// Per-query candidate sets (reused by metric evaluation and tests).
+    pub per_query: Vec<QueryCandidates>,
+    /// Point ids ranked by candidate frequency, descending — the HFF fill
+    /// order.
+    pub ranking: Vec<PointId>,
+    /// Frequencies aligned with `ranking`.
+    pub freqs_desc: Vec<u64>,
+    /// The `QR` multiset: each query's k nearest candidates.
+    pub qr: Vec<PointId>,
+    /// Mean candidate-set size.
+    pub avg_candidates: f64,
+    /// Largest candidate distance observed (the cost model's `D_max`).
+    pub d_max: f64,
+}
+
+impl Replay {
+    /// Package the statistics the §4 cost model consumes.
+    pub fn workload_stats(&self, dataset: &Dataset) -> WorkloadStats {
+        WorkloadStats {
+            freq_desc: self.freqs_desc.clone(),
+            avg_candidates: self.avg_candidates,
+            d_max: self.d_max,
+            n_points: dataset.len(),
+            dim: dataset.dim(),
+        }
+    }
+
+    /// The workload frequency array `F'[x]` over a quantizer's level domain
+    /// (Eqn. 3).
+    pub fn f_prime(&self, dataset: &Dataset, quantizer: &Quantizer) -> Vec<u64> {
+        hc_core::metric::f_prime_array(dataset, quantizer, &self.qr)
+    }
+
+    /// Per-dimension `F'_j[x]` arrays for the individual-dimension
+    /// histograms (§3.6.2).
+    pub fn f_prime_per_dim(&self, dataset: &Dataset, quantizer: &Quantizer) -> Vec<Vec<u64>> {
+        let d = dataset.dim();
+        let coords = self.qr.iter().flat_map(|&id| {
+            dataset
+                .point(id)
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| (j, quantizer.level(v)))
+                .collect::<Vec<_>>()
+        });
+        hc_core::histogram::individual::decompose_frequencies(coords, d, quantizer.n_dom())
+    }
+}
+
+/// Replay a workload through a candidate index (offline, no I/O accounting):
+/// gather candidate sets, frequencies, `QR`, and cost-model statistics.
+pub fn replay_workload(
+    index: &dyn CandidateIndex,
+    dataset: &Dataset,
+    workload: &[Vec<f32>],
+    k: usize,
+) -> Replay {
+    assert!(k >= 1);
+    let mut freq: HashMap<PointId, u64> = HashMap::new();
+    let mut per_query = Vec::with_capacity(workload.len());
+    let mut qr = Vec::with_capacity(workload.len() * k);
+    let mut total_candidates = 0usize;
+    let mut d_max = 0.0f64;
+
+    for q in workload {
+        let candidates = index.candidates(q, k);
+        total_candidates += candidates.len();
+        let mut dists: Vec<(f64, PointId)> = candidates
+            .iter()
+            .map(|&id| {
+                let d = euclidean(q, dataset.point(id));
+                if d > d_max {
+                    d_max = d;
+                }
+                *freq.entry(id).or_insert(0) += 1;
+                (d, id)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+        qr.extend(dists.iter().take(k).map(|&(_, id)| id));
+        per_query.push(QueryCandidates { query: q.clone(), candidates });
+    }
+
+    let mut ranked: Vec<(PointId, u64)> = freq.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let (ranking, freqs_desc): (Vec<PointId>, Vec<u64>) = ranked.into_iter().unzip();
+
+    Replay {
+        per_query,
+        ranking,
+        freqs_desc,
+        qr,
+        avg_candidates: total_candidates as f64 / workload.len().max(1) as f64,
+        d_max,
+    }
+}
+
+/// Leaf access frequencies for a tree index (paper §3.6.1: "run queries in
+/// the query workload WL and collect the access frequency of each leaf
+/// node"). Returns `(leaf, frequency)` ranked descending.
+pub fn replay_leaf_accesses(
+    index: &dyn LeafedIndex,
+    dataset: &Dataset,
+    workload: &[Vec<f32>],
+    k: usize,
+) -> Vec<(u32, u64)> {
+    let engine = TreeSearchEngine::new(index, dataset, &NoNodeCache);
+    let mut freq: HashMap<u32, u64> = HashMap::new();
+    for q in workload {
+        let (_, stats) = engine.query(q, k);
+        for leaf in stats.fetched_leaves {
+            *freq.entry(leaf).or_insert(0) += 1;
+        }
+    }
+    let mut ranked: Vec<(u32, u64)> = freq.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_index::idistance::IDistance;
+
+    struct ScanIndex {
+        n: u32,
+    }
+
+    impl CandidateIndex for ScanIndex {
+        fn candidates(&self, _q: &[f32], _k: usize) -> Vec<PointId> {
+            (0..self.n).map(PointId).collect()
+        }
+
+        fn name(&self) -> &'static str {
+            "scan"
+        }
+    }
+
+    /// An index returning a fixed window around the query's integer part —
+    /// gives distinguishable frequencies.
+    struct WindowIndex {
+        n: u32,
+    }
+
+    impl CandidateIndex for WindowIndex {
+        fn candidates(&self, q: &[f32], _k: usize) -> Vec<PointId> {
+            let c = q[0].round() as i64;
+            (c - 2..=c + 2)
+                .filter(|&i| i >= 0 && (i as u32) < self.n)
+                .map(|i| PointId(i as u32))
+                .collect()
+        }
+
+        fn name(&self) -> &'static str {
+            "window"
+        }
+    }
+
+    fn line_dataset(n: usize) -> Dataset {
+        Dataset::from_rows(&(0..n).map(|i| vec![i as f32]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn frequencies_reflect_workload_skew() {
+        let ds = line_dataset(20);
+        let index = WindowIndex { n: 20 };
+        // Queries concentrated at 5.0 → ids 3..=7 requested every time.
+        let wl: Vec<Vec<f32>> = (0..10).map(|_| vec![5.0]).collect();
+        let replay = replay_workload(&index, &ds, &wl, 2);
+        assert_eq!(replay.ranking.len(), 5);
+        assert!(replay.freqs_desc.iter().all(|&f| f == 10));
+        assert_eq!(replay.avg_candidates, 5.0);
+    }
+
+    #[test]
+    fn qr_contains_k_nearest_per_query() {
+        let ds = line_dataset(20);
+        let index = ScanIndex { n: 20 };
+        let wl = vec![vec![7.2f32], vec![15.9f32]];
+        let replay = replay_workload(&index, &ds, &wl, 2);
+        assert_eq!(replay.qr.len(), 4);
+        // Query 7.2 → nearest are 7 and 8; query 15.9 → 16 and 15.
+        assert_eq!(replay.qr[0], PointId(7));
+        assert_eq!(replay.qr[1], PointId(8));
+        assert_eq!(replay.qr[2], PointId(16));
+        assert_eq!(replay.qr[3], PointId(15));
+    }
+
+    #[test]
+    fn d_max_is_the_farthest_candidate() {
+        let ds = line_dataset(10);
+        let index = ScanIndex { n: 10 };
+        let replay = replay_workload(&index, &ds, &[vec![0.0f32]], 1);
+        assert!((replay.d_max - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f_prime_counts_qr_coordinates() {
+        let ds = line_dataset(16);
+        let index = ScanIndex { n: 16 };
+        let wl = vec![vec![3.0f32]];
+        let replay = replay_workload(&index, &ds, &wl, 2);
+        let quant = Quantizer::new(0.0, 16.0, 16);
+        let f = replay.f_prime(&ds, &quant);
+        // QR = {3, 2} or {3, 4}: two coordinates total.
+        assert_eq!(f.iter().sum::<u64>(), 2);
+        assert_eq!(f[3], 1);
+    }
+
+    #[test]
+    fn f_prime_per_dim_sums_to_global() {
+        let ds = Dataset::from_rows(&(0..12).map(|i| vec![i as f32, (11 - i) as f32]).collect::<Vec<_>>());
+        let index = ScanIndex { n: 12 };
+        let wl = vec![vec![5.0f32, 6.0], vec![1.0, 10.0]];
+        let replay = replay_workload(&index, &ds, &wl, 3);
+        let quant = Quantizer::new(0.0, 12.0, 12);
+        let per_dim = replay.f_prime_per_dim(&ds, &quant);
+        let merged = hc_core::histogram::individual::merge_frequencies(&per_dim);
+        assert_eq!(merged, replay.f_prime(&ds, &quant));
+    }
+
+    #[test]
+    fn workload_stats_are_plumbed() {
+        let ds = line_dataset(10);
+        let index = ScanIndex { n: 10 };
+        let replay = replay_workload(&index, &ds, &[vec![1.0f32], vec![2.0]], 1);
+        let stats = replay.workload_stats(&ds);
+        assert_eq!(stats.n_points, 10);
+        assert_eq!(stats.dim, 1);
+        assert_eq!(stats.avg_candidates, 10.0);
+        assert_eq!(stats.total_mass(), 20);
+    }
+
+    #[test]
+    fn leaf_replay_ranks_hot_leaves_first() {
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        for i in 0..60 {
+            rows.push(vec![i as f32 % 10.0, (i / 10) as f32]);
+        }
+        let ds = Dataset::from_rows(&rows);
+        let idx = IDistance::build(&ds, 4, 6, 9);
+        // All workload queries near one spot → its leaves dominate.
+        let wl: Vec<Vec<f32>> = (0..5).map(|_| vec![0.5f32, 0.5]).collect();
+        let ranked = replay_leaf_accesses(&idx, &ds, &wl, 3);
+        assert!(!ranked.is_empty());
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1, "not descending: {ranked:?}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! kNN join — the paper's §7 future-work extension: "we plan to extend our
+//! caching techniques for advanced operations (e.g., kNN join, ...)".
+//!
+//! A kNN join `R ⋉_k S` finds, for every outer point `r ∈ R`, its k nearest
+//! neighbors in the indexed set `S`. Join workloads are where the cache
+//! shines hardest: outer points are processed back to back, so candidate
+//! overlap between consecutive outer points is extreme and even a cold LRU
+//! cache warms within a few probes. [`knn_join`] runs the join through
+//! Algorithm 1 and reports per-phase I/O so the warm-up effect is
+//! observable; [`cluster_outer`] optionally reorders the outer set by
+//! similarity first (the classic join optimization), maximizing cache reuse.
+
+use hc_core::dataset::PointId;
+
+use crate::knn::{KnnEngine, QueryStats};
+
+/// Result of a kNN join.
+#[derive(Debug, Clone)]
+pub struct JoinResult {
+    /// For each outer index: the ids of its k nearest neighbors in S.
+    pub matches: Vec<Vec<PointId>>,
+    /// Per-outer-point query statistics, in processing order.
+    pub stats: Vec<QueryStats>,
+}
+
+impl JoinResult {
+    /// Total refinement page I/O of the join.
+    pub fn total_io(&self) -> u64 {
+        self.stats.iter().map(|s| s.io_pages).sum()
+    }
+
+    /// Average I/O of the first vs second half — a warm-up indicator for
+    /// dynamic caches (second half should be cheaper).
+    pub fn io_halves(&self) -> (f64, f64) {
+        let n = self.stats.len();
+        if n < 2 {
+            return (self.total_io() as f64, 0.0);
+        }
+        let mid = n / 2;
+        let first: u64 = self.stats[..mid].iter().map(|s| s.io_pages).sum();
+        let second: u64 = self.stats[mid..].iter().map(|s| s.io_pages).sum();
+        (first as f64 / mid as f64, second as f64 / (n - mid) as f64)
+    }
+}
+
+/// Execute the kNN join of `outer` against the engine's indexed set.
+///
+/// The engine's cache persists across outer points (that is the point);
+/// results are identical to running each query independently.
+pub fn knn_join(engine: &mut KnnEngine<'_>, outer: &[Vec<f32>], k: usize) -> JoinResult {
+    let mut matches = Vec::with_capacity(outer.len());
+    let mut stats = Vec::with_capacity(outer.len());
+    for r in outer {
+        let (ids, st) = engine.query(r, k);
+        matches.push(ids);
+        stats.push(st);
+    }
+    JoinResult { matches, stats }
+}
+
+/// Reorder outer points so that similar points are adjacent (sort by
+/// projection on the dominant diagonal direction) — cheap clustering that
+/// boosts cache locality during the join.
+pub fn cluster_outer(outer: &[Vec<f32>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..outer.len()).collect();
+    let key = |p: &[f32]| -> f64 { p.iter().map(|&v| v as f64).sum() };
+    order.sort_by(|&a, &b| {
+        key(&outer[a])
+            .partial_cmp(&key(&outer[b]))
+            .expect("finite coordinates")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_cache::point::ExactPointCache;
+    use hc_core::dataset::Dataset;
+    use hc_core::distance::euclidean;
+    use hc_index::traits::CandidateIndex;
+    use hc_storage::point_file::PointFile;
+
+    struct ScanIndex {
+        n: u32,
+    }
+
+    impl CandidateIndex for ScanIndex {
+        fn candidates(&self, _q: &[f32], _k: usize) -> Vec<PointId> {
+            (0..self.n).map(PointId).collect()
+        }
+
+        fn name(&self) -> &'static str {
+            "scan"
+        }
+    }
+
+    fn world(n: usize) -> (Dataset, PointFile) {
+        let ds = Dataset::from_rows(
+            &(0..n).map(|i| vec![i as f32, (i % 7) as f32]).collect::<Vec<_>>(),
+        );
+        (ds.clone(), PointFile::new(ds))
+    }
+
+    #[test]
+    fn join_matches_independent_queries() {
+        let (ds, file) = world(40);
+        let index = ScanIndex { n: 40 };
+        let outer: Vec<Vec<f32>> = (0..6).map(|i| vec![i as f32 * 6.0, 1.0]).collect();
+        let cache = ExactPointCache::lru(ds.dim(), ds.file_bytes());
+        let mut engine = KnnEngine::new(&index, &file, Box::new(cache));
+        let join = knn_join(&mut engine, &outer, 3);
+        assert_eq!(join.matches.len(), 6);
+        for (r, ids) in outer.iter().zip(&join.matches) {
+            // Compare distance sets against brute force.
+            let mut got: Vec<f64> = ids.iter().map(|id| euclidean(r, ds.point(*id))).collect();
+            got.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let mut all: Vec<f64> = ds.iter().map(|(_, p)| euclidean(r, p)).collect();
+            all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            for (g, w) in got.iter().zip(all.iter().take(3)) {
+                assert!((g - w).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn lru_join_warms_up_on_repetitive_outer() {
+        let (ds, file) = world(60);
+        let index = ScanIndex { n: 60 };
+        // Outer points all near the same region: the second half should be
+        // nearly free under LRU.
+        let outer: Vec<Vec<f32>> = (0..10).map(|i| vec![30.0 + (i % 3) as f32, 2.0]).collect();
+        let cache = ExactPointCache::lru(ds.dim(), ds.file_bytes());
+        let mut engine = KnnEngine::new(&index, &file, Box::new(cache));
+        let join = knn_join(&mut engine, &outer, 3);
+        let (first, second) = join.io_halves();
+        assert!(second < first, "no warm-up: {first} vs {second}");
+    }
+
+    #[test]
+    fn cluster_outer_groups_similar_points() {
+        let outer = vec![
+            vec![100.0, 100.0],
+            vec![0.0, 0.0],
+            vec![101.0, 99.0],
+            vec![1.0, 1.0],
+        ];
+        let order = cluster_outer(&outer);
+        assert_eq!(order.len(), 4);
+        // The two small points come first, the two large last (or vice versa
+        // is impossible: keys sort ascending).
+        assert!(order[0] == 1 || order[0] == 3);
+        assert!(order[3] == 0 || order[3] == 2);
+    }
+
+    #[test]
+    fn empty_outer_set_is_fine() {
+        let (ds, file) = world(10);
+        let index = ScanIndex { n: 10 };
+        let cache = ExactPointCache::lru(ds.dim(), 1024);
+        let mut engine = KnnEngine::new(&index, &file, Box::new(cache));
+        let join = knn_join(&mut engine, &[], 2);
+        assert!(join.matches.is_empty());
+        assert_eq!(join.total_io(), 0);
+    }
+}

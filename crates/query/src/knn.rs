@@ -1,0 +1,426 @@
+//! Algorithm 1: three-phase kNN search with a histogram-based cache
+//! (paper §3.2, Fig. 3).
+//!
+//! 1. **Candidate generation** — the index reports `C(q)` (in memory).
+//! 2. **Candidate reduction** — no I/O: probe the cache for each candidate;
+//!    hits yield distance bounds; with the k-th minimum lower bound `lb_k`
+//!    and k-th minimum upper bound `ub_k`, candidates with `lb > ub_k` are
+//!    pruned and candidates with `ub < lb_k` are moved to the result set as
+//!    detected true results.
+//! 3. **Candidate refinement** — optimal multi-step search over the
+//!    survivors, fetching points from the simulated disk.
+//!
+//! The engine records per-query statistics (candidate counts, hit/prune
+//! ratios, page I/Os, CPU time per phase, modeled refinement seconds) —
+//! everything the paper's evaluation plots.
+
+use std::time::{Duration, Instant};
+
+use hc_cache::point::{CacheLookup, PointCache};
+use hc_core::dataset::PointId;
+use hc_core::distance::kth_smallest;
+use hc_index::traits::CandidateIndex;
+use hc_storage::io_stats::IoModel;
+use hc_storage::point_file::PointFile;
+
+use crate::multistep::{multistep_refine, Pending};
+
+/// Per-query measurements.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// `|C(q)|` — candidates reported by the index.
+    pub candidates: usize,
+    /// Candidates found in the cache.
+    pub cache_hits: usize,
+    /// Candidates removed by early pruning (`lb > ub_k`).
+    pub pruned: usize,
+    /// Candidates detected as true results (`ub < lb_k`).
+    pub true_results: usize,
+    /// Candidates entering phase 3 that may cost I/O (misses + unpruned
+    /// bound-hits) — the paper's `C_refine`.
+    pub c_refine: usize,
+    /// Pages actually fetched during refinement.
+    pub io_pages: u64,
+    /// Points actually fetched during refinement (≤ `c_refine` thanks to the
+    /// multi-step stopping rule).
+    pub fetched: usize,
+    /// CPU time of candidate generation (phase 1).
+    pub gen_cpu: Duration,
+    /// CPU time of candidate reduction (phase 2 — bound computation).
+    pub reduce_cpu: Duration,
+    /// CPU time of refinement (phase 3, excluding modeled disk latency).
+    pub refine_cpu: Duration,
+    /// Modeled refinement wall-clock: `T_io · io_pages` (paper §2.2).
+    pub modeled_refine_secs: f64,
+}
+
+impl QueryStats {
+    /// Modeled total response time: CPU of all phases + modeled disk time.
+    pub fn modeled_response_secs(&self) -> f64 {
+        self.gen_cpu.as_secs_f64()
+            + self.reduce_cpu.as_secs_f64()
+            + self.refine_cpu.as_secs_f64()
+            + self.modeled_refine_secs
+    }
+
+    /// Hit ratio `ρ_hit` for this query.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.candidates == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.candidates as f64
+    }
+
+    /// Fraction of cache hits that were pruned or confirmed (`ρ_prune`).
+    pub fn prune_ratio(&self) -> f64 {
+        if self.cache_hits == 0 {
+            return 0.0;
+        }
+        (self.pruned + self.true_results) as f64 / self.cache_hits as f64
+    }
+}
+
+/// Aggregates of many queries (what the figures actually plot).
+#[derive(Debug, Clone, Default)]
+pub struct AggregateStats {
+    pub queries: usize,
+    pub avg_candidates: f64,
+    pub avg_c_refine: f64,
+    pub avg_io_pages: f64,
+    pub avg_hit_times_prune: f64,
+    pub avg_gen_secs: f64,
+    pub avg_reduce_secs: f64,
+    pub avg_refine_secs: f64,
+    pub avg_response_secs: f64,
+}
+
+impl AggregateStats {
+    pub fn from_queries(stats: &[QueryStats]) -> Self {
+        let n = stats.len().max(1) as f64;
+        let mut agg = AggregateStats { queries: stats.len(), ..Default::default() };
+        for s in stats {
+            agg.avg_candidates += s.candidates as f64 / n;
+            agg.avg_c_refine += s.c_refine as f64 / n;
+            agg.avg_io_pages += s.io_pages as f64 / n;
+            agg.avg_hit_times_prune += s.hit_ratio() * s.prune_ratio() / n;
+            agg.avg_gen_secs += s.gen_cpu.as_secs_f64() / n;
+            agg.avg_reduce_secs += s.reduce_cpu.as_secs_f64() / n;
+            agg.avg_refine_secs += (s.refine_cpu.as_secs_f64() + s.modeled_refine_secs) / n;
+            agg.avg_response_secs += s.modeled_response_secs() / n;
+        }
+        agg
+    }
+}
+
+/// The three-phase kNN engine.
+pub struct KnnEngine<'a> {
+    pub index: &'a dyn CandidateIndex,
+    pub file: &'a PointFile,
+    pub cache: Box<dyn PointCache + 'a>,
+    pub io_model: IoModel,
+    /// The paper's footnote-6 optimization: fetch cache-miss candidates
+    /// during phase 2 so their exact distances tighten `lb_k`/`ub_k` before
+    /// pruning. Pays the miss I/O up front; wins when the hit ratio is
+    /// mid-range (at low hit ratios little can be pruned anyway, at high
+    /// ones the bounds are already tight — the footnote's own caveat).
+    pub eager_refetch: bool,
+}
+
+impl<'a> KnnEngine<'a> {
+    pub fn new(
+        index: &'a dyn CandidateIndex,
+        file: &'a PointFile,
+        cache: Box<dyn PointCache + 'a>,
+    ) -> Self {
+        Self { index, file, cache, io_model: IoModel::HDD, eager_refetch: false }
+    }
+
+    /// Enable the footnote-6 eager-refetch optimization.
+    pub fn with_eager_refetch(mut self, on: bool) -> Self {
+        self.eager_refetch = on;
+        self
+    }
+
+    /// Execute Algorithm 1. Returns the k nearest candidate ids (identifiers
+    /// only, as in the paper; detected true results carry no distance) and
+    /// the query's statistics.
+    pub fn query(&mut self, q: &[f32], k: usize) -> (Vec<PointId>, QueryStats) {
+        assert!(k >= 1);
+        let mut stats = QueryStats::default();
+
+        // Phase 1: candidate generation.
+        let t0 = Instant::now();
+        let candidates = self.index.candidates(q, k);
+        stats.gen_cpu = t0.elapsed();
+        stats.candidates = candidates.len();
+
+        // Phase 2: candidate reduction (part 2.1 — cache lookups). The page
+        // buffer spans phases 2 and 3 so eager refetches and refinement
+        // share within-query page dedup.
+        let mut buffer = self.file.begin_query();
+        let io_before = self.file.stats().snapshot();
+        let t1 = Instant::now();
+        let mut lbs = Vec::with_capacity(candidates.len());
+        let mut ubs = Vec::with_capacity(candidates.len());
+        let mut lookups = Vec::with_capacity(candidates.len());
+        for &id in &candidates {
+            let mut lk = self.cache.lookup(q, id);
+            if self.eager_refetch && matches!(lk, CacheLookup::Miss) {
+                // Footnote 6: resolve the miss now; its exact distance
+                // tightens ub_k for everyone else.
+                let point = self.file.fetch(id, &mut buffer);
+                let d = hc_core::distance::euclidean(q, point);
+                self.cache.admit(id, point);
+                stats.fetched += 1;
+                lk = CacheLookup::Exact(d);
+                // Not counted as a cache hit: it still cost disk I/O.
+                lbs.push(d);
+                ubs.push(d);
+                lookups.push(lk);
+                continue;
+            }
+            let (lb, ub) = match &lk {
+                CacheLookup::Miss => (0.0, f64::INFINITY),
+                CacheLookup::Exact(d) => {
+                    stats.cache_hits += 1;
+                    (*d, *d)
+                }
+                CacheLookup::Bounds(b) => {
+                    stats.cache_hits += 1;
+                    (b.lb, b.ub)
+                }
+            };
+            lbs.push(lb);
+            ubs.push(ub);
+            lookups.push(lk);
+        }
+        // Part 2.2 — early pruning and true-result detection.
+        let lb_k = kth_smallest(&lbs, k);
+        let ub_k = kth_smallest(&ubs, k);
+        let mut results: Vec<PointId> = Vec::new();
+        let mut known: Vec<(PointId, f64)> = Vec::new();
+        let mut pending: Vec<Pending> = Vec::new();
+        for ((&id, lk), (&lb, &ub)) in candidates
+            .iter()
+            .zip(&lookups)
+            .zip(lbs.iter().zip(&ubs))
+        {
+            if lb > ub_k {
+                stats.pruned += 1;
+                continue;
+            }
+            if ub < lb_k {
+                stats.true_results += 1;
+                results.push(id);
+                continue;
+            }
+            match lk {
+                CacheLookup::Exact(d) => known.push((id, *d)),
+                CacheLookup::Bounds(b) => pending.push(Pending { id, lb: b.lb }),
+                CacheLookup::Miss => pending.push(Pending { id, lb: 0.0 }),
+            }
+        }
+        stats.reduce_cpu = t1.elapsed();
+        stats.c_refine = pending.len();
+
+        // Phase 3: multi-step refinement for the remaining k' slots. I/O is
+        // accounted from the phase-2 snapshot so eager refetches count too.
+        let t2 = Instant::now();
+        if results.len() < k {
+            let k_rest = k - results.len();
+            let outcome = multistep_refine(
+                self.file,
+                &mut buffer,
+                q,
+                k_rest,
+                &known,
+                pending,
+                self.cache.as_mut(),
+            );
+            stats.fetched += outcome.fetched;
+            results.extend(outcome.results.into_iter().map(|(id, _)| id));
+        }
+        stats.io_pages = self.file.stats().snapshot().delta_since(io_before).pages_read;
+        stats.refine_cpu = t2.elapsed();
+        stats.modeled_refine_secs = self.io_model.modeled_secs(stats.io_pages);
+        results.truncate(k);
+        (results, stats)
+    }
+
+    /// Run a batch of queries and aggregate.
+    pub fn run_batch(&mut self, queries: &[Vec<f32>], k: usize) -> AggregateStats {
+        let stats: Vec<QueryStats> = queries
+            .iter()
+            .map(|q| self.query(q, k).1)
+            .collect();
+        AggregateStats::from_queries(&stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_cache::point::{CompactPointCache, ExactPointCache, NoCache};
+    use hc_core::dataset::Dataset;
+    use hc_core::distance::euclidean;
+    use hc_core::histogram::classic::equi_width;
+    use hc_core::quantize::Quantizer;
+    use hc_core::scheme::GlobalScheme;
+    use std::sync::Arc;
+
+    /// A trivial index that returns every point as a candidate.
+    struct ScanIndex {
+        n: u32,
+    }
+
+    impl CandidateIndex for ScanIndex {
+        fn candidates(&self, _q: &[f32], _k: usize) -> Vec<PointId> {
+            (0..self.n).map(PointId).collect()
+        }
+
+        fn name(&self) -> &'static str {
+            "scan"
+        }
+    }
+
+    fn world(n: usize) -> (Dataset, PointFile) {
+        let ds = Dataset::from_rows(
+            &(0..n)
+                .map(|i| vec![i as f32, (2 * i % 17) as f32])
+                .collect::<Vec<_>>(),
+        );
+        (ds.clone(), PointFile::new(ds))
+    }
+
+    fn exact_knn(ds: &Dataset, q: &[f32], k: usize) -> Vec<PointId> {
+        let mut all: Vec<(f64, PointId)> =
+            ds.iter().map(|(id, p)| (euclidean(q, p), id)).collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        all.into_iter().take(k).map(|(_, id)| id).collect()
+    }
+
+    fn scheme(ds: &Dataset) -> Arc<dyn hc_core::scheme::ApproxScheme> {
+        let (lo, hi) = ds.value_range();
+        let quant = Quantizer::new(lo, hi, 256);
+        Arc::new(GlobalScheme::new(equi_width(256, 64), quant, ds.dim()))
+    }
+
+    #[test]
+    fn no_cache_fetches_every_candidate() {
+        let (ds, file) = world(30);
+        let index = ScanIndex { n: 30 };
+        let mut engine = KnnEngine::new(&index, &file, Box::new(NoCache));
+        let (res, stats) = engine.query(&[10.2, 3.0], 3);
+        assert_eq!(res, exact_knn(&ds, &[10.2, 3.0], 3));
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.c_refine, 30);
+        assert_eq!(stats.fetched, 30, "no bounds → full fetch");
+    }
+
+    #[test]
+    fn compact_cache_prunes_without_losing_correctness() {
+        let (ds, file) = world(50);
+        let index = ScanIndex { n: 50 };
+        let ranking: Vec<PointId> = (0u32..50).map(PointId).collect();
+        let cache = CompactPointCache::hff(&ds, &ranking, 1 << 20, scheme(&ds));
+        let mut engine = KnnEngine::new(&index, &file, Box::new(cache));
+        for q in [[7.7f32, 1.0], [33.3, 9.0], [0.0, 0.0]] {
+            let (res, stats) = engine.query(&q, 5);
+            let mut want = exact_knn(&ds, &q, 5);
+            let mut got = res.clone();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "q={q:?}");
+            assert!(stats.pruned > 0, "expected early pruning to fire");
+            assert!(stats.fetched < 50, "pruning must reduce fetches");
+        }
+    }
+
+    #[test]
+    fn exact_cache_hits_cost_no_io() {
+        let (ds, file) = world(40);
+        let index = ScanIndex { n: 40 };
+        let ranking: Vec<PointId> = (0u32..40).map(PointId).collect();
+        let cache = ExactPointCache::hff(&ds, &ranking, 1 << 20); // everything cached
+        let mut engine = KnnEngine::new(&index, &file, Box::new(cache));
+        let (res, stats) = engine.query(&[5.0, 5.0], 4);
+        assert_eq!(res.len(), 4);
+        assert_eq!(stats.io_pages, 0, "fully cached exact → zero I/O");
+        assert_eq!(stats.cache_hits, 40);
+    }
+
+    #[test]
+    fn partial_exact_cache_reduces_but_does_not_eliminate_io() {
+        let (ds, file) = world(60);
+        let index = ScanIndex { n: 60 };
+        // Cache only the first 10 points.
+        let ranking: Vec<PointId> = (0u32..10).map(PointId).collect();
+        let cache = ExactPointCache::hff(&ds, &ranking, 10 * ds.point_bytes());
+        let mut engine = KnnEngine::new(&index, &file, Box::new(cache));
+        let (res, stats) = engine.query(&[30.0, 8.0], 3);
+        let mut got = res;
+        got.sort();
+        let mut want = exact_knn(&ds, &[30.0, 8.0], 3);
+        want.sort();
+        assert_eq!(got, want);
+        assert!(stats.cache_hits == 10);
+        assert!(stats.io_pages > 0);
+    }
+
+    #[test]
+    fn stats_ratios_are_consistent() {
+        let (ds, file) = world(50);
+        let index = ScanIndex { n: 50 };
+        let ranking: Vec<PointId> = (0u32..50).map(PointId).collect();
+        let cache = CompactPointCache::hff(&ds, &ranking, 1 << 20, scheme(&ds));
+        let mut engine = KnnEngine::new(&index, &file, Box::new(cache));
+        let (_, stats) = engine.query(&[25.0, 4.0], 5);
+        assert!(stats.hit_ratio() > 0.99);
+        assert!((0.0..=1.0).contains(&stats.prune_ratio()));
+        assert_eq!(
+            stats.candidates,
+            stats.pruned + stats.true_results + stats.c_refine
+                + (stats.cache_hits - stats.pruned - stats.true_results
+                    - (stats.cache_hits - stats.pruned - stats.true_results)),
+            "partition identity (misses are inside c_refine)"
+        );
+        assert!(stats.modeled_response_secs() >= stats.modeled_refine_secs);
+    }
+
+    #[test]
+    fn eager_refetch_preserves_results_and_counts_io() {
+        let (ds, file) = world(50);
+        let index = ScanIndex { n: 50 };
+        // Cache half the points compactly so eager refetch has misses to
+        // resolve and hits to prune.
+        let ranking: Vec<PointId> = (0u32..25).map(PointId).collect();
+        let mk = |eager: bool| -> (Vec<PointId>, QueryStats) {
+            let cache = CompactPointCache::hff(&ds, &ranking, 1 << 20, scheme(&ds));
+            let mut engine =
+                KnnEngine::new(&index, &file, Box::new(cache)).with_eager_refetch(eager);
+            engine.query(&[20.0, 5.0], 4)
+        };
+        let (res_lazy, st_lazy) = mk(false);
+        let (res_eager, st_eager) = mk(true);
+        let mut a = res_lazy.clone();
+        let mut b = res_eager.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "eager refetch changed results");
+        // Every miss was fetched eagerly, so fetched ≥ number of misses (25).
+        assert!(st_eager.fetched >= 25, "fetched {}", st_eager.fetched);
+        assert!(st_eager.io_pages >= st_lazy.io_pages.min(1));
+    }
+
+    #[test]
+    fn batch_aggregation_averages() {
+        let (_, file) = world(20);
+        let index = ScanIndex { n: 20 };
+        let mut engine = KnnEngine::new(&index, &file, Box::new(NoCache));
+        let queries = vec![vec![1.0f32, 1.0], vec![5.0, 5.0]];
+        let agg = engine.run_batch(&queries, 2);
+        assert_eq!(agg.queries, 2);
+        assert!((agg.avg_candidates - 20.0).abs() < 1e-9);
+        assert!(agg.avg_io_pages > 0.0);
+    }
+}

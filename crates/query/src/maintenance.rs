@@ -1,0 +1,186 @@
+//! Histogram & cache maintenance (paper §3.5): "We expect that the
+//! distribution of queries in the workload does not change rapidly. Following
+//! the practice in search engines \[25\], we propose to perform updates and
+//! rebuild the cache periodically (e.g., daily)."
+//!
+//! [`CacheMaintainer`] keeps a sliding window of recently observed queries
+//! and rebuilds the HC-O scheme + HFF cache from that window on demand —
+//! the periodic-rebuild loop of a deployed system.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use hc_cache::point::CompactPointCache;
+use hc_core::dataset::Dataset;
+use hc_core::histogram::HistogramKind;
+use hc_core::quantize::Quantizer;
+use hc_core::scheme::{ApproxScheme, GlobalScheme};
+use hc_index::traits::CandidateIndex;
+
+use crate::builder::replay_workload;
+
+/// Rebuild configuration.
+#[derive(Debug, Clone)]
+pub struct MaintenanceConfig {
+    /// Sliding-window length (most recent queries kept).
+    pub window: usize,
+    /// Code length for the rebuilt scheme.
+    pub tau: u32,
+    /// Cache budget in bytes.
+    pub cache_bytes: usize,
+    /// Result size the workload is replayed at.
+    pub k: usize,
+    /// Histogram kind for the rebuilt scheme (HC-O by default).
+    pub kind: HistogramKind,
+}
+
+impl MaintenanceConfig {
+    pub fn new(window: usize, tau: u32, cache_bytes: usize, k: usize) -> Self {
+        Self { window, tau, cache_bytes, k, kind: HistogramKind::KnnOptimal }
+    }
+}
+
+/// Sliding-window cache maintainer.
+pub struct CacheMaintainer {
+    config: MaintenanceConfig,
+    recent: VecDeque<Vec<f32>>,
+}
+
+impl CacheMaintainer {
+    pub fn new(config: MaintenanceConfig) -> Self {
+        assert!(config.window >= 1);
+        Self { config, recent: VecDeque::new() }
+    }
+
+    /// Record an observed query (the production query stream).
+    pub fn observe(&mut self, q: &[f32]) {
+        if self.recent.len() == self.config.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(q.to_vec());
+    }
+
+    /// Number of queries currently in the window.
+    pub fn window_len(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// Rebuild the scheme and HFF cache from the current window (the
+    /// "periodic rebuild" step; offline, no simulated I/O).
+    ///
+    /// Returns `None` when the window is empty — nothing to learn from yet.
+    pub fn rebuild(
+        &self,
+        index: &dyn CandidateIndex,
+        dataset: &Dataset,
+        quantizer: &Quantizer,
+    ) -> Option<(Arc<dyn ApproxScheme>, CompactPointCache)> {
+        if self.recent.is_empty() {
+            return None;
+        }
+        let window: Vec<Vec<f32>> = self.recent.iter().cloned().collect();
+        let replay = replay_workload(index, dataset, &window, self.config.k);
+        let freq = if self.config.kind.uses_workload_frequencies() {
+            replay.f_prime(dataset, quantizer)
+        } else {
+            quantizer.frequency_array(dataset.as_flat())
+        };
+        let hist = self.config.kind.build(&freq, 1u32 << self.config.tau.min(20));
+        let scheme: Arc<dyn ApproxScheme> =
+            Arc::new(GlobalScheme::new(hist, quantizer.clone(), dataset.dim()));
+        let cache = CompactPointCache::hff(
+            dataset,
+            &replay.ranking,
+            self.config.cache_bytes,
+            scheme.clone(),
+        );
+        Some((scheme, cache))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_cache::point::PointCache;
+    use hc_core::dataset::PointId;
+
+    /// Index returning a window of ids around the query's integer value.
+    struct WindowIndex {
+        n: u32,
+    }
+
+    impl CandidateIndex for WindowIndex {
+        fn candidates(&self, q: &[f32], _k: usize) -> Vec<PointId> {
+            let c = q[0].round() as i64;
+            (c - 5..=c + 5)
+                .filter(|&i| i >= 0 && (i as u32) < self.n)
+                .map(|i| PointId(i as u32))
+                .collect()
+        }
+
+        fn name(&self) -> &'static str {
+            "window"
+        }
+    }
+
+    fn line_dataset(n: usize) -> Dataset {
+        Dataset::from_rows(&(0..n).map(|i| vec![i as f32]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn empty_window_rebuilds_nothing() {
+        let m = CacheMaintainer::new(MaintenanceConfig::new(10, 4, 1024, 2));
+        let ds = line_dataset(50);
+        let idx = WindowIndex { n: 50 };
+        let quant = Quantizer::new(0.0, 50.0, 64);
+        assert!(m.rebuild(&idx, &ds, &quant).is_none());
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut m = CacheMaintainer::new(MaintenanceConfig::new(3, 4, 1024, 2));
+        for i in 0..10 {
+            m.observe(&[i as f32]);
+        }
+        assert_eq!(m.window_len(), 3);
+    }
+
+    #[test]
+    fn rebuild_adapts_to_workload_drift() {
+        let ds = line_dataset(100);
+        let idx = WindowIndex { n: 100 };
+        let quant = Quantizer::new(0.0, 100.0, 128);
+        // Budget for ~12 exact-equivalent items at τ=4 on 1-d points: keep it
+        // small so cache content visibly tracks the hot region.
+        let cfg = MaintenanceConfig::new(20, 4, 12 * 8, 2);
+        let mut m = CacheMaintainer::new(cfg);
+
+        // Era 1: queries around 10 → cache should hold ids near 10.
+        for _ in 0..20 {
+            m.observe(&[10.0]);
+        }
+        let (_, mut cache1) = m.rebuild(&idx, &ds, &quant).expect("non-empty window");
+        assert!(cache1.contains(PointId(10)));
+        let hits_era1 = (5u32..16)
+            .filter(|&i| cache1.contains(PointId(i)))
+            .count();
+        assert!(hits_era1 >= 5, "era-1 cache should cover the hot region");
+
+        // Era 2: queries drift to 80 → rebuilt cache must follow.
+        for _ in 0..20 {
+            m.observe(&[80.0]);
+        }
+        let (_, mut cache2) = m.rebuild(&idx, &ds, &quant).expect("non-empty window");
+        assert!(cache2.contains(PointId(80)));
+        assert!(!cache2.contains(PointId(10)), "stale region must age out");
+        // Both caches answer lookups for their own hot region.
+        assert!(!matches!(
+            cache1.lookup(&[10.0], PointId(10)),
+            hc_cache::point::CacheLookup::Miss
+        ));
+        assert!(!matches!(
+            cache2.lookup(&[80.0], PointId(80)),
+            hc_cache::point::CacheLookup::Miss
+        ));
+    }
+}

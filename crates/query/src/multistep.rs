@@ -1,0 +1,179 @@
+//! Optimal multi-step kNN refinement (Seidl & Kriegel SIGMOD '98, Kriegel et
+//! al. SSTD '07 — the paper's references \[26\] and \[22\], used in phase 3 of
+//! Algorithm 1).
+//!
+//! Given candidates with lower distance bounds, fetch exact points in
+//! ascending lower-bound order and stop as soon as the next lower bound
+//! reaches the current k-th exact distance — at that moment no unfetched
+//! candidate can enter the result. Seidl & Kriegel prove this fetch order and
+//! stopping rule are optimal: no correct algorithm fetches fewer candidates.
+
+use hc_core::dataset::PointId;
+use hc_core::distance::{euclidean, DistEntry};
+use hc_storage::point_file::{PageBuffer, PointFile};
+
+use hc_cache::point::PointCache;
+
+/// A candidate awaiting exact evaluation, with its lower distance bound
+/// (0 for cache misses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pending {
+    pub id: PointId,
+    pub lb: f64,
+}
+
+/// Outcome of a refinement run.
+#[derive(Debug, Clone)]
+pub struct RefineOutcome {
+    /// The `k` nearest among the given candidates, ascending by distance.
+    pub results: Vec<(PointId, f64)>,
+    /// How many pending candidates were actually fetched from disk.
+    pub fetched: usize,
+}
+
+/// Multi-step refinement: find the `k` nearest candidates among
+/// `known` (exact distances already available without I/O — exact-cache hits)
+/// and `pending` (need disk fetches; each carries a sound lower bound).
+///
+/// Fetched points are offered to `cache` for admission (dynamic policies).
+pub fn multistep_refine(
+    file: &PointFile,
+    buffer: &mut PageBuffer,
+    q: &[f32],
+    k: usize,
+    known: &[(PointId, f64)],
+    mut pending: Vec<Pending>,
+    cache: &mut dyn PointCache,
+) -> RefineOutcome {
+    assert!(k >= 1);
+    // Max-heap of current best k (top = worst of the best).
+    let mut best: std::collections::BinaryHeap<DistEntry<PointId>> =
+        std::collections::BinaryHeap::with_capacity(k + 1);
+    for &(id, d) in known {
+        push_bounded(&mut best, k, id, d);
+    }
+    pending.sort_by(|a, b| {
+        a.lb.partial_cmp(&b.lb).expect("finite lower bounds").then(a.id.cmp(&b.id))
+    });
+
+    let mut fetched = 0usize;
+    for cand in pending {
+        if best.len() >= k {
+            let dk = best.peek().expect("len >= k").dist;
+            if cand.lb >= dk {
+                break; // optimal stopping: no later candidate can qualify
+            }
+        }
+        let point = file.fetch(cand.id, buffer);
+        fetched += 1;
+        let d = euclidean(q, point);
+        cache.admit(cand.id, point);
+        push_bounded(&mut best, k, cand.id, d);
+    }
+
+    let mut results: Vec<(PointId, f64)> =
+        best.into_iter().map(|e| (e.item, e.dist)).collect();
+    results.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+    RefineOutcome { results, fetched }
+}
+
+fn push_bounded(
+    heap: &mut std::collections::BinaryHeap<DistEntry<PointId>>,
+    k: usize,
+    id: PointId,
+    d: f64,
+) {
+    if heap.len() < k {
+        heap.push(DistEntry::new(d, id));
+    } else if d < heap.peek().expect("k >= 1").dist {
+        heap.pop();
+        heap.push(DistEntry::new(d, id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_cache::point::NoCache;
+    use hc_core::dataset::Dataset;
+
+    fn file() -> PointFile {
+        // 1-d points at 0, 10, 20, ..., 90; one point per "row".
+        let ds = Dataset::from_rows(&(0..10).map(|i| vec![(i * 10) as f32]).collect::<Vec<_>>());
+        PointFile::new(ds)
+    }
+
+    #[test]
+    fn finds_exact_knn_among_candidates() {
+        let f = file();
+        let mut buf = f.begin_query();
+        let pending: Vec<Pending> = (0..10u32)
+            .map(|i| Pending { id: PointId(i), lb: 0.0 })
+            .collect();
+        let out = multistep_refine(&f, &mut buf, &[34.0], 2, &[], pending, &mut NoCache);
+        let ids: Vec<u32> = out.results.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![3, 4]); // 30 and 40 are nearest to 34
+    }
+
+    #[test]
+    fn tight_lower_bounds_stop_early() {
+        let f = file();
+        let mut buf = f.begin_query();
+        // Exact lower bounds: only the true nearest needs fetching once k=1
+        // and the second-best lb exceeds the first's exact distance.
+        let pending: Vec<Pending> = (0..10u32)
+            .map(|i| Pending { id: PointId(i), lb: ((i as f64) * 10.0 - 34.0).abs() })
+            .collect();
+        let out = multistep_refine(&f, &mut buf, &[34.0], 1, &[], pending, &mut NoCache);
+        assert_eq!(out.results[0].0, PointId(3));
+        assert_eq!(out.fetched, 1, "optimal stopping should fetch exactly one");
+    }
+
+    #[test]
+    fn zero_lower_bounds_force_full_scan() {
+        let f = file();
+        let mut buf = f.begin_query();
+        let pending: Vec<Pending> = (0..10u32)
+            .map(|i| Pending { id: PointId(i), lb: 0.0 })
+            .collect();
+        let out = multistep_refine(&f, &mut buf, &[34.0], 1, &[], pending, &mut NoCache);
+        assert_eq!(out.fetched, 10, "no bounds → no early stopping");
+    }
+
+    #[test]
+    fn known_distances_tighten_the_threshold() {
+        let f = file();
+        let mut buf = f.begin_query();
+        // Point 3 (dist 4) known for free: every pending lb ≥ 4 is skipped.
+        let known = [(PointId(3), 4.0)];
+        let pending: Vec<Pending> = (0..10u32)
+            .filter(|&i| i != 3)
+            .map(|i| Pending { id: PointId(i), lb: ((i as f64) * 10.0 - 34.0).abs() })
+            .collect();
+        let out = multistep_refine(&f, &mut buf, &[34.0], 1, &known, pending, &mut NoCache);
+        assert_eq!(out.results[0].0, PointId(3));
+        assert_eq!(out.fetched, 0, "known result should suppress all fetches");
+    }
+
+    #[test]
+    fn k_larger_than_candidates_returns_everything() {
+        let f = file();
+        let mut buf = f.begin_query();
+        let pending = vec![Pending { id: PointId(1), lb: 0.0 }, Pending { id: PointId(2), lb: 0.0 }];
+        let out = multistep_refine(&f, &mut buf, &[0.0], 5, &[], pending, &mut NoCache);
+        assert_eq!(out.results.len(), 2);
+    }
+
+    #[test]
+    fn results_are_sorted_ascending() {
+        let f = file();
+        let mut buf = f.begin_query();
+        let pending: Vec<Pending> = (0..10u32)
+            .map(|i| Pending { id: PointId(i), lb: 0.0 })
+            .collect();
+        let out = multistep_refine(&f, &mut buf, &[55.0], 4, &[], pending, &mut NoCache);
+        for w in out.results.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Exact kNN search on tree indexes with a leaf-node cache
+//! (paper §3.6.1, Fig. 7).
+//!
+//! The tree's non-leaf information lives in memory; leaves (data pages) live
+//! on disk. The search processes leaves in ascending lower-bound order:
+//!
+//! * a leaf **exactly cached** contributes its points' exact distances for
+//!   free;
+//! * a leaf **compactly cached** contributes per-point lower/upper bounds —
+//!   upper bounds tighten the running k-th upper bound (pruning whole leaves
+//!   early), lower bounds let unpromising points be skipped, and surviving
+//!   points are deferred to a multi-step pass that fetches their leaf only if
+//!   still necessary;
+//! * an uncached leaf is fetched from disk (one node I/O) and evaluated
+//!   exactly.
+//!
+//! Traversal stops once the next leaf's lower bound exceeds the current k-th
+//! upper bound; the deferred pass then resolves remaining approximate
+//! candidates in lower-bound order with the usual optimal stopping rule.
+//! Results are always exact — the cache only changes the I/O, never the
+//! answer (verified by tests against linear scan).
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use hc_cache::node::{NodeCache, NodeLookup};
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::distance::{euclidean, DistEntry};
+use hc_index::traits::LeafedIndex;
+use hc_storage::io_stats::IoModel;
+
+/// Per-query statistics of a tree search.
+#[derive(Debug, Clone, Default)]
+pub struct TreeQueryStats {
+    /// Leaves whose lower bound was examined (all of them, by construction).
+    pub leaves_total: usize,
+    /// Leaf nodes fetched from disk (the I/O count — one page per leaf).
+    pub leaf_fetches: u64,
+    /// Leaves answered by the exact node cache.
+    pub exact_hits: usize,
+    /// Leaves answered by the compact node cache.
+    pub compact_hits: usize,
+    /// Points deferred from compact leaves into the multi-step pass.
+    pub deferred: usize,
+    /// Leaves visited during traversal (not pruned by the stopping rule).
+    pub leaves_visited: usize,
+    /// Identifiers of fetched leaves, for offline frequency collection.
+    pub fetched_leaves: Vec<u32>,
+    /// CPU time of the whole query.
+    pub cpu: Duration,
+    /// Modeled disk time: `T_io · leaf_fetches`.
+    pub modeled_io_secs: f64,
+}
+
+impl TreeQueryStats {
+    pub fn modeled_response_secs(&self) -> f64 {
+        self.cpu.as_secs_f64() + self.modeled_io_secs
+    }
+}
+
+/// Tree-search engine: an exact [`LeafedIndex`] plus a [`NodeCache`].
+pub struct TreeSearchEngine<'a> {
+    pub index: &'a dyn LeafedIndex,
+    pub dataset: &'a Dataset,
+    pub node_cache: &'a dyn NodeCache,
+    pub io_model: IoModel,
+}
+
+impl<'a> TreeSearchEngine<'a> {
+    pub fn new(
+        index: &'a dyn LeafedIndex,
+        dataset: &'a Dataset,
+        node_cache: &'a dyn NodeCache,
+    ) -> Self {
+        Self { index, dataset, node_cache, io_model: IoModel::HDD }
+    }
+
+    /// Exact kNN with node caching. Returns `(id, distance)` ascending.
+    pub fn query(&self, q: &[f32], k: usize) -> (Vec<(PointId, f64)>, TreeQueryStats) {
+        assert!(k >= 1);
+        let t0 = Instant::now();
+        let mut stats = TreeQueryStats::default();
+
+        let mut leaf_bounds = self.index.leaf_lower_bounds(q);
+        leaf_bounds.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        stats.leaves_total = leaf_bounds.len();
+
+        // Running best-k exact distances; `kth_ub` additionally folds in the
+        // upper bounds of deferred (bounded) candidates, which is a valid
+        // prune threshold: at least k seen candidates lie within it.
+        let mut best: std::collections::BinaryHeap<DistEntry<PointId>> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        let mut ub_heap: std::collections::BinaryHeap<DistEntry<()>> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        let mut deferred: Vec<(PointId, f64)> = Vec::new(); // (id, lb)
+        let mut fetched: HashSet<u32> = HashSet::new();
+
+        let kth = |h: &std::collections::BinaryHeap<DistEntry<()>>| -> f64 {
+            if h.len() < k { f64::INFINITY } else { h.peek().expect("k >= 1").dist }
+        };
+
+        for &(leaf, lb) in &leaf_bounds {
+            if lb > kth(&ub_heap) {
+                break; // no point in this or any later leaf can qualify
+            }
+            stats.leaves_visited += 1;
+            match self.node_cache.lookup(q, leaf) {
+                NodeLookup::Exact => {
+                    stats.exact_hits += 1;
+                    for p in self.index.leaf_points(leaf) {
+                        let d = euclidean(q, self.dataset.point(*p));
+                        push_bounded(&mut best, k, *p, d);
+                        push_ub(&mut ub_heap, k, d);
+                    }
+                }
+                NodeLookup::Bounds(bounds) => {
+                    stats.compact_hits += 1;
+                    let pts = self.index.leaf_points(leaf);
+                    debug_assert_eq!(pts.len(), bounds.len());
+                    for (p, b) in pts.iter().zip(&bounds) {
+                        push_ub(&mut ub_heap, k, b.ub);
+                        if b.lb <= kth(&ub_heap) {
+                            deferred.push((*p, b.lb));
+                        }
+                    }
+                }
+                NodeLookup::Miss => {
+                    if fetched.insert(leaf) {
+                        stats.leaf_fetches += 1;
+                        stats.fetched_leaves.push(leaf);
+                        let pts = self.index.leaf_points(leaf);
+                        self.node_cache.admit(
+                            leaf,
+                            &mut pts.iter().map(|p| self.dataset.point(*p)),
+                        );
+                    }
+                    for p in self.index.leaf_points(leaf) {
+                        let d = euclidean(q, self.dataset.point(*p));
+                        push_bounded(&mut best, k, *p, d);
+                        push_ub(&mut ub_heap, k, d);
+                    }
+                }
+            }
+        }
+
+        // Multi-step pass over deferred approximate candidates: fetch their
+        // leaf (dedup) only while the candidate's lb can still beat the k-th
+        // exact distance.
+        stats.deferred = deferred.len();
+        deferred.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        for (id, lb) in deferred {
+            let dk = if best.len() < k {
+                f64::INFINITY
+            } else {
+                best.peek().expect("k >= 1").dist
+            };
+            if lb >= dk {
+                break;
+            }
+            let leaf = self.index.leaf_of(id);
+            if fetched.insert(leaf) {
+                stats.leaf_fetches += 1;
+                stats.fetched_leaves.push(leaf);
+                let pts = self.index.leaf_points(leaf);
+                self.node_cache
+                    .admit(leaf, &mut pts.iter().map(|p| self.dataset.point(*p)));
+            }
+            let d = euclidean(q, self.dataset.point(id));
+            push_bounded(&mut best, k, id, d);
+        }
+
+        let mut results: Vec<(PointId, f64)> =
+            best.into_iter().map(|e| (e.item, e.dist)).collect();
+        results.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        stats.cpu = t0.elapsed();
+        stats.modeled_io_secs = self.io_model.modeled_secs(stats.leaf_fetches);
+        (results, stats)
+    }
+}
+
+fn push_bounded(
+    heap: &mut std::collections::BinaryHeap<DistEntry<PointId>>,
+    k: usize,
+    id: PointId,
+    d: f64,
+) {
+    if heap.len() < k {
+        heap.push(DistEntry::new(d, id));
+    } else if d < heap.peek().expect("k >= 1").dist {
+        heap.pop();
+        heap.push(DistEntry::new(d, id));
+    }
+}
+
+fn push_ub(heap: &mut std::collections::BinaryHeap<DistEntry<()>>, k: usize, ub: f64) {
+    if heap.len() < k {
+        heap.push(DistEntry::new(ub, ()));
+    } else if ub < heap.peek().expect("k >= 1").dist {
+        heap.pop();
+        heap.push(DistEntry::new(ub, ()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_cache::node::{CompactNodeCache, ExactNodeCache, NoNodeCache};
+    use hc_core::histogram::classic::equi_width;
+    use hc_core::quantize::Quantizer;
+    use hc_core::scheme::GlobalScheme;
+    use hc_index::idistance::IDistance;
+    use hc_index::vptree::VpTree;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    fn dataset(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::from_rows(
+            &(0..n)
+                .map(|_| (0..d).map(|_| rng.gen_range(0.0..10.0)).collect())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn exact_knn(ds: &Dataset, q: &[f32], k: usize) -> Vec<f64> {
+        let mut all: Vec<f64> = ds.iter().map(|(_, p)| euclidean(q, p)).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        all.truncate(k);
+        all
+    }
+
+    fn scheme(ds: &Dataset) -> Arc<dyn hc_core::scheme::ApproxScheme> {
+        let (lo, hi) = ds.value_range();
+        let quant = Quantizer::new(lo, hi, 512);
+        Arc::new(GlobalScheme::new(equi_width(512, 128), quant, ds.dim()))
+    }
+
+    #[test]
+    fn idistance_search_is_exact_without_cache() {
+        let ds = dataset(300, 6, 1);
+        let idx = IDistance::build(&ds, 8, 10, 1);
+        let engine = TreeSearchEngine::new(&idx, &ds, &NoNodeCache);
+        for qi in [3usize, 77, 250] {
+            let q = ds.point(PointId::from(qi)).to_vec();
+            let (res, stats) = engine.query(&q, 5);
+            let want = exact_knn(&ds, &q, 5);
+            let got: Vec<f64> = res.iter().map(|&(_, d)| d).collect();
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-9, "q{qi}");
+            }
+            assert!(stats.leaf_fetches > 0);
+            assert!(stats.leaf_fetches as usize <= idx.num_leaves() as usize);
+        }
+    }
+
+    #[test]
+    fn vptree_search_is_exact_without_cache() {
+        let ds = dataset(250, 5, 2);
+        let idx = VpTree::build(&ds, 8, 2);
+        let engine = TreeSearchEngine::new(&idx, &ds, &NoNodeCache);
+        let q = ds.point(PointId(100)).to_vec();
+        let (res, _) = engine.query(&q, 7);
+        let want = exact_knn(&ds, &q, 7);
+        for (got, want) in res.iter().map(|&(_, d)| d).zip(&want) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stopping_rule_skips_far_leaves() {
+        let ds = dataset(400, 4, 3);
+        let idx = IDistance::build(&ds, 10, 8, 3);
+        let engine = TreeSearchEngine::new(&idx, &ds, &NoNodeCache);
+        let q = ds.point(PointId(0)).to_vec();
+        let (_, stats) = engine.query(&q, 3);
+        assert!(
+            (stats.leaves_visited as u32) < idx.num_leaves(),
+            "visited {} of {}",
+            stats.leaves_visited,
+            idx.num_leaves()
+        );
+    }
+
+    #[test]
+    fn exact_node_cache_eliminates_io_for_cached_leaves() {
+        let ds = dataset(200, 5, 4);
+        let idx = IDistance::build(&ds, 6, 8, 4);
+        // Cache every leaf.
+        let mut cache = ExactNodeCache::new(ds.dim(), usize::MAX / 2);
+        for leaf in 0..idx.num_leaves() {
+            assert!(cache.try_fill(leaf, idx.leaf_points(leaf).len()));
+        }
+        let engine = TreeSearchEngine::new(&idx, &ds, &cache);
+        let q = ds.point(PointId(42)).to_vec();
+        let (res, stats) = engine.query(&q, 5);
+        assert_eq!(stats.leaf_fetches, 0);
+        let want = exact_knn(&ds, &q, 5);
+        for (got, want) in res.iter().map(|&(_, d)| d).zip(&want) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn compact_node_cache_keeps_results_exact_and_cuts_io() {
+        let ds = dataset(300, 6, 5);
+        let idx = VpTree::build(&ds, 8, 5);
+        let s = scheme(&ds);
+        let mut cache = CompactNodeCache::new(s, usize::MAX / 2);
+        for leaf in 0..idx.num_leaves() {
+            let pts: Vec<&[f32]> = idx
+                .leaf_points(leaf)
+                .iter()
+                .map(|p| ds.point(*p))
+                .collect();
+            assert!(cache.try_fill(leaf, pts.into_iter()));
+        }
+        let cached_engine = TreeSearchEngine::new(&idx, &ds, &cache);
+        let bare_engine = TreeSearchEngine::new(&idx, &ds, &NoNodeCache);
+        let mut cached_io = 0u64;
+        let mut bare_io = 0u64;
+        for qi in [10usize, 99, 222] {
+            let q = ds.point(PointId::from(qi)).to_vec();
+            let (res_c, st_c) = cached_engine.query(&q, 5);
+            let (res_b, st_b) = bare_engine.query(&q, 5);
+            let want = exact_knn(&ds, &q, 5);
+            for ((gc, gb), w) in res_c
+                .iter()
+                .map(|&(_, d)| d)
+                .zip(res_b.iter().map(|&(_, d)| d))
+                .zip(&want)
+            {
+                assert!((gc - w).abs() < 1e-9, "cached result wrong");
+                assert!((gb - w).abs() < 1e-9, "bare result wrong");
+            }
+            cached_io += st_c.leaf_fetches;
+            bare_io += st_b.leaf_fetches;
+        }
+        assert!(
+            cached_io < bare_io,
+            "compact node cache should cut I/O: {cached_io} vs {bare_io}"
+        );
+    }
+
+    #[test]
+    fn lru_node_cache_warms_up_across_queries() {
+        use hc_cache::node::LruNodeCache;
+        let ds = dataset(300, 5, 7);
+        let idx = IDistance::build(&ds, 6, 8, 7);
+        let cache = LruNodeCache::new(scheme(&ds), ds.file_bytes());
+        let engine = TreeSearchEngine::new(&idx, &ds, &cache);
+        let q = ds.point(PointId(42)).to_vec();
+        let (res_cold, cold) = engine.query(&q, 5);
+        let (res_warm, warm) = engine.query(&q, 5);
+        assert!(
+            warm.leaf_fetches < cold.leaf_fetches,
+            "warm {} !< cold {}",
+            warm.leaf_fetches,
+            cold.leaf_fetches
+        );
+        // Exactness preserved both times.
+        let want = exact_knn(&ds, &q, 5);
+        for (got, want) in res_cold
+            .iter()
+            .map(|&(_, d)| d)
+            .chain(res_warm.iter().map(|&(_, d)| d))
+            .zip(want.iter().chain(&want))
+        {
+            assert!((got - want).abs() < 1e-9);
+        }
+        assert!(cache.used_bytes() <= cache.capacity_bytes());
+    }
+
+    #[test]
+    fn fetched_leaves_are_recorded_for_frequency_collection() {
+        let ds = dataset(150, 4, 6);
+        let idx = IDistance::build(&ds, 5, 8, 6);
+        let engine = TreeSearchEngine::new(&idx, &ds, &NoNodeCache);
+        let (_, stats) = engine.query(ds.point(PointId(7)), 3);
+        assert_eq!(stats.fetched_leaves.len() as u64, stats.leaf_fetches);
+        let unique: HashSet<u32> = stats.fetched_leaves.iter().copied().collect();
+        assert_eq!(unique.len(), stats.fetched_leaves.len(), "no duplicates");
+    }
+}

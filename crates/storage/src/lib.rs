@@ -1,0 +1,19 @@
+//! # hc-storage
+//!
+//! The disk substrate of the reproduction: a deterministic paged "disk" for
+//! the sequential point file, I/O accounting with a latency model, and the
+//! physical file orderings of the paper's §5.2.2 experiment.
+//!
+//! The paper stores datasets on a hard disk with the OS cache disabled and
+//! measures refinement cost in candidate fetches (`T_refine ≈ T_io ·
+//! C_refine`, §2.2). This crate replaces the physical disk with an exact
+//! simulation: every 4 KB page fetch increments a counter, and modeled time
+//! is `T_io × pages`. See DESIGN.md §4 for why this substitution preserves
+//! the paper's comparisons.
+
+pub mod io_stats;
+pub mod ordering;
+pub mod point_file;
+
+pub use io_stats::{IoModel, IoSnapshot, IoStats};
+pub use point_file::{PageBuffer, PointFile, PAGE_SIZE};

@@ -1,0 +1,147 @@
+//! Dataset file orderings (paper §5.2.2).
+//!
+//! The paper compares three physical layouts of the point file:
+//!
+//! * **Raw** — the order points arrive in (identity permutation),
+//! * **Clustered** — the iDistance layout \[20\]: points grouped by their
+//!   nearest reference point (cluster), sorted within a cluster by distance
+//!   to the reference,
+//! * **SortedKey** — the SK-LSH layout \[35\]: points sorted by a compound
+//!   linear-order key so that similar points tend to share pages. We use the
+//!   projection onto a fixed random direction as the key, which is SK-LSH's
+//!   one-key special case and preserves the property that matters (nearby
+//!   points receive nearby keys).
+//!
+//! The functions here return permutations `order[pos] = id` for
+//! [`crate::point_file::PointFile::with_order`]. Cluster assignments for the
+//! Clustered layout are supplied by the caller (k-means lives in `hc-index`;
+//! this keeps the crate DAG acyclic).
+
+use hc_core::dataset::Dataset;
+
+/// The identity (Raw) ordering.
+pub fn raw_order(n: usize) -> Vec<u32> {
+    (0..n as u32).collect()
+}
+
+/// Sort ids by an arbitrary `f64` key (stable; ties keep id order).
+pub fn order_by_key(keys: &[f64]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        keys[a as usize]
+            .partial_cmp(&keys[b as usize])
+            .expect("ordering keys must not be NaN")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Clustered (iDistance) ordering from per-point cluster assignments and
+/// distances to the assigned cluster's reference point: clusters are laid out
+/// consecutively, innermost points first.
+pub fn clustered_order(assignments: &[u32], dist_to_center: &[f64]) -> Vec<u32> {
+    assert_eq!(assignments.len(), dist_to_center.len());
+    let mut order: Vec<u32> = (0..assignments.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        let (ca, cb) = (assignments[a as usize], assignments[b as usize]);
+        ca.cmp(&cb)
+            .then_with(|| {
+                dist_to_center[a as usize]
+                    .partial_cmp(&dist_to_center[b as usize])
+                    .expect("distances must not be NaN")
+            })
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// SortedKey ordering: project every point on a deterministic pseudo-random
+/// unit direction and sort by the projection value.
+pub fn sorted_key_order(dataset: &Dataset, seed: u64) -> Vec<u32> {
+    let d = dataset.dim();
+    // Deterministic direction from a splitmix64 stream — no rand dependency
+    // needed for a fixed layout key.
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let dir: Vec<f64> = (0..d)
+        .map(|_| {
+            // Uniform in [-1, 1): enough for a projection key (normalization
+            // does not change the induced order).
+            (next() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+        .collect();
+    let keys: Vec<f64> = dataset
+        .iter()
+        .map(|(_, p)| p.iter().zip(&dir).map(|(&v, &w)| v as f64 * w).sum())
+        .collect();
+    order_by_key(&keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(order: &[u32]) -> bool {
+        let mut seen = vec![false; order.len()];
+        for &id in order {
+            if seen[id as usize] {
+                return false;
+            }
+            seen[id as usize] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn raw_is_identity() {
+        assert_eq!(raw_order(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn order_by_key_sorts_ascending() {
+        let order = order_by_key(&[3.0, 1.0, 2.0]);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn clustered_groups_by_cluster_then_radius() {
+        let assignments = [1u32, 0, 1, 0];
+        let dist = [5.0, 2.0, 1.0, 7.0];
+        let order = clustered_order(&assignments, &dist);
+        // Cluster 0: ids 1 (d=2), 3 (d=7); cluster 1: ids 2 (d=1), 0 (d=5).
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        assert!(is_permutation(&order));
+    }
+
+    #[test]
+    fn sorted_key_groups_similar_points() {
+        // Two tight clusters far apart: the projection key must keep each
+        // cluster contiguous in the ordering.
+        let mut rows = Vec::new();
+        for i in 0..5 {
+            rows.push(vec![0.0 + i as f32 * 0.01, 0.0]);
+        }
+        for i in 0..5 {
+            rows.push(vec![100.0 + i as f32 * 0.01, 100.0]);
+        }
+        let ds = Dataset::from_rows(&rows);
+        let order = sorted_key_order(&ds, 7);
+        assert!(is_permutation(&order));
+        let first_half: Vec<u32> = order[..5].to_vec();
+        let all_low = first_half.iter().all(|&id| id < 5);
+        let all_high = first_half.iter().all(|&id| id >= 5);
+        assert!(all_low || all_high, "clusters interleaved: {order:?}");
+    }
+
+    #[test]
+    fn sorted_key_is_deterministic_per_seed() {
+        let ds = Dataset::from_rows(&[vec![1.0, 2.0], vec![3.0, 1.0], vec![0.0, 0.0]]);
+        assert_eq!(sorted_key_order(&ds, 42), sorted_key_order(&ds, 42));
+    }
+}

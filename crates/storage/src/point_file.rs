@@ -1,0 +1,260 @@
+//! The sequential dataset file `P` (paper §2.1): points stored in pages on
+//! the simulated disk, addressable by point identifier.
+//!
+//! Layout mirrors the paper's setup: 4 KB pages (their experimental system's
+//! block size), `⌊4096 / (d·4)⌋` points per page (at least one — a 960-d
+//! SOGOU point is 3840 bytes and fills a page by itself). A physical
+//! *position* in the file is decoupled from the point *id* by a permutation
+//! so that the §5.2.2 file-ordering experiment (Raw / Clustered / SortedKey)
+//! can relocate points without touching ids.
+//!
+//! Every page fetch is counted in [`IoStats`]. A per-query [`PageBuffer`]
+//! deduplicates fetches of the same page within one query — reading two
+//! co-located candidates costs one I/O, which is precisely the effect file
+//! orderings try to exploit.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+use hc_core::dataset::{Dataset, PointId};
+
+use crate::io_stats::IoStats;
+
+/// Disk block size, as in the paper's experimental setup.
+pub const PAGE_SIZE: usize = 4096;
+
+/// A paged, permutable view of the dataset acting as the on-disk point file.
+pub struct PointFile {
+    dataset: Dataset,
+    /// `position_of[id] = position` in file order.
+    position_of: Vec<u32>,
+    /// Lazily-built inverse permutation (`position → id`), only materialized
+    /// by `fetch_page`.
+    id_at: OnceLock<Vec<u32>>,
+    points_per_page: usize,
+    stats: IoStats,
+}
+
+impl PointFile {
+    /// Store the dataset in its raw (id) order.
+    pub fn new(dataset: Dataset) -> Self {
+        let n = dataset.len();
+        Self::with_order(dataset, (0..n as u32).collect())
+    }
+
+    /// Store the dataset so that file position `pos` holds point
+    /// `order[pos]`.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..n`.
+    pub fn with_order(dataset: Dataset, order: Vec<u32>) -> Self {
+        let n = dataset.len();
+        assert_eq!(order.len(), n, "order must cover every point");
+        let mut position_of = vec![u32::MAX; n];
+        for (pos, &id) in order.iter().enumerate() {
+            let slot = &mut position_of[id as usize];
+            assert_eq!(*slot, u32::MAX, "duplicate id {id} in order");
+            *slot = pos as u32;
+        }
+        let points_per_page = (PAGE_SIZE / dataset.point_bytes()).max(1);
+        Self {
+            dataset,
+            position_of,
+            id_at: OnceLock::new(),
+            points_per_page,
+            stats: IoStats::new(),
+        }
+    }
+
+    /// Points stored per 4 KB page.
+    #[inline]
+    pub fn points_per_page(&self) -> usize {
+        self.points_per_page
+    }
+
+    /// Total pages in the file.
+    pub fn num_pages(&self) -> u64 {
+        (self.dataset.len() as u64).div_ceil(self.points_per_page as u64)
+    }
+
+    /// The page holding a point id under the current ordering.
+    #[inline]
+    pub fn page_of(&self, id: PointId) -> u64 {
+        (self.position_of[id.index()] as u64) / self.points_per_page as u64
+    }
+
+    /// The I/O counters of this file.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// The backing dataset (offline use only — reading through this does NOT
+    /// count I/O; index construction and histogram building are offline
+    /// phases in the paper).
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Dimensionality of stored points.
+    pub fn dim(&self) -> usize {
+        self.dataset.dim()
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.dataset.is_empty()
+    }
+
+    /// Begin a query: a fresh page buffer for within-query dedup.
+    pub fn begin_query(&self) -> PageBuffer {
+        PageBuffer { pages: HashSet::new() }
+    }
+
+    /// Fetch a point from disk, counting page I/O unless the page is already
+    /// in this query's buffer.
+    pub fn fetch(&self, id: PointId, buffer: &mut PageBuffer) -> &[f32] {
+        let page = self.page_of(id);
+        if buffer.pages.insert(page) {
+            self.stats.record_page();
+        }
+        self.stats.record_point();
+        self.dataset.point(id)
+    }
+
+    /// Fetch a whole page's worth of points by page number (used by indexes
+    /// whose leaves are data pages). Counts a single page I/O (with dedup)
+    /// and returns the ids stored on that page in file order.
+    pub fn fetch_page(&self, page: u64, buffer: &mut PageBuffer) -> Vec<PointId> {
+        assert!(page < self.num_pages(), "page {page} out of range");
+        if buffer.pages.insert(page) {
+            self.stats.record_page();
+        }
+        let start = page as usize * self.points_per_page;
+        let end = (start + self.points_per_page).min(self.dataset.len());
+        let id_at = self.id_at.get_or_init(|| {
+            let mut inv = vec![u32::MAX; self.position_of.len()];
+            for (id, &pos) in self.position_of.iter().enumerate() {
+                inv[pos as usize] = id as u32;
+            }
+            inv
+        });
+        (start..end).map(|pos| PointId::from(id_at[pos])).collect()
+    }
+
+    /// Cost (in pages) of a full sequential scan of the file.
+    pub fn sequential_scan_pages(&self) -> u64 {
+        self.num_pages()
+    }
+}
+
+/// Per-query set of already-fetched pages (the paper's within-query buffer:
+/// "OS cache was disabled" across queries, but a candidate list naturally
+/// reads each needed page once).
+pub struct PageBuffer {
+    pages: HashSet<u64>,
+}
+
+impl PageBuffer {
+    /// Pages touched by this query so far.
+    pub fn pages_touched(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether a page is already buffered.
+    pub fn contains(&self, page: u64) -> bool {
+        self.pages.contains(&page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize, d: usize) -> Dataset {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| (0..d).map(|j| (i * d + j) as f32).collect())
+            .collect();
+        Dataset::from_rows(&rows)
+    }
+
+    #[test]
+    fn page_geometry_matches_paper_table2() {
+        // 150-d points (600 B) → 6 per 4 KB page; 960-d (3840 B) → 1 per page.
+        let f150 = PointFile::new(dataset(20, 150));
+        assert_eq!(f150.points_per_page(), 6);
+        assert_eq!(f150.num_pages(), 4);
+        let f960 = PointFile::new(dataset(3, 960));
+        assert_eq!(f960.points_per_page(), 1);
+        assert_eq!(f960.num_pages(), 3);
+    }
+
+    #[test]
+    fn fetch_counts_one_page_per_distinct_page() {
+        let f = PointFile::new(dataset(12, 150)); // 6 points/page
+        let mut buf = f.begin_query();
+        f.fetch(PointId(0), &mut buf);
+        f.fetch(PointId(1), &mut buf); // same page: no new I/O
+        f.fetch(PointId(6), &mut buf); // second page
+        assert_eq!(f.stats().pages_read(), 2);
+        assert_eq!(f.stats().points_fetched(), 3);
+        assert_eq!(buf.pages_touched(), 2);
+    }
+
+    #[test]
+    fn new_query_rereads_pages() {
+        let f = PointFile::new(dataset(6, 150));
+        let mut q1 = f.begin_query();
+        f.fetch(PointId(0), &mut q1);
+        let mut q2 = f.begin_query();
+        f.fetch(PointId(0), &mut q2);
+        assert_eq!(f.stats().pages_read(), 2, "no cross-query OS cache");
+    }
+
+    #[test]
+    fn fetch_returns_correct_point_regardless_of_order() {
+        let ds = dataset(8, 3);
+        let order: Vec<u32> = vec![7, 6, 5, 4, 3, 2, 1, 0];
+        let f = PointFile::with_order(ds.clone(), order);
+        let mut buf = f.begin_query();
+        assert_eq!(f.fetch(PointId(3), &mut buf), ds.point(PointId(3)));
+    }
+
+    #[test]
+    fn ordering_changes_page_colocation() {
+        // 12 points, 6/page. Raw order: ids 0..5 on page 0. Reversed order:
+        // ids 6..11 on page 0.
+        let raw = PointFile::new(dataset(12, 150));
+        let rev = PointFile::with_order(dataset(12, 150), (0..12u32).rev().collect());
+        assert_eq!(raw.page_of(PointId(0)), 0);
+        assert_eq!(rev.page_of(PointId(0)), 1);
+        // Fetching ids {0,1} costs 1 page raw, and also 1 page reversed
+        // (they are still adjacent); fetching {0, 11} costs 2 raw but ids 0
+        // and 11 are on different pages in both orders here — use {5, 6}:
+        // raw → pages 0 and 1 (2 I/Os); reversed → pages 1 and 0 (2 I/Os).
+        // The discriminating pair is {0, 6}: raw 2 pages, reversed... page_of
+        // checks are the real assertion above.
+    }
+
+    #[test]
+    fn fetch_page_returns_resident_ids() {
+        let f = PointFile::with_order(dataset(12, 150), (0..12u32).rev().collect());
+        let mut buf = f.begin_query();
+        let ids = f.fetch_page(0, &mut buf);
+        assert_eq!(ids.len(), 6);
+        assert!(ids.contains(&PointId(11)) && ids.contains(&PointId(6)));
+        assert_eq!(f.stats().pages_read(), 1);
+        // Fetching a resident point afterwards is free.
+        f.fetch(PointId(7), &mut buf);
+        assert_eq!(f.stats().pages_read(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate id")]
+    fn with_order_rejects_non_permutation() {
+        let _ = PointFile::with_order(dataset(3, 2), vec![0, 0, 2]);
+    }
+}

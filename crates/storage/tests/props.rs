@@ -1,0 +1,107 @@
+//! Property tests for the storage substrate: orderings are permutations,
+//! page accounting is exact, and fetch never misattributes points.
+
+use hc_core::dataset::{Dataset, PointId};
+use hc_storage::ordering::{clustered_order, order_by_key, raw_order, sorted_key_order};
+use hc_storage::point_file::{PointFile, PAGE_SIZE};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (1usize..=40, 1usize..=8).prop_flat_map(|(n, d)| {
+        prop::collection::vec(prop::collection::vec(-100.0f32..100.0, d..=d), n..=n)
+            .prop_map(move |rows| Dataset::from_rows(&rows))
+    })
+}
+
+fn assert_permutation(order: &[u32], n: usize) {
+    assert_eq!(order.len(), n);
+    let mut seen = vec![false; n];
+    for &id in order {
+        assert!(!seen[id as usize], "duplicate id {id}");
+        seen[id as usize] = true;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn orderings_are_permutations(ds in arb_dataset(), seed in 0u64..1000) {
+        let n = ds.len();
+        assert_permutation(&raw_order(n), n);
+        assert_permutation(&sorted_key_order(&ds, seed), n);
+        let keys: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64).collect();
+        assert_permutation(&order_by_key(&keys), n);
+        let assignments: Vec<u32> = (0..n as u32).map(|i| i % 3).collect();
+        let dists: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+        assert_permutation(&clustered_order(&assignments, &dists), n);
+    }
+
+    #[test]
+    fn fetch_returns_the_right_point_under_any_order(
+        ds in arb_dataset(),
+        seed in 0u64..1000,
+    ) {
+        let order = sorted_key_order(&ds, seed);
+        let file = PointFile::with_order(ds.clone(), order);
+        let mut buf = file.begin_query();
+        for (id, p) in ds.iter() {
+            prop_assert_eq!(file.fetch(id, &mut buf), p);
+        }
+    }
+
+    #[test]
+    fn page_accounting_counts_each_distinct_page_once(ds in arb_dataset()) {
+        let file = PointFile::new(ds.clone());
+        let before = file.stats().snapshot();
+        let mut buf = file.begin_query();
+        // Fetch every point twice: page reads must equal the page count.
+        for (id, _) in ds.iter() {
+            file.fetch(id, &mut buf);
+        }
+        for (id, _) in ds.iter() {
+            file.fetch(id, &mut buf);
+        }
+        let delta = file.stats().snapshot().delta_since(before);
+        prop_assert_eq!(delta.pages_read, file.num_pages());
+        prop_assert_eq!(delta.points_fetched, 2 * ds.len() as u64);
+    }
+
+    #[test]
+    fn page_geometry_is_consistent(ds in arb_dataset()) {
+        let file = PointFile::new(ds.clone());
+        let ppp = file.points_per_page();
+        prop_assert!(ppp >= 1);
+        prop_assert!(ppp * ds.point_bytes() <= PAGE_SIZE || ppp == 1);
+        // Every point's page is within range.
+        for (id, _) in ds.iter() {
+            prop_assert!(file.page_of(id) < file.num_pages());
+        }
+    }
+
+    #[test]
+    fn fetch_page_roundtrips_with_page_of(ds in arb_dataset(), seed in 0u64..100) {
+        let order = sorted_key_order(&ds, seed);
+        let file = PointFile::with_order(ds.clone(), order);
+        for page in 0..file.num_pages() {
+            let mut buf = file.begin_query();
+            let ids = file.fetch_page(page, &mut buf);
+            prop_assert!(!ids.is_empty());
+            for id in ids {
+                prop_assert_eq!(file.page_of(id), page);
+            }
+        }
+    }
+}
+
+/// Two fetches in distinct queries always re-read (no cross-query cache).
+#[test]
+fn queries_do_not_share_buffers() {
+    let ds = Dataset::from_rows(&[vec![1.0], vec![2.0]]);
+    let file = PointFile::new(ds);
+    let mut q1 = file.begin_query();
+    let mut q2 = file.begin_query();
+    file.fetch(PointId(0), &mut q1);
+    file.fetch(PointId(0), &mut q2);
+    assert_eq!(file.stats().pages_read(), 2);
+}

@@ -1,0 +1,20 @@
+//! # hc-workload
+//!
+//! Synthetic datasets and query logs standing in for the paper's evaluation
+//! data (NUS-WIDE, IMGNET, SOGOU and its image-search log) — see DESIGN.md §4
+//! for the substitution argument.
+//!
+//! * [`synth`] — clustered feature generators (Gaussian mixtures,
+//!   color-histogram-like, GIST-like),
+//! * [`zipf`] — power-law popularity sampling (paper Fig. 2),
+//! * [`querylog`] — the `P` / `WL` / `Q_test` split protocol of §5.1,
+//! * [`presets`] — the three paper datasets at laptop scale with matching
+//!   dimensionalities and page geometry.
+
+pub mod presets;
+pub mod querylog;
+pub mod synth;
+pub mod zipf;
+
+pub use presets::{Preset, Scale};
+pub use querylog::{Popularity, QueryLog, QueryLogConfig};

@@ -1,0 +1,171 @@
+//! The three evaluation datasets (paper Table 2), reproduced synthetically
+//! at laptop scale.
+//!
+//! | Paper     | d   | |P|       | per point | Here (default scale)        |
+//! |-----------|-----|-----------|-----------|-----------------------------|
+//! | NUS-WIDE  | 150 | 267,415   | 600 B     | 150-d color-histogram-like  |
+//! | IMGNET    | 150 | 2,213,937 | 600 B     | 150-d color-histogram-like  |
+//! | SOGOU     | 960 | 8,304,965 | 3,840 B   | 960-d GIST-like, real log → Zipf log |
+//!
+//! Dimensionality and per-point byte sizes match the paper exactly (so page
+//! geometry — points per 4 KB page — is identical); cardinalities are scaled
+//! by [`Scale`] so the full experiment suite runs in minutes. The default
+//! cache sizes follow the paper's "< 30 % of the dataset file" rule.
+
+use hc_core::dataset::Dataset;
+
+use crate::querylog::{Popularity, QueryLog, QueryLogConfig};
+use crate::synth::{color_histogram_like, gist_like};
+
+/// Experiment scale: multiplies dataset cardinalities and workload lengths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scale {
+    /// Tiny — unit/integration tests (seconds).
+    Test,
+    /// Bench — criterion benchmarks (tens of seconds for the full suite).
+    Bench,
+    /// Full — the experiment harness regenerating every table/figure.
+    Full,
+}
+
+impl Scale {
+    fn factor(self) -> f64 {
+        match self {
+            Scale::Test => 0.1,
+            Scale::Bench => 0.3,
+            Scale::Full => 1.0,
+        }
+    }
+}
+
+/// A fully-specified dataset preset.
+#[derive(Debug, Clone)]
+pub struct Preset {
+    /// Paper dataset this stands in for.
+    pub name: &'static str,
+    pub dim: usize,
+    pub n_points: usize,
+    pub clusters: usize,
+    pub query_pool: usize,
+    pub workload_len: usize,
+    pub test_len: usize,
+    pub popularity: Popularity,
+    pub seed: u64,
+}
+
+impl Preset {
+    /// NUS-WIDE-like: 150-d sparse color histograms.
+    pub fn nus_wide(scale: Scale) -> Self {
+        let f = scale.factor();
+        Self {
+            name: "NUS-WIDE",
+            dim: 150,
+            n_points: (20_000.0 * f) as usize,
+            clusters: 40,
+            query_pool: (400.0 * f) as usize,
+            workload_len: (2_000.0 * f) as usize,
+            test_len: 50,
+            popularity: Popularity::Zipf(0.8),
+            seed: 0x9151,
+        }
+    }
+
+    /// IMGNET-like: 150-d color histograms, larger cardinality.
+    pub fn imgnet(scale: Scale) -> Self {
+        let f = scale.factor();
+        Self {
+            name: "IMGNET",
+            dim: 150,
+            n_points: (40_000.0 * f) as usize,
+            clusters: 80,
+            query_pool: (600.0 * f) as usize,
+            workload_len: (2_500.0 * f) as usize,
+            test_len: 50,
+            popularity: Popularity::Zipf(0.8),
+            seed: 0x1337,
+        }
+    }
+
+    /// SOGOU-like: 960-d GIST descriptors with a skewed (real-log-like)
+    /// query distribution.
+    pub fn sogou(scale: Scale) -> Self {
+        let f = scale.factor();
+        Self {
+            name: "SOGOU",
+            dim: 960,
+            n_points: (6_000.0 * f) as usize,
+            clusters: 30,
+            query_pool: (300.0 * f) as usize,
+            workload_len: (1_500.0 * f) as usize,
+            test_len: 50,
+            popularity: Popularity::Zipf(0.9),
+            seed: 0x5060,
+        }
+    }
+
+    /// All three presets, in the paper's order.
+    pub fn all(scale: Scale) -> Vec<Preset> {
+        vec![Self::nus_wide(scale), Self::imgnet(scale), Self::sogou(scale)]
+    }
+
+    /// Generate the raw dataset (before query-pool removal).
+    pub fn dataset(&self) -> Dataset {
+        match self.name {
+            "SOGOU" => gist_like(self.n_points, self.dim, self.clusters, self.seed),
+            _ => color_histogram_like(self.n_points, self.dim, self.clusters, self.seed),
+        }
+    }
+
+    /// Generate dataset + query log split (the paper's `P`, `WL`, `Q_test`).
+    pub fn instantiate(&self) -> QueryLog {
+        let ds = self.dataset();
+        QueryLog::generate(
+            &ds,
+            &QueryLogConfig {
+                pool_size: self.query_pool.max(2).min(ds.len() - 1),
+                workload_len: self.workload_len.max(1),
+                test_len: self.test_len,
+                popularity: self.popularity,
+                seed: self.seed ^ 0xAB,
+            },
+        )
+    }
+
+    /// The paper's default cache size: 30 % of the dataset file.
+    pub fn default_cache_bytes(&self) -> usize {
+        let file = self.n_points * self.dim * 4;
+        file * 3 / 10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_geometry_matches_paper() {
+        let nus = Preset::nus_wide(Scale::Test);
+        assert_eq!(nus.dim * 4, 600); // 600 bytes per point
+        let sog = Preset::sogou(Scale::Test);
+        assert_eq!(sog.dim * 4, 3840); // 3840 bytes per point
+    }
+
+    #[test]
+    fn presets_instantiate_consistently() {
+        for preset in Preset::all(Scale::Test) {
+            let log = preset.instantiate();
+            assert_eq!(log.dataset.dim(), preset.dim);
+            assert_eq!(log.test.len(), preset.test_len);
+            assert!(log.dataset.len() + log.pool.len() == preset.n_points);
+            assert!(preset.default_cache_bytes() < preset.n_points * preset.dim * 4 / 3);
+        }
+    }
+
+    #[test]
+    fn scales_order_cardinalities() {
+        let t = Preset::imgnet(Scale::Test).n_points;
+        let b = Preset::imgnet(Scale::Bench).n_points;
+        let f = Preset::imgnet(Scale::Full).n_points;
+        assert!(t < b && b < f);
+    }
+}

@@ -1,0 +1,236 @@
+//! Query-log generation and the workload / test split (paper §5.1).
+//!
+//! For NUS-WIDE and IMGNET the paper has no real log: it picks random points
+//! from `P` as queries and *removes them from `P`* (following \[13\], \[29\]).
+//! For SOGOU it uses a real image-search log, whose defining property is the
+//! power-law repetition of popular queries (Fig. 2). [`QueryLog`] reproduces
+//! both protocols: a pool of query points is carved out of the dataset and a
+//! log is drawn over the pool — Zipf-weighted (temporal locality) or uniform
+//! — then split into the historical workload `WL` (used to build caches and
+//! histograms) and the held-out test set `Q_test` (used to measure).
+
+use hc_core::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// How repetitions are distributed over the query pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Popularity {
+    /// Every pool entry equally likely.
+    Uniform,
+    /// Zipf with the given exponent (≈0.8 matches web logs \[25\]).
+    Zipf(f64),
+}
+
+/// Configuration of a generated query log.
+#[derive(Debug, Clone)]
+pub struct QueryLogConfig {
+    /// Number of distinct query points carved out of the dataset.
+    pub pool_size: usize,
+    /// Length of the historical workload `WL`.
+    pub workload_len: usize,
+    /// Number of held-out test queries (the paper fixes 50).
+    pub test_len: usize,
+    pub popularity: Popularity,
+    pub seed: u64,
+}
+
+impl Default for QueryLogConfig {
+    fn default() -> Self {
+        Self {
+            pool_size: 200,
+            workload_len: 1000,
+            test_len: 50,
+            popularity: Popularity::Zipf(0.8),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A dataset with its query pool removed, plus the drawn log.
+#[derive(Debug, Clone)]
+pub struct QueryLog {
+    /// The dataset **after removing** the query-pool points (the paper's
+    /// protocol keeps queries out of `P`).
+    pub dataset: Dataset,
+    /// Distinct query points.
+    pub pool: Vec<Vec<f32>>,
+    /// Historical workload `WL` (indices resolve into `pool`).
+    pub workload: Vec<Vec<f32>>,
+    /// Held-out test queries `Q_test`.
+    pub test: Vec<Vec<f32>>,
+}
+
+impl QueryLog {
+    /// Carve a query pool out of `dataset` and draw the log.
+    ///
+    /// # Panics
+    /// Panics if the pool would consume the whole dataset.
+    pub fn generate(dataset: &Dataset, config: &QueryLogConfig) -> Self {
+        let n = dataset.len();
+        assert!(config.pool_size >= 1);
+        assert!(config.pool_size < n, "query pool must leave data behind");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Choose pool ids by reservoir-free partial shuffle.
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        for i in 0..config.pool_size {
+            let j = rng.gen_range(i..n);
+            ids.swap(i, j);
+        }
+        let mut pool_ids: Vec<u32> = ids[..config.pool_size].to_vec();
+        pool_ids.sort_unstable();
+        let pool: Vec<Vec<f32>> = pool_ids
+            .iter()
+            .map(|&id| dataset.point(hc_core::dataset::PointId(id)).to_vec())
+            .collect();
+
+        // Remaining points become the searchable dataset.
+        let mut remaining = Dataset::with_dim(dataset.dim());
+        let mut next_pool = 0usize;
+        for (id, p) in dataset.iter() {
+            if next_pool < pool_ids.len() && pool_ids[next_pool] == id.0 {
+                next_pool += 1;
+                continue;
+            }
+            remaining.push(p);
+        }
+
+        // Draw the log over the pool.
+        let draw: Box<dyn FnMut(&mut StdRng) -> usize> = match config.popularity {
+            Popularity::Uniform => Box::new(move |rng: &mut StdRng| {
+                rng.gen_range(0..config.pool_size)
+            }),
+            Popularity::Zipf(s) => {
+                let z = Zipf::new(config.pool_size, s);
+                Box::new(move |rng: &mut StdRng| z.sample(rng))
+            }
+        };
+        let mut draw = draw;
+        let workload: Vec<Vec<f32>> = (0..config.workload_len)
+            .map(|_| pool[draw(&mut rng)].clone())
+            .collect();
+        let test: Vec<Vec<f32>> = (0..config.test_len)
+            .map(|_| pool[draw(&mut rng)].clone())
+            .collect();
+
+        Self { dataset: remaining, pool, workload, test }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::gaussian_mixture;
+
+    fn base() -> Dataset {
+        gaussian_mixture(500, 8, 5, 10.0, 0.5, 11)
+    }
+
+    #[test]
+    fn pool_points_are_removed_from_dataset() {
+        let ds = base();
+        let log = QueryLog::generate(
+            &ds,
+            &QueryLogConfig { pool_size: 50, workload_len: 100, test_len: 10, ..Default::default() },
+        );
+        assert_eq!(log.dataset.len(), 450);
+        assert_eq!(log.pool.len(), 50);
+        // No pool point should remain in the dataset.
+        for q in &log.pool {
+            assert!(
+                !log.dataset.iter().any(|(_, p)| p == q.as_slice()),
+                "pool point left in dataset"
+            );
+        }
+    }
+
+    #[test]
+    fn log_lengths_match_config() {
+        let log = QueryLog::generate(
+            &base(),
+            &QueryLogConfig { pool_size: 20, workload_len: 77, test_len: 5, ..Default::default() },
+        );
+        assert_eq!(log.workload.len(), 77);
+        assert_eq!(log.test.len(), 5);
+        // Every logged query comes from the pool.
+        for q in log.workload.iter().chain(&log.test) {
+            assert!(log.pool.iter().any(|p| p == q));
+        }
+    }
+
+    #[test]
+    fn zipf_log_repeats_head_queries() {
+        let log = QueryLog::generate(
+            &base(),
+            &QueryLogConfig {
+                pool_size: 100,
+                workload_len: 2000,
+                test_len: 50,
+                popularity: Popularity::Zipf(1.0),
+                seed: 3,
+            },
+        );
+        // Count occurrences of the most frequent workload query.
+        use std::collections::HashMap;
+        let key = |q: &[f32]| -> Vec<u32> { q.iter().map(|v| v.to_bits()).collect() };
+        let mut counts: HashMap<Vec<u32>, usize> = HashMap::new();
+        for q in &log.workload {
+            *counts.entry(key(q)).or_insert(0) += 1;
+        }
+        let max = counts.values().copied().max().expect("non-empty");
+        assert!(max > 2000 / 100 * 3, "no temporal locality: max {max}");
+        // Test queries overlap the workload's support (cache can help).
+        let overlap = log
+            .test
+            .iter()
+            .filter(|q| counts.contains_key(&key(q)))
+            .count();
+        assert!(overlap > 25, "test/workload overlap only {overlap}/50");
+    }
+
+    #[test]
+    fn uniform_log_is_flat() {
+        let log = QueryLog::generate(
+            &base(),
+            &QueryLogConfig {
+                pool_size: 10,
+                workload_len: 5000,
+                test_len: 10,
+                popularity: Popularity::Uniform,
+                seed: 4,
+            },
+        );
+        use std::collections::HashMap;
+        let key = |q: &[f32]| -> Vec<u32> { q.iter().map(|v| v.to_bits()).collect() };
+        let mut counts: HashMap<Vec<u32>, usize> = HashMap::new();
+        for q in &log.workload {
+            *counts.entry(key(q)).or_insert(0) += 1;
+        }
+        for &c in counts.values() {
+            assert!((300..=700).contains(&c), "uniform draw skewed: {c}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let ds = base();
+        let cfg = QueryLogConfig::default();
+        let a = QueryLog::generate(&ds, &cfg);
+        let b = QueryLog::generate(&ds, &cfg);
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    #[should_panic(expected = "leave data behind")]
+    fn rejects_pool_consuming_dataset() {
+        let ds = gaussian_mixture(10, 2, 1, 1.0, 0.1, 1);
+        let _ = QueryLog::generate(
+            &ds,
+            &QueryLogConfig { pool_size: 10, ..Default::default() },
+        );
+    }
+}

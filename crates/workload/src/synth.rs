@@ -1,0 +1,188 @@
+//! Synthetic high-dimensional feature generators.
+//!
+//! The paper evaluates on image feature datasets we cannot redistribute
+//! (NUS-WIDE and IMGNET color histograms, SOGOU GIST descriptors). These
+//! generators produce data with the *statistical shape* the method's
+//! behaviour depends on — clustered, non-uniform per-dimension distributions
+//! with realistic dimensionalities — as argued in DESIGN.md §4:
+//!
+//! * [`gaussian_mixture`] — generic clustered data (the workhorse),
+//! * [`color_histogram_like`] — sparse, non-negative, L1-normalized vectors
+//!   mimicking color histograms (NUS-WIDE / IMGNET style),
+//! * [`gist_like`] — dense, per-dimension-correlated vectors in `[0, 1]`
+//!   mimicking GIST descriptors (SOGOU style).
+
+use hc_core::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    // Box–Muller (one value per call; simple and adequate here).
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A mixture of `clusters` isotropic Gaussians with centers uniform in
+/// `[0, spread]^d` and the given per-cluster standard deviation.
+pub fn gaussian_mixture(
+    n: usize,
+    d: usize,
+    clusters: usize,
+    spread: f32,
+    sigma: f32,
+    seed: u64,
+) -> Dataset {
+    assert!(n > 0 && d > 0 && clusters > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.0..spread)).collect())
+        .collect();
+    let mut values = Vec::with_capacity(n * d);
+    for i in 0..n {
+        let c = &centers[i % clusters];
+        for &cj in c.iter() {
+            values.push(cj + sigma * gaussian(&mut rng) as f32);
+        }
+    }
+    Dataset::from_flat(d, values)
+}
+
+/// Sparse, non-negative, L1-normalized vectors: most mass on a few "color
+/// bins" per cluster, the rest near zero — the skewed per-dimension value
+/// distribution of color histograms.
+pub fn color_histogram_like(n: usize, d: usize, clusters: usize, seed: u64) -> Dataset {
+    assert!(n > 0 && d > 0 && clusters > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Each cluster prefers ~8 bins; clusters share bins often enough (random
+    // draws over d bins) that per-dimension values alone do not separate
+    // them — the regime real color histograms live in, where coarse 1–2-bit
+    // codes carry little information (paper Fig. 10).
+    let hot_bins: Vec<Vec<usize>> = (0..clusters)
+        .map(|_| (0..8.min(d)).map(|_| rng.gen_range(0..d)).collect())
+        .collect();
+    let mut values = Vec::with_capacity(n * d);
+    let mut row = vec![0.0f32; d];
+    for i in 0..n {
+        row.iter_mut().for_each(|v| *v = 0.0);
+        for &b in &hot_bins[i % clusters] {
+            row[b] += rng.gen_range(0.15..0.6);
+        }
+        // Heavier background noise blurs per-dimension separability.
+        for _ in 0..8 {
+            let b = rng.gen_range(0..d);
+            row[b] += rng.gen_range(0.0..0.15);
+        }
+        let sum: f32 = row.iter().sum::<f32>().max(f32::MIN_POSITIVE);
+        values.extend(row.iter().map(|v| v / sum));
+    }
+    Dataset::from_flat(d, values)
+}
+
+/// Dense descriptors in `[0, 1]` with block-correlated dimensions (GIST
+/// concatenates per-cell orientation energies; neighboring cells correlate).
+pub fn gist_like(n: usize, d: usize, clusters: usize, seed: u64) -> Dataset {
+    assert!(n > 0 && d > 0 && clusters > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let block = 16usize.min(d).max(1);
+    // Cluster centers drawn from a narrow band with noise comparable to the
+    // center spread: clusters overlap per dimension and are separable only in
+    // aggregate, as with real GIST descriptors — coarse per-dimension codes
+    // are then genuinely uninformative.
+    let centers: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.35..0.65)).collect())
+        .collect();
+    let mut values = Vec::with_capacity(n * d);
+    for i in 0..n {
+        let c = &centers[i % clusters];
+        let mut j = 0;
+        while j < d {
+            // One shared perturbation per block plus per-dim noise.
+            let shared = 0.12 * gaussian(&mut rng) as f32;
+            let end = (j + block).min(d);
+            for cj in &c[j..end] {
+                let v = cj + shared + 0.06 * gaussian(&mut rng) as f32;
+                values.push(v.clamp(0.0, 1.0));
+            }
+            j = end;
+        }
+    }
+    Dataset::from_flat(d, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixture_has_requested_shape() {
+        let ds = gaussian_mixture(100, 12, 4, 10.0, 0.3, 1);
+        assert_eq!(ds.len(), 100);
+        assert_eq!(ds.dim(), 12);
+    }
+
+    #[test]
+    fn mixture_is_deterministic_per_seed() {
+        let a = gaussian_mixture(50, 6, 3, 5.0, 0.2, 7);
+        let b = gaussian_mixture(50, 6, 3, 5.0, 0.2, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixture_clusters_are_tight() {
+        let ds = gaussian_mixture(200, 8, 2, 100.0, 0.1, 2);
+        // Same-cluster points (stride `clusters`) are far closer than
+        // cross-cluster points on average.
+        let same = hc_core::distance::euclidean(
+            ds.point(hc_core::dataset::PointId(0)),
+            ds.point(hc_core::dataset::PointId(2)),
+        );
+        let cross = hc_core::distance::euclidean(
+            ds.point(hc_core::dataset::PointId(0)),
+            ds.point(hc_core::dataset::PointId(1)),
+        );
+        assert!(same * 5.0 < cross, "same {same} cross {cross}");
+    }
+
+    #[test]
+    fn color_histograms_are_normalized_and_sparse() {
+        let ds = color_histogram_like(60, 150, 5, 3);
+        for (_, p) in ds.iter() {
+            let sum: f32 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-3, "L1 norm {sum}");
+            assert!(p.iter().all(|&v| v >= 0.0));
+            let near_zero = p.iter().filter(|&&v| v < 1e-4).count();
+            assert!(near_zero > 100, "expected sparsity, got {near_zero} zeros");
+        }
+    }
+
+    #[test]
+    fn gist_values_are_bounded_and_dense() {
+        let ds = gist_like(40, 96, 4, 4);
+        for (_, p) in ds.iter() {
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let nonzero = p.iter().filter(|&&v| v > 0.01).count();
+            assert!(nonzero > 80, "GIST-like should be dense");
+        }
+    }
+
+    #[test]
+    fn gist_blocks_are_correlated() {
+        let ds = gist_like(500, 32, 1, 5);
+        // Dims 0 and 1 share a block; dims 0 and 31 do not. Compute sample
+        // correlation of deviations from the (single) cluster center.
+        let col = |j: usize| -> Vec<f64> { ds.iter().map(|(_, p)| p[j] as f64).collect() };
+        let corr = |a: &[f64], b: &[f64]| -> f64 {
+            let n = a.len() as f64;
+            let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
+            let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+            let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n;
+            let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n;
+            cov / (va.sqrt() * vb.sqrt())
+        };
+        let c0 = col(0);
+        let within = corr(&c0, &col(1));
+        let across = corr(&c0, &col(31));
+        assert!(within > across + 0.2, "within {within} across {across}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Zipf-distributed sampling for temporally-local query logs.
+//!
+//! The paper motivates caching with the power-law popularity of multimedia
+//! objects (Fig. 2, Flickr photo views). A [`Zipf`] sampler over ranks
+//! `1..=n` with exponent `s` draws rank `r` with probability `∝ 1/r^s`;
+//! applied to a pool of query points it produces a log in which a small
+//! fraction of queries receives most of the repetitions — exactly the
+//! temporal locality HFF and LRU exploit.
+
+use rand::Rng;
+
+/// Zipf sampler over `1..=n` using inverse-CDF lookup on precomputed
+/// cumulative weights (exact, O(log n) per draw).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a sampler over `n` ranks with exponent `s ≥ 0` (`s = 0` is
+    /// uniform; `s ≈ 0.8–1.0` matches typical web query logs \[25\]).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "need at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw a 0-based rank (0 is the most popular).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cdf.last().expect("non-empty");
+        let t = rng.gen_range(0.0..total);
+        self.cdf.partition_point(|&c| c <= t)
+    }
+
+    /// Probability mass of rank `r` (0-based).
+    pub fn pmf(&self, r: usize) -> f64 {
+        let total = *self.cdf.last().expect("non-empty");
+        let lo = if r == 0 { 0.0 } else { self.cdf[r - 1] };
+        (self.cdf[r] - lo) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 0.8);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_ranks_are_more_popular() {
+        let z = Zipf::new(50, 1.0);
+        for r in 1..50 {
+            assert!(z.pmf(r - 1) > z.pmf(r));
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_follow_the_skew() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        // Head concentration: top-10 ranks take a large share under s=1.
+        let head: usize = counts[..10].iter().sum();
+        assert!(head > 5_000, "head share {head}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+}

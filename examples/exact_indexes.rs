@@ -1,0 +1,100 @@
+//! Exact tree indexes with leaf-node caching (paper §3.6.1 / Fig. 16).
+//!
+//! The caching technique is generic: here it accelerates *exact* kNN search
+//! on iDistance, VP-tree, and R-tree. For each index we compare NO-CACHE,
+//! an EXACT leaf-node cache, and the paper's compact (HC-O) leaf-node cache
+//! at the same byte budget — results stay exact in all cases; only the leaf
+//! I/O changes.
+//!
+//! Run with: `cargo run --release --example exact_indexes`
+
+use std::sync::Arc;
+
+use exploit_every_bit::cache::node::{CompactNodeCache, ExactNodeCache, NoNodeCache, NodeCache};
+use exploit_every_bit::core::histogram::HistogramKind;
+use exploit_every_bit::core::prelude::*;
+use exploit_every_bit::index::traits::LeafedIndex;
+use exploit_every_bit::index::{IDistance, RTree, VpTree};
+use exploit_every_bit::query::{replay_leaf_accesses, TreeSearchEngine};
+use exploit_every_bit::workload::synth::gaussian_mixture;
+use exploit_every_bit::workload::{QueryLog, QueryLogConfig};
+
+fn main() {
+    let k = 10;
+    let raw = gaussian_mixture(5_000, 32, 25, 10.0, 0.4, 7);
+    let log = QueryLog::generate(
+        &raw,
+        &QueryLogConfig { pool_size: 150, workload_len: 600, test_len: 40, ..Default::default() },
+    );
+    let ds = log.dataset.clone();
+    let leaf_cap = 4096 / (ds.dim() * 4); // points per 4 KB disk node
+    println!(
+        "dataset: {} × {}-d, leaf capacity {} points, k = {k}",
+        ds.len(),
+        ds.dim(),
+        leaf_cap
+    );
+
+    let idistance = IDistance::build(&ds, 16, leaf_cap, 1);
+    let vptree = VpTree::build(&ds, leaf_cap, 1);
+    let rtree = RTree::bulk_load(&ds, leaf_cap);
+    let indexes: Vec<&dyn LeafedIndex> = vec![&idistance, &vptree, &rtree];
+
+    let cache_bytes = ds.file_bytes() / 4;
+    let quantizer = Quantizer::for_range(ds.value_range());
+
+    for index in indexes {
+        println!("\n=== {} ({} leaves) ===", index.name(), index.num_leaves());
+        // Offline: leaf access frequencies from the workload (§3.6.1).
+        let leaf_freq = replay_leaf_accesses(index, &ds, &log.workload, k);
+
+        // HC-O scheme from the workload's QR coordinates. For tree search we
+        // approximate F' with the coordinates of points in hot leaves.
+        let mut f_prime = vec![0u64; quantizer.n_dom() as usize];
+        for &(leaf, freq) in &leaf_freq {
+            for p in index.leaf_points(leaf) {
+                for &v in ds.point(*p) {
+                    f_prime[quantizer.level(v) as usize] += freq;
+                }
+            }
+        }
+        let hist = HistogramKind::KnnOptimal.build(&f_prime, 1 << 8);
+        let scheme: Arc<dyn ApproxScheme> =
+            Arc::new(GlobalScheme::new(hist, quantizer.clone(), ds.dim()));
+
+        // Fill the two node caches in descending leaf frequency.
+        let mut exact = ExactNodeCache::new(ds.dim(), cache_bytes);
+        let mut compact = CompactNodeCache::new(scheme, cache_bytes);
+        for &(leaf, _) in &leaf_freq {
+            exact.try_fill(leaf, index.leaf_points(leaf).len());
+            let pts = index.leaf_points(leaf).iter().map(|p| ds.point(*p));
+            compact.try_fill(leaf, pts);
+        }
+
+        println!("{:<18} {:>12} {:>14}", "node cache", "leaf I/Os", "refine (s)");
+        run(index, &ds, &NoNodeCache, "NO-CACHE", &log.test, k);
+        run(index, &ds, &exact, "EXACT", &log.test, k);
+        run(index, &ds, &compact, "HC-O compact", &log.test, k);
+    }
+    println!("\nExpected (paper Fig. 16): HC-O well below EXACT where leaf bounds are informative\n(iDistance); in very high dimensions tree bounds weaken and the gap narrows — see\nEXPERIMENTS.md, Fig 16 notes.");
+}
+
+fn run(
+    index: &dyn LeafedIndex,
+    ds: &exploit_every_bit::core::dataset::Dataset,
+    cache: &dyn NodeCache,
+    label: &str,
+    queries: &[Vec<f32>],
+    k: usize,
+) {
+    let engine = TreeSearchEngine::new(index, ds, cache);
+    let mut io = 0u64;
+    let mut secs = 0.0;
+    for q in queries {
+        let (_, stats) = engine.query(q, k);
+        io += stats.leaf_fetches;
+        secs += stats.modeled_io_secs;
+    }
+    let n = queries.len() as f64;
+    println!("{label:<18} {:>12.1} {:>14.4}", io as f64 / n, secs / n);
+}

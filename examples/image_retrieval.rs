@@ -1,0 +1,82 @@
+//! Image-retrieval scenario: the paper's motivating workload.
+//!
+//! Simulates a content-based image search service: a NUS-WIDE-like corpus of
+//! 150-d color histograms, a power-law query log (popular images searched
+//! over and over, paper Fig. 2), and a C2LSH index. Compares all four
+//! histogram variants (HC-W / HC-D / HC-V / HC-O) at the default
+//! τ = 8 and reports the Table 4-style refinement times.
+//!
+//! Run with: `cargo run --release --example image_retrieval`
+
+use std::sync::Arc;
+
+use exploit_every_bit::cache::point::{CompactPointCache, ExactPointCache, PointCache};
+use exploit_every_bit::core::histogram::HistogramKind;
+use exploit_every_bit::core::prelude::*;
+use exploit_every_bit::index::lsh::{C2lsh, C2lshParams};
+use exploit_every_bit::query::{replay_workload, KnnEngine};
+use exploit_every_bit::storage::PointFile;
+use exploit_every_bit::workload::{Preset, Scale};
+
+fn main() {
+    let k = 10;
+    let tau = 8u32;
+
+    let preset = Preset::nus_wide(Scale::Test);
+    let log = preset.instantiate();
+    let dataset = log.dataset.clone();
+    println!(
+        "{}-like corpus: {} images × {} dims, {} test queries",
+        preset.name,
+        dataset.len(),
+        dataset.dim(),
+        log.test.len()
+    );
+
+    let index = C2lsh::build(&dataset, C2lshParams::default());
+    let file = PointFile::new(dataset.clone());
+    let replay = replay_workload(&index, &dataset, &log.workload, k);
+    let quantizer = Quantizer::for_range(dataset.value_range());
+    let cache_bytes = preset.default_cache_bytes().min(dataset.file_bytes() * 3 / 10);
+
+    // Data frequencies F (for HC-W/D/V) and workload frequencies F' (HC-O).
+    let f_data = quantizer.frequency_array(dataset.as_flat());
+    let f_prime = replay.f_prime(&dataset, &quantizer);
+
+    println!("\n{:<10} {:>12} {:>12} {:>14}", "method", "C_refine", "I/O pages", "T_refine (s)");
+    let exact: Box<dyn PointCache> =
+        Box::new(ExactPointCache::hff(&dataset, &replay.ranking, cache_bytes));
+    report("EXACT", exact, &index, &file, &log.test, k);
+
+    for kind in [
+        HistogramKind::EquiWidth,
+        HistogramKind::EquiDepth,
+        HistogramKind::VOptimal,
+        HistogramKind::KnnOptimal,
+    ] {
+        let freq = if kind.uses_workload_frequencies() { &f_prime } else { &f_data };
+        let hist = kind.build(freq, 1 << tau);
+        let scheme: Arc<dyn ApproxScheme> =
+            Arc::new(GlobalScheme::new(hist, quantizer.clone(), dataset.dim()));
+        let cache: Box<dyn PointCache> =
+            Box::new(CompactPointCache::hff(&dataset, &replay.ranking, cache_bytes, scheme));
+        report(kind.label(), cache, &index, &file, &log.test, k);
+    }
+    println!("\nExpected ordering (paper Table 4): EXACT ≫ HC-W ≥ HC-D ≥ HC-O.");
+}
+
+fn report(
+    label: &str,
+    cache: Box<dyn PointCache>,
+    index: &C2lsh,
+    file: &PointFile,
+    queries: &[Vec<f32>],
+    k: usize,
+) {
+    let mut engine = KnnEngine::new(index, file, cache);
+    let agg = engine.run_batch(queries, k);
+    println!(
+        "{label:<10} {:>12.1} {:>12.1} {:>14.4}",
+        agg.avg_c_refine, agg.avg_io_pages, agg.avg_refine_secs
+    );
+}

@@ -1,0 +1,71 @@
+//! Auto-tuning the code length τ with the §4 cost model.
+//!
+//! The central trade-off of the paper's challenge (2): few bits per point →
+//! high hit ratio but loose bounds; many bits → tight bounds but low hit
+//! ratio. This example sweeps τ, prints the model's predicted hit ratio,
+//! refinement ratio, and I/O per query, compares against *measured* I/O
+//! (Fig. 12 style), and reports the model-chosen τ*.
+//!
+//! Run with: `cargo run --release --example tune_tau`
+
+use std::sync::Arc;
+
+use exploit_every_bit::cache::point::CompactPointCache;
+use exploit_every_bit::core::cost_model::{estimate_equiwidth, optimal_tau_equiwidth};
+use exploit_every_bit::core::histogram::HistogramKind;
+use exploit_every_bit::core::prelude::*;
+use exploit_every_bit::index::lsh::{C2lsh, C2lshParams};
+use exploit_every_bit::query::{replay_workload, KnnEngine};
+use exploit_every_bit::storage::PointFile;
+use exploit_every_bit::workload::synth::gaussian_mixture;
+use exploit_every_bit::workload::{QueryLog, QueryLogConfig};
+
+fn main() {
+    let k = 10;
+    let raw = gaussian_mixture(4_000, 96, 20, 10.0, 2.0, 99);
+    let log = QueryLog::generate(
+        &raw,
+        &QueryLogConfig { pool_size: 150, workload_len: 800, test_len: 30, ..Default::default() },
+    );
+    let ds = log.dataset.clone();
+    let index = C2lsh::build(&ds, C2lshParams::default());
+    let file = PointFile::new(ds.clone());
+    let replay = replay_workload(&index, &ds, &log.workload, k);
+    let stats = replay.workload_stats(&ds);
+    let quantizer = Quantizer::for_range(ds.value_range());
+    let cache_bytes = ds.file_bytes() / 10; // deliberately small: τ matters
+
+    println!(
+        "cache = {:.1} MB ({}% of file); model inputs: E|C(q)| = {:.0}, D_max = {:.2}",
+        cache_bytes as f64 / 1e6,
+        100 * cache_bytes / ds.file_bytes(),
+        stats.avg_candidates,
+        stats.d_max
+    );
+    println!(
+        "\n{:>4} {:>10} {:>12} {:>14} {:>14}",
+        "τ", "ρ_hit", "ρ_refine", "est. I/O", "measured I/O"
+    );
+
+    let f_data = quantizer.frequency_array(ds.as_flat());
+    for tau in [1u32, 2, 4, 6, 8, 10, 12] {
+        let est = estimate_equiwidth(&stats, cache_bytes, &quantizer, tau);
+        // Measure with an actual equi-width compact cache at this τ.
+        let hist = HistogramKind::EquiWidth.build(&f_data, 1 << tau);
+        let scheme: Arc<dyn ApproxScheme> =
+            Arc::new(GlobalScheme::new(hist, quantizer.clone(), ds.dim()));
+        let cache = CompactPointCache::hff(&ds, &replay.ranking, cache_bytes, scheme);
+        let mut engine = KnnEngine::new(&index, &file, Box::new(cache));
+        let agg = engine.run_batch(&log.test, k);
+        println!(
+            "{tau:>4} {:>10.3} {:>12.3} {:>14.1} {:>14.1}",
+            est.rho_hit, est.rho_refine, est.refine_io, agg.avg_io_pages
+        );
+    }
+
+    let best = optimal_tau_equiwidth(&stats, cache_bytes, &quantizer, 1..=16);
+    println!(
+        "\nmodel-chosen τ* = {} (estimated {:.1} I/Os per query)",
+        best.tau, best.refine_io
+    );
+}

@@ -1,0 +1,34 @@
+//! # exploit-every-bit
+//!
+//! A from-scratch Rust reproduction of **“Exploit Every Bit: Effective
+//! Caching for High-Dimensional Nearest Neighbor Search”** (Bo Tang,
+//! Man Lung Yiu, Kien A. Hua; IEEE TKDE 28(5), 2016).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — histograms (HC-W/D/V/O), bit-packed approximate points,
+//!   distance bounds, metrics, and the §4 cost model.
+//! * [`storage`] — the paged disk simulator and point file with I/O
+//!   accounting.
+//! * [`index`] — C2LSH, iDistance, VA-file, VP-tree, R-tree.
+//! * [`cache`] — HFF/LRU policies over exact, compact, C-VA, and leaf-node
+//!   caches.
+//! * [`query`] — Algorithm 1 (three-phase kNN search) and the optimal
+//!   multi-step refiner, plus the offline builder that replays a workload to
+//!   derive `F'` and candidate frequencies.
+//! * [`workload`] — synthetic dataset presets and Zipf query logs.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough and
+//! `DESIGN.md` for the full system inventory and experiment index.
+
+pub use hc_cache as cache;
+pub use hc_core as core;
+pub use hc_index as index;
+pub use hc_query as query;
+pub use hc_storage as storage;
+pub use hc_workload as workload;
+
+/// One-stop prelude for applications.
+pub mod prelude {
+    pub use hc_core::prelude::*;
+}
