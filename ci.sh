@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Local CI gate. Everything runs offline: the workspace's external
+# dependencies (rand / proptest / criterion) are vendored as path
+# dependencies under third_party/, so no network access is required.
+set -euo pipefail
+cd "$(dirname "$0")"
+export CARGO_NET_OFFLINE=true
+
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q --workspace

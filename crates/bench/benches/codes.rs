@@ -13,7 +13,11 @@ use hc_core::scheme::{ApproxScheme, GlobalScheme};
 
 fn dataset_points(n: usize, d: usize) -> Vec<Vec<f32>> {
     (0..n)
-        .map(|i| (0..d).map(|j| ((i * 31 + j * 7) % 997) as f32 / 997.0).collect())
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * 31 + j * 7) % 997) as f32 / 997.0)
+                .collect()
+        })
         .collect()
 }
 

@@ -8,6 +8,7 @@ use hc_cache::node::{CompactNodeCache, ExactNodeCache, NoNodeCache, NodeCache};
 use hc_core::histogram::HistogramKind;
 use hc_index::idistance::IDistance;
 use hc_index::traits::LeafedIndex;
+use hc_obs::MetricsRegistry;
 use hc_query::{replay_leaf_accesses, KnnEngine, TreeSearchEngine};
 use hc_workload::{Preset, Scale};
 
@@ -36,6 +37,38 @@ fn bench_algorithm1(c: &mut Criterion) {
     group.finish();
 }
 
+/// The hc-obs acceptance bench: the same Algorithm 1 workload with a noop
+/// registry vs a live one. The instrumented median must stay within 5 % of
+/// the baseline — each query adds a handful of relaxed atomic RMWs and one
+/// trace-ring push against thousands of distance computations.
+///
+/// The noop case runs first on purpose: the shared `PointFile` binds its
+/// `IoStats` mirror to the first *enabled* registry it sees, so this order
+/// keeps the baseline genuinely unmirrored.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let world = World::build(Preset::nus_wide(Scale::Test), 10);
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    for (name, registry) in [
+        ("noop", MetricsRegistry::noop()),
+        ("instrumented", MetricsRegistry::new()),
+    ] {
+        let cache = world.cache(Method::Hc(HistogramKind::KnnOptimal), 8, world.cache_bytes);
+        let mut engine = KnnEngine::new(&world.index, &world.file, cache);
+        engine.bind_obs(&registry);
+        let queries = world.log.test.clone();
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                engine.query(std::hint::black_box(q), 10)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_tree_search(c: &mut Criterion) {
     let world = World::build(Preset::nus_wide(Scale::Test), 10);
     let ds = &world.dataset;
@@ -51,8 +84,11 @@ fn bench_tree_search(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("tree_search");
     group.sample_size(10);
-    let caches: Vec<(&str, &dyn NodeCache)> =
-        vec![("no_cache", &NoNodeCache), ("exact_node", &exact), ("hc_o_node", &compact)];
+    let caches: Vec<(&str, &dyn NodeCache)> = vec![
+        ("no_cache", &NoNodeCache),
+        ("exact_node", &exact),
+        ("hc_o_node", &compact),
+    ];
     for (name, cache) in caches {
         let engine = TreeSearchEngine::new(&index, ds, cache);
         let queries = world.log.test.clone();
@@ -68,5 +104,10 @@ fn bench_tree_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithm1, bench_tree_search);
+criterion_group!(
+    benches,
+    bench_algorithm1,
+    bench_obs_overhead,
+    bench_tree_search
+);
 criterion_main!(benches);

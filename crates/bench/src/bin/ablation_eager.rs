@@ -1,5 +1,9 @@
 //! Regenerates the footnote-6 eager-refetch ablation. `--scale test|bench|full`.
 
 fn main() {
-    print!("{}", hc_bench::experiments::ablation_eager::run(hc_bench::scale_from_args()));
+    print!(
+        "{}",
+        hc_bench::experiments::ablation_eager::run(hc_bench::scale_from_args())
+    );
+    hc_bench::report::emit("ablation_eager");
 }

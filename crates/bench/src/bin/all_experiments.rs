@@ -31,4 +31,5 @@ fn main() {
         print!("{}", f(scale));
         println!("[{name} done in {:.1}s]\n", t.elapsed().as_secs_f64());
     }
+    hc_bench::report::emit("all_experiments");
 }

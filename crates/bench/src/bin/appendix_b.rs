@@ -1,5 +1,9 @@
 //! Regenerates the paper's Appendix B analysis. `--scale test|bench|full`.
 
 fn main() {
-    print!("{}", hc_bench::experiments::appendix_b::run(hc_bench::scale_from_args()));
+    print!(
+        "{}",
+        hc_bench::experiments::appendix_b::run(hc_bench::scale_from_args())
+    );
+    hc_bench::report::emit("appendix_b");
 }

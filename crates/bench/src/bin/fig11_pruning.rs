@@ -1,5 +1,9 @@
 //! Regenerates the paper's fig11 experiment. `--scale test|bench|full`.
 
 fn main() {
-    print!("{}", hc_bench::experiments::fig11_pruning::run(hc_bench::scale_from_args()));
+    print!(
+        "{}",
+        hc_bench::experiments::fig11_pruning::run(hc_bench::scale_from_args())
+    );
+    hc_bench::report::emit("fig11_pruning");
 }

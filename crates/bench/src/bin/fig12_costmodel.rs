@@ -1,5 +1,9 @@
 //! Regenerates the paper's fig12 experiment. `--scale test|bench|full`.
 
 fn main() {
-    print!("{}", hc_bench::experiments::fig12_costmodel::run(hc_bench::scale_from_args()));
+    print!(
+        "{}",
+        hc_bench::experiments::fig12_costmodel::run(hc_bench::scale_from_args())
+    );
+    hc_bench::report::emit("fig12_costmodel");
 }

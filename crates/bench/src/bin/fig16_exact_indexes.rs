@@ -1,5 +1,9 @@
 //! Regenerates the paper's fig16 experiment. `--scale test|bench|full`.
 
 fn main() {
-    print!("{}", hc_bench::experiments::fig16_exact_indexes::run(hc_bench::scale_from_args()));
+    print!(
+        "{}",
+        hc_bench::experiments::fig16_exact_indexes::run(hc_bench::scale_from_args())
+    );
+    hc_bench::report::emit("fig16_exact_indexes");
 }

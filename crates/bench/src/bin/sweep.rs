@@ -10,7 +10,10 @@
 //! ihc-w, ihc-d, ihc-o. Repeat `--method` / `--tau` / `--k` to sweep.
 
 use hc_bench::world::{Method, World};
+use hc_core::cost_model::estimate_equiwidth;
 use hc_core::histogram::HistogramKind;
+use hc_obs::MetricsRegistry;
+use hc_query::DriftMonitor;
 use hc_workload::{Preset, Scale};
 
 fn main() {
@@ -39,7 +42,11 @@ fn main() {
     };
     let methods: Vec<Method> = {
         let names = get_all("--method");
-        let names = if names.is_empty() { vec!["hc-o".to_owned()] } else { names };
+        let names = if names.is_empty() {
+            vec!["hc-o".to_owned()]
+        } else {
+            names
+        };
         names.iter().map(|n| parse_method(n)).collect()
     };
     let taus: Vec<u32> = {
@@ -47,7 +54,9 @@ fn main() {
         if ts.is_empty() {
             vec![hc_bench::world::DEFAULT_TAU]
         } else {
-            ts.iter().map(|t| t.parse().expect("numeric --tau")).collect()
+            ts.iter()
+                .map(|t| t.parse().expect("numeric --tau"))
+                .collect()
         }
     };
     let ks: Vec<usize> = {
@@ -75,10 +84,17 @@ fn main() {
         "{:<10} {:>4} {:>4} {:>10} {:>10} {:>12} {:>12} {:>14}",
         "method", "τ", "k", "|C(q)|", "C_refine", "I/O pages", "hit×prune", "refine (s)"
     );
+    // Drift gauges compare each run against the §4 equi-width model's
+    // prediction at the same τ / budget (exact for hc-w; for other methods
+    // the gauge shows how far they depart from the modeled baseline).
+    let stats = world.replay.workload_stats(&world.dataset);
+    let drift = DriftMonitor::bind(MetricsRegistry::global());
     for &method in &methods {
         for &tau in &taus {
             for &k in &ks {
                 let agg = world.measure(world.cache(method, tau, cs), k);
+                let est = estimate_equiwidth(&stats, cs, &world.quantizer, tau);
+                drift.record(&est, agg.avg_hit_ratio, agg.avg_io_pages);
                 println!(
                     "{:<10} {tau:>4} {k:>4} {:>10.1} {:>10.1} {:>12.1} {:>12.3} {:>14.4}",
                     method.label(),
@@ -91,6 +107,7 @@ fn main() {
             }
         }
     }
+    hc_bench::report::emit("sweep");
 }
 
 fn parse_method(name: &str) -> Method {

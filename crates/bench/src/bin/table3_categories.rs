@@ -1,5 +1,9 @@
 //! Regenerates the paper's table3 experiment. `--scale test|bench|full`.
 
 fn main() {
-    print!("{}", hc_bench::experiments::table3_categories::run(hc_bench::scale_from_args()));
+    print!(
+        "{}",
+        hc_bench::experiments::table3_categories::run(hc_bench::scale_from_args())
+    );
+    hc_bench::report::emit("table3_categories");
 }

@@ -1,5 +1,9 @@
 //! Regenerates the paper's table4 experiment. `--scale test|bench|full`.
 
 fn main() {
-    print!("{}", hc_bench::experiments::table4_refinement::run(hc_bench::scale_from_args()));
+    print!(
+        "{}",
+        hc_bench::experiments::table4_refinement::run(hc_bench::scale_from_args())
+    );
+    hc_bench::report::emit("table4_refinement");
 }

@@ -40,8 +40,7 @@ pub fn run(scale: Scale) -> String {
                 .map(|q| engine.query(q, world.k).1)
                 .collect();
             let io: u64 = stats.iter().map(|s| s.io_pages).sum();
-            let hit: f64 =
-                stats.iter().map(|s| s.hit_ratio()).sum::<f64>() / stats.len() as f64;
+            let hit: f64 = stats.iter().map(|s| s.hit_ratio()).sum::<f64>() / stats.len() as f64;
             (io as f64 / stats.len() as f64, hit)
         };
         let (lazy_io, hit) = run(false);
@@ -56,9 +55,7 @@ pub fn run(scale: Scale) -> String {
         )
         .expect("write");
     }
-    out.push_str(
-        "paper footnote 6: eager fetching helps (if at all) only at mid hit ratios\n",
-    );
+    out.push_str("paper footnote 6: eager fetching helps (if at all) only at mid hit ratios\n");
     out
 }
 

@@ -47,7 +47,9 @@ pub fn run(scale: Scale) -> String {
         )
         .expect("write");
     }
-    out.push_str("paper: global width independent of d; multi-dim width → domain width as d grows\n");
+    out.push_str(
+        "paper: global width independent of d; multi-dim width → domain width as d grows\n",
+    );
     out
 }
 

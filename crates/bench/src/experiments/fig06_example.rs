@@ -54,7 +54,11 @@ pub fn evaluate() -> Vec<(HistogramKind, f64, u64)> {
     ]
     .into_iter()
     .map(|kind| {
-        let freq = if kind.uses_workload_frequencies() { &f_prime } else { &f_data };
+        let freq = if kind.uses_workload_frequencies() {
+            &f_prime
+        } else {
+            &f_data
+        };
         let hist = kind.build(freq, 4);
         let m3 = m3_metric(&hist, &f_prime);
         let scheme = GlobalScheme::new(hist, quant.clone(), 1);
@@ -80,15 +84,29 @@ pub fn run(_scale: Scale) -> String {
             HistogramKind::EquiDepth | HistogramKind::VOptimal => "4",
             HistogramKind::KnnOptimal => "0",
         };
-        writeln!(out, "{:<12} {:>14.0} {:>12} {:>14}", kind.label(), m3, remaining, paper)
-            .expect("write");
+        writeln!(
+            out,
+            "{:<12} {:>14.0} {:>12} {:>14}",
+            kind.label(),
+            m3,
+            remaining,
+            paper
+        )
+        .expect("write");
     }
     let m3_of = |kind: HistogramKind| {
-        rows.iter().find(|(k2, _, _)| *k2 == kind).expect("present").1
+        rows.iter()
+            .find(|(k2, _, _)| *k2 == kind)
+            .expect("present")
+            .1
     };
     let hco = m3_of(HistogramKind::KnnOptimal);
     let optimal = rows.iter().all(|&(_, m3, _)| hco <= m3 + 1e-9);
-    writeln!(out, "HC-O minimizes the M3 metric among all histograms: {optimal}").expect("write");
+    writeln!(
+        out,
+        "HC-O minimizes the M3 metric among all histograms: {optimal}"
+    )
+    .expect("write");
     out
 }
 
@@ -104,7 +122,12 @@ mod tests {
             .find(|(k, _, _)| *k == HistogramKind::KnnOptimal)
             .expect("present");
         for (kind, m3, _) in &rows {
-            assert!(hco.1 <= m3 + 1e-9, "HC-O m3 {} > {} for {kind:?}", hco.1, m3);
+            assert!(
+                hco.1 <= m3 + 1e-9,
+                "HC-O m3 {} > {} for {kind:?}",
+                hco.1,
+                m3
+            );
         }
     }
 
@@ -112,7 +135,10 @@ mod tests {
     fn hco_prunes_at_least_as_well_as_equi_width() {
         let rows = evaluate();
         let rem = |kind: HistogramKind| {
-            rows.iter().find(|(k2, _, _)| *k2 == kind).expect("present").2
+            rows.iter()
+                .find(|(k2, _, _)| *k2 == kind)
+                .expect("present")
+                .2
         };
         assert!(rem(HistogramKind::KnnOptimal) <= rem(HistogramKind::EquiWidth));
     }

@@ -25,7 +25,10 @@ pub fn run(scale: Scale) -> String {
 
     for &k in &ks {
         // HFF: static fill from the workload replay ranking.
-        let hff = world.measure(world.cache(Method::Exact, crate::world::DEFAULT_TAU, world.cache_bytes), k);
+        let hff = world.measure(
+            world.cache(Method::Exact, crate::world::DEFAULT_TAU, world.cache_bytes),
+            k,
+        );
 
         // LRU: start empty, warm on the historical workload, then measure.
         let lru = ExactPointCache::lru(world.dataset.dim(), world.cache_bytes);
@@ -35,8 +38,12 @@ pub fn run(scale: Scale) -> String {
         }
         let lru_agg = engine.run_batch(&world.log.test, k);
 
-        writeln!(out, "{k:>4} {:>12.4} {:>12.4}", hff.avg_refine_secs, lru_agg.avg_refine_secs)
-            .expect("write");
+        writeln!(
+            out,
+            "{k:>4} {:>12.4} {:>12.4}",
+            hff.avg_refine_secs, lru_agg.avg_refine_secs
+        )
+        .expect("write");
     }
     out.push_str("paper: HFF below LRU at every k\n");
     out

@@ -20,7 +20,10 @@ pub fn run(scale: Scale) -> String {
     let km = kmeans(ds, 16, 7, 20);
     let orders: Vec<(&str, Vec<u32>)> = vec![
         ("Raw", raw_order(ds.len())),
-        ("Clustered", clustered_order(&km.assignment, &km.dist_to_center)),
+        (
+            "Clustered",
+            clustered_order(&km.assignment, &km.dist_to_center),
+        ),
         ("SortedKey", sorted_key_order(ds, 7)),
     ];
 

@@ -25,10 +25,17 @@ pub fn run(scale: Scale) -> String {
     for &f in &fractions {
         let cs = (file_bytes as f64 * f) as usize;
         let hcd = world.measure(
-            world.cache(Method::Hc(HistogramKind::EquiDepth), crate::world::DEFAULT_TAU, cs),
+            world.cache(
+                Method::Hc(HistogramKind::EquiDepth),
+                crate::world::DEFAULT_TAU,
+                cs,
+            ),
             world.k,
         );
-        let cva = world.measure(world.cache(Method::CVa, crate::world::DEFAULT_TAU, cs), world.k);
+        let cva = world.measure(
+            world.cache(Method::CVa, crate::world::DEFAULT_TAU, cs),
+            world.k,
+        );
         writeln!(
             out,
             "{:>9.1}% {:>12.4} {:>12.4}",

@@ -35,8 +35,14 @@ pub fn run(scale: Scale) -> String {
     for m in methods {
         let agg = world.measure_method(m, crate::world::DEFAULT_TAU);
         io.insert(m.label(), agg.avg_io_pages);
-        writeln!(out, "{:<8} {:>16.1} {:>16.1}", m.label(), agg.avg_c_refine, agg.avg_io_pages)
-            .expect("write");
+        writeln!(
+            out,
+            "{:<8} {:>16.1} {:>16.1}",
+            m.label(),
+            agg.avg_c_refine,
+            agg.avg_io_pages
+        )
+        .expect("write");
     }
     let hco = io["HC-O"];
     let hcd = io["HC-D"];

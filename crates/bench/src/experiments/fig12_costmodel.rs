@@ -6,12 +6,15 @@ use std::fmt::Write;
 
 use hc_core::cost_model::{estimate_equiwidth, optimal_tau_equiwidth};
 use hc_core::histogram::HistogramKind;
+use hc_obs::MetricsRegistry;
+use hc_query::DriftMonitor;
 use hc_workload::{Preset, Scale};
 
 use crate::world::{Method, World};
 
 pub fn run(scale: Scale) -> String {
     let mut out = String::new();
+    let drift = DriftMonitor::bind(MetricsRegistry::global());
     for preset in Preset::all(scale) {
         let world = World::build(preset, 10);
         let stats = world.replay.workload_stats(&world.dataset);
@@ -25,11 +28,16 @@ pub fn run(scale: Scale) -> String {
         for tau in [4u32, 6, 8, 10, 12] {
             let est = estimate_equiwidth(&stats, world.cache_bytes, &world.quantizer, tau);
             let agg = world.measure_method(Method::Hc(HistogramKind::EquiWidth), tau);
+            drift.record(&est, agg.avg_hit_ratio, agg.avg_io_pages);
             if agg.avg_io_pages < best_measured.1 {
                 best_measured = (tau, agg.avg_io_pages);
             }
-            writeln!(out, "{tau:>4} {:>14.1} {:>14.1}", est.refine_io, agg.avg_io_pages)
-                .expect("write");
+            writeln!(
+                out,
+                "{tau:>4} {:>14.1} {:>14.1}",
+                est.refine_io, agg.avg_io_pages
+            )
+            .expect("write");
         }
         let model = optimal_tau_equiwidth(&stats, world.cache_bytes, &world.quantizer, 2..=12);
         writeln!(

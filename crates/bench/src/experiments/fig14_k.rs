@@ -29,7 +29,10 @@ pub fn run(scale: Scale) -> String {
         for k in [1usize, 20, 40, 60, 80, 100] {
             let mut row = format!("{k:>4}");
             for m in methods {
-                let agg = world.measure(world.cache(m, crate::world::DEFAULT_TAU, world.cache_bytes), k);
+                let agg = world.measure(
+                    world.cache(m, crate::world::DEFAULT_TAU, world.cache_bytes),
+                    k,
+                );
                 write!(row, " {:>10.4}", agg.avg_response_secs).expect("write");
             }
             writeln!(out, "{row}").expect("write");

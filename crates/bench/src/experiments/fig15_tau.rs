@@ -34,8 +34,12 @@ pub fn run(scale: Scale) -> String {
         ("(b) avg C_refine", 1),
         ("(c) avg refinement time (s)", 2),
     ] {
-        writeln!(out, "{title}\n{:>4} {:>10} {:>10} {:>10}", "τ", "HC-W", "HC-D", "HC-O")
-            .expect("write");
+        writeln!(
+            out,
+            "{title}\n{:>4} {:>10} {:>10} {:>10}",
+            "τ", "HC-W", "HC-D", "HC-O"
+        )
+        .expect("write");
         for &tau in &taus {
             let mut row = format!("{tau:>4}");
             for m in methods {

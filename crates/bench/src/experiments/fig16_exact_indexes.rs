@@ -66,8 +66,15 @@ pub fn run(scale: Scale) -> String {
             compact.try_fill(leaf, index.leaf_points(leaf).iter().map(|p| ds.point(*p)));
         }
 
-        writeln!(out, "-- {} --\n{:>4} {:>12} {:>12}", index.name(), "k", "EXACT", "HC-O")
-            .expect("write");
+        writeln!(
+            out,
+            "-- {} --\n{:>4} {:>12} {:>12}",
+            index.name(),
+            "k",
+            "EXACT",
+            "HC-O"
+        )
+        .expect("write");
         for &k in &KS {
             let run = |cache: &dyn NodeCache| -> f64 {
                 let engine = TreeSearchEngine::new(index, &ds, cache);
@@ -77,8 +84,7 @@ pub fn run(scale: Scale) -> String {
                     .sum::<f64>()
                     / log.test.len() as f64
             };
-            writeln!(out, "{k:>4} {:>12.4} {:>12.4}", run(&exact), run(&compact))
-                .expect("write");
+            writeln!(out, "{k:>4} {:>12.4} {:>12.4}", run(&exact), run(&compact)).expect("write");
         }
     }
 
@@ -90,18 +96,28 @@ pub fn run(scale: Scale) -> String {
     let hist = HistogramKind::KnnOptimal.build(&f_prime, 1 << 10);
     let scheme: Arc<dyn ApproxScheme> =
         Arc::new(GlobalScheme::new(hist, quantizer.clone(), ds.dim()));
-    writeln!(out, "-- {} --\n{:>4} {:>12} {:>12}", vafile.name_str(), "k", "EXACT", "HC-O")
-        .expect("write");
+    writeln!(
+        out,
+        "-- {} --\n{:>4} {:>12} {:>12}",
+        vafile.name_str(),
+        "k",
+        "EXACT",
+        "HC-O"
+    )
+    .expect("write");
     for &k in &KS {
         let exact = ExactPointCache::hff(&ds, &replay.ranking, cache_bytes);
         let mut e1 = KnnEngine::new(&vafile, &file, Box::new(exact));
         let a1 = e1.run_batch(&log.test, k);
-        let compact =
-            CompactPointCache::hff(&ds, &replay.ranking, cache_bytes, scheme.clone());
+        let compact = CompactPointCache::hff(&ds, &replay.ranking, cache_bytes, scheme.clone());
         let mut e2 = KnnEngine::new(&vafile, &file, Box::new(compact));
         let a2 = e2.run_batch(&log.test, k);
-        writeln!(out, "{k:>4} {:>12.4} {:>12.4}", a1.avg_response_secs, a2.avg_response_secs)
-            .expect("write");
+        writeln!(
+            out,
+            "{k:>4} {:>12.4} {:>12.4}",
+            a1.avg_response_secs, a2.avg_response_secs
+        )
+        .expect("write");
     }
     out.push_str("paper: HC-O well below EXACT on every exact index\n");
     out

@@ -83,8 +83,6 @@ pub fn run(scale: Scale) -> String {
         agg.avg_refine_secs
     )
     .expect("write");
-    out.push_str(
-        "paper: global ≈ individual on T_refine; individual d× space/time; mHC-R worst\n",
-    );
+    out.push_str("paper: global ≈ individual on T_refine; individual d× space/time; mHC-R worst\n");
     out
 }

@@ -23,7 +23,9 @@ pub fn run(scale: Scale) -> String {
         let mut exact_time = 0.0f64;
         let mut hco_best = f64::INFINITY;
         for method in Method::table4() {
-            let default = world.measure_method(method, crate::world::DEFAULT_TAU).avg_refine_secs;
+            let default = world
+                .measure_method(method, crate::world::DEFAULT_TAU)
+                .avg_refine_secs;
             let (mut best_tau, mut best_time) = (crate::world::DEFAULT_TAU, default);
             if method != Method::Exact {
                 for tau in [4u32, 6, 10, 12] {

@@ -1,0 +1,73 @@
+//! JSON metrics reports for the experiment binaries.
+//!
+//! Every binary ends by calling [`emit`], which snapshots the process-wide
+//! [`MetricsRegistry::global`] — fed by the engines [`crate::World::measure`]
+//! binds — and writes `<bin>.metrics.json` next to the experiment output.
+//! The schema is `hc_obs::export::to_json`'s (documented in README.md
+//! §Observability): flat arrays of counters, gauges, histograms
+//! (`query.rho_hit_ppm`, `query.rho_prune_ppm`, `query.io_pages`, …), the
+//! `costmodel.*` drift gauges, and the slowest retained query traces.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use hc_obs::{export, MetricsRegistry};
+
+/// How many of the slowest traced queries a report retains.
+pub const SLOW_QUERY_LIMIT: usize = 16;
+
+/// Where reports land: `$HC_METRICS_DIR`, defaulting to `target/metrics`.
+pub fn report_dir() -> PathBuf {
+    std::env::var_os("HC_METRICS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/metrics"))
+}
+
+/// Snapshot the global registry into `<report_dir>/<bin>.metrics.json`.
+pub fn write_report(bin: &str) -> io::Result<PathBuf> {
+    write_report_from(MetricsRegistry::global(), bin)
+}
+
+/// Snapshot a specific registry (tests and the criterion baseline use a
+/// local one so parallel runs cannot interleave series).
+pub fn write_report_from(registry: &MetricsRegistry, bin: &str) -> io::Result<PathBuf> {
+    let dir = report_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{bin}.metrics.json"));
+    fs::write(
+        &path,
+        export::to_json(&registry.snapshot(), SLOW_QUERY_LIMIT),
+    )?;
+    Ok(path)
+}
+
+/// [`write_report`] with the result logged to stderr instead of returned —
+/// the experiment binaries' last line. A failed write must not fail the
+/// experiment whose numbers already printed.
+pub fn emit(bin: &str) {
+    match write_report(bin) {
+        Ok(path) => eprintln!("metrics report: {}", path.display()),
+        Err(e) => eprintln!("metrics report for {bin} not written: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_disk() {
+        let registry = MetricsRegistry::new();
+        registry.counter("storage.pages_read").add(9);
+        registry.histogram("query.rho_hit_ppm").record(750_000);
+        registry.gauge("costmodel.rho_hit_drift").set(-0.02);
+        let path = write_report_from(&registry, "report_test_roundtrip").expect("write");
+        let json = fs::read_to_string(&path).expect("read back");
+        assert!(json.contains("\"name\":\"storage.pages_read\",\"value\":9"));
+        assert!(json.contains("\"name\":\"query.rho_hit_ppm\""));
+        assert!(json.contains("\"name\":\"costmodel.rho_hit_drift\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        fs::remove_file(path).ok();
+    }
+}

@@ -14,6 +14,7 @@ use hc_core::quantize::Quantizer;
 use hc_core::scheme::{ApproxScheme, GlobalScheme, IndividualScheme, MultiDimScheme};
 use hc_index::lsh::{C2lsh, C2lshParams};
 use hc_index::rtree::RTree;
+use hc_obs::MetricsRegistry;
 use hc_query::{replay_workload, AggregateStats, KnnEngine, Replay};
 use hc_storage::point_file::PointFile;
 use hc_workload::{Preset, QueryLog};
@@ -88,14 +89,34 @@ impl World {
         let f_data = quantizer.frequency_array(dataset.as_flat());
         let f_prime = replay.f_prime(&dataset, &quantizer);
         let cache_bytes = dataset.file_bytes() * 3 / 10;
-        Self { preset, log, dataset, index, file, replay, quantizer, f_data, f_prime, cache_bytes, k }
+        Self {
+            preset,
+            log,
+            dataset,
+            index,
+            file,
+            replay,
+            quantizer,
+            f_data,
+            f_prime,
+            cache_bytes,
+            k,
+        }
     }
 
     /// A global-histogram scheme of the given kind at code length τ.
     pub fn scheme(&self, kind: HistogramKind, tau: u32) -> Arc<dyn ApproxScheme> {
-        let freq = if kind.uses_workload_frequencies() { &self.f_prime } else { &self.f_data };
+        let freq = if kind.uses_workload_frequencies() {
+            &self.f_prime
+        } else {
+            &self.f_data
+        };
         let hist = kind.build(freq, 1u32 << tau.min(20));
-        Arc::new(GlobalScheme::new(hist, self.quantizer.clone(), self.dataset.dim()))
+        Arc::new(GlobalScheme::new(
+            hist,
+            self.quantizer.clone(),
+            self.dataset.dim(),
+        ))
     }
 
     /// An individual-dimension scheme (iHC-*) at code length τ.
@@ -150,9 +171,28 @@ impl World {
         }
     }
 
-    /// Run the held-out test queries under a cache and aggregate.
+    /// Run the held-out test queries under a cache and aggregate. The
+    /// engine reports into [`MetricsRegistry::global`], so every experiment
+    /// run also feeds the `<bin>.metrics.json` report (see `crate::report`).
     pub fn measure(&self, cache: Box<dyn PointCache>, k: usize) -> AggregateStats {
+        self.measure_with(MetricsRegistry::global(), cache, k)
+    }
+
+    /// [`World::measure`] against an explicit registry — a noop one for the
+    /// criterion overhead baseline, a local one for tests that assert on
+    /// series without cross-talk from parallel runs.
+    ///
+    /// Note the shared [`PointFile`]'s `IoStats` mirror binds once per
+    /// `World`: the first enabled registry passed here keeps the
+    /// `storage.*` series for the world's lifetime.
+    pub fn measure_with(
+        &self,
+        registry: &MetricsRegistry,
+        cache: Box<dyn PointCache>,
+        k: usize,
+    ) -> AggregateStats {
         let mut engine = KnnEngine::new(&self.index, &self.file, cache);
+        engine.bind_obs(registry);
         engine.run_batch(&self.log.test, k)
     }
 

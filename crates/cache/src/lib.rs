@@ -25,6 +25,7 @@
 pub mod cva;
 pub mod lru;
 pub mod node;
+pub mod obs;
 pub mod point;
 
 pub use cva::cva_cache;

@@ -25,7 +25,13 @@ impl Default for LruList {
 
 impl LruList {
     pub fn new() -> Self {
-        Self { prev: Vec::new(), next: Vec::new(), head: NIL, tail: NIL, len: 0 }
+        Self {
+            prev: Vec::new(),
+            next: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
     }
 
     /// Number of linked slots.

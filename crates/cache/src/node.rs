@@ -84,7 +84,12 @@ pub struct ExactNodeCache {
 
 impl ExactNodeCache {
     pub fn new(dim: usize, capacity_bytes: usize) -> Self {
-        Self { resident: HashMap::new(), used: 0, capacity_bytes, dim }
+        Self {
+            resident: HashMap::new(),
+            used: 0,
+            capacity_bytes,
+            dim,
+        }
     }
 
     /// Try to add a leaf with `num_points` members; returns whether it fit.
@@ -146,7 +151,12 @@ pub struct CompactNodeCache {
 
 impl CompactNodeCache {
     pub fn new(scheme: Arc<dyn ApproxScheme>, capacity_bytes: usize) -> Self {
-        Self { scheme, resident: HashMap::new(), used: 0, capacity_bytes }
+        Self {
+            scheme,
+            resident: HashMap::new(),
+            used: 0,
+            capacity_bytes,
+        }
     }
 
     /// Try to add a leaf given its member point vectors (in leaf order);
@@ -244,11 +254,7 @@ mod tests {
 
     #[test]
     fn compact_node_cache_returns_per_point_bounds() {
-        let ds = Dataset::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ]);
+        let ds = Dataset::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
         let s = scheme(2);
         let mut c = CompactNodeCache::new(s, 1 << 16);
         let pts: Vec<&[f32]> = ds.iter().map(|(_, p)| p).collect();
@@ -280,7 +286,10 @@ mod tests {
                 filled += 1;
             }
         }
-        assert!(filled > 1, "compact should hold multiple leaves, got {filled}");
+        assert!(
+            filled > 1,
+            "compact should hold multiple leaves, got {filled}"
+        );
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Cache-side observability: one [`CacheObs`] bundle per cache instance.
+//!
+//! The bundle is a set of `hc-obs` handles labeled with the cache's
+//! configuration string (`"EXACT/HFF"`, `"COMPACT(τ=4)/LRU"`, …), so a run
+//! that compares several cache configurations keeps their series separate.
+//! The default bundle is a no-op: an unbound cache pays one not-taken branch
+//! per event and nothing else.
+
+use hc_obs::{Counter, Gauge, MetricsRegistry};
+
+/// Metric handles for one cache instance.
+///
+/// Series (all labeled with the cache's `label()`):
+/// * `cache.hits` / `cache.misses` — lookup outcomes,
+/// * `cache.insertions` / `cache.evictions` — dynamic-policy admissions and
+///   the victims they displaced,
+/// * `cache.used_bytes` / `cache.capacity_bytes` — byte-budget occupancy
+///   gauges (`CS` utilization).
+#[derive(Debug, Clone, Default)]
+pub struct CacheObs {
+    pub hits: Counter,
+    pub misses: Counter,
+    pub insertions: Counter,
+    pub evictions: Counter,
+    pub used_bytes: Gauge,
+    pub capacity_bytes: Gauge,
+}
+
+impl CacheObs {
+    /// A disabled bundle; every update is a no-op.
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    /// Register this cache's series in `registry` under `label`.
+    pub fn bind(registry: &MetricsRegistry, label: &str) -> Self {
+        Self {
+            hits: registry.counter_with_label("cache.hits", label),
+            misses: registry.counter_with_label("cache.misses", label),
+            insertions: registry.counter_with_label("cache.insertions", label),
+            evictions: registry.counter_with_label("cache.evictions", label),
+            used_bytes: registry.gauge_with_label("cache.used_bytes", label),
+            capacity_bytes: registry.gauge_with_label("cache.capacity_bytes", label),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_bundle_is_inert() {
+        let obs = CacheObs::noop();
+        obs.hits.inc();
+        obs.used_bytes.set(42.0);
+        assert_eq!(obs.hits.get(), 0);
+        assert_eq!(obs.used_bytes.get(), 0.0);
+    }
+
+    #[test]
+    fn bound_bundle_reports_labeled_series() {
+        let registry = MetricsRegistry::new();
+        let obs = CacheObs::bind(&registry, "EXACT/HFF");
+        obs.hits.add(3);
+        obs.evictions.inc();
+        obs.used_bytes.set(1024.0);
+        let snap = registry.snapshot();
+        let hit = snap
+            .counters
+            .iter()
+            .find(|(id, _)| id.name == "cache.hits")
+            .expect("hits registered");
+        assert_eq!(hit.0.label.as_deref(), Some("EXACT/HFF"));
+        assert_eq!(hit.1, 3);
+        assert_eq!(snap.gauge("cache.used_bytes"), Some(1024.0));
+    }
+}

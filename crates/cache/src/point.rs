@@ -21,8 +21,10 @@ use hc_core::bounds::DistBounds;
 use hc_core::dataset::{Dataset, PointId};
 use hc_core::distance::euclidean;
 use hc_core::scheme::ApproxScheme;
+use hc_obs::MetricsRegistry;
 
 use crate::lru::LruList;
+use crate::obs::CacheObs;
 
 /// Cache replacement / placement policy (paper §2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +76,11 @@ pub trait PointCache {
 
     /// Label for experiment tables, e.g. `"EXACT/HFF"`.
     fn label(&self) -> String;
+
+    /// Register this cache's hit/miss/insertion/eviction counters and
+    /// occupancy gauges in `registry`, labeled with [`PointCache::label`].
+    /// The default is a no-op (e.g. [`NoCache`] has nothing to report).
+    fn bind_obs(&mut self, _registry: &MetricsRegistry) {}
 }
 
 /// The NO-CACHE baseline.
@@ -102,6 +109,12 @@ impl PointCache for NoCache {
     fn label(&self) -> String {
         "NO-CACHE".to_owned()
     }
+}
+
+/// Outcome of a dynamic-cache slot allocation.
+struct Alloc {
+    slot: u32,
+    evicted: bool,
 }
 
 /// Slot-allocated storage bookkeeping shared by both cache kinds.
@@ -136,13 +149,14 @@ impl Slots {
     }
 
     /// Allocate a slot for `id`, evicting if needed. Returns `None` when the
-    /// cache is static (HFF) or has zero capacity, `Some((slot, evicted))`
-    /// otherwise.
-    fn allocate(&mut self, id: PointId) -> Option<u32> {
+    /// cache is static (HFF) or has zero capacity; [`Alloc::evicted`] tells
+    /// the caller whether a victim was displaced.
+    fn allocate(&mut self, id: PointId) -> Option<Alloc> {
         if self.max_items == 0 || self.map.contains_key(&id) {
             return None;
         }
         self.lru.as_ref()?; // static caches never admit
+        let mut evicted = false;
         let slot = if self.map.len() < self.max_items {
             self.free.pop().unwrap_or_else(|| {
                 let s = self.ids.len() as u32;
@@ -158,6 +172,7 @@ impl Slots {
                 .expect("full cache has entries") as u32;
             let old = self.ids[victim as usize];
             self.map.remove(&old);
+            evicted = true;
             victim
         };
         self.ids[slot as usize] = id;
@@ -166,7 +181,7 @@ impl Slots {
             .as_mut()
             .expect("dynamic cache")
             .push_front(slot as usize);
-        Some(slot)
+        Some(Alloc { slot, evicted })
     }
 
     /// Static fill used by HFF construction (bypasses the LRU-only guard).
@@ -191,6 +206,7 @@ pub struct ExactPointCache {
     dim: usize,
     capacity_bytes: usize,
     policy: CachePolicy,
+    obs: CacheObs,
 }
 
 impl ExactPointCache {
@@ -211,7 +227,14 @@ impl ExactPointCache {
             slots.fill(id);
             data.extend_from_slice(dataset.point(id));
         }
-        Self { slots, data, dim, capacity_bytes, policy: CachePolicy::Hff }
+        Self {
+            slots,
+            data,
+            dim,
+            capacity_bytes,
+            policy: CachePolicy::Hff,
+            obs: CacheObs::noop(),
+        }
     }
 
     /// Dynamic LRU cache, initially empty.
@@ -224,6 +247,7 @@ impl ExactPointCache {
             dim,
             capacity_bytes,
             policy: CachePolicy::Lru,
+            obs: CacheObs::noop(),
         }
     }
 
@@ -245,19 +269,30 @@ impl ExactPointCache {
 impl PointCache for ExactPointCache {
     fn lookup(&mut self, q: &[f32], id: PointId) -> CacheLookup {
         match self.slots.get(id) {
-            Some(slot) => CacheLookup::Exact(euclidean(q, self.point(slot))),
-            None => CacheLookup::Miss,
+            Some(slot) => {
+                self.obs.hits.inc();
+                CacheLookup::Exact(euclidean(q, self.point(slot)))
+            }
+            None => {
+                self.obs.misses.inc();
+                CacheLookup::Miss
+            }
         }
     }
 
     fn admit(&mut self, id: PointId, point: &[f32]) {
         debug_assert_eq!(point.len(), self.dim);
-        if let Some(slot) = self.slots.allocate(id) {
-            let s = slot as usize;
+        if let Some(alloc) = self.slots.allocate(id) {
+            let s = alloc.slot as usize;
             if self.data.len() < (s + 1) * self.dim {
                 self.data.resize((s + 1) * self.dim, 0.0);
             }
             self.data[s * self.dim..(s + 1) * self.dim].copy_from_slice(point);
+            self.obs.insertions.inc();
+            if alloc.evicted {
+                self.obs.evictions.inc();
+            }
+            self.obs.used_bytes.set(self.used_bytes() as f64);
         }
     }
 
@@ -276,6 +311,12 @@ impl PointCache for ExactPointCache {
     fn label(&self) -> String {
         format!("EXACT/{}", self.policy)
     }
+
+    fn bind_obs(&mut self, registry: &MetricsRegistry) {
+        self.obs = CacheObs::bind(registry, &self.label());
+        self.obs.used_bytes.set(self.used_bytes() as f64);
+        self.obs.capacity_bytes.set(self.capacity_bytes as f64);
+    }
 }
 
 /// Compact cache of bit-packed approximate points under a scheme.
@@ -287,6 +328,7 @@ pub struct CompactPointCache {
     capacity_bytes: usize,
     policy: CachePolicy,
     scratch: Vec<u64>,
+    obs: CacheObs,
 }
 
 impl CompactPointCache {
@@ -315,6 +357,7 @@ impl CompactPointCache {
             capacity_bytes,
             policy: CachePolicy::Hff,
             scratch: Vec::new(),
+            obs: CacheObs::noop(),
         }
     }
 
@@ -331,6 +374,7 @@ impl CompactPointCache {
             capacity_bytes,
             policy: CachePolicy::Lru,
             scratch: Vec::new(),
+            obs: CacheObs::noop(),
         }
     }
 
@@ -353,23 +397,32 @@ impl PointCache for CompactPointCache {
     fn lookup(&mut self, q: &[f32], id: PointId) -> CacheLookup {
         match self.slots.get(id) {
             Some(slot) => {
+                self.obs.hits.inc();
                 let s = slot as usize;
                 let w = &self.words[s * self.wpp..(s + 1) * self.wpp];
                 CacheLookup::Bounds(self.scheme.bounds(q, w))
             }
-            None => CacheLookup::Miss,
+            None => {
+                self.obs.misses.inc();
+                CacheLookup::Miss
+            }
         }
     }
 
     fn admit(&mut self, id: PointId, point: &[f32]) {
-        if let Some(slot) = self.slots.allocate(id) {
-            let s = slot as usize;
+        if let Some(alloc) = self.slots.allocate(id) {
+            let s = alloc.slot as usize;
             self.scratch.clear();
             self.scheme.encode_into(point, &mut self.scratch);
             if self.words.len() < (s + 1) * self.wpp {
                 self.words.resize((s + 1) * self.wpp, 0);
             }
             self.words[s * self.wpp..(s + 1) * self.wpp].copy_from_slice(&self.scratch);
+            self.obs.insertions.inc();
+            if alloc.evicted {
+                self.obs.evictions.inc();
+            }
+            self.obs.used_bytes.set(self.used_bytes() as f64);
         }
     }
 
@@ -387,6 +440,12 @@ impl PointCache for CompactPointCache {
 
     fn label(&self) -> String {
         format!("COMPACT(τ={})/{}", self.scheme.tau(), self.policy)
+    }
+
+    fn bind_obs(&mut self, registry: &MetricsRegistry) {
+        self.obs = CacheObs::bind(registry, &self.label());
+        self.obs.used_bytes.set(self.used_bytes() as f64);
+        self.obs.capacity_bytes.set(self.capacity_bytes as f64);
     }
 }
 
@@ -448,15 +507,19 @@ mod tests {
     fn compact_holds_more_items_than_exact_at_same_budget() {
         let ds = Dataset::from_rows(&vec![vec![0.5f32; 64]; 100]);
         let quant = Quantizer::new(0.0, 1.0, 64);
-        let s: Arc<dyn ApproxScheme> =
-            Arc::new(GlobalScheme::new(equi_width(64, 16), quant, 64));
+        let s: Arc<dyn ApproxScheme> = Arc::new(GlobalScheme::new(equi_width(64, 16), quant, 64));
         let ranking: Vec<PointId> = (0u32..100).map(PointId).collect();
         let budget = 64 * 4 * 10; // ten exact points
         let exact = ExactPointCache::hff(&ds, &ranking, budget);
         let compact = CompactPointCache::hff(&ds, &ranking, budget, s);
         assert_eq!(exact.len(), 10);
         // τ=4, d=64 → 256 bits = 4 words = 32 bytes/point → 80 items.
-        assert!(compact.len() > 4 * exact.len(), "{} vs {}", compact.len(), exact.len());
+        assert!(
+            compact.len() > 4 * exact.len(),
+            "{} vs {}",
+            compact.len(),
+            exact.len()
+        );
     }
 
     #[test]
@@ -505,6 +568,32 @@ mod tests {
         assert_eq!(e.lookup(&[0.0, 0.0], PointId(0)), CacheLookup::Miss);
         let mut n = NoCache;
         assert_eq!(n.lookup(&[0.0, 0.0], PointId(0)), CacheLookup::Miss);
+    }
+
+    #[test]
+    fn bound_cache_reports_hits_misses_and_evictions() {
+        let ds = dataset();
+        let registry = MetricsRegistry::new();
+        let mut c = ExactPointCache::lru(2, 16); // 2 points
+        c.bind_obs(&registry);
+        c.admit(PointId(1), ds.point(PointId(1)));
+        c.admit(PointId(2), ds.point(PointId(2)));
+        let _ = c.lookup(&[0.0, 0.0], PointId(1)); // hit
+        let _ = c.lookup(&[0.0, 0.0], PointId(9)); // miss
+        c.admit(PointId(3), ds.point(PointId(3))); // evicts 2
+        let snap = registry.snapshot();
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(id, _)| id.name == name && id.label.as_deref() == Some("EXACT/LRU"))
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(get("cache.hits"), Some(1));
+        assert_eq!(get("cache.misses"), Some(1));
+        assert_eq!(get("cache.insertions"), Some(3));
+        assert_eq!(get("cache.evictions"), Some(1));
+        assert_eq!(snap.gauge("cache.used_bytes"), Some(16.0));
+        assert_eq!(snap.gauge("cache.capacity_bytes"), Some(16.0));
     }
 
     #[test]

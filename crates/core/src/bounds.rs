@@ -25,7 +25,10 @@ pub struct DistBounds {
 impl DistBounds {
     /// The "unknown candidate" bounds used for cache misses in Algorithm 1
     /// line 4: `lb = 0`, `ub = +∞`.
-    pub const UNKNOWN: DistBounds = DistBounds { lb: 0.0, ub: f64::INFINITY };
+    pub const UNKNOWN: DistBounds = DistBounds {
+        lb: 0.0,
+        ub: f64::INFINITY,
+    };
 
     /// Width of the bound interval (∞ for unknown candidates).
     #[inline]
@@ -72,7 +75,10 @@ impl BoundsAcc {
     /// Square-root both accumulators into final bounds.
     #[inline]
     pub fn finish(self) -> DistBounds {
-        DistBounds { lb: self.lb_sq.sqrt(), ub: self.ub_sq.sqrt() }
+        DistBounds {
+            lb: self.lb_sq.sqrt(),
+            ub: self.ub_sq.sqrt(),
+        }
     }
 }
 

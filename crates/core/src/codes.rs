@@ -25,7 +25,10 @@ pub fn pack_codes(codes: impl ExactSizeIterator<Item = u32>, tau: u32, out: &mut
     let words = &mut out[start..];
     let mut bit: usize = 0;
     for code in codes {
-        debug_assert!(tau == 32 || code < (1u32 << tau), "code {code} exceeds {tau} bits");
+        debug_assert!(
+            tau == 32 || code < (1u32 << tau),
+            "code {code} exceeds {tau} bits"
+        );
         let w = bit / 64;
         let shift = bit % 64;
         words[w] |= (code as u64) << shift;
@@ -43,7 +46,11 @@ pub fn unpack_code(words: &[u64], tau: u32, i: usize) -> u32 {
     let bit = i * tau as usize;
     let w = bit / 64;
     let shift = bit % 64;
-    let mask = if tau == 32 { u32::MAX as u64 } else { (1u64 << tau) - 1 };
+    let mask = if tau == 32 {
+        u32::MAX as u64
+    } else {
+        (1u64 << tau) - 1
+    };
     let mut v = words[w] >> shift;
     if shift + tau as usize > 64 {
         v |= words[w + 1] << (64 - shift);
@@ -62,7 +69,12 @@ pub struct CodeIter<'a> {
 impl<'a> CodeIter<'a> {
     pub fn new(words: &'a [u64], tau: u32, d: usize) -> Self {
         debug_assert!(words.len() >= words_per_point(d, tau));
-        Self { words, tau, d, i: 0 }
+        Self {
+            words,
+            tau,
+            d,
+            i: 0,
+        }
     }
 }
 
@@ -102,7 +114,12 @@ impl PackedCodes {
     pub fn new(d: usize, tau: u32) -> Self {
         assert!((1..=32).contains(&tau), "tau must be in [1, 32]");
         assert!(d > 0);
-        Self { d, tau, wpp: words_per_point(d, tau), words: Vec::new() }
+        Self {
+            d,
+            tau,
+            wpp: words_per_point(d, tau),
+            words: Vec::new(),
+        }
     }
 
     /// Pre-allocate room for `n` points.
@@ -193,7 +210,11 @@ mod tests {
     #[test]
     fn round_trips_all_taus() {
         for tau in 1..=32u32 {
-            let max = if tau == 32 { u32::MAX } else { (1u32 << tau) - 1 };
+            let max = if tau == 32 {
+                u32::MAX
+            } else {
+                (1u32 << tau) - 1
+            };
             let codes: Vec<u32> = (0..7u64)
                 .map(|i| (i.wrapping_mul(2654435761) as u32) & max)
                 .collect();

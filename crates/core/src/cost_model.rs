@@ -283,7 +283,7 @@ mod tests {
         let quant = Quantizer::new(0.0, 64.0, 64);
         let mut f_prime = vec![0u64; 64];
         f_prime[10] = 100; // all workload mass on level 10
-        // Histogram with a singleton bucket at level 10 → ε ≈ level width only.
+                           // Histogram with a singleton bucket at level 10 → ε ≈ level width only.
         let tight = Histogram::from_starts(vec![0, 10, 11], 64);
         let loose = equi_width(64, 2);
         let r_tight = rho_refine_histogram(&tight, &quant, &f_prime, 4, 100.0);

@@ -78,7 +78,11 @@ impl Dataset {
         let dim = rows[0].len();
         let mut values = Vec::with_capacity(rows.len() * dim);
         for (i, row) in rows.iter().enumerate() {
-            assert!(row.len() == dim, "row {i} has length {} != {dim}", row.len());
+            assert!(
+                row.len() == dim,
+                "row {i} has length {} != {dim}",
+                row.len()
+            );
             values.extend_from_slice(row);
         }
         Self::from_flat(dim, values)
@@ -87,7 +91,10 @@ impl Dataset {
     /// An empty dataset with the given dimensionality (useful as a builder).
     pub fn with_dim(dim: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
-        Self { dim, values: Vec::new() }
+        Self {
+            dim,
+            values: Vec::new(),
+        }
     }
 
     /// Append one point.

@@ -35,12 +35,7 @@ impl<F: Fn(Level, Level) -> f64> IntervalCost for F {
 /// `prune` toggles the Lemma 3 early-termination rule; the result is
 /// identical either way (verified by tests), pruning only affects running
 /// time. This switch exists so the ablation bench can quantify the speedup.
-pub fn optimal_partition(
-    n_dom: u32,
-    b: u32,
-    cost: &impl IntervalCost,
-    prune: bool,
-) -> Histogram {
+pub fn optimal_partition(n_dom: u32, b: u32, cost: &impl IntervalCost, prune: bool) -> Histogram {
     assert!(n_dom >= 1, "empty domain");
     assert!(b >= 1, "need at least one bucket");
     if b >= n_dom {
@@ -91,7 +86,11 @@ pub fn optimal_partition(
     let mut x = n;
     let mut m = b;
     while x > 0 {
-        let t = if m >= 2 { split[m * (n + 1) + x] } else { u32::MAX };
+        let t = if m >= 2 {
+            split[m * (n + 1) + x]
+        } else {
+            u32::MAX
+        };
         if t == u32::MAX {
             if m >= 2 {
                 // This prefix is optimal with fewer buckets; drop a level.

@@ -162,9 +162,7 @@ impl Histogram {
 
     /// Iterate over `(l_i, u_i)` level intervals.
     pub fn buckets(&self) -> impl Iterator<Item = (Level, Level)> + '_ {
-        self.starts
-            .windows(2)
-            .map(|w| (w[0], w[1] - 1))
+        self.starts.windows(2).map(|w| (w[0], w[1] - 1))
     }
 
     /// Dense level → bucket lookup table for O(1) encoding.
@@ -220,9 +218,7 @@ mod tests {
 
     #[test]
     fn tau_is_ceil_log2() {
-        let mk = |b: u32| {
-            Histogram::from_starts((0..b).collect(), 1024).tau()
-        };
+        let mk = |b: u32| Histogram::from_starts((0..b).collect(), 1024).tau();
         assert_eq!(mk(1), 1);
         assert_eq!(mk(2), 1);
         assert_eq!(mk(3), 2);
@@ -236,7 +232,11 @@ mod tests {
         let h = Histogram::from_starts(vec![0, 3, 10, 11, 20], 32);
         let idx = h.level_index();
         for level in 0..32u32 {
-            assert_eq!(idx[level as usize], h.bucket_of_level(level), "level {level}");
+            assert_eq!(
+                idx[level as usize],
+                h.bucket_of_level(level),
+                "level {level}"
+            );
         }
     }
 

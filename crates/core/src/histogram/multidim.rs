@@ -65,7 +65,11 @@ impl MultiDimBuckets {
     /// Code length: one `⌈log₂ len⌉`-bit code per point.
     pub fn tau(&self) -> u32 {
         let n = self.len() as u32;
-        if n <= 1 { 1 } else { 32 - (n - 1).leading_zeros() }
+        if n <= 1 {
+            1
+        } else {
+            32 - (n - 1).leading_zeros()
+        }
     }
 
     /// The rectangle of bucket `i` as `(lows, highs)` slices.

@@ -178,11 +178,7 @@ mod tests {
         // Lemma 2: Σ_QR ||ε||² computed point-wise (M2) equals the bucket-form
         // Σ_i Σ_x F'[x]·(u_i−l_i)² (M3) when widths are measured in the same
         // units. We verify in *level* units by using a unit-step quantizer.
-        let ds = Dataset::from_rows(&[
-            vec![3.0, 17.0],
-            vec![9.0, 9.0],
-            vec![25.0, 1.0],
-        ]);
+        let ds = Dataset::from_rows(&[vec![3.0, 17.0], vec![9.0, 9.0], vec![25.0, 1.0]]);
         let n_dom = 32;
         let quant = Quantizer::new(0.0, 32.0, n_dom);
         let hist = equi_width(n_dom, 4); // widths: 8 levels = 8.0 real units
@@ -202,7 +198,10 @@ mod tests {
             m3_real += weight as f64 * w_real * w_real;
             let _ = b_idx;
         }
-        assert!((m2 - m3_real).abs() / m3_real.max(1.0) < 0.01, "m2={m2} m3_real={m3_real}");
+        assert!(
+            (m2 - m3_real).abs() / m3_real.max(1.0) < 0.01,
+            "m2={m2} m3_real={m3_real}"
+        );
         assert!(m3_levels > 0.0);
     }
 

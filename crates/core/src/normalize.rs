@@ -134,13 +134,19 @@ mod tests {
         let ds = skewed_dataset();
         let quant_raw = Quantizer::for_range(ds.value_range());
         let spread_raw: Vec<u32> = ds.iter().map(|(_, p)| quant_raw.level(p[0])).collect();
-        assert!(spread_raw.iter().all(|&l| l == 0), "dim 0 crushed to one level");
+        assert!(
+            spread_raw.iter().all(|&l| l == 0),
+            "dim 0 crushed to one level"
+        );
 
         let norm = Normalizer::fit(&ds);
         let nds = norm.normalize_dataset(&ds);
         let quant = Quantizer::for_range(nds.value_range());
         let spread: Vec<u32> = nds.iter().map(|(_, p)| quant.level(p[0])).collect();
         let distinct: std::collections::HashSet<u32> = spread.into_iter().collect();
-        assert!(distinct.len() >= 3, "normalized dim 0 should span many levels");
+        assert!(
+            distinct.len() >= 3,
+            "normalized dim 0 should span many levels"
+        );
     }
 }

@@ -39,7 +39,12 @@ impl Quantizer {
         assert!(min < max, "empty quantizer range [{min}, {max}]");
         assert!(n_dom > 0, "domain size must be positive");
         let step = (max as f64 - min as f64) / n_dom as f64;
-        Self { min, max, n_dom, step }
+        Self {
+            min,
+            max,
+            n_dom,
+            step,
+        }
     }
 
     /// Build from a dataset's global value range with the default domain size.
@@ -170,7 +175,10 @@ mod tests {
         while v <= 1.0 {
             let lvl = q.level(v);
             let (lo, hi) = q.levels_to_real(lvl, lvl);
-            assert!(lo <= v && v <= hi, "value {v} outside level {lvl} interval [{lo}, {hi}]");
+            assert!(
+                lo <= v && v <= hi,
+                "value {v} outside level {lvl} interval [{lo}, {hi}]"
+            );
             v += 0.00731;
         }
     }

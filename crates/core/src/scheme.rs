@@ -75,7 +75,14 @@ impl GlobalScheme {
         assert!(dim > 0);
         let level_index = histogram.level_index();
         let real = histogram.real_buckets(&quantizer);
-        Self { dim, tau: histogram.tau(), quantizer, level_index, real, histogram }
+        Self {
+            dim,
+            tau: histogram.tau(),
+            quantizer,
+            level_index,
+            real,
+            histogram,
+        }
     }
 
     /// The underlying histogram.
@@ -156,7 +163,12 @@ impl IndividualScheme {
             level_index.push(h.level_index());
             real.push(h.real_buckets(q));
         }
-        Self { tau, quantizers, level_index, real }
+        Self {
+            tau,
+            quantizers,
+            level_index,
+            real,
+        }
     }
 
     /// Total boundary-table space across all dimensions (Table 3 "Space").
@@ -180,9 +192,10 @@ impl ApproxScheme for IndividualScheme {
 
     fn encode_into(&self, point: &[f32], out: &mut Vec<u64>) {
         debug_assert_eq!(point.len(), self.dim());
-        let codes = point.iter().enumerate().map(|(j, &v)| {
-            self.level_index[j][self.quantizers[j].level(v) as usize]
-        });
+        let codes = point
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| self.level_index[j][self.quantizers[j].level(v) as usize]);
         pack_codes(codes, self.tau, out);
     }
 
@@ -216,7 +229,10 @@ pub struct MultiDimScheme {
 
 impl MultiDimScheme {
     pub fn new(buckets: MultiDimBuckets) -> Self {
-        Self { dim: buckets.dim(), buckets }
+        Self {
+            dim: buckets.dim(),
+            buckets,
+        }
     }
 
     pub fn buckets(&self) -> &MultiDimBuckets {
@@ -282,10 +298,22 @@ mod tests {
         let q = [9.0f32, 11.0];
         let b2 = s.bounds(&q, &s.encode(&[10.0, 16.0]));
         assert!((b2.lb - 5.0).abs() < 0.05, "lb {}", b2.lb);
-        assert!(b2.ub >= 13.42 && b2.ub <= 13.42 + 2.0f32.hypot(1.0) as f64 + 0.05, "ub {}", b2.ub);
+        assert!(
+            b2.ub >= 13.42 && b2.ub <= 13.42 + 2.0f32.hypot(1.0) as f64 + 0.05,
+            "ub {}",
+            b2.ub
+        );
         let b3 = s.bounds(&q, &s.encode(&[19.0, 30.0]));
-        assert!(b3.lb <= 14.76 + 0.05 && b3.lb >= 14.76 - 1.5, "lb {}", b3.lb);
-        assert!(b3.ub >= 24.41 - 0.05 && b3.ub <= 24.41 + 1.5, "ub {}", b3.ub);
+        assert!(
+            b3.lb <= 14.76 + 0.05 && b3.lb >= 14.76 - 1.5,
+            "lb {}",
+            b3.lb
+        );
+        assert!(
+            b3.ub >= 24.41 - 0.05 && b3.ub <= 24.41 + 1.5,
+            "ub {}",
+            b3.ub
+        );
         // Both candidates' exact distances remain sandwiched.
         assert!(b2.contains(euclidean(&q, &[10.0, 16.0])));
         assert!(b3.contains(euclidean(&q, &[19.0, 30.0])));

@@ -68,7 +68,12 @@ impl IDistance {
                 });
             }
         }
-        Self { km, leaves, leaf_of, leaf_capacity }
+        Self {
+            km,
+            leaves,
+            leaf_of,
+            leaf_capacity,
+        }
     }
 
     /// The reference-point clustering.
@@ -213,12 +218,13 @@ mod tests {
         let q = ds.point(PointId(0)).to_vec();
         let bounds = idx.leaf_lower_bounds(&q);
         let own_leaf = idx.leaf_of(PointId(0));
-        let own_lb = bounds.iter().find(|&&(l, _)| l == own_leaf).expect("has leaf").1;
-        assert!(own_lb <= 1e-6, "query's own leaf must have ~zero bound");
-        let max_lb = bounds
+        let own_lb = bounds
             .iter()
-            .map(|&(_, lb)| lb)
-            .fold(0.0f64, f64::max);
+            .find(|&&(l, _)| l == own_leaf)
+            .expect("has leaf")
+            .1;
+        assert!(own_lb <= 1e-6, "query's own leaf must have ~zero bound");
+        let max_lb = bounds.iter().map(|&(_, lb)| lb).fold(0.0f64, f64::max);
         assert!(max_lb > own_lb);
     }
 }

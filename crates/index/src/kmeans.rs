@@ -148,7 +148,12 @@ pub fn kmeans(dataset: &Dataset, k: usize, seed: u64, max_iters: usize) -> KMean
         }
     }
 
-    KMeans { centers, dim: d, assignment, dist_to_center }
+    KMeans {
+        centers,
+        dim: d,
+        assignment,
+        dist_to_center,
+    }
 }
 
 #[cfg(test)]

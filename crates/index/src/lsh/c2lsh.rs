@@ -108,10 +108,8 @@ impl C2lsh {
         let tables: Vec<Vec<(i64, u32)>> = hashes
             .iter()
             .map(|h| {
-                let mut t: Vec<(i64, u32)> = dataset
-                    .iter()
-                    .map(|(id, p)| (h.bucket(p), id.0))
-                    .collect();
+                let mut t: Vec<(i64, u32)> =
+                    dataset.iter().map(|(id, p)| (h.bucket(p), id.0)).collect();
                 t.sort_unstable();
                 t
             })
@@ -121,7 +119,10 @@ impl C2lsh {
         let max_abs_bucket = tables
             .iter()
             .flat_map(|t: &Vec<(i64, u32)>| {
-                [t.first().map(|&(b, _)| b.abs()), t.last().map(|&(b, _)| b.abs())]
+                [
+                    t.first().map(|&(b, _)| b.abs()),
+                    t.last().map(|&(b, _)| b.abs()),
+                ]
             })
             .flatten()
             .max()
@@ -294,7 +295,10 @@ mod tests {
         let ds = clustered_dataset(50, 8, 1);
         let idx = C2lsh::build(
             &ds,
-            C2lshParams { extra_candidates: 30, ..Default::default() },
+            C2lshParams {
+                extra_candidates: 30,
+                ..Default::default()
+            },
         );
         // Query at the center of cluster 0: candidates should be dominated by
         // cluster-0 ids (0..50).
@@ -322,7 +326,9 @@ mod tests {
                 .iter()
                 .filter(|(id, _)| id.0 != qi * 7)
                 .min_by(|a, b| {
-                    euclidean(&q, a.1).partial_cmp(&euclidean(&q, b.1)).expect("finite")
+                    euclidean(&q, a.1)
+                        .partial_cmp(&euclidean(&q, b.1))
+                        .expect("finite")
                 })
                 .expect("non-empty")
                 .0;
@@ -337,7 +343,13 @@ mod tests {
     fn candidate_budget_is_respected_approximately() {
         let ds = clustered_dataset(100, 8, 3);
         let extra = 50;
-        let idx = C2lsh::build(&ds, C2lshParams { extra_candidates: extra, ..Default::default() });
+        let idx = C2lsh::build(
+            &ds,
+            C2lshParams {
+                extra_candidates: extra,
+                ..Default::default()
+            },
+        );
         let cands = idx.candidates(&[0.0f32; 8], 10);
         // One level can overshoot, but not by the whole dataset.
         assert!(cands.len() >= 10);
@@ -351,7 +363,13 @@ mod tests {
         // fewer than l functions (e.g. whose projections land on the other
         // side of zero in many tables) legitimately never become candidates.
         let ds = clustered_dataset(3, 4, 4);
-        let idx = C2lsh::build(&ds, C2lshParams { extra_candidates: 10_000, ..Default::default() });
+        let idx = C2lsh::build(
+            &ds,
+            C2lshParams {
+                extra_candidates: 10_000,
+                ..Default::default()
+            },
+        );
         let run = idx.run(&[0.0f32; 4], 1);
         assert!(!run.candidates.is_empty());
         assert!(run.candidates.len() <= ds.len());

@@ -36,7 +36,13 @@ pub struct E2lshParams {
 
 impl Default for E2lshParams {
     fn default() -> Self {
-        Self { tables: 8, projections: 4, width: None, multi_probe: true, seed: 0xE25 }
+        Self {
+            tables: 8,
+            projections: 4,
+            width: None,
+            multi_probe: true,
+            seed: 0xE25,
+        }
     }
 }
 
@@ -72,14 +78,24 @@ impl E2lsh {
                     .map(|_| PStableHash::sample(dataset.dim(), width, &mut rng))
                     .collect();
                 let mut buckets: HashMap<Vec<i64>, Vec<u32>> = HashMap::new();
-                let table = Table { hashes, buckets: HashMap::new() };
+                let table = Table {
+                    hashes,
+                    buckets: HashMap::new(),
+                };
                 for (id, p) in dataset.iter() {
                     buckets.entry(table.key(p)).or_default().push(id.0);
                 }
-                Table { hashes: table.hashes, buckets }
+                Table {
+                    hashes: table.hashes,
+                    buckets,
+                }
             })
             .collect();
-        Self { tables, multi_probe: params.multi_probe, n: dataset.len() }
+        Self {
+            tables,
+            multi_probe: params.multi_probe,
+            n: dataset.len(),
+        }
     }
 
     /// Number of non-empty buckets across all tables (diagnostics).
@@ -163,7 +179,11 @@ mod tests {
             let nn = ds
                 .iter()
                 .filter(|(id, _)| id.0 != qi * 9)
-                .min_by(|a, b| euclidean(&q, a.1).partial_cmp(&euclidean(&q, b.1)).expect("finite"))
+                .min_by(|a, b| {
+                    euclidean(&q, a.1)
+                        .partial_cmp(&euclidean(&q, b.1))
+                        .expect("finite")
+                })
                 .expect("non-empty")
                 .0;
             if idx.candidates(&q, 1).contains(&nn) {
@@ -178,11 +198,17 @@ mod tests {
         let ds = clustered(50, 8, 3);
         let base = E2lsh::build(
             &ds,
-            E2lshParams { multi_probe: false, ..Default::default() },
+            E2lshParams {
+                multi_probe: false,
+                ..Default::default()
+            },
         );
         let probed = E2lsh::build(
             &ds,
-            E2lshParams { multi_probe: true, ..Default::default() },
+            E2lshParams {
+                multi_probe: true,
+                ..Default::default()
+            },
         );
         let q = vec![0.2f32; 8];
         assert!(probed.candidates(&q, 1).len() >= base.candidates(&q, 1).len());
@@ -191,8 +217,20 @@ mod tests {
     #[test]
     fn more_tables_increase_recall_surface() {
         let ds = clustered(50, 8, 4);
-        let small = E2lsh::build(&ds, E2lshParams { tables: 1, ..Default::default() });
-        let large = E2lsh::build(&ds, E2lshParams { tables: 12, ..Default::default() });
+        let small = E2lsh::build(
+            &ds,
+            E2lshParams {
+                tables: 1,
+                ..Default::default()
+            },
+        );
+        let large = E2lsh::build(
+            &ds,
+            E2lshParams {
+                tables: 12,
+                ..Default::default()
+            },
+        );
         let q = vec![8.1f32; 8];
         assert!(large.candidates(&q, 1).len() >= small.candidates(&q, 1).len());
         assert!(large.total_buckets() > small.total_buckets());

@@ -64,7 +64,9 @@ impl PStableHash {
 /// Sample `m` independent functions.
 pub fn sample_family(m: usize, d: usize, w: f64, seed: u64) -> Vec<PStableHash> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..m).map(|_| PStableHash::sample(d, w, &mut rng)).collect()
+    (0..m)
+        .map(|_| PStableHash::sample(d, w, &mut rng))
+        .collect()
 }
 
 #[cfg(test)]
@@ -102,9 +104,8 @@ mod tests {
         for v in far.iter_mut() {
             *v = 5.0;
         }
-        let collisions = |a: &[f32], b: &[f32]| {
-            fam.iter().filter(|h| h.bucket(a) == h.bucket(b)).count()
-        };
+        let collisions =
+            |a: &[f32], b: &[f32]| fam.iter().filter(|h| h.bucket(a) == h.bucket(b)).count();
         let c_near = collisions(&p, &near);
         let c_far = collisions(&p, &far);
         assert!(c_near > c_far, "near {c_near} vs far {c_far}");

@@ -261,9 +261,7 @@ fn str_tile(
             .expect("finite")
             .then(a.cmp(&b))
     });
-    let slabs = (leaves_needed as f64)
-        .powf(1.0 / dims.len() as f64)
-        .ceil() as usize;
+    let slabs = (leaves_needed as f64).powf(1.0 / dims.len() as f64).ceil() as usize;
     let slab_size = ids.len().div_ceil(slabs.max(1));
     let mut rest = ids;
     while !rest.is_empty() {
@@ -315,8 +313,7 @@ mod tests {
     }
 
     fn exact_knn(ds: &Dataset, q: &[f32], k: usize) -> Vec<PointId> {
-        let mut all: Vec<(f64, PointId)> =
-            ds.iter().map(|(id, p)| (euclidean(q, p), id)).collect();
+        let mut all: Vec<(f64, PointId)> = ds.iter().map(|(id, p)| (euclidean(q, p), id)).collect();
         all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         all.into_iter().take(k).map(|(_, id)| id).collect()
     }

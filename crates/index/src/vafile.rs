@@ -60,7 +60,11 @@ impl VaGrid {
             bounds.push(column[n - 1]);
             boundaries.push(bounds);
         }
-        Self { dim: d, bits, boundaries }
+        Self {
+            dim: d,
+            bits,
+            boundaries,
+        }
     }
 
     #[inline]
@@ -102,7 +106,11 @@ impl VaGrid {
         assert_eq!(dataset.dim(), self.dim);
         let mut codes = PackedCodes::with_capacity(self.dim, self.bits, dataset.len());
         for (_, p) in dataset.iter() {
-            codes.push(ApproxIter { grid: self, point: p, j: 0 });
+            codes.push(ApproxIter {
+                grid: self,
+                point: p,
+                j: 0,
+            });
         }
         codes
     }
@@ -148,7 +156,11 @@ impl VaFile {
     pub fn build(dataset: &Dataset, bits: u32) -> Self {
         let grid = VaGrid::fit(dataset, bits);
         let approx = grid.encode_all(dataset);
-        Self { grid, approx, n: dataset.len() }
+        Self {
+            grid,
+            approx,
+            n: dataset.len(),
+        }
     }
 
     pub fn grid(&self) -> &VaGrid {
@@ -223,8 +235,7 @@ mod tests {
     }
 
     fn exact_knn(ds: &Dataset, q: &[f32], k: usize) -> Vec<PointId> {
-        let mut all: Vec<(f64, PointId)> =
-            ds.iter().map(|(id, p)| (euclidean(q, p), id)).collect();
+        let mut all: Vec<(f64, PointId)> = ds.iter().map(|(id, p)| (euclidean(q, p), id)).collect();
         all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         all.into_iter().take(k).map(|(_, id)| id).collect()
     }

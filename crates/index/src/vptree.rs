@@ -47,8 +47,19 @@ impl VpTree {
         let mut leaves = Vec::new();
         let mut leaf_of = vec![0u32; dataset.len()];
         let ids: Vec<u32> = (0..dataset.len() as u32).collect();
-        let root = build_node(dataset, ids, leaf_capacity, &mut rng, &mut leaves, &mut leaf_of);
-        Self { root, leaves, leaf_of }
+        let root = build_node(
+            dataset,
+            ids,
+            leaf_capacity,
+            &mut rng,
+            &mut leaves,
+            &mut leaf_of,
+        );
+        Self {
+            root,
+            leaves,
+            leaf_of,
+        }
     }
 
     /// A file ordering grouping each leaf's points consecutively.
@@ -112,7 +123,13 @@ fn build_node(
     } else {
         Box::new(build_node(dataset, outer_ids, cap, rng, leaves, leaf_of))
     };
-    Node::Internal { vp, inner_range, outer_range, inner, outer }
+    Node::Internal {
+        vp,
+        inner_range,
+        outer_range,
+        inner,
+        outer,
+    }
 }
 
 impl LeafedIndex for VpTree {
@@ -142,13 +159,18 @@ impl LeafedIndex for VpTree {
 fn collect_bounds(node: &Node, q: &[f32], lb: f64, out: &mut Vec<(u32, f64)>) {
     match node {
         Node::Leaf { leaf_id } => out.push((*leaf_id, lb)),
-        Node::Internal { vp, inner_range, outer_range, inner, outer } => {
+        Node::Internal {
+            vp,
+            inner_range,
+            outer_range,
+            inner,
+            outer,
+        } => {
             let dv = euclidean(q, vp);
             // Points in a child have dist-to-vp within [lo, hi]; by the
             // triangle inequality dist(q, p) ≥ max(dv − hi, lo − dv, 0).
-            let child_lb = |range: &(f64, f64)| -> f64 {
-                (dv - range.1).max(range.0 - dv).max(0.0).max(lb)
-            };
+            let child_lb =
+                |range: &(f64, f64)| -> f64 { (dv - range.1).max(range.0 - dv).max(0.0).max(lb) };
             collect_bounds(inner, q, child_lb(inner_range), out);
             collect_bounds(outer, q, child_lb(outer_range), out);
         }

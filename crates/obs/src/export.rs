@@ -1,0 +1,281 @@
+//! Snapshot exporters: Prometheus exposition text and JSON.
+//!
+//! Both operate on a [`RegistrySnapshot`], so exporting never blocks metric
+//! updates. JSON is emitted by hand (the crate is zero-dependency); the
+//! schema is documented in README.md §Observability and kept deliberately
+//! flat so shell tooling (`jq`) and the experiment scripts can consume it.
+
+use std::fmt::Write;
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::{MetricId, RegistrySnapshot};
+use crate::trace::QueryTrace;
+
+/// Prometheus metric name: dots become underscores.
+fn prom_name(id: &MetricId) -> String {
+    id.name.replace(['.', '-'], "_")
+}
+
+fn prom_series(id: &MetricId, extra: Option<(&str, &str)>) -> String {
+    let name = prom_name(id);
+    let mut labels: Vec<String> = Vec::new();
+    if let Some(label) = &id.label {
+        labels.push(format!("series=\"{}\"", label.replace('"', "'")));
+    }
+    if let Some((k, v)) = extra {
+        labels.push(format!("{k}=\"{v}\""));
+    }
+    if labels.is_empty() {
+        name
+    } else {
+        format!("{name}{{{}}}", labels.join(","))
+    }
+}
+
+/// Render a snapshot in Prometheus exposition format. Histograms are
+/// rendered as summaries (quantile series plus `_count` / `_sum` / `_max`).
+pub fn to_prometheus(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name = String::new();
+    for (id, value) in &snap.counters {
+        if id.name != last_name {
+            writeln!(out, "# TYPE {} counter", prom_name(id)).expect("write");
+            last_name.clone_from(&id.name);
+        }
+        writeln!(out, "{} {value}", prom_series(id, None)).expect("write");
+    }
+    last_name.clear();
+    for (id, value) in &snap.gauges {
+        if id.name != last_name {
+            writeln!(out, "# TYPE {} gauge", prom_name(id)).expect("write");
+            last_name.clone_from(&id.name);
+        }
+        writeln!(out, "{} {value}", prom_series(id, None)).expect("write");
+    }
+    last_name.clear();
+    for (id, h) in &snap.histograms {
+        if id.name != last_name {
+            writeln!(out, "# TYPE {} summary", prom_name(id)).expect("write");
+            last_name.clone_from(&id.name);
+        }
+        for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+            writeln!(
+                out,
+                "{} {v}",
+                prom_series(id, Some(("quantile", &q.to_string())))
+            )
+            .expect("write");
+        }
+        writeln!(out, "{}_count {}", prom_series(id, None), h.count).expect("write");
+        writeln!(out, "{}_sum {}", prom_series(id, None), h.sum).expect("write");
+        writeln!(out, "{}_max {}", prom_series(id, None), h.max).expect("write");
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON numbers must be finite; map the rest to null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_id(id: &MetricId) -> String {
+    match &id.label {
+        None => format!("\"name\":\"{}\"", json_escape(&id.name)),
+        Some(l) => {
+            format!(
+                "\"name\":\"{}\",\"label\":\"{}\"",
+                json_escape(&id.name),
+                json_escape(l)
+            )
+        }
+    }
+}
+
+fn json_histogram(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h
+        .buckets
+        .iter()
+        .map(|(v, n)| format!("[{v},{n}]"))
+        .collect();
+    format!(
+        "\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{},\"buckets\":[{}]",
+        h.count,
+        h.sum,
+        json_f64(h.mean()),
+        h.min,
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.max,
+        buckets.join(",")
+    )
+}
+
+fn json_trace(t: &QueryTrace) -> String {
+    format!(
+        "{{\"seq\":{},\"candidates\":{},\"cache_hits\":{},\"pruned\":{},\"true_results\":{},\
+         \"c_refine\":{},\"fetched\":{},\"io_pages\":{},\"gen_ns\":{},\"reduce_ns\":{},\
+         \"refine_ns\":{},\"rho_hit\":{},\"rho_prune\":{},\"modeled_response_secs\":{}}}",
+        t.seq,
+        t.candidates,
+        t.cache_hits,
+        t.pruned,
+        t.true_results,
+        t.c_refine,
+        t.fetched,
+        t.io_pages,
+        t.gen_ns,
+        t.reduce_ns,
+        t.refine_ns,
+        json_f64(t.rho_hit()),
+        json_f64(t.rho_prune()),
+        json_f64(t.modeled_response_secs()),
+    )
+}
+
+/// Render a snapshot as a single JSON object:
+///
+/// ```json
+/// {
+///   "counters":   [{"name": "...", "label": "...", "value": 0}],
+///   "gauges":     [{"name": "...", "value": 0.0}],
+///   "histograms": [{"name": "...", "count": 0, "sum": 0, "mean": 0.0,
+///                   "min": 0, "p50": 0, "p95": 0, "p99": 0, "max": 0,
+///                   "buckets": [[value, count]]}],
+///   "slow_queries": [{"seq": 0, "candidates": 0, ...}]
+/// }
+/// ```
+///
+/// `slow_queries` holds the `slow_query_limit` worst retained traces by
+/// modeled response time.
+pub fn to_json(snap: &RegistrySnapshot, slow_query_limit: usize) -> String {
+    let counters: Vec<String> = snap
+        .counters
+        .iter()
+        .map(|(id, v)| format!("{{{},\"value\":{v}}}", json_id(id)))
+        .collect();
+    let gauges: Vec<String> = snap
+        .gauges
+        .iter()
+        .map(|(id, v)| format!("{{{},\"value\":{}}}", json_id(id), json_f64(*v)))
+        .collect();
+    let histograms: Vec<String> = snap
+        .histograms
+        .iter()
+        .map(|(id, h)| format!("{{{},{}}}", json_id(id), json_histogram(h)))
+        .collect();
+    let mut slow: Vec<&QueryTrace> = snap.traces.iter().collect();
+    slow.sort_by(|a, b| {
+        b.modeled_response_secs()
+            .partial_cmp(&a.modeled_response_secs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    slow.truncate(slow_query_limit);
+    let traces: Vec<String> = slow.iter().map(|t| json_trace(t)).collect();
+    format!(
+        "{{\n\"counters\":[{}],\n\"gauges\":[{}],\n\"histograms\":[{}],\n\"slow_queries\":[{}]\n}}\n",
+        counters.join(","),
+        gauges.join(","),
+        histograms.join(","),
+        traces.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn populated() -> RegistrySnapshot {
+        let r = MetricsRegistry::new();
+        r.counter("storage.pages_read").add(42);
+        r.counter_with_label("cache.hits", "EXACT/HFF").add(7);
+        r.gauge("costmodel.predicted_rho_hit").set(0.75);
+        let h = r.histogram("query.io_pages");
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        r.trace(QueryTrace {
+            seq: 1,
+            candidates: 10,
+            cache_hits: 4,
+            io_pages: 100,
+            modeled_refine_secs: 0.5,
+            ..Default::default()
+        });
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_renders_all_kinds() {
+        let text = to_prometheus(&populated());
+        assert!(text.contains("# TYPE storage_pages_read counter"));
+        assert!(text.contains("storage_pages_read 42"));
+        assert!(text.contains("cache_hits{series=\"EXACT/HFF\"} 7"));
+        assert!(text.contains("# TYPE costmodel_predicted_rho_hit gauge"));
+        assert!(text.contains("query_io_pages{quantile=\"0.5\"}"));
+        assert!(text.contains("query_io_pages_count 4"));
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let json = to_json(&populated(), 8);
+        // Hand-rolled structural checks (no serde available offline).
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"name\":\"storage.pages_read\",\"value\":42"));
+        assert!(json.contains("\"label\":\"EXACT/HFF\""));
+        assert!(json.contains("\"name\":\"query.io_pages\""));
+        assert!(json.contains("\"p50\":"));
+        assert!(json.contains("\"buckets\":[["));
+        assert!(json.contains("\"slow_queries\":[{\"seq\":1"));
+        // Balanced braces/brackets as a cheap well-formedness proxy.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_labels() {
+        let r = MetricsRegistry::new();
+        r.counter_with_label("c", "he said \"hi\"\n").inc();
+        let json = to_json(&r.snapshot(), 0);
+        assert!(json.contains("he said \\\"hi\\\"\\n"));
+    }
+
+    #[test]
+    fn slow_query_limit_truncates() {
+        let r = MetricsRegistry::new();
+        for seq in 0..10 {
+            r.trace(QueryTrace {
+                seq,
+                modeled_refine_secs: seq as f64,
+                ..Default::default()
+            });
+        }
+        let json = to_json(&r.snapshot(), 2);
+        assert!(json.contains("\"seq\":9"));
+        assert!(json.contains("\"seq\":8"));
+        assert!(!json.contains("\"seq\":3"));
+    }
+}

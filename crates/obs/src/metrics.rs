@@ -1,0 +1,438 @@
+//! Metric handles and the histogram core.
+//!
+//! Handles are cheap to clone (`Option<Arc<…>>`) and safe to update from any
+//! thread. A handle from [`crate::MetricsRegistry::noop`] holds `None` and
+//! every update is a predictable not-taken branch — the price of always-on
+//! instrumentation when observability is switched off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotone counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A disabled handle; all updates are no-ops.
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a noop handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Whether this handle reports anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// Last-write-wins gauge holding an `f64` (stored as its bit pattern).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// Number of linear subdivisions per power-of-two octave. 4 subdivisions
+/// bound the relative quantization error of any reported quantile by
+/// 1/(2·4) = 12.5 % — plenty for latency and I/O distributions.
+const SUBS_PER_OCTAVE: u64 = 4;
+const SUB_SHIFT: u32 = 2; // log2(SUBS_PER_OCTAVE)
+
+/// Buckets: index 0 holds the value 0; values 1..=4 get exact singleton
+/// buckets (octaves 0–2 cannot be subdivided 4 ways); larger values land in
+/// `(octave, sub)` buckets. 64 octaves × 4 subs + small values < 260.
+const NUM_BUCKETS: usize = 260;
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < 5 {
+        return v as usize; // 0..=4 exact
+    }
+    let octave = 63 - v.leading_zeros(); // ≥ 2
+    let sub = ((v >> (octave - SUB_SHIFT)) & (SUBS_PER_OCTAVE - 1)) as u32;
+    (octave * SUBS_PER_OCTAVE as u32 + sub + 5 - 2 * SUBS_PER_OCTAVE as u32) as usize
+}
+
+/// Representative value of a bucket: the geometric-ish midpoint of its range
+/// (exact for the singleton buckets).
+fn bucket_value(idx: usize) -> u64 {
+    if idx < 5 {
+        return idx as u64;
+    }
+    let i = idx as u64 - 5 + 2 * SUBS_PER_OCTAVE;
+    let octave = (i / SUBS_PER_OCTAVE) as u32;
+    let sub = i % SUBS_PER_OCTAVE;
+    let lo = (1u64 << octave) + (sub << (octave - SUB_SHIFT));
+    let width = 1u64 << (octave - SUB_SHIFT);
+    lo + width / 2
+}
+
+/// Shared histogram state: atomic bucket counts plus count/sum/min/max.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+impl HistogramCore {
+    #[inline]
+    fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_value(i), n))
+            })
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+    }
+}
+
+/// Log-bucketed value/latency histogram handle.
+///
+/// Values are `u64` in the unit named by the metric (`…_ns`, `…_pages`,
+/// `…_ppm`); callers recording ratios scale to parts-per-million via
+/// [`Histogram::record_ratio`].
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+/// Scale factor for ratio-valued histograms (`record_ratio`).
+pub const PPM: f64 = 1_000_000.0;
+
+impl Histogram {
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+
+    /// Record a ratio in `[0, 1]` as parts-per-million.
+    #[inline]
+    pub fn record_ratio(&self, r: f64) {
+        if let Some(h) = &self.0 {
+            h.record((r.clamp(0.0, 1.0) * PPM) as u64);
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// A point-in-time copy for quantile queries and merging.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0
+            .as_ref()
+            .map_or_else(HistogramSnapshot::default, |h| h.snapshot())
+    }
+
+    pub(crate) fn reset(&self) {
+        if let Some(h) = &self.0 {
+            h.reset();
+        }
+    }
+}
+
+/// An immutable histogram snapshot: occupied `(representative_value, count)`
+/// buckets in ascending value order, plus the scalar summaries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: Vec<(u64, u64)>,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub min: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q ∈ [0, 1]` (bucket-representative; exact for
+    /// values ≤ 4, ≤ 12.5 % relative error above). The max is tracked
+    /// exactly, so `quantile(1.0)` returns it.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(value, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return value;
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another snapshot into this one (e.g. per-thread histograms).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut merged: Vec<(u64, u64)> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            let take_self = j >= other.buckets.len()
+                || (i < self.buckets.len() && self.buckets[i].0 <= other.buckets[j].0);
+            if take_self {
+                let (v, n) = self.buckets[i];
+                if let Some(last) = merged.last_mut().filter(|l| l.0 == v) {
+                    last.1 += n;
+                } else {
+                    merged.push((v, n));
+                }
+                i += 1;
+            } else {
+                let (v, n) = other.buckets[j];
+                if let Some(last) = merged.last_mut().filter(|l| l.0 == v) {
+                    last.1 += n;
+                } else {
+                    merged.push((v, n));
+                }
+                j += 1;
+            }
+        }
+        self.buckets = merged;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = match (self.count, other.count) {
+            (0, _) => other.min,
+            (_, 0) => self.min,
+            _ => self.min.min(other.min),
+        };
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handles_do_nothing() {
+        let c = Counter::noop();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        assert!(!c.is_enabled());
+        let g = Gauge::noop();
+        g.set(3.5);
+        assert_eq!(g.get(), 0.0);
+        let h = Histogram::noop();
+        h.record(99);
+        assert!(h.snapshot().is_empty());
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..5u64 {
+            assert_eq!(
+                bucket_value(bucket_of(v)),
+                v,
+                "small values get singleton buckets"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_bounded() {
+        let mut last = 0usize;
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket index must not decrease");
+            assert!(b < NUM_BUCKETS, "{v} maps to out-of-range bucket {b}");
+            last = b;
+        }
+        assert!(bucket_of(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        for v in [5u64, 7, 100, 1_000, 123_456, 10_u64.pow(12)] {
+            let rep = bucket_value(bucket_of(v));
+            let err = (rep as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 0.125 + 1e-9, "v={v} rep={rep} err={err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_stream() {
+        let core = HistogramCore::default();
+        let h = Histogram(Some(Arc::new(core)));
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.quantile(1.0), 1000);
+        let p50 = s.p50();
+        assert!((400..=600).contains(&p50), "p50={p50}");
+        let p99 = s.p99();
+        assert!((850..=1000).contains(&p99), "p99={p99}");
+        assert!((s.mean() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn ratio_recording_scales_to_ppm() {
+        let h = Histogram(Some(Arc::new(HistogramCore::default())));
+        h.record_ratio(0.5);
+        h.record_ratio(2.0); // clamped to 1.0
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 1_000_000);
+        assert!(s.min >= 450_000 && s.min <= 550_000, "min={}", s.min);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let a = Histogram(Some(Arc::new(HistogramCore::default())));
+        let b = Histogram(Some(Arc::new(HistogramCore::default())));
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [100u64, 200] {
+            b.record(v);
+        }
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 200);
+        assert_eq!(s.sum, 306);
+        // Merging an empty snapshot is the identity.
+        let before = s.clone();
+        s.merge(&HistogramSnapshot::default());
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram(Some(Arc::new(HistogramCore::default())));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count, 40_000);
+    }
+}

@@ -1,0 +1,340 @@
+//! The named-metric registry.
+//!
+//! Registration is the slow path (a mutex-guarded `BTreeMap` lookup, once
+//! per handle at setup); the returned handles update lock-free atomics.
+//! Registering the same `(name, label)` twice hands back the same underlying
+//! metric, so independent components can safely share a series.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::trace::{QueryTrace, TraceLog};
+
+/// A metric series identifier: a dotted name (`storage.pages_read`) plus an
+/// optional free-form label rendered Prometheus-style
+/// (`cache_hits{cache="EXACT/HFF"}`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    pub name: String,
+    pub label: Option<String>,
+}
+
+impl MetricId {
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            label: None,
+        }
+    }
+
+    pub fn with_label(name: &str, label: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            label: Some(label.to_owned()),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<MetricId, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<MetricId, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<MetricId, Arc<crate::metrics::HistogramCore>>>,
+    traces: TraceLog,
+}
+
+/// The registry. Cloning shares the underlying store; a registry from
+/// [`MetricsRegistry::noop`] hands out disabled handles everywhere.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// The disabled registry: every handle it returns is a no-op. Use this
+    /// to run the pipeline uninstrumented (the criterion baseline).
+    pub fn noop() -> Self {
+        Self { inner: None }
+    }
+
+    /// The process-wide default registry (always enabled). Experiment
+    /// binaries report from here so library code never threads a registry
+    /// through APIs that predate observability.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_id(MetricId::new(name))
+    }
+
+    pub fn counter_with_label(&self, name: &str, label: &str) -> Counter {
+        self.counter_id(MetricId::with_label(name, label))
+    }
+
+    fn counter_id(&self, id: MetricId) -> Counter {
+        match &self.inner {
+            None => Counter::noop(),
+            Some(inner) => {
+                let mut map = inner.counters.lock().expect("counter registry poisoned");
+                Counter(Some(Arc::clone(map.entry(id).or_default())))
+            }
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_id(MetricId::new(name))
+    }
+
+    pub fn gauge_with_label(&self, name: &str, label: &str) -> Gauge {
+        self.gauge_id(MetricId::with_label(name, label))
+    }
+
+    fn gauge_id(&self, id: MetricId) -> Gauge {
+        match &self.inner {
+            None => Gauge::noop(),
+            Some(inner) => {
+                let mut map = inner.gauges.lock().expect("gauge registry poisoned");
+                Gauge(Some(Arc::clone(map.entry(id).or_insert_with(|| {
+                    Arc::new(AtomicU64::new(0.0f64.to_bits()))
+                }))))
+            }
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_id(MetricId::new(name))
+    }
+
+    pub fn histogram_with_label(&self, name: &str, label: &str) -> Histogram {
+        self.histogram_id(MetricId::with_label(name, label))
+    }
+
+    fn histogram_id(&self, id: MetricId) -> Histogram {
+        match &self.inner {
+            None => Histogram::noop(),
+            Some(inner) => {
+                let mut map = inner
+                    .histograms
+                    .lock()
+                    .expect("histogram registry poisoned");
+                Histogram(Some(Arc::clone(map.entry(id).or_default())))
+            }
+        }
+    }
+
+    /// Record a per-query trace event (bounded ring; oldest dropped).
+    #[inline]
+    pub fn trace(&self, t: QueryTrace) {
+        if let Some(inner) = &self.inner {
+            inner.traces.record(t);
+        }
+    }
+
+    /// The trace ring (empty and inert for a noop registry).
+    pub fn traces(&self) -> &TraceLog {
+        static EMPTY: OnceLock<TraceLog> = OnceLock::new();
+        match &self.inner {
+            None => EMPTY.get_or_init(TraceLog::disabled),
+            Some(inner) => &inner.traces,
+        }
+    }
+
+    /// A consistent-enough point-in-time copy of every series (each metric
+    /// is read atomically; the set is read under the registration locks).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let Some(inner) = &self.inner else {
+            return RegistrySnapshot::default();
+        };
+        use std::sync::atomic::Ordering::Relaxed;
+        let counters = inner
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(id, v)| (id.clone(), v.load(Relaxed)))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(id, v)| (id.clone(), f64::from_bits(v.load(Relaxed))))
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(id, h)| (id.clone(), Histogram(Some(Arc::clone(h))).snapshot()))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+            traces: self.traces().to_vec(),
+        }
+    }
+
+    /// Zero every registered series and clear the trace ring. Handles stay
+    /// valid (they share the same atomics). Used between experiment
+    /// configurations so each report covers exactly one run.
+    pub fn reset(&self) {
+        let Some(inner) = &self.inner else { return };
+        use std::sync::atomic::Ordering::Relaxed;
+        for v in inner
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .values()
+        {
+            v.store(0, Relaxed);
+        }
+        for v in inner
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .values()
+        {
+            v.store(0.0f64.to_bits(), Relaxed);
+        }
+        for h in inner
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .values()
+        {
+            Histogram(Some(Arc::clone(h))).reset();
+        }
+        inner.traces.clear();
+    }
+}
+
+/// A frozen copy of the registry, ready for export or assertions.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    pub counters: Vec<(MetricId, u64)>,
+    pub gauges: Vec<(MetricId, f64)>,
+    pub histograms: Vec<(MetricId, HistogramSnapshot)>,
+    pub traces: Vec<QueryTrace>,
+}
+
+impl RegistrySnapshot {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(id, _)| id.name == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(id, _)| id.name == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(id, _)| id.name == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_id_shares_the_series() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x.count");
+        let b = r.counter("x.count");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.snapshot().counter("x.count"), Some(3));
+    }
+
+    #[test]
+    fn labels_separate_series() {
+        let r = MetricsRegistry::new();
+        r.counter_with_label("cache.hits", "EXACT/HFF").add(5);
+        r.counter_with_label("cache.hits", "HC-O/HFF").add(7);
+        let snap = r.snapshot();
+        let values: Vec<u64> = snap
+            .counters
+            .iter()
+            .filter(|(id, _)| id.name == "cache.hits")
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(values.len(), 2);
+        assert_eq!(values.iter().sum::<u64>(), 12);
+    }
+
+    #[test]
+    fn noop_registry_is_inert() {
+        let r = MetricsRegistry::noop();
+        assert!(!r.is_enabled());
+        let c = r.counter("a");
+        let g = r.gauge("b");
+        let h = r.histogram("c");
+        c.inc();
+        g.set(1.0);
+        h.record(1);
+        r.trace(QueryTrace::default());
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.traces.is_empty());
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_live() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("n");
+        let g = r.gauge("g");
+        let h = r.histogram("h");
+        c.inc();
+        g.set(2.5);
+        h.record(10);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert!(h.snapshot().is_empty());
+        c.inc();
+        assert_eq!(r.snapshot().counter("n"), Some(1), "handle survives reset");
+    }
+
+    #[test]
+    fn gauges_hold_floats() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("rho");
+        g.set(0.875);
+        assert_eq!(r.snapshot().gauge("rho"), Some(0.875));
+    }
+}

@@ -1,0 +1,212 @@
+//! Bounded per-query trace ring.
+//!
+//! Aggregates (histograms) answer "how is the pipeline doing"; the trace
+//! ring answers "what did the slow queries actually do". Every query pushes
+//! one fixed-size [`QueryTrace`] record — candidate counts, hit/prune/true
+//! -result splits, pages read, per-phase CPU — into a mutex-guarded ring
+//! that keeps the most recent `capacity` queries. One short uncontended
+//! lock per *query* (not per candidate) keeps this off the hot path.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default ring capacity (records, ~100 B each).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// One query's worth of pipeline events. All fields are plain numbers so a
+/// record never allocates.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryTrace {
+    /// Monotone per-process query sequence number (assigned by the engine).
+    pub seq: u64,
+    /// `|C(q)|` — candidates from the index.
+    pub candidates: u32,
+    /// Cache hits among candidates.
+    pub cache_hits: u32,
+    /// Candidates pruned early (`lb > ub_k`).
+    pub pruned: u32,
+    /// Candidates detected as true results (`ub < lb_k`).
+    pub true_results: u32,
+    /// Candidates entering refinement (the paper's `C_refine`).
+    pub c_refine: u32,
+    /// Points fetched from the simulated disk.
+    pub fetched: u32,
+    /// Pages read (after within-query dedup).
+    pub io_pages: u32,
+    /// Phase CPU times, nanoseconds.
+    pub gen_ns: u64,
+    pub reduce_ns: u64,
+    pub refine_ns: u64,
+    /// Modeled refinement wall-clock seconds (`T_io · io_pages`).
+    pub modeled_refine_secs: f64,
+}
+
+impl QueryTrace {
+    /// `ρ_hit` of this query.
+    pub fn rho_hit(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.candidates as f64
+        }
+    }
+
+    /// `ρ_prune` of this query (pruned or confirmed fraction of hits).
+    pub fn rho_prune(&self) -> f64 {
+        if self.cache_hits == 0 {
+            0.0
+        } else {
+            (self.pruned + self.true_results) as f64 / self.cache_hits as f64
+        }
+    }
+
+    /// Modeled total response seconds (CPU + modeled disk).
+    pub fn modeled_response_secs(&self) -> f64 {
+        (self.gen_ns + self.reduce_ns + self.refine_ns) as f64 * 1e-9 + self.modeled_refine_secs
+    }
+}
+
+/// The bounded ring. `disabled()` (capacity 0) never stores anything.
+#[derive(Debug)]
+pub struct TraceLog {
+    ring: Mutex<VecDeque<QueryTrace>>,
+    capacity: usize,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceLog {
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1 << 16))),
+            capacity,
+        }
+    }
+
+    /// A log that drops everything (for the noop registry).
+    pub fn disabled() -> Self {
+        Self::with_capacity(0)
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append a record, evicting the oldest once full.
+    pub fn record(&self, t: QueryTrace) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(t);
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("trace ring poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&self) {
+        self.ring.lock().expect("trace ring poisoned").clear();
+    }
+
+    /// Copy out the retained records, oldest first.
+    pub fn to_vec(&self) -> Vec<QueryTrace> {
+        self.ring
+            .lock()
+            .expect("trace ring poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// The `n` retained queries scoring highest under `key` — e.g.
+    /// `slowest_by(8, |t| t.modeled_response_secs())` for a slow-query
+    /// report, or keyed on `io_pages` for I/O outliers.
+    pub fn slowest_by<K: FnMut(&QueryTrace) -> f64>(
+        &self,
+        n: usize,
+        mut key: K,
+    ) -> Vec<QueryTrace> {
+        let mut all = self.to_vec();
+        all.sort_by(|a, b| {
+            key(b)
+                .partial_cmp(&key(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        all.truncate(n);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(seq: u64, io_pages: u32) -> QueryTrace {
+        QueryTrace {
+            seq,
+            io_pages,
+            candidates: 10,
+            cache_hits: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let log = TraceLog::with_capacity(3);
+        for seq in 0..5 {
+            log.record(trace(seq, seq as u32));
+        }
+        let got: Vec<u64> = log.to_vec().iter().map(|t| t.seq).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn disabled_ring_stores_nothing() {
+        let log = TraceLog::disabled();
+        log.record(trace(1, 1));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn slowest_by_orders_by_key() {
+        let log = TraceLog::with_capacity(10);
+        for (seq, pages) in [(0, 5), (1, 50), (2, 1), (3, 20)] {
+            log.record(trace(seq, pages));
+        }
+        let top: Vec<u64> = log
+            .slowest_by(2, |t| t.io_pages as f64)
+            .iter()
+            .map(|t| t.seq)
+            .collect();
+        assert_eq!(top, vec![1, 3]);
+    }
+
+    #[test]
+    fn trace_ratios_match_query_stats_semantics() {
+        let t = QueryTrace {
+            candidates: 100,
+            cache_hits: 80,
+            pruned: 40,
+            true_results: 20,
+            ..Default::default()
+        };
+        assert!((t.rho_hit() - 0.8).abs() < 1e-12);
+        assert!((t.rho_prune() - 0.75).abs() < 1e-12);
+        let zero = QueryTrace::default();
+        assert_eq!(zero.rho_hit(), 0.0);
+        assert_eq!(zero.rho_prune(), 0.0);
+    }
+}

@@ -113,7 +113,10 @@ pub fn replay_workload(
             .collect();
         dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
         qr.extend(dists.iter().take(k).map(|&(_, id)| id));
-        per_query.push(QueryCandidates { query: q.clone(), candidates });
+        per_query.push(QueryCandidates {
+            query: q.clone(),
+            candidates,
+        });
     }
 
     let mut ranked: Vec<(PointId, u64)> = freq.into_iter().collect();
@@ -244,7 +247,11 @@ mod tests {
 
     #[test]
     fn f_prime_per_dim_sums_to_global() {
-        let ds = Dataset::from_rows(&(0..12).map(|i| vec![i as f32, (11 - i) as f32]).collect::<Vec<_>>());
+        let ds = Dataset::from_rows(
+            &(0..12)
+                .map(|i| vec![i as f32, (11 - i) as f32])
+                .collect::<Vec<_>>(),
+        );
         let index = ScanIndex { n: 12 };
         let wl = vec![vec![5.0f32, 6.0], vec![1.0, 10.0]];
         let replay = replay_workload(&index, &ds, &wl, 3);

@@ -98,7 +98,9 @@ mod tests {
 
     fn world(n: usize) -> (Dataset, PointFile) {
         let ds = Dataset::from_rows(
-            &(0..n).map(|i| vec![i as f32, (i % 7) as f32]).collect::<Vec<_>>(),
+            &(0..n)
+                .map(|i| vec![i as f32, (i % 7) as f32])
+                .collect::<Vec<_>>(),
         );
         (ds.clone(), PointFile::new(ds))
     }

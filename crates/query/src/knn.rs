@@ -20,10 +20,12 @@ use hc_cache::point::{CacheLookup, PointCache};
 use hc_core::dataset::PointId;
 use hc_core::distance::kth_smallest;
 use hc_index::traits::CandidateIndex;
+use hc_obs::MetricsRegistry;
 use hc_storage::io_stats::IoModel;
 use hc_storage::point_file::PointFile;
 
 use crate::multistep::{multistep_refine, Pending};
+use crate::obs::QueryObs;
 
 /// Per-query measurements.
 #[derive(Debug, Clone, Default)]
@@ -87,6 +89,10 @@ pub struct AggregateStats {
     pub avg_candidates: f64,
     pub avg_c_refine: f64,
     pub avg_io_pages: f64,
+    /// Mean per-query `ρ_hit`.
+    pub avg_hit_ratio: f64,
+    /// Mean per-query `ρ_prune`.
+    pub avg_prune_ratio: f64,
     pub avg_hit_times_prune: f64,
     pub avg_gen_secs: f64,
     pub avg_reduce_secs: f64,
@@ -97,11 +103,16 @@ pub struct AggregateStats {
 impl AggregateStats {
     pub fn from_queries(stats: &[QueryStats]) -> Self {
         let n = stats.len().max(1) as f64;
-        let mut agg = AggregateStats { queries: stats.len(), ..Default::default() };
+        let mut agg = AggregateStats {
+            queries: stats.len(),
+            ..Default::default()
+        };
         for s in stats {
             agg.avg_candidates += s.candidates as f64 / n;
             agg.avg_c_refine += s.c_refine as f64 / n;
             agg.avg_io_pages += s.io_pages as f64 / n;
+            agg.avg_hit_ratio += s.hit_ratio() / n;
+            agg.avg_prune_ratio += s.prune_ratio() / n;
             agg.avg_hit_times_prune += s.hit_ratio() * s.prune_ratio() / n;
             agg.avg_gen_secs += s.gen_cpu.as_secs_f64() / n;
             agg.avg_reduce_secs += s.reduce_cpu.as_secs_f64() / n;
@@ -124,6 +135,8 @@ pub struct KnnEngine<'a> {
     /// mid-range (at low hit ratios little can be pruned anyway, at high
     /// ones the bounds are already tight — the footnote's own caveat).
     pub eager_refetch: bool,
+    /// Metric handles; [`QueryObs::noop`] until [`KnnEngine::bind_obs`].
+    pub obs: QueryObs,
 }
 
 impl<'a> KnnEngine<'a> {
@@ -132,13 +145,29 @@ impl<'a> KnnEngine<'a> {
         file: &'a PointFile,
         cache: Box<dyn PointCache + 'a>,
     ) -> Self {
-        Self { index, file, cache, io_model: IoModel::HDD, eager_refetch: false }
+        Self {
+            index,
+            file,
+            cache,
+            io_model: IoModel::HDD,
+            eager_refetch: false,
+            obs: QueryObs::noop(),
+        }
     }
 
     /// Enable the footnote-6 eager-refetch optimization.
     pub fn with_eager_refetch(mut self, on: bool) -> Self {
         self.eager_refetch = on;
         self
+    }
+
+    /// Report this engine's pipeline into `registry`: per-query metrics and
+    /// traces, the cache's hit/eviction counters, and the point file's I/O
+    /// counters. A noop registry leaves everything disabled.
+    pub fn bind_obs(&mut self, registry: &MetricsRegistry) {
+        self.obs = QueryObs::bind(registry);
+        self.cache.bind_obs(registry);
+        self.file.stats().bind(registry);
     }
 
     /// Execute Algorithm 1. Returns the k nearest candidate ids (identifiers
@@ -200,11 +229,7 @@ impl<'a> KnnEngine<'a> {
         let mut results: Vec<PointId> = Vec::new();
         let mut known: Vec<(PointId, f64)> = Vec::new();
         let mut pending: Vec<Pending> = Vec::new();
-        for ((&id, lk), (&lb, &ub)) in candidates
-            .iter()
-            .zip(&lookups)
-            .zip(lbs.iter().zip(&ubs))
-        {
+        for ((&id, lk), (&lb, &ub)) in candidates.iter().zip(&lookups).zip(lbs.iter().zip(&ubs)) {
             if lb > ub_k {
                 stats.pruned += 1;
                 continue;
@@ -240,19 +265,22 @@ impl<'a> KnnEngine<'a> {
             stats.fetched += outcome.fetched;
             results.extend(outcome.results.into_iter().map(|(id, _)| id));
         }
-        stats.io_pages = self.file.stats().snapshot().delta_since(io_before).pages_read;
+        stats.io_pages = self
+            .file
+            .stats()
+            .snapshot()
+            .delta_since(io_before)
+            .pages_read;
         stats.refine_cpu = t2.elapsed();
         stats.modeled_refine_secs = self.io_model.modeled_secs(stats.io_pages);
         results.truncate(k);
+        self.obs.observe(&stats);
         (results, stats)
     }
 
     /// Run a batch of queries and aggregate.
     pub fn run_batch(&mut self, queries: &[Vec<f32>], k: usize) -> AggregateStats {
-        let stats: Vec<QueryStats> = queries
-            .iter()
-            .map(|q| self.query(q, k).1)
-            .collect();
+        let stats: Vec<QueryStats> = queries.iter().map(|q| self.query(q, k).1).collect();
         AggregateStats::from_queries(&stats)
     }
 }
@@ -293,8 +321,7 @@ mod tests {
     }
 
     fn exact_knn(ds: &Dataset, q: &[f32], k: usize) -> Vec<PointId> {
-        let mut all: Vec<(f64, PointId)> =
-            ds.iter().map(|(id, p)| (euclidean(q, p), id)).collect();
+        let mut all: Vec<(f64, PointId)> = ds.iter().map(|(id, p)| (euclidean(q, p), id)).collect();
         all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         all.into_iter().take(k).map(|(_, id)| id).collect()
     }
@@ -379,8 +406,12 @@ mod tests {
         assert!((0.0..=1.0).contains(&stats.prune_ratio()));
         assert_eq!(
             stats.candidates,
-            stats.pruned + stats.true_results + stats.c_refine
-                + (stats.cache_hits - stats.pruned - stats.true_results
+            stats.pruned
+                + stats.true_results
+                + stats.c_refine
+                + (stats.cache_hits
+                    - stats.pruned
+                    - stats.true_results
                     - (stats.cache_hits - stats.pruned - stats.true_results)),
             "partition identity (misses are inside c_refine)"
         );
@@ -422,5 +453,90 @@ mod tests {
         assert_eq!(agg.queries, 2);
         assert!((agg.avg_candidates - 20.0).abs() < 1e-9);
         assert!(agg.avg_io_pages > 0.0);
+    }
+
+    #[test]
+    fn from_queries_on_empty_slice_is_all_zero() {
+        let agg = AggregateStats::from_queries(&[]);
+        assert_eq!(agg.queries, 0);
+        assert_eq!(agg.avg_candidates, 0.0);
+        assert_eq!(agg.avg_hit_ratio, 0.0);
+        assert_eq!(agg.avg_prune_ratio, 0.0);
+        assert_eq!(agg.avg_response_secs, 0.0);
+    }
+
+    #[test]
+    fn from_queries_single_query_copies_its_values() {
+        let s = QueryStats {
+            candidates: 100,
+            cache_hits: 50,
+            pruned: 20,
+            true_results: 5,
+            c_refine: 40,
+            io_pages: 12,
+            fetched: 30,
+            gen_cpu: Duration::from_millis(1),
+            reduce_cpu: Duration::from_millis(2),
+            refine_cpu: Duration::from_millis(3),
+            modeled_refine_secs: 0.06,
+        };
+        let agg = AggregateStats::from_queries(std::slice::from_ref(&s));
+        assert_eq!(agg.queries, 1);
+        assert!((agg.avg_candidates - 100.0).abs() < 1e-12);
+        assert!((agg.avg_io_pages - 12.0).abs() < 1e-12);
+        assert!((agg.avg_hit_ratio - 0.5).abs() < 1e-12);
+        assert!((agg.avg_prune_ratio - 0.5).abs() < 1e-12);
+        assert!((agg.avg_hit_times_prune - 0.25).abs() < 1e-12);
+        assert!((agg.avg_refine_secs - 0.063).abs() < 1e-12);
+        assert!((agg.avg_response_secs - s.modeled_response_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_queries_means_and_ratios() {
+        let mk = |candidates, cache_hits, pruned, io_pages| QueryStats {
+            candidates,
+            cache_hits,
+            pruned,
+            io_pages,
+            ..Default::default()
+        };
+        // Ratios are averaged per query, not pooled: (1.0 + 0.5)/2, not 30/40.
+        let stats = [mk(20, 20, 10, 4), mk(20, 10, 5, 8)];
+        let agg = AggregateStats::from_queries(&stats);
+        assert_eq!(agg.queries, 2);
+        assert!((agg.avg_candidates - 20.0).abs() < 1e-12);
+        assert!((agg.avg_io_pages - 6.0).abs() < 1e-12);
+        assert!((agg.avg_hit_ratio - 0.75).abs() < 1e-12);
+        assert!((agg.avg_prune_ratio - 0.5).abs() < 1e-12);
+        assert!((agg.avg_hit_times_prune - (1.0 * 0.5 + 0.5 * 0.5) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_aggregates_match_registry_series() {
+        use hc_obs::MetricsRegistry;
+        let (ds, file) = world(50);
+        let index = ScanIndex { n: 50 };
+        let ranking: Vec<PointId> = (0u32..50).map(PointId).collect();
+        let cache = CompactPointCache::hff(&ds, &ranking, 1 << 20, scheme(&ds));
+        let registry = MetricsRegistry::new();
+        let mut engine = KnnEngine::new(&index, &file, Box::new(cache));
+        engine.bind_obs(&registry);
+        let queries = vec![vec![7.7f32, 1.0], vec![33.3, 9.0], vec![0.0, 0.0]];
+        let agg = engine.run_batch(&queries, 5);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("query.count"), Some(3));
+        // Histogram sums are exact, so the registry-side means reproduce the
+        // aggregate (ppm truncation costs < 1e-6 per query).
+        let rho = snap.histogram("query.rho_hit_ppm").expect("rho series");
+        assert!((rho.mean() / 1e6 - agg.avg_hit_ratio).abs() < 1e-5);
+        let io = snap.histogram("query.io_pages").expect("io series");
+        assert!((io.mean() - agg.avg_io_pages).abs() < 1e-9);
+        let cand = snap
+            .histogram("query.candidates")
+            .expect("candidates series");
+        assert!((cand.mean() - agg.avg_candidates).abs() < 1e-9);
+        assert_eq!(snap.traces.len(), 3);
+        // Storage counters flowed through the same registry.
+        assert!(snap.counter("storage.pages_read").expect("io mirrored") > 0);
     }
 }

@@ -21,10 +21,12 @@ pub mod join;
 pub mod knn;
 pub mod maintenance;
 pub mod multistep;
+pub mod obs;
 pub mod tree_search;
 
 pub use builder::{replay_leaf_accesses, replay_workload, Replay};
 pub use join::{cluster_outer, knn_join, JoinResult};
 pub use knn::{AggregateStats, KnnEngine, QueryStats};
 pub use maintenance::{CacheMaintainer, MaintenanceConfig};
+pub use obs::{DriftMonitor, QueryObs};
 pub use tree_search::{TreeQueryStats, TreeSearchEngine};

@@ -36,7 +36,13 @@ pub struct MaintenanceConfig {
 
 impl MaintenanceConfig {
     pub fn new(window: usize, tau: u32, cache_bytes: usize, k: usize) -> Self {
-        Self { window, tau, cache_bytes, k, kind: HistogramKind::KnnOptimal }
+        Self {
+            window,
+            tau,
+            cache_bytes,
+            k,
+            kind: HistogramKind::KnnOptimal,
+        }
     }
 }
 
@@ -49,7 +55,10 @@ pub struct CacheMaintainer {
 impl CacheMaintainer {
     pub fn new(config: MaintenanceConfig) -> Self {
         assert!(config.window >= 1);
-        Self { config, recent: VecDeque::new() }
+        Self {
+            config,
+            recent: VecDeque::new(),
+        }
     }
 
     /// Record an observed query (the production query stream).
@@ -85,7 +94,10 @@ impl CacheMaintainer {
         } else {
             quantizer.frequency_array(dataset.as_flat())
         };
-        let hist = self.config.kind.build(&freq, 1u32 << self.config.tau.min(20));
+        let hist = self
+            .config
+            .kind
+            .build(&freq, 1u32 << self.config.tau.min(20));
         let scheme: Arc<dyn ApproxScheme> =
             Arc::new(GlobalScheme::new(hist, quantizer.clone(), dataset.dim()));
         let cache = CompactPointCache::hff(
@@ -161,9 +173,7 @@ mod tests {
         }
         let (_, mut cache1) = m.rebuild(&idx, &ds, &quant).expect("non-empty window");
         assert!(cache1.contains(PointId(10)));
-        let hits_era1 = (5u32..16)
-            .filter(|&i| cache1.contains(PointId(i)))
-            .count();
+        let hits_era1 = (5u32..16).filter(|&i| cache1.contains(PointId(i))).count();
         assert!(hits_era1 >= 5, "era-1 cache should cover the hot region");
 
         // Era 2: queries drift to 80 → rebuilt cache must follow.

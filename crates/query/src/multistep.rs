@@ -53,7 +53,9 @@ pub fn multistep_refine(
         push_bounded(&mut best, k, id, d);
     }
     pending.sort_by(|a, b| {
-        a.lb.partial_cmp(&b.lb).expect("finite lower bounds").then(a.id.cmp(&b.id))
+        a.lb.partial_cmp(&b.lb)
+            .expect("finite lower bounds")
+            .then(a.id.cmp(&b.id))
     });
 
     let mut fetched = 0usize;
@@ -71,8 +73,7 @@ pub fn multistep_refine(
         push_bounded(&mut best, k, cand.id, d);
     }
 
-    let mut results: Vec<(PointId, f64)> =
-        best.into_iter().map(|e| (e.item, e.dist)).collect();
+    let mut results: Vec<(PointId, f64)> = best.into_iter().map(|e| (e.item, e.dist)).collect();
     results.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
     RefineOutcome { results, fetched }
 }
@@ -108,7 +109,10 @@ mod tests {
         let f = file();
         let mut buf = f.begin_query();
         let pending: Vec<Pending> = (0..10u32)
-            .map(|i| Pending { id: PointId(i), lb: 0.0 })
+            .map(|i| Pending {
+                id: PointId(i),
+                lb: 0.0,
+            })
             .collect();
         let out = multistep_refine(&f, &mut buf, &[34.0], 2, &[], pending, &mut NoCache);
         let ids: Vec<u32> = out.results.iter().map(|(id, _)| id.0).collect();
@@ -122,7 +126,10 @@ mod tests {
         // Exact lower bounds: only the true nearest needs fetching once k=1
         // and the second-best lb exceeds the first's exact distance.
         let pending: Vec<Pending> = (0..10u32)
-            .map(|i| Pending { id: PointId(i), lb: ((i as f64) * 10.0 - 34.0).abs() })
+            .map(|i| Pending {
+                id: PointId(i),
+                lb: ((i as f64) * 10.0 - 34.0).abs(),
+            })
             .collect();
         let out = multistep_refine(&f, &mut buf, &[34.0], 1, &[], pending, &mut NoCache);
         assert_eq!(out.results[0].0, PointId(3));
@@ -134,7 +141,10 @@ mod tests {
         let f = file();
         let mut buf = f.begin_query();
         let pending: Vec<Pending> = (0..10u32)
-            .map(|i| Pending { id: PointId(i), lb: 0.0 })
+            .map(|i| Pending {
+                id: PointId(i),
+                lb: 0.0,
+            })
             .collect();
         let out = multistep_refine(&f, &mut buf, &[34.0], 1, &[], pending, &mut NoCache);
         assert_eq!(out.fetched, 10, "no bounds → no early stopping");
@@ -148,7 +158,10 @@ mod tests {
         let known = [(PointId(3), 4.0)];
         let pending: Vec<Pending> = (0..10u32)
             .filter(|&i| i != 3)
-            .map(|i| Pending { id: PointId(i), lb: ((i as f64) * 10.0 - 34.0).abs() })
+            .map(|i| Pending {
+                id: PointId(i),
+                lb: ((i as f64) * 10.0 - 34.0).abs(),
+            })
             .collect();
         let out = multistep_refine(&f, &mut buf, &[34.0], 1, &known, pending, &mut NoCache);
         assert_eq!(out.results[0].0, PointId(3));
@@ -159,7 +172,16 @@ mod tests {
     fn k_larger_than_candidates_returns_everything() {
         let f = file();
         let mut buf = f.begin_query();
-        let pending = vec![Pending { id: PointId(1), lb: 0.0 }, Pending { id: PointId(2), lb: 0.0 }];
+        let pending = vec![
+            Pending {
+                id: PointId(1),
+                lb: 0.0,
+            },
+            Pending {
+                id: PointId(2),
+                lb: 0.0,
+            },
+        ];
         let out = multistep_refine(&f, &mut buf, &[0.0], 5, &[], pending, &mut NoCache);
         assert_eq!(out.results.len(), 2);
     }
@@ -169,7 +191,10 @@ mod tests {
         let f = file();
         let mut buf = f.begin_query();
         let pending: Vec<Pending> = (0..10u32)
-            .map(|i| Pending { id: PointId(i), lb: 0.0 })
+            .map(|i| Pending {
+                id: PointId(i),
+                lb: 0.0,
+            })
             .collect();
         let out = multistep_refine(&f, &mut buf, &[55.0], 4, &[], pending, &mut NoCache);
         for w in out.results.windows(2) {

@@ -1,0 +1,219 @@
+//! Query-engine observability: per-query metrics, traces, and the
+//! cost-model drift monitor.
+//!
+//! [`QueryObs`] is the engine-side bundle of pre-registered handles — one
+//! registry lookup per handle at bind time, lock-free updates per query.
+//! Every query feeds:
+//!
+//! * `query.count` — queries executed,
+//! * `phase.gen_ns` / `phase.reduce_ns` / `phase.refine_ns` — Algorithm 1
+//!   phase CPU histograms,
+//! * `query.candidates` / `query.c_refine` / `query.io_pages` — per-query
+//!   work-size histograms,
+//! * `query.rho_hit_ppm` / `query.rho_prune_ppm` — the paper's ρ_hit and
+//!   ρ_prune per query, scaled to parts-per-million,
+//! * one [`QueryTrace`] record in the registry's bounded trace ring.
+//!
+//! [`DriftMonitor`] closes the §4 loop: experiments store the cost model's
+//! predicted `ρ_hit` / refinement I/O next to the measured values, so a
+//! report shows at a glance when the model has drifted from reality
+//! (the paper's Fig. 12 validation, as a pair of gauges per run).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hc_core::cost_model::TauEstimate;
+use hc_obs::{Counter, Gauge, Histogram, MetricsRegistry, QueryTrace};
+
+use crate::knn::QueryStats;
+
+/// Pre-registered metric handles for the kNN engine.
+#[derive(Debug, Default)]
+pub struct QueryObs {
+    enabled: bool,
+    queries: Counter,
+    gen_ns: Histogram,
+    reduce_ns: Histogram,
+    refine_ns: Histogram,
+    rho_hit_ppm: Histogram,
+    rho_prune_ppm: Histogram,
+    candidates: Histogram,
+    c_refine: Histogram,
+    io_pages: Histogram,
+    registry: MetricsRegistry,
+    seq: AtomicU64,
+}
+
+impl QueryObs {
+    /// A disabled bundle; [`QueryObs::observe`] is a single branch.
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    /// Register the engine's series in `registry`.
+    pub fn bind(registry: &MetricsRegistry) -> Self {
+        Self {
+            enabled: registry.is_enabled(),
+            queries: registry.counter("query.count"),
+            gen_ns: registry.histogram("phase.gen_ns"),
+            reduce_ns: registry.histogram("phase.reduce_ns"),
+            refine_ns: registry.histogram("phase.refine_ns"),
+            rho_hit_ppm: registry.histogram("query.rho_hit_ppm"),
+            rho_prune_ppm: registry.histogram("query.rho_prune_ppm"),
+            candidates: registry.histogram("query.candidates"),
+            c_refine: registry.histogram("query.c_refine"),
+            io_pages: registry.histogram("query.io_pages"),
+            registry: registry.clone(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one finished query: histograms plus a trace-ring entry.
+    pub fn observe(&self, stats: &QueryStats) {
+        if !self.enabled {
+            return;
+        }
+        self.queries.inc();
+        let gen_ns = stats.gen_cpu.as_nanos().min(u64::MAX as u128) as u64;
+        let reduce_ns = stats.reduce_cpu.as_nanos().min(u64::MAX as u128) as u64;
+        let refine_ns = stats.refine_cpu.as_nanos().min(u64::MAX as u128) as u64;
+        self.gen_ns.record(gen_ns);
+        self.reduce_ns.record(reduce_ns);
+        self.refine_ns.record(refine_ns);
+        self.rho_hit_ppm.record_ratio(stats.hit_ratio());
+        self.rho_prune_ppm.record_ratio(stats.prune_ratio());
+        self.candidates.record(stats.candidates as u64);
+        self.c_refine.record(stats.c_refine as u64);
+        self.io_pages.record(stats.io_pages);
+        self.registry.trace(QueryTrace {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            candidates: stats.candidates.min(u32::MAX as usize) as u32,
+            cache_hits: stats.cache_hits.min(u32::MAX as usize) as u32,
+            pruned: stats.pruned.min(u32::MAX as usize) as u32,
+            true_results: stats.true_results.min(u32::MAX as usize) as u32,
+            c_refine: stats.c_refine.min(u32::MAX as usize) as u32,
+            fetched: stats.fetched.min(u32::MAX as usize) as u32,
+            io_pages: stats.io_pages.min(u32::MAX as u64) as u32,
+            gen_ns,
+            reduce_ns,
+            refine_ns,
+            modeled_refine_secs: stats.modeled_refine_secs,
+        });
+    }
+}
+
+/// Predicted-vs-observed cost-model gauges (`costmodel.*`).
+///
+/// `refine_io` is in the model's unit — expected page fetches per query
+/// (Eqn. 1 with one page per refined candidate for the paper's
+/// high-dimensional datasets); callers pass the measured `avg_io_pages`.
+#[derive(Debug, Clone, Default)]
+pub struct DriftMonitor {
+    predicted_rho_hit: Gauge,
+    observed_rho_hit: Gauge,
+    predicted_refine_io: Gauge,
+    observed_refine_io: Gauge,
+    rho_hit_drift: Gauge,
+    refine_io_drift: Gauge,
+}
+
+impl DriftMonitor {
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    pub fn bind(registry: &MetricsRegistry) -> Self {
+        Self {
+            predicted_rho_hit: registry.gauge("costmodel.predicted_rho_hit"),
+            observed_rho_hit: registry.gauge("costmodel.observed_rho_hit"),
+            predicted_refine_io: registry.gauge("costmodel.predicted_refine_io"),
+            observed_refine_io: registry.gauge("costmodel.observed_refine_io"),
+            rho_hit_drift: registry.gauge("costmodel.rho_hit_drift"),
+            refine_io_drift: registry.gauge("costmodel.refine_io_drift"),
+        }
+    }
+
+    /// Store a prediction next to its measurement. Drift gauges are signed:
+    /// `observed − predicted` for ρ_hit, and the relative error
+    /// `(observed − predicted) / max(predicted, 1)` for refinement I/O.
+    pub fn record(&self, predicted: &TauEstimate, observed_rho_hit: f64, observed_io: f64) {
+        self.predicted_rho_hit.set(predicted.rho_hit);
+        self.observed_rho_hit.set(observed_rho_hit);
+        self.predicted_refine_io.set(predicted.refine_io);
+        self.observed_refine_io.set(observed_io);
+        self.rho_hit_drift.set(observed_rho_hit - predicted.rho_hit);
+        self.refine_io_drift
+            .set((observed_io - predicted.refine_io) / predicted.refine_io.max(1.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn stats() -> QueryStats {
+        QueryStats {
+            candidates: 100,
+            cache_hits: 80,
+            pruned: 40,
+            true_results: 20,
+            c_refine: 30,
+            io_pages: 12,
+            fetched: 15,
+            gen_cpu: Duration::from_micros(3),
+            reduce_cpu: Duration::from_micros(50),
+            refine_cpu: Duration::from_micros(7),
+            modeled_refine_secs: 0.06,
+        }
+    }
+
+    #[test]
+    fn observe_feeds_histograms_and_traces() {
+        let registry = MetricsRegistry::new();
+        let obs = QueryObs::bind(&registry);
+        obs.observe(&stats());
+        obs.observe(&stats());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("query.count"), Some(2));
+        let rho = snap.histogram("query.rho_hit_ppm").expect("rho_hit series");
+        assert_eq!(rho.count, 2);
+        assert_eq!(rho.max, 800_000);
+        assert_eq!(snap.histogram("query.io_pages").expect("io series").sum, 24);
+        assert!(snap.histogram("phase.reduce_ns").expect("phase series").sum >= 2 * 50_000);
+        assert_eq!(snap.traces.len(), 2);
+        assert_eq!(snap.traces[1].seq, 1);
+        assert!((snap.traces[0].rho_hit() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noop_obs_records_nothing() {
+        let obs = QueryObs::noop();
+        assert!(!obs.is_enabled());
+        obs.observe(&stats()); // must not panic, must not allocate series
+        let bound = QueryObs::bind(&MetricsRegistry::noop());
+        assert!(!bound.is_enabled());
+        bound.observe(&stats());
+    }
+
+    #[test]
+    fn drift_monitor_stores_signed_errors() {
+        let registry = MetricsRegistry::new();
+        let drift = DriftMonitor::bind(&registry);
+        let predicted = TauEstimate {
+            tau: 8,
+            rho_hit: 0.9,
+            rho_refine: 0.2,
+            refine_io: 40.0,
+        };
+        drift.record(&predicted, 0.85, 50.0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("costmodel.predicted_rho_hit"), Some(0.9));
+        assert_eq!(snap.gauge("costmodel.observed_rho_hit"), Some(0.85));
+        assert!((snap.gauge("costmodel.rho_hit_drift").expect("set") + 0.05).abs() < 1e-12);
+        assert!((snap.gauge("costmodel.refine_io_drift").expect("set") - 0.25).abs() < 1e-12);
+    }
+}

@@ -72,7 +72,12 @@ impl<'a> TreeSearchEngine<'a> {
         dataset: &'a Dataset,
         node_cache: &'a dyn NodeCache,
     ) -> Self {
-        Self { index, dataset, node_cache, io_model: IoModel::HDD }
+        Self {
+            index,
+            dataset,
+            node_cache,
+            io_model: IoModel::HDD,
+        }
     }
 
     /// Exact kNN with node caching. Returns `(id, distance)` ascending.
@@ -96,7 +101,11 @@ impl<'a> TreeSearchEngine<'a> {
         let mut fetched: HashSet<u32> = HashSet::new();
 
         let kth = |h: &std::collections::BinaryHeap<DistEntry<()>>| -> f64 {
-            if h.len() < k { f64::INFINITY } else { h.peek().expect("k >= 1").dist }
+            if h.len() < k {
+                f64::INFINITY
+            } else {
+                h.peek().expect("k >= 1").dist
+            }
         };
 
         for &(leaf, lb) in &leaf_bounds {
@@ -129,10 +138,8 @@ impl<'a> TreeSearchEngine<'a> {
                         stats.leaf_fetches += 1;
                         stats.fetched_leaves.push(leaf);
                         let pts = self.index.leaf_points(leaf);
-                        self.node_cache.admit(
-                            leaf,
-                            &mut pts.iter().map(|p| self.dataset.point(*p)),
-                        );
+                        self.node_cache
+                            .admit(leaf, &mut pts.iter().map(|p| self.dataset.point(*p)));
                     }
                     for p in self.index.leaf_points(leaf) {
                         let d = euclidean(q, self.dataset.point(*p));
@@ -169,8 +176,7 @@ impl<'a> TreeSearchEngine<'a> {
             push_bounded(&mut best, k, id, d);
         }
 
-        let mut results: Vec<(PointId, f64)> =
-            best.into_iter().map(|e| (e.item, e.dist)).collect();
+        let mut results: Vec<(PointId, f64)> = best.into_iter().map(|e| (e.item, e.dist)).collect();
         results.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
         stats.cpu = t0.elapsed();
         stats.modeled_io_secs = self.io_model.modeled_secs(stats.leaf_fetches);
@@ -308,11 +314,7 @@ mod tests {
         let s = scheme(&ds);
         let mut cache = CompactNodeCache::new(s, usize::MAX / 2);
         for leaf in 0..idx.num_leaves() {
-            let pts: Vec<&[f32]> = idx
-                .leaf_points(leaf)
-                .iter()
-                .map(|p| ds.point(*p))
-                .collect();
+            let pts: Vec<&[f32]> = idx.leaf_points(leaf).iter().map(|p| ds.point(*p)).collect();
             assert!(cache.try_fill(leaf, pts.into_iter()));
         }
         let cached_engine = TreeSearchEngine::new(&idx, &ds, &cache);

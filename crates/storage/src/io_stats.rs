@@ -7,9 +7,26 @@
 //! [`IoModel::modeled_time`] converts page counts into seconds with a
 //! configurable per-page latency (default HDD-class 5 ms, calibrated in
 //! DESIGN.md §4).
+//!
+//! [`IoStats`] doubles as a facade over the `hc-obs` metrics registry: once
+//! [`IoStats::bind`] attaches a [`MetricsRegistry`], every increment also
+//! feeds the `storage.pages_read` / `storage.points_fetched` /
+//! `storage.pages_deduped` counters, so experiment reports see disk activity
+//! without the engine threading a registry through every fetch call.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
+
+use hc_obs::{Counter, MetricsRegistry};
+
+/// Registry-side counters mirrored by [`IoStats`].
+#[derive(Debug)]
+struct IoMirror {
+    pages_read: Counter,
+    points_fetched: Counter,
+    pages_deduped: Counter,
+}
 
 /// Monotone counters of simulated disk activity. Cloneable snapshots allow
 /// per-phase deltas.
@@ -17,6 +34,8 @@ use std::time::Duration;
 pub struct IoStats {
     pages_read: AtomicU64,
     points_fetched: AtomicU64,
+    pages_deduped: AtomicU64,
+    mirror: OnceLock<IoMirror>,
 }
 
 impl IoStats {
@@ -24,16 +43,51 @@ impl IoStats {
         Self::default()
     }
 
+    /// Mirror every future increment into `registry` under the
+    /// `storage.pages_read` / `storage.points_fetched` /
+    /// `storage.pages_deduped` counters. Binding is once-only: later calls
+    /// (or binding a noop registry first) leave the existing mirror in place.
+    /// The local counters stay authoritative for [`IoStats::snapshot`];
+    /// [`IoStats::reset`] does not touch the registry series, which are
+    /// cleared by `MetricsRegistry::reset` between experiment runs.
+    pub fn bind(&self, registry: &MetricsRegistry) {
+        if !registry.is_enabled() {
+            return;
+        }
+        let _ = self.mirror.set(IoMirror {
+            pages_read: registry.counter("storage.pages_read"),
+            points_fetched: registry.counter("storage.points_fetched"),
+            pages_deduped: registry.counter("storage.pages_deduped"),
+        });
+    }
+
     /// Record one page fetch.
     #[inline]
     pub fn record_page(&self) {
         self.pages_read.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.mirror.get() {
+            m.pages_read.inc();
+        }
     }
 
     /// Record one point resolved from a fetched (or buffered) page.
     #[inline]
     pub fn record_point(&self) {
         self.points_fetched.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.mirror.get() {
+            m.points_fetched.inc();
+        }
+    }
+
+    /// Record a page access satisfied by the within-query buffer — an I/O
+    /// the dedup saved. `pages_read + pages_deduped` is the number of page
+    /// accesses a bufferless reader would have paid.
+    #[inline]
+    pub fn record_page_deduped(&self) {
+        self.pages_deduped.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.mirror.get() {
+            m.pages_deduped.inc();
+        }
     }
 
     /// Total pages read so far.
@@ -42,11 +96,19 @@ impl IoStats {
         self.pages_read.load(Ordering::Relaxed)
     }
 
-    /// Total point fetch requests so far (≥ pages when multiple points share
-    /// a page and dedup is on; ≤ pages otherwise never happens).
+    /// Total point fetch requests so far. Always ≥ `pages_read()`: every
+    /// page read is triggered by some point fetch, and when co-located
+    /// points share a page the within-query buffer satisfies the later
+    /// fetches without new I/O.
     #[inline]
     pub fn points_fetched(&self) -> u64 {
         self.points_fetched.load(Ordering::Relaxed)
+    }
+
+    /// Total page accesses absorbed by within-query dedup.
+    #[inline]
+    pub fn pages_deduped(&self) -> u64 {
+        self.pages_deduped.load(Ordering::Relaxed)
     }
 
     /// An immutable snapshot for delta computation.
@@ -54,6 +116,7 @@ impl IoStats {
         IoSnapshot {
             pages_read: self.pages_read(),
             points_fetched: self.points_fetched(),
+            pages_deduped: self.pages_deduped(),
         }
     }
 
@@ -61,6 +124,7 @@ impl IoStats {
     pub fn reset(&self) {
         self.pages_read.store(0, Ordering::Relaxed);
         self.points_fetched.store(0, Ordering::Relaxed);
+        self.pages_deduped.store(0, Ordering::Relaxed);
     }
 }
 
@@ -69,6 +133,7 @@ impl IoStats {
 pub struct IoSnapshot {
     pub pages_read: u64,
     pub points_fetched: u64,
+    pub pages_deduped: u64,
 }
 
 impl IoSnapshot {
@@ -77,6 +142,7 @@ impl IoSnapshot {
         IoSnapshot {
             pages_read: self.pages_read - earlier.pages_read,
             points_fetched: self.points_fetched - earlier.points_fetched,
+            pages_deduped: self.pages_deduped - earlier.pages_deduped,
         }
     }
 }
@@ -92,14 +158,19 @@ impl IoModel {
     /// HDD-class default: 5 ms per random 4 KB page. With ~100 candidate
     /// I/Os per query this reproduces the paper's ≈0.5 s EXACT-cache
     /// refinement times on SOGOU.
-    pub const HDD: IoModel = IoModel { t_io: Duration::from_millis(5) };
+    pub const HDD: IoModel = IoModel {
+        t_io: Duration::from_millis(5),
+    };
 
     /// SSD-class alternative for sensitivity runs: 100 µs per page.
-    pub const SSD: IoModel = IoModel { t_io: Duration::from_micros(100) };
+    pub const SSD: IoModel = IoModel {
+        t_io: Duration::from_micros(100),
+    };
 
-    /// Modeled time for a number of page reads.
+    /// Modeled time for a number of page reads. Computed in `f64` so page
+    /// counts above `u32::MAX` scale linearly instead of saturating.
     pub fn modeled_time(&self, pages: u64) -> Duration {
-        self.t_io.saturating_mul(u32::try_from(pages).unwrap_or(u32::MAX))
+        Duration::from_secs_f64(self.modeled_secs(pages))
     }
 
     /// Modeled seconds as `f64` (convenient for table output).
@@ -124,8 +195,10 @@ mod tests {
         s.record_page();
         s.record_page();
         s.record_point();
+        s.record_page_deduped();
         assert_eq!(s.pages_read(), 2);
         assert_eq!(s.points_fetched(), 1);
+        assert_eq!(s.pages_deduped(), 1);
     }
 
     #[test]
@@ -135,17 +208,59 @@ mod tests {
         let a = s.snapshot();
         s.record_page();
         s.record_point();
+        s.record_page_deduped();
         let d = s.snapshot().delta_since(a);
         assert_eq!(d.pages_read, 1);
         assert_eq!(d.points_fetched, 1);
+        assert_eq!(d.pages_deduped, 1);
     }
 
     #[test]
-    fn reset_zeroes_counters() {
+    fn reset_zeroes_every_counter() {
+        // Regression guard: reset must clear points_fetched (and the dedup
+        // counter), not just pages_read — a stale count here would corrupt
+        // every later per-query delta.
         let s = IoStats::new();
         s.record_page();
+        s.record_point();
+        s.record_point();
+        s.record_page_deduped();
         s.reset();
         assert_eq!(s.pages_read(), 0);
+        assert_eq!(s.points_fetched(), 0, "reset left points_fetched stale");
+        assert_eq!(s.pages_deduped(), 0, "reset left pages_deduped stale");
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn bound_registry_mirrors_increments() {
+        let registry = MetricsRegistry::new();
+        let s = IoStats::new();
+        s.bind(&registry);
+        s.record_page();
+        s.record_point();
+        s.record_point();
+        s.record_page_deduped();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("storage.pages_read"), Some(1));
+        assert_eq!(snap.counter("storage.points_fetched"), Some(2));
+        assert_eq!(snap.counter("storage.pages_deduped"), Some(1));
+        // Local counters stay authoritative and independent of the registry.
+        registry.reset();
+        assert_eq!(s.pages_read(), 1);
+    }
+
+    #[test]
+    fn unbound_stats_touch_no_registry() {
+        let s = IoStats::new();
+        s.record_page();
+        assert_eq!(s.pages_read(), 1);
+        // Binding after the fact only mirrors future increments.
+        let registry = MetricsRegistry::new();
+        s.bind(&registry);
+        s.record_page();
+        assert_eq!(registry.snapshot().counter("storage.pages_read"), Some(1));
+        assert_eq!(s.pages_read(), 2);
     }
 
     #[test]
@@ -155,5 +270,19 @@ mod tests {
         assert_eq!(m.modeled_time(100), Duration::from_millis(500));
         assert!((m.modeled_secs(96) - 0.48).abs() < 1e-12);
         assert!(IoModel::SSD.modeled_secs(100) < m.modeled_secs(100));
+    }
+
+    #[test]
+    fn latency_model_handles_huge_page_counts() {
+        // Regression guard: the old implementation clamped the page count to
+        // u32::MAX, silently capping modeled time for >16 TiB of 4 KB reads.
+        let m = IoModel::HDD;
+        let pages = (u32::MAX as u64) * 8;
+        let secs = m.modeled_time(pages).as_secs_f64();
+        assert!((secs - m.modeled_secs(pages)).abs() < 1e-3);
+        assert!(
+            secs > m.modeled_time(u32::MAX as u64).as_secs_f64() * 7.9,
+            "modeled_time must keep scaling past u32::MAX pages"
+        );
     }
 }

@@ -111,7 +111,9 @@ impl PointFile {
 
     /// Begin a query: a fresh page buffer for within-query dedup.
     pub fn begin_query(&self) -> PageBuffer {
-        PageBuffer { pages: HashSet::new() }
+        PageBuffer {
+            pages: HashSet::new(),
+        }
     }
 
     /// Fetch a point from disk, counting page I/O unless the page is already
@@ -120,6 +122,8 @@ impl PointFile {
         let page = self.page_of(id);
         if buffer.pages.insert(page) {
             self.stats.record_page();
+        } else {
+            self.stats.record_page_deduped();
         }
         self.stats.record_point();
         self.dataset.point(id)
@@ -132,6 +136,8 @@ impl PointFile {
         assert!(page < self.num_pages(), "page {page} out of range");
         if buffer.pages.insert(page) {
             self.stats.record_page();
+        } else {
+            self.stats.record_page_deduped();
         }
         let start = page as usize * self.points_per_page;
         let end = (start + self.points_per_page).min(self.dataset.len());
@@ -201,6 +207,11 @@ mod tests {
         f.fetch(PointId(6), &mut buf); // second page
         assert_eq!(f.stats().pages_read(), 2);
         assert_eq!(f.stats().points_fetched(), 3);
+        assert_eq!(
+            f.stats().pages_deduped(),
+            1,
+            "buffered re-access is a dedup saving"
+        );
         assert_eq!(buf.pages_touched(), 2);
     }
 

@@ -105,7 +105,11 @@ impl Preset {
 
     /// All three presets, in the paper's order.
     pub fn all(scale: Scale) -> Vec<Preset> {
-        vec![Self::nus_wide(scale), Self::imgnet(scale), Self::sogou(scale)]
+        vec![
+            Self::nus_wide(scale),
+            Self::imgnet(scale),
+            Self::sogou(scale),
+        ]
     }
 
     /// Generate the raw dataset (before query-pool removal).

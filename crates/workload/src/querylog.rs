@@ -100,9 +100,9 @@ impl QueryLog {
 
         // Draw the log over the pool.
         let draw: Box<dyn FnMut(&mut StdRng) -> usize> = match config.popularity {
-            Popularity::Uniform => Box::new(move |rng: &mut StdRng| {
-                rng.gen_range(0..config.pool_size)
-            }),
+            Popularity::Uniform => {
+                Box::new(move |rng: &mut StdRng| rng.gen_range(0..config.pool_size))
+            }
             Popularity::Zipf(s) => {
                 let z = Zipf::new(config.pool_size, s);
                 Box::new(move |rng: &mut StdRng| z.sample(rng))
@@ -116,7 +116,12 @@ impl QueryLog {
             .map(|_| pool[draw(&mut rng)].clone())
             .collect();
 
-        Self { dataset: remaining, pool, workload, test }
+        Self {
+            dataset: remaining,
+            pool,
+            workload,
+            test,
+        }
     }
 }
 
@@ -134,7 +139,12 @@ mod tests {
         let ds = base();
         let log = QueryLog::generate(
             &ds,
-            &QueryLogConfig { pool_size: 50, workload_len: 100, test_len: 10, ..Default::default() },
+            &QueryLogConfig {
+                pool_size: 50,
+                workload_len: 100,
+                test_len: 10,
+                ..Default::default()
+            },
         );
         assert_eq!(log.dataset.len(), 450);
         assert_eq!(log.pool.len(), 50);
@@ -151,7 +161,12 @@ mod tests {
     fn log_lengths_match_config() {
         let log = QueryLog::generate(
             &base(),
-            &QueryLogConfig { pool_size: 20, workload_len: 77, test_len: 5, ..Default::default() },
+            &QueryLogConfig {
+                pool_size: 20,
+                workload_len: 77,
+                test_len: 5,
+                ..Default::default()
+            },
         );
         assert_eq!(log.workload.len(), 77);
         assert_eq!(log.test.len(), 5);
@@ -230,7 +245,10 @@ mod tests {
         let ds = gaussian_mixture(10, 2, 1, 1.0, 0.1, 1);
         let _ = QueryLog::generate(
             &ds,
-            &QueryLogConfig { pool_size: 10, ..Default::default() },
+            &QueryLogConfig {
+                pool_size: 10,
+                ..Default::default()
+            },
         );
     }
 }

@@ -175,7 +175,12 @@ mod tests {
         let corr = |a: &[f64], b: &[f64]| -> f64 {
             let n = a.len() as f64;
             let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
-            let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+            let cov: f64 = a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - ma) * (y - mb))
+                .sum::<f64>()
+                / n;
             let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n;
             let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n;
             cov / (va.sqrt() * vb.sqrt())

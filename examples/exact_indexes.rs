@@ -24,7 +24,12 @@ fn main() {
     let raw = gaussian_mixture(5_000, 32, 25, 10.0, 0.4, 7);
     let log = QueryLog::generate(
         &raw,
-        &QueryLogConfig { pool_size: 150, workload_len: 600, test_len: 40, ..Default::default() },
+        &QueryLogConfig {
+            pool_size: 150,
+            workload_len: 600,
+            test_len: 40,
+            ..Default::default()
+        },
     );
     let ds = log.dataset.clone();
     let leaf_cap = 4096 / (ds.dim() * 4); // points per 4 KB disk node
@@ -71,7 +76,10 @@ fn main() {
             compact.try_fill(leaf, pts);
         }
 
-        println!("{:<18} {:>12} {:>14}", "node cache", "leaf I/Os", "refine (s)");
+        println!(
+            "{:<18} {:>12} {:>14}",
+            "node cache", "leaf I/Os", "refine (s)"
+        );
         run(index, &ds, &NoNodeCache, "NO-CACHE", &log.test, k);
         run(index, &ds, &exact, "EXACT", &log.test, k);
         run(index, &ds, &compact, "HC-O compact", &log.test, k);

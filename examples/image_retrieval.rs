@@ -37,13 +37,18 @@ fn main() {
     let file = PointFile::new(dataset.clone());
     let replay = replay_workload(&index, &dataset, &log.workload, k);
     let quantizer = Quantizer::for_range(dataset.value_range());
-    let cache_bytes = preset.default_cache_bytes().min(dataset.file_bytes() * 3 / 10);
+    let cache_bytes = preset
+        .default_cache_bytes()
+        .min(dataset.file_bytes() * 3 / 10);
 
     // Data frequencies F (for HC-W/D/V) and workload frequencies F' (HC-O).
     let f_data = quantizer.frequency_array(dataset.as_flat());
     let f_prime = replay.f_prime(&dataset, &quantizer);
 
-    println!("\n{:<10} {:>12} {:>12} {:>14}", "method", "C_refine", "I/O pages", "T_refine (s)");
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>14}",
+        "method", "C_refine", "I/O pages", "T_refine (s)"
+    );
     let exact: Box<dyn PointCache> =
         Box::new(ExactPointCache::hff(&dataset, &replay.ranking, cache_bytes));
     report("EXACT", exact, &index, &file, &log.test, k);
@@ -54,12 +59,20 @@ fn main() {
         HistogramKind::VOptimal,
         HistogramKind::KnnOptimal,
     ] {
-        let freq = if kind.uses_workload_frequencies() { &f_prime } else { &f_data };
+        let freq = if kind.uses_workload_frequencies() {
+            &f_prime
+        } else {
+            &f_data
+        };
         let hist = kind.build(freq, 1 << tau);
         let scheme: Arc<dyn ApproxScheme> =
             Arc::new(GlobalScheme::new(hist, quantizer.clone(), dataset.dim()));
-        let cache: Box<dyn PointCache> =
-            Box::new(CompactPointCache::hff(&dataset, &replay.ranking, cache_bytes, scheme));
+        let cache: Box<dyn PointCache> = Box::new(CompactPointCache::hff(
+            &dataset,
+            &replay.ranking,
+            cache_bytes,
+            scheme,
+        ));
         report(kind.label(), cache, &index, &file, &log.test, k);
     }
     println!("\nExpected ordering (paper Table 4): EXACT ≫ HC-W ≥ HC-D ≥ HC-O.");

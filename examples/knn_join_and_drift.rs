@@ -60,8 +60,10 @@ fn main() {
     let era = |cluster: u32| -> Vec<Vec<f32>> {
         (0..150)
             .map(|i| {
-                ds.point(exploit_every_bit::core::dataset::PointId(cluster + 16 * (i % 20)))
-                    .to_vec()
+                ds.point(exploit_every_bit::core::dataset::PointId(
+                    cluster + 16 * (i % 20),
+                ))
+                .to_vec()
             })
             .collect()
     };
@@ -69,12 +71,13 @@ fn main() {
     let era2 = era(7);
 
     let cache_bytes = ds.file_bytes() / 8;
-    let mut maintainer =
-        CacheMaintainer::new(MaintenanceConfig::new(150, 8, cache_bytes, k));
+    let mut maintainer = CacheMaintainer::new(MaintenanceConfig::new(150, 8, cache_bytes, k));
     for q in &era1 {
         maintainer.observe(q);
     }
-    let (_, cache_v1) = maintainer.rebuild(&index, &ds, &quant).expect("window non-empty");
+    let (_, cache_v1) = maintainer
+        .rebuild(&index, &ds, &quant)
+        .expect("window non-empty");
 
     // Era 2 arrives; measure the stale cache, then rebuild and re-measure.
     let measure = |cache: CompactPointCache, queries: &[Vec<f32>]| -> f64 {
@@ -85,9 +88,14 @@ fn main() {
     for q in &era2 {
         maintainer.observe(q);
     }
-    let (_, cache_v2) = maintainer.rebuild(&index, &ds, &quant).expect("window non-empty");
+    let (_, cache_v2) = maintainer
+        .rebuild(&index, &ds, &quant)
+        .expect("window non-empty");
     let fresh_io = measure(cache_v2, &era2);
     println!("stale cache on drifted workload: {stale_io:.1} I/O pages per query");
     println!("after periodic rebuild:          {fresh_io:.1} I/O pages per query");
-    println!("rebuild recovered {:.0}% of the I/O", 100.0 * (1.0 - fresh_io / stale_io.max(1e-9)));
+    println!(
+        "rebuild recovered {:.0}% of the I/O",
+        100.0 * (1.0 - fresh_io / stale_io.max(1e-9))
+    );
 }

@@ -1,0 +1,50 @@
+//! End-to-end observability tour: run Algorithm 1 under HC-O with a live
+//! metrics registry, then print the Prometheus exposition text and the
+//! per-query JSON report the experiment binaries write to disk.
+//!
+//! ```bash
+//! cargo run --release --example observability
+//! ```
+
+use std::sync::Arc;
+
+use exploit_every_bit::cache::point::{CompactPointCache, PointCache};
+use exploit_every_bit::core::histogram::HistogramKind;
+use exploit_every_bit::core::scheme::GlobalScheme;
+use exploit_every_bit::index::lsh::{C2lsh, C2lshParams};
+use exploit_every_bit::obs::{export, MetricsRegistry};
+use exploit_every_bit::query::{replay_workload, KnnEngine};
+use exploit_every_bit::storage::PointFile;
+use exploit_every_bit::workload::{Preset, Scale};
+
+fn main() {
+    let log = Preset::nus_wide(Scale::Test).instantiate();
+    let dataset = log.dataset.clone();
+    let index = C2lsh::build(&dataset, C2lshParams::default());
+    let file = PointFile::new(dataset.clone());
+    let replay = replay_workload(&index, &dataset, &log.workload, 10);
+    let quantizer = exploit_every_bit::core::quantize::Quantizer::for_range(dataset.value_range());
+    let f_prime = replay.f_prime(&dataset, &quantizer);
+    let hist = HistogramKind::KnnOptimal.build(&f_prime, 1 << 8);
+    let scheme = Arc::new(GlobalScheme::new(hist, quantizer, dataset.dim()));
+    let cache_bytes = dataset.file_bytes() * 3 / 10;
+    let cache: Box<dyn PointCache> = Box::new(CompactPointCache::hff(
+        &dataset,
+        &replay.ranking,
+        cache_bytes,
+        scheme,
+    ));
+
+    // One registry for every layer: engine phases + ρ ratios, cache
+    // hits/misses/evictions, storage page counters, and the trace ring.
+    let registry = MetricsRegistry::new();
+    let mut engine = KnnEngine::new(&index, &file, cache);
+    engine.bind_obs(&registry);
+    engine.run_batch(&log.test, 10);
+
+    let snap = registry.snapshot();
+    println!("——— Prometheus exposition ———");
+    print!("{}", export::to_prometheus(&snap));
+    println!("——— JSON report (what hc-bench writes to target/metrics/) ———");
+    print!("{}", export::to_json(&snap, 3));
+}

@@ -26,7 +26,12 @@ fn main() {
     let raw = gaussian_mixture(4_000, 64, 20, 10.0, 0.4, 42);
     let log = QueryLog::generate(
         &raw,
-        &QueryLogConfig { pool_size: 200, workload_len: 1_000, test_len: 50, ..Default::default() },
+        &QueryLogConfig {
+            pool_size: 200,
+            workload_len: 1_000,
+            test_len: 50,
+            ..Default::default()
+        },
     );
     let dataset = log.dataset.clone();
     println!(
@@ -52,19 +57,26 @@ fn main() {
     let tau = 8u32;
     let f_prime = replay.f_prime(&dataset, &quantizer);
     let hist = HistogramKind::KnnOptimal.build(&f_prime, 1 << tau);
-    let scheme: Arc<dyn ApproxScheme> =
-        Arc::new(GlobalScheme::new(hist, quantizer, dataset.dim()));
+    let scheme: Arc<dyn ApproxScheme> = Arc::new(GlobalScheme::new(hist, quantizer, dataset.dim()));
 
     // 5. Caches at 25 % of the file size.
     let cache_bytes = dataset.file_bytes() / 4;
     let caches: Vec<Box<dyn PointCache>> = vec![
         Box::new(NoCache),
         Box::new(ExactPointCache::hff(&dataset, &replay.ranking, cache_bytes)),
-        Box::new(CompactPointCache::hff(&dataset, &replay.ranking, cache_bytes, scheme)),
+        Box::new(CompactPointCache::hff(
+            &dataset,
+            &replay.ranking,
+            cache_bytes,
+            scheme,
+        )),
     ];
 
     // 6. Measure the 50 held-out test queries under each cache.
-    println!("\n{:<22} {:>10} {:>10} {:>12} {:>14}", "cache", "C_refine", "I/O pages", "hit×prune", "refine (s)");
+    println!(
+        "\n{:<22} {:>10} {:>10} {:>12} {:>14}",
+        "cache", "C_refine", "I/O pages", "hit×prune", "refine (s)"
+    );
     for cache in caches {
         let label = cache.label();
         let mut engine = KnnEngine::new(&index, &file, cache);

@@ -25,7 +25,12 @@ fn main() {
     let raw = gaussian_mixture(4_000, 96, 20, 10.0, 2.0, 99);
     let log = QueryLog::generate(
         &raw,
-        &QueryLogConfig { pool_size: 150, workload_len: 800, test_len: 30, ..Default::default() },
+        &QueryLogConfig {
+            pool_size: 150,
+            workload_len: 800,
+            test_len: 30,
+            ..Default::default()
+        },
     );
     let ds = log.dataset.clone();
     let index = C2lsh::build(&ds, C2lshParams::default());

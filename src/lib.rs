@@ -17,6 +17,8 @@
 //!   multi-step refiner, plus the offline builder that replays a workload to
 //!   derive `F'` and candidate frequencies.
 //! * [`workload`] — synthetic dataset presets and Zipf query logs.
+//! * [`obs`] — the metrics registry, phase spans, per-query trace ring, and
+//!   Prometheus/JSON exporters every layer above reports into.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and
 //! `DESIGN.md` for the full system inventory and experiment index.
@@ -24,6 +26,7 @@
 pub use hc_cache as cache;
 pub use hc_core as core;
 pub use hc_index as index;
+pub use hc_obs as obs;
 pub use hc_query as query;
 pub use hc_storage as storage;
 pub use hc_workload as workload;

@@ -8,9 +8,7 @@
 use std::sync::Arc;
 
 use exploit_every_bit::cache::cva::cva_cache;
-use exploit_every_bit::cache::point::{
-    CompactPointCache, ExactPointCache, NoCache, PointCache,
-};
+use exploit_every_bit::cache::point::{CompactPointCache, ExactPointCache, NoCache, PointCache};
 use exploit_every_bit::core::dataset::{Dataset, PointId};
 use exploit_every_bit::core::distance::euclidean;
 use exploit_every_bit::core::histogram::HistogramKind;
@@ -37,7 +35,12 @@ fn env() -> Env {
     let raw = gaussian_mixture(2_000, 24, 10, 10.0, 0.4, 77);
     let log = QueryLog::generate(
         &raw,
-        &QueryLogConfig { pool_size: 100, workload_len: 400, test_len: 20, ..Default::default() },
+        &QueryLogConfig {
+            pool_size: 100,
+            workload_len: 400,
+            test_len: 20,
+            ..Default::default()
+        },
     );
     let dataset = log.dataset.clone();
     let index = C2lsh::build(&dataset, C2lshParams::default());
@@ -45,7 +48,15 @@ fn env() -> Env {
     let k = 5;
     let replay = replay_workload(&index, &dataset, &log.workload, k);
     let quantizer = Quantizer::for_range(dataset.value_range());
-    Env { dataset, index, file, replay, quantizer, log, k }
+    Env {
+        dataset,
+        index,
+        file,
+        replay,
+        quantizer,
+        log,
+        k,
+    }
 }
 
 fn hc_scheme(env: &Env, kind: HistogramKind, tau: u32) -> Arc<dyn ApproxScheme> {
@@ -55,7 +66,11 @@ fn hc_scheme(env: &Env, kind: HistogramKind, tau: u32) -> Arc<dyn ApproxScheme> 
         env.quantizer.frequency_array(env.dataset.as_flat())
     };
     let hist = kind.build(&freq, 1 << tau);
-    Arc::new(GlobalScheme::new(hist, env.quantizer.clone(), env.dataset.dim()))
+    Arc::new(GlobalScheme::new(
+        hist,
+        env.quantizer.clone(),
+        env.dataset.dim(),
+    ))
 }
 
 /// Results under any cache must equal the NO-CACHE results (as id sets; ties
@@ -68,7 +83,11 @@ fn all_caches_preserve_results() {
         ("nocache".into(), Box::new(NoCache)),
         (
             "exact".into(),
-            Box::new(ExactPointCache::hff(&env.dataset, &env.replay.ranking, budget)),
+            Box::new(ExactPointCache::hff(
+                &env.dataset,
+                &env.replay.ranking,
+                budget,
+            )),
         ),
         (
             "hc-w".into(),
@@ -88,7 +107,10 @@ fn all_caches_preserve_results() {
                 hc_scheme(&env, HistogramKind::KnnOptimal, 8),
             )),
         ),
-        ("c-va".into(), Box::new(cva_cache(&env.dataset, &env.quantizer, budget))),
+        (
+            "c-va".into(),
+            Box::new(cva_cache(&env.dataset, &env.quantizer, budget)),
+        ),
     ];
 
     // Reference distances from the NO-CACHE pipeline.
@@ -99,8 +121,10 @@ fn all_caches_preserve_results() {
             .iter()
             .map(|q| {
                 let (ids, _) = engine.query(q, env.k);
-                let mut d: Vec<f64> =
-                    ids.iter().map(|id| euclidean(q, env.dataset.point(*id))).collect();
+                let mut d: Vec<f64> = ids
+                    .iter()
+                    .map(|id| euclidean(q, env.dataset.point(*id)))
+                    .collect();
                 d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 d
             })
@@ -112,8 +136,10 @@ fn all_caches_preserve_results() {
         for (q, want) in env.log.test.iter().zip(&reference) {
             let (ids, _) = engine.query(q, env.k);
             assert_eq!(ids.len(), want.len(), "{name}: result size");
-            let mut got: Vec<f64> =
-                ids.iter().map(|id| euclidean(q, env.dataset.point(*id))).collect();
+            let mut got: Vec<f64> = ids
+                .iter()
+                .map(|id| euclidean(q, env.dataset.point(*id)))
+                .collect();
             got.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             for (g, w) in got.iter().zip(want) {
                 assert!((g - w).abs() < 1e-9, "{name}: {g} vs {w}");
@@ -183,8 +209,10 @@ fn vafile_pipeline_is_exact() {
     let mut engine = KnnEngine::new(&va, &env.file, Box::new(NoCache));
     for q in env.log.test.iter().take(5) {
         let (ids, _) = engine.query(q, env.k);
-        let mut got: Vec<f64> =
-            ids.iter().map(|id| euclidean(q, env.dataset.point(*id))).collect();
+        let mut got: Vec<f64> = ids
+            .iter()
+            .map(|id| euclidean(q, env.dataset.point(*id)))
+            .collect();
         got.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let mut all: Vec<f64> = env.dataset.iter().map(|(_, p)| euclidean(q, p)).collect();
         all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -231,7 +259,12 @@ fn lru_cache_warms_up() {
     let q = &env.log.test[0];
     let (_, cold) = engine.query(q, env.k);
     let (_, warm) = engine.query(q, env.k);
-    assert!(warm.io_pages < cold.io_pages, "warm {} !< cold {}", warm.io_pages, cold.io_pages);
+    assert!(
+        warm.io_pages < cold.io_pages,
+        "warm {} !< cold {}",
+        warm.io_pages,
+        cold.io_pages
+    );
     assert!(warm.cache_hits > 0);
 }
 
@@ -256,7 +289,10 @@ fn e2lsh_pipeline_parity() {
         let (a, st_a) = cached_engine.query(q, env.k);
         let (b, _) = bare_engine.query(q, env.k);
         let dist = |ids: &[PointId]| -> Vec<f64> {
-            let mut d: Vec<f64> = ids.iter().map(|id| euclidean(q, env.dataset.point(*id))).collect();
+            let mut d: Vec<f64> = ids
+                .iter()
+                .map(|id| euclidean(q, env.dataset.point(*id)))
+                .collect();
             d.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
             d
         };
@@ -280,7 +316,12 @@ fn theorem1_hit_ratio_bound_holds() {
     let tau = 8u32;
     let measure_hits = |cache: Box<dyn PointCache>| -> f64 {
         let mut engine = KnnEngine::new(&env.index, &env.file, cache);
-        let stats: Vec<_> = env.log.test.iter().map(|q| engine.query(q, env.k).1).collect();
+        let stats: Vec<_> = env
+            .log
+            .test
+            .iter()
+            .map(|q| engine.query(q, env.k).1)
+            .collect();
         let hits: usize = stats.iter().map(|s| s.cache_hits).sum();
         let cands: usize = stats.iter().map(|s| s.candidates).sum();
         hits as f64 / cands.max(1) as f64
@@ -301,5 +342,8 @@ fn theorem1_hit_ratio_bound_holds() {
         rho_compact <= bound.min(1.0) + 0.05,
         "Theorem 1 violated: ρ_hit {rho_compact:.3} > ({L_VALUE_BITS}/{tau})·{rho_exact:.3}"
     );
-    assert!(rho_compact > rho_exact, "compact cache should hit more often");
+    assert!(
+        rho_compact > rho_exact,
+        "compact cache should hit more often"
+    );
 }

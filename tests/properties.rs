@@ -21,10 +21,7 @@ use exploit_every_bit::core::histogram::{dp, HistogramKind};
 use exploit_every_bit::core::prelude::*;
 
 fn small_points(d: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
-    prop::collection::vec(
-        prop::collection::vec(-100.0f32..100.0, d..=d),
-        1..=n,
-    )
+    prop::collection::vec(prop::collection::vec(-100.0f32..100.0, d..=d), 1..=n)
 }
 
 proptest! {

@@ -1,0 +1,342 @@
+//! Offline stand-in for the subset of `criterion 0.5` this workspace uses.
+//!
+//! The build environment cannot fetch crates, so this shim provides a small
+//! but honest wall-clock benchmarking harness behind criterion's API:
+//! benchmark groups, `bench_function` / `bench_with_input`, `sample_size`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology: each benchmark is warmed up (~0.5 s), the iteration count
+//! per sample is calibrated so one sample takes ~50 ms, then `sample_size`
+//! samples are timed. The report prints `[min median mean]` per-iteration
+//! times, mimicking criterion's `time: [low mid high]` line so existing
+//! eyeballs and scripts keep working. No statistical regression analysis,
+//! no plots, no saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accept and ignore criterion's CLI configuration (the real crate parses
+    /// `--bench`, filters, etc.; `cargo bench` passes `--bench` through).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        let (sample_size, warm_up, measurement) =
+            (self.sample_size, self.warm_up, self.measurement);
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+            warm_up,
+            measurement,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.sample_size, self.warm_up, self.measurement, &mut f);
+        print_report(name, &report, None);
+        self
+    }
+
+    pub fn final_summary(self) {}
+}
+
+/// Units for throughput reporting (only what the workspace uses).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named benchmark within a group (mirrors `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let report = run_bench(self.sample_size, self.warm_up, self.measurement, &mut f);
+        print_report(&full, &report, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let report = run_bench(self.sample_size, self.warm_up, self.measurement, &mut |b| {
+            f(b, input)
+        });
+        print_report(&full, &report, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+/// Timing callback handle (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    /// Iterations to run when in measurement mode.
+    iters: u64,
+    /// Measured duration of the `iter` call, filled by the closure.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_with_large_drop<O, R>(&mut self, routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.iter(routine);
+    }
+}
+
+struct Report {
+    /// Per-iteration seconds: (min, median, mean).
+    min: f64,
+    median: f64,
+    mean: f64,
+    iters_per_sample: u64,
+    samples: usize,
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(iters: u64, f: &mut F) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut F,
+) -> Report {
+    // Warm-up, doubling the iteration count until the budget is spent.
+    let warm_start = Instant::now();
+    let mut iters = 1u64;
+    let mut last = time_once(iters, f);
+    while warm_start.elapsed() < warm_up {
+        iters = iters.saturating_mul(2).min(1 << 30);
+        last = time_once(iters, f);
+        if iters == 1 << 30 {
+            break;
+        }
+    }
+    // Calibrate so one sample costs ~measurement/sample_size.
+    let per_iter = (last.as_secs_f64() / iters as f64).max(1e-12);
+    let target = measurement.as_secs_f64() / sample_size as f64;
+    let iters_per_sample = ((target / per_iter) as u64).clamp(1, 1 << 30);
+
+    let mut samples: Vec<f64> = (0..sample_size)
+        .map(|_| time_once(iters_per_sample, f).as_secs_f64() / iters_per_sample as f64)
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Report {
+        min,
+        median,
+        mean,
+        iters_per_sample,
+        samples: sample_size,
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+fn print_report(name: &str, r: &Report, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{name:<50} time: [{} {} {}]",
+        fmt_time(r.min),
+        fmt_time(r.median),
+        fmt_time(r.mean)
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = count as f64 / r.median;
+        line.push_str(&format!("  thrpt: {rate:.3e} {unit}/s"));
+    }
+    line.push_str(&format!(
+        "  ({} samples × {} iters)",
+        r.samples, r.iters_per_sample
+    ));
+    println!("{line}");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(15),
+        };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(calls > 0, "routine must actually run");
+    }
+}
