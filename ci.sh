@@ -10,3 +10,9 @@ cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q --workspace
+
+# Serving layer: unit + stress + admission tests, then a CI-sized
+# serve_scale run that exercises the metrics JSON path end to end.
+cargo test -q -p hc-serve
+cargo run -q --release -p hc-bench --bin serve_scale -- --smoke
+test -s target/metrics/serve_scale.metrics.json

@@ -10,7 +10,6 @@
 //! ihc-w, ihc-d, ihc-o. Repeat `--method` / `--tau` / `--k` to sweep.
 
 use hc_bench::world::{Method, World};
-use hc_core::cost_model::estimate_equiwidth;
 use hc_core::histogram::HistogramKind;
 use hc_obs::MetricsRegistry;
 use hc_query::DriftMonitor;
@@ -84,16 +83,16 @@ fn main() {
         "{:<10} {:>4} {:>4} {:>10} {:>10} {:>12} {:>12} {:>14}",
         "method", "τ", "k", "|C(q)|", "C_refine", "I/O pages", "hit×prune", "refine (s)"
     );
-    // Drift gauges compare each run against the §4 equi-width model's
-    // prediction at the same τ / budget (exact for hc-w; for other methods
-    // the gauge shows how far they depart from the modeled baseline).
-    let stats = world.replay.workload_stats(&world.dataset);
+    // Drift gauges compare each run against the §4 cost model instantiated
+    // for *that method* (item size, histogram, Theorem 2/3 variant), so
+    // `costmodel.*` drift means the model mispredicts — not that the method
+    // simply differs from the equi-width baseline.
     let drift = DriftMonitor::bind(MetricsRegistry::global());
     for &method in &methods {
         for &tau in &taus {
             for &k in &ks {
                 let agg = world.measure(world.cache(method, tau, cs), k);
-                let est = estimate_equiwidth(&stats, cs, &world.quantizer, tau);
+                let est = world.estimate(method, tau, cs);
                 drift.record(&est, agg.avg_hit_ratio, agg.avg_io_pages);
                 println!(
                     "{:<10} {tau:>4} {k:>4} {:>10.1} {:>10.1} {:>12.1} {:>12.3} {:>14.4}",

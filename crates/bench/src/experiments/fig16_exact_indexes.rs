@@ -14,6 +14,7 @@ use hc_core::quantize::Quantizer;
 use hc_core::scheme::{ApproxScheme, GlobalScheme};
 use hc_index::traits::LeafedIndex;
 use hc_index::{IDistance, VaFile, VpTree};
+use hc_obs::MetricsRegistry;
 use hc_query::{replay_leaf_accesses, replay_workload, KnnEngine, TreeSearchEngine};
 use hc_storage::point_file::PointFile;
 use hc_storage::PAGE_SIZE;
@@ -65,6 +66,11 @@ pub fn run(scale: Scale) -> String {
             exact.try_fill(leaf, index.leaf_points(leaf).len());
             compact.try_fill(leaf, index.leaf_points(leaf).iter().map(|p| ds.point(*p)));
         }
+        // Bind after the static fill so the occupancy gauges see the final
+        // residency; the tree-search queries below then feed the labeled
+        // cache.hits / cache.misses series.
+        exact.bind_obs(MetricsRegistry::global());
+        compact.bind_obs(MetricsRegistry::global());
 
         writeln!(
             out,

@@ -6,6 +6,9 @@ use std::sync::Arc;
 
 use hc_cache::cva::cva_cache;
 use hc_cache::point::{CompactPointCache, ExactPointCache, NoCache, PointCache};
+use hc_core::cost_model::{
+    self, estimate_equiwidth, estimate_refine_io, rho_refine_histogram, TauEstimate,
+};
 use hc_core::dataset::Dataset;
 use hc_core::histogram::individual::build_per_dim;
 use hc_core::histogram::multidim::MultiDimBuckets;
@@ -200,6 +203,128 @@ impl World {
     pub fn measure_method(&self, method: Method, tau: u32) -> AggregateStats {
         self.measure(self.cache(method, tau, self.cache_bytes), self.k)
     }
+
+    /// §4 cost-model prediction for a *specific* method at (τ, budget), so
+    /// drift gauges compare each run against its own model rather than the
+    /// equi-width closed form for everything:
+    ///
+    /// * `NO-CACHE` — every candidate costs I/O: `ρ_hit = 0`.
+    /// * `EXACT` — raw-point item size, and exact hits always prune
+    ///   (`ρ_refine = 0`); hit ratio from the HFF mass (§4.1.2).
+    /// * `HC-*` — compact item size at τ plus Theorem 2 via
+    ///   [`rho_refine_histogram`] over the method's own histogram.
+    /// * `iHC-*` — per-dimension Theorem 2: `‖ε‖² = Σ_j E_j[w²]` with each
+    ///   dimension's histogram weighted by its own `F'_j`.
+    /// * `mHC-R` — one packed word per point for capacity; `ρ_refine` falls
+    ///   back to the equi-width Theorem 3 at the same τ (no closed form for
+    ///   R-tree MBR widths in §4).
+    /// * `C-VA` — equi-width closed form (the VA file *is* the equi-width
+    ///   grid at the quantizer's resolution).
+    pub fn estimate(&self, method: Method, tau: u32, cache_bytes: usize) -> TauEstimate {
+        let stats = self.replay.workload_stats(&self.dataset);
+        let capped_hff = |items: usize| -> f64 {
+            if items >= stats.n_points {
+                1.0
+            } else {
+                cost_model::hff_hit_ratio(&stats, items)
+            }
+        };
+        match method {
+            Method::NoCache => TauEstimate {
+                tau,
+                rho_hit: 0.0,
+                rho_refine: 1.0,
+                refine_io: stats.avg_candidates,
+            },
+            Method::Exact => {
+                let rho_hit = capped_hff(cost_model::exact_cache_items(cache_bytes, stats.dim));
+                TauEstimate {
+                    tau: cost_model::L_VALUE_BITS,
+                    rho_hit,
+                    rho_refine: 0.0,
+                    refine_io: estimate_refine_io(rho_hit, 0.0, stats.avg_candidates),
+                }
+            }
+            Method::Hc(kind) => {
+                let rho_hit =
+                    capped_hff(cost_model::compact_cache_items(cache_bytes, stats.dim, tau));
+                let freq = if kind.uses_workload_frequencies() {
+                    &self.f_prime
+                } else {
+                    &self.f_data
+                };
+                let hist = kind.build(freq, 1u32 << tau.min(20));
+                let rho_refine = rho_refine_histogram(
+                    &hist,
+                    &self.quantizer,
+                    &self.f_prime,
+                    stats.dim,
+                    stats.d_max,
+                );
+                TauEstimate {
+                    tau,
+                    rho_hit,
+                    rho_refine,
+                    refine_io: estimate_refine_io(rho_hit, rho_refine, stats.avg_candidates),
+                }
+            }
+            Method::IHc(kind) => {
+                let rho_hit =
+                    capped_hff(cost_model::compact_cache_items(cache_bytes, stats.dim, tau));
+                let b = 1u32 << tau.min(20);
+                let freq_per_dim = if kind.uses_workload_frequencies() {
+                    self.replay.f_prime_per_dim(&self.dataset, &self.quantizer)
+                } else {
+                    per_dim_data_frequencies(&self.dataset, &self.quantizer)
+                };
+                let hists = build_per_dim(kind, &freq_per_dim, b);
+                let f_prime_per_dim = self.replay.f_prime_per_dim(&self.dataset, &self.quantizer);
+                // Theorem 2 per dimension: ε² accumulates each dimension's
+                // workload-weighted mean squared bucket width.
+                let mut eps_sq = 0.0f64;
+                for (hist, fp) in hists.iter().zip(&f_prime_per_dim) {
+                    let mut mass = 0.0f64;
+                    let mut w2 = 0.0f64;
+                    for (l, u) in hist.buckets() {
+                        let weight: u64 = fp[l as usize..=u as usize].iter().sum();
+                        if weight == 0 {
+                            continue;
+                        }
+                        let (lo, hi) = self.quantizer.levels_to_real(l, u);
+                        let w = (hi - lo) as f64;
+                        mass += weight as f64;
+                        w2 += weight as f64 * w * w;
+                    }
+                    if mass > 0.0 {
+                        eps_sq += w2 / mass;
+                    }
+                }
+                let rho_refine = if stats.d_max <= 0.0 {
+                    1.0
+                } else {
+                    (eps_sq.sqrt() / stats.d_max).min(1.0)
+                };
+                TauEstimate {
+                    tau,
+                    rho_hit,
+                    rho_refine,
+                    refine_io: estimate_refine_io(rho_hit, rho_refine, stats.avg_candidates),
+                }
+            }
+            Method::MhcR => {
+                // One packed word (the leaf-bucket id) per cached point.
+                let rho_hit = capped_hff(cache_bytes / 8);
+                let eq = estimate_equiwidth(&stats, cache_bytes, &self.quantizer, tau);
+                TauEstimate {
+                    tau,
+                    rho_hit,
+                    rho_refine: eq.rho_refine,
+                    refine_io: estimate_refine_io(rho_hit, eq.rho_refine, stats.avg_candidates),
+                }
+            }
+            Method::CVa => estimate_equiwidth(&stats, cache_bytes, &self.quantizer, tau),
+        }
+    }
 }
 
 /// Per-dimension data frequency arrays `F_j[x]`.
@@ -228,3 +353,45 @@ pub fn pad(s: &str, w: usize) -> String {
 /// than the stored precision, fine enough to prune — and the τ sweeps
 /// (Fig 12 / Fig 15) cover the saturated region τ ≥ 10 explicitly.
 pub const DEFAULT_TAU: u32 = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_workload::Scale;
+
+    #[test]
+    fn per_method_estimates_differ_where_the_model_says_they_should() {
+        let world = World::build(Preset::nus_wide(Scale::Test), 5);
+        let cs = world.cache_bytes;
+        let tau = DEFAULT_TAU;
+
+        let none = world.estimate(Method::NoCache, tau, cs);
+        assert_eq!(none.rho_hit, 0.0);
+        assert!((none.refine_io - world.replay.avg_candidates).abs() < 1e-9);
+
+        // Exact hits always prune; its hit ratio trails the compact cache's
+        // (τ=8 codes pack 4× more items into the same budget).
+        let exact = world.estimate(Method::Exact, tau, cs);
+        let hc = world.estimate(Method::Hc(HistogramKind::KnnOptimal), tau, cs);
+        assert_eq!(exact.rho_refine, 0.0);
+        assert!(exact.rho_hit <= hc.rho_hit + 1e-9, "{exact:?} vs {hc:?}");
+        assert!(hc.rho_refine > 0.0 && hc.rho_refine <= 1.0);
+
+        // The knn-optimal histogram concentrates buckets where the workload
+        // lives, so its modeled ρ_refine cannot exceed equi-width's.
+        let hw = world.estimate(Method::Hc(HistogramKind::EquiWidth), tau, cs);
+        assert!(hc.rho_refine <= hw.rho_refine + 1e-9, "{hc:?} vs {hw:?}");
+
+        // Every estimate stays in the model's valid ranges.
+        for method in [
+            Method::IHc(HistogramKind::KnnOptimal),
+            Method::MhcR,
+            Method::CVa,
+        ] {
+            let est = world.estimate(method, tau, cs);
+            assert!((0.0..=1.0).contains(&est.rho_hit), "{method:?}: {est:?}");
+            assert!((0.0..=1.0).contains(&est.rho_refine), "{method:?}: {est:?}");
+            assert!(est.refine_io >= 0.0);
+        }
+    }
+}

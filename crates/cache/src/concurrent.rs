@@ -1,0 +1,157 @@
+//! Concurrent point-cache interface for multi-threaded serving.
+//!
+//! [`crate::point::PointCache`] is deliberately single-threaded — `lookup`
+//! and `admit` take `&mut self` because the LRU list mutates on every probe.
+//! A query *server* needs the opposite: many worker threads hitting one
+//! shared cache. [`ConcurrentPointCache`] is the `&self` + `Send + Sync`
+//! counterpart; implementations supply their own interior locking (the
+//! canonical one is `hc-serve`'s `ShardedCompactCache`, a shard-per-mutex
+//! wrapper over [`crate::point::CompactPointCache`]).
+//!
+//! [`SharedPointCache`] closes the loop in the other direction: it adapts an
+//! `Arc<dyn ConcurrentPointCache>` back into a [`PointCache`], so each
+//! worker's `KnnEngine` consumes the shared cache through the unchanged
+//! Algorithm 1 pipeline.
+
+use std::sync::Arc;
+
+use hc_core::dataset::PointId;
+use hc_obs::MetricsRegistry;
+
+use crate::point::{CacheLookup, PointCache};
+
+/// A point cache shareable across query worker threads.
+///
+/// Semantically identical to [`PointCache`] — probe for bounds, offer fetched
+/// points — but with `&self` methods and a `Send + Sync` bound so one
+/// instance can sit behind an `Arc` under concurrent load.
+pub trait ConcurrentPointCache: Send + Sync {
+    /// Probe the cache for candidate `id` against query `q`.
+    fn lookup(&self, q: &[f32], id: PointId) -> CacheLookup;
+
+    /// Offer a point that refinement just fetched from disk.
+    fn admit(&self, id: PointId, point: &[f32]);
+
+    /// Whether `id` is currently resident (no recency side effects).
+    fn contains(&self, id: PointId) -> bool;
+
+    /// Payload bytes currently used (summed across any internal shards).
+    fn used_bytes(&self) -> usize;
+
+    /// Configured byte budget `CS` (summed across any internal shards).
+    fn capacity_bytes(&self) -> usize;
+
+    /// Label for experiment tables, e.g. `"SHARDED-COMPACT(τ=8)/LRU×8"`.
+    fn label(&self) -> String;
+
+    /// Register hit/miss/insertion/eviction counters and occupancy gauges.
+    /// `&self` (not `&mut`): concurrent caches guard their state internally.
+    /// The default is a no-op.
+    fn bind_obs(&self, _registry: &MetricsRegistry) {}
+}
+
+/// Adapter: present an `Arc<dyn ConcurrentPointCache>` as a [`PointCache`]
+/// so the single-threaded `KnnEngine` can run against a shared cache.
+///
+/// Cloning is cheap (an `Arc` bump); every clone sees the same cache, which
+/// is exactly how a worker pool shares one cache across engines.
+#[derive(Clone)]
+pub struct SharedPointCache(Arc<dyn ConcurrentPointCache>);
+
+impl SharedPointCache {
+    pub fn new(cache: Arc<dyn ConcurrentPointCache>) -> Self {
+        Self(cache)
+    }
+
+    /// The shared cache behind this adapter.
+    pub fn inner(&self) -> &Arc<dyn ConcurrentPointCache> {
+        &self.0
+    }
+}
+
+impl PointCache for SharedPointCache {
+    fn lookup(&mut self, q: &[f32], id: PointId) -> CacheLookup {
+        self.0.lookup(q, id)
+    }
+
+    fn admit(&mut self, id: PointId, point: &[f32]) {
+        self.0.admit(id, point)
+    }
+
+    fn contains(&self, id: PointId) -> bool {
+        self.0.contains(id)
+    }
+
+    fn used_bytes(&self) -> usize {
+        self.0.used_bytes()
+    }
+
+    fn capacity_bytes(&self) -> usize {
+        self.0.capacity_bytes()
+    }
+
+    fn label(&self) -> String {
+        self.0.label()
+    }
+
+    fn bind_obs(&mut self, _registry: &MetricsRegistry) {
+        // Intentionally a no-op: the shared cache is bound once by whoever
+        // owns it (per-shard labels), not once per worker engine.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Minimal interior-mutability implementation for adapter tests.
+    struct OnePointCache {
+        inner: Mutex<Option<(PointId, f64)>>,
+    }
+
+    impl ConcurrentPointCache for OnePointCache {
+        fn lookup(&self, _q: &[f32], id: PointId) -> CacheLookup {
+            match *self.inner.lock().expect("lock") {
+                Some((held, d)) if held == id => CacheLookup::Exact(d),
+                _ => CacheLookup::Miss,
+            }
+        }
+
+        fn admit(&self, id: PointId, point: &[f32]) {
+            *self.inner.lock().expect("lock") = Some((id, f64::from(point[0])));
+        }
+
+        fn contains(&self, id: PointId) -> bool {
+            matches!(*self.inner.lock().expect("lock"), Some((held, _)) if held == id)
+        }
+
+        fn used_bytes(&self) -> usize {
+            usize::from(self.inner.lock().expect("lock").is_some())
+        }
+
+        fn capacity_bytes(&self) -> usize {
+            1
+        }
+
+        fn label(&self) -> String {
+            "ONE".to_owned()
+        }
+    }
+
+    #[test]
+    fn adapter_delegates_and_clones_share_state() {
+        let shared: Arc<dyn ConcurrentPointCache> = Arc::new(OnePointCache {
+            inner: Mutex::new(None),
+        });
+        let mut a = SharedPointCache::new(Arc::clone(&shared));
+        let mut b = a.clone();
+        a.admit(PointId(3), &[7.0]);
+        assert!(b.contains(PointId(3)), "clones must see the same cache");
+        assert_eq!(b.lookup(&[0.0], PointId(3)), CacheLookup::Exact(7.0));
+        assert_eq!(b.lookup(&[0.0], PointId(4)), CacheLookup::Miss);
+        assert_eq!(a.label(), "ONE");
+        assert_eq!(a.used_bytes(), 1);
+        assert_eq!(a.capacity_bytes(), 1);
+    }
+}

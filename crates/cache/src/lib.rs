@@ -16,18 +16,23 @@
 //! * [`cva`] — the C-VA baseline (§5.2.4): the *whole* dataset cached as an
 //!   equi-depth-coded VA-file whose code length is tuned down until it fits,
 //! * [`node`] — leaf-node caches for exact tree indexes (§3.6.1), again in
-//!   EXACT and compact flavors.
+//!   EXACT and compact flavors,
+//! * [`concurrent`] — the `&self` / `Send + Sync` counterpart of
+//!   [`point::PointCache`] for multi-threaded serving (`hc-serve`), plus the
+//!   [`concurrent::SharedPointCache`] adapter back into the engine's trait.
 //!
 //! Byte accounting matches the paper's model: an exact item costs
 //! `d · 4` bytes, a compact item `⌈d·τ/64⌉` words (footnote 5); lookup-table
 //! overhead is excluded (`N_item·τ = N*_item·L_value`, Theorem 1).
 
+pub mod concurrent;
 pub mod cva;
 pub mod lru;
 pub mod node;
 pub mod obs;
 pub mod point;
 
+pub use concurrent::{ConcurrentPointCache, SharedPointCache};
 pub use cva::cva_cache;
 pub use node::{CompactNodeCache, ExactNodeCache, LruNodeCache, NodeCache, NodeLookup};
 pub use point::{

@@ -18,6 +18,9 @@ use std::sync::Arc;
 
 use hc_core::bounds::DistBounds;
 use hc_core::scheme::ApproxScheme;
+use hc_obs::MetricsRegistry;
+
+use crate::obs::CacheObs;
 
 /// Result of probing a node cache for one leaf.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +48,12 @@ pub trait NodeCache {
     fn used_bytes(&self) -> usize;
     fn capacity_bytes(&self) -> usize;
     fn label(&self) -> String;
+
+    /// Register this cache's hit/miss/insertion/eviction counters and
+    /// occupancy gauges in `registry`, labeled with [`NodeCache::label`] —
+    /// the node-granularity mirror of `PointCache::bind_obs`. The default is
+    /// a no-op (e.g. [`NoNodeCache`] has nothing to report).
+    fn bind_obs(&mut self, _registry: &MetricsRegistry) {}
 }
 
 /// A node cache that caches nothing (NO-CACHE baseline for tree search).
@@ -80,6 +89,7 @@ pub struct ExactNodeCache {
     used: usize,
     capacity_bytes: usize,
     dim: usize,
+    obs: CacheObs,
 }
 
 impl ExactNodeCache {
@@ -89,6 +99,7 @@ impl ExactNodeCache {
             used: 0,
             capacity_bytes,
             dim,
+            obs: CacheObs::noop(),
         }
     }
 
@@ -117,8 +128,10 @@ impl ExactNodeCache {
 impl NodeCache for ExactNodeCache {
     fn lookup(&self, _q: &[f32], leaf: u32) -> NodeLookup {
         if self.resident.contains_key(&leaf) {
+            self.obs.hits.inc();
             NodeLookup::Exact
         } else {
+            self.obs.misses.inc();
             NodeLookup::Miss
         }
     }
@@ -138,6 +151,12 @@ impl NodeCache for ExactNodeCache {
     fn label(&self) -> String {
         "EXACT-NODE/HFF".to_owned()
     }
+
+    fn bind_obs(&mut self, registry: &MetricsRegistry) {
+        self.obs = CacheObs::bind(registry, &self.label());
+        self.obs.used_bytes.set(self.used as f64);
+        self.obs.capacity_bytes.set(self.capacity_bytes as f64);
+    }
 }
 
 /// Compact leaf cache: per-leaf packed approximate points.
@@ -147,6 +166,7 @@ pub struct CompactNodeCache {
     resident: HashMap<u32, (Vec<u64>, usize)>,
     used: usize,
     capacity_bytes: usize,
+    obs: CacheObs,
 }
 
 impl CompactNodeCache {
@@ -156,6 +176,7 @@ impl CompactNodeCache {
             resident: HashMap::new(),
             used: 0,
             capacity_bytes,
+            obs: CacheObs::noop(),
         }
     }
 
@@ -198,8 +219,12 @@ impl CompactNodeCache {
 impl NodeCache for CompactNodeCache {
     fn lookup(&self, q: &[f32], leaf: u32) -> NodeLookup {
         match self.resident.get(&leaf) {
-            None => NodeLookup::Miss,
+            None => {
+                self.obs.misses.inc();
+                NodeLookup::Miss
+            }
             Some((words, n)) => {
+                self.obs.hits.inc();
                 let wpp = self.scheme.words_per_point();
                 let bounds = (0..*n)
                     .map(|i| self.scheme.bounds(q, &words[i * wpp..(i + 1) * wpp]))
@@ -223,6 +248,12 @@ impl NodeCache for CompactNodeCache {
 
     fn label(&self) -> String {
         format!("COMPACT-NODE(τ={})/HFF", self.scheme.tau())
+    }
+
+    fn bind_obs(&mut self, registry: &MetricsRegistry) {
+        self.obs = CacheObs::bind(registry, &self.label());
+        self.obs.used_bytes.set(self.used as f64);
+        self.obs.capacity_bytes.set(self.capacity_bytes as f64);
     }
 }
 
@@ -317,6 +348,7 @@ pub struct LruNodeCache {
     scheme: Arc<dyn ApproxScheme>,
     inner: std::cell::RefCell<LruNodeInner>,
     capacity_bytes: usize,
+    obs: CacheObs,
 }
 
 struct LruNodeInner {
@@ -336,6 +368,7 @@ impl LruNodeCache {
                 clock: 0,
             }),
             capacity_bytes,
+            obs: CacheObs::noop(),
         }
     }
 
@@ -355,8 +388,12 @@ impl NodeCache for LruNodeCache {
         inner.clock += 1;
         let clock = inner.clock;
         match inner.resident.get_mut(&leaf) {
-            None => NodeLookup::Miss,
+            None => {
+                self.obs.misses.inc();
+                NodeLookup::Miss
+            }
             Some((words, n, stamp)) => {
+                self.obs.hits.inc();
                 *stamp = clock;
                 let wpp = self.scheme.words_per_point();
                 let bounds = (0..*n)
@@ -389,6 +426,7 @@ impl NodeCache for LruNodeCache {
                 .expect("used > 0 implies non-empty");
             let (_, vn, _) = inner.resident.remove(&victim).expect("present");
             inner.used -= vn * self.scheme.bytes_per_point();
+            self.obs.evictions.inc();
         }
         let mut words = Vec::with_capacity(n * self.scheme.words_per_point());
         for p in points {
@@ -398,6 +436,8 @@ impl NodeCache for LruNodeCache {
         let clock = inner.clock;
         inner.resident.insert(leaf, (words, n, clock));
         inner.used += bytes;
+        self.obs.insertions.inc();
+        self.obs.used_bytes.set(inner.used as f64);
     }
 
     fn contains(&self, leaf: u32) -> bool {
@@ -414,6 +454,12 @@ impl NodeCache for LruNodeCache {
 
     fn label(&self) -> String {
         format!("COMPACT-NODE(τ={})/LRU", self.scheme.tau())
+    }
+
+    fn bind_obs(&mut self, registry: &MetricsRegistry) {
+        self.obs = CacheObs::bind(registry, &self.label());
+        self.obs.used_bytes.set(self.inner.borrow().used as f64);
+        self.obs.capacity_bytes.set(self.capacity_bytes as f64);
     }
 }
 
@@ -467,6 +513,38 @@ mod lru_tests {
         let pts = leaf_points(0.0, 5);
         c.admit(1, &mut pts.iter().map(|p| p.as_slice()));
         assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn bound_node_cache_reports_hits_misses_and_evictions() {
+        let s = scheme(2);
+        let per_leaf = 3 * s.bytes_per_point();
+        let registry = MetricsRegistry::new();
+        let mut c = LruNodeCache::new(s, per_leaf * 2);
+        c.bind_obs(&registry);
+        let pts = leaf_points(0.0, 3);
+        c.admit(1, &mut pts.iter().map(|p| p.as_slice()));
+        c.admit(2, &mut pts.iter().map(|p| p.as_slice()));
+        let _ = c.lookup(&[0.0, 0.0], 1); // hit
+        let _ = c.lookup(&[0.0, 0.0], 9); // miss
+        c.admit(3, &mut pts.iter().map(|p| p.as_slice())); // evicts 2
+        let snap = registry.snapshot();
+        let label = c.label();
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(id, _)| id.name == name && id.label.as_deref() == Some(label.as_str()))
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(get("cache.hits"), Some(1));
+        assert_eq!(get("cache.misses"), Some(1));
+        assert_eq!(get("cache.insertions"), Some(3));
+        assert_eq!(get("cache.evictions"), Some(1));
+        assert_eq!(snap.gauge("cache.used_bytes"), Some(c.used_bytes() as f64));
+        assert_eq!(
+            snap.gauge("cache.capacity_bytes"),
+            Some((per_leaf * 2) as f64)
+        );
     }
 
     #[test]

@@ -391,6 +391,15 @@ impl CompactPointCache {
     pub fn scheme(&self) -> &Arc<dyn ApproxScheme> {
         &self.scheme
     }
+
+    /// Like [`PointCache::bind_obs`] but under an explicit label instead of
+    /// [`PointCache::label`]. Shard-per-mutex wrappers use this to keep each
+    /// shard's series separate (e.g. `"COMPACT(τ=8)/LRU/shard3"`).
+    pub fn bind_obs_as(&mut self, registry: &MetricsRegistry, label: &str) {
+        self.obs = CacheObs::bind(registry, label);
+        self.obs.used_bytes.set(self.used_bytes() as f64);
+        self.obs.capacity_bytes.set(self.capacity_bytes as f64);
+    }
 }
 
 impl PointCache for CompactPointCache {
@@ -443,9 +452,7 @@ impl PointCache for CompactPointCache {
     }
 
     fn bind_obs(&mut self, registry: &MetricsRegistry) {
-        self.obs = CacheObs::bind(registry, &self.label());
-        self.obs.used_bytes.set(self.used_bytes() as f64);
-        self.obs.capacity_bytes.set(self.capacity_bytes as f64);
+        self.bind_obs_as(registry, &self.label());
     }
 }
 

@@ -18,7 +18,7 @@
 //! window into the sorted array and only process *newly covered* entries at
 //! each level — every table entry is touched at most once per query.
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 use hc_core::dataset::{Dataset, PointId};
 use hc_core::distance::euclidean;
@@ -78,6 +78,17 @@ struct Scratch {
     windows: Vec<(usize, usize)>,
 }
 
+impl Scratch {
+    fn new(n: usize, m: usize) -> Self {
+        Self {
+            counts: vec![0; n],
+            epoch: vec![0; n],
+            cur_epoch: 0,
+            windows: vec![(0, 0); m],
+        }
+    }
+}
+
 /// The C2LSH index.
 pub struct C2lsh {
     params: C2lshParams,
@@ -91,7 +102,12 @@ pub struct C2lsh {
     /// twice this span the coverage windows can no longer grow (dyadic
     /// `⌊h/R⌋` intervals never cross zero), so the search must stop.
     max_abs_bucket: i64,
-    scratch: RefCell<Scratch>,
+    /// Pool of per-query counting scratches. Concurrent queries each pop one
+    /// (or allocate a fresh one when the pool runs dry) and return it when
+    /// done, so `run(&self, …)` stays lock-free for the counting itself and
+    /// the index is `Sync` — a requirement of the multi-threaded query
+    /// server, which shares one `Arc<C2lsh>` across workers.
+    scratch_pool: Mutex<Vec<Scratch>>,
 }
 
 impl C2lsh {
@@ -135,12 +151,7 @@ impl C2lsh {
             n,
             width,
             max_abs_bucket,
-            scratch: RefCell::new(Scratch {
-                counts: vec![0; n],
-                epoch: vec![0; n],
-                cur_epoch: 0,
-                windows: vec![(0, 0); m],
-            }),
+            scratch_pool: Mutex::new(vec![Scratch::new(n, m)]),
         }
     }
 
@@ -157,8 +168,12 @@ impl C2lsh {
     /// Candidate generation with diagnostics.
     pub fn run(&self, q: &[f32], k: usize) -> C2lshRun {
         let limit = k + self.params.extra_candidates;
-        let mut scratch = self.scratch.borrow_mut();
-        let s = &mut *scratch;
+        let mut scratch = {
+            let mut pool = self.scratch_pool.lock().expect("scratch pool poisoned");
+            pool.pop()
+                .unwrap_or_else(|| Scratch::new(self.n, self.params.m))
+        };
+        let s = &mut scratch;
         s.cur_epoch = s.cur_epoch.wrapping_add(1);
         if s.cur_epoch == 0 {
             // Epoch counter wrapped: hard-reset to stay sound.
@@ -221,6 +236,11 @@ impl C2lsh {
             }
             radius = radius.saturating_mul(self.params.approx_ratio);
         }
+
+        self.scratch_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
 
         C2lshRun {
             candidates,
@@ -389,6 +409,30 @@ mod tests {
         let _ = idx.candidates(&[30.0f32; 8], 10);
         let b = idx.candidates(&q0, 10);
         assert_eq!(a, b, "scratch state leaked between queries");
+    }
+
+    #[test]
+    fn index_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<C2lsh>();
+        let ds = clustered_dataset(30, 8, 7);
+        let idx = std::sync::Arc::new(C2lsh::build(&ds, C2lshParams::default()));
+        let q0 = vec![0.0f32; 8];
+        let want = idx.candidates(&q0, 10);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let idx = std::sync::Arc::clone(&idx);
+                let q = q0.clone();
+                std::thread::spawn(move || idx.candidates(&q, 10))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(
+                h.join().expect("no panic"),
+                want,
+                "results must not depend on which pooled scratch served the query"
+            );
+        }
     }
 
     #[test]

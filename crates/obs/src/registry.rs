@@ -262,6 +262,60 @@ impl RegistrySnapshot {
             .find(|(id, _)| id.name == name)
             .map(|(_, h)| h)
     }
+
+    /// The counter with this exact `(name, label)` pair — for per-worker or
+    /// per-shard series, where the name-only getter would return an
+    /// arbitrary label's value.
+    pub fn counter_labeled(&self, name: &str, label: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(id, _)| id.name == name && id.label.as_deref() == Some(label))
+            .map(|(_, v)| *v)
+    }
+
+    /// The gauge with this exact `(name, label)` pair.
+    pub fn gauge_labeled(&self, name: &str, label: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(id, _)| id.name == name && id.label.as_deref() == Some(label))
+            .map(|(_, v)| *v)
+    }
+
+    /// The histogram with this exact `(name, label)` pair.
+    pub fn histogram_labeled(&self, name: &str, label: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(id, _)| id.name == name && id.label.as_deref() == Some(label))
+            .map(|(_, h)| h)
+    }
+
+    /// Sum of every series named `name` across all labels (and the unlabeled
+    /// series, if present) — e.g. total `cache.hits` over a sharded cache's
+    /// per-shard labels.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(id, _)| id.name == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Merge every histogram named `name` across all labels into one
+    /// distribution — e.g. pooled latency quantiles over per-worker series.
+    /// Returns `None` when no series carries the name.
+    pub fn histogram_merged(&self, name: &str) -> Option<HistogramSnapshot> {
+        let mut merged: Option<HistogramSnapshot> = None;
+        for (id, h) in &self.histograms {
+            if id.name != name {
+                continue;
+            }
+            match &mut merged {
+                None => merged = Some(h.clone()),
+                Some(m) => m.merge(h),
+            }
+        }
+        merged
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +347,34 @@ mod tests {
             .collect();
         assert_eq!(values.len(), 2);
         assert_eq!(values.iter().sum::<u64>(), 12);
+    }
+
+    #[test]
+    fn labeled_getters_and_cross_label_aggregation() {
+        let r = MetricsRegistry::new();
+        r.counter_with_label("serve.queries", "worker0").add(5);
+        r.counter_with_label("serve.queries", "worker1").add(7);
+        r.gauge_with_label("serve.qps", "workers=4").set(123.0);
+        r.histogram_with_label("serve.latency_us", "worker0")
+            .record(100);
+        r.histogram_with_label("serve.latency_us", "worker1")
+            .record(300);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_labeled("serve.queries", "worker1"), Some(7));
+        assert_eq!(snap.counter_labeled("serve.queries", "worker9"), None);
+        assert_eq!(snap.gauge_labeled("serve.qps", "workers=4"), Some(123.0));
+        assert_eq!(snap.counter_sum("serve.queries"), 12);
+        assert_eq!(snap.counter_sum("serve.missing"), 0);
+        let merged = snap.histogram_merged("serve.latency_us").expect("series");
+        assert_eq!(merged.count, 2);
+        assert_eq!(merged.max, 300);
+        assert!(snap.histogram_merged("serve.missing").is_none());
+        assert_eq!(
+            snap.histogram_labeled("serve.latency_us", "worker0")
+                .expect("labeled series")
+                .count,
+            1
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! k nearest *candidates* (offline exact distances) as the contributors.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use hc_core::cost_model::WorkloadStats;
 use hc_core::dataset::{Dataset, PointId};
@@ -25,9 +26,12 @@ use hc_core::distance::euclidean;
 use hc_core::metric::QueryCandidates;
 use hc_core::quantize::Quantizer;
 use hc_index::traits::{CandidateIndex, LeafedIndex};
+use hc_storage::point_file::PointFile;
 
 use hc_cache::node::NoNodeCache;
+use hc_cache::point::PointCache;
 
+use crate::knn::KnnEngine;
 use crate::tree_search::TreeSearchEngine;
 
 /// Everything learned from replaying a workload against a candidate index.
@@ -79,6 +83,32 @@ impl Replay {
                 .collect::<Vec<_>>()
         });
         hc_core::histogram::individual::decompose_frequencies(coords, d, quantizer.n_dom())
+    }
+}
+
+/// The read-only halves of a query pipeline, `Arc`'d for sharing across
+/// worker threads: the candidate index and the simulated point file.
+///
+/// A multi-threaded server hands each worker a clone; the worker then builds
+/// its own [`KnnEngine`] over the shared parts with
+/// [`SharedParts::engine`], keeping the engine itself single-threaded (its
+/// cache box may still point at a shared concurrent cache). `PointFile`'s
+/// `IoStats` are atomic, so I/O accounting stays correct across workers.
+#[derive(Clone)]
+pub struct SharedParts {
+    pub index: Arc<dyn CandidateIndex + Send + Sync>,
+    pub file: Arc<PointFile>,
+}
+
+impl SharedParts {
+    pub fn new(index: Arc<dyn CandidateIndex + Send + Sync>, file: Arc<PointFile>) -> Self {
+        Self { index, file }
+    }
+
+    /// A fresh engine borrowing this clone's `Arc`s. The caller owns the
+    /// clone for the engine's lifetime (each worker thread keeps its own).
+    pub fn engine<'a>(&'a self, cache: Box<dyn PointCache + 'a>) -> KnnEngine<'a> {
+        KnnEngine::new(self.index.as_ref(), self.file.as_ref(), cache)
     }
 }
 
@@ -271,6 +301,31 @@ mod tests {
         assert_eq!(stats.dim, 1);
         assert_eq!(stats.avg_candidates, 10.0);
         assert_eq!(stats.total_mass(), 20);
+    }
+
+    #[test]
+    fn shared_parts_run_the_engine_from_any_thread() {
+        use hc_cache::point::NoCache;
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedParts>();
+        let ds = line_dataset(30);
+        let file = PointFile::new(ds.clone());
+        let index = ScanIndex { n: 30 };
+        let mut direct = KnnEngine::new(&index, &file, Box::new(NoCache));
+        let (want, _) = direct.query(&[7.2], 3);
+        let parts = SharedParts::new(Arc::new(ScanIndex { n: 30 }), Arc::new(PointFile::new(ds)));
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let parts = parts.clone();
+                std::thread::spawn(move || {
+                    let mut engine = parts.engine(Box::new(NoCache));
+                    engine.query(&[7.2], 3).0
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().expect("no panic"), want);
+        }
     }
 
     #[test]

@@ -170,6 +170,15 @@ impl<'a> KnnEngine<'a> {
         self.file.stats().bind(registry);
     }
 
+    /// Like [`KnnEngine::bind_obs`] but with the `query.*` / `phase.*`
+    /// series labeled — one label per worker engine in a multi-threaded
+    /// server, so per-worker load stays distinguishable.
+    pub fn bind_obs_labeled(&mut self, registry: &MetricsRegistry, label: &str) {
+        self.obs = QueryObs::bind_labeled(registry, label);
+        self.cache.bind_obs(registry);
+        self.file.stats().bind(registry);
+    }
+
     /// Execute Algorithm 1. Returns the k nearest candidate ids (identifiers
     /// only, as in the paper; detected true results carry no distance) and
     /// the query's statistics.

@@ -24,7 +24,7 @@ pub mod multistep;
 pub mod obs;
 pub mod tree_search;
 
-pub use builder::{replay_leaf_accesses, replay_workload, Replay};
+pub use builder::{replay_leaf_accesses, replay_workload, Replay, SharedParts};
 pub use join::{cluster_outer, knn_join, JoinResult};
 pub use knn::{AggregateStats, KnnEngine, QueryStats};
 pub use maintenance::{CacheMaintainer, MaintenanceConfig};

@@ -51,17 +51,37 @@ impl QueryObs {
 
     /// Register the engine's series in `registry`.
     pub fn bind(registry: &MetricsRegistry) -> Self {
+        Self::bind_impl(registry, None)
+    }
+
+    /// Register the engine's series under a label — one per worker in a
+    /// multi-threaded server, so `query.count{worker3}` etc. stay separate.
+    /// Aggregate across workers with `RegistrySnapshot::counter_sum` /
+    /// `histogram_merged`.
+    pub fn bind_labeled(registry: &MetricsRegistry, label: &str) -> Self {
+        Self::bind_impl(registry, Some(label))
+    }
+
+    fn bind_impl(registry: &MetricsRegistry, label: Option<&str>) -> Self {
+        let counter = |name: &str| match label {
+            Some(l) => registry.counter_with_label(name, l),
+            None => registry.counter(name),
+        };
+        let histogram = |name: &str| match label {
+            Some(l) => registry.histogram_with_label(name, l),
+            None => registry.histogram(name),
+        };
         Self {
             enabled: registry.is_enabled(),
-            queries: registry.counter("query.count"),
-            gen_ns: registry.histogram("phase.gen_ns"),
-            reduce_ns: registry.histogram("phase.reduce_ns"),
-            refine_ns: registry.histogram("phase.refine_ns"),
-            rho_hit_ppm: registry.histogram("query.rho_hit_ppm"),
-            rho_prune_ppm: registry.histogram("query.rho_prune_ppm"),
-            candidates: registry.histogram("query.candidates"),
-            c_refine: registry.histogram("query.c_refine"),
-            io_pages: registry.histogram("query.io_pages"),
+            queries: counter("query.count"),
+            gen_ns: histogram("phase.gen_ns"),
+            reduce_ns: histogram("phase.reduce_ns"),
+            refine_ns: histogram("phase.refine_ns"),
+            rho_hit_ppm: histogram("query.rho_hit_ppm"),
+            rho_prune_ppm: histogram("query.rho_prune_ppm"),
+            candidates: histogram("query.candidates"),
+            c_refine: histogram("query.c_refine"),
+            io_pages: histogram("query.io_pages"),
             registry: registry.clone(),
             seq: AtomicU64::new(0),
         }

@@ -1,0 +1,250 @@
+//! The sharded concurrent compact cache.
+//!
+//! One byte budget `CS`, N = 2^b shards, each shard an independent
+//! [`CompactPointCache`] (bit-packed slab + LRU list) behind its own
+//! `Mutex`. A `PointId` maps to a shard by multiplicative (Fibonacci)
+//! hashing, so consecutive ids — which the paper's permuted point file
+//! scatters anyway — spread evenly and two workers only contend when they
+//! probe the *same* shard at the same instant.
+//!
+//! The paper's compact representation is what makes this split essentially
+//! free: at τ = 8 bits per dimension an item is 4× smaller than the raw
+//! vector, so even `CS/N` bytes per shard holds thousands of items and the
+//! per-shard LRU behaves like the global one (the workload's hot set is
+//! spread uniformly over shards by the hash).
+
+use std::sync::{Arc, Mutex};
+
+use hc_cache::concurrent::ConcurrentPointCache;
+use hc_cache::point::{CacheLookup, CompactPointCache, PointCache};
+use hc_core::dataset::PointId;
+use hc_core::scheme::ApproxScheme;
+use hc_obs::MetricsRegistry;
+
+/// N `Mutex<CompactPointCache>` shards under one byte budget.
+pub struct ShardedCompactCache {
+    shards: Vec<Mutex<CompactPointCache>>,
+    /// `32 - log2(num_shards)`; shard = `(id * φ32) >> shard_shift`.
+    shard_shift: u32,
+    tau: u32,
+}
+
+/// Knuth's multiplicative constant: ⌊2^32 / φ⌋.
+const FIB_MULT: u32 = 0x9E37_79B9;
+
+impl ShardedCompactCache {
+    /// Dynamic LRU cache of `capacity_bytes` split evenly over `num_shards`
+    /// (a power of two) shards.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero or not a power of two.
+    pub fn lru(scheme: Arc<dyn ApproxScheme>, capacity_bytes: usize, num_shards: usize) -> Self {
+        assert!(
+            num_shards.is_power_of_two(),
+            "num_shards must be a power of two, got {num_shards}"
+        );
+        let per_shard = capacity_bytes / num_shards;
+        let tau = scheme.tau();
+        let shards = (0..num_shards)
+            .map(|_| Mutex::new(CompactPointCache::lru(Arc::clone(&scheme), per_shard)))
+            .collect();
+        Self {
+            shards,
+            shard_shift: 32 - num_shards.trailing_zeros(),
+            tau,
+        }
+    }
+
+    fn shard_of(&self, id: PointId) -> usize {
+        if self.shard_shift == 32 {
+            return 0; // single shard; a 32-bit shift would be UB
+        }
+        (id.0.wrapping_mul(FIB_MULT) >> self.shard_shift) as usize
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total resident items across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard `(used_bytes, capacity_bytes)` — the stress tests assert
+    /// the budget invariant shard by shard.
+    pub fn shard_occupancy(&self) -> Vec<(usize, usize)> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("shard poisoned");
+                (shard.used_bytes(), shard.capacity_bytes())
+            })
+            .collect()
+    }
+}
+
+impl ConcurrentPointCache for ShardedCompactCache {
+    fn lookup(&self, q: &[f32], id: PointId) -> CacheLookup {
+        self.shards[self.shard_of(id)]
+            .lock()
+            .expect("shard poisoned")
+            .lookup(q, id)
+    }
+
+    fn admit(&self, id: PointId, point: &[f32]) {
+        self.shards[self.shard_of(id)]
+            .lock()
+            .expect("shard poisoned")
+            .admit(id, point)
+    }
+
+    fn contains(&self, id: PointId) -> bool {
+        self.shards[self.shard_of(id)]
+            .lock()
+            .expect("shard poisoned")
+            .contains(id)
+    }
+
+    fn used_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").used_bytes())
+            .sum()
+    }
+
+    fn capacity_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").capacity_bytes())
+            .sum()
+    }
+
+    fn label(&self) -> String {
+        format!("SHARDED-COMPACT(τ={})/LRU×{}", self.tau, self.shards.len())
+    }
+
+    /// Bind each shard under its own label
+    /// (`"COMPACT(τ=8)/LRU/shard3"`), so hot-shard skew is visible;
+    /// aggregate with `RegistrySnapshot::counter_sum("cache.hits")`.
+    fn bind_obs(&self, registry: &MetricsRegistry) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut shard = shard.lock().expect("shard poisoned");
+            let label = format!("{}/shard{i}", shard.label());
+            shard.bind_obs_as(registry, &label);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_core::histogram::classic::equi_width;
+    use hc_core::quantize::Quantizer;
+    use hc_core::scheme::GlobalScheme;
+
+    fn scheme(dim: usize) -> Arc<dyn ApproxScheme> {
+        let quant = Quantizer::new(0.0, 100.0, 256);
+        Arc::new(GlobalScheme::new(equi_width(256, 32), quant, dim))
+    }
+
+    fn point(i: u32) -> Vec<f32> {
+        vec![i as f32, (i % 7) as f32]
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_shards() {
+        let result = std::panic::catch_unwind(|| ShardedCompactCache::lru(scheme(2), 1 << 12, 3));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn single_shard_works() {
+        let c = ShardedCompactCache::lru(scheme(2), 1 << 12, 1);
+        c.admit(PointId(1), &point(1));
+        assert!(c.contains(PointId(1)));
+        assert_eq!(c.num_shards(), 1);
+    }
+
+    #[test]
+    fn admissions_land_in_one_shard_and_lookups_find_them() {
+        let c = ShardedCompactCache::lru(scheme(2), 1 << 14, 8);
+        for i in 0..100u32 {
+            c.admit(PointId(i), &point(i));
+        }
+        assert_eq!(c.len(), 100);
+        for i in 0..100u32 {
+            assert!(c.contains(PointId(i)), "id {i} lost");
+            match c.lookup(&point(i), PointId(i)) {
+                CacheLookup::Bounds(b) => assert!(b.lb <= 1e-6, "self-distance lb {}", b.lb),
+                other => panic!("expected bounds, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ids_spread_over_shards() {
+        let c = ShardedCompactCache::lru(scheme(2), 1 << 16, 8);
+        for i in 0..256u32 {
+            c.admit(PointId(i), &point(i));
+        }
+        let occupied = c
+            .shard_occupancy()
+            .iter()
+            .filter(|(used, _)| *used > 0)
+            .count();
+        assert!(
+            occupied >= 6,
+            "fibonacci hash left {occupied}/8 shards used"
+        );
+    }
+
+    #[test]
+    fn per_shard_budget_is_respected() {
+        let s = scheme(2);
+        let per_item = s.bytes_per_point();
+        // Room for 4 items per shard across 4 shards.
+        let c = ShardedCompactCache::lru(s, per_item * 16, 4);
+        for i in 0..500u32 {
+            c.admit(PointId(i), &point(i));
+        }
+        for (used, cap) in c.shard_occupancy() {
+            assert!(used <= cap, "shard over budget: {used} > {cap}");
+        }
+        assert!(c.used_bytes() <= c.capacity_bytes());
+        assert!(c.len() <= 16);
+    }
+
+    #[test]
+    fn per_shard_obs_series_are_labeled() {
+        let registry = MetricsRegistry::new();
+        let c = ShardedCompactCache::lru(scheme(2), 1 << 14, 4);
+        c.bind_obs(&registry);
+        c.admit(PointId(3), &point(3));
+        let _ = c.lookup(&point(3), PointId(3)); // hit
+        let _ = c.lookup(&point(9), PointId(9)); // miss
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_sum("cache.hits"), 1);
+        assert_eq!(snap.counter_sum("cache.misses"), 1);
+        assert_eq!(snap.counter_sum("cache.insertions"), 1);
+        let shard_labels = snap
+            .counters
+            .iter()
+            .filter(|(id, _)| id.name == "cache.hits")
+            .count();
+        assert_eq!(shard_labels, 4, "one series per shard");
+    }
+
+    #[test]
+    fn label_names_the_configuration() {
+        let c = ShardedCompactCache::lru(scheme(2), 1 << 12, 8);
+        assert_eq!(c.label(), "SHARDED-COMPACT(τ=5)/LRU×8");
+    }
+}

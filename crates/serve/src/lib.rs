@@ -1,0 +1,39 @@
+//! # hc-serve
+//!
+//! The serving layer: many concurrent queries exploiting one shared compact
+//! cache. Everything below is std-only (threads, mutexes, condvars — no
+//! external runtime), in three layers:
+//!
+//! * [`cache::ShardedCompactCache`] — N power-of-two shards keyed by
+//!   `PointId`, each shard a `Mutex` around the paper's bit-packed
+//!   [`hc_cache::point::CompactPointCache`] with its own LRU list and its
+//!   own labeled `CacheObs` series. Implements
+//!   [`hc_cache::concurrent::ConcurrentPointCache`], the `&self` /
+//!   `Send + Sync` cache trait.
+//! * [`server::QueryServer`] — a pool of worker threads, each running its
+//!   own `KnnEngine` over `Arc`-shared index/storage
+//!   ([`hc_query::SharedParts`]) and the one shared cache, fed by a
+//!   [`queue::BoundedQueue`] with admission control: configurable capacity,
+//!   per-request deadlines, shed-on-full (`Rejected`) and shed-on-expired
+//!   (`TimedOut`) so overload degrades into explicit errors instead of
+//!   unbounded latency.
+//! * [`loadgen`] — closed-loop (fixed concurrency) and open-loop (fixed
+//!   offered rate) load generators producing throughput / p50 / p95 / p99 /
+//!   shed-rate reports; the `serve_scale` bench binary sweeps worker count
+//!   and offered load with them.
+//!
+//! Why sharding is cheap here: a compact cache item is `⌈d·τ/64⌉` packed
+//! words (Theorem 1), so splitting one budget into N shards leaves every
+//! shard with thousands of items — per-shard hit ratios stay close to the
+//! unsharded cache while the mutexes never serialize two different shards.
+//! See DESIGN.md §"Serving layer".
+
+pub mod cache;
+pub mod loadgen;
+pub mod queue;
+pub mod server;
+
+pub use cache::ShardedCompactCache;
+pub use loadgen::{run_closed_loop, run_open_loop, LoadReport};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{QueryOutcome, QueryResponse, QueryServer, ServeConfig, SubmitError, Ticket};

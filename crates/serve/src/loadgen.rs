@@ -1,0 +1,226 @@
+//! Load generators for [`QueryServer`]: closed loop (fixed concurrency,
+//! each client waits for its answer before sending the next) and open loop
+//! (fixed offered rate, arrivals independent of completions — the shape
+//! that exposes overload, since a closed loop self-throttles).
+
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hc_core::dataset::PointId;
+
+use crate::server::{QueryOutcome, QueryServer, SubmitError, Ticket};
+
+/// What one load-generation run measured.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Requests the generator tried to submit.
+    pub offered: usize,
+    /// Requests that came back [`QueryOutcome::Done`].
+    pub completed: usize,
+    /// Submissions refused at the door (queue full).
+    pub rejected: usize,
+    /// Admitted requests shed on expired deadline.
+    pub timed_out: usize,
+    /// First submission to last fulfilment.
+    pub wall: Duration,
+    /// Per-completed-request latency in µs, sorted ascending.
+    pub latencies_us: Vec<u64>,
+    /// `(request index, result ids)` for every completed request — the
+    /// bench compares these against a single-threaded reference engine.
+    pub results: Vec<(usize, Vec<PointId>)>,
+    /// Total cache hits across completed requests.
+    pub cache_hits: u64,
+    /// Total candidates across completed requests.
+    pub candidates: u64,
+}
+
+impl LoadReport {
+    /// Completed queries per second of wall time.
+    pub fn qps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / secs
+    }
+
+    /// Fraction of offered load shed (rejected or timed out).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        (self.rejected + self.timed_out) as f64 / self.offered as f64
+    }
+
+    /// Aggregate cache hit ratio over completed requests.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.candidates == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.candidates as f64
+    }
+
+    /// Nearest-rank percentile of completed-request latency, in µs.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.latencies_us.len() as f64).ceil() as usize;
+        self.latencies_us[rank.clamp(1, self.latencies_us.len()) - 1]
+    }
+
+    pub fn p50_us(&self) -> u64 {
+        self.percentile_us(50.0)
+    }
+
+    pub fn p95_us(&self) -> u64 {
+        self.percentile_us(95.0)
+    }
+
+    pub fn p99_us(&self) -> u64 {
+        self.percentile_us(99.0)
+    }
+
+    pub fn mean_us(&self) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        self.latencies_us.iter().sum::<u64>() as f64 / self.latencies_us.len() as f64
+    }
+
+    fn absorb(&mut self, index: usize, outcome: QueryOutcome) {
+        match outcome {
+            QueryOutcome::Done(resp) => {
+                self.completed += 1;
+                self.latencies_us.push(resp.latency.as_micros() as u64);
+                self.cache_hits += resp.cache_hits as u64;
+                self.candidates += resp.candidates as u64;
+                self.results.push((index, resp.ids));
+            }
+            QueryOutcome::TimedOut => self.timed_out += 1,
+        }
+    }
+
+    fn finish(&mut self, wall: Duration) {
+        self.wall = wall;
+        self.latencies_us.sort_unstable();
+        self.results.sort_by_key(|(i, _)| *i);
+    }
+}
+
+/// Fixed-concurrency load: `clients` threads round-robin over `queries`
+/// (client `c` takes indices `c, c+clients, …`), each submitting its next
+/// query only after the previous answer arrives. `deadline` is relative to
+/// each submission.
+pub fn run_closed_loop(
+    server: &QueryServer,
+    queries: &[Vec<f32>],
+    clients: usize,
+    k: usize,
+    deadline: Option<Duration>,
+) -> LoadReport {
+    assert!(clients >= 1);
+    let merged = Mutex::new(LoadReport::default());
+    let start = Instant::now();
+    thread::scope(|scope| {
+        for c in 0..clients {
+            let merged = &merged;
+            scope.spawn(move || {
+                let mut local = LoadReport::default();
+                for (index, query) in queries.iter().enumerate().skip(c).step_by(clients) {
+                    local.offered += 1;
+                    let abs_deadline = deadline.map(|d| Instant::now() + d);
+                    match server.submit(query.clone(), k, abs_deadline) {
+                        Ok(ticket) => local.absorb(index, ticket.wait()),
+                        Err(SubmitError::QueueFull) => local.rejected += 1,
+                        Err(SubmitError::ShuttingDown) => break,
+                    }
+                }
+                let mut merged = merged.lock().expect("report poisoned");
+                merged.offered += local.offered;
+                merged.completed += local.completed;
+                merged.rejected += local.rejected;
+                merged.timed_out += local.timed_out;
+                merged.latencies_us.extend(local.latencies_us);
+                merged.results.extend(local.results);
+                merged.cache_hits += local.cache_hits;
+                merged.candidates += local.candidates;
+            });
+        }
+    });
+    let mut report = merged.into_inner().expect("report poisoned");
+    report.finish(start.elapsed());
+    report
+}
+
+/// Fixed offered rate: submissions are paced at `offered_qps` regardless of
+/// completions, so when the service rate is exceeded the bounded queue
+/// sheds (that is the experiment). Tickets are collected during dispatch
+/// and waited on afterwards.
+pub fn run_open_loop(
+    server: &QueryServer,
+    queries: &[Vec<f32>],
+    offered_qps: f64,
+    k: usize,
+    deadline: Option<Duration>,
+) -> LoadReport {
+    assert!(offered_qps > 0.0);
+    let interval = Duration::from_secs_f64(1.0 / offered_qps);
+    let mut report = LoadReport::default();
+    let mut tickets: Vec<(usize, Ticket)> = Vec::with_capacity(queries.len());
+    let start = Instant::now();
+    for (index, query) in queries.iter().enumerate() {
+        // Pace to the schedule `start + index·interval`, never ahead of it.
+        let target = start + interval.mul_f64(index as f64);
+        let now = Instant::now();
+        if target > now {
+            thread::sleep(target - now);
+        }
+        report.offered += 1;
+        let abs_deadline = deadline.map(|d| Instant::now() + d);
+        match server.submit(query.clone(), k, abs_deadline) {
+            Ok(ticket) => tickets.push((index, ticket)),
+            Err(SubmitError::QueueFull) => report.rejected += 1,
+            Err(SubmitError::ShuttingDown) => break,
+        }
+    }
+    for (index, ticket) in tickets {
+        let outcome = ticket.wait();
+        report.absorb(index, outcome);
+    }
+    report.finish(start.elapsed());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let mut r = LoadReport {
+            latencies_us: (1..=100).collect(),
+            completed: 100,
+            offered: 100,
+            ..Default::default()
+        };
+        r.finish(Duration::from_secs(1));
+        assert_eq!(r.p50_us(), 50);
+        assert_eq!(r.p99_us(), 99);
+        assert_eq!(r.percentile_us(100.0), 100);
+        assert!((r.qps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shed_rate_counts_rejections_and_timeouts() {
+        let r = LoadReport {
+            offered: 10,
+            completed: 6,
+            rejected: 3,
+            timed_out: 1,
+            ..Default::default()
+        };
+        assert!((r.shed_rate() - 0.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,352 @@
+//! The concurrent query server: worker threads over shared parts.
+//!
+//! Every worker owns a full [`KnnEngine`] (its own scratch, its own labeled
+//! `query.*` metric series) but all engines share the same `Arc`'d index,
+//! point file, and [`ConcurrentPointCache`] — so a point admitted by worker
+//! 0 serves bound-hits to worker 3. Requests flow through a
+//! [`BoundedQueue`]; admission control turns overload into explicit
+//! [`SubmitError::QueueFull`] / [`QueryOutcome::TimedOut`] outcomes rather
+//! than unbounded queueing.
+//!
+//! Correctness under concurrency is inherited from Algorithm 1: the cache
+//! only supplies distance *bounds* over the candidate set, so whatever mix
+//! of admissions the workers interleave, each query's result ids equal the
+//! single-threaded engine's (same index, same candidates, same exact
+//! refinement) — only the I/O spent getting there varies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use hc_cache::concurrent::{ConcurrentPointCache, SharedPointCache};
+use hc_core::dataset::PointId;
+use hc_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use hc_query::SharedParts;
+use hc_storage::io_stats::IoModel;
+
+use crate::queue::{BoundedQueue, PushError};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads, each with its own engine.
+    pub workers: usize,
+    /// Bounded admission queue capacity; pushes beyond it are shed.
+    pub queue_capacity: usize,
+    /// Latency model for the modeled refinement time reported per query.
+    pub io_model: IoModel,
+    /// When set, each worker *sleeps* `io_model.modeled_time(io_pages)`
+    /// scaled by this factor after finishing a query, emulating the blocking
+    /// disk wait of a real deployment. This is what makes multi-worker
+    /// throughput scale even on a single core: threads overlap their
+    /// simulated I/O stalls exactly as real threads overlap real disk waits.
+    pub simulate_io_scale: Option<f64>,
+    /// Enable the footnote-6 eager refetch in every worker engine.
+    pub eager_refetch: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+            io_model: IoModel::SSD,
+            simulate_io_scale: None,
+            eager_refetch: false,
+        }
+    }
+}
+
+/// What the worker hands back through the ticket.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The k nearest candidate ids (Algorithm 1 output).
+    pub ids: Vec<PointId>,
+    /// Submit-to-fulfil wall time (includes queue wait and simulated I/O).
+    pub latency: Duration,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Duration,
+    /// Pages fetched during refinement.
+    pub io_pages: u64,
+    /// Candidates answered from the shared cache.
+    pub cache_hits: usize,
+    /// `|C(q)|` for this query.
+    pub candidates: usize,
+}
+
+/// Terminal state of an admitted request.
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    Done(QueryResponse),
+    /// The deadline passed while the request sat in the queue; it was shed
+    /// without running.
+    TimedOut,
+}
+
+/// Why a submission was refused at the door.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue at capacity — the request was shed (the paper's bounded-cache
+    /// discipline applied to admission: overload costs rejections, not
+    /// memory).
+    QueueFull,
+    /// [`QueryServer::shutdown`] already began.
+    ShuttingDown,
+}
+
+/// One-shot response slot: worker fulfils, submitter waits.
+struct ResponseSlot {
+    state: Mutex<Option<QueryOutcome>>,
+    cv: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fulfil(&self, outcome: QueryOutcome) {
+        let mut state = self.state.lock().expect("slot poisoned");
+        *state = Some(outcome);
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> QueryOutcome {
+        let mut state = self.state.lock().expect("slot poisoned");
+        loop {
+            if let Some(outcome) = state.take() {
+                return outcome;
+            }
+            state = self.cv.wait(state).expect("slot poisoned");
+        }
+    }
+}
+
+/// Handle to one in-flight query; consume it with [`Ticket::wait`].
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    /// Block until the worker fulfils (or sheds) the request.
+    pub fn wait(self) -> QueryOutcome {
+        self.slot.wait()
+    }
+}
+
+struct QueryRequest {
+    query: Vec<f32>,
+    k: usize,
+    /// Shed (TimedOut) if a worker picks this up after the deadline.
+    deadline: Option<Instant>,
+    submitted: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+/// Serving-layer metric handles (all no-ops on a disabled registry).
+struct ServeObs {
+    submitted: Counter,
+    completed: Counter,
+    rejected: Counter,
+    timed_out: Counter,
+    queue_depth: Gauge,
+    latency_us: Histogram,
+    queue_wait_us: Histogram,
+}
+
+impl ServeObs {
+    fn bind(registry: &MetricsRegistry) -> Self {
+        Self {
+            submitted: registry.counter("serve.submitted"),
+            completed: registry.counter("serve.completed"),
+            rejected: registry.counter("serve.rejected"),
+            timed_out: registry.counter("serve.timed_out"),
+            queue_depth: registry.gauge("serve.queue_depth"),
+            latency_us: registry.histogram("serve.latency_us"),
+            queue_wait_us: registry.histogram("serve.queue_wait_us"),
+        }
+    }
+}
+
+/// A running pool of query workers over one shared cache.
+pub struct QueryServer {
+    queue: Arc<BoundedQueue<QueryRequest>>,
+    workers: Vec<JoinHandle<()>>,
+    in_flight: Arc<AtomicUsize>,
+    obs: Arc<ServeObs>,
+    accepting: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl QueryServer {
+    /// Spawn `config.workers` threads. The shared cache's observability is
+    /// bound once, centrally (per-shard labels); each worker additionally
+    /// binds its own `worker{i}`-labeled `query.*` series.
+    pub fn start(
+        parts: SharedParts,
+        cache: Arc<dyn ConcurrentPointCache>,
+        config: ServeConfig,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        assert!(config.workers >= 1, "need at least one worker");
+        cache.bind_obs(registry);
+        parts.file.stats().bind(registry);
+
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let obs = Arc::new(ServeObs::bind(registry));
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let in_flight = Arc::clone(&in_flight);
+                let obs = Arc::clone(&obs);
+                let parts = parts.clone();
+                let cache = SharedPointCache::new(Arc::clone(&cache));
+                let registry = registry.clone();
+                let config = config.clone();
+                thread::Builder::new()
+                    .name(format!("hc-serve-worker{i}"))
+                    .spawn(move || {
+                        worker_loop(i, queue, in_flight, obs, parts, cache, registry, config)
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        Self {
+            queue,
+            workers,
+            in_flight,
+            obs,
+            accepting: Arc::new(std::sync::atomic::AtomicBool::new(true)),
+        }
+    }
+
+    /// Admit a query. Non-blocking: a full queue sheds the request
+    /// immediately. `deadline` (absolute) sheds it later if still queued
+    /// when a worker gets to it.
+    pub fn submit(
+        &self,
+        query: Vec<f32>,
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let slot = Arc::new(ResponseSlot::new());
+        let request = QueryRequest {
+            query,
+            k,
+            deadline,
+            submitted: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        match self.queue.try_push(request) {
+            Ok(()) => {
+                self.obs.submitted.inc();
+                self.obs.queue_depth.set(self.queue.len() as f64);
+                Ok(Ticket { slot })
+            }
+            Err(PushError::Full(_)) => {
+                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                self.obs.rejected.inc();
+                Err(SubmitError::QueueFull)
+            }
+            Err(PushError::Closed(_)) => {
+                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Requests admitted but not yet fulfilled.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stop admissions, drain the queue, and join every worker. All
+    /// already-admitted requests are fulfilled (run or timed out) before
+    /// this returns, so `in_flight` is zero afterwards.
+    pub fn shutdown(mut self) {
+        self.accepting.store(false, Ordering::Release);
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            handle.join().expect("worker panicked");
+        }
+        debug_assert_eq!(self.in_flight.load(Ordering::Acquire), 0);
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        // Belt-and-braces for tests that forget shutdown(): close and join.
+        self.accepting.store(false, Ordering::Release);
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    worker_id: usize,
+    queue: Arc<BoundedQueue<QueryRequest>>,
+    in_flight: Arc<AtomicUsize>,
+    obs: Arc<ServeObs>,
+    parts: SharedParts,
+    cache: SharedPointCache,
+    registry: MetricsRegistry,
+    config: ServeConfig,
+) {
+    let mut engine = parts.engine(Box::new(cache));
+    engine.io_model = config.io_model;
+    engine.eager_refetch = config.eager_refetch;
+    engine.obs = hc_query::QueryObs::bind_labeled(&registry, &format!("worker{worker_id}"));
+
+    while let Some(request) = queue.pop() {
+        obs.queue_depth.set(queue.len() as f64);
+        let picked_up = Instant::now();
+        if let Some(deadline) = request.deadline {
+            if picked_up > deadline {
+                obs.timed_out.inc();
+                request.slot.fulfil(QueryOutcome::TimedOut);
+                in_flight.fetch_sub(1, Ordering::AcqRel);
+                continue;
+            }
+        }
+        let (ids, stats) = engine.query(&request.query, request.k);
+        if let Some(scale) = config.simulate_io_scale {
+            let stall = config.io_model.modeled_time(stats.io_pages).mul_f64(scale);
+            if !stall.is_zero() {
+                thread::sleep(stall);
+            }
+        }
+        let now = Instant::now();
+        let latency = now.duration_since(request.submitted);
+        let queue_wait = picked_up.duration_since(request.submitted);
+        obs.completed.inc();
+        obs.latency_us.record(latency.as_micros() as u64);
+        obs.queue_wait_us.record(queue_wait.as_micros() as u64);
+        request.slot.fulfil(QueryOutcome::Done(QueryResponse {
+            ids,
+            latency,
+            queue_wait,
+            io_pages: stats.io_pages,
+            cache_hits: stats.cache_hits,
+            candidates: stats.candidates,
+        }));
+        in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}

@@ -1,0 +1,211 @@
+//! Admission-control and lifecycle tests for [`QueryServer`]: overload
+//! sheds with explicit errors, expired deadlines time out instead of
+//! running, shutdown drains and joins cleanly, and concurrent results match
+//! the single-threaded engine.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hc_cache::point::NoCache;
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::histogram::classic::equi_width;
+use hc_core::quantize::Quantizer;
+use hc_core::scheme::{ApproxScheme, GlobalScheme};
+use hc_index::traits::CandidateIndex;
+use hc_obs::MetricsRegistry;
+use hc_query::{KnnEngine, SharedParts};
+use hc_serve::{QueryOutcome, QueryServer, ServeConfig, ShardedCompactCache, SubmitError};
+use hc_storage::io_stats::IoModel;
+use hc_storage::point_file::PointFile;
+
+const N: usize = 64;
+const DIM: usize = 2;
+
+/// Every query scans everything — deterministic candidates, nonzero I/O.
+struct ScanIndex;
+
+impl CandidateIndex for ScanIndex {
+    fn candidates(&self, _q: &[f32], _k: usize) -> Vec<PointId> {
+        (0..N as u32).map(PointId).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+}
+
+fn dataset() -> Dataset {
+    Dataset::from_rows(
+        &(0..N)
+            .map(|i| vec![i as f32, (i * 3 % N) as f32])
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn parts() -> SharedParts {
+    SharedParts::new(Arc::new(ScanIndex), Arc::new(PointFile::new(dataset())))
+}
+
+fn scheme() -> Arc<dyn ApproxScheme> {
+    let quant = Quantizer::new(0.0, N as f32, 256);
+    Arc::new(GlobalScheme::new(equi_width(256, 64), quant, DIM))
+}
+
+fn shared_cache() -> Arc<ShardedCompactCache> {
+    let s = scheme();
+    Arc::new(ShardedCompactCache::lru(
+        Arc::clone(&s),
+        s.bytes_per_point() * N * 2,
+        4,
+    ))
+}
+
+fn query(i: usize) -> Vec<f32> {
+    vec![(i % N) as f32 + 0.25, ((i * 3) % N) as f32 + 0.25]
+}
+
+#[test]
+fn full_queue_rejects_with_queue_full() {
+    // One worker stalled ~100 ms per query (HDD pages × scale), capacity-2
+    // queue: a burst of 10 cannot all fit.
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        io_model: IoModel::HDD,
+        simulate_io_scale: Some(1.0),
+        eager_refetch: false,
+    };
+    let registry = MetricsRegistry::new();
+    let server = QueryServer::start(parts(), shared_cache(), config, &registry);
+    let mut rejected = 0;
+    let mut tickets = Vec::new();
+    for i in 0..10 {
+        match server.submit(query(i), 5, None) {
+            Ok(t) => tickets.push(t),
+            Err(SubmitError::QueueFull) => rejected += 1,
+            Err(other) => panic!("unexpected submit error: {other:?}"),
+        }
+    }
+    assert!(
+        rejected > 0,
+        "burst of 10 into a capacity-2 queue never shed"
+    );
+    for t in tickets {
+        assert!(matches!(t.wait(), QueryOutcome::Done(_)));
+    }
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("serve.rejected"), Some(rejected));
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_times_out_instead_of_running() {
+    let registry = MetricsRegistry::new();
+    let server = QueryServer::start(
+        parts(),
+        shared_cache(),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        &registry,
+    );
+    // A deadline already in the past must be shed by the worker, not run.
+    let expired = Instant::now() - Duration::from_millis(5);
+    let ticket = server.submit(query(0), 5, Some(expired)).expect("admitted");
+    assert!(matches!(ticket.wait(), QueryOutcome::TimedOut));
+    // A generous deadline runs normally.
+    let ok = server
+        .submit(query(1), 5, Some(Instant::now() + Duration::from_secs(30)))
+        .expect("admitted");
+    assert!(matches!(ok.wait(), QueryOutcome::Done(_)));
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("serve.timed_out"), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_fulfils_everything_and_joins_all_workers() {
+    let registry = MetricsRegistry::new();
+    let server = QueryServer::start(
+        parts(),
+        shared_cache(),
+        ServeConfig {
+            workers: 3,
+            queue_capacity: 64,
+            ..ServeConfig::default()
+        },
+        &registry,
+    );
+    let tickets: Vec<_> = (0..30)
+        .map(|i| server.submit(query(i), 5, None).expect("admitted"))
+        .collect();
+    // Shutdown drains the queue: every admitted request still gets an
+    // outcome, and all workers are joined before shutdown() returns.
+    let mut done = 0;
+    let handle =
+        std::thread::spawn(move || tickets.into_iter().map(|t| t.wait()).collect::<Vec<_>>());
+    server.shutdown();
+    let outcomes = handle.join().expect("waiter");
+    for outcome in outcomes {
+        assert!(matches!(outcome, QueryOutcome::Done(_)));
+        done += 1;
+    }
+    assert_eq!(done, 30);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("serve.completed"), Some(30));
+}
+
+#[test]
+fn submissions_after_shutdown_begin_are_refused() {
+    let registry = MetricsRegistry::new();
+    let server = QueryServer::start(parts(), shared_cache(), ServeConfig::default(), &registry);
+    server.shutdown();
+    // The server is consumed; nothing to assert beyond a clean join. The
+    // ShuttingDown path is exercised via the closed queue in loadgen, and
+    // in-flight bookkeeping is validated by shutdown()'s internal check.
+}
+
+#[test]
+fn concurrent_results_match_single_threaded_engine() {
+    let ds = dataset();
+    let file = PointFile::new(ds);
+    let index = ScanIndex;
+    let mut reference = KnnEngine::new(&index, &file, Box::new(NoCache));
+    let k = 5;
+    let queries: Vec<Vec<f32>> = (0..40).map(query).collect();
+    let want: Vec<Vec<PointId>> = queries
+        .iter()
+        .map(|q| {
+            let (mut ids, _) = reference.query(q, k);
+            ids.sort_unstable_by_key(|id| id.0);
+            ids
+        })
+        .collect();
+
+    let registry = MetricsRegistry::new();
+    let server = QueryServer::start(
+        parts(),
+        shared_cache(),
+        ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        },
+        &registry,
+    );
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|q| server.submit(q.clone(), k, None).expect("admitted"))
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        match ticket.wait() {
+            QueryOutcome::Done(resp) => {
+                let mut got = resp.ids;
+                got.sort_unstable_by_key(|id| id.0);
+                assert_eq!(got, want[i], "query {i} diverged under concurrency");
+            }
+            QueryOutcome::TimedOut => panic!("no deadline was set"),
+        }
+    }
+    server.shutdown();
+}

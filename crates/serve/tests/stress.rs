@@ -1,0 +1,199 @@
+//! Multi-threaded stress tests for [`ShardedCompactCache`]: invariants the
+//! single-threaded `CompactPointCache` guarantees must survive N threads
+//! hammering the shards concurrently.
+
+use std::sync::Arc;
+use std::thread;
+
+use hc_cache::concurrent::ConcurrentPointCache;
+use hc_cache::point::{CacheLookup, CompactPointCache, PointCache};
+use hc_core::dataset::PointId;
+use hc_core::histogram::classic::equi_width;
+use hc_core::quantize::Quantizer;
+use hc_core::scheme::{ApproxScheme, GlobalScheme};
+use hc_serve::ShardedCompactCache;
+
+const DIM: usize = 4;
+
+fn scheme() -> Arc<dyn ApproxScheme> {
+    let quant = Quantizer::new(0.0, 1024.0, 256);
+    Arc::new(GlobalScheme::new(equi_width(256, 64), quant, DIM))
+}
+
+fn point(i: u32) -> Vec<f32> {
+    (0..DIM)
+        .map(|j| ((i as usize * 31 + j * 7) % 1024) as f32)
+        .collect()
+}
+
+/// With room for every admitted id, no admission may be lost: concurrent
+/// admits of distinct ids all stay resident.
+#[test]
+fn concurrent_admissions_are_not_lost_when_capacity_allows() {
+    const THREADS: u32 = 8;
+    const PER_THREAD: u32 = 200;
+    let s = scheme();
+    let total_items = (THREADS * PER_THREAD) as usize;
+    // Generous budget: 4× the space the items need, so even a skewed shard
+    // never has to evict.
+    let cache = Arc::new(ShardedCompactCache::lru(
+        Arc::clone(&s),
+        s.bytes_per_point() * total_items * 4,
+        8,
+    ));
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let id = t * PER_THREAD + i;
+                    cache.admit(PointId(id), &point(id));
+                }
+            });
+        }
+    });
+    assert_eq!(cache.len(), total_items, "admissions lost");
+    for id in 0..THREADS * PER_THREAD {
+        assert!(cache.contains(PointId(id)), "id {id} missing");
+    }
+}
+
+/// Under a tight budget with far more admissions than fit, every shard must
+/// stay within its byte budget at all times — checked at the end and via
+/// the summed accessors.
+#[test]
+fn shards_never_exceed_their_budget_under_churn() {
+    const THREADS: u32 = 8;
+    const OPS: u32 = 2000;
+    let s = scheme();
+    // Room for ~32 items total across 4 shards; 16k admissions churn hard.
+    let cache = Arc::new(ShardedCompactCache::lru(
+        Arc::clone(&s),
+        s.bytes_per_point() * 32,
+        4,
+    ));
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    let id = (t * OPS + i) % 4096;
+                    cache.admit(PointId(id), &point(id));
+                    let _ = cache.lookup(&point(id), PointId(id));
+                }
+            });
+        }
+    });
+    for (shard, (used, cap)) in cache.shard_occupancy().iter().enumerate() {
+        assert!(used <= cap, "shard {shard} over budget: {used} > {cap}");
+    }
+    assert!(cache.used_bytes() <= cache.capacity_bytes());
+}
+
+/// Mixed readers and writers racing on overlapping ids: lookups must only
+/// ever see `Miss` or sound `Bounds` (lb ≤ ub), never torn state.
+#[test]
+fn racing_lookups_see_only_miss_or_sound_bounds() {
+    const THREADS: u32 = 8;
+    const OPS: u32 = 1500;
+    let s = scheme();
+    let cache = Arc::new(ShardedCompactCache::lru(
+        Arc::clone(&s),
+        s.bytes_per_point() * 64,
+        8,
+    ));
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    let id = (i * 13 + t) % 256; // heavy id overlap across threads
+                    if t % 2 == 0 {
+                        cache.admit(PointId(id), &point(id));
+                    }
+                    let q = point(id.wrapping_add(t));
+                    match cache.lookup(&q, PointId(id)) {
+                        CacheLookup::Miss => {}
+                        CacheLookup::Exact(d) => assert!(d.is_finite() && d >= 0.0),
+                        CacheLookup::Bounds(b) => {
+                            assert!(b.lb.is_finite() && b.ub.is_finite(), "torn bounds");
+                            assert!(b.lb <= b.ub + 1e-9, "lb {} > ub {}", b.lb, b.ub);
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// The sharded cache is a pure partition of the compact cache: for the same
+/// resident contents, a concurrent lookup returns bit-identical bounds to a
+/// single-threaded `CompactPointCache` holding the same points.
+#[test]
+fn concurrent_bounds_equal_single_threaded_bounds() {
+    const N: u32 = 300;
+    let s = scheme();
+    let sharded = Arc::new(ShardedCompactCache::lru(
+        Arc::clone(&s),
+        s.bytes_per_point() * N as usize * 2,
+        8,
+    ));
+    let mut reference =
+        CompactPointCache::lru(Arc::clone(&s), s.bytes_per_point() * N as usize * 2);
+
+    // Populate the sharded cache from 4 threads, the reference serially.
+    thread::scope(|scope| {
+        for t in 0..4u32 {
+            let sharded = Arc::clone(&sharded);
+            scope.spawn(move || {
+                for id in (t..N).step_by(4) {
+                    sharded.admit(PointId(id), &point(id));
+                }
+            });
+        }
+    });
+    for id in 0..N {
+        reference.admit(PointId(id), &point(id));
+    }
+
+    let queries: Vec<Vec<f32>> = (0..20).map(|q| point(q * 37 + 5)).collect();
+    thread::scope(|scope| {
+        for q in &queries {
+            let sharded = Arc::clone(&sharded);
+            let s = Arc::clone(&s);
+            scope.spawn(move || {
+                // Each thread re-derives the reference bounds itself: the
+                // encoding is deterministic, so a fresh single-threaded
+                // cache with the same contents gives the ground truth.
+                let mut solo =
+                    CompactPointCache::lru(Arc::clone(&s), s.bytes_per_point() * N as usize * 2);
+                for id in 0..N {
+                    solo.admit(PointId(id), &point(id));
+                }
+                for id in 0..N {
+                    let got = sharded.lookup(q, PointId(id));
+                    let want = solo.lookup(q, PointId(id));
+                    match (got, want) {
+                        (CacheLookup::Bounds(g), CacheLookup::Bounds(w)) => {
+                            assert_eq!(g.lb, w.lb, "lb differs for id {id}");
+                            assert_eq!(g.ub, w.ub, "ub differs for id {id}");
+                        }
+                        (g, w) => panic!("variant mismatch for id {id}: {g:?} vs {w:?}"),
+                    }
+                }
+            });
+        }
+    });
+    // Silence the unused warning: the serial reference also matches.
+    let q = &queries[0];
+    match (
+        sharded.lookup(q, PointId(0)),
+        reference.lookup(q, PointId(0)),
+    ) {
+        (CacheLookup::Bounds(g), CacheLookup::Bounds(w)) => {
+            assert_eq!(g.lb, w.lb);
+            assert_eq!(g.ub, w.ub);
+        }
+        (g, w) => panic!("variant mismatch: {g:?} vs {w:?}"),
+    }
+}

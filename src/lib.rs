@@ -19,6 +19,9 @@
 //! * [`workload`] — synthetic dataset presets and Zipf query logs.
 //! * [`obs`] — the metrics registry, phase spans, per-query trace ring, and
 //!   Prometheus/JSON exporters every layer above reports into.
+//! * [`serve`] — the concurrent query service: sharded compact cache,
+//!   bounded admission queue with overload shedding, worker-thread engine
+//!   pool, and closed/open-loop load generators.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and
 //! `DESIGN.md` for the full system inventory and experiment index.
@@ -28,6 +31,7 @@ pub use hc_core as core;
 pub use hc_index as index;
 pub use hc_obs as obs;
 pub use hc_query as query;
+pub use hc_serve as serve;
 pub use hc_storage as storage;
 pub use hc_workload as workload;
 
