@@ -1,0 +1,283 @@
+//! Chaos experiment: drive the concurrent query service through a
+//! fault-injected page store and measure what the robustness layer delivers
+//! — availability, degraded-answer rate, tail latency — while *verifying*
+//! that no answer is ever silently wrong.
+//!
+//! ```text
+//! cargo run --release -p hc-bench --bin chaos -- \
+//!     --rate 0.0 --rate 0.01 --rate 0.05 --requests 400
+//! cargo run --release -p hc-bench --bin chaos -- --smoke   # CI
+//! ```
+//!
+//! Per sweep point the harness replays the same Zipf request stream through
+//! a [`FaultInjector`] at a mixed fault rate (transient / corrupt / torn /
+//! unreadable in the `FaultConfig::mixed` proportions, fixed seed) and
+//! checks every fulfilment:
+//!
+//! * `Done` — sorted result distances must equal the fault-free reference
+//!   (distance multisets: bound-tie exclusions may reorder equal-distance
+//!   ids, DESIGN.md §10),
+//! * `Degraded { missing }` — sorted result distances must equal the brute
+//!   top-k over that query's candidate set minus `missing`: exact over what
+//!   was readable, and the loss is declared,
+//! * `Failed` / hung tickets — never, under pure storage faults.
+//!
+//! Rate 0.0 must be bit-identical to the bare store (the injector wrapper
+//! is free), and at a 1% fault rate availability must stay ≥ 99%.
+
+use std::sync::Arc;
+
+use hc_bench::world::{World, DEFAULT_TAU};
+use hc_core::dataset::PointId;
+use hc_core::distance::euclidean;
+use hc_core::histogram::HistogramKind;
+use hc_index::traits::CandidateIndex;
+use hc_obs::MetricsRegistry;
+use hc_query::SharedParts;
+use hc_serve::{run_closed_loop, QueryServer, ServeConfig, ShardedCompactCache};
+use hc_storage::io_stats::IoModel;
+use hc_storage::{FaultConfig, FaultInjector, RetryPolicy};
+use hc_workload::zipf::Zipf;
+use hc_workload::{Preset, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ZIPF_S: f64 = 0.8;
+const SEED: u64 = 0xC4A0;
+const FAULT_SEED: u64 = 0xFA17;
+const SHARDS: usize = 8;
+const CLIENTS: usize = 8;
+const WORKERS: usize = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let get_all = |flag: &str| -> Vec<String> {
+        args.windows(2)
+            .filter(|w| w[0] == flag)
+            .map(|w| w[1].clone())
+            .collect()
+    };
+    let scale = match get_all("--scale").pop().as_deref().unwrap_or("test") {
+        "test" => Scale::Test,
+        "bench" => Scale::Bench,
+        "full" => Scale::Full,
+        other => panic!("unknown scale {other:?}"),
+    };
+    let requests: usize = get_all("--requests")
+        .pop()
+        .map(|v| v.parse().expect("numeric --requests"))
+        .unwrap_or(if smoke { 150 } else { 400 });
+    let rates: Vec<f64> = {
+        let rs = get_all("--rate");
+        if rs.is_empty() {
+            if smoke {
+                vec![0.0, 0.01, 0.05]
+            } else {
+                vec![0.0, 0.005, 0.01, 0.02, 0.05]
+            }
+        } else {
+            rs.iter()
+                .map(|v| v.parse().expect("numeric --rate"))
+                .collect()
+        }
+    };
+
+    let k = 10;
+    let world = World::build(Preset::nus_wide(scale), k);
+    let scheme = world.scheme(HistogramKind::KnnOptimal, DEFAULT_TAU);
+    let cache_bytes = world.cache_bytes;
+
+    let zipf = Zipf::new(world.log.pool.len(), ZIPF_S);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let queries: Vec<Vec<f32>> = (0..requests)
+        .map(|_| world.log.pool[zipf.sample(&mut rng)].clone())
+        .collect();
+
+    // Verification data, computed fault-free and offline: each request's
+    // candidate set and the exact sorted distances of its top-k. The serve
+    // path must reproduce these (or a declared-degraded subset) regardless
+    // of the fault schedule.
+    let per_query: Vec<(Vec<PointId>, Vec<f64>)> = queries
+        .iter()
+        .map(|q| {
+            let cands = world.index.candidates(q, k);
+            let mut dists: Vec<f64> = cands
+                .iter()
+                .map(|&id| euclidean(q, world.dataset.point(id)))
+                .collect();
+            dists.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            dists.truncate(k);
+            (cands, dists)
+        })
+        .collect();
+    let dataset = world.dataset.clone();
+    let sorted_dists = |qi: usize, ids: &[PointId]| -> Vec<f64> {
+        let mut d: Vec<f64> = ids
+            .iter()
+            .map(|&id| euclidean(&queries[qi], dataset.point(id)))
+            .collect();
+        d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        d
+    };
+    let assert_close = |got: &[f64], want: &[f64], ctx: &str| {
+        assert_eq!(got.len(), want.len(), "{ctx}: result count diverged");
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() < 1e-9, "{ctx}: distance {g} vs {w}");
+        }
+    };
+
+    println!(
+        "dataset={} n={} d={} requests={requests} k={k} CS={:.1}MB workers={WORKERS}",
+        world.preset.name,
+        dataset.len(),
+        dataset.dim(),
+        cache_bytes as f64 / 1e6,
+    );
+
+    let World { index, file, .. } = world;
+    let index: Arc<C2lshHolder> = Arc::new(C2lshHolder(index));
+    let file = Arc::new(file);
+    let registry = MetricsRegistry::global();
+
+    println!(
+        "{:<8} {:>8} {:>9} {:>9} {:>8} {:>10} {:>9}",
+        "rate", "avail", "degraded", "failed", "retries", "p99 (ms)", "qps"
+    );
+    for &rate in &rates {
+        let injector = Arc::new(FaultInjector::new(
+            Arc::clone(&file),
+            FaultConfig::mixed(FAULT_SEED, rate),
+        ));
+        let retries_before = file.stats().snapshot().pages_retried;
+        let parts = SharedParts::new(
+            Arc::clone(&index) as Arc<dyn CandidateIndex + Send + Sync>,
+            injector as Arc<dyn hc_storage::PageStore>,
+        );
+        let cache = Arc::new(ShardedCompactCache::lru(
+            Arc::clone(&scheme),
+            cache_bytes,
+            SHARDS,
+        ));
+        let server = QueryServer::start(
+            parts,
+            cache,
+            ServeConfig {
+                workers: WORKERS,
+                queue_capacity: 256, // closed loop ≤ CLIENTS outstanding: no shedding
+                io_model: IoModel::SSD,
+                simulate_io_scale: None,
+                eager_refetch: false,
+                retry: RetryPolicy::default(),
+            },
+            registry,
+        );
+        let report = run_closed_loop(&server, &queries, CLIENTS, k, None);
+        server.shutdown();
+        let retries = file.stats().snapshot().pages_retried - retries_before;
+
+        // Every admitted ticket reached a terminal outcome.
+        assert_eq!(
+            report.offered,
+            report.completed + report.failed + report.rejected + report.timed_out,
+            "tickets went unaccounted at rate {rate}"
+        );
+        assert_eq!(report.failed, 0, "storage faults must never Fail a query");
+
+        // Zero incorrect results, exact and degraded alike.
+        for (qi, ids) in &report.results {
+            assert_close(
+                &sorted_dists(*qi, ids),
+                &per_query[*qi].1,
+                &format!("rate {rate} request {qi}"),
+            );
+        }
+        for (qi, ids, missing) in &report.degraded_results {
+            let mut want: Vec<f64> = per_query[*qi]
+                .0
+                .iter()
+                .filter(|id| !missing.contains(id))
+                .map(|&id| euclidean(&queries[*qi], dataset.point(id)))
+                .collect();
+            want.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            want.truncate(k);
+            assert_close(
+                &sorted_dists(*qi, ids),
+                &want,
+                &format!("rate {rate} degraded request {qi}"),
+            );
+        }
+
+        if rate == 0.0 {
+            assert_eq!(report.degraded, 0, "zero-rate injector degraded a query");
+            assert_eq!(
+                report.results.len(),
+                requests,
+                "zero-rate run must answer everything exactly"
+            );
+        }
+        if rate > 0.0 && rate <= 0.011 {
+            assert!(
+                report.availability() >= 0.99,
+                "availability {:.4} < 0.99 at rate {rate}",
+                report.availability()
+            );
+        }
+
+        println!(
+            "{:<8} {:>7.2}% {:>9} {:>9} {:>8} {:>10.2} {:>9.1}",
+            rate,
+            report.availability() * 100.0,
+            report.degraded,
+            report.failed,
+            retries,
+            report.p99_us() as f64 / 1e3,
+            report.qps(),
+        );
+        let label = format!("rate={rate}");
+        registry
+            .gauge_with_label("chaos.availability", &label)
+            .set(report.availability());
+        registry
+            .gauge_with_label("chaos.degraded_rate", &label)
+            .set(report.degraded as f64 / report.offered.max(1) as f64);
+        registry
+            .gauge_with_label("chaos.p99_us", &label)
+            .set(report.p99_us() as f64);
+        registry
+            .gauge_with_label("chaos.pages_retried", &label)
+            .set(retries as f64);
+        registry
+            .gauge_with_label("chaos.qps", &label)
+            .set(report.qps());
+    }
+
+    // The sweep must actually have exercised degradation at its top rate —
+    // otherwise the chaos run proved nothing.
+    let snap = registry.snapshot();
+    let degraded_total = snap.counter("serve.degraded").unwrap_or(0);
+    if rates.iter().any(|&r| r >= 0.05) {
+        assert!(
+            degraded_total > 0,
+            "no query degraded across the sweep — fault injection is not reaching the serve path"
+        );
+    }
+    println!(
+        "verified: every Done matched the fault-free reference, every Degraded was exact over its readable candidates ({degraded_total} degraded total)"
+    );
+    hc_bench::report::emit("chaos");
+}
+
+/// Newtype so the `C2lsh` index (built by value in `World`) can be shared
+/// as an `Arc<dyn CandidateIndex>` across sweep points.
+struct C2lshHolder(hc_index::lsh::C2lsh);
+
+impl CandidateIndex for C2lshHolder {
+    fn candidates(&self, q: &[f32], k: usize) -> Vec<PointId> {
+        self.0.candidates(q, k)
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}

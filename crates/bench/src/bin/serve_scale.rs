@@ -137,6 +137,7 @@ fn main() {
                 io_model: IoModel::HDD,
                 simulate_io_scale: Some(1.0),
                 eager_refetch: false,
+                ..ServeConfig::default()
             },
             registry,
         );
@@ -227,6 +228,7 @@ fn main() {
             io_model: IoModel::HDD,
             simulate_io_scale: Some(1.0),
             eager_refetch: false,
+            ..ServeConfig::default()
         },
         registry,
     );

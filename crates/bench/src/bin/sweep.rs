@@ -86,14 +86,16 @@ fn main() {
     // Drift gauges compare each run against the §4 cost model instantiated
     // for *that method* (item size, histogram, Theorem 2/3 variant), so
     // `costmodel.*` drift means the model mispredicts — not that the method
-    // simply differs from the equi-width baseline.
+    // simply differs from the equi-width baseline. Measured I/O is
+    // first-attempt reads only: the model prices page fetches, not the
+    // storage layer's retries.
     let drift = DriftMonitor::bind(MetricsRegistry::global());
     for &method in &methods {
         for &tau in &taus {
             for &k in &ks {
                 let agg = world.measure(world.cache(method, tau, cs), k);
                 let est = world.estimate(method, tau, cs);
-                drift.record(&est, agg.avg_hit_ratio, agg.avg_io_pages);
+                drift.record(&est, agg.avg_hit_ratio, agg.avg_first_attempt_io());
                 println!(
                     "{:<10} {tau:>4} {k:>4} {:>10.1} {:>10.1} {:>12.1} {:>12.3} {:>14.4}",
                     method.label(),

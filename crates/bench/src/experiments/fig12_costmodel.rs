@@ -28,7 +28,7 @@ pub fn run(scale: Scale) -> String {
         for tau in [4u32, 6, 8, 10, 12] {
             let est = estimate_equiwidth(&stats, world.cache_bytes, &world.quantizer, tau);
             let agg = world.measure_method(Method::Hc(HistogramKind::EquiWidth), tau);
-            drift.record(&est, agg.avg_hit_ratio, agg.avg_io_pages);
+            drift.record(&est, agg.avg_hit_ratio, agg.avg_first_attempt_io());
             if agg.avg_io_pages < best_measured.1 {
                 best_measured = (tau, agg.avg_io_pages);
             }

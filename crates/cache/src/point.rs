@@ -56,6 +56,20 @@ pub enum CacheLookup {
     Bounds(DistBounds),
 }
 
+impl CacheLookup {
+    /// The distance knowledge this probe yields, as bounds: exact hits
+    /// collapse to a zero-width interval, misses to `(0, +∞)`. The
+    /// degradation path uses this to decide whether a cached bound can
+    /// substitute for an unreadable candidate (DESIGN.md §10).
+    pub fn as_bounds(&self) -> DistBounds {
+        match *self {
+            CacheLookup::Miss => DistBounds::UNKNOWN,
+            CacheLookup::Exact(d) => DistBounds { lb: d, ub: d },
+            CacheLookup::Bounds(b) => b,
+        }
+    }
+}
+
 /// The interface Algorithm 1 consumes.
 pub trait PointCache {
     /// Probe the cache for candidate `id` against query `q`.

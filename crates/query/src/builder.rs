@@ -26,7 +26,7 @@ use hc_core::distance::euclidean;
 use hc_core::metric::QueryCandidates;
 use hc_core::quantize::Quantizer;
 use hc_index::traits::{CandidateIndex, LeafedIndex};
-use hc_storage::point_file::PointFile;
+use hc_storage::store::PageStore;
 
 use hc_cache::node::NoNodeCache;
 use hc_cache::point::PointCache;
@@ -87,21 +87,22 @@ impl Replay {
 }
 
 /// The read-only halves of a query pipeline, `Arc`'d for sharing across
-/// worker threads: the candidate index and the simulated point file.
+/// worker threads: the candidate index and the page store (the pristine
+/// [`PointFile`] or a fault-injected wrapper around it).
 ///
 /// A multi-threaded server hands each worker a clone; the worker then builds
 /// its own [`KnnEngine`] over the shared parts with
 /// [`SharedParts::engine`], keeping the engine itself single-threaded (its
-/// cache box may still point at a shared concurrent cache). `PointFile`'s
+/// cache box may still point at a shared concurrent cache). The store's
 /// `IoStats` are atomic, so I/O accounting stays correct across workers.
 #[derive(Clone)]
 pub struct SharedParts {
     pub index: Arc<dyn CandidateIndex + Send + Sync>,
-    pub file: Arc<PointFile>,
+    pub file: Arc<dyn PageStore>,
 }
 
 impl SharedParts {
-    pub fn new(index: Arc<dyn CandidateIndex + Send + Sync>, file: Arc<PointFile>) -> Self {
+    pub fn new(index: Arc<dyn CandidateIndex + Send + Sync>, file: Arc<dyn PageStore>) -> Self {
         Self { index, file }
     }
 
@@ -189,6 +190,7 @@ pub fn replay_leaf_accesses(
 mod tests {
     use super::*;
     use hc_index::idistance::IDistance;
+    use hc_storage::point_file::PointFile;
 
     struct ScanIndex {
         n: u32,

@@ -22,7 +22,8 @@ use hc_core::distance::kth_smallest;
 use hc_index::traits::CandidateIndex;
 use hc_obs::MetricsRegistry;
 use hc_storage::io_stats::IoModel;
-use hc_storage::point_file::PointFile;
+use hc_storage::retry::{RetryObs, RetryPolicy};
+use hc_storage::store::PageStore;
 
 use crate::multistep::{multistep_refine, Pending};
 use crate::obs::QueryObs;
@@ -54,6 +55,17 @@ pub struct QueryStats {
     pub refine_cpu: Duration,
     /// Modeled refinement wall-clock: `T_io · io_pages` (paper §2.2).
     pub modeled_refine_secs: f64,
+    /// Candidate ids whose pages stayed unreadable after retries and could
+    /// not be excluded by cached bounds. Non-empty ⇒ the result is degraded
+    /// (exactly the top-k of the candidates minus these ids).
+    pub missing: Vec<PointId>,
+    /// Retried page reads within this query (fault-recovery reruns; a subset
+    /// of `io_pages`). `io_pages - pages_retried` is what the §4 cost model
+    /// predicts.
+    pub pages_retried: u64,
+    /// Unreadable candidates proven irrelevant by their cached lower bound —
+    /// losses absorbed without degrading the result (DESIGN.md §10).
+    pub fault_excluded: usize,
 }
 
 impl QueryStats {
@@ -80,6 +92,12 @@ impl QueryStats {
         }
         (self.pruned + self.true_results) as f64 / self.cache_hits as f64
     }
+
+    /// Whether storage faults cost this query candidates it could not prove
+    /// irrelevant.
+    pub fn is_degraded(&self) -> bool {
+        !self.missing.is_empty()
+    }
 }
 
 /// Aggregates of many queries (what the figures actually plot).
@@ -98,6 +116,10 @@ pub struct AggregateStats {
     pub avg_reduce_secs: f64,
     pub avg_refine_secs: f64,
     pub avg_response_secs: f64,
+    /// Mean retried page reads per query (0 with faults disabled).
+    pub avg_pages_retried: f64,
+    /// Queries that returned a degraded (explicitly incomplete) result.
+    pub degraded_queries: usize,
 }
 
 impl AggregateStats {
@@ -118,15 +140,24 @@ impl AggregateStats {
             agg.avg_reduce_secs += s.reduce_cpu.as_secs_f64() / n;
             agg.avg_refine_secs += (s.refine_cpu.as_secs_f64() + s.modeled_refine_secs) / n;
             agg.avg_response_secs += s.modeled_response_secs() / n;
+            agg.avg_pages_retried += s.pages_retried as f64 / n;
+            agg.degraded_queries += usize::from(s.is_degraded());
         }
         agg
+    }
+
+    /// Mean first-attempt page reads per query — `avg_io_pages` with the
+    /// fault-recovery reruns subtracted; the figure comparable to the §4
+    /// cost-model prediction even under fault injection.
+    pub fn avg_first_attempt_io(&self) -> f64 {
+        (self.avg_io_pages - self.avg_pages_retried).max(0.0)
     }
 }
 
 /// The three-phase kNN engine.
 pub struct KnnEngine<'a> {
     pub index: &'a dyn CandidateIndex,
-    pub file: &'a PointFile,
+    pub file: &'a dyn PageStore,
     pub cache: Box<dyn PointCache + 'a>,
     pub io_model: IoModel,
     /// The paper's footnote-6 optimization: fetch cache-miss candidates
@@ -135,14 +166,20 @@ pub struct KnnEngine<'a> {
     /// mid-range (at low hit ratios little can be pruned anyway, at high
     /// ones the bounds are already tight — the footnote's own caveat).
     pub eager_refetch: bool,
+    /// How hard refinement fights transient storage faults. The default
+    /// policy retries up to 3 times with zero backoff — free on a pristine
+    /// store, effective under fault injection.
+    pub retry: RetryPolicy,
     /// Metric handles; [`QueryObs::noop`] until [`KnnEngine::bind_obs`].
     pub obs: QueryObs,
+    /// `retry.*` telemetry; inert until bound.
+    pub retry_obs: RetryObs,
 }
 
 impl<'a> KnnEngine<'a> {
     pub fn new(
         index: &'a dyn CandidateIndex,
-        file: &'a PointFile,
+        file: &'a dyn PageStore,
         cache: Box<dyn PointCache + 'a>,
     ) -> Self {
         Self {
@@ -151,7 +188,9 @@ impl<'a> KnnEngine<'a> {
             cache,
             io_model: IoModel::HDD,
             eager_refetch: false,
+            retry: RetryPolicy::default(),
             obs: QueryObs::noop(),
+            retry_obs: RetryObs::new(),
         }
     }
 
@@ -161,13 +200,21 @@ impl<'a> KnnEngine<'a> {
         self
     }
 
+    /// Override the storage retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Report this engine's pipeline into `registry`: per-query metrics and
-    /// traces, the cache's hit/eviction counters, and the point file's I/O
-    /// counters. A noop registry leaves everything disabled.
+    /// traces, the cache's hit/eviction counters, the store's I/O (and, for
+    /// fault-injected stores, `storage.fault.*`) counters, and the `retry.*`
+    /// series. A noop registry leaves everything disabled.
     pub fn bind_obs(&mut self, registry: &MetricsRegistry) {
         self.obs = QueryObs::bind(registry);
         self.cache.bind_obs(registry);
-        self.file.stats().bind(registry);
+        self.file.bind_obs(registry);
+        self.retry_obs.bind(registry);
     }
 
     /// Like [`KnnEngine::bind_obs`] but with the `query.*` / `phase.*`
@@ -176,7 +223,8 @@ impl<'a> KnnEngine<'a> {
     pub fn bind_obs_labeled(&mut self, registry: &MetricsRegistry, label: &str) {
         self.obs = QueryObs::bind_labeled(registry, label);
         self.cache.bind_obs(registry);
-        self.file.stats().bind(registry);
+        self.file.bind_obs(registry);
+        self.retry_obs.bind(registry);
     }
 
     /// Execute Algorithm 1. Returns the k nearest candidate ids (identifiers
@@ -205,17 +253,23 @@ impl<'a> KnnEngine<'a> {
             let mut lk = self.cache.lookup(q, id);
             if self.eager_refetch && matches!(lk, CacheLookup::Miss) {
                 // Footnote 6: resolve the miss now; its exact distance
-                // tightens ub_k for everyone else.
-                let point = self.file.fetch(id, &mut buffer);
-                let d = hc_core::distance::euclidean(q, point);
-                self.cache.admit(id, point);
-                stats.fetched += 1;
-                lk = CacheLookup::Exact(d);
-                // Not counted as a cache hit: it still cost disk I/O.
-                lbs.push(d);
-                ubs.push(d);
-                lookups.push(lk);
-                continue;
+                // tightens ub_k for everyone else. A failed eager read is
+                // not yet a loss — the candidate just stays a Miss and
+                // refinement retries it (and degrades there if it must).
+                if let Ok(point) = self
+                    .retry
+                    .fetch(self.file, id, &mut buffer, &self.retry_obs)
+                {
+                    let d = hc_core::distance::euclidean(q, point);
+                    self.cache.admit(id, point);
+                    stats.fetched += 1;
+                    lk = CacheLookup::Exact(d);
+                    // Not counted as a cache hit: it still cost disk I/O.
+                    lbs.push(d);
+                    ubs.push(d);
+                    lookups.push(lk);
+                    continue;
+                }
             }
             let (lb, ub) = match &lk {
                 CacheLookup::Miss => (0.0, f64::INFINITY),
@@ -250,8 +304,12 @@ impl<'a> KnnEngine<'a> {
             }
             match lk {
                 CacheLookup::Exact(d) => known.push((id, *d)),
-                CacheLookup::Bounds(b) => pending.push(Pending { id, lb: b.lb }),
-                CacheLookup::Miss => pending.push(Pending { id, lb: 0.0 }),
+                CacheLookup::Bounds(b) => pending.push(Pending {
+                    id,
+                    lb: b.lb,
+                    ub: b.ub,
+                }),
+                CacheLookup::Miss => pending.push(Pending::unknown(id)),
             }
         }
         stats.reduce_cpu = t1.elapsed();
@@ -270,16 +328,17 @@ impl<'a> KnnEngine<'a> {
                 &known,
                 pending,
                 self.cache.as_mut(),
+                &self.retry,
+                &self.retry_obs,
             );
             stats.fetched += outcome.fetched;
+            stats.missing = outcome.missing;
+            stats.fault_excluded = outcome.excluded_by_bounds;
             results.extend(outcome.results.into_iter().map(|(id, _)| id));
         }
-        stats.io_pages = self
-            .file
-            .stats()
-            .snapshot()
-            .delta_since(io_before)
-            .pages_read;
+        let io_delta = self.file.stats().snapshot().delta_since(io_before);
+        stats.io_pages = io_delta.pages_read;
+        stats.pages_retried = io_delta.pages_retried;
         stats.refine_cpu = t2.elapsed();
         stats.modeled_refine_secs = self.io_model.modeled_secs(stats.io_pages);
         results.truncate(k);
@@ -303,6 +362,7 @@ mod tests {
     use hc_core::histogram::classic::equi_width;
     use hc_core::quantize::Quantizer;
     use hc_core::scheme::GlobalScheme;
+    use hc_storage::point_file::PointFile;
     use std::sync::Arc;
 
     /// A trivial index that returns every point as a candidate.
@@ -488,11 +548,17 @@ mod tests {
             reduce_cpu: Duration::from_millis(2),
             refine_cpu: Duration::from_millis(3),
             modeled_refine_secs: 0.06,
+            missing: vec![PointId(7)],
+            pages_retried: 2,
+            fault_excluded: 1,
         };
         let agg = AggregateStats::from_queries(std::slice::from_ref(&s));
         assert_eq!(agg.queries, 1);
         assert!((agg.avg_candidates - 100.0).abs() < 1e-12);
         assert!((agg.avg_io_pages - 12.0).abs() < 1e-12);
+        assert!((agg.avg_pages_retried - 2.0).abs() < 1e-12);
+        assert!((agg.avg_first_attempt_io() - 10.0).abs() < 1e-12);
+        assert_eq!(agg.degraded_queries, 1);
         assert!((agg.avg_hit_ratio - 0.5).abs() < 1e-12);
         assert!((agg.avg_prune_ratio - 0.5).abs() < 1e-12);
         assert!((agg.avg_hit_times_prune - 0.25).abs() < 1e-12);

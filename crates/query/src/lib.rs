@@ -28,5 +28,6 @@ pub use builder::{replay_leaf_accesses, replay_workload, Replay, SharedParts};
 pub use join::{cluster_outer, knn_join, JoinResult};
 pub use knn::{AggregateStats, KnnEngine, QueryStats};
 pub use maintenance::{CacheMaintainer, MaintenanceConfig};
+pub use multistep::{multistep_refine, Pending, RefineOutcome};
 pub use obs::{DriftMonitor, QueryObs};
 pub use tree_search::{TreeQueryStats, TreeSearchEngine};

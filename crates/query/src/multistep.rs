@@ -7,43 +7,87 @@
 //! reaches the current k-th exact distance — at that moment no unfetched
 //! candidate can enter the result. Seidl & Kriegel prove this fetch order and
 //! stopping rule are optimal: no correct algorithm fetches fewer candidates.
+//!
+//! Storage is consumed through the fallible [`PageStore`] interface with a
+//! [`RetryPolicy`] absorbing transient faults. A candidate whose page stays
+//! unreadable is *deferred*, and after the scan either proven irrelevant by
+//! its cached lower bound (`lb ≥ d_k` — the bound the compact cache kept for
+//! exactly this moment) or reported in [`RefineOutcome::missing`], making the
+//! result explicitly degraded rather than silently wrong (DESIGN.md §10).
 
 use hc_core::dataset::PointId;
 use hc_core::distance::{euclidean, DistEntry};
-use hc_storage::point_file::{PageBuffer, PointFile};
+use hc_storage::point_file::PageBuffer;
+use hc_storage::retry::{RetryObs, RetryPolicy};
+use hc_storage::store::PageStore;
 
 use hc_cache::point::PointCache;
 
-/// A candidate awaiting exact evaluation, with its lower distance bound
-/// (0 for cache misses).
+/// A candidate awaiting exact evaluation, with its distance bounds from the
+/// cache probe (`lb = 0`, `ub = +∞` for misses).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pending {
     pub id: PointId,
     pub lb: f64,
+    pub ub: f64,
+}
+
+impl Pending {
+    /// A candidate with no cached knowledge (miss bounds `(0, +∞)`).
+    pub fn unknown(id: PointId) -> Self {
+        Self {
+            id,
+            lb: 0.0,
+            ub: f64::INFINITY,
+        }
+    }
 }
 
 /// Outcome of a refinement run.
 #[derive(Debug, Clone)]
 pub struct RefineOutcome {
-    /// The `k` nearest among the given candidates, ascending by distance.
+    /// The `k` nearest among the *readable* candidates, ascending by
+    /// distance. Equals the true top-k whenever `missing` is empty.
     pub results: Vec<(PointId, f64)>,
     /// How many pending candidates were actually fetched from disk.
     pub fetched: usize,
+    /// Candidates whose pages stayed unreadable after retries AND whose
+    /// cached bounds could not prove them irrelevant. Non-empty ⇒ the result
+    /// is degraded: it is exactly the top-k over the candidate set minus
+    /// these ids.
+    pub missing: Vec<PointId>,
+    /// Unreadable candidates that were nevertheless *excluded soundly*: the
+    /// cached lower bound already placed them at or beyond the final k-th
+    /// distance, so losing their page lost no information. These do not
+    /// degrade the result.
+    pub excluded_by_bounds: usize,
+}
+
+impl RefineOutcome {
+    /// Whether the result is the provably exact top-k of the candidate set.
+    pub fn is_exact(&self) -> bool {
+        self.missing.is_empty()
+    }
 }
 
 /// Multi-step refinement: find the `k` nearest candidates among
 /// `known` (exact distances already available without I/O — exact-cache hits)
-/// and `pending` (need disk fetches; each carries a sound lower bound).
+/// and `pending` (need disk fetches; each carries sound bounds).
 ///
 /// Fetched points are offered to `cache` for admission (dynamic policies).
+/// Reads go through `retry`; unreadable candidates degrade per the module
+/// docs instead of failing the query.
+#[allow(clippy::too_many_arguments)]
 pub fn multistep_refine(
-    file: &PointFile,
+    store: &dyn PageStore,
     buffer: &mut PageBuffer,
     q: &[f32],
     k: usize,
     known: &[(PointId, f64)],
     mut pending: Vec<Pending>,
     cache: &mut dyn PointCache,
+    retry: &RetryPolicy,
+    retry_obs: &RetryObs,
 ) -> RefineOutcome {
     assert!(k >= 1);
     // Max-heap of current best k (top = worst of the best).
@@ -59,6 +103,7 @@ pub fn multistep_refine(
     });
 
     let mut fetched = 0usize;
+    let mut deferred: Vec<Pending> = Vec::new();
     for cand in pending {
         if best.len() >= k {
             let dk = best.peek().expect("len >= k").dist;
@@ -66,16 +111,44 @@ pub fn multistep_refine(
                 break; // optimal stopping: no later candidate can qualify
             }
         }
-        let point = file.fetch(cand.id, buffer);
-        fetched += 1;
-        let d = euclidean(q, point);
-        cache.admit(cand.id, point);
-        push_bounded(&mut best, k, cand.id, d);
+        match retry.fetch(store, cand.id, buffer, retry_obs) {
+            Ok(point) => {
+                fetched += 1;
+                let d = euclidean(q, point);
+                cache.admit(cand.id, point);
+                push_bounded(&mut best, k, cand.id, d);
+            }
+            Err(_) => {
+                // Retries exhausted or the page is dead. Defer the verdict:
+                // d_k only shrinks as later fetches succeed, so judging the
+                // cached lb against the *final* threshold excludes as many
+                // unreadable candidates as soundly possible.
+                deferred.push(cand);
+            }
+        }
     }
+
+    let mut missing = Vec::new();
+    let mut excluded_by_bounds = 0usize;
+    let dk_final = (best.len() >= k).then(|| best.peek().expect("len >= k").dist);
+    for cand in deferred {
+        match dk_final {
+            // The compact cache's bound proves the lost page held nothing:
+            // its point was at least d_k away ("exploit every bit").
+            Some(dk) if cand.lb >= dk => excluded_by_bounds += 1,
+            _ => missing.push(cand.id),
+        }
+    }
+    missing.sort();
 
     let mut results: Vec<(PointId, f64)> = best.into_iter().map(|e| (e.item, e.dist)).collect();
     results.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
-    RefineOutcome { results, fetched }
+    RefineOutcome {
+        results,
+        fetched,
+        missing,
+        excluded_by_bounds,
+    }
 }
 
 fn push_bounded(
@@ -97,6 +170,9 @@ mod tests {
     use super::*;
     use hc_cache::point::NoCache;
     use hc_core::dataset::Dataset;
+    use hc_storage::fault::{FaultConfig, FaultInjector};
+    use hc_storage::point_file::PointFile;
+    use std::sync::Arc;
 
     fn file() -> PointFile {
         // 1-d points at 0, 10, 20, ..., 90; one point per "row".
@@ -104,34 +180,54 @@ mod tests {
         PointFile::new(ds)
     }
 
+    fn pend(id: u32, lb: f64) -> Pending {
+        Pending {
+            id: PointId(id),
+            lb,
+            ub: f64::INFINITY,
+        }
+    }
+
+    fn refine(
+        store: &dyn PageStore,
+        q: &[f32],
+        k: usize,
+        known: &[(PointId, f64)],
+        pending: Vec<Pending>,
+    ) -> RefineOutcome {
+        let mut buf = store.begin_query();
+        multistep_refine(
+            store,
+            &mut buf,
+            q,
+            k,
+            known,
+            pending,
+            &mut NoCache,
+            &RetryPolicy::default(),
+            &RetryObs::new(),
+        )
+    }
+
     #[test]
     fn finds_exact_knn_among_candidates() {
         let f = file();
-        let mut buf = f.begin_query();
-        let pending: Vec<Pending> = (0..10u32)
-            .map(|i| Pending {
-                id: PointId(i),
-                lb: 0.0,
-            })
-            .collect();
-        let out = multistep_refine(&f, &mut buf, &[34.0], 2, &[], pending, &mut NoCache);
+        let pending: Vec<Pending> = (0..10u32).map(|i| pend(i, 0.0)).collect();
+        let out = refine(&f, &[34.0], 2, &[], pending);
         let ids: Vec<u32> = out.results.iter().map(|(id, _)| id.0).collect();
         assert_eq!(ids, vec![3, 4]); // 30 and 40 are nearest to 34
+        assert!(out.is_exact());
     }
 
     #[test]
     fn tight_lower_bounds_stop_early() {
         let f = file();
-        let mut buf = f.begin_query();
         // Exact lower bounds: only the true nearest needs fetching once k=1
         // and the second-best lb exceeds the first's exact distance.
         let pending: Vec<Pending> = (0..10u32)
-            .map(|i| Pending {
-                id: PointId(i),
-                lb: ((i as f64) * 10.0 - 34.0).abs(),
-            })
+            .map(|i| pend(i, ((i as f64) * 10.0 - 34.0).abs()))
             .collect();
-        let out = multistep_refine(&f, &mut buf, &[34.0], 1, &[], pending, &mut NoCache);
+        let out = refine(&f, &[34.0], 1, &[], pending);
         assert_eq!(out.results[0].0, PointId(3));
         assert_eq!(out.fetched, 1, "optimal stopping should fetch exactly one");
     }
@@ -139,31 +235,21 @@ mod tests {
     #[test]
     fn zero_lower_bounds_force_full_scan() {
         let f = file();
-        let mut buf = f.begin_query();
-        let pending: Vec<Pending> = (0..10u32)
-            .map(|i| Pending {
-                id: PointId(i),
-                lb: 0.0,
-            })
-            .collect();
-        let out = multistep_refine(&f, &mut buf, &[34.0], 1, &[], pending, &mut NoCache);
+        let pending: Vec<Pending> = (0..10u32).map(|i| pend(i, 0.0)).collect();
+        let out = refine(&f, &[34.0], 1, &[], pending);
         assert_eq!(out.fetched, 10, "no bounds → no early stopping");
     }
 
     #[test]
     fn known_distances_tighten_the_threshold() {
         let f = file();
-        let mut buf = f.begin_query();
         // Point 3 (dist 4) known for free: every pending lb ≥ 4 is skipped.
         let known = [(PointId(3), 4.0)];
         let pending: Vec<Pending> = (0..10u32)
             .filter(|&i| i != 3)
-            .map(|i| Pending {
-                id: PointId(i),
-                lb: ((i as f64) * 10.0 - 34.0).abs(),
-            })
+            .map(|i| pend(i, ((i as f64) * 10.0 - 34.0).abs()))
             .collect();
-        let out = multistep_refine(&f, &mut buf, &[34.0], 1, &known, pending, &mut NoCache);
+        let out = refine(&f, &[34.0], 1, &known, pending);
         assert_eq!(out.results[0].0, PointId(3));
         assert_eq!(out.fetched, 0, "known result should suppress all fetches");
     }
@@ -171,34 +257,220 @@ mod tests {
     #[test]
     fn k_larger_than_candidates_returns_everything() {
         let f = file();
-        let mut buf = f.begin_query();
-        let pending = vec![
-            Pending {
-                id: PointId(1),
-                lb: 0.0,
-            },
-            Pending {
-                id: PointId(2),
-                lb: 0.0,
-            },
-        ];
-        let out = multistep_refine(&f, &mut buf, &[0.0], 5, &[], pending, &mut NoCache);
+        let pending = vec![pend(1, 0.0), pend(2, 0.0)];
+        let out = refine(&f, &[0.0], 5, &[], pending);
         assert_eq!(out.results.len(), 2);
     }
 
     #[test]
     fn results_are_sorted_ascending() {
         let f = file();
-        let mut buf = f.begin_query();
-        let pending: Vec<Pending> = (0..10u32)
-            .map(|i| Pending {
-                id: PointId(i),
-                lb: 0.0,
-            })
-            .collect();
-        let out = multistep_refine(&f, &mut buf, &[55.0], 4, &[], pending, &mut NoCache);
+        let pending: Vec<Pending> = (0..10u32).map(|i| pend(i, 0.0)).collect();
+        let out = refine(&f, &[55.0], 4, &[], pending);
         for w in out.results.windows(2) {
             assert!(w[0].1 <= w[1].1);
         }
+    }
+
+    #[test]
+    fn unreadable_candidate_degrades_instead_of_panicking() {
+        // 1-d points, 1024 points/page would co-locate everything; use 1024-d
+        // to force one point per page so we can kill exactly one candidate.
+        let ds = Dataset::from_rows(
+            &(0..6)
+                .map(|i| vec![(i * 10) as f32; 1024])
+                .collect::<Vec<_>>(),
+        );
+        let f = Arc::new(PointFile::new(ds));
+        // Find a seed that kills exactly the page of point 1 and nothing else.
+        let seed = (0..u64::MAX)
+            .find(|&s| {
+                let inj = FaultInjector::new(
+                    Arc::clone(&f),
+                    FaultConfig {
+                        seed: s,
+                        unreadable_rate: 0.2,
+                        ..FaultConfig::none()
+                    },
+                );
+                (0..6u32).all(|id| {
+                    let mut b = PageStore::begin_query(&inj);
+                    let dead = inj.read_point(PointId(id), 0, &mut b).is_err();
+                    dead == (id == 1)
+                })
+            })
+            .expect("some seed kills exactly page 1");
+        let inj = FaultInjector::new(
+            Arc::clone(&f),
+            FaultConfig {
+                seed,
+                unreadable_rate: 0.2,
+                ..FaultConfig::none()
+            },
+        );
+        // Query at 12: true top-2 is {1 (dist ~2·32), 0 or 2}. Point 1 is
+        // unreadable with an uninformative bound → it must land in missing,
+        // and the result must be the top-2 of the readable rest.
+        let pending: Vec<Pending> = (0..6u32).map(|i| pend(i, 0.0)).collect();
+        let out = refine(&inj, [12.0f32; 1024].as_slice(), 2, &[], pending);
+        assert_eq!(out.missing, vec![PointId(1)]);
+        assert!(!out.is_exact());
+        let ids: Vec<u32> = out.results.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![2, 0], "top-2 of the readable candidates");
+    }
+
+    #[test]
+    fn tight_cached_bound_keeps_dead_page_untouched() {
+        // The primary way cached bounds absorb faults: the dead candidate's
+        // lower bound places it past the stopping threshold, so refinement
+        // never reads its page at all — the loss is invisible and free.
+        let ds = Dataset::from_rows(
+            &(0..6)
+                .map(|i| vec![(i * 10) as f32; 1024])
+                .collect::<Vec<_>>(),
+        );
+        let f = Arc::new(PointFile::new(ds));
+        let seed = (0..u64::MAX)
+            .find(|&s| {
+                let inj = FaultInjector::new(
+                    Arc::clone(&f),
+                    FaultConfig {
+                        seed: s,
+                        unreadable_rate: 0.2,
+                        ..FaultConfig::none()
+                    },
+                );
+                (0..6u32).all(|id| {
+                    let mut b = PageStore::begin_query(&inj);
+                    inj.read_point(PointId(id), 0, &mut b).is_err() == (id == 4)
+                })
+            })
+            .expect("some seed kills exactly page 4");
+        let inj = FaultInjector::new(
+            Arc::clone(&f),
+            FaultConfig {
+                seed,
+                unreadable_rate: 0.2,
+                ..FaultConfig::none()
+            },
+        );
+        f.stats().reset();
+        // Query at 0. True distances scale with i·10·32; point 4's tight lb
+        // is far beyond the 2nd-best readable distance, so the stopping rule
+        // skips it before its dead page is ever touched.
+        let pending: Vec<Pending> = (0..6u32)
+            .map(|i| {
+                let exact = (i as f64) * 10.0 * 32.0;
+                Pending {
+                    id: PointId(i),
+                    lb: if i == 4 { exact } else { 0.0 },
+                    ub: f64::INFINITY,
+                }
+            })
+            .collect();
+        let out = refine(&inj, [0.0f32; 1024].as_slice(), 2, &[], pending);
+        assert!(out.is_exact(), "bound-excluded loss must not degrade");
+        let ids: Vec<u32> = out.results.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(
+            f.stats().pages_read(),
+            5,
+            "the dead page must never be read: 5 healthy fetches only"
+        );
+    }
+
+    #[test]
+    fn deferred_unreadable_candidate_excluded_on_bound_tie() {
+        // The deferred reckoning: a dead candidate attempted while the heap
+        // was still filling is excluded afterwards when its cached lb reaches
+        // the final k-th distance — here an exact tie from a duplicate point.
+        let ds = Dataset::from_rows(&[vec![10.0f32; 1024], vec![10.0f32; 1024]]);
+        let f = Arc::new(PointFile::new(ds));
+        let seed = (0..u64::MAX)
+            .find(|&s| {
+                let inj = FaultInjector::new(
+                    Arc::clone(&f),
+                    FaultConfig {
+                        seed: s,
+                        unreadable_rate: 0.5,
+                        ..FaultConfig::none()
+                    },
+                );
+                (0..2u32).all(|id| {
+                    let mut b = PageStore::begin_query(&inj);
+                    inj.read_point(PointId(id), 0, &mut b).is_err() == (id == 0)
+                })
+            })
+            .expect("some seed kills exactly page 0");
+        let inj = FaultInjector::new(
+            Arc::clone(&f),
+            FaultConfig {
+                seed,
+                unreadable_rate: 0.5,
+                ..FaultConfig::none()
+            },
+        );
+        // Both points sit at distance 320 from the query; both carry tight
+        // bounds. id 0 sorts first (lb tie), is attempted (heap not yet
+        // full), dies, and is deferred; id 1 then fills the heap at exactly
+        // id 0's lb — the bound proves the loss changed nothing.
+        let d = 10.0 * 32.0;
+        let pending = vec![
+            Pending {
+                id: PointId(0),
+                lb: d,
+                ub: d,
+            },
+            Pending {
+                id: PointId(1),
+                lb: d,
+                ub: d,
+            },
+        ];
+        let out = refine(&inj, [0.0f32; 1024].as_slice(), 1, &[], pending);
+        assert!(out.is_exact());
+        assert_eq!(out.excluded_by_bounds, 1);
+        let ids: Vec<u32> = out.results.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn fewer_readable_than_k_reports_all_dead_candidates_missing() {
+        let ds = Dataset::from_rows(
+            &(0..3)
+                .map(|i| vec![(i * 10) as f32; 1024])
+                .collect::<Vec<_>>(),
+        );
+        let f = Arc::new(PointFile::new(ds));
+        let seed = (0..u64::MAX)
+            .find(|&s| {
+                let inj = FaultInjector::new(
+                    Arc::clone(&f),
+                    FaultConfig {
+                        seed: s,
+                        unreadable_rate: 0.5,
+                        ..FaultConfig::none()
+                    },
+                );
+                (0..3u32).all(|id| {
+                    let mut b = PageStore::begin_query(&inj);
+                    inj.read_point(PointId(id), 0, &mut b).is_err() == (id != 0)
+                })
+            })
+            .expect("some seed kills pages 1 and 2");
+        let inj = FaultInjector::new(
+            Arc::clone(&f),
+            FaultConfig {
+                seed,
+                unreadable_rate: 0.5,
+                ..FaultConfig::none()
+            },
+        );
+        let pending: Vec<Pending> = (0..3u32).map(|i| pend(i, 0.0)).collect();
+        let out = refine(&inj, [0.0f32; 1024].as_slice(), 2, &[], pending);
+        // Only point 0 was readable: short result, both dead ids missing
+        // (best.len() < k ⇒ no bound can exclude anything).
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.missing, vec![PointId(1), PointId(2)]);
     }
 }

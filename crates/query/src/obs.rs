@@ -188,6 +188,9 @@ mod tests {
             reduce_cpu: Duration::from_micros(50),
             refine_cpu: Duration::from_micros(7),
             modeled_refine_secs: 0.06,
+            missing: Vec::new(),
+            pages_retried: 0,
+            fault_excluded: 0,
         }
     }
 

@@ -1,0 +1,182 @@
+//! Chaos property: under an arbitrary deterministic fault schedule, the
+//! engine either returns the exact answer or explicitly degrades — it never
+//! silently returns a wrong top-k.
+//!
+//! Verification is by *distance multiset*, not id sequence: when a dead
+//! candidate is excluded on an exact bound tie (lb == dk), the fault run may
+//! legitimately pick a different member of the tie than the fault-free run.
+//! The distances are what Algorithm 1 guarantees.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hc_cache::point::{CompactPointCache, NoCache, PointCache};
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::distance::euclidean;
+use hc_core::histogram::classic::equi_width;
+use hc_core::quantize::Quantizer;
+use hc_core::scheme::{ApproxScheme, GlobalScheme};
+use hc_index::traits::CandidateIndex;
+use hc_query::KnnEngine;
+use hc_storage::{FaultConfig, FaultInjector, PointFile, RetryPolicy};
+
+const N: usize = 48;
+const DIM: usize = 4;
+
+/// Full scan: every point is a candidate, so the exact answer is the global
+/// top-k and easy to brute-force.
+struct ScanIndex;
+
+impl CandidateIndex for ScanIndex {
+    fn candidates(&self, _q: &[f32], _k: usize) -> Vec<PointId> {
+        (0..N as u32).map(PointId).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+}
+
+fn dataset() -> Dataset {
+    // Deterministic, spread across many pages (small dim keeps several
+    // points per page so one dead page takes out a *group* of candidates).
+    Dataset::from_rows(
+        &(0..N)
+            .map(|i| {
+                (0..DIM)
+                    .map(|j| ((i * 7 + j * 13) % 97) as f32 / 3.0)
+                    .collect()
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn compact_cache(ds: &Dataset) -> Box<dyn PointCache> {
+    let (lo, hi) = ds.value_range();
+    let quant = Quantizer::new(lo, hi, 256);
+    let scheme: Arc<dyn ApproxScheme> =
+        Arc::new(GlobalScheme::new(equi_width(256, 64), quant, ds.dim()));
+    let ranking: Vec<PointId> = (0..N as u32).map(PointId).collect();
+    Box::new(CompactPointCache::hff(
+        ds,
+        &ranking,
+        ds.file_bytes() / 4,
+        scheme,
+    ))
+}
+
+/// Sorted exact distances of `ids`, for order-insensitive comparison.
+fn sorted_dists(ds: &Dataset, q: &[f32], ids: &[PointId]) -> Vec<f64> {
+    let mut d: Vec<f64> = ids.iter().map(|&id| euclidean(q, ds.point(id))).collect();
+    d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    d
+}
+
+/// The exact top-k distances over the candidate set minus `missing`.
+fn brute_top_k(ds: &Dataset, q: &[f32], k: usize, missing: &[PointId]) -> Vec<f64> {
+    let mut d: Vec<f64> = (0..N as u32)
+        .map(PointId)
+        .filter(|id| !missing.contains(id))
+        .map(|id| euclidean(q, ds.point(id)))
+        .collect();
+    d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    d.truncate(k);
+    d
+}
+
+fn assert_close(got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "result count diverged");
+    for (g, w) in got.iter().zip(want) {
+        assert!((g - w).abs() < 1e-9, "distance diverged: {g} vs {w}");
+    }
+}
+
+fn run_case(seed: u64, rate: f64, queries: &[Vec<f32>], k: usize, use_cache: bool) {
+    let ds = dataset();
+    let file = Arc::new(PointFile::new(ds.clone()));
+    let faulty = FaultInjector::new(Arc::clone(&file), FaultConfig::mixed(seed, rate));
+
+    let cache = |on: bool| -> Box<dyn PointCache> {
+        if on {
+            compact_cache(&ds)
+        } else {
+            Box::new(NoCache)
+        }
+    };
+
+    // Fault-free reference over the same index + cache configuration.
+    let mut clean = KnnEngine::new(&ScanIndex, file.as_ref(), cache(use_cache));
+    // Fault-injected engine with retries enabled (zero-sleep backoff).
+    let mut chaotic =
+        KnnEngine::new(&ScanIndex, &faulty, cache(use_cache)).with_retry(RetryPolicy::default());
+
+    for q in queries {
+        let (want_ids, want_stats) = clean.query(q, k);
+        assert!(want_stats.missing.is_empty(), "pristine store degraded");
+        let (got_ids, got_stats) = chaotic.query(q, k);
+
+        if got_stats.missing.is_empty() {
+            // Not degraded ⇒ must match the fault-free engine exactly (as
+            // distance multisets — bound-tie exclusions may reorder ties).
+            assert_close(
+                &sorted_dists(&ds, q, &got_ids),
+                &sorted_dists(&ds, q, &want_ids),
+            );
+        } else {
+            // Degraded ⇒ exact top-k of the candidates minus the reported
+            // missing set, and the loss is declared, never silent.
+            assert_close(
+                &sorted_dists(&ds, q, &got_ids),
+                &brute_top_k(&ds, q, k, &got_stats.missing),
+            );
+        }
+        // Degraded or not: no result id may be one the engine declared lost.
+        for id in &got_ids {
+            assert!(!got_stats.missing.contains(id), "returned a missing id");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any fault schedule (mixed transient/corrupt/torn/unreadable at up to
+    /// a brutal 30% rate) yields exact-or-explicitly-degraded results, both
+    /// with and without the compact cache in the loop.
+    #[test]
+    fn faults_never_silently_corrupt_topk(
+        seed in 0u64..u64::MAX,
+        rate in 0.0f64..0.3,
+        qsel in prop::collection::vec(0usize..N, 1..5),
+        k in 1usize..6,
+        use_cache in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let ds = dataset();
+        let queries: Vec<Vec<f32>> = qsel
+            .iter()
+            .map(|&i| ds.point(PointId(i as u32)).iter().map(|v| v + 0.125).collect())
+            .collect();
+        run_case(seed, rate, &queries, k, use_cache);
+    }
+}
+
+/// Deterministic pin: faults disabled through the injector is bit-identical
+/// to the bare `PointFile` (the wrapper itself must be free).
+#[test]
+fn zero_rate_injector_is_transparent() {
+    let ds = dataset();
+    let file = Arc::new(PointFile::new(ds.clone()));
+    let faulty = FaultInjector::new(Arc::clone(&file), FaultConfig::none());
+    let mut clean = KnnEngine::new(&ScanIndex, file.as_ref(), Box::new(NoCache));
+    let mut wrapped = KnnEngine::new(&ScanIndex, &faulty, Box::new(NoCache));
+    for i in 0..8 {
+        let q: Vec<f32> = ds.point(PointId(i)).iter().map(|v| v + 0.25).collect();
+        let (want, ws) = clean.query(&q, 5);
+        let (got, gs) = wrapped.query(&q, 5);
+        assert_eq!(want, got, "zero-rate injector changed results");
+        assert!(gs.missing.is_empty());
+        assert_eq!(ws.io_pages, gs.io_pages, "zero-rate injector changed I/O");
+        assert_eq!(gs.pages_retried, 0);
+    }
+}

@@ -22,13 +22,26 @@ pub struct LoadReport {
     pub rejected: usize,
     /// Admitted requests shed on expired deadline.
     pub timed_out: usize,
+    /// Requests answered [`QueryOutcome::Degraded`]: exact over the readable
+    /// candidates, with some candidates lost to storage faults. Counted in
+    /// `completed` too — a degraded answer is still an answer.
+    pub degraded: usize,
+    /// Requests that reached a terminal [`QueryOutcome::Failed`] (panic or
+    /// shutdown drain).
+    pub failed: usize,
     /// First submission to last fulfilment.
     pub wall: Duration,
-    /// Per-completed-request latency in µs, sorted ascending.
+    /// Per-completed-request latency in µs, sorted ascending (includes
+    /// degraded answers).
     pub latencies_us: Vec<u64>,
-    /// `(request index, result ids)` for every completed request — the
-    /// bench compares these against a single-threaded reference engine.
+    /// `(request index, result ids)` for every *exactly* completed request —
+    /// the bench compares these against a single-threaded reference engine.
+    /// Degraded answers are kept separately in `degraded_results` so this
+    /// comparison stays byte-for-byte.
     pub results: Vec<(usize, Vec<PointId>)>,
+    /// `(request index, result ids, missing candidate ids)` for every
+    /// degraded request.
+    pub degraded_results: Vec<(usize, Vec<PointId>, Vec<PointId>)>,
     /// Total cache hits across completed requests.
     pub cache_hits: u64,
     /// Total candidates across completed requests.
@@ -51,6 +64,16 @@ impl LoadReport {
             return 0.0;
         }
         (self.rejected + self.timed_out) as f64 / self.offered as f64
+    }
+
+    /// Fraction of offered load that got an answer — exact or degraded.
+    /// This is the chaos bench's headline metric: faults may degrade
+    /// answers, but availability should hold.
+    pub fn availability(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / self.offered as f64
     }
 
     /// Aggregate cache hit ratio over completed requests.
@@ -98,7 +121,16 @@ impl LoadReport {
                 self.candidates += resp.candidates as u64;
                 self.results.push((index, resp.ids));
             }
+            QueryOutcome::Degraded { response, missing } => {
+                self.completed += 1;
+                self.degraded += 1;
+                self.latencies_us.push(response.latency.as_micros() as u64);
+                self.cache_hits += response.cache_hits as u64;
+                self.candidates += response.candidates as u64;
+                self.degraded_results.push((index, response.ids, missing));
+            }
             QueryOutcome::TimedOut => self.timed_out += 1,
+            QueryOutcome::Failed { .. } => self.failed += 1,
         }
     }
 
@@ -106,6 +138,7 @@ impl LoadReport {
         self.wall = wall;
         self.latencies_us.sort_unstable();
         self.results.sort_by_key(|(i, _)| *i);
+        self.degraded_results.sort_by_key(|(i, _, _)| *i);
     }
 }
 
@@ -142,8 +175,11 @@ pub fn run_closed_loop(
                 merged.completed += local.completed;
                 merged.rejected += local.rejected;
                 merged.timed_out += local.timed_out;
+                merged.degraded += local.degraded;
+                merged.failed += local.failed;
                 merged.latencies_us.extend(local.latencies_us);
                 merged.results.extend(local.results);
+                merged.degraded_results.extend(local.degraded_results);
                 merged.cache_hits += local.cache_hits;
                 merged.candidates += local.candidates;
             });
@@ -210,6 +246,43 @@ mod tests {
         assert_eq!(r.p99_us(), 99);
         assert_eq!(r.percentile_us(100.0), 100);
         assert!((r.qps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_answers_count_toward_availability_but_not_exact_results() {
+        let mut r = LoadReport {
+            offered: 2,
+            ..Default::default()
+        };
+        r.absorb(
+            0,
+            QueryOutcome::Degraded {
+                response: crate::server::QueryResponse {
+                    ids: vec![PointId(4)],
+                    latency: Duration::from_micros(100),
+                    queue_wait: Duration::ZERO,
+                    io_pages: 1,
+                    cache_hits: 0,
+                    candidates: 2,
+                },
+                missing: vec![PointId(9)],
+            },
+        );
+        r.absorb(
+            1,
+            QueryOutcome::Failed {
+                reason: "boom".into(),
+            },
+        );
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.degraded, 1);
+        assert_eq!(r.failed, 1);
+        assert!(
+            r.results.is_empty(),
+            "degraded ids stay out of exact results"
+        );
+        assert_eq!(r.degraded_results.len(), 1);
+        assert!((r.availability() - 0.5).abs() < 1e-9);
     }
 
     #[test]

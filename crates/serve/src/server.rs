@@ -2,7 +2,7 @@
 //!
 //! Every worker owns a full [`KnnEngine`] (its own scratch, its own labeled
 //! `query.*` metric series) but all engines share the same `Arc`'d index,
-//! point file, and [`ConcurrentPointCache`] — so a point admitted by worker
+//! page store, and [`ConcurrentPointCache`] — so a point admitted by worker
 //! 0 serves bound-hits to worker 3. Requests flow through a
 //! [`BoundedQueue`]; admission control turns overload into explicit
 //! [`SubmitError::QueueFull`] / [`QueryOutcome::TimedOut`] outcomes rather
@@ -13,7 +13,16 @@
 //! of admissions the workers interleave, each query's result ids equal the
 //! single-threaded engine's (same index, same candidates, same exact
 //! refinement) — only the I/O spent getting there varies.
+//!
+//! Failure semantics (DESIGN.md §10): storage faults the engine could not
+//! absorb surface as [`QueryOutcome::Degraded`] (the result is the exact
+//! top-k of the readable candidates, with the lost ids listed); a panicking
+//! request is caught per-request, its ticket fulfilled with
+//! [`QueryOutcome::Failed`], and the worker rebuilds its engine and keeps
+//! serving. Every admitted ticket terminates — no outcome is silently
+//! dropped, even through shutdown.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -22,8 +31,9 @@ use std::time::{Duration, Instant};
 use hc_cache::concurrent::{ConcurrentPointCache, SharedPointCache};
 use hc_core::dataset::PointId;
 use hc_obs::{Counter, Gauge, Histogram, MetricsRegistry};
-use hc_query::SharedParts;
+use hc_query::{KnnEngine, SharedParts};
 use hc_storage::io_stats::IoModel;
+use hc_storage::retry::RetryPolicy;
 
 use crate::queue::{BoundedQueue, PushError};
 
@@ -44,6 +54,8 @@ pub struct ServeConfig {
     pub simulate_io_scale: Option<f64>,
     /// Enable the footnote-6 eager refetch in every worker engine.
     pub eager_refetch: bool,
+    /// Storage retry policy installed in every worker engine.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +66,7 @@ impl Default for ServeConfig {
             io_model: IoModel::SSD,
             simulate_io_scale: None,
             eager_refetch: false,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -75,13 +88,28 @@ pub struct QueryResponse {
     pub candidates: usize,
 }
 
-/// Terminal state of an admitted request.
+/// Terminal state of an admitted request. Every ticket resolves to exactly
+/// one of these.
 #[derive(Debug, Clone)]
 pub enum QueryOutcome {
+    /// The exact answer: provably the top-k of the candidate set.
     Done(QueryResponse),
+    /// Storage faults made some candidates unreadable and their cached
+    /// bounds could not prove them irrelevant. `response.ids` is still the
+    /// exact top-k of the candidate set minus `missing` — correct over what
+    /// was readable, explicitly incomplete about the rest.
+    Degraded {
+        response: QueryResponse,
+        /// Candidate ids lost to unreadable pages.
+        missing: Vec<PointId>,
+    },
     /// The deadline passed while the request sat in the queue; it was shed
     /// without running.
     TimedOut,
+    /// The request could not be answered at all: its evaluation panicked
+    /// (the worker caught it and kept serving) or the server shut down with
+    /// the request still queued and no worker left to run it.
+    Failed { reason: String },
 }
 
 /// Why a submission was refused at the door.
@@ -125,9 +153,29 @@ impl ResponseSlot {
             state = self.cv.wait(state).expect("slot poisoned");
         }
     }
+
+    fn wait_timeout(&self, timeout: Duration) -> Option<QueryOutcome> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("slot poisoned");
+        loop {
+            if let Some(outcome) = state.take() {
+                return Some(outcome);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(state, deadline - now)
+                .expect("slot poisoned");
+            state = guard;
+        }
+    }
 }
 
-/// Handle to one in-flight query; consume it with [`Ticket::wait`].
+/// Handle to one in-flight query; consume it with [`Ticket::wait`] or poll
+/// it with [`Ticket::wait_timeout`].
 pub struct Ticket {
     slot: Arc<ResponseSlot>,
 }
@@ -136,6 +184,13 @@ impl Ticket {
     /// Block until the worker fulfils (or sheds) the request.
     pub fn wait(self) -> QueryOutcome {
         self.slot.wait()
+    }
+
+    /// Block up to `timeout` for the outcome. `None` means the request is
+    /// still in flight — the ticket stays valid, so the caller can do other
+    /// work and wait again.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<QueryOutcome> {
+        self.slot.wait_timeout(timeout)
     }
 }
 
@@ -154,6 +209,10 @@ struct ServeObs {
     completed: Counter,
     rejected: Counter,
     timed_out: Counter,
+    degraded: Counter,
+    failed: Counter,
+    worker_panics: Counter,
+    worker_respawns: Counter,
     queue_depth: Gauge,
     latency_us: Histogram,
     queue_wait_us: Histogram,
@@ -166,6 +225,10 @@ impl ServeObs {
             completed: registry.counter("serve.completed"),
             rejected: registry.counter("serve.rejected"),
             timed_out: registry.counter("serve.timed_out"),
+            degraded: registry.counter("serve.degraded"),
+            failed: registry.counter("serve.failed"),
+            worker_panics: registry.counter("serve.worker_panics"),
+            worker_respawns: registry.counter("serve.worker_respawns"),
             queue_depth: registry.gauge("serve.queue_depth"),
             latency_us: registry.histogram("serve.latency_us"),
             queue_wait_us: registry.histogram("serve.queue_wait_us"),
@@ -194,7 +257,9 @@ impl QueryServer {
     ) -> Self {
         assert!(config.workers >= 1, "need at least one worker");
         cache.bind_obs(registry);
-        parts.file.stats().bind(registry);
+        // Store-level binding: I/O counters, plus `storage.fault.*` when the
+        // store is a fault injector.
+        parts.file.bind_obs(registry);
 
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let in_flight = Arc::new(AtomicUsize::new(0));
@@ -206,7 +271,7 @@ impl QueryServer {
                 let in_flight = Arc::clone(&in_flight);
                 let obs = Arc::clone(&obs);
                 let parts = parts.clone();
-                let cache = SharedPointCache::new(Arc::clone(&cache));
+                let cache = Arc::clone(&cache);
                 let registry = registry.clone();
                 let config = config.clone();
                 thread::Builder::new()
@@ -275,27 +340,75 @@ impl QueryServer {
         self.queue.len()
     }
 
+    /// Fulfil every request still sitting in the (closed) queue with a
+    /// terminal [`QueryOutcome::Failed`]. Workers normally drain the queue
+    /// themselves during shutdown; this is the backstop that guarantees no
+    /// ticket waits forever even if every worker is already gone.
+    fn drain_queue(&self) {
+        while let Some(request) = self.queue.pop() {
+            self.obs.failed.inc();
+            request.slot.fulfil(QueryOutcome::Failed {
+                reason: "server shut down before a worker ran this request".into(),
+            });
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
     /// Stop admissions, drain the queue, and join every worker. All
-    /// already-admitted requests are fulfilled (run or timed out) before
-    /// this returns, so `in_flight` is zero afterwards.
+    /// already-admitted requests reach a terminal outcome (run, timed out,
+    /// or failed) before this returns, so `in_flight` is zero afterwards.
     pub fn shutdown(mut self) {
         self.accepting.store(false, Ordering::Release);
         self.queue.close();
         for handle in self.workers.drain(..) {
             handle.join().expect("worker panicked");
         }
+        // Workers drained everything; this only fires if a worker thread
+        // died outside the per-request catch (should be impossible).
+        self.drain_queue();
         debug_assert_eq!(self.in_flight.load(Ordering::Acquire), 0);
     }
 }
 
 impl Drop for QueryServer {
     fn drop(&mut self) {
-        // Belt-and-braces for tests that forget shutdown(): close and join.
+        // Belt-and-braces for tests that forget shutdown(): close, join, and
+        // fulfil anything left queued.
         self.accepting.store(false, Ordering::Release);
         self.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        self.drain_queue();
+    }
+}
+
+/// Build one worker's engine over the shared parts. Split out so the worker
+/// can rebuild a fresh engine after a caught panic (the old one's internal
+/// state — heap, cache admission mid-write — is suspect).
+fn build_engine<'a>(
+    worker_id: usize,
+    parts: &'a SharedParts,
+    cache: &Arc<dyn ConcurrentPointCache>,
+    registry: &MetricsRegistry,
+    config: &ServeConfig,
+) -> KnnEngine<'a> {
+    let mut engine = parts.engine(Box::new(SharedPointCache::new(Arc::clone(cache))));
+    engine.io_model = config.io_model;
+    engine.eager_refetch = config.eager_refetch;
+    engine.retry = config.retry;
+    engine.obs = hc_query::QueryObs::bind_labeled(registry, &format!("worker{worker_id}"));
+    engine.retry_obs.bind(registry);
+    engine
+}
+
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "query evaluation panicked".to_string()
     }
 }
 
@@ -306,14 +419,11 @@ fn worker_loop(
     in_flight: Arc<AtomicUsize>,
     obs: Arc<ServeObs>,
     parts: SharedParts,
-    cache: SharedPointCache,
+    cache: Arc<dyn ConcurrentPointCache>,
     registry: MetricsRegistry,
     config: ServeConfig,
 ) {
-    let mut engine = parts.engine(Box::new(cache));
-    engine.io_model = config.io_model;
-    engine.eager_refetch = config.eager_refetch;
-    engine.obs = hc_query::QueryObs::bind_labeled(&registry, &format!("worker{worker_id}"));
+    let mut engine = build_engine(worker_id, &parts, &cache, &registry, &config);
 
     while let Some(request) = queue.pop() {
         obs.queue_depth.set(queue.len() as f64);
@@ -326,7 +436,26 @@ fn worker_loop(
                 continue;
             }
         }
-        let (ids, stats) = engine.query(&request.query, request.k);
+        // Isolate the request: a panic inside Algorithm 1 (poisoned input,
+        // index bug) must not take the worker down with queued tickets
+        // unfulfilled.
+        let evaluated = catch_unwind(AssertUnwindSafe(|| engine.query(&request.query, request.k)));
+        let (ids, stats) = match evaluated {
+            Ok(result) => result,
+            Err(payload) => {
+                obs.worker_panics.inc();
+                obs.failed.inc();
+                request.slot.fulfil(QueryOutcome::Failed {
+                    reason: panic_reason(payload),
+                });
+                in_flight.fetch_sub(1, Ordering::AcqRel);
+                // The engine that panicked mid-query may hold corrupt
+                // scratch state; respawn a fresh one and keep serving.
+                engine = build_engine(worker_id, &parts, &cache, &registry, &config);
+                obs.worker_respawns.inc();
+                continue;
+            }
+        };
         if let Some(scale) = config.simulate_io_scale {
             let stall = config.io_model.modeled_time(stats.io_pages).mul_f64(scale);
             if !stall.is_zero() {
@@ -339,14 +468,53 @@ fn worker_loop(
         obs.completed.inc();
         obs.latency_us.record(latency.as_micros() as u64);
         obs.queue_wait_us.record(queue_wait.as_micros() as u64);
-        request.slot.fulfil(QueryOutcome::Done(QueryResponse {
+        let response = QueryResponse {
             ids,
             latency,
             queue_wait,
             io_pages: stats.io_pages,
             cache_hits: stats.cache_hits,
             candidates: stats.candidates,
-        }));
+        };
+        let outcome = if stats.missing.is_empty() {
+            QueryOutcome::Done(response)
+        } else {
+            obs.degraded.inc();
+            QueryOutcome::Degraded {
+                response,
+                missing: stats.missing,
+            }
+        };
+        request.slot.fulfil(outcome);
         in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_slot_wait_timeout_expires_then_delivers() {
+        let slot = Arc::new(ResponseSlot::new());
+        assert!(
+            slot.wait_timeout(Duration::from_millis(10)).is_none(),
+            "unfulfilled slot must time out"
+        );
+        let fulfiller = Arc::clone(&slot);
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            fulfiller.fulfil(QueryOutcome::TimedOut);
+        });
+        let got = slot.wait_timeout(Duration::from_secs(5));
+        t.join().expect("no panic");
+        assert!(matches!(got, Some(QueryOutcome::TimedOut)));
+    }
+
+    #[test]
+    fn panic_reason_extracts_common_payloads() {
+        assert_eq!(panic_reason(Box::new("boom")), "boom");
+        assert_eq!(panic_reason(Box::new(String::from("kaboom"))), "kaboom");
+        assert_eq!(panic_reason(Box::new(42u32)), "query evaluation panicked");
     }
 }

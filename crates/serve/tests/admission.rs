@@ -74,6 +74,7 @@ fn full_queue_rejects_with_queue_full() {
         io_model: IoModel::HDD,
         simulate_io_scale: Some(1.0),
         eager_refetch: false,
+        ..ServeConfig::default()
     };
     let registry = MetricsRegistry::new();
     let server = QueryServer::start(parts(), shared_cache(), config, &registry);
@@ -204,7 +205,7 @@ fn concurrent_results_match_single_threaded_engine() {
                 got.sort_unstable_by_key(|id| id.0);
                 assert_eq!(got, want[i], "query {i} diverged under concurrency");
             }
-            QueryOutcome::TimedOut => panic!("no deadline was set"),
+            other => panic!("expected Done on a pristine store, got {other:?}"),
         }
     }
     server.shutdown();

@@ -1,0 +1,168 @@
+//! Worker-panic isolation: a request whose evaluation panics must resolve
+//! its ticket with [`QueryOutcome::Failed`] (never hang), the worker must
+//! respawn its engine and keep serving, and subsequent queries must come
+//! back exact. DESIGN.md §10.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::histogram::classic::equi_width;
+use hc_core::quantize::Quantizer;
+use hc_core::scheme::{ApproxScheme, GlobalScheme};
+use hc_index::traits::CandidateIndex;
+use hc_obs::MetricsRegistry;
+use hc_query::SharedParts;
+use hc_serve::{QueryOutcome, QueryServer, ServeConfig, ShardedCompactCache};
+use hc_storage::point_file::PointFile;
+
+const N: usize = 32;
+const DIM: usize = 2;
+
+/// Scans everything, but panics on a poison query (NaN first coordinate) —
+/// the stand-in for an index bug or poisoned input slipping past admission.
+struct PoisonableIndex;
+
+impl CandidateIndex for PoisonableIndex {
+    fn candidates(&self, q: &[f32], _k: usize) -> Vec<PointId> {
+        assert!(!q[0].is_nan(), "poison query reached the index");
+        (0..N as u32).map(PointId).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "poisonable-scan"
+    }
+}
+
+fn dataset() -> Dataset {
+    Dataset::from_rows(
+        &(0..N)
+            .map(|i| vec![i as f32, (i * 5 % N) as f32])
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn server(workers: usize, registry: &MetricsRegistry) -> QueryServer {
+    let parts = SharedParts::new(
+        Arc::new(PoisonableIndex),
+        Arc::new(PointFile::new(dataset())),
+    );
+    let quant = Quantizer::new(0.0, N as f32, 256);
+    let scheme: Arc<dyn ApproxScheme> =
+        Arc::new(GlobalScheme::new(equi_width(256, 64), quant, DIM));
+    let cache = Arc::new(ShardedCompactCache::lru(
+        Arc::clone(&scheme),
+        scheme.bytes_per_point() * N * 2,
+        4,
+    ));
+    QueryServer::start(
+        parts,
+        cache,
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+}
+
+#[test]
+fn panicking_request_fails_its_ticket_and_worker_keeps_serving() {
+    let registry = MetricsRegistry::new();
+    let srv = server(1, &registry);
+
+    // Sanity: a clean query works.
+    let before = srv.submit(vec![3.0, 4.0], 3, None).expect("admitted");
+    let QueryOutcome::Done(first) = before.wait() else {
+        panic!("clean query must complete exactly");
+    };
+
+    // Poison query: the ticket must resolve (Failed), not hang.
+    let poison = srv.submit(vec![f32::NAN, 0.0], 3, None).expect("admitted");
+    match poison.wait() {
+        QueryOutcome::Failed { reason } => {
+            assert!(
+                reason.contains("poison query"),
+                "panic message should surface in the outcome, got: {reason}"
+            );
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+
+    // The single worker survived: the same thread answers again, exactly.
+    let after = srv.submit(vec![3.0, 4.0], 3, None).expect("admitted");
+    let QueryOutcome::Done(second) = after.wait() else {
+        panic!("post-panic query must complete exactly");
+    };
+    assert_eq!(first.ids, second.ids, "post-respawn results diverged");
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("serve.worker_panics"), Some(1));
+    assert_eq!(snap.counter("serve.worker_respawns"), Some(1));
+    assert_eq!(snap.counter("serve.failed"), Some(1));
+    srv.shutdown();
+}
+
+#[test]
+fn every_ticket_resolves_under_a_panic_storm() {
+    let registry = MetricsRegistry::new();
+    let srv = server(4, &registry);
+
+    // Interleave poison and clean queries; every ticket must terminate.
+    let tickets: Vec<_> = (0..40)
+        .map(|i| {
+            let q = if i % 5 == 0 {
+                vec![f32::NAN, 0.0]
+            } else {
+                vec![(i % N) as f32, 1.0]
+            };
+            (i, srv.submit(q, 3, None).expect("admitted"))
+        })
+        .collect();
+    let mut failed = 0;
+    let mut done = 0;
+    for (i, ticket) in tickets {
+        match ticket.wait() {
+            QueryOutcome::Failed { .. } => {
+                assert_eq!(i % 5, 0, "clean query {i} failed");
+                failed += 1;
+            }
+            QueryOutcome::Done(_) => done += 1,
+            other => panic!("unexpected outcome for {i}: {other:?}"),
+        }
+    }
+    assert_eq!(failed, 8);
+    assert_eq!(done, 32);
+    assert_eq!(srv.in_flight(), 0);
+    srv.shutdown();
+}
+
+#[test]
+fn wait_timeout_polls_without_consuming_the_ticket() {
+    let registry = MetricsRegistry::new();
+    let srv = server(1, &registry);
+
+    // Stall the single worker with a poison-free slow path: simulate_io is
+    // off, so instead occupy it with a burst and poll the last ticket.
+    let burst: Vec<_> = (0..8)
+        .map(|i| srv.submit(vec![i as f32, 2.0], 3, None).expect("admitted"))
+        .collect();
+    let last = srv.submit(vec![9.0, 2.0], 3, None).expect("admitted");
+
+    // Poll until resolved; each None leaves the ticket usable.
+    let mut outcome = None;
+    for _ in 0..200 {
+        if let Some(got) = last.wait_timeout(Duration::from_millis(25)) {
+            outcome = Some(got);
+            break;
+        }
+    }
+    assert!(
+        matches!(outcome, Some(QueryOutcome::Done(_))),
+        "polled ticket must eventually resolve exactly"
+    );
+    for t in burst {
+        assert!(matches!(t.wait(), QueryOutcome::Done(_)));
+    }
+    srv.shutdown();
+}

@@ -1,0 +1,121 @@
+//! The storage fault taxonomy (DESIGN.md §10).
+//!
+//! The simulated disk can now fail the way the paper's physical disk could
+//! have: a read may time out (transient), return corrupted bytes caught by
+//! the page checksum, come back short (torn), or hit a page that is simply
+//! gone. Every error is classified as *transient* (a bounded retry may
+//! succeed — the fault was in the transfer) or *permanent* (retrying the
+//! same page deterministically fails again), which is exactly the split the
+//! [`crate::retry::RetryPolicy`] acts on.
+
+use std::fmt;
+
+/// Why a page read failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageError {
+    /// The device reported a transient read error (bus timeout, command
+    /// abort). The page itself is intact — a retry re-issues the read.
+    TransientRead { page: u64 },
+    /// The page codec's checksum did not match: the bytes that arrived are
+    /// not the bytes that were written. Classified transient because the
+    /// common cause is transfer corruption, not media damage — a re-read
+    /// fetches the intact on-media copy.
+    ChecksumMismatch { page: u64, expected: u64, got: u64 },
+    /// Fewer bytes arrived than the page holds (torn / short read).
+    /// Transient for the same reason as a checksum mismatch.
+    TornPage {
+        page: u64,
+        got_bytes: usize,
+        want_bytes: usize,
+    },
+    /// The page is permanently unreadable (media failure). Every retry
+    /// fails identically; callers must degrade around the loss.
+    Unreadable { page: u64 },
+}
+
+impl StorageError {
+    /// Whether a bounded retry has any chance of succeeding.
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, StorageError::Unreadable { .. })
+    }
+
+    /// The page the failed read addressed.
+    pub fn page(&self) -> u64 {
+        match *self {
+            StorageError::TransientRead { page }
+            | StorageError::ChecksumMismatch { page, .. }
+            | StorageError::TornPage { page, .. }
+            | StorageError::Unreadable { page } => page,
+        }
+    }
+
+    /// Short label used for metric names and log lines.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StorageError::TransientRead { .. } => "transient",
+            StorageError::ChecksumMismatch { .. } => "corrupt",
+            StorageError::TornPage { .. } => "torn",
+            StorageError::Unreadable { .. } => "unreadable",
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TransientRead { page } => {
+                write!(f, "transient read error on page {page}")
+            }
+            StorageError::ChecksumMismatch {
+                page,
+                expected,
+                got,
+            } => write!(
+                f,
+                "checksum mismatch on page {page}: expected {expected:#018x}, got {got:#018x}"
+            ),
+            StorageError::TornPage {
+                page,
+                got_bytes,
+                want_bytes,
+            } => write!(
+                f,
+                "torn page {page}: {got_bytes} of {want_bytes} bytes arrived"
+            ),
+            StorageError::Unreadable { page } => write!(f, "page {page} permanently unreadable"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_splits_transient_from_permanent() {
+        assert!(StorageError::TransientRead { page: 3 }.is_transient());
+        assert!(StorageError::ChecksumMismatch {
+            page: 3,
+            expected: 1,
+            got: 2
+        }
+        .is_transient());
+        assert!(StorageError::TornPage {
+            page: 3,
+            got_bytes: 100,
+            want_bytes: 4096
+        }
+        .is_transient());
+        assert!(!StorageError::Unreadable { page: 3 }.is_transient());
+    }
+
+    #[test]
+    fn page_and_kind_are_stable() {
+        let e = StorageError::Unreadable { page: 17 };
+        assert_eq!(e.page(), 17);
+        assert_eq!(e.kind(), "unreadable");
+        assert!(e.to_string().contains("17"));
+    }
+}

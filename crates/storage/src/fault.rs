@@ -1,0 +1,515 @@
+//! Deterministic fault injection over the point file (DESIGN.md §10).
+//!
+//! [`FaultInjector`] wraps the pristine [`PointFile`] and makes its read
+//! path actually fail, at configurable per-class rates: transient read
+//! errors, checksum corruption (a real bit flip run through the real codec
+//! verification, not a synthesized error value), torn pages, permanently
+//! unreadable pages, and latency spikes.
+//!
+//! Faults are *stateless and seeded*: whether a read faults is a pure
+//! function of `(seed, fault class, page, attempt)` via a splitmix64-style
+//! hash — no RNG state, no interior mutability, `Sync` for free. Two
+//! consequences the chaos tests rely on:
+//! * runs reproduce bit-identically from the seed (proptest shrinking works,
+//!   chaos bench numbers are stable), and
+//! * the transient/permanent split is structural: transient classes key on
+//!   `(page, attempt)` so a retry re-rolls, while `Unreadable` keys on
+//!   `page` alone — retrying a dead page deterministically fails again,
+//!   which is what forces the degradation path above to exist.
+//!
+//! Failed attempts still count as physical I/O in the underlying
+//! [`IoStats`] (a failed disk read seeks and spins like a successful one);
+//! they never populate the page buffer, so dedup stays truthful.
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use hc_core::dataset::PointId;
+use hc_obs::{Counter, Histogram, MetricsRegistry};
+
+use crate::codec;
+use crate::error::StorageError;
+use crate::io_stats::IoStats;
+use crate::point_file::{PageBuffer, PointFile, PAGE_SIZE};
+use crate::store::PageStore;
+
+/// Per-class fault rates in `[0, 1]`, rolled independently per physical
+/// read in the priority order unreadable → transient → torn → corrupt;
+/// latency spikes stack on top of successful reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of every fault roll. Same seed, same dataset, same query stream
+    /// → same faults.
+    pub seed: u64,
+    /// Transient device errors (bus timeout); cure on retry re-roll.
+    pub transient_rate: f64,
+    /// Transfer corruption: one bit of the page payload flips and the codec
+    /// catches it. Cures on retry.
+    pub corrupt_rate: f64,
+    /// Short reads. Cure on retry.
+    pub torn_rate: f64,
+    /// Media death: the page never reads again, any attempt, any query.
+    pub unreadable_rate: f64,
+    /// Successful reads that stall for [`FaultConfig::spike`].
+    pub latency_spike_rate: f64,
+    /// Duration of a latency spike.
+    pub spike: Duration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultConfig {
+    /// All rates zero: the injector is a transparent pass-through.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            transient_rate: 0.0,
+            corrupt_rate: 0.0,
+            torn_rate: 0.0,
+            unreadable_rate: 0.0,
+            latency_spike_rate: 0.0,
+            spike: Duration::ZERO,
+        }
+    }
+
+    /// A uniform mixed-fault profile: `rate` spread across transient /
+    /// corrupt / torn (retry-curable) plus a tenth of `rate` of permanently
+    /// unreadable pages. The chaos bench sweeps this.
+    pub fn mixed(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            transient_rate: rate * 0.5,
+            corrupt_rate: rate * 0.25,
+            torn_rate: rate * 0.25,
+            unreadable_rate: rate * 0.1,
+            latency_spike_rate: 0.0,
+            spike: Duration::ZERO,
+        }
+    }
+
+    fn validate(&self) {
+        for (name, r) in [
+            ("transient_rate", self.transient_rate),
+            ("corrupt_rate", self.corrupt_rate),
+            ("torn_rate", self.torn_rate),
+            ("unreadable_rate", self.unreadable_rate),
+            ("latency_spike_rate", self.latency_spike_rate),
+        ] {
+            assert!((0.0..=1.0).contains(&r), "{name} = {r} outside [0, 1]");
+        }
+    }
+}
+
+/// Fault-class tags folded into the roll hash so the per-class streams are
+/// independent.
+const CLASS_UNREADABLE: u64 = 0xDEAD;
+const CLASS_TRANSIENT: u64 = 0x7127;
+const CLASS_TORN: u64 = 0x7023;
+const CLASS_CORRUPT: u64 = 0xC0DE;
+const CLASS_SPIKE: u64 = 0x5B1C;
+
+/// A seedable fault layer over the pristine point file.
+pub struct FaultInjector {
+    inner: Arc<PointFile>,
+    config: FaultConfig,
+    obs: FaultObs,
+}
+
+impl FaultInjector {
+    /// # Panics
+    /// Panics if any rate in `config` is outside `[0, 1]`.
+    pub fn new(inner: Arc<PointFile>, config: FaultConfig) -> Self {
+        config.validate();
+        Self {
+            inner,
+            config,
+            obs: FaultObs::default(),
+        }
+    }
+
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The wrapped pristine file.
+    pub fn inner(&self) -> &Arc<PointFile> {
+        &self.inner
+    }
+
+    /// Roll one fault class for a physical read: a pure function of
+    /// `(seed, class, page, attempt)`.
+    fn roll(&self, class: u64, page: u64, attempt: u32, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        let h = mix(self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ class.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ page.wrapping_mul(0x94D0_49BB_1331_11EB)
+            ^ u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        // Map to [0, 1): 53 mantissa bits, so < 1.0 strictly.
+        ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < rate
+    }
+
+    /// Count a failed physical read: the platter spun either way.
+    fn count_failed_attempt(&self, attempt: u32) {
+        self.inner.stats().record_page();
+        if attempt > 0 {
+            self.inner.stats().record_page_retried();
+        }
+    }
+}
+
+impl PageStore for FaultInjector {
+    fn read_point<'s>(
+        &'s self,
+        id: PointId,
+        attempt: u32,
+        buffer: &mut PageBuffer,
+    ) -> Result<&'s [f32], StorageError> {
+        let page = self.inner.page_of(id);
+        // Buffered pages were verified when first read; serving them from
+        // the buffer involves no device and cannot fault.
+        if buffer.contains(page) {
+            return self.inner.try_fetch(id, attempt, buffer);
+        }
+        // Permanent faults first: a dead page is dead on every attempt.
+        if self.roll(CLASS_UNREADABLE, page, 0, self.config.unreadable_rate) {
+            self.count_failed_attempt(attempt);
+            self.obs.record("unreadable");
+            return Err(StorageError::Unreadable { page });
+        }
+        if self.roll(CLASS_TRANSIENT, page, attempt, self.config.transient_rate) {
+            self.count_failed_attempt(attempt);
+            self.obs.record("transient");
+            return Err(StorageError::TransientRead { page });
+        }
+        if self.roll(CLASS_TORN, page, attempt, self.config.torn_rate) {
+            self.count_failed_attempt(attempt);
+            self.obs.record("torn");
+            let want_bytes = PAGE_SIZE;
+            let got_bytes = (mix(page ^ u64::from(attempt) ^ 0x7023) as usize) % want_bytes;
+            return Err(StorageError::TornPage {
+                page,
+                got_bytes,
+                want_bytes,
+            });
+        }
+        if self.roll(CLASS_CORRUPT, page, attempt, self.config.corrupt_rate) {
+            // Materialize the corrupted transfer and run the *real* codec
+            // verification over it — the error carries the actual mismatched
+            // digest, not a synthesized one.
+            self.count_failed_attempt(attempt);
+            self.obs.record("corrupt");
+            let mut payload = self.inner.page_payload(page);
+            if !payload.is_empty() {
+                let bit = mix(page.wrapping_mul(31) ^ u64::from(attempt)) as usize;
+                let victim = (bit / 32) % payload.len();
+                let flipped = payload[victim].to_bits() ^ (1u32 << (bit % 32));
+                payload[victim] = f32::from_bits(flipped);
+            }
+            let got = codec::page_checksum(&payload);
+            let expected = self.inner.page_checksum(page);
+            debug_assert_ne!(got, expected, "bit flip must change the digest");
+            return Err(StorageError::ChecksumMismatch {
+                page,
+                expected,
+                got,
+            });
+        }
+        if self.roll(CLASS_SPIKE, page, attempt, self.config.latency_spike_rate) {
+            self.obs.record_spike(self.config.spike);
+            if !self.config.spike.is_zero() {
+                std::thread::sleep(self.config.spike);
+            }
+        }
+        // Healthy read: delegate — the inner file counts the I/O, verifies
+        // the checksum, and populates the buffer.
+        self.inner.try_fetch(id, attempt, buffer)
+    }
+
+    fn begin_query(&self) -> PageBuffer {
+        self.inner.begin_query()
+    }
+
+    fn page_of(&self, id: PointId) -> u64 {
+        self.inner.page_of(id)
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn bind_obs(&self, registry: &MetricsRegistry) {
+        self.inner.stats().bind(registry);
+        self.obs.bind(registry);
+    }
+}
+
+/// splitmix64 finalizer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `storage.fault.*` telemetry: one counter per fault class plus a spike
+/// histogram. Inert until bound.
+#[derive(Debug, Default)]
+struct FaultObs {
+    inner: OnceLock<FaultMirror>,
+}
+
+#[derive(Debug)]
+struct FaultMirror {
+    transient: Counter,
+    corrupt: Counter,
+    torn: Counter,
+    unreadable: Counter,
+    spike: Counter,
+    spike_us: Histogram,
+}
+
+impl FaultObs {
+    fn bind(&self, registry: &MetricsRegistry) {
+        if !registry.is_enabled() {
+            return;
+        }
+        let _ = self.inner.set(FaultMirror {
+            transient: registry.counter("storage.fault.transient"),
+            corrupt: registry.counter("storage.fault.corrupt"),
+            torn: registry.counter("storage.fault.torn"),
+            unreadable: registry.counter("storage.fault.unreadable"),
+            spike: registry.counter("storage.fault.spike"),
+            spike_us: registry.histogram("storage.fault.spike_us"),
+        });
+    }
+
+    fn record(&self, kind: &str) {
+        if let Some(m) = self.inner.get() {
+            match kind {
+                "transient" => m.transient.inc(),
+                "corrupt" => m.corrupt.inc(),
+                "torn" => m.torn.inc(),
+                "unreadable" => m.unreadable.inc(),
+                _ => {}
+            }
+        }
+    }
+
+    fn record_spike(&self, spike: Duration) {
+        if let Some(m) = self.inner.get() {
+            m.spike.inc();
+            m.spike_us.record(spike.as_micros() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_core::dataset::Dataset;
+
+    fn file(n: usize, d: usize) -> Arc<PointFile> {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| (0..d).map(|j| (i * d + j) as f32).collect())
+            .collect();
+        Arc::new(PointFile::new(Dataset::from_rows(&rows)))
+    }
+
+    #[test]
+    fn zero_rates_are_a_transparent_pass_through() {
+        let f = file(24, 150);
+        let injector = FaultInjector::new(Arc::clone(&f), FaultConfig::none());
+        let mut buf = PageStore::begin_query(&injector);
+        for id in 0..24u32 {
+            let p = injector.read_point(PointId(id), 0, &mut buf).unwrap();
+            assert_eq!(p, f.dataset().point(PointId(id)));
+        }
+        assert_eq!(f.stats().pages_read(), 4);
+        assert_eq!(f.stats().pages_retried(), 0);
+    }
+
+    #[test]
+    fn unreadable_pages_are_sticky_across_attempts_and_queries() {
+        let f = file(60, 150); // 10 pages
+        let cfg = FaultConfig {
+            seed: 7,
+            unreadable_rate: 0.4,
+            ..FaultConfig::none()
+        };
+        let injector = FaultInjector::new(f, cfg);
+        let mut dead = Vec::new();
+        let mut buf = PageStore::begin_query(&injector);
+        for id in (0..60u32).step_by(6) {
+            if injector.read_point(PointId(id), 0, &mut buf).is_err() {
+                dead.push(id);
+            }
+        }
+        assert!(
+            !dead.is_empty() && dead.len() < 10,
+            "rate 0.4 over 10 pages should kill some but not all (got {dead:?})"
+        );
+        // Every dead page stays dead on any attempt in any later query.
+        for attempt in 0..8u32 {
+            let mut buf2 = PageStore::begin_query(&injector);
+            for &id in &dead {
+                let err = injector
+                    .read_point(PointId(id), attempt, &mut buf2)
+                    .unwrap_err();
+                assert_eq!(
+                    err,
+                    StorageError::Unreadable {
+                        page: injector.page_of(PointId(id))
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_cure_on_some_retry() {
+        let f = file(60, 150);
+        let cfg = FaultConfig {
+            seed: 11,
+            transient_rate: 0.5,
+            ..FaultConfig::none()
+        };
+        let injector = FaultInjector::new(f, cfg);
+        let mut cured = 0;
+        let mut faulted = 0;
+        for id in (0..60u32).step_by(6) {
+            let mut buf = PageStore::begin_query(&injector);
+            let mut attempt = 0;
+            loop {
+                match injector.read_point(PointId(id), attempt, &mut buf) {
+                    Ok(_) => {
+                        if attempt > 0 {
+                            cured += 1;
+                        }
+                        break;
+                    }
+                    Err(e) => {
+                        assert!(e.is_transient());
+                        faulted += 1;
+                        attempt += 1;
+                        assert!(attempt < 64, "transient fault at rate 0.5 never cured");
+                    }
+                }
+            }
+        }
+        assert!(faulted > 0, "rate 0.5 must fault sometimes");
+        assert!(cured > 0, "some faulted read must cure on retry");
+    }
+
+    #[test]
+    fn corruption_flows_through_the_real_codec() {
+        let f = file(12, 150);
+        let cfg = FaultConfig {
+            seed: 3,
+            corrupt_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let injector = FaultInjector::new(Arc::clone(&f), cfg);
+        let mut buf = PageStore::begin_query(&injector);
+        let err = injector.read_point(PointId(0), 0, &mut buf).unwrap_err();
+        match err {
+            StorageError::ChecksumMismatch {
+                page,
+                expected,
+                got,
+            } => {
+                assert_eq!(expected, f.page_checksum(page));
+                assert_ne!(got, expected, "flipped bit must break the digest");
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_in_the_seed() {
+        let cfg = FaultConfig::mixed(99, 0.3);
+        let run = |cfg: FaultConfig| -> Vec<Option<&'static str>> {
+            let injector = FaultInjector::new(file(60, 150), cfg);
+            (0..60u32)
+                .map(|id| {
+                    let mut buf = PageStore::begin_query(&injector);
+                    injector
+                        .read_point(PointId(id), 0, &mut buf)
+                        .err()
+                        .map(|e| e.kind())
+                })
+                .collect()
+        };
+        assert_eq!(run(cfg), run(cfg), "same seed must replay the same faults");
+        let other = run(FaultConfig::mixed(100, 0.3));
+        assert_ne!(run(cfg), other, "different seed must reshuffle faults");
+    }
+
+    #[test]
+    fn failed_attempts_count_io_but_never_populate_the_buffer() {
+        let f = file(12, 150);
+        let cfg = FaultConfig {
+            seed: 5,
+            transient_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let injector = FaultInjector::new(Arc::clone(&f), cfg);
+        let mut buf = PageStore::begin_query(&injector);
+        for attempt in 0..3u32 {
+            assert!(injector.read_point(PointId(0), attempt, &mut buf).is_err());
+        }
+        assert_eq!(f.stats().pages_read(), 3, "each failed attempt is real I/O");
+        assert_eq!(f.stats().pages_retried(), 2);
+        assert_eq!(buf.pages_touched(), 0, "failed reads must not buffer pages");
+    }
+
+    #[test]
+    fn fault_obs_counts_by_class() {
+        let registry = MetricsRegistry::new();
+        let f = file(12, 150);
+        let cfg = FaultConfig {
+            seed: 5,
+            transient_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let injector = FaultInjector::new(f, cfg);
+        injector.bind_obs(&registry);
+        let mut buf = PageStore::begin_query(&injector);
+        let _ = injector.read_point(PointId(0), 0, &mut buf);
+        let _ = injector.read_point(PointId(6), 0, &mut buf);
+        assert_eq!(
+            registry.snapshot().counter("storage.fault.transient"),
+            Some(2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rates_outside_unit_interval_are_rejected() {
+        let _ = FaultInjector::new(
+            file(6, 150),
+            FaultConfig {
+                transient_rate: 1.5,
+                ..FaultConfig::none()
+            },
+        );
+    }
+}

@@ -26,6 +26,7 @@ struct IoMirror {
     pages_read: Counter,
     points_fetched: Counter,
     pages_deduped: Counter,
+    pages_retried: Counter,
 }
 
 /// Monotone counters of simulated disk activity. Cloneable snapshots allow
@@ -35,6 +36,7 @@ pub struct IoStats {
     pages_read: AtomicU64,
     points_fetched: AtomicU64,
     pages_deduped: AtomicU64,
+    pages_retried: AtomicU64,
     mirror: OnceLock<IoMirror>,
 }
 
@@ -58,6 +60,7 @@ impl IoStats {
             pages_read: registry.counter("storage.pages_read"),
             points_fetched: registry.counter("storage.points_fetched"),
             pages_deduped: registry.counter("storage.pages_deduped"),
+            pages_retried: registry.counter("storage.pages_retried"),
         });
     }
 
@@ -90,6 +93,18 @@ impl IoStats {
         }
     }
 
+    /// Record a retried page read (attempt > 0 after a fault). Every retry
+    /// is *also* counted in `pages_read` — it is a real disk operation and
+    /// belongs in modeled latency — so `pages_read - pages_retried` is the
+    /// first-attempt read count the §4 cost model predicts.
+    #[inline]
+    pub fn record_page_retried(&self) {
+        self.pages_retried.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.mirror.get() {
+            m.pages_retried.inc();
+        }
+    }
+
     /// Total pages read so far.
     #[inline]
     pub fn pages_read(&self) -> u64 {
@@ -111,12 +126,19 @@ impl IoStats {
         self.pages_deduped.load(Ordering::Relaxed)
     }
 
+    /// Total retried page reads (fault-recovery reruns).
+    #[inline]
+    pub fn pages_retried(&self) -> u64 {
+        self.pages_retried.load(Ordering::Relaxed)
+    }
+
     /// An immutable snapshot for delta computation.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
             pages_read: self.pages_read(),
             points_fetched: self.points_fetched(),
             pages_deduped: self.pages_deduped(),
+            pages_retried: self.pages_retried(),
         }
     }
 
@@ -125,6 +147,7 @@ impl IoStats {
         self.pages_read.store(0, Ordering::Relaxed);
         self.points_fetched.store(0, Ordering::Relaxed);
         self.pages_deduped.store(0, Ordering::Relaxed);
+        self.pages_retried.store(0, Ordering::Relaxed);
     }
 }
 
@@ -134,6 +157,7 @@ pub struct IoSnapshot {
     pub pages_read: u64,
     pub points_fetched: u64,
     pub pages_deduped: u64,
+    pub pages_retried: u64,
 }
 
 impl IoSnapshot {
@@ -143,7 +167,14 @@ impl IoSnapshot {
             pages_read: self.pages_read - earlier.pages_read,
             points_fetched: self.points_fetched - earlier.points_fetched,
             pages_deduped: self.pages_deduped - earlier.pages_deduped,
+            pages_retried: self.pages_retried - earlier.pages_retried,
         }
+    }
+
+    /// Reads that were not fault-recovery reruns — what the §4 cost model
+    /// actually predicts.
+    pub fn first_attempt_reads(&self) -> u64 {
+        self.pages_read.saturating_sub(self.pages_retried)
     }
 }
 
@@ -261,6 +292,27 @@ mod tests {
         s.record_page();
         assert_eq!(registry.snapshot().counter("storage.pages_read"), Some(1));
         assert_eq!(s.pages_read(), 2);
+    }
+
+    #[test]
+    fn retried_reads_are_counted_separately_and_mirrored() {
+        let registry = MetricsRegistry::new();
+        let s = IoStats::new();
+        s.bind(&registry);
+        s.record_page(); // first attempt fails
+        s.record_page(); // retry succeeds
+        s.record_page_retried();
+        s.record_point();
+        assert_eq!(s.pages_read(), 2);
+        assert_eq!(s.pages_retried(), 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.first_attempt_reads(), 1);
+        assert_eq!(
+            registry.snapshot().counter("storage.pages_retried"),
+            Some(1)
+        );
+        s.reset();
+        assert_eq!(s.pages_retried(), 0, "reset left pages_retried stale");
     }
 
     #[test]

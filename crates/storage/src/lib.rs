@@ -10,10 +10,25 @@
 //! simulation: every 4 KB page fetch increments a counter, and modeled time
 //! is `T_io × pages`. See DESIGN.md §4 for why this substitution preserves
 //! the paper's comparisons.
+//!
+//! The read path is fallible (DESIGN.md §10): pages carry build-time
+//! checksums verified on every physical read ([`codec`]), reads go through
+//! the [`PageStore`] trait and return `Result<&[f32], StorageError>`, a
+//! seedable [`FaultInjector`] can make any fault class actually happen, and
+//! [`RetryPolicy`] bounds the recovery effort above it.
 
+pub mod codec;
+pub mod error;
+pub mod fault;
 pub mod io_stats;
 pub mod ordering;
 pub mod point_file;
+pub mod retry;
+pub mod store;
 
+pub use error::StorageError;
+pub use fault::{FaultConfig, FaultInjector};
 pub use io_stats::{IoModel, IoSnapshot, IoStats};
 pub use point_file::{PageBuffer, PointFile, PAGE_SIZE};
+pub use retry::{RetryObs, RetryPolicy};
+pub use store::PageStore;

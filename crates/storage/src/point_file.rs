@@ -12,13 +12,22 @@
 //! deduplicates fetches of the same page within one query — reading two
 //! co-located candidates costs one I/O, which is precisely the effect file
 //! orderings try to exploit.
+//!
+//! Since the robustness work (DESIGN.md §10) the file is a checksummed,
+//! fallible [`PageStore`]: every page gets an xxhash-style checksum at build
+//! time ([`crate::codec`]), verified on each physical read through
+//! [`PointFile::try_fetch`]. The pristine device never actually fails — the
+//! error path exists so a [`crate::fault::FaultInjector`] can be layered on
+//! top and so callers are forced to handle the day it does.
 
 use std::collections::HashSet;
-use std::sync::OnceLock;
 
 use hc_core::dataset::{Dataset, PointId};
 
+use crate::codec;
+use crate::error::StorageError;
 use crate::io_stats::IoStats;
+use crate::store::PageStore;
 
 /// Disk block size, as in the paper's experimental setup.
 pub const PAGE_SIZE: usize = 4096;
@@ -28,9 +37,10 @@ pub struct PointFile {
     dataset: Dataset,
     /// `position_of[id] = position` in file order.
     position_of: Vec<u32>,
-    /// Lazily-built inverse permutation (`position → id`), only materialized
-    /// by `fetch_page`.
-    id_at: OnceLock<Vec<u32>>,
+    /// Inverse permutation (`position → id`).
+    id_at: Vec<u32>,
+    /// Build-time page checksums, verified on every physical page read.
+    checksums: Vec<u64>,
     points_per_page: usize,
     stats: IoStats,
 }
@@ -57,10 +67,24 @@ impl PointFile {
             *slot = pos as u32;
         }
         let points_per_page = (PAGE_SIZE / dataset.point_bytes()).max(1);
+        let num_pages = (n as u64).div_ceil(points_per_page as u64) as usize;
+        // Build-time codec pass: one checksum per page over the resident
+        // points' payloads, in file order.
+        let mut checksums = Vec::with_capacity(num_pages);
+        for page in 0..num_pages {
+            let start = page * points_per_page;
+            let end = (start + points_per_page).min(n);
+            let mut hasher = codec::PageHasher::new(codec::CHECKSUM_SEED);
+            for &id in &order[start..end] {
+                hasher.update(dataset.point(PointId(id)));
+            }
+            checksums.push(hasher.finish());
+        }
         Self {
             dataset,
             position_of,
-            id_at: OnceLock::new(),
+            id_at: order,
+            checksums,
             points_per_page,
             stats: IoStats::new(),
         }
@@ -109,6 +133,25 @@ impl PointFile {
         self.dataset.is_empty()
     }
 
+    /// The build-time checksum of a page.
+    pub fn page_checksum(&self, page: u64) -> u64 {
+        self.checksums[page as usize]
+    }
+
+    /// The floats resident on a page, concatenated in file order — what the
+    /// codec hashed at build time. No I/O is counted: callers (checksum
+    /// verification, fault layers materializing a corrupted transfer) invoke
+    /// this as part of a page read that is already accounted.
+    pub fn page_payload(&self, page: u64) -> Vec<f32> {
+        let start = page as usize * self.points_per_page;
+        let end = (start + self.points_per_page).min(self.dataset.len());
+        let mut payload = Vec::with_capacity((end - start) * self.dataset.dim());
+        for pos in start..end {
+            payload.extend_from_slice(self.dataset.point(PointId(self.id_at[pos])));
+        }
+        payload
+    }
+
     /// Begin a query: a fresh page buffer for within-query dedup.
     pub fn begin_query(&self) -> PageBuffer {
         PageBuffer {
@@ -116,17 +159,51 @@ impl PointFile {
         }
     }
 
-    /// Fetch a point from disk, counting page I/O unless the page is already
-    /// in this query's buffer.
-    pub fn fetch(&self, id: PointId, buffer: &mut PageBuffer) -> &[f32] {
+    /// Fallible point fetch — the [`PageStore`] read path. A fresh page read
+    /// is counted, checksummed, and verified; a buffered page costs nothing
+    /// and cannot fail. `attempt > 0` additionally counts as a retried read.
+    ///
+    /// On the pristine device the verification always passes (the dataset
+    /// never mutates); the `Err` arm is the contract fault layers implement.
+    pub fn try_fetch(
+        &self,
+        id: PointId,
+        attempt: u32,
+        buffer: &mut PageBuffer,
+    ) -> Result<&[f32], StorageError> {
         let page = self.page_of(id);
-        if buffer.pages.insert(page) {
-            self.stats.record_page();
-        } else {
+        if buffer.pages.contains(&page) {
             self.stats.record_page_deduped();
+            self.stats.record_point();
+            return Ok(self.dataset.point(id));
         }
+        self.stats.record_page();
+        if attempt > 0 {
+            self.stats.record_page_retried();
+        }
+        let got = codec::page_checksum(&self.page_payload(page));
+        let expected = self.checksums[page as usize];
+        if got != expected {
+            return Err(StorageError::ChecksumMismatch {
+                page,
+                expected,
+                got,
+            });
+        }
+        buffer.pages.insert(page);
         self.stats.record_point();
-        self.dataset.point(id)
+        Ok(self.dataset.point(id))
+    }
+
+    /// Infallible fetch for callers that opted out of fault handling (the
+    /// pristine file cannot actually fail).
+    ///
+    /// # Panics
+    /// Panics if the read errors — only possible through a fault layer,
+    /// which infallible callers must not stack underneath.
+    pub fn fetch(&self, id: PointId, buffer: &mut PageBuffer) -> &[f32] {
+        self.try_fetch(id, 0, buffer)
+            .expect("pristine point file cannot fail a read")
     }
 
     /// Fetch a whole page's worth of points by page number (used by indexes
@@ -141,19 +218,49 @@ impl PointFile {
         }
         let start = page as usize * self.points_per_page;
         let end = (start + self.points_per_page).min(self.dataset.len());
-        let id_at = self.id_at.get_or_init(|| {
-            let mut inv = vec![u32::MAX; self.position_of.len()];
-            for (id, &pos) in self.position_of.iter().enumerate() {
-                inv[pos as usize] = id as u32;
-            }
-            inv
-        });
-        (start..end).map(|pos| PointId::from(id_at[pos])).collect()
+        (start..end)
+            .map(|pos| PointId::from(self.id_at[pos]))
+            .collect()
     }
 
     /// Cost (in pages) of a full sequential scan of the file.
     pub fn sequential_scan_pages(&self) -> u64 {
         self.num_pages()
+    }
+}
+
+impl PageStore for PointFile {
+    fn read_point<'s>(
+        &'s self,
+        id: PointId,
+        attempt: u32,
+        buffer: &mut PageBuffer,
+    ) -> Result<&'s [f32], StorageError> {
+        self.try_fetch(id, attempt, buffer)
+    }
+
+    fn begin_query(&self) -> PageBuffer {
+        PointFile::begin_query(self)
+    }
+
+    fn page_of(&self, id: PointId) -> u64 {
+        PointFile::page_of(self, id)
+    }
+
+    fn stats(&self) -> &IoStats {
+        PointFile::stats(self)
+    }
+
+    fn dim(&self) -> usize {
+        PointFile::dim(self)
+    }
+
+    fn len(&self) -> usize {
+        PointFile::len(self)
+    }
+
+    fn num_pages(&self) -> u64 {
+        PointFile::num_pages(self)
     }
 }
 
@@ -242,12 +349,6 @@ mod tests {
         let rev = PointFile::with_order(dataset(12, 150), (0..12u32).rev().collect());
         assert_eq!(raw.page_of(PointId(0)), 0);
         assert_eq!(rev.page_of(PointId(0)), 1);
-        // Fetching ids {0,1} costs 1 page raw, and also 1 page reversed
-        // (they are still adjacent); fetching {0, 11} costs 2 raw but ids 0
-        // and 11 are on different pages in both orders here — use {5, 6}:
-        // raw → pages 0 and 1 (2 I/Os); reversed → pages 1 and 0 (2 I/Os).
-        // The discriminating pair is {0, 6}: raw 2 pages, reversed... page_of
-        // checks are the real assertion above.
     }
 
     #[test]
@@ -267,5 +368,49 @@ mod tests {
     #[should_panic(expected = "duplicate id")]
     fn with_order_rejects_non_permutation() {
         let _ = PointFile::with_order(dataset(3, 2), vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn checksums_cover_every_page_and_verify_on_fetch() {
+        let f = PointFile::with_order(dataset(13, 150), (0..13u32).rev().collect());
+        assert_eq!(f.num_pages(), 3, "12 full slots + 1 trailing point");
+        for page in 0..f.num_pages() {
+            assert_eq!(
+                crate::codec::page_checksum(&f.page_payload(page)),
+                f.page_checksum(page),
+                "build-time checksum of page {page} must match its payload"
+            );
+        }
+        // The pristine read path verifies and succeeds for every point.
+        let mut buf = f.begin_query();
+        for id in 0..13u32 {
+            assert!(f.try_fetch(PointId(id), 0, &mut buf).is_ok());
+        }
+    }
+
+    #[test]
+    fn retried_attempts_feed_the_retry_counter() {
+        let f = PointFile::new(dataset(6, 150));
+        let mut buf = f.begin_query();
+        // A retry of a page that never made it into the buffer re-reads it.
+        f.try_fetch(PointId(0), 0, &mut buf).unwrap();
+        let mut buf2 = f.begin_query();
+        f.try_fetch(PointId(0), 3, &mut buf2).unwrap();
+        assert_eq!(f.stats().pages_read(), 2);
+        assert_eq!(f.stats().pages_retried(), 1);
+        assert_eq!(f.stats().snapshot().first_attempt_reads(), 1);
+    }
+
+    #[test]
+    fn page_store_trait_reads_through_the_same_counters() {
+        let f = PointFile::new(dataset(12, 150));
+        let store: &dyn PageStore = &f;
+        let mut buf = store.begin_query();
+        let p = store.read_point(PointId(2), 0, &mut buf).unwrap();
+        assert_eq!(p, f.dataset().point(PointId(2)));
+        assert_eq!(store.stats().pages_read(), 1);
+        assert_eq!(store.page_of(PointId(2)), 0);
+        assert_eq!(store.len(), 12);
+        assert_eq!(store.num_pages(), 2);
     }
 }

@@ -1,0 +1,73 @@
+//! [`PageStore`] — the fallible read abstraction over the simulated disk.
+//!
+//! [`crate::point_file::PointFile`] used to be the engine's storage type
+//! directly, with an infallible `fetch → &[f32]`. That made the whole stack
+//! assume the disk never lies: one bad page would have panicked the process.
+//! `PageStore` is the honest interface — the read path returns
+//! `Result<&[f32], StorageError>` — and everything above (the multi-step
+//! refiner, the serving workers) consumes storage through it.
+//!
+//! Two implementations exist:
+//! * [`PointFile`](crate::point_file::PointFile) — the pristine device;
+//!   reads always succeed, but the page checksum is still verified on every
+//!   physical read (the codec is not fault-injection theater: the pristine
+//!   path runs the same verification).
+//! * [`FaultInjector`](crate::fault::FaultInjector) — a deterministic,
+//!   seedable fault layer over any store, for chaos testing.
+
+use hc_core::dataset::PointId;
+use hc_obs::MetricsRegistry;
+
+use crate::error::StorageError;
+use crate::io_stats::IoStats;
+use crate::point_file::PageBuffer;
+
+/// A paged point store whose read path can fail.
+///
+/// `attempt` is the zero-based retry ordinal of this read: the retry policy
+/// passes 0 on the first try and increments on each re-issue. Stores use it
+/// for two things — accounting (attempts > 0 are counted as
+/// `pages_retried`, so cost-model drift gauges can exclude reruns) and
+/// deterministic fault schedules (a transient fault keyed on
+/// `(page, attempt)` cures on retry; a permanent one keyed on `page` alone
+/// does not).
+pub trait PageStore: Send + Sync {
+    /// Fetch one point, paying a page I/O unless the page is already in this
+    /// query's buffer. Buffered pages never fail: their bytes were verified
+    /// when first read.
+    fn read_point<'s>(
+        &'s self,
+        id: PointId,
+        attempt: u32,
+        buffer: &mut PageBuffer,
+    ) -> Result<&'s [f32], StorageError>;
+
+    /// Begin a query: a fresh page buffer for within-query dedup.
+    fn begin_query(&self) -> PageBuffer;
+
+    /// The page holding a point id under the current ordering.
+    fn page_of(&self, id: PointId) -> u64;
+
+    /// The I/O counters of the underlying device.
+    fn stats(&self) -> &IoStats;
+
+    /// Dimensionality of stored points.
+    fn dim(&self) -> usize;
+
+    /// Number of stored points.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total pages in the store.
+    fn num_pages(&self) -> u64;
+
+    /// Mirror this store's counters (I/O, and for fault layers the
+    /// `storage.fault.*` series) into `registry`. Default: just the I/O
+    /// counters.
+    fn bind_obs(&self, registry: &MetricsRegistry) {
+        self.stats().bind(registry);
+    }
+}

@@ -79,6 +79,7 @@ fn main() {
                 // overlap their I/O stalls like a real deployment.
                 simulate_io_scale: Some(1.0),
                 eager_refetch: false,
+                ..ServeConfig::default()
             },
             &registry,
         );
@@ -110,6 +111,7 @@ fn main() {
             io_model: IoModel::HDD,
             simulate_io_scale: Some(1.0),
             eager_refetch: false,
+            ..ServeConfig::default()
         },
         &registry,
     );

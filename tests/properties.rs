@@ -150,11 +150,21 @@ proptest! {
                 let d = euclidean(&q, p);
                 // A sound lower bound: exact distance minus arbitrary slack.
                 let lb = (d - slack[id.index() % slack.len()]).max(0.0);
-                Pending { id, lb }
+                Pending { id, lb, ub: f64::INFINITY }
             })
             .collect();
         let mut buf = file.begin_query();
-        let out = multistep_refine(&file, &mut buf, &q, k, &[], pending, &mut NoCache);
+        let out = multistep_refine(
+            &file,
+            &mut buf,
+            &q,
+            k,
+            &[],
+            pending,
+            &mut NoCache,
+            &exploit_every_bit::storage::RetryPolicy::default(),
+            &exploit_every_bit::storage::RetryObs::new(),
+        );
         // Compare against sorted exact distances.
         let mut all: Vec<f64> = ds.iter().map(|(_, p)| euclidean(&q, p)).collect();
         all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
