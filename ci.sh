@@ -11,16 +11,24 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q --workspace
 
-# Serving layer: unit + stress + admission tests, then a CI-sized
-# serve_scale run that exercises the metrics JSON path end to end.
+# Serving layer: unit + stress + admission tests (point and node caches),
+# then a CI-sized serve_scale run that exercises the metrics JSON path end
+# to end — including the 4-worker tree-backed section, whose per-shard
+# node-cache counters must have seen traffic.
 cargo test -q -p hc-serve
+cargo test -q -p hc-serve --test node_stress
+cargo test -q -p hc-query --test tree_chaos
 cargo run -q --release -p hc-bench --bin serve_scale -- --smoke
 test -s target/metrics/serve_scale.metrics.json
+grep -q '"name":"serve.qps","label":"tree"' target/metrics/serve_scale.metrics.json
 
-# Chaos smoke: fault-injected serve sweep. The binary itself asserts zero
-# incorrect results, ≥99% availability at a 1% fault rate, and degradation
-# actually firing at the top rate; here we additionally check the metrics
-# report exists and recorded degraded queries.
+# Chaos smoke: fault-injected serve sweep over both engine families. The
+# binary itself asserts zero incorrect results, ≥99% availability at a 1%
+# fault rate, bit-identical results at rate 0, and degradation actually
+# firing at the top rate; here we additionally check the metrics report
+# exists and recorded both the flat-path degradation and the tree sweep.
 cargo run -q --release -p hc-bench --bin chaos -- --smoke
 test -s target/metrics/chaos.metrics.json
 grep -q '"name":"serve.degraded","value":[1-9]' target/metrics/chaos.metrics.json
+grep -q '"name":"chaos.tree.availability"' target/metrics/chaos.metrics.json
+grep -q '"name":"chaos.tree.pages_retried"' target/metrics/chaos.metrics.json

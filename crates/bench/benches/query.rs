@@ -90,7 +90,7 @@ fn bench_tree_search(c: &mut Criterion) {
         ("hc_o_node", &compact),
     ];
     for (name, cache) in caches {
-        let engine = TreeSearchEngine::new(&index, ds, cache);
+        let engine = TreeSearchEngine::new(&index, ds, &world.file, cache);
         let queries = world.log.test.clone();
         group.bench_function(name, |b| {
             let mut i = 0usize;

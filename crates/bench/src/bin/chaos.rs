@@ -31,10 +31,11 @@ use hc_bench::world::{World, DEFAULT_TAU};
 use hc_core::dataset::PointId;
 use hc_core::distance::euclidean;
 use hc_core::histogram::HistogramKind;
-use hc_index::traits::CandidateIndex;
+use hc_index::traits::{CandidateIndex, LeafedIndex};
+use hc_index::IDistance;
 use hc_obs::MetricsRegistry;
-use hc_query::SharedParts;
-use hc_serve::{run_closed_loop, QueryServer, ServeConfig, ShardedCompactCache};
+use hc_query::{SharedParts, TreeSharedParts};
+use hc_serve::{run_closed_loop, QueryServer, ServeConfig, ShardedCompactCache, ShardedNodeCache};
 use hc_storage::io_stats::IoModel;
 use hc_storage::{FaultConfig, FaultInjector, RetryPolicy};
 use hc_workload::zipf::Zipf;
@@ -166,9 +167,8 @@ fn main() {
                 workers: WORKERS,
                 queue_capacity: 256, // closed loop ≤ CLIENTS outstanding: no shedding
                 io_model: IoModel::SSD,
-                simulate_io_scale: None,
-                eager_refetch: false,
                 retry: RetryPolicy::default(),
+                ..ServeConfig::default()
             },
             registry,
         );
@@ -265,7 +265,191 @@ fn main() {
     println!(
         "verified: every Done matched the fault-free reference, every Degraded was exact over its readable candidates ({degraded_total} degraded total)"
     );
+
+    tree_sweep(
+        &dataset,
+        &file,
+        &scheme,
+        cache_bytes,
+        &queries,
+        &rates,
+        k,
+        registry,
+    );
     hc_bench::report::emit("chaos");
+}
+
+/// The same chaos discipline against the §3.6.1 tree path: an iDistance
+/// index served by [`TreeSearchEngine`]s over a shared [`ShardedNodeCache`],
+/// reading leaves through the same fault injector. The tree engine is exact
+/// over the *whole* dataset, so the reference here is brute-force top-k —
+/// a stronger check than the candidate-set reference above.
+#[allow(clippy::too_many_arguments)]
+fn tree_sweep(
+    dataset: &hc_core::dataset::Dataset,
+    file: &Arc<hc_storage::point_file::PointFile>,
+    scheme: &Arc<dyn hc_core::scheme::ApproxScheme>,
+    cache_bytes: usize,
+    queries: &[Vec<f32>],
+    rates: &[f64],
+    k: usize,
+    registry: &MetricsRegistry,
+) {
+    let leaf_cap = (hc_storage::PAGE_SIZE / dataset.point_bytes()).max(1);
+    let index = Arc::new(IDistance::build(dataset, 16, leaf_cap, 3));
+    let shared_ds = Arc::new(dataset.clone());
+
+    // Brute-force references: exact sorted top-k distances per query, and
+    // the full distance table for degraded-subset checks.
+    let all_ids: Vec<PointId> = (0..dataset.len() as u32).map(PointId).collect();
+    let brute: Vec<Vec<f64>> = queries
+        .iter()
+        .map(|q| {
+            let mut d: Vec<f64> = all_ids
+                .iter()
+                .map(|&id| euclidean(q, dataset.point(id)))
+                .collect();
+            d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            d.truncate(k);
+            d
+        })
+        .collect();
+    let sorted_dists = |qi: usize, ids: &[PointId]| -> Vec<f64> {
+        let mut d: Vec<f64> = ids
+            .iter()
+            .map(|&id| euclidean(&queries[qi], dataset.point(id)))
+            .collect();
+        d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        d
+    };
+
+    println!(
+        "\ntree path: {} ({} leaves), shared node cache {} shards",
+        index.name(),
+        index.num_leaves(),
+        SHARDS
+    );
+    println!(
+        "{:<8} {:>8} {:>9} {:>9} {:>8} {:>10} {:>9}",
+        "rate", "avail", "degraded", "failed", "retries", "p99 (ms)", "qps"
+    );
+    let mut tree_degraded_total = 0usize;
+    for &rate in rates {
+        let injector = Arc::new(FaultInjector::new(
+            Arc::clone(file),
+            FaultConfig::mixed(FAULT_SEED, rate),
+        ));
+        let retries_before = file.stats().snapshot().pages_retried;
+        let parts = TreeSharedParts::new(
+            Arc::clone(&index) as Arc<dyn LeafedIndex + Send + Sync>,
+            Arc::clone(&shared_ds),
+            injector as Arc<dyn hc_storage::PageStore>,
+        );
+        let node_cache = Arc::new(ShardedNodeCache::lru(
+            Arc::clone(scheme),
+            cache_bytes,
+            SHARDS,
+        ));
+        let server = QueryServer::start_tree(
+            parts,
+            node_cache,
+            ServeConfig {
+                workers: WORKERS,
+                queue_capacity: 256,
+                io_model: IoModel::SSD,
+                ..ServeConfig::default()
+            },
+            registry,
+        );
+        let report = run_closed_loop(&server, queries, CLIENTS, k, None);
+        server.shutdown();
+        let retries = file.stats().snapshot().pages_retried - retries_before;
+
+        assert_eq!(
+            report.offered,
+            report.completed + report.failed + report.rejected + report.timed_out,
+            "tree tickets went unaccounted at rate {rate}"
+        );
+        assert_eq!(
+            report.failed, 0,
+            "storage faults must never Fail a tree query"
+        );
+
+        for (qi, ids) in &report.results {
+            let got = sorted_dists(*qi, ids);
+            let want = &brute[*qi];
+            assert_eq!(got.len(), want.len(), "tree rate {rate} request {qi}");
+            if rate == 0.0 {
+                // Bit-identical: the injector at rate 0 must be transparent.
+                assert_eq!(&got, want, "tree rate 0 request {qi} not bit-identical");
+            } else {
+                for (g, w) in got.iter().zip(want) {
+                    assert!((g - w).abs() < 1e-9, "tree rate {rate} request {qi}");
+                }
+            }
+        }
+        for (qi, ids, missing) in &report.degraded_results {
+            let mut want: Vec<f64> = all_ids
+                .iter()
+                .filter(|id| !missing.contains(id))
+                .map(|&id| euclidean(&queries[*qi], dataset.point(id)))
+                .collect();
+            want.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            want.truncate(k);
+            let got = sorted_dists(*qi, ids);
+            assert_eq!(got.len(), want.len(), "tree degraded rate {rate} req {qi}");
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9, "tree degraded rate {rate} req {qi}");
+            }
+        }
+        tree_degraded_total += report.degraded;
+
+        if rate == 0.0 {
+            assert_eq!(report.degraded, 0, "zero-rate tree run degraded a query");
+            assert_eq!(
+                report.results.len(),
+                queries.len(),
+                "zero-rate tree run must answer everything exactly"
+            );
+        }
+        if rate > 0.0 && rate <= 0.011 {
+            assert!(
+                report.availability() >= 0.99,
+                "tree availability {:.4} < 0.99 at rate {rate}",
+                report.availability()
+            );
+        }
+
+        println!(
+            "{:<8} {:>7.2}% {:>9} {:>9} {:>8} {:>10.2} {:>9.1}",
+            rate,
+            report.availability() * 100.0,
+            report.degraded,
+            report.failed,
+            retries,
+            report.p99_us() as f64 / 1e3,
+            report.qps(),
+        );
+        let label = format!("rate={rate}");
+        registry
+            .gauge_with_label("chaos.tree.availability", &label)
+            .set(report.availability());
+        registry
+            .gauge_with_label("chaos.tree.degraded_rate", &label)
+            .set(report.degraded as f64 / report.offered.max(1) as f64);
+        registry
+            .gauge_with_label("chaos.tree.p99_us", &label)
+            .set(report.p99_us() as f64);
+        registry
+            .gauge_with_label("chaos.tree.pages_retried", &label)
+            .set(retries as f64);
+        registry
+            .gauge_with_label("chaos.tree.qps", &label)
+            .set(report.qps());
+    }
+    println!(
+        "verified: every tree Done matched brute-force top-k, every tree Degraded was exact over the readable points ({tree_degraded_total} degraded total)"
+    );
 }
 
 /// Newtype so the `C2lsh` index (built by value in `World`) can be shared

@@ -21,13 +21,21 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use hc_bench::world::{World, DEFAULT_TAU};
+use hc_cache::node::NoNodeCache;
 use hc_cache::point::CompactPointCache;
 use hc_core::dataset::PointId;
+use hc_core::distance::euclidean;
 use hc_core::histogram::HistogramKind;
+use hc_index::traits::LeafedIndex;
+use hc_index::IDistance;
 use hc_obs::MetricsRegistry;
-use hc_query::{KnnEngine, SharedParts};
-use hc_serve::{run_closed_loop, run_open_loop, QueryServer, ServeConfig, ShardedCompactCache};
+use hc_query::{KnnEngine, SharedParts, TreeSearchEngine, TreeSharedParts};
+use hc_serve::{
+    run_closed_loop, run_open_loop, QueryServer, ServeConfig, ShardedCompactCache, ShardedNodeCache,
+};
 use hc_storage::io_stats::IoModel;
+use hc_storage::point_file::PointFile;
+use hc_storage::PAGE_SIZE;
 use hc_workload::zipf::Zipf;
 use hc_workload::{Preset, Scale};
 use rand::rngs::StdRng;
@@ -111,6 +119,7 @@ fn main() {
     );
 
     // Move the heavy parts behind Arcs for the server workers.
+    let dataset = world.dataset.clone();
     let World { index, file, .. } = world;
     let parts = SharedParts::new(Arc::new(index), Arc::new(file));
     let registry = MetricsRegistry::global();
@@ -269,6 +278,108 @@ fn main() {
     registry
         .gauge_with_label("serve.p99_us", "overload")
         .set(report.p99_us() as f64);
+
+    // --- Tree-backed serving: the §3.6.1 engine behind the same shell. ---
+    // Four workers share one ShardedNodeCache; every concurrent answer must
+    // match a single-threaded tree engine by exact distance multiset (the
+    // node cache changes leaf I/O, never results), and every shard must end
+    // the run with traffic on its labeled counters.
+    const NODE_SHARDS: usize = 4;
+    let tree_workers = 4;
+    let leaf_cap = (PAGE_SIZE / dataset.point_bytes()).max(1);
+    let tree_index = Arc::new(IDistance::build(&dataset, 16, leaf_cap, 3));
+
+    let tree_expected: Vec<Vec<f64>> = {
+        let reference_file = PointFile::new(dataset.clone());
+        let engine =
+            TreeSearchEngine::new(tree_index.as_ref(), &dataset, &reference_file, &NoNodeCache);
+        queries
+            .iter()
+            .map(|q| {
+                let (res, stats) = engine.query(q, k);
+                assert!(stats.is_exact(), "pristine reference store degraded");
+                let mut d: Vec<f64> = res.into_iter().map(|(_, dist)| dist).collect();
+                d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                d
+            })
+            .collect()
+    };
+
+    let node_cache = Arc::new(ShardedNodeCache::lru(
+        Arc::clone(&scheme),
+        cache_bytes,
+        NODE_SHARDS,
+    ));
+    let tree_parts = TreeSharedParts::new(
+        Arc::clone(&tree_index) as Arc<dyn LeafedIndex + Send + Sync>,
+        Arc::new(dataset.clone()),
+        Arc::clone(&parts.file),
+    );
+    let server = QueryServer::start_tree(
+        tree_parts,
+        Arc::clone(&node_cache) as _,
+        ServeConfig {
+            workers: tree_workers,
+            queue_capacity: 256,
+            io_model: IoModel::SSD,
+            ..ServeConfig::default()
+        },
+        registry,
+    );
+    let report = run_closed_loop(&server, &queries, CLIENTS, k, None);
+    server.shutdown();
+
+    assert_eq!(report.completed, requests, "tree loop must complete all");
+    assert_eq!(report.degraded, 0, "pristine store degraded a tree query");
+    for (index, ids) in &report.results {
+        let mut got: Vec<f64> = ids
+            .iter()
+            .map(|&id| euclidean(&queries[*index], dataset.point(id)))
+            .collect();
+        got.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert_eq!(
+            &got, &tree_expected[*index],
+            "tree request {index} diverged from the single-threaded engine"
+        );
+    }
+
+    // Per-shard invariants: within budget, and every shard's labeled
+    // series saw lookups (Fibonacci hashing spread the leaves).
+    for (used, cap) in node_cache.shard_occupancy() {
+        assert!(used <= cap, "node-cache shard over budget: {used} > {cap}");
+    }
+    let snap = registry.snapshot();
+    let shard_traffic: Vec<u64> = (0..NODE_SHARDS)
+        .map(|i| {
+            let label = format!("COMPACT-NODE(τ={DEFAULT_TAU})/LRU/shard{i}");
+            ["cache.hits", "cache.misses", "cache.insertions"]
+                .iter()
+                .map(|name| snap.counter_labeled(name, &label).unwrap_or(0))
+                .sum()
+        })
+        .collect();
+    assert!(
+        shard_traffic.iter().all(|&t| t > 0),
+        "every node-cache shard must see traffic, got {shard_traffic:?}"
+    );
+    println!(
+        "tree: {} workers over {} ({} leaves), {:.1} qps, p99 {:.2} ms, shard traffic {:?}",
+        tree_workers,
+        tree_index.name(),
+        tree_index.num_leaves(),
+        report.qps(),
+        report.p99_us() as f64 / 1e3,
+        shard_traffic,
+    );
+    registry
+        .gauge_with_label("serve.qps", "tree")
+        .set(report.qps());
+    registry
+        .gauge_with_label("serve.p99_us", "tree")
+        .set(report.p99_us() as f64);
+    registry
+        .gauge_with_label("serve.hit_ratio", "tree")
+        .set(report.hit_ratio());
 
     hc_bench::report::emit("serve_scale");
 }

@@ -43,6 +43,7 @@ pub fn run(scale: Scale) -> String {
     .expect("write");
 
     // --- Tree indexes via node caches (§3.6.1). ---
+    let tree_file = PointFile::new(ds.clone());
     let idistance = IDistance::build(&ds, 32, leaf_cap, 5);
     let vptree = VpTree::build(&ds, leaf_cap, 5);
     for index in [&idistance as &dyn LeafedIndex, &vptree as &dyn LeafedIndex] {
@@ -83,7 +84,7 @@ pub fn run(scale: Scale) -> String {
         .expect("write");
         for &k in &KS {
             let run = |cache: &dyn NodeCache| -> f64 {
-                let engine = TreeSearchEngine::new(index, &ds, cache);
+                let engine = TreeSearchEngine::new(index, &ds, &tree_file, cache);
                 log.test
                     .iter()
                     .map(|q| engine.query(q, k).1.modeled_response_secs())

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use hc_core::dataset::PointId;
 use hc_obs::MetricsRegistry;
 
+use crate::node::{NodeCache, NodeLookup};
 use crate::point::{CacheLookup, PointCache};
 
 /// A point cache shareable across query worker threads.
@@ -100,6 +101,86 @@ impl PointCache for SharedPointCache {
     }
 }
 
+/// A node cache shareable across tree-search worker threads.
+///
+/// The node-granularity mirror of [`ConcurrentPointCache`]: semantically a
+/// [`NodeCache`] — probe per leaf, offer fetched leaves — but `Send + Sync`
+/// with `&self` binding so one instance can sit behind an `Arc` under
+/// concurrent load (the canonical implementation is `hc-serve`'s
+/// `ShardedNodeCache`, a shard-per-mutex wrapper over
+/// [`crate::node::LruNodeCache`]).
+pub trait ConcurrentNodeCache: Send + Sync {
+    /// Probe the cache for `leaf` against query `q`.
+    fn lookup(&self, q: &[f32], leaf: u32) -> NodeLookup;
+
+    /// Offer a leaf the search just fetched, with member vectors in leaf
+    /// order.
+    fn admit(&self, leaf: u32, points: &mut dyn ExactSizeIterator<Item = &[f32]>);
+
+    /// Whether `leaf` is currently resident (no recency side effects).
+    fn contains(&self, leaf: u32) -> bool;
+
+    /// Payload bytes currently used (summed across any internal shards).
+    fn used_bytes(&self) -> usize;
+
+    /// Configured byte budget (summed across any internal shards).
+    fn capacity_bytes(&self) -> usize;
+
+    /// Label for experiment tables, e.g. `"SHARDED-NODE(τ=8)/LRU×4"`.
+    fn label(&self) -> String;
+
+    /// Register counters/gauges. `&self`: concurrent caches guard their
+    /// state internally. The default is a no-op.
+    fn bind_obs(&self, _registry: &MetricsRegistry) {}
+}
+
+/// Adapter: present an `Arc<dyn ConcurrentNodeCache>` as a [`NodeCache`] so
+/// the single-threaded `TreeSearchEngine` can run against a shared cache.
+#[derive(Clone)]
+pub struct SharedNodeCache(Arc<dyn ConcurrentNodeCache>);
+
+impl SharedNodeCache {
+    pub fn new(cache: Arc<dyn ConcurrentNodeCache>) -> Self {
+        Self(cache)
+    }
+
+    /// The shared cache behind this adapter.
+    pub fn inner(&self) -> &Arc<dyn ConcurrentNodeCache> {
+        &self.0
+    }
+}
+
+impl NodeCache for SharedNodeCache {
+    fn lookup(&self, q: &[f32], leaf: u32) -> NodeLookup {
+        self.0.lookup(q, leaf)
+    }
+
+    fn admit(&self, leaf: u32, points: &mut dyn ExactSizeIterator<Item = &[f32]>) {
+        self.0.admit(leaf, points)
+    }
+
+    fn contains(&self, leaf: u32) -> bool {
+        self.0.contains(leaf)
+    }
+
+    fn used_bytes(&self) -> usize {
+        self.0.used_bytes()
+    }
+
+    fn capacity_bytes(&self) -> usize {
+        self.0.capacity_bytes()
+    }
+
+    fn label(&self) -> String {
+        self.0.label()
+    }
+
+    fn bind_obs(&mut self, _registry: &MetricsRegistry) {
+        // Intentionally a no-op: the shared cache is bound once by whoever
+        // owns it (per-shard labels), not once per worker engine.
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +234,58 @@ mod tests {
         assert_eq!(a.label(), "ONE");
         assert_eq!(a.used_bytes(), 1);
         assert_eq!(a.capacity_bytes(), 1);
+    }
+
+    /// Minimal interior-mutability node cache for adapter tests: remembers
+    /// which leaves were admitted and answers `Exact` for them.
+    struct LeafSetCache {
+        inner: Mutex<std::collections::HashSet<u32>>,
+    }
+
+    impl ConcurrentNodeCache for LeafSetCache {
+        fn lookup(&self, _q: &[f32], leaf: u32) -> NodeLookup {
+            if self.inner.lock().expect("lock").contains(&leaf) {
+                NodeLookup::Exact
+            } else {
+                NodeLookup::Miss
+            }
+        }
+
+        fn admit(&self, leaf: u32, _points: &mut dyn ExactSizeIterator<Item = &[f32]>) {
+            self.inner.lock().expect("lock").insert(leaf);
+        }
+
+        fn contains(&self, leaf: u32) -> bool {
+            self.inner.lock().expect("lock").contains(&leaf)
+        }
+
+        fn used_bytes(&self) -> usize {
+            self.inner.lock().expect("lock").len()
+        }
+
+        fn capacity_bytes(&self) -> usize {
+            64
+        }
+
+        fn label(&self) -> String {
+            "LEAFSET".to_owned()
+        }
+    }
+
+    #[test]
+    fn node_adapter_delegates_and_clones_share_state() {
+        let shared: Arc<dyn ConcurrentNodeCache> = Arc::new(LeafSetCache {
+            inner: Mutex::new(std::collections::HashSet::new()),
+        });
+        let a = SharedNodeCache::new(Arc::clone(&shared));
+        let b = a.clone();
+        let pts = [vec![1.0f32, 2.0]];
+        a.admit(5, &mut pts.iter().map(|p| p.as_slice()));
+        assert!(b.contains(5), "clones must see the same cache");
+        assert_eq!(b.lookup(&[0.0], 5), NodeLookup::Exact);
+        assert_eq!(b.lookup(&[0.0], 6), NodeLookup::Miss);
+        assert_eq!(a.label(), "LEAFSET");
+        assert_eq!(a.used_bytes(), 1);
+        assert_eq!(shared.used_bytes(), 1);
     }
 }

@@ -32,7 +32,9 @@ pub mod node;
 pub mod obs;
 pub mod point;
 
-pub use concurrent::{ConcurrentPointCache, SharedPointCache};
+pub use concurrent::{
+    ConcurrentNodeCache, ConcurrentPointCache, SharedNodeCache, SharedPointCache,
+};
 pub use cva::cva_cache;
 pub use node::{CompactNodeCache, ExactNodeCache, LruNodeCache, NodeCache, NodeLookup};
 pub use point::{

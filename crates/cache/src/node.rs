@@ -457,7 +457,16 @@ impl NodeCache for LruNodeCache {
     }
 
     fn bind_obs(&mut self, registry: &MetricsRegistry) {
-        self.obs = CacheObs::bind(registry, &self.label());
+        self.bind_obs_as(registry, &self.label());
+    }
+}
+
+impl LruNodeCache {
+    /// Like [`NodeCache::bind_obs`] but with an explicit series label.
+    /// `ShardedNodeCache` uses this to give each shard its own series
+    /// (e.g. `"SHARDED-NODE(τ=8)/LRU×4/shard2"`).
+    pub fn bind_obs_as(&mut self, registry: &MetricsRegistry, label: &str) {
+        self.obs = CacheObs::bind(registry, label);
         self.obs.used_bytes.set(self.inner.borrow().used as f64);
         self.obs.capacity_bytes.set(self.capacity_bytes as f64);
     }

@@ -28,8 +28,9 @@ use hc_core::quantize::Quantizer;
 use hc_index::traits::{CandidateIndex, LeafedIndex};
 use hc_storage::store::PageStore;
 
-use hc_cache::node::NoNodeCache;
+use hc_cache::node::{NoNodeCache, NodeCache};
 use hc_cache::point::PointCache;
+use hc_storage::point_file::PointFile;
 
 use crate::knn::KnnEngine;
 use crate::tree_search::TreeSearchEngine;
@@ -113,6 +114,44 @@ impl SharedParts {
     }
 }
 
+/// The read-only halves of a *tree* query pipeline, `Arc`'d for sharing
+/// across worker threads — the node-granularity sibling of [`SharedParts`].
+///
+/// The dataset rides along separately from the page store because the
+/// exact node cache answers from memory-resident points (no I/O, no fault
+/// roll), while every other leaf-member read goes through `file`.
+#[derive(Clone)]
+pub struct TreeSharedParts {
+    pub index: Arc<dyn LeafedIndex + Send + Sync>,
+    pub dataset: Arc<Dataset>,
+    pub file: Arc<dyn PageStore>,
+}
+
+impl TreeSharedParts {
+    pub fn new(
+        index: Arc<dyn LeafedIndex + Send + Sync>,
+        dataset: Arc<Dataset>,
+        file: Arc<dyn PageStore>,
+    ) -> Self {
+        Self {
+            index,
+            dataset,
+            file,
+        }
+    }
+
+    /// A fresh tree engine borrowing this clone's `Arc`s; `node_cache` is
+    /// typically a `SharedNodeCache` adapter over the server's sharded cache.
+    pub fn engine<'a>(&'a self, node_cache: &'a dyn NodeCache) -> TreeSearchEngine<'a> {
+        TreeSearchEngine::new(
+            self.index.as_ref(),
+            self.dataset.as_ref(),
+            self.file.as_ref(),
+            node_cache,
+        )
+    }
+}
+
 /// Replay a workload through a candidate index (offline, no I/O accounting):
 /// gather candidate sets, frequencies, `QR`, and cost-model statistics.
 pub fn replay_workload(
@@ -173,7 +212,10 @@ pub fn replay_leaf_accesses(
     workload: &[Vec<f32>],
     k: usize,
 ) -> Vec<(u32, u64)> {
-    let engine = TreeSearchEngine::new(index, dataset, &NoNodeCache);
+    // Replay is offline: a private pristine store keeps the caller's I/O
+    // accounting untouched and never faults.
+    let file = PointFile::new(dataset.clone());
+    let engine = TreeSearchEngine::new(index, dataset, &file, &NoNodeCache);
     let mut freq: HashMap<u32, u64> = HashMap::new();
     for q in workload {
         let (_, stats) = engine.query(q, k);

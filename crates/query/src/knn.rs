@@ -21,6 +21,7 @@ use hc_core::dataset::PointId;
 use hc_core::distance::kth_smallest;
 use hc_index::traits::CandidateIndex;
 use hc_obs::MetricsRegistry;
+use hc_storage::clock::{Clock, RealClock};
 use hc_storage::io_stats::IoModel;
 use hc_storage::retry::{RetryObs, RetryPolicy};
 use hc_storage::store::PageStore;
@@ -170,6 +171,9 @@ pub struct KnnEngine<'a> {
     /// policy retries up to 3 times with zero backoff — free on a pristine
     /// store, effective under fault injection.
     pub retry: RetryPolicy,
+    /// Time source for backoff waits (default: the wall clock). Swap in a
+    /// `SimulatedClock` to make nonzero-base policies free under test.
+    pub clock: std::sync::Arc<dyn Clock>,
     /// Metric handles; [`QueryObs::noop`] until [`KnnEngine::bind_obs`].
     pub obs: QueryObs,
     /// `retry.*` telemetry; inert until bound.
@@ -189,6 +193,7 @@ impl<'a> KnnEngine<'a> {
             io_model: IoModel::HDD,
             eager_refetch: false,
             retry: RetryPolicy::default(),
+            clock: std::sync::Arc::new(RealClock),
             obs: QueryObs::noop(),
             retry_obs: RetryObs::new(),
         }
@@ -203,6 +208,12 @@ impl<'a> KnnEngine<'a> {
     /// Override the storage retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Route backoff waits through `clock` (default: [`RealClock`]).
+    pub fn with_clock(mut self, clock: std::sync::Arc<dyn Clock>) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -256,10 +267,13 @@ impl<'a> KnnEngine<'a> {
                 // tightens ub_k for everyone else. A failed eager read is
                 // not yet a loss — the candidate just stays a Miss and
                 // refinement retries it (and degrades there if it must).
-                if let Ok(point) = self
-                    .retry
-                    .fetch(self.file, id, &mut buffer, &self.retry_obs)
-                {
+                if let Ok(point) = self.retry.fetch_with(
+                    self.file,
+                    id,
+                    &mut buffer,
+                    &self.retry_obs,
+                    self.clock.as_ref(),
+                ) {
                     let d = hc_core::distance::euclidean(q, point);
                     self.cache.admit(id, point);
                     stats.fetched += 1;
@@ -330,6 +344,7 @@ impl<'a> KnnEngine<'a> {
                 self.cache.as_mut(),
                 &self.retry,
                 &self.retry_obs,
+                self.clock.as_ref(),
             );
             stats.fetched += outcome.fetched;
             stats.missing = outcome.missing;

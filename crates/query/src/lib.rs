@@ -24,10 +24,10 @@ pub mod multistep;
 pub mod obs;
 pub mod tree_search;
 
-pub use builder::{replay_leaf_accesses, replay_workload, Replay, SharedParts};
+pub use builder::{replay_leaf_accesses, replay_workload, Replay, SharedParts, TreeSharedParts};
 pub use join::{cluster_outer, knn_join, JoinResult};
 pub use knn::{AggregateStats, KnnEngine, QueryStats};
 pub use maintenance::{CacheMaintainer, MaintenanceConfig};
 pub use multistep::{multistep_refine, Pending, RefineOutcome};
-pub use obs::{DriftMonitor, QueryObs};
+pub use obs::{DriftMonitor, QueryObs, TreeQueryObs};
 pub use tree_search::{TreeQueryStats, TreeSearchEngine};

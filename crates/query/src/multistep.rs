@@ -17,6 +17,7 @@
 
 use hc_core::dataset::PointId;
 use hc_core::distance::{euclidean, DistEntry};
+use hc_storage::clock::Clock;
 use hc_storage::point_file::PageBuffer;
 use hc_storage::retry::{RetryObs, RetryPolicy};
 use hc_storage::store::PageStore;
@@ -88,6 +89,7 @@ pub fn multistep_refine(
     cache: &mut dyn PointCache,
     retry: &RetryPolicy,
     retry_obs: &RetryObs,
+    clock: &dyn Clock,
 ) -> RefineOutcome {
     assert!(k >= 1);
     // Max-heap of current best k (top = worst of the best).
@@ -111,7 +113,7 @@ pub fn multistep_refine(
                 break; // optimal stopping: no later candidate can qualify
             }
         }
-        match retry.fetch(store, cand.id, buffer, retry_obs) {
+        match retry.fetch_with(store, cand.id, buffer, retry_obs, clock) {
             Ok(point) => {
                 fetched += 1;
                 let d = euclidean(q, point);
@@ -206,6 +208,7 @@ mod tests {
             &mut NoCache,
             &RetryPolicy::default(),
             &RetryObs::new(),
+            &hc_storage::clock::RealClock,
         )
     }
 

@@ -25,6 +25,7 @@ use hc_core::cost_model::TauEstimate;
 use hc_obs::{Counter, Gauge, Histogram, MetricsRegistry, QueryTrace};
 
 use crate::knn::QueryStats;
+use crate::tree_search::TreeQueryStats;
 
 /// Pre-registered metric handles for the kNN engine.
 #[derive(Debug, Default)]
@@ -122,6 +123,89 @@ impl QueryObs {
             refine_ns,
             modeled_refine_secs: stats.modeled_refine_secs,
         });
+    }
+}
+
+/// Pre-registered metric handles for the tree-search engine — the
+/// node-granularity mirror of [`QueryObs`]. The phase split follows the
+/// tree pipeline (leaf-bound computation → traversal → deferred multi-step
+/// pass) rather than Algorithm 1's gen/reduce/refine.
+#[derive(Debug, Default)]
+pub struct TreeQueryObs {
+    enabled: bool,
+    queries: Counter,
+    bounds_ns: Histogram,
+    traverse_ns: Histogram,
+    deferred_ns: Histogram,
+    leaf_fetches: Histogram,
+    leaves_visited: Histogram,
+    deferred: Histogram,
+    io_pages: Histogram,
+    degraded: Counter,
+}
+
+impl TreeQueryObs {
+    /// A disabled bundle; [`TreeQueryObs::observe`] is a single branch.
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    /// Register the engine's series in `registry`.
+    pub fn bind(registry: &MetricsRegistry) -> Self {
+        Self::bind_impl(registry, None)
+    }
+
+    /// Register under a label — one per worker in a multi-threaded server.
+    pub fn bind_labeled(registry: &MetricsRegistry, label: &str) -> Self {
+        Self::bind_impl(registry, Some(label))
+    }
+
+    fn bind_impl(registry: &MetricsRegistry, label: Option<&str>) -> Self {
+        let counter = |name: &str| match label {
+            Some(l) => registry.counter_with_label(name, l),
+            None => registry.counter(name),
+        };
+        let histogram = |name: &str| match label {
+            Some(l) => registry.histogram_with_label(name, l),
+            None => registry.histogram(name),
+        };
+        Self {
+            enabled: registry.is_enabled(),
+            queries: counter("query.count"),
+            bounds_ns: histogram("phase.tree_bounds_ns"),
+            traverse_ns: histogram("phase.tree_traverse_ns"),
+            deferred_ns: histogram("phase.tree_deferred_ns"),
+            leaf_fetches: histogram("query.leaf_fetches"),
+            leaves_visited: histogram("query.leaves_visited"),
+            deferred: histogram("query.deferred"),
+            io_pages: histogram("query.io_pages"),
+            degraded: counter("query.degraded"),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one finished tree query.
+    pub fn observe(&self, stats: &TreeQueryStats) {
+        if !self.enabled {
+            return;
+        }
+        self.queries.inc();
+        self.bounds_ns
+            .record(stats.bounds_cpu.as_nanos().min(u64::MAX as u128) as u64);
+        self.traverse_ns
+            .record(stats.traverse_cpu.as_nanos().min(u64::MAX as u128) as u64);
+        self.deferred_ns
+            .record(stats.deferred_cpu.as_nanos().min(u64::MAX as u128) as u64);
+        self.leaf_fetches.record(stats.leaf_fetches);
+        self.leaves_visited.record(stats.leaves_visited as u64);
+        self.deferred.record(stats.deferred as u64);
+        self.io_pages.record(stats.io_pages);
+        if !stats.missing.is_empty() {
+            self.degraded.inc();
+        }
     }
 }
 

@@ -1,0 +1,170 @@
+//! Chaos property for the tree-search path: under an arbitrary
+//! deterministic fault schedule, [`TreeSearchEngine`] either returns the
+//! exact top-k or explicitly degrades — it never silently returns a wrong
+//! answer.
+//!
+//! Verification is by *distance multiset*, as in the point-path chaos test:
+//! when a dead point is excluded on an exact bound tie (lb == dk), the
+//! fault run may legitimately pick a different member of the tie than the
+//! fault-free run. Since the tree engine is exact over the whole dataset,
+//! the degraded reference is simply brute-force top-k minus the declared
+//! missing ids.
+//!
+//! Layout note: points here are 256-dimensional (1 KiB each), so a 4 KiB
+//! page holds four points and a leaf maps onto one page — a single
+//! unreadable page takes out one leaf's worth of candidates, exercising
+//! partial degradation rather than all-or-nothing.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hc_cache::node::{LruNodeCache, NoNodeCache, NodeCache};
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::distance::euclidean;
+use hc_core::histogram::classic::equi_width;
+use hc_core::quantize::Quantizer;
+use hc_core::scheme::{ApproxScheme, GlobalScheme};
+use hc_index::IDistance;
+use hc_query::TreeSearchEngine;
+use hc_storage::{FaultConfig, FaultInjector, PointFile, RetryPolicy};
+
+const N: usize = 64;
+const DIM: usize = 256;
+/// Four 1 KiB points per 4 KiB page; leaves sized to match.
+const LEAF_CAP: usize = 4;
+
+fn dataset() -> Dataset {
+    Dataset::from_rows(
+        &(0..N)
+            .map(|i| {
+                (0..DIM)
+                    .map(|j| ((i * 7 + j * 13) % 97) as f32 / 3.0)
+                    .collect()
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn node_cache(ds: &Dataset, on: bool) -> Box<dyn NodeCache> {
+    if !on {
+        return Box::new(NoNodeCache);
+    }
+    let (lo, hi) = ds.value_range();
+    let quant = Quantizer::new(lo, hi, 256);
+    let scheme: Arc<dyn ApproxScheme> =
+        Arc::new(GlobalScheme::new(equi_width(256, 64), quant, ds.dim()));
+    Box::new(LruNodeCache::new(scheme, ds.file_bytes() / 4))
+}
+
+/// Sorted exact distances of `ids`, recomputed from the dataset (never
+/// trusting the engine's own reported distances).
+fn sorted_dists(ds: &Dataset, q: &[f32], ids: &[PointId]) -> Vec<f64> {
+    let mut d: Vec<f64> = ids.iter().map(|&id| euclidean(q, ds.point(id))).collect();
+    d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    d
+}
+
+/// Brute-force top-k distances over the whole dataset minus `missing`.
+fn brute_top_k(ds: &Dataset, q: &[f32], k: usize, missing: &[PointId]) -> Vec<f64> {
+    let mut d: Vec<f64> = (0..N as u32)
+        .map(PointId)
+        .filter(|id| !missing.contains(id))
+        .map(|id| euclidean(q, ds.point(id)))
+        .collect();
+    d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    d.truncate(k);
+    d
+}
+
+fn assert_close(got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "result count diverged");
+    for (g, w) in got.iter().zip(want) {
+        assert!((g - w).abs() < 1e-9, "distance diverged: {g} vs {w}");
+    }
+}
+
+fn run_case(seed: u64, rate: f64, queries: &[Vec<f32>], k: usize, use_cache: bool) {
+    let ds = dataset();
+    let file = Arc::new(PointFile::new(ds.clone()));
+    let faulty = FaultInjector::new(Arc::clone(&file), FaultConfig::mixed(seed, rate));
+    let index = IDistance::build(&ds, 8, LEAF_CAP, 1);
+
+    let clean_cache = node_cache(&ds, use_cache);
+    let chaotic_cache = node_cache(&ds, use_cache);
+    let clean = TreeSearchEngine::new(&index, &ds, file.as_ref(), clean_cache.as_ref());
+    let chaotic = TreeSearchEngine::new(&index, &ds, &faulty, chaotic_cache.as_ref())
+        .with_retry(RetryPolicy::default());
+
+    for q in queries {
+        let (want, want_stats) = clean.query(q, k);
+        assert!(want_stats.is_exact(), "pristine store degraded");
+        let want_ids: Vec<PointId> = want.iter().map(|&(id, _)| id).collect();
+        let (got, got_stats) = chaotic.query(q, k);
+        let got_ids: Vec<PointId> = got.iter().map(|&(id, _)| id).collect();
+
+        if got_stats.is_exact() {
+            // Not degraded ⇒ must match the fault-free engine exactly (as
+            // distance multisets — bound-tie exclusions may reorder ties).
+            assert_close(
+                &sorted_dists(&ds, q, &got_ids),
+                &sorted_dists(&ds, q, &want_ids),
+            );
+        } else {
+            // Degraded ⇒ exact top-k of the dataset minus the reported
+            // missing set: correct over what was readable, loss declared.
+            assert_close(
+                &sorted_dists(&ds, q, &got_ids),
+                &brute_top_k(&ds, q, k, &got_stats.missing),
+            );
+        }
+        // Degraded or not: no result id may be one the engine declared lost.
+        for id in &got_ids {
+            assert!(!got_stats.missing.contains(id), "returned a missing id");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any fault schedule (mixed transient/corrupt/torn/unreadable at up to
+    /// a brutal 30% rate) yields exact-or-explicitly-degraded tree results,
+    /// both with and without a dynamic node cache in the loop.
+    #[test]
+    fn tree_faults_never_silently_corrupt_topk(
+        seed in 0u64..u64::MAX,
+        rate in 0.0f64..0.3,
+        qsel in prop::collection::vec(0usize..N, 1..4),
+        k in 1usize..6,
+        use_cache in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let ds = dataset();
+        let queries: Vec<Vec<f32>> = qsel
+            .iter()
+            .map(|&i| ds.point(PointId(i as u32)).iter().map(|v| v + 0.125).collect())
+            .collect();
+        run_case(seed, rate, &queries, k, use_cache);
+    }
+}
+
+/// Deterministic pin: faults disabled through the injector is bit-identical
+/// to the bare `PointFile` for tree search (the wrapper itself is free).
+#[test]
+fn zero_rate_injector_is_transparent_for_tree_search() {
+    let ds = dataset();
+    let file = Arc::new(PointFile::new(ds.clone()));
+    let faulty = FaultInjector::new(Arc::clone(&file), FaultConfig::none());
+    let index = IDistance::build(&ds, 8, LEAF_CAP, 1);
+    let clean = TreeSearchEngine::new(&index, &ds, file.as_ref(), &NoNodeCache);
+    let wrapped = TreeSearchEngine::new(&index, &ds, &faulty, &NoNodeCache);
+    for i in 0..8 {
+        let q: Vec<f32> = ds.point(PointId(i)).iter().map(|v| v + 0.25).collect();
+        let (want, ws) = clean.query(&q, 5);
+        let (got, gs) = wrapped.query(&q, 5);
+        assert_eq!(want, got, "zero-rate injector changed tree results");
+        assert!(gs.is_exact());
+        assert_eq!(ws.io_pages, gs.io_pages, "zero-rate injector changed I/O");
+        assert_eq!(gs.pages_retried, 0);
+    }
+}

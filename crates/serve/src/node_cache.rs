@@ -1,0 +1,272 @@
+//! The sharded concurrent node cache (leaf granularity).
+//!
+//! The node-granularity sibling of [`crate::cache::ShardedCompactCache`]:
+//! one byte budget split over N = 2^b shards, each an independent
+//! [`LruNodeCache`] (bit-packed leaves + LRU) behind its own `Mutex`. A leaf
+//! id maps to a shard by multiplicative (Fibonacci) hashing, so tree-search
+//! workers only contend when they probe the *same* shard at the same
+//! instant — which is exactly where concurrency pressure concentrates in
+//! cache-conscious index traversal.
+//!
+//! Leaves are admitted by the searches themselves (there is no offline HFF
+//! fill here): a worker that fetches an uncached leaf offers it to the
+//! shard, and the per-shard LRU keeps each shard inside its slice of the
+//! budget. The paper's compact representation (§3.6.1) keeps the split
+//! cheap: at τ = 8 a cached leaf is ~4× smaller than its raw points.
+
+use std::sync::{Arc, Mutex};
+
+use hc_cache::concurrent::ConcurrentNodeCache;
+use hc_cache::node::{LruNodeCache, NodeCache, NodeLookup};
+use hc_core::scheme::ApproxScheme;
+use hc_obs::MetricsRegistry;
+
+/// N `Mutex<LruNodeCache>` shards under one byte budget.
+pub struct ShardedNodeCache {
+    shards: Vec<Mutex<LruNodeCache>>,
+    /// `32 - log2(num_shards)`; shard = `(leaf * φ32) >> shard_shift`.
+    shard_shift: u32,
+    tau: u32,
+}
+
+/// Knuth's multiplicative constant: ⌊2^32 / φ⌋.
+const FIB_MULT: u32 = 0x9E37_79B9;
+
+impl ShardedNodeCache {
+    /// Dynamic LRU node cache of `capacity_bytes` split evenly over
+    /// `num_shards` (a power of two) shards.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero or not a power of two.
+    pub fn lru(scheme: Arc<dyn ApproxScheme>, capacity_bytes: usize, num_shards: usize) -> Self {
+        assert!(
+            num_shards.is_power_of_two(),
+            "num_shards must be a power of two, got {num_shards}"
+        );
+        let per_shard = capacity_bytes / num_shards;
+        let tau = scheme.tau();
+        let shards = (0..num_shards)
+            .map(|_| Mutex::new(LruNodeCache::new(Arc::clone(&scheme), per_shard)))
+            .collect();
+        Self {
+            shards,
+            shard_shift: 32 - num_shards.trailing_zeros(),
+            tau,
+        }
+    }
+
+    fn shard_of(&self, leaf: u32) -> usize {
+        if self.shard_shift == 32 {
+            return 0; // single shard; a 32-bit shift would be UB
+        }
+        (leaf.wrapping_mul(FIB_MULT) >> self.shard_shift) as usize
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total resident leaves across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard `(used_bytes, capacity_bytes)` — the stress tests assert
+    /// the budget invariant shard by shard.
+    pub fn shard_occupancy(&self) -> Vec<(usize, usize)> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("shard poisoned");
+                (shard.used_bytes(), shard.capacity_bytes())
+            })
+            .collect()
+    }
+}
+
+impl ConcurrentNodeCache for ShardedNodeCache {
+    fn lookup(&self, q: &[f32], leaf: u32) -> NodeLookup {
+        self.shards[self.shard_of(leaf)]
+            .lock()
+            .expect("shard poisoned")
+            .lookup(q, leaf)
+    }
+
+    fn admit(&self, leaf: u32, points: &mut dyn ExactSizeIterator<Item = &[f32]>) {
+        self.shards[self.shard_of(leaf)]
+            .lock()
+            .expect("shard poisoned")
+            .admit(leaf, points)
+    }
+
+    fn contains(&self, leaf: u32) -> bool {
+        self.shards[self.shard_of(leaf)]
+            .lock()
+            .expect("shard poisoned")
+            .contains(leaf)
+    }
+
+    fn used_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").used_bytes())
+            .sum()
+    }
+
+    fn capacity_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").capacity_bytes())
+            .sum()
+    }
+
+    fn label(&self) -> String {
+        format!("SHARDED-NODE(τ={})/LRU×{}", self.tau, self.shards.len())
+    }
+
+    /// Bind each shard under its own label
+    /// (`"COMPACT-NODE(τ=8)/LRU/shard3"`), so hot-shard skew is visible;
+    /// aggregate with `RegistrySnapshot::counter_sum("cache.hits")`.
+    fn bind_obs(&self, registry: &MetricsRegistry) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut shard = shard.lock().expect("shard poisoned");
+            let label = format!("{}/shard{i}", shard.label());
+            shard.bind_obs_as(registry, &label);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_core::histogram::classic::equi_width;
+    use hc_core::quantize::Quantizer;
+    use hc_core::scheme::GlobalScheme;
+
+    fn scheme(dim: usize) -> Arc<dyn ApproxScheme> {
+        let quant = Quantizer::new(0.0, 100.0, 256);
+        Arc::new(GlobalScheme::new(equi_width(256, 32), quant, dim))
+    }
+
+    fn leaf_points(leaf: u32, n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| vec![leaf as f32 + i as f32 * 0.1, (leaf % 7) as f32])
+            .collect()
+    }
+
+    fn admit(c: &ShardedNodeCache, leaf: u32, n: usize) {
+        let pts = leaf_points(leaf, n);
+        c.admit(leaf, &mut pts.iter().map(|p| p.as_slice()));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_shards() {
+        let result = std::panic::catch_unwind(|| ShardedNodeCache::lru(scheme(2), 1 << 12, 3));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn single_shard_works() {
+        let c = ShardedNodeCache::lru(scheme(2), 1 << 12, 1);
+        admit(&c, 1, 3);
+        assert!(c.contains(1));
+        assert_eq!(c.num_shards(), 1);
+    }
+
+    #[test]
+    fn admissions_land_in_one_shard_and_lookups_find_them() {
+        let c = ShardedNodeCache::lru(scheme(2), 1 << 16, 8);
+        for leaf in 0..64u32 {
+            admit(&c, leaf, 3);
+        }
+        assert_eq!(c.len(), 64);
+        for leaf in 0..64u32 {
+            assert!(c.contains(leaf), "leaf {leaf} lost");
+            match c.lookup(&leaf_points(leaf, 1)[0], leaf) {
+                NodeLookup::Bounds(b) => assert_eq!(b.len(), 3),
+                other => panic!("expected bounds, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_spread_over_shards() {
+        let c = ShardedNodeCache::lru(scheme(2), 1 << 18, 8);
+        for leaf in 0..256u32 {
+            admit(&c, leaf, 2);
+        }
+        let occupied = c
+            .shard_occupancy()
+            .iter()
+            .filter(|(used, _)| *used > 0)
+            .count();
+        assert!(
+            occupied >= 6,
+            "fibonacci hash left {occupied}/8 shards used"
+        );
+    }
+
+    #[test]
+    fn per_shard_budget_is_respected() {
+        let s = scheme(2);
+        let per_leaf = 3 * s.bytes_per_point();
+        // Room for 4 leaves per shard across 4 shards.
+        let c = ShardedNodeCache::lru(s, per_leaf * 16, 4);
+        for leaf in 0..300u32 {
+            admit(&c, leaf, 3);
+        }
+        for (used, cap) in c.shard_occupancy() {
+            assert!(used <= cap, "shard over budget: {used} > {cap}");
+        }
+        assert!(c.used_bytes() <= c.capacity_bytes());
+        assert!(c.len() <= 16);
+    }
+
+    #[test]
+    fn per_shard_obs_series_are_labeled() {
+        let registry = MetricsRegistry::new();
+        let c = ShardedNodeCache::lru(scheme(2), 1 << 14, 4);
+        ConcurrentNodeCache::bind_obs(&c, &registry);
+        admit(&c, 3, 2);
+        let _ = c.lookup(&[3.0, 3.0], 3); // hit
+        let _ = c.lookup(&[9.0, 2.0], 9); // miss
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_sum("cache.hits"), 1);
+        assert_eq!(snap.counter_sum("cache.misses"), 1);
+        assert_eq!(snap.counter_sum("cache.insertions"), 1);
+        let shard_labels = snap
+            .counters
+            .iter()
+            .filter(|(id, _)| id.name == "cache.hits")
+            .count();
+        assert_eq!(shard_labels, 4, "one series per shard");
+    }
+
+    #[test]
+    fn label_names_the_configuration() {
+        let c = ShardedNodeCache::lru(scheme(2), 1 << 12, 8);
+        assert_eq!(c.label(), "SHARDED-NODE(τ=5)/LRU×8");
+    }
+
+    #[test]
+    fn shared_adapter_runs_the_sharded_cache() {
+        use hc_cache::concurrent::SharedNodeCache;
+        let shared: Arc<dyn ConcurrentNodeCache> =
+            Arc::new(ShardedNodeCache::lru(scheme(2), 1 << 14, 2));
+        let adapter = SharedNodeCache::new(Arc::clone(&shared));
+        let pts = leaf_points(5, 3);
+        NodeCache::admit(&adapter, 5, &mut pts.iter().map(|p| p.as_slice()));
+        assert!(shared.contains(5), "adapter admits into the shared cache");
+        match NodeCache::lookup(&adapter, &pts[0], 5) {
+            NodeLookup::Bounds(b) => assert_eq!(b.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+}

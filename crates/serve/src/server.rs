@@ -1,12 +1,17 @@
 //! The concurrent query server: worker threads over shared parts.
 //!
-//! Every worker owns a full [`KnnEngine`] (its own scratch, its own labeled
-//! `query.*` metric series) but all engines share the same `Arc`'d index,
-//! page store, and [`ConcurrentPointCache`] — so a point admitted by worker
-//! 0 serves bound-hits to worker 3. Requests flow through a
-//! [`BoundedQueue`]; admission control turns overload into explicit
-//! [`SubmitError::QueueFull`] / [`QueryOutcome::TimedOut`] outcomes rather
-//! than unbounded queueing.
+//! Two backends share one serving shell. [`QueryServer::start`] runs the
+//! flat-index path: every worker owns a full [`KnnEngine`] (its own
+//! scratch, its own labeled `query.*` metric series) but all engines share
+//! the same `Arc`'d index, page store, and [`ConcurrentPointCache`] — so a
+//! point admitted by worker 0 serves bound-hits to worker 3.
+//! [`QueryServer::start_tree`] runs the tree path instead: workers own
+//! [`TreeSearchEngine`]s over [`TreeSharedParts`] and a shared
+//! [`ConcurrentNodeCache`] (leaf granularity, §3.6.1), so a leaf fetched by
+//! one worker serves exact or compact hits to the rest. Requests flow
+//! through a [`BoundedQueue`]; admission control turns overload into
+//! explicit [`SubmitError::QueueFull`] / [`QueryOutcome::TimedOut`]
+//! outcomes rather than unbounded queueing.
 //!
 //! Correctness under concurrency is inherited from Algorithm 1: the cache
 //! only supplies distance *bounds* over the candidate set, so whatever mix
@@ -28,10 +33,14 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use hc_cache::concurrent::{ConcurrentPointCache, SharedPointCache};
+use hc_cache::concurrent::{
+    ConcurrentNodeCache, ConcurrentPointCache, SharedNodeCache, SharedPointCache,
+};
 use hc_core::dataset::PointId;
 use hc_obs::{Counter, Gauge, Histogram, MetricsRegistry};
-use hc_query::{KnnEngine, SharedParts};
+use hc_query::tree_search::TreeSearchEngine;
+use hc_query::{KnnEngine, SharedParts, TreeSharedParts};
+use hc_storage::clock::{Clock, RealClock};
 use hc_storage::io_stats::IoModel;
 use hc_storage::retry::RetryPolicy;
 
@@ -53,9 +62,14 @@ pub struct ServeConfig {
     /// simulated I/O stalls exactly as real threads overlap real disk waits.
     pub simulate_io_scale: Option<f64>,
     /// Enable the footnote-6 eager refetch in every worker engine.
+    /// (Point backend only; the tree path has no eager refetch.)
     pub eager_refetch: bool,
     /// Storage retry policy installed in every worker engine.
     pub retry: RetryPolicy,
+    /// Clock the retry backoff sleeps on. [`RealClock`] in production; tests
+    /// inject a [`hc_storage::clock::SimulatedClock`] so fault-heavy sweeps
+    /// finish without real stalls.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +81,7 @@ impl Default for ServeConfig {
             simulate_io_scale: None,
             eager_refetch: false,
             retry: RetryPolicy::default(),
+            clock: Arc::new(RealClock),
         }
     }
 }
@@ -236,6 +251,71 @@ impl ServeObs {
     }
 }
 
+/// Which engine family the workers run. Both share the serving shell
+/// (queue, tickets, panic isolation, shutdown); they differ only in what a
+/// worker builds and what its stats mean.
+#[derive(Clone)]
+enum Backend {
+    /// Flat candidate refinement: [`KnnEngine`] over a shared point cache.
+    Point {
+        parts: SharedParts,
+        cache: Arc<dyn ConcurrentPointCache>,
+    },
+    /// Tree-index search: [`TreeSearchEngine`] over a shared node cache.
+    Tree {
+        parts: TreeSharedParts,
+        cache: Arc<dyn ConcurrentNodeCache>,
+    },
+}
+
+/// What a worker extracts from either engine's per-query stats to build the
+/// [`QueryResponse`]. Field meanings per backend:
+///
+/// * Point: `cache_hits` = candidates answered from the compact cache,
+///   `candidates` = `|C(q)|`.
+/// * Tree: `cache_hits` = exact + compact node-cache hits, `candidates` =
+///   leaves in lower-bound order (the tree's unit of work).
+struct EngineAnswer {
+    ids: Vec<PointId>,
+    io_pages: u64,
+    cache_hits: usize,
+    candidates: usize,
+    missing: Vec<PointId>,
+}
+
+/// One worker's engine, either backend, behind a uniform `run`.
+enum WorkerEngine<'a> {
+    Point(KnnEngine<'a>),
+    Tree(TreeSearchEngine<'a>),
+}
+
+impl WorkerEngine<'_> {
+    fn run(&mut self, q: &[f32], k: usize) -> EngineAnswer {
+        match self {
+            WorkerEngine::Point(engine) => {
+                let (ids, stats) = engine.query(q, k);
+                EngineAnswer {
+                    ids,
+                    io_pages: stats.io_pages,
+                    cache_hits: stats.cache_hits,
+                    candidates: stats.candidates,
+                    missing: stats.missing,
+                }
+            }
+            WorkerEngine::Tree(engine) => {
+                let (results, stats) = engine.query(q, k);
+                EngineAnswer {
+                    ids: results.into_iter().map(|(id, _)| id).collect(),
+                    io_pages: stats.io_pages,
+                    cache_hits: stats.exact_hits + stats.compact_hits,
+                    candidates: stats.leaves_total,
+                    missing: stats.missing,
+                }
+            }
+        }
+    }
+}
+
 /// A running pool of query workers over one shared cache.
 pub struct QueryServer {
     queue: Arc<BoundedQueue<QueryRequest>>,
@@ -255,12 +335,33 @@ impl QueryServer {
         config: ServeConfig,
         registry: &MetricsRegistry,
     ) -> Self {
-        assert!(config.workers >= 1, "need at least one worker");
         cache.bind_obs(registry);
         // Store-level binding: I/O counters, plus `storage.fault.*` when the
         // store is a fault injector.
         parts.file.bind_obs(registry);
+        Self::start_backend(Backend::Point { parts, cache }, config, registry)
+    }
 
+    /// Spawn `config.workers` threads running [`TreeSearchEngine`]s over the
+    /// shared tree parts and one [`ConcurrentNodeCache`] (typically a
+    /// [`crate::ShardedNodeCache`]). Leaves fetched by any worker are
+    /// admitted into the shared cache and serve every other worker's
+    /// lookups; degradation semantics (DESIGN.md §10) are identical to the
+    /// point backend — unprovably-missing candidates surface as
+    /// [`QueryOutcome::Degraded`].
+    pub fn start_tree(
+        parts: TreeSharedParts,
+        cache: Arc<dyn ConcurrentNodeCache>,
+        config: ServeConfig,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        cache.bind_obs(registry);
+        parts.file.bind_obs(registry);
+        Self::start_backend(Backend::Tree { parts, cache }, config, registry)
+    }
+
+    fn start_backend(backend: Backend, config: ServeConfig, registry: &MetricsRegistry) -> Self {
+        assert!(config.workers >= 1, "need at least one worker");
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let in_flight = Arc::new(AtomicUsize::new(0));
         let obs = Arc::new(ServeObs::bind(registry));
@@ -270,15 +371,12 @@ impl QueryServer {
                 let queue = Arc::clone(&queue);
                 let in_flight = Arc::clone(&in_flight);
                 let obs = Arc::clone(&obs);
-                let parts = parts.clone();
-                let cache = Arc::clone(&cache);
+                let backend = backend.clone();
                 let registry = registry.clone();
                 let config = config.clone();
                 thread::Builder::new()
                     .name(format!("hc-serve-worker{i}"))
-                    .spawn(move || {
-                        worker_loop(i, queue, in_flight, obs, parts, cache, registry, config)
-                    })
+                    .spawn(move || worker_loop(i, queue, in_flight, obs, backend, registry, config))
                     .expect("spawn worker")
             })
             .collect();
@@ -347,10 +445,10 @@ impl QueryServer {
     fn drain_queue(&self) {
         while let Some(request) = self.queue.pop() {
             self.obs.failed.inc();
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
             request.slot.fulfil(QueryOutcome::Failed {
                 reason: "server shut down before a worker ran this request".into(),
             });
-            self.in_flight.fetch_sub(1, Ordering::AcqRel);
         }
     }
 
@@ -385,21 +483,38 @@ impl Drop for QueryServer {
 
 /// Build one worker's engine over the shared parts. Split out so the worker
 /// can rebuild a fresh engine after a caught panic (the old one's internal
-/// state — heap, cache admission mid-write — is suspect).
+/// state — heap, cache admission mid-write — is suspect). The tree engine
+/// borrows `node_adapter`, which the worker loop owns so it outlives every
+/// rebuild.
 fn build_engine<'a>(
     worker_id: usize,
-    parts: &'a SharedParts,
-    cache: &Arc<dyn ConcurrentPointCache>,
+    backend: &'a Backend,
+    node_adapter: Option<&'a SharedNodeCache>,
     registry: &MetricsRegistry,
     config: &ServeConfig,
-) -> KnnEngine<'a> {
-    let mut engine = parts.engine(Box::new(SharedPointCache::new(Arc::clone(cache))));
-    engine.io_model = config.io_model;
-    engine.eager_refetch = config.eager_refetch;
-    engine.retry = config.retry;
-    engine.obs = hc_query::QueryObs::bind_labeled(registry, &format!("worker{worker_id}"));
-    engine.retry_obs.bind(registry);
-    engine
+) -> WorkerEngine<'a> {
+    match backend {
+        Backend::Point { parts, cache } => {
+            let mut engine = parts.engine(Box::new(SharedPointCache::new(Arc::clone(cache))));
+            engine.io_model = config.io_model;
+            engine.eager_refetch = config.eager_refetch;
+            engine.retry = config.retry;
+            engine.clock = Arc::clone(&config.clock);
+            engine.obs = hc_query::QueryObs::bind_labeled(registry, &format!("worker{worker_id}"));
+            engine.retry_obs.bind(registry);
+            WorkerEngine::Point(engine)
+        }
+        Backend::Tree { parts, .. } => {
+            let adapter = node_adapter.expect("tree backend always builds a node adapter");
+            let mut engine = parts
+                .engine(adapter)
+                .with_retry(config.retry)
+                .with_clock(Arc::clone(&config.clock));
+            engine.io_model = config.io_model;
+            engine.bind_obs_labeled(registry, &format!("worker{worker_id}"));
+            WorkerEngine::Tree(engine)
+        }
+    }
 }
 
 fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -412,18 +527,28 @@ fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     worker_id: usize,
     queue: Arc<BoundedQueue<QueryRequest>>,
     in_flight: Arc<AtomicUsize>,
     obs: Arc<ServeObs>,
-    parts: SharedParts,
-    cache: Arc<dyn ConcurrentPointCache>,
+    backend: Backend,
     registry: MetricsRegistry,
     config: ServeConfig,
 ) {
-    let mut engine = build_engine(worker_id, &parts, &cache, &registry, &config);
+    // The tree engine borrows its node cache, so the worker owns the shared
+    // adapter here — it survives engine rebuilds after a caught panic.
+    let node_adapter = match &backend {
+        Backend::Tree { cache, .. } => Some(SharedNodeCache::new(Arc::clone(cache))),
+        Backend::Point { .. } => None,
+    };
+    let mut engine = build_engine(
+        worker_id,
+        &backend,
+        node_adapter.as_ref(),
+        &registry,
+        &config,
+    );
 
     while let Some(request) = queue.pop() {
         obs.queue_depth.set(queue.len() as f64);
@@ -431,33 +556,42 @@ fn worker_loop(
         if let Some(deadline) = request.deadline {
             if picked_up > deadline {
                 obs.timed_out.inc();
-                request.slot.fulfil(QueryOutcome::TimedOut);
+                // Decrement before fulfilling (here and below): once a ticket
+                // resolves, a waiter must never observe this request still
+                // counted in `in_flight`.
                 in_flight.fetch_sub(1, Ordering::AcqRel);
+                request.slot.fulfil(QueryOutcome::TimedOut);
                 continue;
             }
         }
-        // Isolate the request: a panic inside Algorithm 1 (poisoned input,
+        // Isolate the request: a panic inside the engine (poisoned input,
         // index bug) must not take the worker down with queued tickets
         // unfulfilled.
-        let evaluated = catch_unwind(AssertUnwindSafe(|| engine.query(&request.query, request.k)));
-        let (ids, stats) = match evaluated {
-            Ok(result) => result,
+        let evaluated = catch_unwind(AssertUnwindSafe(|| engine.run(&request.query, request.k)));
+        let answer = match evaluated {
+            Ok(answer) => answer,
             Err(payload) => {
                 obs.worker_panics.inc();
                 obs.failed.inc();
+                in_flight.fetch_sub(1, Ordering::AcqRel);
                 request.slot.fulfil(QueryOutcome::Failed {
                     reason: panic_reason(payload),
                 });
-                in_flight.fetch_sub(1, Ordering::AcqRel);
                 // The engine that panicked mid-query may hold corrupt
                 // scratch state; respawn a fresh one and keep serving.
-                engine = build_engine(worker_id, &parts, &cache, &registry, &config);
+                engine = build_engine(
+                    worker_id,
+                    &backend,
+                    node_adapter.as_ref(),
+                    &registry,
+                    &config,
+                );
                 obs.worker_respawns.inc();
                 continue;
             }
         };
         if let Some(scale) = config.simulate_io_scale {
-            let stall = config.io_model.modeled_time(stats.io_pages).mul_f64(scale);
+            let stall = config.io_model.modeled_time(answer.io_pages).mul_f64(scale);
             if !stall.is_zero() {
                 thread::sleep(stall);
             }
@@ -469,24 +603,24 @@ fn worker_loop(
         obs.latency_us.record(latency.as_micros() as u64);
         obs.queue_wait_us.record(queue_wait.as_micros() as u64);
         let response = QueryResponse {
-            ids,
+            ids: answer.ids,
             latency,
             queue_wait,
-            io_pages: stats.io_pages,
-            cache_hits: stats.cache_hits,
-            candidates: stats.candidates,
+            io_pages: answer.io_pages,
+            cache_hits: answer.cache_hits,
+            candidates: answer.candidates,
         };
-        let outcome = if stats.missing.is_empty() {
+        let outcome = if answer.missing.is_empty() {
             QueryOutcome::Done(response)
         } else {
             obs.degraded.inc();
             QueryOutcome::Degraded {
                 response,
-                missing: stats.missing,
+                missing: answer.missing,
             }
         };
-        request.slot.fulfil(outcome);
         in_flight.fetch_sub(1, Ordering::AcqRel);
+        request.slot.fulfil(outcome);
     }
 }
 

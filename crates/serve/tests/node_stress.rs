@@ -1,0 +1,218 @@
+//! Multi-threaded stress tests for [`ShardedNodeCache`]: invariants the
+//! single-threaded `LruNodeCache` guarantees must survive N threads
+//! hammering the shards concurrently, and the labeled per-shard `cache.*`
+//! counters must account for every operation exactly.
+
+use std::sync::Arc;
+use std::thread;
+
+use hc_cache::concurrent::ConcurrentNodeCache;
+use hc_cache::node::{LruNodeCache, NodeCache, NodeLookup};
+use hc_core::histogram::classic::equi_width;
+use hc_core::quantize::Quantizer;
+use hc_core::scheme::{ApproxScheme, GlobalScheme};
+use hc_obs::MetricsRegistry;
+use hc_serve::ShardedNodeCache;
+
+const DIM: usize = 2;
+const POINTS_PER_LEAF: usize = 3;
+
+fn scheme() -> Arc<dyn ApproxScheme> {
+    let quant = Quantizer::new(0.0, 1024.0, 256);
+    Arc::new(GlobalScheme::new(equi_width(256, 64), quant, DIM))
+}
+
+fn leaf_points(leaf: u32) -> Vec<Vec<f32>> {
+    (0..POINTS_PER_LEAF)
+        .map(|i| {
+            (0..DIM)
+                .map(|j| ((leaf as usize * 31 + i * 11 + j * 7) % 1024) as f32)
+                .collect()
+        })
+        .collect()
+}
+
+fn admit(cache: &dyn ConcurrentNodeCache, leaf: u32) {
+    let pts = leaf_points(leaf);
+    cache.admit(leaf, &mut pts.iter().map(|p| p.as_slice()));
+}
+
+/// With room for every admitted leaf, no admission may be lost: concurrent
+/// admits of distinct leaves all stay resident.
+#[test]
+fn concurrent_leaf_admissions_are_not_lost_when_capacity_allows() {
+    const THREADS: u32 = 8;
+    const PER_THREAD: u32 = 64;
+    let s = scheme();
+    let total = (THREADS * PER_THREAD) as usize;
+    let cache = Arc::new(ShardedNodeCache::lru(
+        Arc::clone(&s),
+        s.bytes_per_point() * POINTS_PER_LEAF * total * 4,
+        8,
+    ));
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    admit(cache.as_ref(), t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    assert_eq!(cache.len(), total, "admissions lost");
+    for leaf in 0..THREADS * PER_THREAD {
+        assert!(cache.contains(leaf), "leaf {leaf} missing");
+    }
+}
+
+/// Under a tight budget with far more admissions than fit, every shard must
+/// stay within its byte slice — no cross-shard borrowing, no overshoot.
+#[test]
+fn shards_never_exceed_their_budget_under_churn() {
+    const THREADS: u32 = 8;
+    const OPS: u32 = 2000;
+    let s = scheme();
+    // Room for ~32 leaves total across 4 shards; 16k admissions churn hard.
+    let cache = Arc::new(ShardedNodeCache::lru(
+        Arc::clone(&s),
+        s.bytes_per_point() * POINTS_PER_LEAF * 32,
+        4,
+    ));
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    let leaf = (t * OPS + i) % 512;
+                    admit(cache.as_ref(), leaf);
+                    match cache.lookup(&leaf_points(leaf)[0], leaf) {
+                        NodeLookup::Miss | NodeLookup::Exact => {}
+                        NodeLookup::Bounds(b) => {
+                            for db in &b {
+                                assert!(db.lb.is_finite() && db.ub.is_finite(), "torn bounds");
+                                assert!(db.lb <= db.ub + 1e-9, "lb {} > ub {}", db.lb, db.ub);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    for (shard, (used, cap)) in cache.shard_occupancy().iter().enumerate() {
+        assert!(used <= cap, "shard {shard} over budget: {used} > {cap}");
+    }
+    assert!(cache.used_bytes() <= cache.capacity_bytes());
+}
+
+/// The sharded cache is a pure partition of `LruNodeCache`: for the same
+/// resident leaves, a concurrent lookup returns bit-identical bounds to a
+/// single-threaded oracle holding the same contents.
+#[test]
+fn concurrent_lookups_equal_single_threaded_oracle() {
+    const LEAVES: u32 = 128;
+    let s = scheme();
+    let budget = s.bytes_per_point() * POINTS_PER_LEAF * LEAVES as usize * 2;
+    let sharded = Arc::new(ShardedNodeCache::lru(Arc::clone(&s), budget, 8));
+
+    // Populate the sharded cache from 4 threads, the oracle serially.
+    thread::scope(|scope| {
+        for t in 0..4u32 {
+            let sharded = Arc::clone(&sharded);
+            scope.spawn(move || {
+                for leaf in (t..LEAVES).step_by(4) {
+                    admit(sharded.as_ref(), leaf);
+                }
+            });
+        }
+    });
+
+    let queries: Vec<Vec<f32>> = (0..16)
+        .map(|q| leaf_points(q * 37 + 5)[0].clone())
+        .collect();
+    thread::scope(|scope| {
+        for q in &queries {
+            let sharded = Arc::clone(&sharded);
+            let s = Arc::clone(&s);
+            scope.spawn(move || {
+                // Each thread re-derives the oracle itself: the compact
+                // encoding is deterministic, so a fresh single-threaded
+                // cache with the same contents is the ground truth.
+                let oracle = LruNodeCache::new(Arc::clone(&s), budget);
+                for leaf in 0..LEAVES {
+                    let pts = leaf_points(leaf);
+                    oracle.admit(leaf, &mut pts.iter().map(|p| p.as_slice()));
+                }
+                for leaf in 0..LEAVES {
+                    let want = oracle.lookup(q, leaf);
+                    let got = sharded.lookup(q, leaf);
+                    assert_eq!(got, want, "leaf {leaf} diverged from the oracle");
+                }
+            });
+        }
+    });
+}
+
+/// Deterministic op counts from many threads must be exactly accounted for
+/// by the labeled per-shard `cache.*` counter series.
+#[test]
+fn totals_match_labeled_per_shard_counters() {
+    const THREADS: u32 = 8;
+    const LEAVES: u32 = 64;
+    const MISSES_PER_THREAD: u32 = 32;
+    let registry = MetricsRegistry::new();
+    let s = scheme();
+    let cache = Arc::new(ShardedNodeCache::lru(
+        Arc::clone(&s),
+        s.bytes_per_point() * POINTS_PER_LEAF * LEAVES as usize * 4,
+        4,
+    ));
+    ConcurrentNodeCache::bind_obs(cache.as_ref(), &registry);
+
+    // Phase 1: disjoint admissions — exactly LEAVES insertions in total.
+    thread::scope(|scope| {
+        for t in 0..4u32 {
+            let cache = Arc::clone(&cache);
+            scope.spawn(move || {
+                for leaf in (t..LEAVES).step_by(4) {
+                    admit(cache.as_ref(), leaf);
+                }
+            });
+        }
+    });
+    // Phase 2: every thread hits each resident leaf once and misses
+    // MISSES_PER_THREAD absent leaves once.
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            scope.spawn(move || {
+                let q = leaf_points(t)[0].clone();
+                for leaf in 0..LEAVES {
+                    assert!(!matches!(cache.lookup(&q, leaf), NodeLookup::Miss));
+                }
+                for leaf in LEAVES..LEAVES + MISSES_PER_THREAD {
+                    assert!(matches!(cache.lookup(&q, leaf), NodeLookup::Miss));
+                }
+            });
+        }
+    });
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter_sum("cache.insertions"), LEAVES as u64);
+    assert_eq!(
+        snap.counter_sum("cache.hits"),
+        (THREADS * LEAVES) as u64,
+        "every resident-leaf lookup is a hit"
+    );
+    assert_eq!(
+        snap.counter_sum("cache.misses"),
+        (THREADS * MISSES_PER_THREAD) as u64,
+        "every absent-leaf lookup is a miss"
+    );
+    let hit_series = snap
+        .counters
+        .iter()
+        .filter(|(id, _)| id.name == "cache.hits")
+        .count();
+    assert_eq!(hit_series, 4, "one labeled series per shard");
+}

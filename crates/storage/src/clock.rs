@@ -1,0 +1,122 @@
+//! Time source abstraction for backoff sleeps (DESIGN.md §10).
+//!
+//! The retry path must *wait* between attempts, but nothing about waiting
+//! requires a wall clock: [`RetryPolicy::backoff`] already computes the
+//! duration deterministically, so the only real-time dependency left is the
+//! sleep itself. [`Clock`] factors that out:
+//!
+//! * [`RealClock`] — delegates to `std::thread::sleep`; the **only** place
+//!   in the retry/backoff path that actually blocks the thread.
+//! * [`SimulatedClock`] — records every requested sleep and returns
+//!   immediately, so tests can assert jitter bounds, histogram buckets, and
+//!   total elapsed backoff bit-exactly without any real sleeping, and
+//!   benches with nonzero-base policies keep their modeled-latency numbers
+//!   undistorted.
+//!
+//! [`RetryPolicy::backoff`]: crate::retry::RetryPolicy::backoff
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A sink for backoff waits. Implementations decide whether the wait is a
+/// real `thread::sleep` or merely accounted.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Wait for `duration`. Callers skip zero durations, so implementations
+    /// may assume `duration > 0`.
+    fn sleep(&self, duration: Duration);
+}
+
+/// Wall-clock time: `sleep` blocks the calling thread for real.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealClock;
+
+impl Clock for RealClock {
+    fn sleep(&self, duration: Duration) {
+        if !duration.is_zero() {
+            std::thread::sleep(duration);
+        }
+    }
+}
+
+/// Virtual time: `sleep` records the request and returns immediately.
+///
+/// The recorded sequence is inspectable, so a test can verify not just *that*
+/// backoff happened but the exact deterministic jitter draws, in order.
+#[derive(Debug, Default)]
+pub struct SimulatedClock {
+    sleeps: Mutex<Vec<Duration>>,
+}
+
+impl SimulatedClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every sleep requested so far, in request order.
+    pub fn sleeps(&self) -> Vec<Duration> {
+        self.sleeps.lock().expect("clock poisoned").clone()
+    }
+
+    /// Number of sleeps requested.
+    pub fn sleep_count(&self) -> usize {
+        self.sleeps.lock().expect("clock poisoned").len()
+    }
+
+    /// Total virtual time slept — the "elapsed backoff" a real clock would
+    /// have cost.
+    pub fn total_slept(&self) -> Duration {
+        self.sleeps.lock().expect("clock poisoned").iter().sum()
+    }
+}
+
+impl Clock for SimulatedClock {
+    fn sleep(&self, duration: Duration) {
+        self.sleeps.lock().expect("clock poisoned").push(duration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn simulated_clock_records_without_sleeping() {
+        let clock = SimulatedClock::new();
+        let t0 = Instant::now();
+        clock.sleep(Duration::from_secs(3600));
+        clock.sleep(Duration::from_millis(5));
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "simulated sleep must not block"
+        );
+        assert_eq!(clock.sleep_count(), 2);
+        assert_eq!(
+            clock.total_slept(),
+            Duration::from_secs(3600) + Duration::from_millis(5)
+        );
+        assert_eq!(
+            clock.sleeps(),
+            vec![Duration::from_secs(3600), Duration::from_millis(5)]
+        );
+    }
+
+    #[test]
+    fn real_clock_skips_zero() {
+        // Zero must return immediately (and not panic); a tiny nonzero sleep
+        // must actually elapse.
+        let t0 = Instant::now();
+        RealClock.sleep(Duration::ZERO);
+        RealClock.sleep(Duration::from_micros(50));
+        assert!(t0.elapsed() >= Duration::from_micros(50));
+    }
+
+    #[test]
+    fn clock_is_object_safe_and_shareable() {
+        let clock: std::sync::Arc<dyn Clock> = std::sync::Arc::new(SimulatedClock::new());
+        let c2 = std::sync::Arc::clone(&clock);
+        std::thread::spawn(move || c2.sleep(Duration::from_secs(1)))
+            .join()
+            .expect("no panic");
+    }
+}

@@ -28,6 +28,7 @@ use std::time::Duration;
 use hc_core::dataset::PointId;
 use hc_obs::{Counter, Histogram, MetricsRegistry};
 
+use crate::clock::{Clock, RealClock};
 use crate::codec;
 use crate::error::StorageError;
 use crate::io_stats::IoStats;
@@ -118,6 +119,7 @@ pub struct FaultInjector {
     inner: Arc<PointFile>,
     config: FaultConfig,
     obs: FaultObs,
+    clock: Arc<dyn Clock>,
 }
 
 impl FaultInjector {
@@ -129,7 +131,16 @@ impl FaultInjector {
             inner,
             config,
             obs: FaultObs::default(),
+            clock: Arc::new(RealClock),
         }
+    }
+
+    /// Replace the time source latency spikes stall on (wall clock by
+    /// default). A [`crate::clock::SimulatedClock`] makes spike-heavy chaos
+    /// schedules free to run while keeping the spike telemetry truthful.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
     }
 
     pub fn config(&self) -> &FaultConfig {
@@ -224,7 +235,7 @@ impl PageStore for FaultInjector {
         if self.roll(CLASS_SPIKE, page, attempt, self.config.latency_spike_rate) {
             self.obs.record_spike(self.config.spike);
             if !self.config.spike.is_zero() {
-                std::thread::sleep(self.config.spike);
+                self.clock.sleep(self.config.spike);
             }
         }
         // Healthy read: delegate — the inner file counts the I/O, verifies
@@ -498,6 +509,32 @@ mod tests {
         assert_eq!(
             registry.snapshot().counter("storage.fault.transient"),
             Some(2)
+        );
+    }
+
+    #[test]
+    fn latency_spikes_stall_on_the_injected_clock() {
+        use crate::clock::SimulatedClock;
+        let f = file(12, 150);
+        let clock = Arc::new(SimulatedClock::new());
+        let cfg = FaultConfig {
+            seed: 1,
+            latency_spike_rate: 1.0,
+            spike: Duration::from_millis(300),
+            ..FaultConfig::none()
+        };
+        let injector = FaultInjector::new(f, cfg).with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let t0 = std::time::Instant::now();
+        let mut buf = PageStore::begin_query(&injector);
+        injector.read_point(PointId(0), 0, &mut buf).unwrap();
+        injector.read_point(PointId(6), 0, &mut buf).unwrap();
+        // Same page again: served from the buffer, no device, no spike.
+        injector.read_point(PointId(1), 0, &mut buf).unwrap();
+        assert_eq!(clock.sleep_count(), 2, "one spike per physical page read");
+        assert_eq!(clock.total_slept(), Duration::from_millis(600));
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "simulated spikes must cost no real time"
         );
     }
 

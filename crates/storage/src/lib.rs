@@ -15,8 +15,12 @@
 //! checksums verified on every physical read ([`codec`]), reads go through
 //! the [`PageStore`] trait and return `Result<&[f32], StorageError>`, a
 //! seedable [`FaultInjector`] can make any fault class actually happen, and
-//! [`RetryPolicy`] bounds the recovery effort above it.
+//! [`RetryPolicy`] bounds the recovery effort above it. Backoff waits go
+//! through the [`Clock`] abstraction, so the only real `thread::sleep` in
+//! the recovery path lives inside [`RealClock`] and tests run on a
+//! [`SimulatedClock`].
 
+pub mod clock;
 pub mod codec;
 pub mod error;
 pub mod fault;
@@ -26,6 +30,7 @@ pub mod point_file;
 pub mod retry;
 pub mod store;
 
+pub use clock::{Clock, RealClock, SimulatedClock};
 pub use error::StorageError;
 pub use fault::{FaultConfig, FaultInjector};
 pub use io_stats::{IoModel, IoSnapshot, IoStats};

@@ -18,6 +18,7 @@ use std::time::Duration;
 use hc_core::dataset::PointId;
 use hc_obs::{Counter, Histogram, MetricsRegistry};
 
+use crate::clock::{Clock, RealClock};
 use crate::error::StorageError;
 use crate::point_file::PageBuffer;
 use crate::store::PageStore;
@@ -86,13 +87,30 @@ impl RetryPolicy {
     /// Fetch a point through `store`, retrying transient faults. Returns the
     /// point floats, or the error that exhausted the budget / was permanent.
     /// Every attempt, success, exhaustion, and backoff sleep is recorded in
-    /// `obs` (no-op until bound to a registry).
+    /// `obs` (no-op until bound to a registry). Backoff waits go through the
+    /// wall clock ([`RealClock`]); engines that must not block real time use
+    /// [`RetryPolicy::fetch_with`] and supply their own [`Clock`].
     pub fn fetch<'s>(
         &self,
         store: &'s dyn PageStore,
         id: PointId,
         buffer: &mut PageBuffer,
         obs: &RetryObs,
+    ) -> Result<&'s [f32], StorageError> {
+        self.fetch_with(store, id, buffer, obs, &RealClock)
+    }
+
+    /// [`RetryPolicy::fetch`] with an explicit time source: backoff waits are
+    /// handed to `clock` instead of `thread::sleep`, so a
+    /// [`crate::clock::SimulatedClock`] makes nonzero-base policies free and
+    /// deterministically inspectable.
+    pub fn fetch_with<'s>(
+        &self,
+        store: &'s dyn PageStore,
+        id: PointId,
+        buffer: &mut PageBuffer,
+        obs: &RetryObs,
+        clock: &dyn Clock,
     ) -> Result<&'s [f32], StorageError> {
         let mut attempt: u32 = 0;
         loop {
@@ -116,7 +134,7 @@ impl RetryPolicy {
                     let sleep = self.backoff(store.page_of(id), attempt);
                     obs.record_backoff(sleep);
                     if !sleep.is_zero() {
-                        std::thread::sleep(sleep);
+                        clock.sleep(sleep);
                     }
                 }
             }
@@ -195,8 +213,11 @@ impl RetryObs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::SimulatedClock;
+    use crate::fault::{FaultConfig, FaultInjector};
     use crate::point_file::PointFile;
     use hc_core::dataset::Dataset;
+    use std::sync::Arc;
 
     fn file(n: usize, d: usize) -> PointFile {
         let rows: Vec<Vec<f32>> = (0..n)
@@ -205,12 +226,35 @@ mod tests {
         PointFile::new(Dataset::from_rows(&rows))
     }
 
+    /// A store whose every physical read fails with a transient fault — the
+    /// shape that exhausts the whole retry budget deterministically.
+    fn always_transient(n: usize, d: usize) -> FaultInjector {
+        FaultInjector::new(
+            Arc::new(file(n, d)),
+            FaultConfig {
+                seed: 5,
+                transient_rate: 1.0,
+                ..FaultConfig::none()
+            },
+        )
+    }
+
     #[test]
     fn zero_base_backoff_never_sleeps() {
         let p = RetryPolicy::default();
         for attempt in 1..=5 {
             assert_eq!(p.backoff(42, attempt), Duration::ZERO);
         }
+        // Through the whole fetch loop too: an exhausted zero-base retry
+        // budget requests no sleeps from the clock at all.
+        let store = always_transient(6, 150);
+        let clock = SimulatedClock::new();
+        let obs = RetryObs::new();
+        let mut buf = PageStore::begin_query(&store);
+        assert!(p
+            .fetch_with(&store, PointId(0), &mut buf, &obs, &clock)
+            .is_err());
+        assert_eq!(clock.sleep_count(), 0, "zero base must stay sleep-free");
     }
 
     #[test]
@@ -220,11 +264,23 @@ mod tests {
             cap: Duration::from_millis(10),
             ..RetryPolicy::default()
         };
+        let base_us = p.base.as_micros() as u64;
+        let cap_us = p.cap.as_micros() as u64;
         for page in 0..32u64 {
-            for attempt in 1..=6 {
+            for attempt in 1..=6u32 {
                 let a = p.backoff(page, attempt);
                 assert_eq!(a, p.backoff(page, attempt), "jitter must be deterministic");
                 assert!(a >= p.base && a <= p.cap, "sleep {a:?} out of [base, cap]");
+                // Decorrelated-jitter window: the draw stays inside
+                // [base, min(cap, 3^attempt · base)] — the window triples
+                // per attempt until the cap clamps it.
+                let hi_us = base_us
+                    .saturating_mul(3u64.saturating_pow(attempt))
+                    .min(cap_us);
+                assert!(
+                    a.as_micros() as u64 <= hi_us,
+                    "attempt {attempt}: draw {a:?} above window {hi_us}µs"
+                );
             }
         }
         // Different pages decorrelate: not every page draws the same sleep.
@@ -238,11 +294,15 @@ mod tests {
         let f = file(12, 150);
         let policy = RetryPolicy::default();
         let obs = RetryObs::new();
+        let clock = SimulatedClock::new();
         let mut buf = PageStore::begin_query(&f);
-        let p = policy.fetch(&f, PointId(4), &mut buf, &obs).unwrap();
+        let p = policy
+            .fetch_with(&f, PointId(4), &mut buf, &obs, &clock)
+            .unwrap();
         assert_eq!(p[0], 600.0);
         assert_eq!(f.stats().pages_read(), 1);
         assert_eq!(f.stats().pages_retried(), 0);
+        assert_eq!(clock.sleep_count(), 0, "a clean read must not back off");
     }
 
     #[test]
@@ -252,10 +312,82 @@ mod tests {
         obs.bind(&registry);
         let f = file(6, 150);
         let policy = RetryPolicy::default();
+        let clock = SimulatedClock::new();
         let mut buf = PageStore::begin_query(&f);
-        policy.fetch(&f, PointId(0), &mut buf, &obs).unwrap();
-        policy.fetch(&f, PointId(1), &mut buf, &obs).unwrap();
+        policy
+            .fetch_with(&f, PointId(0), &mut buf, &obs, &clock)
+            .unwrap();
+        policy
+            .fetch_with(&f, PointId(1), &mut buf, &obs, &clock)
+            .unwrap();
         assert_eq!(registry.snapshot().counter("retry.attempts"), Some(2));
         assert_eq!(registry.snapshot().counter("retry.success"), Some(0));
+    }
+
+    #[test]
+    fn simulated_clock_sees_the_exact_backoff_sequence() {
+        // A nonzero-base policy against a store that faults every attempt:
+        // the clock must receive exactly backoff(page, 1..=max_retries), in
+        // order, with no real time passing.
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(200),
+            cap: Duration::from_secs(5),
+            ..RetryPolicy::default()
+        };
+        let store = always_transient(6, 150);
+        let clock = SimulatedClock::new();
+        let obs = RetryObs::new();
+        let id = PointId(0);
+        let page = store.page_of(id);
+        let t0 = std::time::Instant::now();
+        let mut buf = PageStore::begin_query(&store);
+        let err = policy
+            .fetch_with(&store, id, &mut buf, &obs, &clock)
+            .unwrap_err();
+        assert!(err.is_transient());
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "600ms+ of virtual backoff must cost no real time"
+        );
+        let want: Vec<Duration> = (1..=3).map(|a| policy.backoff(page, a)).collect();
+        assert_eq!(clock.sleeps(), want, "clock must see each draw in order");
+        assert!(want.iter().all(|s| *s >= policy.base));
+        assert_eq!(clock.total_slept(), want.iter().sum());
+    }
+
+    #[test]
+    fn backoff_histogram_and_total_elapsed_match_the_simulated_clock() {
+        // Total-elapsed accounting: the retry.backoff_us histogram and the
+        // simulated clock must agree on count and total, and the buckets
+        // must hold every recorded sleep.
+        let registry = MetricsRegistry::new();
+        let obs = RetryObs::new();
+        obs.bind(&registry);
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        };
+        let store = always_transient(24, 150);
+        let clock = SimulatedClock::new();
+        for id in [0u32, 6, 12, 18] {
+            let mut buf = PageStore::begin_query(&store);
+            assert!(policy
+                .fetch_with(&store, PointId(id), &mut buf, &obs, &clock)
+                .is_err());
+        }
+        let snap = registry.snapshot();
+        let hist = snap.histogram("retry.backoff_us").expect("backoff series");
+        assert_eq!(hist.count, 12, "4 fetches × 3 backoffs each");
+        assert_eq!(clock.sleep_count(), 12);
+        assert_eq!(hist.sum, clock.total_slept().as_micros() as u64);
+        let bucket_total: u64 = hist.buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(bucket_total, hist.count, "buckets must cover every sleep");
+        assert!(hist.min >= policy.base.as_micros() as u64);
+        assert!(hist.max <= policy.cap.as_micros() as u64);
+        assert_eq!(snap.counter("retry.attempts"), Some(16));
+        assert_eq!(snap.counter("retry.exhausted"), Some(4));
     }
 }

@@ -16,6 +16,7 @@ use exploit_every_bit::core::prelude::*;
 use exploit_every_bit::index::traits::LeafedIndex;
 use exploit_every_bit::index::{IDistance, RTree, VpTree};
 use exploit_every_bit::query::{replay_leaf_accesses, TreeSearchEngine};
+use exploit_every_bit::storage::point_file::PointFile;
 use exploit_every_bit::workload::synth::gaussian_mixture;
 use exploit_every_bit::workload::{QueryLog, QueryLogConfig};
 
@@ -47,6 +48,7 @@ fn main() {
 
     let cache_bytes = ds.file_bytes() / 4;
     let quantizer = Quantizer::for_range(ds.value_range());
+    let file = PointFile::new(ds.clone());
 
     for index in indexes {
         println!("\n=== {} ({} leaves) ===", index.name(), index.num_leaves());
@@ -80,9 +82,9 @@ fn main() {
             "{:<18} {:>12} {:>14}",
             "node cache", "leaf I/Os", "refine (s)"
         );
-        run(index, &ds, &NoNodeCache, "NO-CACHE", &log.test, k);
-        run(index, &ds, &exact, "EXACT", &log.test, k);
-        run(index, &ds, &compact, "HC-O compact", &log.test, k);
+        run(index, &ds, &file, &NoNodeCache, "NO-CACHE", &log.test, k);
+        run(index, &ds, &file, &exact, "EXACT", &log.test, k);
+        run(index, &ds, &file, &compact, "HC-O compact", &log.test, k);
     }
     println!("\nExpected (paper Fig. 16): HC-O well below EXACT where leaf bounds are informative\n(iDistance); in very high dimensions tree bounds weaken and the gap narrows — see\nEXPERIMENTS.md, Fig 16 notes.");
 }
@@ -90,12 +92,13 @@ fn main() {
 fn run(
     index: &dyn LeafedIndex,
     ds: &exploit_every_bit::core::dataset::Dataset,
+    file: &PointFile,
     cache: &dyn NodeCache,
     label: &str,
     queries: &[Vec<f32>],
     k: usize,
 ) {
-    let engine = TreeSearchEngine::new(index, ds, cache);
+    let engine = TreeSearchEngine::new(index, ds, file, cache);
     let mut io = 0u64;
     let mut secs = 0.0;
     for q in queries {
