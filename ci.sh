@@ -32,3 +32,21 @@ test -s target/metrics/chaos.metrics.json
 grep -q '"name":"serve.degraded","value":[1-9]' target/metrics/chaos.metrics.json
 grep -q '"name":"chaos.tree.availability"' target/metrics/chaos.metrics.json
 grep -q '"name":"chaos.tree.pages_retried"' target/metrics/chaos.metrics.json
+
+# Maintenance layer: lifecycle (rebuild-equivalence + warm fill), hot-swap
+# concurrency stress, and scrub/repair chaos, then a CI-sized drift run.
+# The drift binary asserts the full story itself — hit-ratio collapse under
+# a hotspot rotation, rebuild + hot-swap under load, recovery within 10% of
+# steady state, zero incorrect results throughout, scrub back to exact, and
+# warm-filled node cache beating admission-only — so here we only check the
+# metrics report landed with the headline series.
+cargo test -q -p hc-maint
+cargo test -q -p hc-maint --test lifecycle
+cargo test -q -p hc-maint --test swap_stress
+cargo test -q -p hc-maint --test scrub_chaos
+cargo run -q --release -p hc-bench --bin drift -- --smoke
+test -s target/metrics/drift.metrics.json
+grep -q '"name":"drift.recovery_ratio"' target/metrics/drift.metrics.json
+grep -q '"name":"maint.swaps","value":[1-9]' target/metrics/drift.metrics.json
+grep -q '"name":"maint.scrub.repaired","value":[1-9]' target/metrics/drift.metrics.json
+grep -q '"name":"drift.node.first_epoch_hit_warm"' target/metrics/drift.metrics.json

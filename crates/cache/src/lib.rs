@@ -19,7 +19,10 @@
 //!   EXACT and compact flavors,
 //! * [`concurrent`] — the `&self` / `Send + Sync` counterpart of
 //!   [`point::PointCache`] for multi-threaded serving (`hc-serve`), plus the
-//!   [`concurrent::SharedPointCache`] adapter back into the engine's trait.
+//!   [`concurrent::SharedPointCache`] adapter back into the engine's trait,
+//! * [`swap`] — generational handles ([`swap::SwappablePointCache`],
+//!   [`swap::SwappableNodeCache`]) that let a maintenance daemon hot-swap a
+//!   freshly rebuilt cache under live readers (§3.5 periodic rebuild).
 //!
 //! Byte accounting matches the paper's model: an exact item costs
 //! `d · 4` bytes, a compact item `⌈d·τ/64⌉` words (footnote 5); lookup-table
@@ -31,6 +34,7 @@ pub mod lru;
 pub mod node;
 pub mod obs;
 pub mod point;
+pub mod swap;
 
 pub use concurrent::{
     ConcurrentNodeCache, ConcurrentPointCache, SharedNodeCache, SharedPointCache,
@@ -40,3 +44,4 @@ pub use node::{CompactNodeCache, ExactNodeCache, LruNodeCache, NodeCache, NodeLo
 pub use point::{
     CacheLookup, CachePolicy, CompactPointCache, ExactPointCache, NoCache, PointCache,
 };
+pub use swap::{SwappableNodeCache, SwappablePointCache};

@@ -1,0 +1,425 @@
+//! The maintenance daemon: periodic rebuild + hot swap + storage scrub.
+//!
+//! One [`MaintDaemon::run_once`] call is the paper's §3.5 "rebuild the
+//! cache periodically" step executed against a live server:
+//!
+//! 1. snapshot the sampler's window (a copy — workers keep observing),
+//! 2. replay it through the existing [`CacheMaintainer`] rebuild logic,
+//!    producing the refreshed scheme and the HFF ranking,
+//! 3. build a fresh [`ShardedCompactCache`] under the new scheme and
+//!    warm-fill it in HFF order (the sharded analogue of the offline §4
+//!    fill: hottest points resident before the first query hits it),
+//! 4. [`SwappablePointCache::swap`] it in — a pointer store; in-flight
+//!    queries finish on the old generation, new queries probe the new one,
+//!    and every result stays the exact top-k either way because caches only
+//!    ever supply sound distance bounds.
+//!
+//! The swapped-in generation starts as an LRU cache, so between rebuilds it
+//! keeps adapting by admission; the rebuild resets its *contents* to the
+//! measured hot set and its *scheme* to the window's histogram.
+//!
+//! [`MaintDaemon::scrub_once`] is the storage half of the same loop: walk
+//! the page file through [`ScrubbablePageStore`], cure transient faults by
+//! retry, repair sticky-unreadable pages from the build-time replica —
+//! `Degraded { missing }` rates return to zero without a restart.
+
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use hc_cache::SwappablePointCache;
+use hc_core::dataset::Dataset;
+use hc_core::quantize::Quantizer;
+use hc_index::traits::{CandidateIndex, LeafedIndex};
+use hc_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use hc_query::{replay_leaf_accesses, CacheMaintainer};
+use hc_serve::{ShardedCompactCache, ShardedNodeCache};
+use hc_storage::{ScrubReport, ScrubbablePageStore, Scrubber};
+
+use crate::sampler::WorkloadSampler;
+
+/// What one maintenance cycle did.
+#[derive(Debug, Clone)]
+pub struct RebuildReport {
+    /// Serving generation after the swap.
+    pub generation: u64,
+    /// Window size the rebuild learned from.
+    pub window: usize,
+    /// Points admitted by the warm fill of the new generation.
+    pub warm_filled: usize,
+    /// Wall time of the whole cycle (replay + build + fill + swap).
+    pub duration: Duration,
+}
+
+/// `maint.*` metric handles (no-ops on a disabled registry).
+struct MaintObs {
+    rebuilds: Counter,
+    rebuild_us: Histogram,
+    generation: Gauge,
+    swaps: Counter,
+    warm_filled: Counter,
+    scrubs: Counter,
+    scrub_scanned: Counter,
+    scrub_repaired: Counter,
+    scrub_unrepairable: Counter,
+}
+
+impl MaintObs {
+    fn bind(registry: &MetricsRegistry) -> Self {
+        Self {
+            rebuilds: registry.counter("maint.rebuilds"),
+            rebuild_us: registry.histogram("maint.rebuild_us"),
+            generation: registry.gauge("maint.generation"),
+            swaps: registry.counter("maint.swaps"),
+            warm_filled: registry.counter("maint.warm_filled"),
+            scrubs: registry.counter("maint.scrubs"),
+            scrub_scanned: registry.counter("maint.scrub.scanned"),
+            scrub_repaired: registry.counter("maint.scrub.repaired"),
+            scrub_unrepairable: registry.counter("maint.scrub.unrepairable"),
+        }
+    }
+}
+
+/// Background cache-lifecycle daemon for one serving cache.
+///
+/// Owns no thread itself — [`MaintDaemon::run_once`] is deterministic and
+/// synchronous (tests drive it directly); [`MaintDaemon::spawn`] puts it on
+/// an interval timer.
+pub struct MaintDaemon {
+    sampler: Arc<WorkloadSampler>,
+    index: Arc<dyn CandidateIndex + Send + Sync>,
+    dataset: Arc<Dataset>,
+    quantizer: Quantizer,
+    cache: Arc<SwappablePointCache>,
+    num_shards: usize,
+    scrubber: Scrubber,
+    obs: MaintObs,
+}
+
+impl MaintDaemon {
+    /// A daemon rebuilding `cache` (the serving handle) from `sampler`'s
+    /// window. Rebuilt generations are [`ShardedCompactCache`]s with
+    /// `num_shards` shards under the sampler config's byte budget.
+    pub fn new(
+        sampler: Arc<WorkloadSampler>,
+        index: Arc<dyn CandidateIndex + Send + Sync>,
+        dataset: Arc<Dataset>,
+        quantizer: Quantizer,
+        cache: Arc<SwappablePointCache>,
+        num_shards: usize,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        let obs = MaintObs::bind(registry);
+        obs.generation.set(cache.generation() as f64);
+        Self {
+            sampler,
+            index,
+            dataset,
+            quantizer,
+            cache,
+            num_shards,
+            scrubber: Scrubber::default(),
+            obs,
+        }
+    }
+
+    /// Replace the default scrub policy (retry budget for transient faults).
+    pub fn with_scrubber(mut self, scrubber: Scrubber) -> Self {
+        self.scrubber = scrubber;
+        self
+    }
+
+    /// The serving handle this daemon maintains.
+    pub fn cache(&self) -> &Arc<SwappablePointCache> {
+        &self.cache
+    }
+
+    /// One maintenance cycle: rebuild from the sampled window, warm-fill a
+    /// fresh generation, hot-swap it in. Returns `None` (and swaps nothing)
+    /// while the window is empty.
+    pub fn run_once(&self) -> Option<RebuildReport> {
+        let started = Instant::now();
+        let (config, window) = self.sampler.snapshot();
+        if window.is_empty() {
+            return None;
+        }
+        // Rebuild from the snapshot in a throwaway maintainer so the live
+        // window lock is never held across the replay.
+        let mut staging = CacheMaintainer::new(config.clone());
+        for q in &window {
+            staging.observe(q);
+        }
+        let (scheme, _hff, ranking) =
+            staging.rebuild_ranked(self.index.as_ref(), &self.dataset, &self.quantizer)?;
+        let next = ShardedCompactCache::lru(scheme, config.cache_bytes, self.num_shards);
+        let warm_filled = next.warm_fill(&self.dataset, &ranking);
+        self.cache.swap(Arc::new(next));
+        let generation = self.cache.generation();
+
+        let duration = started.elapsed();
+        self.obs.rebuilds.inc();
+        self.obs.swaps.inc();
+        self.obs.generation.set(generation as f64);
+        self.obs.warm_filled.add(warm_filled as u64);
+        self.obs.rebuild_us.record(duration.as_micros() as u64);
+        Some(RebuildReport {
+            generation,
+            window: window.len(),
+            warm_filled,
+            duration,
+        })
+    }
+
+    /// Scrub `store`: verify every page, retry transients, repair
+    /// sticky-unreadable pages from the replica. Totals land in the
+    /// `maint.scrub.*` counters.
+    pub fn scrub_once(&self, store: &dyn ScrubbablePageStore) -> ScrubReport {
+        let report = self.scrubber.run(store);
+        self.obs.scrubs.inc();
+        self.obs.scrub_scanned.add(report.pages_scanned);
+        self.obs.scrub_repaired.add(report.pages_repaired);
+        self.obs.scrub_unrepairable.add(report.pages_unrepairable);
+        report
+    }
+
+    /// Run [`MaintDaemon::run_once`] every `interval` on a background
+    /// thread until the returned handle is stopped or dropped.
+    pub fn spawn(self: &Arc<Self>, interval: Duration) -> MaintHandle {
+        let (stop, ticks) = mpsc::channel::<()>();
+        let daemon = Arc::clone(self);
+        let join = thread::Builder::new()
+            .name("hc-maint".into())
+            .spawn(move || loop {
+                match ticks.recv_timeout(interval) {
+                    Err(RecvTimeoutError::Timeout) => {
+                        let _ = daemon.run_once();
+                    }
+                    // Stop signal or handle dropped mid-send: either way,
+                    // maintenance is over.
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                }
+            })
+            .expect("spawn maintenance thread");
+        MaintHandle {
+            stop,
+            join: Some(join),
+        }
+    }
+}
+
+/// Handle to a spawned maintenance thread; stops it on [`MaintHandle::stop`]
+/// or drop.
+pub struct MaintHandle {
+    stop: mpsc::Sender<()>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl MaintHandle {
+    /// Signal the daemon thread and wait for it to exit. Any cycle already
+    /// in progress completes first.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let _ = self.stop.send(());
+        if let Some(join) = self.join.take() {
+            join.join().expect("maintenance thread panicked");
+        }
+    }
+}
+
+impl Drop for MaintHandle {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Offline HFF-style warm fill for tree serving (§3.6.1): replay the
+/// workload's leaf accesses (no I/O charged, private pristine store), then
+/// admit leaves hottest-first into the sharded node cache — each shard
+/// stops at budget so the hottest leaves stay resident. Run this before
+/// [`hc_serve::QueryServer::start_tree`] goes live; returns the number of
+/// leaves admitted.
+pub fn warm_fill_node_cache(
+    index: &dyn LeafedIndex,
+    dataset: &Dataset,
+    workload: &[Vec<f32>],
+    k: usize,
+    cache: &ShardedNodeCache,
+) -> usize {
+    let ranked = replay_leaf_accesses(index, dataset, workload, k);
+    let leaves: Vec<u32> = ranked.into_iter().map(|(leaf, _)| leaf).collect();
+    cache.warm_fill(index, dataset, &leaves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_cache::concurrent::ConcurrentPointCache;
+    use hc_core::dataset::PointId;
+    use hc_query::MaintenanceConfig;
+    use hc_serve::QuerySampler;
+
+    /// Candidates are the ids within ±5 of the query's first coordinate —
+    /// a workload-dependent hot set on a line dataset.
+    struct WindowIndex {
+        n: u32,
+    }
+
+    impl CandidateIndex for WindowIndex {
+        fn candidates(&self, q: &[f32], _k: usize) -> Vec<PointId> {
+            let c = q[0].round() as i64;
+            (c - 5..=c + 5)
+                .filter(|&i| i >= 0 && (i as u32) < self.n)
+                .map(|i| PointId(i as u32))
+                .collect()
+        }
+
+        fn name(&self) -> &'static str {
+            "window"
+        }
+    }
+
+    fn fixture(registry: &MetricsRegistry) -> (Arc<WorkloadSampler>, Arc<MaintDaemon>) {
+        let n = 100usize;
+        let rows: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32]).collect();
+        let dataset = Arc::new(Dataset::from_rows(&rows));
+        let quantizer = Quantizer::new(0.0, n as f32, 128);
+        let sampler = Arc::new(WorkloadSampler::new(
+            MaintenanceConfig::new(32, 4, 24 * 8, 2),
+            registry,
+        ));
+        // Generation 0: an empty LRU cache under a placeholder scheme built
+        // from the dataset-wide frequency array, as a cold server would.
+        let freq = quantizer.frequency_array(dataset.as_flat());
+        let hist = hc_core::histogram::HistogramKind::VOptimal.build(&freq, 16);
+        let scheme: Arc<dyn hc_core::scheme::ApproxScheme> = Arc::new(
+            hc_core::scheme::GlobalScheme::new(hist, quantizer.clone(), dataset.dim()),
+        );
+        let gen0 = ShardedCompactCache::lru(scheme, 24 * 8, 4);
+        let cache = Arc::new(SwappablePointCache::new(Arc::new(gen0)));
+        cache.bind_obs(registry);
+        let daemon = Arc::new(MaintDaemon::new(
+            Arc::clone(&sampler),
+            Arc::new(WindowIndex { n: n as u32 }),
+            dataset,
+            quantizer,
+            cache,
+            4,
+            registry,
+        ));
+        (sampler, daemon)
+    }
+
+    #[test]
+    fn empty_window_swaps_nothing() {
+        let registry = MetricsRegistry::new();
+        let (_, daemon) = fixture(&registry);
+        assert!(daemon.run_once().is_none());
+        assert_eq!(daemon.cache().generation(), 0);
+        assert_eq!(registry.snapshot().counter("maint.rebuilds"), Some(0));
+    }
+
+    #[test]
+    fn run_once_rebuilds_warm_fills_and_bumps_the_generation() {
+        let registry = MetricsRegistry::new();
+        let (sampler, daemon) = fixture(&registry);
+        for _ in 0..16 {
+            sampler.observe(&[50.0]);
+        }
+        let report = daemon.run_once().expect("non-empty window rebuilds");
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.window, 16);
+        assert!(report.warm_filled > 0, "warm fill admitted nothing");
+        // The new generation holds the hot region without a single query.
+        assert!(daemon.cache().contains(PointId(50)));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("maint.rebuilds"), Some(1));
+        assert_eq!(snap.counter("maint.swaps"), Some(1));
+        assert_eq!(snap.gauge("maint.generation"), Some(1.0));
+        assert_eq!(
+            snap.counter("maint.warm_filled"),
+            Some(report.warm_filled as u64)
+        );
+        assert!(snap.histogram("maint.rebuild_us").is_some());
+    }
+
+    #[test]
+    fn rebuilt_generation_tracks_a_drifted_window() {
+        let registry = MetricsRegistry::new();
+        let (sampler, daemon) = fixture(&registry);
+        for _ in 0..32 {
+            sampler.observe(&[10.0]);
+        }
+        daemon.run_once().expect("era-1 rebuild");
+        assert!(daemon.cache().contains(PointId(10)));
+        // Drift: the window turns over completely, and the next cycle's
+        // generation follows it.
+        for _ in 0..32 {
+            sampler.observe(&[80.0]);
+        }
+        daemon.run_once().expect("era-2 rebuild");
+        assert_eq!(daemon.cache().generation(), 2);
+        assert!(daemon.cache().contains(PointId(80)));
+        assert!(
+            !daemon.cache().contains(PointId(10)),
+            "stale hot set must age out of the rebuilt generation"
+        );
+    }
+
+    #[test]
+    fn background_thread_rebuilds_until_stopped() {
+        let registry = MetricsRegistry::new();
+        let (sampler, daemon) = fixture(&registry);
+        for _ in 0..8 {
+            sampler.observe(&[30.0]);
+        }
+        let handle = daemon.spawn(Duration::from_millis(2));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while daemon.cache().generation() < 2 {
+            assert!(Instant::now() < deadline, "daemon thread never rebuilt");
+            thread::sleep(Duration::from_millis(2));
+        }
+        handle.stop();
+        let after = daemon.cache().generation();
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(daemon.cache().generation(), after, "thread kept running");
+    }
+
+    #[test]
+    fn scrub_once_reports_into_maint_series() {
+        use hc_storage::{FaultConfig, FaultInjector, PointFile};
+        let registry = MetricsRegistry::new();
+        let (_, daemon) = fixture(&registry);
+        // Wide points → several physical pages, so seed 7 @ 0.4 kills some
+        // (the same geometry the hc-storage scrub tests pin down).
+        let rows: Vec<Vec<f32>> = (0..60).map(|i| vec![i as f32; 150]).collect();
+        let dataset = Dataset::from_rows(&rows);
+        let store = FaultInjector::new(
+            Arc::new(PointFile::new(dataset)),
+            FaultConfig {
+                seed: 7,
+                unreadable_rate: 0.4,
+                ..FaultConfig::none()
+            },
+        );
+        let report = daemon.scrub_once(&store);
+        assert!(report.pages_repaired > 0, "seed produced no dead pages");
+        assert!(report.is_clean());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("maint.scrubs"), Some(1));
+        assert_eq!(
+            snap.counter("maint.scrub.scanned"),
+            Some(report.pages_scanned)
+        );
+        assert_eq!(
+            snap.counter("maint.scrub.repaired"),
+            Some(report.pages_repaired)
+        );
+        assert_eq!(snap.counter("maint.scrub.unrepairable"), Some(0));
+    }
+}

@@ -1,0 +1,38 @@
+//! # hc-maint
+//!
+//! The cache-lifecycle subsystem: everything that keeps a *running* server's
+//! caches matched to a *moving* workload. The paper's deployment model
+//! (§3.5) rebuilds the histogram scheme and the HFF cache periodically from
+//! the observed query stream; this crate is that loop made live, attached to
+//! an [`hc_serve::QueryServer`] without ever pausing it:
+//!
+//! * [`sampler::WorkloadSampler`] — implements [`hc_serve::QuerySampler`];
+//!   the server's workers feed every served query into a sliding
+//!   [`hc_query::CacheMaintainer`] window.
+//! * [`daemon::MaintDaemon`] — one deterministic maintenance cycle
+//!   ([`daemon::MaintDaemon::run_once`]): snapshot the window, rebuild the
+//!   scheme + HFF ranking through the existing `CacheMaintainer` logic,
+//!   warm-fill a fresh [`hc_serve::ShardedCompactCache`] in HFF order, and
+//!   hot-swap it into the serving [`hc_cache::SwappablePointCache`] —
+//!   readers never block, results stay exact through the swap (both
+//!   generations give sound bounds; the engine refines exactly either way).
+//!   [`daemon::MaintDaemon::spawn`] runs the cycle on a background thread.
+//! * [`daemon::warm_fill_node_cache`] — the §3.6.1 offline warm fill for
+//!   tree serving: replay the window's leaf accesses and admit leaves
+//!   hottest-first into a [`hc_serve::ShardedNodeCache`] before it goes
+//!   live.
+//! * [`daemon::MaintDaemon::scrub_once`] — the storage-health half of
+//!   maintenance: walk every page through an
+//!   [`hc_storage::ScrubbablePageStore`], retry transient faults, repair
+//!   sticky-unreadable pages from the build-time replica, so degraded
+//!   availability recovers to exact service.
+//!
+//! Metrics land in the `maint.*` series (rebuild count/duration, serving
+//! generation, swap count, warm-fill size, scrub scan/repair totals); see
+//! DESIGN.md §11 for the full lifecycle protocol.
+
+pub mod daemon;
+pub mod sampler;
+
+pub use daemon::{warm_fill_node_cache, MaintDaemon, MaintHandle, RebuildReport};
+pub use sampler::WorkloadSampler;

@@ -1,0 +1,138 @@
+//! The live query-stream tap: served queries → the §3.5 rebuild window.
+//!
+//! [`WorkloadSampler`] is the bridge between the serving layer and the
+//! maintenance daemon. Installed as [`hc_serve::ServeConfig::sampler`], it
+//! receives every successfully evaluated query (exact or degraded) on the
+//! worker thread and pushes it into a [`CacheMaintainer`] sliding window
+//! behind one mutex. `observe` is a pop-front/push-back on a `VecDeque`
+//! plus one query clone — cheap enough for the hot path; the expensive
+//! work (workload replay, histogram build, HFF fill) happens on the
+//! daemon's thread against a *snapshot* of the window, so rebuilds never
+//! hold this lock for longer than a copy.
+
+use std::sync::{Mutex, MutexGuard};
+
+use hc_obs::{Counter, Gauge, MetricsRegistry};
+use hc_query::{CacheMaintainer, MaintenanceConfig};
+use hc_serve::QuerySampler;
+
+/// A shared, thread-safe [`CacheMaintainer`] window fed by serving workers.
+pub struct WorkloadSampler {
+    maintainer: Mutex<CacheMaintainer>,
+    sampled: Counter,
+    window: Gauge,
+}
+
+impl WorkloadSampler {
+    /// A sampler whose window/rebuild parameters come from `config`.
+    /// `maint.sampled` counts every observed query; `maint.window` gauges
+    /// the current window fill.
+    pub fn new(config: MaintenanceConfig, registry: &MetricsRegistry) -> Self {
+        Self {
+            maintainer: Mutex::new(CacheMaintainer::new(config)),
+            sampled: registry.counter("maint.sampled"),
+            window: registry.gauge("maint.window"),
+        }
+    }
+
+    /// Seed the window with historical queries (e.g. the build-time
+    /// workload) so the first rebuild after attach has something to learn
+    /// from — the offline warm-start companion to live sampling.
+    pub fn prime(&self, queries: &[Vec<f32>]) {
+        let mut m = self.lock();
+        for q in queries {
+            m.observe(q);
+        }
+        self.sampled.add(queries.len() as u64);
+        self.window.set(m.window_len() as f64);
+    }
+
+    /// Queries currently in the sliding window.
+    pub fn window_len(&self) -> usize {
+        self.lock().window_len()
+    }
+
+    /// Copy out the rebuild config and the current window (oldest first).
+    /// The daemon rebuilds from this snapshot off-lock, so workers keep
+    /// observing while the replay runs.
+    pub fn snapshot(&self) -> (MaintenanceConfig, Vec<Vec<f32>>) {
+        let m = self.lock();
+        (m.config().clone(), m.window())
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CacheMaintainer> {
+        self.maintainer.lock().expect("sampler window poisoned")
+    }
+}
+
+impl QuerySampler for WorkloadSampler {
+    fn observe(&self, q: &[f32]) {
+        let mut m = self.lock();
+        m.observe(q);
+        self.sampled.inc();
+        self.window.set(m.window_len() as f64);
+    }
+}
+
+impl std::fmt::Debug for WorkloadSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadSampler")
+            .field("window_len", &self.window_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler(window: usize, registry: &MetricsRegistry) -> WorkloadSampler {
+        WorkloadSampler::new(MaintenanceConfig::new(window, 4, 1024, 2), registry)
+    }
+
+    #[test]
+    fn observed_queries_fill_a_bounded_window() {
+        let registry = MetricsRegistry::new();
+        let s = sampler(3, &registry);
+        for i in 0..10 {
+            QuerySampler::observe(&s, &[i as f32]);
+        }
+        assert_eq!(s.window_len(), 3);
+        let (_, window) = s.snapshot();
+        assert_eq!(window, vec![vec![7.0], vec![8.0], vec![9.0]]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("maint.sampled"), Some(10));
+        assert_eq!(snap.gauge("maint.window"), Some(3.0));
+    }
+
+    #[test]
+    fn prime_seeds_the_window_before_going_live() {
+        let registry = MetricsRegistry::new();
+        let s = sampler(8, &registry);
+        s.prime(&[vec![1.0], vec![2.0]]);
+        assert_eq!(s.window_len(), 2);
+        assert_eq!(registry.snapshot().counter("maint.sampled"), Some(2));
+    }
+
+    #[test]
+    fn snapshot_is_a_copy_not_a_lease() {
+        let registry = MetricsRegistry::new();
+        let s = sampler(4, &registry);
+        QuerySampler::observe(&s, &[1.0]);
+        let (config, window) = s.snapshot();
+        assert_eq!(config.window, 4);
+        assert_eq!(window.len(), 1);
+        // Observing after the snapshot must not disturb the copy.
+        QuerySampler::observe(&s, &[2.0]);
+        assert_eq!(window.len(), 1);
+        assert_eq!(s.window_len(), 2);
+    }
+
+    #[test]
+    fn debug_reports_window_fill() {
+        let registry = MetricsRegistry::noop();
+        let s = sampler(4, &registry);
+        QuerySampler::observe(&s, &[1.0]);
+        assert_eq!(format!("{s:?}"), "WorkloadSampler { window_len: 1 }");
+    }
+}

@@ -1,0 +1,127 @@
+//! Shared fixture for the lifecycle integration tests: a jittered synthetic
+//! dataset, a deterministic locality index (candidates = an id band around
+//! the query's first coordinate, so the hot set follows the workload), and
+//! brute-force references over candidate sets.
+
+#![allow(dead_code)]
+
+use std::sync::Arc;
+
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::distance::euclidean;
+use hc_core::quantize::Quantizer;
+use hc_index::traits::CandidateIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Coordinate range of the synthetic dataset.
+pub const COORD_MAX: f32 = 1000.0;
+
+/// Candidates are the ids within `±half` of the query's first coordinate —
+/// a workload-dependent hot band on the id line, cheap enough to
+/// brute-force the reference.
+pub struct BandIndex {
+    pub n: u32,
+    pub half: i64,
+}
+
+impl CandidateIndex for BandIndex {
+    fn candidates(&self, q: &[f32], _k: usize) -> Vec<PointId> {
+        let c = q[0].round() as i64;
+        (c - self.half..=c + self.half)
+            .filter(|&i| i >= 0 && (i as u32) < self.n)
+            .map(|i| PointId(i as u32))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "band"
+    }
+}
+
+/// `n` points of dimension `dim`: the first coordinate is the id (what
+/// [`BandIndex`] keys on), the rest are seeded noise so distances are
+/// generic — no accidental ties for top-k boundaries to trip over.
+pub fn band_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            let mut row = vec![i as f32];
+            row.extend((1..dim).map(|_| rng.gen_range(0.0..COORD_MAX)));
+            row
+        })
+        .collect();
+    Dataset::from_rows(&rows)
+}
+
+/// A quantizer covering the fixture's coordinate domain.
+pub fn quantizer() -> Quantizer {
+    Quantizer::new(0.0, COORD_MAX, 256)
+}
+
+/// Queries clustered on `centers`: `per_center` queries each, first
+/// coordinate jittered around the center, the rest near the corresponding
+/// dataset point so the k nearest are the center's neighborhood.
+pub fn clustered_queries(
+    dataset: &Dataset,
+    centers: &[u32],
+    per_center: usize,
+    seed: u64,
+) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(centers.len() * per_center);
+    for _ in 0..per_center {
+        for &c in centers {
+            let base = dataset.point(PointId(c));
+            let q: Vec<f32> = base.iter().map(|&v| v + rng.gen_range(-0.4..0.4)).collect();
+            queries.push(q);
+        }
+    }
+    queries
+}
+
+/// The exact top-k of `q` over `candidates` (ascending distance, ties by
+/// id): the ground truth any serving path must reproduce.
+pub fn topk_over(
+    dataset: &Dataset,
+    q: &[f32],
+    candidates: &[PointId],
+    k: usize,
+) -> Vec<(PointId, f64)> {
+    let mut scored: Vec<(PointId, f64)> = candidates
+        .iter()
+        .map(|&id| (id, euclidean(q, dataset.point(id))))
+        .collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+/// Assert a served result matches the reference exactly: same ids (as a
+/// sorted set) and bit-identical sorted distances.
+pub fn assert_exact(
+    dataset: &Dataset,
+    q: &[f32],
+    got_ids: &[PointId],
+    want: &[(PointId, f64)],
+    ctx: &str,
+) {
+    let mut got: Vec<PointId> = got_ids.to_vec();
+    got.sort();
+    let mut want_ids: Vec<PointId> = want.iter().map(|&(id, _)| id).collect();
+    want_ids.sort();
+    assert_eq!(got, want_ids, "{ctx}: result ids diverged");
+    let mut got_d: Vec<f64> = got_ids
+        .iter()
+        .map(|&id| euclidean(q, dataset.point(id)))
+        .collect();
+    got_d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut want_d: Vec<f64> = want.iter().map(|&(_, d)| d).collect();
+    want_d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    assert_eq!(got_d, want_d, "{ctx}: result distances diverged");
+}
+
+/// The fixture's index as shareable parts.
+pub fn band_index(n: usize, half: i64) -> Arc<BandIndex> {
+    Arc::new(BandIndex { n: n as u32, half })
+}

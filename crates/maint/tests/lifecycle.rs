@@ -1,0 +1,267 @@
+//! Lifecycle regression tests (DESIGN.md §11).
+//!
+//! * The rebuilt scheme + cache must not change *answers*: after the daemon
+//!   samples a window through the live server, rebuilds, and hot-swaps, the
+//!   concurrent path returns exactly the top-k ids/distances that a fresh
+//!   single-threaded build over the same window returns.
+//! * The §3.6.1 offline warm fill must measurably work: a warm-filled
+//!   [`ShardedNodeCache`] serves its first epoch with a higher node-cache
+//!   hit ratio than the admission-only baseline.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::*;
+use hc_cache::SwappablePointCache;
+use hc_index::traits::{CandidateIndex, LeafedIndex};
+use hc_index::IDistance;
+use hc_maint::{warm_fill_node_cache, MaintDaemon, WorkloadSampler};
+use hc_obs::MetricsRegistry;
+use hc_query::{MaintenanceConfig, SharedParts, TreeSharedParts};
+use hc_serve::{
+    run_closed_loop, QueryOutcome, QueryServer, ServeConfig, ShardedCompactCache, ShardedNodeCache,
+};
+use hc_storage::{PointFile, PAGE_SIZE};
+
+const K: usize = 10;
+const SHARDS: usize = 4;
+const TAU: u32 = 6;
+
+#[test]
+fn rebuilt_cache_answers_exactly_like_a_fresh_build_through_the_concurrent_path() {
+    let n = 600;
+    let dataset = Arc::new(band_dataset(n, 8, 0xBEEF));
+    let index = band_index(n, 20);
+    let file = Arc::new(PointFile::new(dataset.as_ref().clone()));
+    let quant = quantizer();
+    let registry = MetricsRegistry::new();
+
+    // The observed era: three hot neighborhoods.
+    let window: Vec<Vec<f32>> = clustered_queries(&dataset, &[100, 320, 540], 16, 0x5EED);
+    let config = MaintenanceConfig::new(64, TAU, 64 * 1024, K);
+
+    // Reference: a fresh single-threaded build over the same window — the
+    // maintainer's own scheme + HFF cache run through a bare engine.
+    let mut fresh = hc_query::CacheMaintainer::new(config.clone());
+    for q in &window {
+        fresh.observe(q);
+    }
+    let (_scheme, hff, _) = fresh
+        .rebuild_ranked(index.as_ref(), &dataset, &quant)
+        .expect("non-empty window");
+    let parts = SharedParts::new(
+        Arc::clone(&index) as Arc<dyn CandidateIndex + Send + Sync>,
+        Arc::clone(&file) as Arc<dyn hc_storage::PageStore>,
+    );
+    let reference: Vec<Vec<hc_core::dataset::PointId>> = {
+        let mut engine = parts.engine(Box::new(hff));
+        window.iter().map(|q| engine.query(q, K).0).collect()
+    };
+
+    // Concurrent path: serve the window once (the sampler sees every served
+    // query), rebuild + hot-swap, then serve it again.
+    let sampler = Arc::new(WorkloadSampler::new(config, &registry));
+    let gen0 = {
+        let freq = quant.frequency_array(dataset.as_flat());
+        let hist = hc_core::histogram::HistogramKind::VOptimal.build(&freq, 1 << TAU);
+        let scheme: Arc<dyn hc_core::scheme::ApproxScheme> = Arc::new(
+            hc_core::scheme::GlobalScheme::new(hist, quant.clone(), dataset.dim()),
+        );
+        ShardedCompactCache::lru(scheme, 64 * 1024, SHARDS)
+    };
+    let swappable = Arc::new(SwappablePointCache::new(Arc::new(gen0)));
+    let daemon = Arc::new(MaintDaemon::new(
+        Arc::clone(&sampler),
+        Arc::clone(&index) as Arc<dyn CandidateIndex + Send + Sync>,
+        Arc::clone(&dataset),
+        quant,
+        Arc::clone(&swappable),
+        SHARDS,
+        &registry,
+    ));
+    let server = QueryServer::start(
+        parts.clone(),
+        Arc::clone(&swappable) as Arc<dyn hc_cache::concurrent::ConcurrentPointCache>,
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 256,
+            sampler: Some(sampler.clone() as Arc<dyn hc_serve::QuerySampler>),
+            ..ServeConfig::default()
+        },
+        &registry,
+    );
+
+    let warmup = run_closed_loop(&server, &window, 4, K, None);
+    assert_eq!(
+        warmup.failed + warmup.degraded,
+        0,
+        "pristine store degraded"
+    );
+    assert_eq!(
+        sampler.window_len(),
+        window.len().min(64),
+        "served queries must land in the sampler window"
+    );
+
+    let report = daemon.run_once().expect("sampled window rebuilds");
+    assert_eq!(report.generation, 1);
+    assert!(report.warm_filled > 0);
+
+    let after = run_closed_loop(&server, &window, 4, K, None);
+    server.shutdown();
+    assert_eq!(after.failed + after.degraded, 0);
+    assert_eq!(after.results.len(), window.len());
+    for (qi, ids) in &after.results {
+        let q = &window[*qi];
+        let want: Vec<(hc_core::dataset::PointId, f64)> = reference[*qi]
+            .iter()
+            .map(|&id| (id, hc_core::distance::euclidean(q, dataset.point(id))))
+            .collect();
+        assert_exact(&dataset, q, ids, &want, &format!("post-swap query {qi}"));
+        // And both must equal the brute-force top-k over the candidate set.
+        let brute = topk_over(&dataset, q, &index.candidates(q, K), K);
+        assert_exact(&dataset, q, ids, &brute, &format!("brute query {qi}"));
+    }
+}
+
+#[test]
+fn warm_filled_node_cache_beats_admission_only_in_its_first_epoch() {
+    let n = 600;
+    let dataset = Arc::new(band_dataset(n, 16, 0xF00D));
+    let quant = quantizer();
+    let leaf_cap = (PAGE_SIZE / dataset.point_bytes()).max(1);
+    let index = Arc::new(IDistance::build(&dataset, 12, leaf_cap, 3));
+    let file = Arc::new(PointFile::new(dataset.as_ref().clone()));
+    let queries: Vec<Vec<f32>> = clustered_queries(&dataset, &[80, 290, 500], 20, 0xCAFE);
+
+    let scheme: Arc<dyn hc_core::scheme::ApproxScheme> = {
+        let freq = quant.frequency_array(dataset.as_flat());
+        let hist = hc_core::histogram::HistogramKind::VOptimal.build(&freq, 1 << TAU);
+        Arc::new(hc_core::scheme::GlobalScheme::new(
+            hist,
+            quant.clone(),
+            dataset.dim(),
+        ))
+    };
+    let cache_bytes = 48 * 1024;
+
+    let first_epoch =
+        |cache: Arc<ShardedNodeCache>| -> (f64, Vec<(usize, Vec<hc_core::dataset::PointId>)>) {
+            let registry = MetricsRegistry::new();
+            let parts = TreeSharedParts::new(
+                Arc::clone(&index) as Arc<dyn LeafedIndex + Send + Sync>,
+                Arc::clone(&dataset),
+                Arc::clone(&file) as Arc<dyn hc_storage::PageStore>,
+            );
+            let server = QueryServer::start_tree(
+                parts,
+                cache as Arc<dyn hc_cache::concurrent::ConcurrentNodeCache>,
+                ServeConfig {
+                    workers: 4,
+                    queue_capacity: 256,
+                    ..ServeConfig::default()
+                },
+                &registry,
+            );
+            let report = run_closed_loop(&server, &queries, 4, K, None);
+            server.shutdown();
+            assert_eq!(report.failed + report.degraded, 0);
+            (report.hit_ratio(), report.results)
+        };
+
+    // Baseline: cold cache, admissions only.
+    let cold = Arc::new(ShardedNodeCache::lru(
+        Arc::clone(&scheme),
+        cache_bytes,
+        SHARDS,
+    ));
+    let (cold_ratio, cold_results) = first_epoch(cold);
+
+    // Warm fill from the replayed window before going live.
+    let warm = Arc::new(ShardedNodeCache::lru(
+        Arc::clone(&scheme),
+        cache_bytes,
+        SHARDS,
+    ));
+    let filled = warm_fill_node_cache(index.as_ref(), &dataset, &queries, K, &warm);
+    assert!(filled > 0, "warm fill admitted no leaves");
+    let (warm_ratio, warm_results) = first_epoch(warm);
+
+    assert!(
+        warm_ratio > cold_ratio,
+        "warm fill must lift the first-epoch hit ratio: warm {warm_ratio:.3} vs cold {cold_ratio:.3}"
+    );
+
+    // Warm fill changes I/O, never answers: both epochs are exact.
+    for results in [&cold_results, &warm_results] {
+        for (qi, ids) in results {
+            let q = &queries[*qi];
+            let all: Vec<hc_core::dataset::PointId> =
+                (0..n as u32).map(hc_core::dataset::PointId).collect();
+            let brute = topk_over(&dataset, q, &all, K);
+            assert_exact(&dataset, q, ids, &brute, &format!("tree query {qi}"));
+        }
+    }
+}
+
+#[test]
+fn degraded_answers_also_feed_the_sampler_window() {
+    use hc_storage::{FaultConfig, FaultInjector};
+    let n = 400;
+    let dataset = Arc::new(band_dataset(n, 32, 0xA11));
+    let index = band_index(n, 15);
+    let file = Arc::new(PointFile::new(dataset.as_ref().clone()));
+    let registry = MetricsRegistry::new();
+    let injector = Arc::new(FaultInjector::new(
+        Arc::clone(&file),
+        FaultConfig {
+            seed: 3,
+            unreadable_rate: 0.2,
+            ..FaultConfig::none()
+        },
+    ));
+    let config = MaintenanceConfig::new(128, TAU, 32 * 1024, K);
+    let sampler = Arc::new(WorkloadSampler::new(config, &registry));
+    let quant = quantizer();
+    let scheme: Arc<dyn hc_core::scheme::ApproxScheme> = {
+        let freq = quant.frequency_array(dataset.as_flat());
+        let hist = hc_core::histogram::HistogramKind::VOptimal.build(&freq, 1 << TAU);
+        Arc::new(hc_core::scheme::GlobalScheme::new(
+            hist,
+            quant,
+            dataset.dim(),
+        ))
+    };
+    let cache = Arc::new(ShardedCompactCache::lru(scheme, 32 * 1024, SHARDS));
+    let server = QueryServer::start(
+        SharedParts::new(
+            index as Arc<dyn CandidateIndex + Send + Sync>,
+            injector as Arc<dyn hc_storage::PageStore>,
+        ),
+        cache,
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            sampler: Some(sampler.clone() as Arc<dyn hc_serve::QuerySampler>),
+            ..ServeConfig::default()
+        },
+        &registry,
+    );
+    let queries = clustered_queries(&dataset, &[50, 150, 250, 350], 8, 0xD1CE);
+    let mut outcomes = Vec::new();
+    for q in &queries {
+        outcomes.push(server.submit(q.clone(), K, None).expect("admitted").wait());
+    }
+    server.shutdown();
+    let served = outcomes
+        .iter()
+        .filter(|o| matches!(o, QueryOutcome::Done(_) | QueryOutcome::Degraded { .. }))
+        .count();
+    assert_eq!(served, queries.len(), "pure storage faults never Fail");
+    assert_eq!(
+        sampler.window_len(),
+        queries.len(),
+        "degraded answers are still served queries — the window must see them"
+    );
+}

@@ -1,0 +1,173 @@
+//! Scrub/repair chaos: a fault schedule makes pages sticky-unreadable, the
+//! serving path degrades (explicitly, never silently), a maintenance scrub
+//! repairs the dead pages from the build-time replica, and the same queries
+//! come back exact — `serve.degraded` stops moving.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::*;
+use hc_cache::SwappablePointCache;
+use hc_index::traits::CandidateIndex;
+use hc_maint::{MaintDaemon, WorkloadSampler};
+use hc_obs::MetricsRegistry;
+use hc_query::{MaintenanceConfig, SharedParts};
+use hc_serve::{run_closed_loop, QueryServer, ServeConfig, ShardedCompactCache};
+use hc_storage::{FaultConfig, FaultInjector, PointFile};
+
+const K: usize = 10;
+const SHARDS: usize = 4;
+const TAU: u32 = 6;
+
+#[test]
+fn scrub_repairs_dead_pages_and_service_returns_to_exact() {
+    let n = 600;
+    // Wide points → many physical pages → the unreadable roll has targets.
+    let dataset = Arc::new(band_dataset(n, 48, 0xDEAD));
+    let index = band_index(n, 15);
+    let file = Arc::new(PointFile::new(dataset.as_ref().clone()));
+    let registry = MetricsRegistry::new();
+    let injector = Arc::new(FaultInjector::new(
+        Arc::clone(&file),
+        FaultConfig {
+            seed: 0xFA17,
+            unreadable_rate: 0.2,
+            ..FaultConfig::none()
+        },
+    ));
+
+    // Aim the workload straight at the dead media: one query per dead page,
+    // centered on a point that lives there, plus background traffic.
+    let dead_pages: Vec<u64> = (0..file.num_pages())
+        .filter(|&p| injector.is_dead(p))
+        .collect();
+    assert!(
+        !dead_pages.is_empty(),
+        "seed produced no dead pages — the chaos scenario is vacuous"
+    );
+    let per_page = file.points_per_page() as u64;
+    let mut centers: Vec<u32> = dead_pages.iter().map(|&p| (p * per_page) as u32).collect();
+    centers.extend([40u32, 260, 470]);
+    centers.retain(|&c| (c as usize) < n);
+    let queries = clustered_queries(&dataset, &centers, 4, 0x0B5);
+    let reference: Vec<Vec<(hc_core::dataset::PointId, f64)>> = queries
+        .iter()
+        .map(|q| topk_over(&dataset, q, &index.candidates(q, K), K))
+        .collect();
+
+    let quant = quantizer();
+    let scheme: Arc<dyn hc_core::scheme::ApproxScheme> = {
+        let freq = quant.frequency_array(dataset.as_flat());
+        let hist = hc_core::histogram::HistogramKind::VOptimal.build(&freq, 1 << TAU);
+        Arc::new(hc_core::scheme::GlobalScheme::new(
+            hist,
+            quant.clone(),
+            dataset.dim(),
+        ))
+    };
+    let swappable = Arc::new(SwappablePointCache::new(Arc::new(
+        ShardedCompactCache::lru(Arc::clone(&scheme), 32 * 1024, SHARDS),
+    )));
+    let sampler = Arc::new(WorkloadSampler::new(
+        MaintenanceConfig::new(128, TAU, 32 * 1024, K),
+        &registry,
+    ));
+    let daemon = Arc::new(MaintDaemon::new(
+        Arc::clone(&sampler),
+        Arc::clone(&index) as Arc<dyn CandidateIndex + Send + Sync>,
+        Arc::clone(&dataset),
+        quant,
+        Arc::clone(&swappable),
+        SHARDS,
+        &registry,
+    ));
+
+    let serve_burst = |label: &str| {
+        let server = QueryServer::start(
+            SharedParts::new(
+                Arc::clone(&index) as Arc<dyn CandidateIndex + Send + Sync>,
+                Arc::clone(&injector) as Arc<dyn hc_storage::PageStore>,
+            ),
+            Arc::clone(&swappable) as Arc<dyn hc_cache::concurrent::ConcurrentPointCache>,
+            ServeConfig {
+                workers: 4,
+                queue_capacity: 256,
+                sampler: Some(sampler.clone() as Arc<dyn hc_serve::QuerySampler>),
+                ..ServeConfig::default()
+            },
+            &registry,
+        );
+        let report = run_closed_loop(&server, &queries, 4, K, None);
+        server.shutdown();
+        assert_eq!(report.failed, 0, "{label}: storage faults never Fail");
+        assert_eq!(
+            report.rejected + report.timed_out,
+            0,
+            "{label}: no shedding"
+        );
+        report
+    };
+
+    // Phase 1: degraded availability. The dead pages are in the hot path,
+    // and every degraded answer declares its loss.
+    let before = serve_burst("pre-scrub");
+    assert!(
+        before.degraded > 0,
+        "queries aimed at dead pages must degrade before the scrub"
+    );
+    for (qi, ids, missing) in &before.degraded_results {
+        assert!(!missing.is_empty());
+        let q = &queries[*qi];
+        let readable: Vec<hc_core::dataset::PointId> = index
+            .candidates(q, K)
+            .into_iter()
+            .filter(|id| !missing.contains(id))
+            .collect();
+        let want = topk_over(&dataset, q, &readable, K);
+        assert_exact(&dataset, q, ids, &want, &format!("degraded query {qi}"));
+    }
+    let degraded_counter_before = registry.snapshot().counter("serve.degraded").unwrap_or(0);
+    assert!(degraded_counter_before > 0);
+
+    // Phase 2: scrub. Every dead page is repaired from the replica.
+    let scrub = daemon.scrub_once(injector.as_ref());
+    assert_eq!(scrub.pages_scanned, file.num_pages());
+    assert_eq!(scrub.pages_repaired, dead_pages.len() as u64);
+    assert_eq!(scrub.pages_unrepairable, 0);
+    assert!(scrub.is_clean());
+    assert_eq!(injector.healed_pages(), dead_pages.len());
+
+    // Phase 3: the same workload is exact again — availability 1.0, the
+    // degraded counter stops moving, and every answer matches the
+    // fault-free reference.
+    let after = serve_burst("post-scrub");
+    assert_eq!(after.degraded, 0, "scrubbed store must serve exactly");
+    assert!((after.availability() - 1.0).abs() < 1e-12);
+    assert_eq!(after.results.len(), queries.len());
+    for (qi, ids) in &after.results {
+        assert_exact(
+            &dataset,
+            &queries[*qi],
+            ids,
+            &reference[*qi],
+            &format!("post-scrub query {qi}"),
+        );
+    }
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("serve.degraded").unwrap_or(0),
+        degraded_counter_before,
+        "no new degradation after the scrub"
+    );
+    assert_eq!(snap.counter("maint.scrubs"), Some(1));
+    assert_eq!(
+        snap.counter("maint.scrub.repaired"),
+        Some(dead_pages.len() as u64)
+    );
+
+    // A second scrub is a no-op: nothing left to repair.
+    let second = daemon.scrub_once(injector.as_ref());
+    assert_eq!(second.pages_repaired, 0);
+    assert!(second.is_clean());
+}

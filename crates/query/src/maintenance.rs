@@ -74,6 +74,18 @@ impl CacheMaintainer {
         self.recent.len()
     }
 
+    /// Snapshot of the current window, oldest first. Maintenance daemons
+    /// replay it themselves when they need more than the HFF cache (e.g.
+    /// leaf-access rankings for node-cache warm fills).
+    pub fn window(&self) -> Vec<Vec<f32>> {
+        self.recent.iter().cloned().collect()
+    }
+
+    /// The rebuild configuration.
+    pub fn config(&self) -> &MaintenanceConfig {
+        &self.config
+    }
+
     /// Rebuild the scheme and HFF cache from the current window (the
     /// "periodic rebuild" step; offline, no simulated I/O).
     ///
@@ -84,10 +96,28 @@ impl CacheMaintainer {
         dataset: &Dataset,
         quantizer: &Quantizer,
     ) -> Option<(Arc<dyn ApproxScheme>, CompactPointCache)> {
+        self.rebuild_ranked(index, dataset, quantizer)
+            .map(|(scheme, cache, _)| (scheme, cache))
+    }
+
+    /// [`CacheMaintainer::rebuild`] plus the replayed candidate ranking
+    /// (descending frequency — the HFF fill order). A concurrent serving
+    /// layer uses the ranking to warm-fill its *sharded* cache with exactly
+    /// the points the single-threaded HFF cache would hold.
+    pub fn rebuild_ranked(
+        &self,
+        index: &dyn CandidateIndex,
+        dataset: &Dataset,
+        quantizer: &Quantizer,
+    ) -> Option<(
+        Arc<dyn ApproxScheme>,
+        CompactPointCache,
+        Vec<hc_core::dataset::PointId>,
+    )> {
         if self.recent.is_empty() {
             return None;
         }
-        let window: Vec<Vec<f32>> = self.recent.iter().cloned().collect();
+        let window = self.window();
         let replay = replay_workload(index, dataset, &window, self.config.k);
         let freq = if self.config.kind.uses_workload_frequencies() {
             replay.f_prime(dataset, quantizer)
@@ -106,7 +136,7 @@ impl CacheMaintainer {
             self.config.cache_bytes,
             scheme.clone(),
         );
-        Some((scheme, cache))
+        Some((scheme, cache, replay.ranking))
     }
 }
 

@@ -78,6 +78,30 @@ impl ShardedCompactCache {
         self.len() == 0
     }
 
+    /// Offline HFF-style warm fill (§4): admit points in descending
+    /// workload-frequency order, stopping per shard once it is at budget so
+    /// the hottest points stay resident (a plain `admit` loop through a
+    /// full LRU shard would evict them). Already-resident points are
+    /// skipped. Returns how many points were newly admitted.
+    pub fn warm_fill(&self, dataset: &hc_core::dataset::Dataset, ranking: &[PointId]) -> usize {
+        let mut filled = 0;
+        for &id in ranking {
+            let mut shard = self.shards[self.shard_of(id)]
+                .lock()
+                .expect("shard poisoned");
+            if shard.contains(id) {
+                continue;
+            }
+            let need = shard.scheme().bytes_per_point();
+            if shard.used_bytes() + need > shard.capacity_bytes() {
+                continue; // shard full of hotter points — keep them
+            }
+            shard.admit(id, dataset.point(id));
+            filled += 1;
+        }
+        filled
+    }
+
     /// Per-shard `(used_bytes, capacity_bytes)` — the stress tests assert
     /// the budget invariant shard by shard.
     pub fn shard_occupancy(&self) -> Vec<(usize, usize)> {
@@ -246,5 +270,29 @@ mod tests {
     fn label_names_the_configuration() {
         let c = ShardedCompactCache::lru(scheme(2), 1 << 12, 8);
         assert_eq!(c.label(), "SHARDED-COMPACT(τ=5)/LRU×8");
+    }
+
+    #[test]
+    fn warm_fill_keeps_the_hottest_points_resident() {
+        use hc_core::dataset::Dataset;
+        let s = scheme(2);
+        let per_item = s.bytes_per_point();
+        let rows: Vec<Vec<f32>> = (0..64u32).map(point).collect();
+        let dataset = Dataset::from_rows(&rows);
+        // Room for 2 items per shard across 2 shards: 4 of 64 fit.
+        let c = ShardedCompactCache::lru(s, per_item * 4, 2);
+        let ranking: Vec<PointId> = (0..64).map(PointId).collect();
+        let filled = c.warm_fill(&dataset, &ranking);
+        assert_eq!(filled, c.len());
+        assert!((2..=4).contains(&filled), "filled {filled}");
+        // The very hottest id always fits into its empty shard.
+        assert!(c.contains(PointId(0)), "rank-0 point must be resident");
+        // Tail ids were skipped, not admitted-then-evicted.
+        assert!(!c.contains(PointId(63)));
+        for (used, cap) in c.shard_occupancy() {
+            assert!(used <= cap);
+        }
+        // Idempotent: a second fill admits nothing new.
+        assert_eq!(c.warm_fill(&dataset, &ranking), 0);
     }
 }

@@ -32,10 +32,12 @@ pub mod cache;
 pub mod loadgen;
 pub mod node_cache;
 pub mod queue;
+pub mod sampler;
 pub mod server;
 
 pub use cache::ShardedCompactCache;
 pub use loadgen::{run_closed_loop, run_open_loop, LoadReport};
 pub use node_cache::ShardedNodeCache;
 pub use queue::{BoundedQueue, PushError};
+pub use sampler::QuerySampler;
 pub use server::{QueryOutcome, QueryResponse, QueryServer, ServeConfig, SubmitError, Ticket};

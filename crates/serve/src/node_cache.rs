@@ -8,11 +8,14 @@
 //! instant — which is exactly where concurrency pressure concentrates in
 //! cache-conscious index traversal.
 //!
-//! Leaves are admitted by the searches themselves (there is no offline HFF
-//! fill here): a worker that fetches an uncached leaf offers it to the
-//! shard, and the per-shard LRU keeps each shard inside its slice of the
-//! budget. The paper's compact representation (§3.6.1) keeps the split
-//! cheap: at τ = 8 a cached leaf is ~4× smaller than its raw points.
+//! Leaves are admitted two ways: by the searches themselves (a worker that
+//! fetches an uncached leaf offers it to the shard, and the per-shard LRU
+//! keeps each shard inside its slice of the budget), and by
+//! [`ShardedNodeCache::warm_fill`] — an offline HFF-style fill from a
+//! replayed workload's leaf-access ranking, run before tree-backed serving
+//! goes live so the first epoch starts warm instead of paying cold misses.
+//! The paper's compact representation (§3.6.1) keeps the split cheap: at
+//! τ = 8 a cached leaf is ~4× smaller than its raw points.
 
 use std::sync::{Arc, Mutex};
 
@@ -26,7 +29,7 @@ pub struct ShardedNodeCache {
     shards: Vec<Mutex<LruNodeCache>>,
     /// `32 - log2(num_shards)`; shard = `(leaf * φ32) >> shard_shift`.
     shard_shift: u32,
-    tau: u32,
+    scheme: Arc<dyn ApproxScheme>,
 }
 
 /// Knuth's multiplicative constant: ⌊2^32 / φ⌋.
@@ -44,15 +47,45 @@ impl ShardedNodeCache {
             "num_shards must be a power of two, got {num_shards}"
         );
         let per_shard = capacity_bytes / num_shards;
-        let tau = scheme.tau();
         let shards = (0..num_shards)
             .map(|_| Mutex::new(LruNodeCache::new(Arc::clone(&scheme), per_shard)))
             .collect();
         Self {
             shards,
             shard_shift: 32 - num_shards.trailing_zeros(),
-            tau,
+            scheme,
         }
+    }
+
+    /// Offline HFF-style warm fill (§3.6.1): admit leaves in descending
+    /// replayed-access-frequency order, stopping per shard once it is at
+    /// budget so the hottest leaves stay resident (a plain `admit` loop
+    /// through a full LRU shard would evict them). Member vectors come from
+    /// `dataset` via `index.leaf_points` — this is a RAM-side fill, no
+    /// paged I/O. Returns how many leaves were newly admitted.
+    pub fn warm_fill(
+        &self,
+        index: &dyn hc_index::traits::LeafedIndex,
+        dataset: &hc_core::dataset::Dataset,
+        ranked_leaves: &[u32],
+    ) -> usize {
+        let mut filled = 0;
+        for &leaf in ranked_leaves {
+            let shard = self.shards[self.shard_of(leaf)]
+                .lock()
+                .expect("shard poisoned");
+            if shard.contains(leaf) {
+                continue;
+            }
+            let ids = index.leaf_points(leaf);
+            let need = ids.len() * self.scheme.bytes_per_point();
+            if shard.used_bytes() + need > shard.capacity_bytes() {
+                continue; // shard full of hotter leaves — keep them
+            }
+            shard.admit(leaf, &mut ids.iter().map(|&id| dataset.point(id)));
+            filled += 1;
+        }
+        filled
     }
 
     fn shard_of(&self, leaf: u32) -> usize {
@@ -128,7 +161,11 @@ impl ConcurrentNodeCache for ShardedNodeCache {
     }
 
     fn label(&self) -> String {
-        format!("SHARDED-NODE(τ={})/LRU×{}", self.tau, self.shards.len())
+        format!(
+            "SHARDED-NODE(τ={})/LRU×{}",
+            self.scheme.tau(),
+            self.shards.len()
+        )
     }
 
     /// Bind each shard under its own label
@@ -253,6 +290,62 @@ mod tests {
     fn label_names_the_configuration() {
         let c = ShardedNodeCache::lru(scheme(2), 1 << 12, 8);
         assert_eq!(c.label(), "SHARDED-NODE(τ=5)/LRU×8");
+    }
+
+    #[test]
+    fn warm_fill_admits_ranked_leaves_without_evicting_hotter_ones() {
+        use hc_core::dataset::{Dataset, PointId};
+        use hc_index::traits::LeafedIndex;
+
+        /// Fixed partition of 30 points into 10 leaves of 3.
+        struct FixedLeaves {
+            members: Vec<Vec<PointId>>,
+        }
+
+        impl LeafedIndex for FixedLeaves {
+            fn num_leaves(&self) -> u32 {
+                self.members.len() as u32
+            }
+            fn leaf_points(&self, leaf: u32) -> &[PointId] {
+                &self.members[leaf as usize]
+            }
+            fn leaf_lower_bounds(&self, _q: &[f32]) -> Vec<(u32, f64)> {
+                (0..self.num_leaves()).map(|l| (l, 0.0)).collect()
+            }
+            fn leaf_of(&self, id: PointId) -> u32 {
+                id.0 / 3
+            }
+            fn name(&self) -> &'static str {
+                "FIXED"
+            }
+        }
+
+        let s = scheme(2);
+        let per_leaf = 3 * s.bytes_per_point();
+        let rows: Vec<Vec<f32>> = (0..30u32).map(|i| vec![i as f32, 0.5]).collect();
+        let dataset = Dataset::from_rows(&rows);
+        let index = FixedLeaves {
+            members: (0..10)
+                .map(|l| (0..3).map(|i| PointId(l * 3 + i)).collect())
+                .collect(),
+        };
+        // Room for 2 leaves per shard across 2 shards: 4 of 10 fit.
+        let c = ShardedNodeCache::lru(s, per_leaf * 4, 2);
+        let ranking: Vec<u32> = (0..10).collect();
+        let filled = c.warm_fill(&index, &dataset, &ranking);
+        assert_eq!(filled, c.len());
+        assert!((2..=4).contains(&filled), "filled {filled}");
+        assert!(c.contains(0), "rank-0 leaf must be resident");
+        assert!(!c.contains(9), "tail leaf skipped, not evict-cycled");
+        for (used, cap) in c.shard_occupancy() {
+            assert!(used <= cap);
+        }
+        assert_eq!(c.warm_fill(&index, &dataset, &ranking), 0, "idempotent");
+        // Warm-filled leaves serve real bounds.
+        match c.lookup(&[0.0, 0.5], 0) {
+            NodeLookup::Bounds(b) => assert_eq!(b.len(), 3),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

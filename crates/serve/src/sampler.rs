@@ -1,0 +1,50 @@
+//! Served-query sampling hook for maintenance daemons.
+//!
+//! The §3.5 rebuild loop needs to see what the server actually served:
+//! every successfully evaluated query (exact or degraded — both reflect
+//! real demand) is offered to the configured [`QuerySampler`]. The trait
+//! lives here so `hc-serve` stays ignorant of who listens; `hc-maint`'s
+//! `WorkloadSampler` implements it over the sliding window that feeds
+//! `CacheMaintainer`.
+//!
+//! `observe` runs on the worker thread between evaluation and ticket
+//! fulfilment, so implementations must be cheap and non-blocking in the
+//! common case (push into a bounded window, maybe drop under contention) —
+//! a sampler that blocks stalls serving.
+
+/// Receives every successfully served query.
+pub trait QuerySampler: Send + Sync + std::fmt::Debug {
+    /// Called once per evaluated query with the query vector. Shed
+    /// (timed-out), rejected, and panicked requests are *not* observed —
+    /// they were never served.
+    fn observe(&self, q: &[f32]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Debug, Default)]
+    struct Recorder {
+        seen: Mutex<Vec<Vec<f32>>>,
+    }
+
+    impl QuerySampler for Recorder {
+        fn observe(&self, q: &[f32]) {
+            self.seen.lock().expect("lock").push(q.to_vec());
+        }
+    }
+
+    #[test]
+    fn trait_object_is_usable_behind_arc() {
+        let recorder = std::sync::Arc::new(Recorder::default());
+        let sampler: std::sync::Arc<dyn QuerySampler> = recorder.clone();
+        sampler.observe(&[1.0, 2.0]);
+        sampler.observe(&[3.0]);
+        assert_eq!(
+            *recorder.seen.lock().expect("lock"),
+            vec![vec![1.0, 2.0], vec![3.0]]
+        );
+    }
+}

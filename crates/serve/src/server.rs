@@ -45,6 +45,7 @@ use hc_storage::io_stats::IoModel;
 use hc_storage::retry::RetryPolicy;
 
 use crate::queue::{BoundedQueue, PushError};
+use crate::sampler::QuerySampler;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -70,6 +71,10 @@ pub struct ServeConfig {
     /// inject a [`hc_storage::clock::SimulatedClock`] so fault-heavy sweeps
     /// finish without real stalls.
     pub clock: Arc<dyn Clock>,
+    /// When set, every successfully evaluated query (exact or degraded) is
+    /// offered to this sampler — the feed for a maintenance daemon's
+    /// rebuild window (§3.5). Must be cheap: it runs on the worker thread.
+    pub sampler: Option<Arc<dyn QuerySampler>>,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +87,7 @@ impl Default for ServeConfig {
             eager_refetch: false,
             retry: RetryPolicy::default(),
             clock: Arc::new(RealClock),
+            sampler: None,
         }
     }
 }
@@ -590,6 +596,11 @@ fn worker_loop(
                 continue;
             }
         };
+        // The query was served — feed it to the maintenance window before
+        // fulfilment so a rebuild triggered right after sees it.
+        if let Some(sampler) = &config.sampler {
+            sampler.observe(&request.query);
+        }
         if let Some(scale) = config.simulate_io_scale {
             let stall = config.io_model.modeled_time(answer.io_pages).mul_f64(scale);
             if !stall.is_zero() {

@@ -21,8 +21,8 @@
 //! [`IoStats`] (a failed disk read seeks and spins like a successful one);
 //! they never populate the page buffer, so dedup stays truthful.
 
-use std::sync::Arc;
-use std::sync::OnceLock;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use hc_core::dataset::PointId;
@@ -120,6 +120,11 @@ pub struct FaultInjector {
     config: FaultConfig,
     obs: FaultObs,
     clock: Arc<dyn Clock>,
+    /// Pages repaired from the build-time replica by a scrub pass
+    /// ([`crate::scrub`]). A healed page skips the sticky-unreadable roll —
+    /// the dead medium was re-replicated — while transient classes keep
+    /// rolling (a repaired page lives on the same flaky bus as every other).
+    healed: Mutex<HashSet<u64>>,
 }
 
 impl FaultInjector {
@@ -132,6 +137,7 @@ impl FaultInjector {
             config,
             obs: FaultObs::default(),
             clock: Arc::new(RealClock),
+            healed: Mutex::new(HashSet::new()),
         }
     }
 
@@ -173,6 +179,110 @@ impl FaultInjector {
             self.inner.stats().record_page_retried();
         }
     }
+
+    /// Whether a scrub pass already repaired `page` from the replica.
+    fn is_healed(&self, page: u64) -> bool {
+        self.healed
+            .lock()
+            .expect("healed lock poisoned")
+            .contains(&page)
+    }
+
+    /// Whether `page` currently reads as sticky-unreadable (dead medium,
+    /// not yet repaired).
+    pub fn is_dead(&self, page: u64) -> bool {
+        self.roll(CLASS_UNREADABLE, page, 0, self.config.unreadable_rate) && !self.is_healed(page)
+    }
+
+    /// How many pages scrub passes have repaired so far.
+    pub fn healed_pages(&self) -> usize {
+        self.healed.lock().expect("healed lock poisoned").len()
+    }
+
+    /// One physical verification read of `page` — the scrubber's probe.
+    /// Rolls the same fault classes as a point read (minus latency spikes,
+    /// which delay but never corrupt), then verifies the payload against
+    /// the build-time checksum. Counts as real I/O either way.
+    pub(crate) fn probe_page(&self, page: u64, attempt: u32) -> Result<(), StorageError> {
+        if self.is_dead(page) {
+            self.count_failed_attempt(attempt);
+            self.obs.record("unreadable");
+            return Err(StorageError::Unreadable { page });
+        }
+        if self.roll(CLASS_TRANSIENT, page, attempt, self.config.transient_rate) {
+            self.count_failed_attempt(attempt);
+            self.obs.record("transient");
+            return Err(StorageError::TransientRead { page });
+        }
+        if self.roll(CLASS_TORN, page, attempt, self.config.torn_rate) {
+            self.count_failed_attempt(attempt);
+            self.obs.record("torn");
+            let want_bytes = PAGE_SIZE;
+            let got_bytes = (mix(page ^ u64::from(attempt) ^ 0x7023) as usize) % want_bytes;
+            return Err(StorageError::TornPage {
+                page,
+                got_bytes,
+                want_bytes,
+            });
+        }
+        if self.roll(CLASS_CORRUPT, page, attempt, self.config.corrupt_rate) {
+            // Same discipline as `read_point`: materialize the corrupted
+            // transfer and let the real codec catch it.
+            self.count_failed_attempt(attempt);
+            self.obs.record("corrupt");
+            let mut payload = self.inner.page_payload(page);
+            if !payload.is_empty() {
+                let bit = mix(page.wrapping_mul(31) ^ u64::from(attempt)) as usize;
+                let victim = (bit / 32) % payload.len();
+                let flipped = payload[victim].to_bits() ^ (1u32 << (bit % 32));
+                payload[victim] = f32::from_bits(flipped);
+            }
+            let got = codec::page_checksum(&payload);
+            let expected = self.inner.page_checksum(page);
+            debug_assert_ne!(got, expected, "bit flip must change the digest");
+            return Err(StorageError::ChecksumMismatch {
+                page,
+                expected,
+                got,
+            });
+        }
+        self.inner.stats().record_page();
+        if attempt > 0 {
+            self.inner.stats().record_page_retried();
+        }
+        let payload = self.inner.page_payload(page);
+        let expected = self.inner.page_checksum(page);
+        let got = codec::page_checksum(&payload);
+        if got != expected {
+            return Err(StorageError::ChecksumMismatch {
+                page,
+                expected,
+                got,
+            });
+        }
+        Ok(())
+    }
+
+    /// Repair `page` from the build-time replica (the wrapped pristine
+    /// file): verify the replica copy, then mark the page healed so the
+    /// sticky-unreadable roll stops firing for it. Returns `true` if the
+    /// page was dead and is now healed, `false` if there was nothing to
+    /// repair (page alive, already healed, or replica unverifiable).
+    pub(crate) fn heal_page(&self, page: u64) -> bool {
+        if !self.is_dead(page) {
+            return false;
+        }
+        // Read the replica copy and verify it before trusting it.
+        self.inner.stats().record_page();
+        let payload = self.inner.page_payload(page);
+        if codec::page_checksum(&payload) != self.inner.page_checksum(page) {
+            return false;
+        }
+        self.healed
+            .lock()
+            .expect("healed lock poisoned")
+            .insert(page)
+    }
 }
 
 impl PageStore for FaultInjector {
@@ -188,8 +298,9 @@ impl PageStore for FaultInjector {
         if buffer.contains(page) {
             return self.inner.try_fetch(id, attempt, buffer);
         }
-        // Permanent faults first: a dead page is dead on every attempt.
-        if self.roll(CLASS_UNREADABLE, page, 0, self.config.unreadable_rate) {
+        // Permanent faults first: a dead page is dead on every attempt —
+        // until a scrub pass re-replicates it ([`Self::heal_page`]).
+        if self.is_dead(page) {
             self.count_failed_attempt(attempt);
             self.obs.record("unreadable");
             return Err(StorageError::Unreadable { page });

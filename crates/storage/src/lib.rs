@@ -18,7 +18,9 @@
 //! [`RetryPolicy`] bounds the recovery effort above it. Backoff waits go
 //! through the [`Clock`] abstraction, so the only real `thread::sleep` in
 //! the recovery path lives inside [`RealClock`] and tests run on a
-//! [`SimulatedClock`].
+//! [`SimulatedClock`]. A [`Scrubber`] pass (DESIGN.md §11) walks every
+//! page, verifies checksums physically, and repairs sticky-unreadable
+//! pages from the build-time replica so degraded availability recovers.
 
 pub mod clock;
 pub mod codec;
@@ -28,6 +30,7 @@ pub mod io_stats;
 pub mod ordering;
 pub mod point_file;
 pub mod retry;
+pub mod scrub;
 pub mod store;
 
 pub use clock::{Clock, RealClock, SimulatedClock};
@@ -36,4 +39,5 @@ pub use fault::{FaultConfig, FaultInjector};
 pub use io_stats::{IoModel, IoSnapshot, IoStats};
 pub use point_file::{PageBuffer, PointFile, PAGE_SIZE};
 pub use retry::{RetryObs, RetryPolicy};
+pub use scrub::{ScrubReport, ScrubbablePageStore, Scrubber};
 pub use store::PageStore;

@@ -1,0 +1,206 @@
+//! Drifting-hotspot query streams for cache-lifecycle experiments.
+//!
+//! The paper's §3.5 deployment model rebuilds the scheme and cache
+//! periodically because workloads *drift*: the popular queries of last week
+//! are not the popular queries of today. [`DriftingHotspot`] makes that
+//! drift reproducible: draws are Zipf-distributed over the query pool, but
+//! the identity of the hot head rotates every `rotate_every` draws — rank
+//! `r` maps to pool index `(offset + r) mod pool_size`, and the offset
+//! advances by `stride` at each rotation.
+//!
+//! Within one epoch the marginal distribution is exactly [`Zipf`] over the
+//! rotated indices, so an HFF cache built for epoch `e` has near-zero
+//! overlap with epoch `e+1`'s hot set once `stride` exceeds the head width:
+//! the hit ratio collapses until the maintenance daemon rebuilds. That is
+//! the story the `drift` bench bin measures.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::zipf::Zipf;
+
+/// Seedable Zipf sampler whose hot set rotates every `rotate_every` draws.
+#[derive(Debug, Clone)]
+pub struct DriftingHotspot {
+    zipf: Zipf,
+    pool_size: usize,
+    rotate_every: usize,
+    stride: usize,
+    offset: usize,
+    drawn: usize,
+    rng: StdRng,
+}
+
+impl DriftingHotspot {
+    /// Sampler over pool indices `0..pool_size` with Zipf exponent `s`.
+    /// Every `rotate_every` draws the hot set shifts by `stride` indices.
+    ///
+    /// # Panics
+    /// Panics if `pool_size == 0` or `rotate_every == 0`.
+    pub fn new(pool_size: usize, s: f64, rotate_every: usize, stride: usize, seed: u64) -> Self {
+        assert!(pool_size >= 1, "need a non-empty pool");
+        assert!(rotate_every >= 1, "rotation period must be positive");
+        Self {
+            zipf: Zipf::new(pool_size, s),
+            pool_size,
+            rotate_every,
+            stride,
+            offset: 0,
+            drawn: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// How many full rotations have happened so far.
+    pub fn epoch(&self) -> usize {
+        self.drawn / self.rotate_every
+    }
+
+    /// Current rotation offset: pool index holding Zipf rank 0.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Draw the next pool index.
+    pub fn next_index(&mut self) -> usize {
+        let rank = self.zipf.sample(&mut self.rng);
+        let index = (self.offset + rank) % self.pool_size;
+        self.drawn += 1;
+        if self.drawn.is_multiple_of(self.rotate_every) {
+            self.offset = (self.offset + self.stride) % self.pool_size;
+        }
+        index
+    }
+
+    /// Draw `n` pool indices.
+    pub fn take_indices(&mut self, n: usize) -> Vec<usize> {
+        (0..n).map(|_| self.next_index()).collect()
+    }
+
+    /// Draw `n` queries by cloning pool vectors.
+    pub fn take_queries(&mut self, pool: &[Vec<f32>], n: usize) -> Vec<Vec<f32>> {
+        assert_eq!(pool.len(), self.pool_size, "pool size mismatch");
+        self.take_indices(n)
+            .into_iter()
+            .map(|i| pool[i].clone())
+            .collect()
+    }
+
+    /// Probability of drawing `index` under the *current* epoch's rotation.
+    pub fn pmf_at(&self, index: usize) -> f64 {
+        assert!(index < self.pool_size);
+        let rank = (index + self.pool_size - self.offset) % self.pool_size;
+        self.zipf.pmf(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_epoch_marginal_matches_the_rotated_zipf() {
+        // No rotation within the sample: the marginal is exactly Zipf
+        // shifted by the initial offset (0).
+        let mut d = DriftingHotspot::new(64, 1.0, usize::MAX - 1, 16, 42);
+        let n = 40_000;
+        let mut counts = vec![0usize; 64];
+        for _ in 0..n {
+            counts[d.next_index()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = d.pmf_at(i) * n as f64;
+            // 5-sigma-ish binomial tolerance plus slack for tiny tails.
+            let tol = 5.0 * expect.sqrt() + 8.0;
+            assert!(
+                (c as f64 - expect).abs() < tol,
+                "index {i}: observed {c}, expected {expect:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one_in_every_epoch() {
+        let mut d = DriftingHotspot::new(50, 0.8, 10, 7, 1);
+        for _ in 0..5 {
+            let total: f64 = (0..50).map(|i| d.pmf_at(i)).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            d.take_indices(10); // advance one epoch
+        }
+    }
+
+    #[test]
+    fn hot_head_rotates_by_stride_each_epoch() {
+        let mut d = DriftingHotspot::new(100, 1.2, 1000, 25, 7);
+        for epoch in 0..4 {
+            assert_eq!(d.epoch(), epoch);
+            assert_eq!(d.offset(), (epoch * 25) % 100);
+            let indices = d.take_indices(1000);
+            let mut counts = vec![0usize; 100];
+            for i in indices {
+                counts[i] += 1;
+            }
+            let hottest = (0..100).max_by_key(|&i| counts[i]).unwrap();
+            assert_eq!(
+                hottest,
+                (epoch * 25) % 100,
+                "epoch {epoch}: hot head must sit at the rotated offset"
+            );
+        }
+    }
+
+    #[test]
+    fn successive_epochs_have_disjoint_heads() {
+        // With stride ≥ head width, the top-10 sets of consecutive epochs
+        // must not overlap — that is what collapses the hit ratio.
+        let mut d = DriftingHotspot::new(200, 1.0, 2000, 50, 3);
+        let head = |counts: &[usize]| -> Vec<usize> {
+            let mut order: Vec<usize> = (0..counts.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+            order[..10].to_vec()
+        };
+        let mut counts_a = vec![0usize; 200];
+        for i in d.take_indices(2000) {
+            counts_a[i] += 1;
+        }
+        let mut counts_b = vec![0usize; 200];
+        for i in d.take_indices(2000) {
+            counts_b[i] += 1;
+        }
+        let head_a = head(&counts_a);
+        let head_b = head(&counts_b);
+        assert!(
+            head_a.iter().all(|i| !head_b.contains(i)),
+            "heads must be disjoint: {head_a:?} vs {head_b:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_replays_identically_and_seeds_differ() {
+        let seq = |seed: u64| DriftingHotspot::new(64, 0.9, 16, 8, seed).take_indices(200);
+        assert_eq!(seq(5), seq(5));
+        assert_ne!(seq(5), seq(6));
+    }
+
+    #[test]
+    fn offset_wraps_around_the_pool() {
+        let mut d = DriftingHotspot::new(10, 1.0, 1, 7, 0);
+        // 10 rotations of stride 7 over a pool of 10: offset cycles.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10 {
+            seen.insert(d.offset());
+            d.next_index();
+        }
+        assert_eq!(seen.len(), 10, "stride 7 mod 10 visits every offset");
+        assert!(d.take_indices(100).iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn take_queries_clones_pool_rows() {
+        let pool: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32, 2.0 * i as f32]).collect();
+        let mut d = DriftingHotspot::new(8, 1.0, 4, 2, 9);
+        let qs = d.take_queries(&pool, 20);
+        assert_eq!(qs.len(), 20);
+        assert!(qs.iter().all(|q| pool.contains(q)));
+    }
+}

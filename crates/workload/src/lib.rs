@@ -9,12 +9,16 @@
 //! * [`zipf`] — power-law popularity sampling (paper Fig. 2),
 //! * [`querylog`] — the `P` / `WL` / `Q_test` split protocol of §5.1,
 //! * [`presets`] — the three paper datasets at laptop scale with matching
-//!   dimensionalities and page geometry.
+//!   dimensionalities and page geometry,
+//! * [`drift`] — Zipf streams whose hot set rotates every N draws, for the
+//!   cache-lifecycle (§3.5 periodic rebuild) experiments.
 
+pub mod drift;
 pub mod presets;
 pub mod querylog;
 pub mod synth;
 pub mod zipf;
 
+pub use drift::DriftingHotspot;
 pub use presets::{Preset, Scale};
 pub use querylog::{Popularity, QueryLog, QueryLogConfig};

@@ -22,6 +22,9 @@
 //! * [`serve`] — the concurrent query service: sharded compact cache,
 //!   bounded admission queue with overload shedding, worker-thread engine
 //!   pool, and closed/open-loop load generators.
+//! * [`maint`] — the live cache-lifecycle subsystem: query-stream sampling,
+//!   background §3.5 rebuilds hot-swapped in by generation, offline
+//!   node-cache warm fill, and storage scrub/repair.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and
 //! `DESIGN.md` for the full system inventory and experiment index.
@@ -29,6 +32,7 @@
 pub use hc_cache as cache;
 pub use hc_core as core;
 pub use hc_index as index;
+pub use hc_maint as maint;
 pub use hc_obs as obs;
 pub use hc_query as query;
 pub use hc_serve as serve;
