@@ -21,6 +21,18 @@ cargo test -q -p hc-query --test tree_chaos
 cargo run -q --release -p hc-bench --bin serve_scale -- --smoke
 test -s target/metrics/serve_scale.metrics.json
 grep -q '"name":"serve.qps","label":"tree"' target/metrics/serve_scale.metrics.json
+grep -q '"name":"serve.queue_wait_p99_us"' target/metrics/serve_scale.metrics.json
+grep -q '"name":"serve.deadline_slack_p05_us","label":"overload"' target/metrics/serve_scale.metrics.json
+
+# Ops plane: exposition-grammar lint, request-trace/SLO/admin integration
+# tests, then a live endpoint smoke — bind an ephemeral admin port against
+# a tiny server and fetch /metrics and /healthz over a raw TCP socket,
+# asserting status 200 and non-empty bodies (what a scrape or a load
+# balancer probe actually sees).
+cargo test -q -p hc-obs
+cargo test -q -p hc-obs --test exposition_lint
+cargo test -q -p hc-serve --test admin
+cargo run -q --release -p hc-bench --bin ops_smoke
 
 # Chaos smoke: fault-injected serve sweep over both engine families. The
 # binary itself asserts zero incorrect results, ≥99% availability at a 1%
@@ -32,6 +44,11 @@ test -s target/metrics/chaos.metrics.json
 grep -q '"name":"serve.degraded","value":[1-9]' target/metrics/chaos.metrics.json
 grep -q '"name":"chaos.tree.availability"' target/metrics/chaos.metrics.json
 grep -q '"name":"chaos.tree.pages_retried"' target/metrics/chaos.metrics.json
+# The chaos SLO arc must have tripped the flight recorder: an incident file
+# with the registry snapshot and the degraded traces that caused it.
+grep -q '"name":"chaos.slo.incidents","value":[1-9]' target/metrics/chaos.metrics.json
+test -s target/metrics/incident-0.json
+grep -q '"degraded_traces"' target/metrics/incident-0.json
 
 # Maintenance layer: lifecycle (rebuild-equivalence + warm fill), hot-swap
 # concurrency stress, and scrub/repair chaos, then a CI-sized drift run.
@@ -50,3 +67,7 @@ grep -q '"name":"drift.recovery_ratio"' target/metrics/drift.metrics.json
 grep -q '"name":"maint.swaps","value":[1-9]' target/metrics/drift.metrics.json
 grep -q '"name":"maint.scrub.repaired","value":[1-9]' target/metrics/drift.metrics.json
 grep -q '"name":"drift.node.first_epoch_hit_warm"' target/metrics/drift.metrics.json
+# Drift's scrub section rode an SloMonitor through Critical and back: the
+# transition counter and the burn gauges must be in its report.
+grep -q '"name":"slo.transitions","value":[1-9]' target/metrics/drift.metrics.json
+grep -q '"name":"slo.burn_fast","label":"exactness"' target/metrics/drift.metrics.json

@@ -33,11 +33,11 @@ use hc_core::distance::euclidean;
 use hc_core::histogram::HistogramKind;
 use hc_index::traits::{CandidateIndex, LeafedIndex};
 use hc_index::IDistance;
-use hc_obs::MetricsRegistry;
+use hc_obs::{MetricsRegistry, SloConfig, SloMonitor, SloState};
 use hc_query::{SharedParts, TreeSharedParts};
 use hc_serve::{run_closed_loop, QueryServer, ServeConfig, ShardedCompactCache, ShardedNodeCache};
 use hc_storage::io_stats::IoModel;
-use hc_storage::{FaultConfig, FaultInjector, RetryPolicy};
+use hc_storage::{FaultConfig, FaultInjector, RetryPolicy, Scrubber};
 use hc_workload::zipf::Zipf;
 use hc_workload::{Preset, Scale};
 use rand::rngs::StdRng;
@@ -276,7 +276,129 @@ fn main() {
         k,
         registry,
     );
+    slo_section(&index, &file, &scheme, cache_bytes, &queries, k);
     hc_bench::report::emit("chaos");
+}
+
+/// The live ops-plane arc: one server over a sticky-unreadable store with
+/// an [`SloMonitor`] attached and the admin endpoint bound, probed over a
+/// real `TcpStream` the whole way — Healthy (200) → fault burst trips the
+/// burn-rate monitor (503, incident file written) → scrub heals the dead
+/// pages through the *same* injector the live server reads from → a clean
+/// burst clears the fast windows and `/healthz` recovers (200).
+fn slo_section(
+    index: &Arc<C2lshHolder>,
+    file: &Arc<hc_storage::point_file::PointFile>,
+    scheme: &Arc<dyn hc_core::scheme::ApproxScheme>,
+    cache_bytes: usize,
+    queries: &[Vec<f32>],
+    k: usize,
+) {
+    println!("\nSLO arc over the live admin endpoint:");
+    let registry = MetricsRegistry::new();
+    let slo = Arc::new(SloMonitor::new(
+        SloConfig {
+            exactness_target: 0.95,
+            latency_budget_us: 10_000_000, // latency is not under test here
+            fast_window: 32,
+            slow_window: 128,
+            min_events: 16,
+            warn_burn: 1.0,
+            critical_burn: 2.0,
+            ..SloConfig::default()
+        },
+        &registry,
+    ));
+    // Sticky-unreadable faults only: retries never cure them, answers come
+    // back `Degraded { missing }`, and only a scrub repair brings the
+    // exactness burn back down.
+    let injector = Arc::new(FaultInjector::new(
+        Arc::clone(file),
+        FaultConfig {
+            seed: FAULT_SEED,
+            unreadable_rate: 0.25,
+            ..FaultConfig::none()
+        },
+    ));
+    let parts = SharedParts::new(
+        Arc::clone(index) as Arc<dyn CandidateIndex + Send + Sync>,
+        Arc::clone(&injector) as Arc<dyn hc_storage::PageStore>,
+    );
+    let cache = Arc::new(ShardedCompactCache::lru(
+        Arc::clone(scheme),
+        cache_bytes,
+        SHARDS,
+    ));
+    let server = QueryServer::start(
+        parts,
+        cache,
+        ServeConfig {
+            workers: WORKERS,
+            queue_capacity: 256,
+            io_model: IoModel::SSD,
+            slo: Some(Arc::clone(&slo)),
+            ..ServeConfig::default()
+        },
+        &registry,
+    );
+    let admin = server
+        .serve_admin("127.0.0.1:0")
+        .expect("bind admin endpoint");
+    let addr = admin.local_addr();
+
+    let (status, body) = hc_bench::ops::http_get(addr, "/healthz");
+    assert_eq!(status, 200, "pre-burst healthz: {body}");
+    println!("  pre-burst   GET /healthz -> 200 {}", body.trim_end());
+
+    let burst = queries.len().min(64);
+    let faulty = run_closed_loop(&server, &queries[..burst], CLIENTS, k, None);
+    assert!(
+        faulty.degraded > 0,
+        "sticky-unreadable burst produced no degradation"
+    );
+    let (status, body) = hc_bench::ops::http_get(addr, "/healthz");
+    assert_eq!(status, 503, "critical burn must flip /healthz: {body}");
+    println!(
+        "  fault burst GET /healthz -> 503 {} ({}/{} degraded)",
+        body.trim_end(),
+        faulty.degraded,
+        burst
+    );
+    let incident = slo.last_incident_path().expect("flight recorder fired");
+    let incident_body = std::fs::read_to_string(&incident).expect("incident file readable");
+    assert!(incident_body.contains("\"incident_seq\""));
+    assert!(incident_body.contains("\"degraded_traces\""));
+    println!("  incident    {}", incident.display());
+
+    // Heal the dead pages through the same injector the live server reads
+    // from, then serve a clean burst: the fast windows clear and the
+    // both-windows rule drops the state out of Critical.
+    let scrub = Scrubber::default().run(injector.as_ref());
+    assert!(scrub.pages_repaired > 0, "scrub found nothing to repair");
+    let clean = run_closed_loop(&server, &queries[..burst], CLIENTS, k, None);
+    assert_eq!(clean.degraded, 0, "post-scrub burst still degraded");
+    let (status, body) = hc_bench::ops::http_get(addr, "/healthz");
+    assert_eq!(status, 200, "post-scrub healthz must recover: {body}");
+    assert_eq!(slo.state(), SloState::Healthy);
+    println!(
+        "  post-scrub  GET /healthz -> 200 {} ({} pages repaired)",
+        body.trim_end(),
+        scrub.pages_repaired
+    );
+
+    admin.shutdown();
+    server.shutdown();
+
+    let global = MetricsRegistry::global();
+    global
+        .gauge("chaos.slo.incidents")
+        .set(slo.incidents() as f64);
+    global
+        .gauge("chaos.slo.degraded_burst")
+        .set(faulty.degraded as f64);
+    global
+        .gauge("chaos.slo.pages_repaired")
+        .set(scrub.pages_repaired as f64);
 }
 
 /// The same chaos discipline against the §3.6.1 tree path: an iDistance

@@ -39,7 +39,7 @@ use hc_core::histogram::HistogramKind;
 use hc_index::traits::{CandidateIndex, LeafedIndex};
 use hc_index::IDistance;
 use hc_maint::{warm_fill_node_cache, MaintDaemon, WorkloadSampler};
-use hc_obs::MetricsRegistry;
+use hc_obs::{MetricsRegistry, SloConfig, SloMonitor, SloState};
 use hc_query::{MaintenanceConfig, SharedParts, TreeSharedParts};
 use hc_serve::{
     run_closed_loop, LoadReport, QueryServer, ServeConfig, ShardedCompactCache, ShardedNodeCache,
@@ -299,6 +299,12 @@ fn main() {
 /// Pages die under the live serving cache; answers degrade (explicitly,
 /// each one exact over its readable candidates), a scrub repairs the pages
 /// from the replica, and the same burst is exact again.
+///
+/// The whole arc is also watched the way an operator would see it: a shared
+/// [`SloMonitor`] rides both serving phases with the admin endpoint bound,
+/// and `/healthz` — probed over a real `TcpStream` — reads 503 while the
+/// exactness budget burns and 200 again once the scrub has healed the
+/// store and a clean burst has cleared the fast windows.
 #[allow(clippy::too_many_arguments)]
 fn scrub_section(
     dataset: &Arc<hc_core::dataset::Dataset>,
@@ -319,7 +325,23 @@ fn scrub_section(
             ..FaultConfig::none()
         },
     ));
-    let serve = |label: &str| -> LoadReport {
+    // One monitor across both serving phases: the Critical state entered
+    // under faults persists into the post-scrub server until clean traffic
+    // clears the fast windows — exactly what an operator's dashboard sees.
+    let slo = Arc::new(SloMonitor::new(
+        SloConfig {
+            exactness_target: 0.95,
+            latency_budget_us: 10_000_000, // latency is not under test here
+            fast_window: 32,
+            slow_window: 96,
+            min_events: 16,
+            warn_burn: 1.0,
+            critical_burn: 2.0,
+            ..SloConfig::default()
+        },
+        registry,
+    ));
+    let serve = |label: &str, healthz_after: u16| -> LoadReport {
         let server = QueryServer::start(
             SharedParts::new(
                 Arc::clone(index) as Arc<dyn CandidateIndex + Send + Sync>,
@@ -330,11 +352,17 @@ fn scrub_section(
                 workers: WORKERS,
                 queue_capacity: 256,
                 sampler: Some(Arc::clone(sampler) as Arc<dyn hc_serve::QuerySampler>),
+                slo: Some(Arc::clone(&slo)),
                 ..ServeConfig::default()
             },
             registry,
         );
+        let admin = server.serve_admin("127.0.0.1:0").expect("bind admin");
         let report = run_closed_loop(&server, queries, CLIENTS, k, None);
+        let (status, body) = hc_bench::ops::http_get(admin.local_addr(), "/healthz");
+        assert_eq!(status, healthz_after, "{label}: GET /healthz body {body}");
+        println!("{label}: GET /healthz -> {status} {}", body.trim_end());
+        admin.shutdown();
         server.shutdown();
         assert_eq!(report.failed, 0, "{label}: storage faults must never Fail");
         // Degraded answers must still be exact over their readable subset.
@@ -361,13 +389,29 @@ fn scrub_section(
         report
     };
 
-    let before = serve("pre-scrub");
+    let before = serve("pre-scrub", 503);
     assert!(
         before.degraded > 0,
         "the fault schedule must actually degrade service before the scrub"
     );
+    let incident = slo.last_incident_path().expect("flight recorder fired");
+    assert!(
+        std::fs::read_to_string(&incident)
+            .expect("incident file readable")
+            .contains("\"degraded_traces\""),
+        "incident file missing degraded traces"
+    );
     let scrub = daemon.scrub_once(injector.as_ref());
-    let after = serve("post-scrub");
+    let after = serve("post-scrub", 200);
+    assert_eq!(slo.state(), SloState::Healthy, "clean burst must recover");
+    assert!(
+        registry
+            .events()
+            .to_vec()
+            .iter()
+            .any(|e| e.kind == "maint.scrub"),
+        "scrub must leave an ops event"
+    );
     assert!(scrub.pages_repaired > 0, "scrub repaired nothing");
     assert!(scrub.is_clean(), "scrub left unrepaired pages: {scrub:?}");
     assert_eq!(

@@ -125,8 +125,8 @@ fn main() {
     let registry = MetricsRegistry::global();
 
     println!(
-        "{:<8} {:>9} {:>10} {:>10} {:>10} {:>8} {:>9}",
-        "workers", "qps", "p50 (ms)", "p95 (ms)", "p99 (ms)", "shed", "ρ_hit"
+        "{:<8} {:>9} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9}",
+        "workers", "qps", "p50 (ms)", "p95 (ms)", "p99 (ms)", "qw99 (ms)", "shed", "ρ_hit"
     );
     let mut qps_by_workers: Vec<(usize, f64)> = Vec::new();
     for &workers in &worker_counts {
@@ -164,16 +164,23 @@ fn main() {
         }
 
         println!(
-            "{:<8} {:>9.1} {:>10.2} {:>10.2} {:>10.2} {:>7.1}% {:>9.3}",
+            "{:<8} {:>9.1} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>7.1}% {:>9.3}",
             workers,
             report.qps(),
             report.p50_us() as f64 / 1e3,
             report.p95_us() as f64 / 1e3,
             report.p99_us() as f64 / 1e3,
+            report.queue_wait_p99_us() as f64 / 1e3,
             report.shed_rate() * 100.0,
             report.hit_ratio(),
         );
         let label = format!("workers={workers}");
+        registry
+            .gauge_with_label("serve.queue_wait_p50_us", &label)
+            .set(report.queue_wait_p50_us() as f64);
+        registry
+            .gauge_with_label("serve.queue_wait_p99_us", &label)
+            .set(report.queue_wait_p99_us() as f64);
         registry
             .gauge_with_label("serve.qps", &label)
             .set(report.qps());
@@ -253,6 +260,18 @@ fn main() {
         report.timed_out,
         report.p99_us() as f64 / 1e3,
     );
+    println!(
+        "overload: queue wait p50 {:.1} ms / p99 {:.1} ms, deadline slack p05 {:.1} ms / p50 {:.1} ms",
+        report.queue_wait_p50_us() as f64 / 1e3,
+        report.queue_wait_p99_us() as f64 / 1e3,
+        report.deadline_slack_p05_us() as f64 / 1e3,
+        report.deadline_slack_p50_us() as f64 / 1e3,
+    );
+    // Deadlines shed work at dequeue but never cancel a query mid-service,
+    // so slack can go negative for answers that started near the wire —
+    // bounded by one service time past the deadline, which the p99 bound
+    // above already constrains. Nothing to assert here beyond that; the
+    // slack percentiles are the observability deliverable.
     assert!(
         report.shed_rate() > 0.0,
         "2.5× overload into a 16-deep queue must shed"
@@ -278,6 +297,12 @@ fn main() {
     registry
         .gauge_with_label("serve.p99_us", "overload")
         .set(report.p99_us() as f64);
+    registry
+        .gauge_with_label("serve.queue_wait_p99_us", "overload")
+        .set(report.queue_wait_p99_us() as f64);
+    registry
+        .gauge_with_label("serve.deadline_slack_p05_us", "overload")
+        .set(report.deadline_slack_p05_us() as f64);
 
     // --- Tree-backed serving: the §3.6.1 engine behind the same shell. ---
     // Four workers share one ShardedNodeCache; every concurrent answer must

@@ -12,6 +12,7 @@
 //! experiment-by-experiment in EXPERIMENTS.md.
 
 pub mod experiments;
+pub mod ops;
 pub mod report;
 pub mod world;
 

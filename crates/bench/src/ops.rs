@@ -1,0 +1,35 @@
+//! Tiny ops-plane client for the bench binaries: fetch an admin route from
+//! a live [`hc_serve::AdminServer`] over a raw `TcpStream` and return the
+//! parsed status code + body. The benches use this to assert health *the
+//! way a load balancer would* — over the wire, not by peeking at the
+//! monitor object.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Blocking HTTP/1.1 GET against `addr`; returns `(status, body)`.
+/// Panics on any transport failure — in a bench, an unreachable admin
+/// endpoint *is* the bug.
+pub fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect admin endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read response (Connection: close)");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("HTTP status line")
+        .parse()
+        .expect("numeric status code");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}

@@ -49,6 +49,14 @@ pub trait ConcurrentPointCache: Send + Sync {
     /// `&self` (not `&mut`): concurrent caches guard their state internally.
     /// The default is a no-op.
     fn bind_obs(&self, _registry: &MetricsRegistry) {}
+
+    /// The cache generation currently serving — 0 for caches whose
+    /// contents never get replaced wholesale; swappable wrappers bump it
+    /// on every hot swap. Request traces record this so a latency outlier
+    /// can be pinned to the generation (cold vs warmed) that served it.
+    fn generation(&self) -> u64 {
+        0
+    }
 }
 
 /// Adapter: present an `Arc<dyn ConcurrentPointCache>` as a [`PointCache`]
@@ -132,6 +140,13 @@ pub trait ConcurrentNodeCache: Send + Sync {
     /// Register counters/gauges. `&self`: concurrent caches guard their
     /// state internally. The default is a no-op.
     fn bind_obs(&self, _registry: &MetricsRegistry) {}
+
+    /// The cache generation currently serving — 0 unless a swappable
+    /// wrapper bumps it on hot swap (see
+    /// [`ConcurrentPointCache::generation`]).
+    fn generation(&self) -> u64 {
+        0
+    }
 }
 
 /// Adapter: present an `Arc<dyn ConcurrentNodeCache>` as a [`NodeCache`] so

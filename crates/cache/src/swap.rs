@@ -124,6 +124,10 @@ impl ConcurrentPointCache for SwappablePointCache {
         *self.registry.lock().expect("registry lock poisoned") = Some(registry.clone());
         self.current().bind_obs(registry);
     }
+
+    fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
 }
 
 /// A node cache whose backing generation can be hot-swapped — the
@@ -205,6 +209,10 @@ impl ConcurrentNodeCache for SwappableNodeCache {
     fn bind_obs(&self, registry: &MetricsRegistry) {
         *self.registry.lock().expect("registry lock poisoned") = Some(registry.clone());
         self.current().bind_obs(registry);
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 }
 

@@ -54,6 +54,7 @@ pub struct RebuildReport {
 
 /// `maint.*` metric handles (no-ops on a disabled registry).
 struct MaintObs {
+    registry: MetricsRegistry,
     rebuilds: Counter,
     rebuild_us: Histogram,
     generation: Gauge,
@@ -68,6 +69,7 @@ struct MaintObs {
 impl MaintObs {
     fn bind(registry: &MetricsRegistry) -> Self {
         Self {
+            registry: registry.clone(),
             rebuilds: registry.counter("maint.rebuilds"),
             rebuild_us: registry.histogram("maint.rebuild_us"),
             generation: registry.gauge("maint.generation"),
@@ -163,6 +165,14 @@ impl MaintDaemon {
         self.obs.generation.set(generation as f64);
         self.obs.warm_filled.add(warm_filled as u64);
         self.obs.rebuild_us.record(duration.as_micros() as u64);
+        self.obs.registry.event(
+            "maint.rebuild",
+            &format!(
+                "generation {generation}: window {} -> warm-filled {warm_filled} in {:.1}ms",
+                window.len(),
+                duration.as_secs_f64() * 1e3
+            ),
+        );
         Some(RebuildReport {
             generation,
             window: window.len(),
@@ -180,6 +190,13 @@ impl MaintDaemon {
         self.obs.scrub_scanned.add(report.pages_scanned);
         self.obs.scrub_repaired.add(report.pages_repaired);
         self.obs.scrub_unrepairable.add(report.pages_unrepairable);
+        self.obs.registry.event(
+            "maint.scrub",
+            &format!(
+                "scanned {} repaired {} unrepairable {}",
+                report.pages_scanned, report.pages_repaired, report.pages_unrepairable
+            ),
+        );
         report
     }
 

@@ -1,0 +1,133 @@
+//! Bounded operational event log.
+//!
+//! Metrics say *how much*; traces say *what one request did*; events say
+//! *what the operators did* — cache rebuilds, hot swaps, scrubs, SLO state
+//! transitions. The log is a small mutex-guarded ring (events are rare:
+//! tens per run, not per query), timestamped relative to log creation so
+//! entries order and diff cleanly without a wall clock.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default event retention.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// One operational event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpsEvent {
+    /// Microseconds since the log was created.
+    pub at_us: u64,
+    /// Dotted kind, e.g. `maint.rebuild`, `slo.transition`.
+    pub kind: String,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+/// Bounded ring of [`OpsEvent`]s; capacity 0 (via [`EventLog::disabled`])
+/// drops everything.
+#[derive(Debug)]
+pub struct EventLog {
+    ring: Mutex<VecDeque<OpsEvent>>,
+    capacity: usize,
+    epoch: Instant,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1 << 12))),
+            capacity: capacity.min(1 << 12),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A log that drops everything (for the noop registry).
+    pub fn disabled() -> Self {
+        Self::with_capacity(0)
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append an event, evicting the oldest once full.
+    pub fn record(&self, kind: &str, detail: &str) {
+        if self.capacity == 0 {
+            return;
+        }
+        let at_us = self.epoch.elapsed().as_micros() as u64;
+        let mut ring = self.ring.lock().expect("event log poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(OpsEvent {
+            at_us,
+            kind: kind.to_owned(),
+            detail: detail.to_owned(),
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("event log poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&self) {
+        self.ring.lock().expect("event log poisoned").clear();
+    }
+
+    /// Copy out the retained events, oldest first.
+    pub fn to_vec(&self) -> Vec<OpsEvent> {
+        self.ring
+            .lock()
+            .expect("event log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_retained_in_order_with_monotone_timestamps() {
+        let log = EventLog::with_capacity(8);
+        log.record("maint.rebuild", "generation 1");
+        log.record("maint.scrub", "repaired 3 pages");
+        let events = log.to_vec();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "maint.rebuild");
+        assert_eq!(events[1].kind, "maint.scrub");
+        assert!(events[0].at_us <= events[1].at_us);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = EventLog::with_capacity(2);
+        log.record("a", "");
+        log.record("b", "");
+        log.record("c", "");
+        let events = log.to_vec();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn disabled_log_drops_everything() {
+        let log = EventLog::disabled();
+        log.record("x", "y");
+        assert!(log.is_empty());
+    }
+}

@@ -7,28 +7,48 @@
 
 use std::fmt::Write;
 
+use crate::events::OpsEvent;
 use crate::metrics::HistogramSnapshot;
 use crate::registry::{MetricId, RegistrySnapshot};
-use crate::trace::QueryTrace;
+use crate::trace::RequestTrace;
 
 /// Prometheus metric name: dots become underscores.
 fn prom_name(id: &MetricId) -> String {
     id.name.replace(['.', '-'], "_")
 }
 
-fn prom_series(id: &MetricId, extra: Option<(&str, &str)>) -> String {
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped inside the quotes.
+fn prom_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one exposition line: `name<suffix>{labels} value`. The suffix
+/// (`_count`, `_sum`, `_max`) attaches to the *name*, before the label
+/// braces — `phase_bounds_count{series="x"}`, never
+/// `phase_bounds{series="x"}_count`, which is invalid exposition format.
+fn prom_series(id: &MetricId, suffix: &str, extra: Option<(&str, &str)>) -> String {
     let name = prom_name(id);
     let mut labels: Vec<String> = Vec::new();
     if let Some(label) = &id.label {
-        labels.push(format!("series=\"{}\"", label.replace('"', "'")));
+        labels.push(format!("series=\"{}\"", prom_label_value(label)));
     }
     if let Some((k, v)) = extra {
-        labels.push(format!("{k}=\"{v}\""));
+        labels.push(format!("{k}=\"{}\"", prom_label_value(v)));
     }
     if labels.is_empty() {
-        name
+        format!("{name}{suffix}")
     } else {
-        format!("{name}{{{}}}", labels.join(","))
+        format!("{name}{suffix}{{{}}}", labels.join(","))
     }
 }
 
@@ -42,7 +62,7 @@ pub fn to_prometheus(snap: &RegistrySnapshot) -> String {
             writeln!(out, "# TYPE {} counter", prom_name(id)).expect("write");
             last_name.clone_from(&id.name);
         }
-        writeln!(out, "{} {value}", prom_series(id, None)).expect("write");
+        writeln!(out, "{} {value}", prom_series(id, "", None)).expect("write");
     }
     last_name.clear();
     for (id, value) in &snap.gauges {
@@ -50,7 +70,7 @@ pub fn to_prometheus(snap: &RegistrySnapshot) -> String {
             writeln!(out, "# TYPE {} gauge", prom_name(id)).expect("write");
             last_name.clone_from(&id.name);
         }
-        writeln!(out, "{} {value}", prom_series(id, None)).expect("write");
+        writeln!(out, "{} {value}", prom_series(id, "", None)).expect("write");
     }
     last_name.clear();
     for (id, h) in &snap.histograms {
@@ -62,13 +82,13 @@ pub fn to_prometheus(snap: &RegistrySnapshot) -> String {
             writeln!(
                 out,
                 "{} {v}",
-                prom_series(id, Some(("quantile", &q.to_string())))
+                prom_series(id, "", Some(("quantile", &q.to_string())))
             )
             .expect("write");
         }
-        writeln!(out, "{}_count {}", prom_series(id, None), h.count).expect("write");
-        writeln!(out, "{}_sum {}", prom_series(id, None), h.sum).expect("write");
-        writeln!(out, "{}_max {}", prom_series(id, None), h.max).expect("write");
+        writeln!(out, "{} {}", prom_series(id, "_count", None), h.count).expect("write");
+        writeln!(out, "{} {}", prom_series(id, "_sum", None), h.sum).expect("write");
+        writeln!(out, "{} {}", prom_series(id, "_max", None), h.max).expect("write");
     }
     out
 }
@@ -133,12 +153,16 @@ fn json_histogram(h: &HistogramSnapshot) -> String {
     )
 }
 
-fn json_trace(t: &QueryTrace) -> String {
+fn json_trace(t: &RequestTrace) -> String {
     format!(
-        "{{\"seq\":{},\"candidates\":{},\"cache_hits\":{},\"pruned\":{},\"true_results\":{},\
-         \"c_refine\":{},\"fetched\":{},\"io_pages\":{},\"gen_ns\":{},\"reduce_ns\":{},\
-         \"refine_ns\":{},\"rho_hit\":{},\"rho_prune\":{},\"modeled_response_secs\":{}}}",
+        "{{\"seq\":{},\"outcome\":\"{}\",\"candidates\":{},\"cache_hits\":{},\"pruned\":{},\
+         \"true_results\":{},\"c_refine\":{},\"fetched\":{},\"io_pages\":{},\"gen_ns\":{},\
+         \"reduce_ns\":{},\"refine_ns\":{},\"queue_wait_us\":{},\"total_us\":{},\"worker\":{},\
+         \"cache_generation\":{},\"pages_retried\":{},\"fault_excluded\":{},\"missing\":{},\
+         \"has_deadline\":{},\"deadline_slack_us\":{},\"rho_hit\":{},\"rho_prune\":{},\
+         \"modeled_response_secs\":{}}}",
         t.seq,
+        t.outcome.as_str(),
         t.candidates,
         t.cache_hits,
         t.pruned,
@@ -149,10 +173,41 @@ fn json_trace(t: &QueryTrace) -> String {
         t.gen_ns,
         t.reduce_ns,
         t.refine_ns,
+        t.queue_wait_us,
+        t.total_us,
+        t.worker,
+        t.cache_generation,
+        t.pages_retried,
+        t.fault_excluded,
+        t.missing,
+        t.has_deadline,
+        t.deadline_slack_us,
         json_f64(t.rho_hit()),
         json_f64(t.rho_prune()),
         json_f64(t.modeled_response_secs()),
     )
+}
+
+fn json_event(e: &OpsEvent) -> String {
+    format!(
+        "{{\"at_us\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}",
+        e.at_us,
+        json_escape(&e.kind),
+        json_escape(&e.detail)
+    )
+}
+
+/// Render a slice of traces as a JSON array (used by `/tracez` and the
+/// incident file).
+pub fn traces_to_json(traces: &[RequestTrace]) -> String {
+    let items: Vec<String> = traces.iter().map(json_trace).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Render a slice of ops events as a JSON array.
+pub fn events_to_json(events: &[OpsEvent]) -> String {
+    let items: Vec<String> = events.iter().map(json_event).collect();
+    format!("[{}]", items.join(","))
 }
 
 /// Render a snapshot as a single JSON object:
@@ -164,12 +219,13 @@ fn json_trace(t: &QueryTrace) -> String {
 ///   "histograms": [{"name": "...", "count": 0, "sum": 0, "mean": 0.0,
 ///                   "min": 0, "p50": 0, "p95": 0, "p99": 0, "max": 0,
 ///                   "buckets": [[value, count]]}],
-///   "slow_queries": [{"seq": 0, "candidates": 0, ...}]
+///   "slow_queries": [{"seq": 0, "outcome": "done", ...}],
+///   "events": [{"at_us": 0, "kind": "...", "detail": "..."}]
 /// }
 /// ```
 ///
 /// `slow_queries` holds the `slow_query_limit` worst retained traces by
-/// modeled response time.
+/// end-to-end latency (wall time when served, modeled time standalone).
 pub fn to_json(snap: &RegistrySnapshot, slow_query_limit: usize) -> String {
     let counters: Vec<String> = snap
         .counters
@@ -186,26 +242,66 @@ pub fn to_json(snap: &RegistrySnapshot, slow_query_limit: usize) -> String {
         .iter()
         .map(|(id, h)| format!("{{{},{}}}", json_id(id), json_histogram(h)))
         .collect();
-    let mut slow: Vec<&QueryTrace> = snap.traces.iter().collect();
+    let mut slow: Vec<&RequestTrace> = snap.traces.iter().collect();
     slow.sort_by(|a, b| {
-        b.modeled_response_secs()
-            .partial_cmp(&a.modeled_response_secs())
+        b.latency_secs()
+            .partial_cmp(&a.latency_secs())
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     slow.truncate(slow_query_limit);
     let traces: Vec<String> = slow.iter().map(|t| json_trace(t)).collect();
+    let events: Vec<String> = snap.events.iter().map(json_event).collect();
     format!(
-        "{{\n\"counters\":[{}],\n\"gauges\":[{}],\n\"histograms\":[{}],\n\"slow_queries\":[{}]\n}}\n",
+        "{{\n\"counters\":[{}],\n\"gauges\":[{}],\n\"histograms\":[{}],\n\"slow_queries\":[{}],\n\"events\":[{}]\n}}\n",
         counters.join(","),
         gauges.join(","),
         histograms.join(","),
-        traces.join(",")
+        traces.join(","),
+        events.join(",")
+    )
+}
+
+/// Render the flight-recorder incident file: the full snapshot plus the
+/// `trace_limit` worst traces by latency and by degradation, and the
+/// recent ops events. Schema (see DESIGN.md §12):
+///
+/// ```json
+/// {
+///   "incident_seq": 0,
+///   "snapshot": { ...to_json object... },
+///   "slow_traces": [...],
+///   "degraded_traces": [...]
+/// }
+/// ```
+pub fn to_incident_json(snap: &RegistrySnapshot, seq: u64, trace_limit: usize) -> String {
+    let mut by_latency: Vec<&RequestTrace> = snap.traces.iter().collect();
+    by_latency.sort_by(|a, b| {
+        b.latency_secs()
+            .partial_cmp(&a.latency_secs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    by_latency.truncate(trace_limit);
+    let mut degraded: Vec<&RequestTrace> = snap
+        .traces
+        .iter()
+        .filter(|t| t.missing > 0 || !t.outcome.is_answered())
+        .collect();
+    degraded.sort_by_key(|t| std::cmp::Reverse(t.missing));
+    degraded.truncate(trace_limit);
+    let slow_json: Vec<String> = by_latency.iter().map(|t| json_trace(t)).collect();
+    let degraded_json: Vec<String> = degraded.iter().map(|t| json_trace(t)).collect();
+    format!(
+        "{{\n\"incident_seq\":{seq},\n\"snapshot\":{},\n\"slow_traces\":[{}],\n\"degraded_traces\":[{}]\n}}\n",
+        to_json(snap, trace_limit).trim_end(),
+        slow_json.join(","),
+        degraded_json.join(",")
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::TraceOutcome;
     use crate::MetricsRegistry;
 
     fn populated() -> RegistrySnapshot {
@@ -217,7 +313,7 @@ mod tests {
         for v in [1u64, 2, 3, 100] {
             h.record(v);
         }
-        r.trace(QueryTrace {
+        r.trace(RequestTrace {
             seq: 1,
             candidates: 10,
             cache_hits: 4,
@@ -225,6 +321,7 @@ mod tests {
             modeled_refine_secs: 0.5,
             ..Default::default()
         });
+        r.event("maint.rebuild", "generation 1");
         r.snapshot()
     }
 
@@ -240,6 +337,34 @@ mod tests {
     }
 
     #[test]
+    fn labeled_histogram_suffixes_attach_to_the_name() {
+        let r = MetricsRegistry::new();
+        r.histogram_with_label("phase.bounds", "worker0").record(5);
+        let text = to_prometheus(&r.snapshot());
+        assert!(
+            text.contains("phase_bounds_count{series=\"worker0\"} 1"),
+            "suffix must come before the label braces, got:\n{text}"
+        );
+        assert!(text.contains("phase_bounds_sum{series=\"worker0\"} 5"));
+        assert!(text.contains("phase_bounds_max{series=\"worker0\"} 5"));
+        assert!(
+            !text.contains("}_count") && !text.contains("}_sum") && !text.contains("}_max"),
+            "no suffix may trail the closing brace:\n{text}"
+        );
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        let r = MetricsRegistry::new();
+        r.counter_with_label("c", "a\\b\"c\nd").inc();
+        let text = to_prometheus(&r.snapshot());
+        assert!(
+            text.contains(r#"c{series="a\\b\"c\nd"} 1"#),
+            "expected escaped label value, got:\n{text}"
+        );
+    }
+
+    #[test]
     fn json_is_parseable_shape() {
         let json = to_json(&populated(), 8);
         // Hand-rolled structural checks (no serde available offline).
@@ -250,6 +375,9 @@ mod tests {
         assert!(json.contains("\"p50\":"));
         assert!(json.contains("\"buckets\":[["));
         assert!(json.contains("\"slow_queries\":[{\"seq\":1"));
+        assert!(json.contains("\"outcome\":\"done\""));
+        assert!(json.contains("\"events\":[{\"at_us\":"));
+        assert!(json.contains("maint.rebuild"));
         // Balanced braces/brackets as a cheap well-formedness proxy.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -267,7 +395,7 @@ mod tests {
     fn slow_query_limit_truncates() {
         let r = MetricsRegistry::new();
         for seq in 0..10 {
-            r.trace(QueryTrace {
+            r.trace(RequestTrace {
                 seq,
                 modeled_refine_secs: seq as f64,
                 ..Default::default()
@@ -277,5 +405,58 @@ mod tests {
         assert!(json.contains("\"seq\":9"));
         assert!(json.contains("\"seq\":8"));
         assert!(!json.contains("\"seq\":3"));
+    }
+
+    #[test]
+    fn incident_json_ranks_slow_and_degraded_separately() {
+        let r = MetricsRegistry::new();
+        r.trace(RequestTrace {
+            seq: 1,
+            total_us: 9_000_000,
+            ..Default::default()
+        });
+        r.trace(RequestTrace {
+            seq: 2,
+            total_us: 100,
+            missing: 7,
+            outcome: TraceOutcome::Degraded,
+            ..Default::default()
+        });
+        r.trace(RequestTrace {
+            seq: 3,
+            total_us: 50,
+            outcome: TraceOutcome::QueueFull,
+            ..Default::default()
+        });
+        let body = to_incident_json(&r.snapshot(), 4, 2);
+        assert!(body.contains("\"incident_seq\":4"));
+        assert!(body.contains("\"snapshot\":{"));
+        // Slowest is seq 1; degraded list holds seq 2 (missing) and seq 3
+        // (unanswered) but not seq 1.
+        let slow_part = body.split("\"slow_traces\":").nth(1).unwrap();
+        assert!(slow_part.starts_with("[{\"seq\":1"));
+        let degraded_part = body.split("\"degraded_traces\":").nth(1).unwrap();
+        assert!(degraded_part.contains("\"seq\":2"));
+        assert!(degraded_part.contains("\"seq\":3"));
+        assert_eq!(body.matches('{').count(), body.matches('}').count());
+    }
+
+    #[test]
+    fn trace_array_rendering_round_trips_outcomes() {
+        let json = traces_to_json(&[
+            RequestTrace {
+                seq: 5,
+                outcome: TraceOutcome::TimedOut,
+                ..Default::default()
+            },
+            RequestTrace {
+                seq: 6,
+                outcome: TraceOutcome::Failed,
+                ..Default::default()
+            },
+        ]);
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"outcome\":\"timed_out\""));
+        assert!(json.contains("\"outcome\":\"failed\""));
     }
 }

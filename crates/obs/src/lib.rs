@@ -23,17 +23,27 @@
 //!   log-bucketed histogram core (p50/p95/p99/max, mergeable snapshots),
 //! * [`registry`] — [`MetricsRegistry`], named registration + snapshots,
 //! * [`span`] — RAII phase timers ([`span!`]) feeding a histogram,
-//! * [`trace`] — bounded ring buffer of per-query [`trace::QueryTrace`]
-//!   events for post-hoc inspection of slow queries,
-//! * [`export`] — Prometheus-text and JSON rendering of a snapshot.
+//! * [`trace`] — bounded ring buffer of end-to-end
+//!   [`trace::RequestTrace`] records (queue wait, worker, cache
+//!   generation, fault annotations, deadline slack, outcome),
+//! * [`events`] — bounded log of operational events (rebuilds, swaps,
+//!   scrubs, SLO transitions),
+//! * [`slo`] — sliding multi-window burn-rate monitor
+//!   ([`slo::SloMonitor`]) with a Critical-transition flight recorder,
+//! * [`export`] — Prometheus-text and JSON rendering of a snapshot,
+//!   including `/tracez`-style trace arrays and incident files.
 
+pub mod events;
 pub mod export;
 pub mod metrics;
 pub mod registry;
+pub mod slo;
 pub mod span;
 pub mod trace;
 
+pub use events::{EventLog, OpsEvent};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricId, MetricsRegistry, RegistrySnapshot};
+pub use slo::{SloConfig, SloMonitor, SloObjective, SloOutcome, SloState};
 pub use span::SpanTimer;
-pub use trace::{QueryTrace, TraceLog};
+pub use trace::{RequestTrace, TraceLog, TraceOutcome};

@@ -9,8 +9,9 @@ use std::collections::BTreeMap;
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::events::{EventLog, OpsEvent};
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
-use crate::trace::{QueryTrace, TraceLog};
+use crate::trace::{RequestTrace, TraceLog};
 
 /// A metric series identifier: a dotted name (`storage.pages_read`) plus an
 /// optional free-form label rendered Prometheus-style
@@ -43,6 +44,7 @@ struct Inner {
     gauges: Mutex<BTreeMap<MetricId, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<MetricId, Arc<crate::metrics::HistogramCore>>>,
     traces: TraceLog,
+    events: EventLog,
 }
 
 /// The registry. Cloning shares the underlying store; a registry from
@@ -145,9 +147,9 @@ impl MetricsRegistry {
         }
     }
 
-    /// Record a per-query trace event (bounded ring; oldest dropped).
+    /// Record a per-request trace event (bounded ring; oldest dropped).
     #[inline]
-    pub fn trace(&self, t: QueryTrace) {
+    pub fn trace(&self, t: RequestTrace) {
         if let Some(inner) = &self.inner {
             inner.traces.record(t);
         }
@@ -159,6 +161,22 @@ impl MetricsRegistry {
         match &self.inner {
             None => EMPTY.get_or_init(TraceLog::disabled),
             Some(inner) => &inner.traces,
+        }
+    }
+
+    /// Record an operational event (rebuild, swap, scrub, SLO transition).
+    pub fn event(&self, kind: &str, detail: &str) {
+        if let Some(inner) = &self.inner {
+            inner.events.record(kind, detail);
+        }
+    }
+
+    /// The ops event log (empty and inert for a noop registry).
+    pub fn events(&self) -> &EventLog {
+        static EMPTY: OnceLock<EventLog> = OnceLock::new();
+        match &self.inner {
+            None => EMPTY.get_or_init(EventLog::disabled),
+            Some(inner) => &inner.events,
         }
     }
 
@@ -195,6 +213,7 @@ impl MetricsRegistry {
             gauges,
             histograms,
             traces: self.traces().to_vec(),
+            events: self.events().to_vec(),
         }
     }
 
@@ -229,6 +248,7 @@ impl MetricsRegistry {
             Histogram(Some(Arc::clone(h))).reset();
         }
         inner.traces.clear();
+        inner.events.clear();
     }
 }
 
@@ -238,7 +258,8 @@ pub struct RegistrySnapshot {
     pub counters: Vec<(MetricId, u64)>,
     pub gauges: Vec<(MetricId, f64)>,
     pub histograms: Vec<(MetricId, HistogramSnapshot)>,
-    pub traces: Vec<QueryTrace>,
+    pub traces: Vec<RequestTrace>,
+    pub events: Vec<OpsEvent>,
 }
 
 impl RegistrySnapshot {
@@ -387,12 +408,25 @@ mod tests {
         c.inc();
         g.set(1.0);
         h.record(1);
-        r.trace(QueryTrace::default());
+        r.trace(RequestTrace::default());
+        r.event("maint.rebuild", "ignored");
         let snap = r.snapshot();
         assert!(snap.counters.is_empty());
         assert!(snap.gauges.is_empty());
         assert!(snap.histograms.is_empty());
         assert!(snap.traces.is_empty());
+        assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn events_flow_into_snapshots_and_reset_clears_them() {
+        let r = MetricsRegistry::new();
+        r.event("maint.swap", "generation 3");
+        let snap = r.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].kind, "maint.swap");
+        r.reset();
+        assert!(r.snapshot().events.is_empty());
     }
 
     #[test]

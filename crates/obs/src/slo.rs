@@ -1,0 +1,612 @@
+//! Sliding multi-window SLO burn-rate monitor and flight recorder.
+//!
+//! The serving layer feeds one [`SloOutcome`] per terminal request into an
+//! [`SloMonitor`], which tracks three objectives:
+//!
+//! * **availability** — fraction of requests answered (exact or degraded);
+//!   shed, timed-out, and failed requests burn this budget,
+//! * **exactness** — fraction of *answered* requests that were exact;
+//!   degraded answers burn this budget,
+//! * **latency** — fraction of answered requests inside the latency
+//!   budget; slow answers burn this budget.
+//!
+//! Each objective is evaluated over two sliding windows — a small *fast*
+//! window that reacts within tens of requests and a larger *slow* window
+//! that filters one-off blips. Windows are **count-based** (last N
+//! requests), not time-based: the benches replay fixed query sets, and a
+//! deterministic window makes the Healthy→Critical→Healthy arcs they
+//! assert reproducible regardless of machine speed.
+//!
+//! The burn rate of a window is `observed error rate / error budget`
+//! where the budget is `1 − target` (the standard multi-window multi-
+//! burn-rate alerting construction): burn 1 means errors arrive exactly
+//! at the sustainable rate, burn ≥ `critical_burn` in **both** windows
+//! means the budget is being torched right now *and* it is not a blip.
+//! The overall state is the worst objective's state. Recovery is cheap by
+//! construction: once errors stop, the fast window clears within
+//! `fast_window` requests and the state leaves Critical.
+//!
+//! On each transition *into* Critical the monitor acts as a flight
+//! recorder: it dumps `incident-<seq>.json` — full registry snapshot,
+//! the worst retained traces by latency and by degradation, and the
+//! recent ops events — into the metrics directory, so the state of the
+//! system at the moment it went unhealthy survives the incident.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::export;
+use crate::metrics::Gauge;
+use crate::registry::MetricsRegistry;
+
+/// Health of one objective, or of the whole monitor (worst objective).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum SloState {
+    #[default]
+    Healthy,
+    Warn,
+    Critical,
+}
+
+impl SloState {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SloState::Healthy => "healthy",
+            SloState::Warn => "warn",
+            SloState::Critical => "critical",
+        }
+    }
+}
+
+/// The three objectives the monitor tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloObjective {
+    Availability,
+    Exactness,
+    Latency,
+}
+
+impl SloObjective {
+    pub const ALL: [SloObjective; 3] = [
+        SloObjective::Availability,
+        SloObjective::Exactness,
+        SloObjective::Latency,
+    ];
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SloObjective::Availability => "availability",
+            SloObjective::Exactness => "exactness",
+            SloObjective::Latency => "latency",
+        }
+    }
+}
+
+/// Monitor configuration. Defaults suit the bench serve paths: strict
+/// enough that a fault burst trips Critical within a fast window, loose
+/// enough that healthy traffic never does.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Target fraction of requests answered (exact or degraded).
+    pub availability_target: f64,
+    /// Target fraction of answered requests that are exact.
+    pub exactness_target: f64,
+    /// Latency budget per answered request, µs.
+    pub latency_budget_us: u64,
+    /// Target fraction of answered requests inside the budget.
+    pub latency_target: f64,
+    /// Fast (blip-detection) window length, requests.
+    pub fast_window: usize,
+    /// Slow (sustained-burn) window length, requests.
+    pub slow_window: usize,
+    /// Minimum observations before leaving Healthy — avoids alerting off
+    /// the first unlucky request.
+    pub min_events: usize,
+    /// Burn rate (in both windows) at or above which an objective is Warn.
+    pub warn_burn: f64,
+    /// Burn rate (in both windows) at or above which it is Critical.
+    pub critical_burn: f64,
+    /// Where incident files go; `None` disables the flight recorder.
+    pub incident_dir: Option<PathBuf>,
+    /// How many worst traces (per ranking) an incident file captures.
+    pub incident_traces: usize,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self {
+            availability_target: 0.99,
+            exactness_target: 0.95,
+            latency_budget_us: 250_000,
+            latency_target: 0.95,
+            fast_window: 64,
+            slow_window: 512,
+            min_events: 16,
+            warn_burn: 2.0,
+            critical_burn: 6.0,
+            incident_dir: Some(default_incident_dir()),
+            incident_traces: 16,
+        }
+    }
+}
+
+/// The default incident directory: `$HC_METRICS_DIR` or `target/metrics`
+/// (same resolution the bench report writer uses).
+pub fn default_incident_dir() -> PathBuf {
+    std::env::var_os("HC_METRICS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("metrics"))
+}
+
+/// What the serving layer reports about one terminal request.
+#[derive(Debug, Clone, Copy)]
+pub struct SloOutcome {
+    /// Did the request get an answer (exact or degraded)?
+    pub answered: bool,
+    /// Was the answer degraded? (Ignored when `answered` is false.)
+    pub degraded: bool,
+    /// End-to-end latency, µs. (Ignored when `answered` is false.)
+    pub latency_us: u64,
+}
+
+/// One sliding count-based error window: a ring of error bits with a
+/// running error count, O(1) per observation.
+#[derive(Debug)]
+struct ErrorWindow {
+    ring: VecDeque<bool>,
+    capacity: usize,
+    errors: usize,
+}
+
+impl ErrorWindow {
+    fn new(capacity: usize) -> Self {
+        Self {
+            ring: VecDeque::with_capacity(capacity),
+            capacity: capacity.max(1),
+            errors: 0,
+        }
+    }
+
+    fn push(&mut self, error: bool) {
+        if self.ring.len() == self.capacity && self.ring.pop_front() == Some(true) {
+            self.errors -= 1;
+        }
+        self.ring.push_back(error);
+        if error {
+            self.errors += 1;
+        }
+    }
+
+    fn error_rate(&self) -> f64 {
+        if self.ring.is_empty() {
+            0.0
+        } else {
+            self.errors as f64 / self.ring.len() as f64
+        }
+    }
+}
+
+/// Fast + slow windows for one objective.
+#[derive(Debug)]
+struct ObjectiveWindows {
+    fast: ErrorWindow,
+    slow: ErrorWindow,
+    /// Total observations ever (not capped by the windows).
+    seen: usize,
+}
+
+impl ObjectiveWindows {
+    fn new(config: &SloConfig) -> Self {
+        Self {
+            fast: ErrorWindow::new(config.fast_window),
+            slow: ErrorWindow::new(config.slow_window),
+            seen: 0,
+        }
+    }
+
+    fn push(&mut self, error: bool) {
+        self.fast.push(error);
+        self.slow.push(error);
+        self.seen += 1;
+    }
+}
+
+/// Point-in-time burn rates for one objective.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BurnRates {
+    pub fast: f64,
+    pub slow: f64,
+}
+
+struct SloInner {
+    availability: ObjectiveWindows,
+    exactness: ObjectiveWindows,
+    latency: ObjectiveWindows,
+    state: SloState,
+}
+
+/// The monitor. `observe` is called once per terminal request from the
+/// serve worker — one short uncontended mutex hold, same discipline as the
+/// trace ring.
+pub struct SloMonitor {
+    config: SloConfig,
+    inner: Mutex<SloInner>,
+    registry: MetricsRegistry,
+    incident_seq: AtomicU64,
+    state_gauge: Gauge,
+    burn_gauges: Vec<(SloObjective, Gauge, Gauge)>,
+    transitions: crate::metrics::Counter,
+}
+
+impl std::fmt::Debug for SloMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloMonitor")
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+impl SloMonitor {
+    /// Create a monitor reporting into (and flight-recording from)
+    /// `registry`. Gauges: `slo.state` (0/1/2), per-objective
+    /// `slo.burn_fast` / `slo.burn_slow` (labeled by objective). Counter:
+    /// `slo.transitions`.
+    pub fn new(config: SloConfig, registry: &MetricsRegistry) -> Self {
+        let burn_gauges = SloObjective::ALL
+            .iter()
+            .map(|o| {
+                (
+                    *o,
+                    registry.gauge_with_label("slo.burn_fast", o.as_str()),
+                    registry.gauge_with_label("slo.burn_slow", o.as_str()),
+                )
+            })
+            .collect();
+        Self {
+            inner: Mutex::new(SloInner {
+                availability: ObjectiveWindows::new(&config),
+                exactness: ObjectiveWindows::new(&config),
+                latency: ObjectiveWindows::new(&config),
+                state: SloState::Healthy,
+            }),
+            config,
+            registry: registry.clone(),
+            incident_seq: AtomicU64::new(0),
+            state_gauge: registry.gauge("slo.state"),
+            burn_gauges,
+            transitions: registry.counter("slo.transitions"),
+        }
+    }
+
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Feed one terminal request outcome; returns the (possibly new)
+    /// overall state. On a transition into Critical, writes an incident
+    /// file (outside the state lock) and records an ops event.
+    pub fn observe(&self, outcome: SloOutcome) -> SloState {
+        let transition = {
+            let mut inner = self.inner.lock().expect("slo monitor poisoned");
+            inner.availability.push(!outcome.answered);
+            if outcome.answered {
+                inner.exactness.push(outcome.degraded);
+                inner
+                    .latency
+                    .push(outcome.latency_us > self.config.latency_budget_us);
+            }
+            let new_state = self.evaluate_locked(&inner);
+            let old_state = inner.state;
+            inner.state = new_state;
+            self.state_gauge.set(match new_state {
+                SloState::Healthy => 0.0,
+                SloState::Warn => 1.0,
+                SloState::Critical => 2.0,
+            });
+            (old_state != new_state).then_some((old_state, new_state))
+        };
+        // File I/O and event logging happen after the lock is released so
+        // concurrent observers never block on the flight recorder.
+        if let Some((old, new)) = transition {
+            self.transitions.inc();
+            self.registry.event(
+                "slo.transition",
+                &format!("{} -> {}", old.as_str(), new.as_str()),
+            );
+            if new == SloState::Critical {
+                self.record_incident();
+            }
+            new
+        } else {
+            self.state()
+        }
+    }
+
+    /// Overall state right now.
+    pub fn state(&self) -> SloState {
+        self.inner.lock().expect("slo monitor poisoned").state
+    }
+
+    /// Current burn rates for one objective.
+    pub fn burn_rates(&self, objective: SloObjective) -> BurnRates {
+        let inner = self.inner.lock().expect("slo monitor poisoned");
+        let (windows, budget) = self.objective_locked(&inner, objective);
+        BurnRates {
+            fast: windows.fast.error_rate() / budget,
+            slow: windows.slow.error_rate() / budget,
+        }
+    }
+
+    /// Number of incidents recorded so far.
+    pub fn incidents(&self) -> u64 {
+        self.incident_seq.load(Ordering::Relaxed)
+    }
+
+    /// Path the most recent incident file was written to, if any.
+    pub fn last_incident_path(&self) -> Option<PathBuf> {
+        let seq = self.incidents();
+        if seq == 0 {
+            return None;
+        }
+        self.config
+            .incident_dir
+            .as_ref()
+            .map(|d| d.join(format!("incident-{}.json", seq - 1)))
+    }
+
+    fn objective_locked<'a>(
+        &self,
+        inner: &'a SloInner,
+        objective: SloObjective,
+    ) -> (&'a ObjectiveWindows, f64) {
+        match objective {
+            SloObjective::Availability => (
+                &inner.availability,
+                error_budget(self.config.availability_target),
+            ),
+            SloObjective::Exactness => {
+                (&inner.exactness, error_budget(self.config.exactness_target))
+            }
+            SloObjective::Latency => (&inner.latency, error_budget(self.config.latency_target)),
+        }
+    }
+
+    fn evaluate_locked(&self, inner: &SloInner) -> SloState {
+        let mut worst = SloState::Healthy;
+        for objective in SloObjective::ALL {
+            let (windows, budget) = self.objective_locked(inner, objective);
+            let fast = windows.fast.error_rate() / budget;
+            let slow = windows.slow.error_rate() / budget;
+            for (o, fg, sg) in &self.burn_gauges {
+                if *o == objective {
+                    fg.set(fast);
+                    sg.set(slow);
+                }
+            }
+            // Not enough signal yet: stay Healthy rather than alert off
+            // the first unlucky request. The fast window must be full (or
+            // min_events seen, whichever is smaller).
+            if windows.seen < self.config.min_events.min(windows.fast.capacity) {
+                continue;
+            }
+            // Both-windows rule: the fast window proves it is happening
+            // *now*, the slow window proves it is not a blip. A window
+            // that has seen fewer requests than its capacity still votes
+            // with whatever it has — early in a run fast and slow agree.
+            let state = if fast >= self.config.critical_burn && slow >= self.config.critical_burn {
+                SloState::Critical
+            } else if fast >= self.config.warn_burn && slow >= self.config.warn_burn {
+                SloState::Warn
+            } else {
+                SloState::Healthy
+            };
+            worst = worst.max(state);
+        }
+        worst
+    }
+
+    /// Dump the flight-recorder incident file. Failure to write is
+    /// reported as an ops event, never a panic — losing an incident file
+    /// must not take down serving.
+    fn record_incident(&self) {
+        let Some(dir) = &self.config.incident_dir else {
+            self.incident_seq.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let seq = self.incident_seq.fetch_add(1, Ordering::Relaxed);
+        let snap = self.registry.snapshot();
+        let body = export::to_incident_json(&snap, seq, self.config.incident_traces);
+        let path = dir.join(format!("incident-{seq}.json"));
+        let write = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, body));
+        match write {
+            Ok(()) => self
+                .registry
+                .event("slo.incident", &format!("wrote {}", path.display())),
+            Err(e) => self
+                .registry
+                .event("slo.incident", &format!("write failed: {e}")),
+        }
+    }
+}
+
+fn error_budget(target: f64) -> f64 {
+    (1.0 - target).max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(dir: Option<PathBuf>) -> SloConfig {
+        SloConfig {
+            availability_target: 0.9,
+            exactness_target: 0.9,
+            latency_budget_us: 1_000,
+            latency_target: 0.9,
+            fast_window: 8,
+            slow_window: 32,
+            min_events: 4,
+            warn_burn: 1.0,
+            critical_burn: 3.0,
+            incident_dir: dir,
+            incident_traces: 4,
+        }
+    }
+
+    fn ok() -> SloOutcome {
+        SloOutcome {
+            answered: true,
+            degraded: false,
+            latency_us: 100,
+        }
+    }
+
+    fn dropped() -> SloOutcome {
+        SloOutcome {
+            answered: false,
+            degraded: false,
+            latency_us: 0,
+        }
+    }
+
+    fn degraded() -> SloOutcome {
+        SloOutcome {
+            answered: true,
+            degraded: true,
+            latency_us: 100,
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_stays_healthy() {
+        let r = MetricsRegistry::new();
+        let m = SloMonitor::new(config(None), &r);
+        for _ in 0..100 {
+            assert_eq!(m.observe(ok()), SloState::Healthy);
+        }
+        assert_eq!(m.incidents(), 0);
+        assert_eq!(r.snapshot().gauge("slo.state"), Some(0.0));
+    }
+
+    #[test]
+    fn min_events_guard_suppresses_early_alerts() {
+        let r = MetricsRegistry::new();
+        let m = SloMonitor::new(config(None), &r);
+        // First failures arrive before min_events observations: Healthy.
+        assert_eq!(m.observe(dropped()), SloState::Healthy);
+        assert_eq!(m.observe(dropped()), SloState::Healthy);
+        assert_eq!(m.observe(dropped()), SloState::Healthy);
+        // Fourth pushes past min_events with a 100% error rate → Critical.
+        assert_eq!(m.observe(dropped()), SloState::Critical);
+    }
+
+    #[test]
+    fn sustained_degradation_trips_critical_and_recovers() {
+        let r = MetricsRegistry::new();
+        let m = SloMonitor::new(config(None), &r);
+        for _ in 0..32 {
+            m.observe(ok());
+        }
+        assert_eq!(m.state(), SloState::Healthy);
+        // Every answer degraded: exactness error rate 1.0, budget 0.1,
+        // burn 10 in the fast window; the slow window dilutes but climbs
+        // past critical_burn=3 (needs slow error rate ≥ 0.3 over 32).
+        let mut state = m.state();
+        for _ in 0..32 {
+            state = m.observe(degraded());
+        }
+        assert_eq!(state, SloState::Critical);
+        let burn = m.burn_rates(SloObjective::Exactness);
+        assert!(burn.fast >= 3.0, "fast burn {} too low", burn.fast);
+        // Recovery: a fast window of clean answers clears the fast burn,
+        // which drops the both-windows rule below Critical (and below
+        // Warn once the slow window drains too).
+        for _ in 0..64 {
+            state = m.observe(ok());
+        }
+        assert_eq!(state, SloState::Healthy);
+        assert!(
+            r.snapshot().counter("slo.transitions").unwrap_or(0) >= 2,
+            "expected at least enter+exit transitions"
+        );
+    }
+
+    #[test]
+    fn latency_objective_counts_only_answered_requests() {
+        let r = MetricsRegistry::new();
+        let m = SloMonitor::new(config(None), &r);
+        for _ in 0..16 {
+            m.observe(ok());
+        }
+        // Slow answers burn latency budget.
+        let mut state = SloState::Healthy;
+        for _ in 0..16 {
+            state = m.observe(SloOutcome {
+                answered: true,
+                degraded: false,
+                latency_us: 50_000,
+            });
+        }
+        assert_eq!(state, SloState::Critical);
+        let burn = m.burn_rates(SloObjective::Latency);
+        assert!(burn.fast >= 3.0);
+        // Availability stayed clean throughout.
+        assert!(m.burn_rates(SloObjective::Availability).fast < 1e-9);
+    }
+
+    #[test]
+    fn incident_file_written_on_critical_transition() {
+        let dir = std::env::temp_dir().join(format!("hc-slo-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = MetricsRegistry::new();
+        r.counter("serve.completed").add(10);
+        r.event("maint.rebuild", "generation 2");
+        let m = SloMonitor::new(config(Some(dir.clone())), &r);
+        for _ in 0..8 {
+            m.observe(dropped());
+        }
+        assert_eq!(m.state(), SloState::Critical);
+        assert_eq!(m.incidents(), 1);
+        let path = m.last_incident_path().expect("incident path");
+        let body = std::fs::read_to_string(&path).expect("incident file");
+        assert!(body.contains("\"incident_seq\":0"));
+        assert!(body.contains("\"counters\""));
+        assert!(body.contains("serve.completed"));
+        assert!(body.contains("maint.rebuild"));
+        assert!(body.contains("\"slow_traces\""));
+        assert!(body.contains("\"degraded_traces\""));
+        // Re-entering Critical later writes a second file, not an overwrite.
+        for _ in 0..64 {
+            m.observe(ok());
+        }
+        assert_eq!(m.state(), SloState::Healthy);
+        // Needs enough errors that the *slow* window (now full of clean
+        // answers) burns past critical too: 12/32 = 0.375 / 0.1 = 3.75.
+        for _ in 0..12 {
+            m.observe(dropped());
+        }
+        assert_eq!(m.incidents(), 2);
+        assert!(m.last_incident_path().unwrap().ends_with("incident-1.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn burn_gauges_exported_per_objective() {
+        let r = MetricsRegistry::new();
+        let m = SloMonitor::new(config(None), &r);
+        for _ in 0..8 {
+            m.observe(degraded());
+        }
+        let snap = r.snapshot();
+        let fast = snap
+            .gauge_labeled("slo.burn_fast", "exactness")
+            .expect("exactness fast burn gauge");
+        assert!(fast > 1.0);
+        assert_eq!(
+            snap.gauge_labeled("slo.burn_fast", "availability"),
+            Some(0.0)
+        );
+    }
+}

@@ -1,27 +1,77 @@
-//! Bounded per-query trace ring.
+//! Bounded per-request trace ring.
 //!
 //! Aggregates (histograms) answer "how is the pipeline doing"; the trace
-//! ring answers "what did the slow queries actually do". Every query pushes
-//! one fixed-size [`QueryTrace`] record — candidate counts, hit/prune/true
-//! -result splits, pages read, per-phase CPU — into a mutex-guarded ring
-//! that keeps the most recent `capacity` queries. One short uncontended
-//! lock per *query* (not per candidate) keeps this off the hot path.
+//! ring answers "what did the slow requests actually do". Every request
+//! pushes one fixed-size [`RequestTrace`] record into a mutex-guarded ring
+//! that keeps the most recent `capacity` requests. One short uncontended
+//! lock per *request* (not per candidate) keeps this off the hot path.
+//!
+//! A [`RequestTrace`] follows a request through its whole life, not just
+//! the engine's inner phases: queue wait, worker id, cache generation
+//! served, storage fault/retry annotations, deadline slack, and the final
+//! [`TraceOutcome`]. When an engine runs standalone (the experiment
+//! binaries drive `KnnEngine` directly, with no server in front), the
+//! serving-side fields are simply zero — the engine-phase fields carry the
+//! same meaning either way.
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-/// Default ring capacity (records, ~100 B each).
+/// Default ring capacity (records, ~150 B each).
 pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
 
-/// One query's worth of pipeline events. All fields are plain numbers so a
-/// record never allocates.
+/// Hard ceiling on the ring capacity. [`TraceLog::with_capacity`] clamps
+/// both the preallocation *and* the stored capacity to this bound, so the
+/// ring can never grow past it no matter what a caller asks for.
+pub const MAX_TRACE_CAPACITY: usize = 1 << 16;
+
+/// Terminal state of a traced request — the serving layer's
+/// `QueryOutcome` plus `QueueFull` (a request shed at the admission door
+/// still leaves a trace).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Exact top-k answer.
+    #[default]
+    Done,
+    /// Answered, but storage faults cost it candidates (DESIGN.md §10).
+    Degraded,
+    /// Shed on an expired deadline without running.
+    TimedOut,
+    /// Refused at the admission queue.
+    QueueFull,
+    /// Evaluation panicked or the server shut down with it queued.
+    Failed,
+}
+
+impl TraceOutcome {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TraceOutcome::Done => "done",
+            TraceOutcome::Degraded => "degraded",
+            TraceOutcome::TimedOut => "timed_out",
+            TraceOutcome::QueueFull => "queue_full",
+            TraceOutcome::Failed => "failed",
+        }
+    }
+
+    /// Whether the request got an answer (exact or degraded).
+    pub fn is_answered(&self) -> bool {
+        matches!(self, TraceOutcome::Done | TraceOutcome::Degraded)
+    }
+}
+
+/// One request's worth of pipeline events, end to end. All fields are plain
+/// numbers so a record never allocates.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct QueryTrace {
-    /// Monotone per-process query sequence number (assigned by the engine).
+pub struct RequestTrace {
+    /// Monotone per-process sequence number (assigned by the server, or by
+    /// the engine when running standalone).
     pub seq: u64,
-    /// `|C(q)|` — candidates from the index.
+    // --- engine phases (Algorithm 1, or the tree pipeline mapped onto the
+    //     same slots: bounds→gen, traverse→reduce, deferred→refine) ---
+    /// `|C(q)|` — candidates from the index (tree: leaves considered).
     pub candidates: u32,
-    /// Cache hits among candidates.
+    /// Cache hits among candidates (tree: exact + compact node hits).
     pub cache_hits: u32,
     /// Candidates pruned early (`lb > ub_k`).
     pub pruned: u32,
@@ -39,10 +89,37 @@ pub struct QueryTrace {
     pub refine_ns: u64,
     /// Modeled refinement wall-clock seconds (`T_io · io_pages`).
     pub modeled_refine_secs: f64,
+    // --- request lifecycle (zero when the engine runs standalone) ---
+    /// Time the request sat queued before a worker picked it up, µs.
+    pub queue_wait_us: u64,
+    /// Submit-to-terminal wall time, µs (includes queue wait and any
+    /// simulated I/O stall).
+    pub total_us: u64,
+    /// Id of the worker that ran the request.
+    pub worker: u32,
+    /// Cache generation that served the request (bumps on hot swap).
+    pub cache_generation: u64,
+    // --- storage fault annotations (from the fallible page store) ---
+    /// Page reads that were fault-recovery reruns.
+    pub pages_retried: u32,
+    /// Unreadable candidates proven irrelevant by cached bounds — faults
+    /// absorbed without degrading the answer.
+    pub fault_excluded: u32,
+    /// Candidates lost to unreadable pages (non-zero ⇒ `Degraded`).
+    pub missing: u32,
+    // --- deadline ---
+    /// Whether the request carried a deadline.
+    pub has_deadline: bool,
+    /// Budget remaining when the request reached its terminal state, µs;
+    /// negative means the deadline had already passed. Zero (with
+    /// `has_deadline == false`) when no deadline was set.
+    pub deadline_slack_us: i64,
+    /// Terminal state of the request.
+    pub outcome: TraceOutcome,
 }
 
-impl QueryTrace {
-    /// `ρ_hit` of this query.
+impl RequestTrace {
+    /// `ρ_hit` of this request.
     pub fn rho_hit(&self) -> f64 {
         if self.candidates == 0 {
             0.0
@@ -51,7 +128,7 @@ impl QueryTrace {
         }
     }
 
-    /// `ρ_prune` of this query (pruned or confirmed fraction of hits).
+    /// `ρ_prune` of this request (pruned or confirmed fraction of hits).
     pub fn rho_prune(&self) -> f64 {
         if self.cache_hits == 0 {
             0.0
@@ -64,12 +141,22 @@ impl QueryTrace {
     pub fn modeled_response_secs(&self) -> f64 {
         (self.gen_ns + self.reduce_ns + self.refine_ns) as f64 * 1e-9 + self.modeled_refine_secs
     }
+
+    /// Wall latency when served through the server, else the modeled time.
+    /// This is the sort key `/tracez` and the incident file rank by.
+    pub fn latency_secs(&self) -> f64 {
+        if self.total_us > 0 {
+            self.total_us as f64 * 1e-6
+        } else {
+            self.modeled_response_secs()
+        }
+    }
 }
 
 /// The bounded ring. `disabled()` (capacity 0) never stores anything.
 #[derive(Debug)]
 pub struct TraceLog {
-    ring: Mutex<VecDeque<QueryTrace>>,
+    ring: Mutex<VecDeque<RequestTrace>>,
     capacity: usize,
 }
 
@@ -80,9 +167,14 @@ impl Default for TraceLog {
 }
 
 impl TraceLog {
+    /// A ring retaining the last `capacity` records, clamped to
+    /// [`MAX_TRACE_CAPACITY`] — the stored capacity and the preallocation
+    /// are clamped together, so the ring never silently grows past the
+    /// bound it preallocated for.
     pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.min(MAX_TRACE_CAPACITY);
         Self {
-            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1 << 16))),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
             capacity,
         }
     }
@@ -97,7 +189,7 @@ impl TraceLog {
     }
 
     /// Append a record, evicting the oldest once full.
-    pub fn record(&self, t: QueryTrace) {
+    pub fn record(&self, t: RequestTrace) {
         if self.capacity == 0 {
             return;
         }
@@ -121,7 +213,7 @@ impl TraceLog {
     }
 
     /// Copy out the retained records, oldest first.
-    pub fn to_vec(&self) -> Vec<QueryTrace> {
+    pub fn to_vec(&self) -> Vec<RequestTrace> {
         self.ring
             .lock()
             .expect("trace ring poisoned")
@@ -130,14 +222,14 @@ impl TraceLog {
             .collect()
     }
 
-    /// The `n` retained queries scoring highest under `key` — e.g.
-    /// `slowest_by(8, |t| t.modeled_response_secs())` for a slow-query
-    /// report, or keyed on `io_pages` for I/O outliers.
-    pub fn slowest_by<K: FnMut(&QueryTrace) -> f64>(
+    /// The `n` retained requests scoring highest under `key` — e.g.
+    /// `slowest_by(8, |t| t.latency_secs())` for a slow-request report, or
+    /// keyed on `io_pages` for I/O outliers.
+    pub fn slowest_by<K: FnMut(&RequestTrace) -> f64>(
         &self,
         n: usize,
         mut key: K,
-    ) -> Vec<QueryTrace> {
+    ) -> Vec<RequestTrace> {
         let mut all = self.to_vec();
         all.sort_by(|a, b| {
             key(b)
@@ -153,8 +245,8 @@ impl TraceLog {
 mod tests {
     use super::*;
 
-    fn trace(seq: u64, io_pages: u32) -> QueryTrace {
-        QueryTrace {
+    fn trace(seq: u64, io_pages: u32) -> RequestTrace {
+        RequestTrace {
             seq,
             io_pages,
             candidates: 10,
@@ -181,6 +273,16 @@ mod tests {
     }
 
     #[test]
+    fn capacity_is_clamped_in_storage_not_just_preallocation() {
+        let log = TraceLog::with_capacity(MAX_TRACE_CAPACITY + 100);
+        assert_eq!(
+            log.capacity(),
+            MAX_TRACE_CAPACITY,
+            "stored capacity must honor the same clamp as the preallocation"
+        );
+    }
+
+    #[test]
     fn slowest_by_orders_by_key() {
         let log = TraceLog::with_capacity(10);
         for (seq, pages) in [(0, 5), (1, 50), (2, 1), (3, 20)] {
@@ -196,7 +298,7 @@ mod tests {
 
     #[test]
     fn trace_ratios_match_query_stats_semantics() {
-        let t = QueryTrace {
+        let t = RequestTrace {
             candidates: 100,
             cache_hits: 80,
             pruned: 40,
@@ -205,8 +307,32 @@ mod tests {
         };
         assert!((t.rho_hit() - 0.8).abs() < 1e-12);
         assert!((t.rho_prune() - 0.75).abs() < 1e-12);
-        let zero = QueryTrace::default();
+        let zero = RequestTrace::default();
         assert_eq!(zero.rho_hit(), 0.0);
         assert_eq!(zero.rho_prune(), 0.0);
+    }
+
+    #[test]
+    fn latency_prefers_wall_time_over_model() {
+        let modeled_only = RequestTrace {
+            modeled_refine_secs: 0.5,
+            ..Default::default()
+        };
+        assert!((modeled_only.latency_secs() - 0.5).abs() < 1e-12);
+        let served = RequestTrace {
+            total_us: 2_000_000,
+            modeled_refine_secs: 0.5,
+            ..Default::default()
+        };
+        assert!((served.latency_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_answered_split() {
+        assert!(TraceOutcome::Done.is_answered());
+        assert!(TraceOutcome::Degraded.is_answered());
+        assert!(!TraceOutcome::TimedOut.is_answered());
+        assert!(!TraceOutcome::QueueFull.is_answered());
+        assert!(!TraceOutcome::Failed.is_answered());
     }
 }

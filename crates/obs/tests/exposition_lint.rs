@@ -1,0 +1,223 @@
+//! Parse-back lint for the Prometheus exporter: every emitted line —
+//! counters, gauges, labeled and unlabeled histogram summaries — must
+//! match the exposition text format. A hand-rolled validator (the crate
+//! is zero-dependency) enforcing:
+//!
+//! * comment lines are `# TYPE <name> <counter|gauge|summary>`,
+//! * sample lines are `name{label="value",...} value` where the metric
+//!   name matches `[a-zA-Z_:][a-zA-Z0-9_:]*`, label names match
+//!   `[a-zA-Z_][a-zA-Z0-9_]*`, label values are quoted with `\\`, `\"`
+//!   and `\n` escaped, and the sample value parses as a finite float,
+//! * histogram summary suffixes (`_count`/`_sum`/`_max`) are part of the
+//!   metric name, never appended after the label braces.
+
+use hc_obs::export::to_prometheus;
+use hc_obs::MetricsRegistry;
+
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse `{k="v",...}` starting at the `{`. Returns the byte offset just
+/// past the closing `}` or an error description.
+fn parse_labels(s: &str) -> Result<usize, String> {
+    let bytes = s.as_bytes();
+    assert_eq!(bytes[0], b'{');
+    let mut i = 1;
+    loop {
+        // Label name.
+        let name_start = i;
+        while i < bytes.len() && bytes[i] != b'=' {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err("unterminated label name".into());
+        }
+        let name = &s[name_start..i];
+        if !is_valid_label_name(name) {
+            return Err(format!("invalid label name {name:?}"));
+        }
+        i += 1; // '='
+        if i >= bytes.len() || bytes[i] != b'"' {
+            return Err("label value must be double-quoted".into());
+        }
+        i += 1;
+        // Label value: raw newline/quote are forbidden; escapes limited to
+        // \\, \", \n.
+        loop {
+            if i >= bytes.len() {
+                return Err("unterminated label value".into());
+            }
+            match bytes[i] {
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                b'\n' => return Err("raw newline in label value".into()),
+                b'\\' => {
+                    let next = bytes.get(i + 1);
+                    if !matches!(next, Some(b'\\') | Some(b'"') | Some(b'n')) {
+                        return Err(format!("bad escape \\{:?}", next.map(|b| *b as char)));
+                    }
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Ok(i + 1),
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+/// Validate one sample line, returning the parsed metric name.
+fn validate_sample_line(line: &str) -> Result<String, String> {
+    let name_end = line
+        .find(['{', ' '])
+        .ok_or("no separator after metric name")?;
+    let name = &line[..name_end];
+    if !is_valid_metric_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let rest = &line[name_end..];
+    let value_str = if rest.starts_with('{') {
+        let consumed = parse_labels(rest)?;
+        let after = &rest[consumed..];
+        // Nothing may sit between `}` and the value separator — this is
+        // exactly the `}_count` class of bug.
+        let after = after
+            .strip_prefix(' ')
+            .ok_or_else(|| format!("garbage after label braces: {after:?}"))?;
+        after
+    } else {
+        &rest[1..]
+    };
+    let value: f64 = value_str
+        .trim()
+        .parse()
+        .map_err(|_| format!("unparseable sample value {value_str:?}"))?;
+    if !value.is_finite() {
+        return Err(format!("non-finite sample value {value}"));
+    }
+    Ok(name.to_owned())
+}
+
+/// Validate a whole exposition body; returns every sample's metric name.
+fn lint(text: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let parts: Vec<&str> = comment.split_whitespace().collect();
+            assert_eq!(
+                parts.first(),
+                Some(&"TYPE"),
+                "line {lineno}: only TYPE comments are emitted: {line:?}"
+            );
+            assert_eq!(
+                parts.len(),
+                3,
+                "line {lineno}: malformed TYPE comment: {line:?}"
+            );
+            assert!(
+                is_valid_metric_name(parts[1]),
+                "line {lineno}: bad name in TYPE comment: {line:?}"
+            );
+            assert!(
+                matches!(parts[2], "counter" | "gauge" | "summary"),
+                "line {lineno}: unknown TYPE {:?}",
+                parts[2]
+            );
+            continue;
+        }
+        match validate_sample_line(line) {
+            Ok(name) => names.push(name),
+            Err(e) => panic!("line {lineno}: {e}: {line:?}"),
+        }
+    }
+    names
+}
+
+/// A registry exercising every exporter path: plain and labeled counters,
+/// gauges, unlabeled and labeled histograms, and label values containing
+/// every character the format requires escaping.
+fn populated() -> MetricsRegistry {
+    let r = MetricsRegistry::new();
+    r.counter("storage.pages_read").add(42);
+    r.counter_with_label("cache.hits", "EXACT/HFF").add(7);
+    r.counter_with_label("cache.hits", "HC-O/HFF").add(9);
+    r.gauge("costmodel.predicted_rho_hit").set(0.75);
+    r.gauge_with_label("serve.qps", "workers=4").set(1234.5);
+    let h = r.histogram("query.io_pages");
+    for v in [1u64, 2, 3, 100] {
+        h.record(v);
+    }
+    let labeled = r.histogram_with_label("serve.latency_us", "worker0");
+    labeled.record(250);
+    labeled.record(990);
+    r.histogram_with_label("serve.latency_us", "worker1")
+        .record(17);
+    // Hostile label value: backslash, quote, newline.
+    r.counter_with_label("chaos.notes", "path\\to \"x\"\nnext")
+        .inc();
+    r
+}
+
+#[test]
+fn every_emitted_line_matches_the_exposition_grammar() {
+    let names = lint(&to_prometheus(&populated().snapshot()));
+    assert!(!names.is_empty(), "exporter emitted no samples");
+}
+
+#[test]
+fn histogram_summaries_emit_name_attached_suffixes() {
+    let names = lint(&to_prometheus(&populated().snapshot()));
+    for suffix in ["_count", "_sum", "_max"] {
+        assert!(
+            names
+                .iter()
+                .any(|n| n == &format!("serve_latency_us{suffix}")),
+            "labeled histogram missing {suffix} sample"
+        );
+        assert!(
+            names
+                .iter()
+                .any(|n| n == &format!("query_io_pages{suffix}")),
+            "unlabeled histogram missing {suffix} sample"
+        );
+    }
+    // Quantile samples keep the bare name.
+    assert!(names.iter().filter(|n| *n == "serve_latency_us").count() >= 6);
+}
+
+#[test]
+fn lint_rejects_the_old_suffix_after_braces_bug() {
+    // The validator itself must catch the regression this suite guards
+    // against — the pre-fix exporter emitted exactly this shape.
+    let bad = "phase_bounds{series=\"w0\"}_count 1";
+    assert!(validate_sample_line(bad).is_err());
+    // And the shapes the fixed exporter emits pass.
+    assert!(validate_sample_line("phase_bounds_count{series=\"w0\"} 1").is_ok());
+    assert!(validate_sample_line("phase_bounds_count 1").is_ok());
+    // Raw newline and bad escapes are rejected too.
+    assert!(validate_sample_line("c{series=\"a\u{1}b\"} 1").is_ok()); // control chars allowed raw
+    assert!(validate_sample_line("c{series=\"a\\qb\"} 1").is_err());
+}

@@ -12,7 +12,10 @@
 //!   work-size histograms,
 //! * `query.rho_hit_ppm` / `query.rho_prune_ppm` — the paper's ρ_hit and
 //!   ρ_prune per query, scaled to parts-per-million,
-//! * one [`QueryTrace`] record in the registry's bounded trace ring.
+//! * one [`RequestTrace`] record in the registry's bounded trace ring —
+//!   unless the bundle was built [`QueryObs::without_traces`], which the
+//!   serving layer uses so each request is traced exactly once (at the
+//!   server, with full lifecycle context) rather than once per layer.
 //!
 //! [`DriftMonitor`] closes the §4 loop: experiments store the cost model's
 //! predicted `ρ_hit` / refinement I/O next to the measured values, so a
@@ -22,7 +25,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use hc_core::cost_model::TauEstimate;
-use hc_obs::{Counter, Gauge, Histogram, MetricsRegistry, QueryTrace};
+use hc_obs::{Counter, Gauge, Histogram, MetricsRegistry, RequestTrace, TraceOutcome};
 
 use crate::knn::QueryStats;
 use crate::tree_search::TreeQueryStats;
@@ -31,6 +34,7 @@ use crate::tree_search::TreeQueryStats;
 #[derive(Debug, Default)]
 pub struct QueryObs {
     enabled: bool,
+    record_traces: bool,
     queries: Counter,
     gen_ns: Histogram,
     reduce_ns: Histogram,
@@ -74,6 +78,7 @@ impl QueryObs {
         };
         Self {
             enabled: registry.is_enabled(),
+            record_traces: registry.is_enabled(),
             queries: counter("query.count"),
             gen_ns: histogram("phase.gen_ns"),
             reduce_ns: histogram("phase.reduce_ns"),
@@ -90,6 +95,16 @@ impl QueryObs {
 
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Keep the histograms but stop writing trace-ring entries. The
+    /// serving layer binds its per-worker engines this way: the server
+    /// records one end-to-end [`RequestTrace`] per request itself, and a
+    /// second engine-side record would double the ring traffic while
+    /// carrying strictly less context.
+    pub fn without_traces(mut self) -> Self {
+        self.record_traces = false;
+        self
     }
 
     /// Record one finished query: histograms plus a trace-ring entry.
@@ -109,8 +124,29 @@ impl QueryObs {
         self.candidates.record(stats.candidates as u64);
         self.c_refine.record(stats.c_refine as u64);
         self.io_pages.record(stats.io_pages);
-        self.registry.trace(QueryTrace {
-            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+        if self.record_traces {
+            self.registry.trace(RequestTrace {
+                seq: self.seq.fetch_add(1, Ordering::Relaxed),
+                outcome: if stats.missing.is_empty() {
+                    TraceOutcome::Done
+                } else {
+                    TraceOutcome::Degraded
+                },
+                ..Self::engine_trace(stats, gen_ns, reduce_ns, refine_ns)
+            });
+        }
+    }
+
+    /// The engine-phase portion of a [`RequestTrace`], shared between the
+    /// standalone path above and the serving layer (which fills in the
+    /// lifecycle fields on top).
+    pub fn engine_trace(
+        stats: &QueryStats,
+        gen_ns: u64,
+        reduce_ns: u64,
+        refine_ns: u64,
+    ) -> RequestTrace {
+        RequestTrace {
             candidates: stats.candidates.min(u32::MAX as usize) as u32,
             cache_hits: stats.cache_hits.min(u32::MAX as usize) as u32,
             pruned: stats.pruned.min(u32::MAX as usize) as u32,
@@ -118,11 +154,15 @@ impl QueryObs {
             c_refine: stats.c_refine.min(u32::MAX as usize) as u32,
             fetched: stats.fetched.min(u32::MAX as usize) as u32,
             io_pages: stats.io_pages.min(u32::MAX as u64) as u32,
+            pages_retried: stats.pages_retried.min(u32::MAX as u64) as u32,
+            fault_excluded: stats.fault_excluded.min(u32::MAX as usize) as u32,
+            missing: stats.missing.len().min(u32::MAX as usize) as u32,
             gen_ns,
             reduce_ns,
             refine_ns,
             modeled_refine_secs: stats.modeled_refine_secs,
-        });
+            ..RequestTrace::default()
+        }
     }
 }
 
@@ -294,6 +334,32 @@ mod tests {
         assert_eq!(snap.traces.len(), 2);
         assert_eq!(snap.traces[1].seq, 1);
         assert!((snap.traces[0].rho_hit() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn without_traces_keeps_histograms_but_skips_the_ring() {
+        let registry = MetricsRegistry::new();
+        let obs = QueryObs::bind(&registry).without_traces();
+        obs.observe(&stats());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("query.count"), Some(1));
+        assert!(snap.traces.is_empty(), "trace ring must stay untouched");
+    }
+
+    #[test]
+    fn degraded_stats_trace_as_degraded() {
+        let registry = MetricsRegistry::new();
+        let obs = QueryObs::bind(&registry);
+        let mut s = stats();
+        s.missing = vec![hc_core::dataset::PointId(3)];
+        s.pages_retried = 2;
+        s.fault_excluded = 1;
+        obs.observe(&s);
+        let traces = registry.traces().to_vec();
+        assert_eq!(traces[0].outcome, hc_obs::TraceOutcome::Degraded);
+        assert_eq!(traces[0].missing, 1);
+        assert_eq!(traces[0].pages_retried, 2);
+        assert_eq!(traces[0].fault_excluded, 1);
     }
 
     #[test]

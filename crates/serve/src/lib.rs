@@ -28,6 +28,7 @@
 //! unsharded cache while the mutexes never serialize two different shards.
 //! See DESIGN.md §"Serving layer".
 
+pub mod admin;
 pub mod cache;
 pub mod loadgen;
 pub mod node_cache;
@@ -35,6 +36,7 @@ pub mod queue;
 pub mod sampler;
 pub mod server;
 
+pub use admin::AdminServer;
 pub use cache::ShardedCompactCache;
 pub use loadgen::{run_closed_loop, run_open_loop, LoadReport};
 pub use node_cache::ShardedNodeCache;

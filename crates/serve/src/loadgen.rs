@@ -34,6 +34,14 @@ pub struct LoadReport {
     /// Per-completed-request latency in µs, sorted ascending (includes
     /// degraded answers).
     pub latencies_us: Vec<u64>,
+    /// Per-completed-request time-in-queue in µs, sorted ascending — the
+    /// headline numbers quote these so overload shows up as queueing, not
+    /// just end-to-end latency.
+    pub queue_waits_us: Vec<u64>,
+    /// Deadline slack at fulfilment in µs (negative = fulfilled late),
+    /// sorted ascending. Only requests submitted with a deadline
+    /// contribute.
+    pub deadline_slacks_us: Vec<i64>,
     /// `(request index, result ids)` for every *exactly* completed request —
     /// the bench compares these against a single-threaded reference engine.
     /// Degraded answers are kept separately in `degraded_results` so this
@@ -112,11 +120,57 @@ impl LoadReport {
         self.latencies_us.iter().sum::<u64>() as f64 / self.latencies_us.len() as f64
     }
 
+    /// Nearest-rank percentile of completed-request queue wait, in µs.
+    pub fn queue_wait_percentile_us(&self, p: f64) -> u64 {
+        if self.queue_waits_us.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.queue_waits_us.len() as f64).ceil() as usize;
+        self.queue_waits_us[rank.clamp(1, self.queue_waits_us.len()) - 1]
+    }
+
+    pub fn queue_wait_p50_us(&self) -> u64 {
+        self.queue_wait_percentile_us(50.0)
+    }
+
+    pub fn queue_wait_p95_us(&self) -> u64 {
+        self.queue_wait_percentile_us(95.0)
+    }
+
+    pub fn queue_wait_p99_us(&self) -> u64 {
+        self.queue_wait_percentile_us(99.0)
+    }
+
+    /// Nearest-rank percentile of deadline slack, in µs. Note slacks sort
+    /// ascending, so *low* percentiles are the requests that came closest
+    /// to (or past) their deadline.
+    pub fn deadline_slack_percentile_us(&self, p: f64) -> i64 {
+        if self.deadline_slacks_us.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.deadline_slacks_us.len() as f64).ceil() as usize;
+        self.deadline_slacks_us[rank.clamp(1, self.deadline_slacks_us.len()) - 1]
+    }
+
+    /// The 5th-percentile slack — the tail that nearly (or actually)
+    /// blew its deadline.
+    pub fn deadline_slack_p05_us(&self) -> i64 {
+        self.deadline_slack_percentile_us(5.0)
+    }
+
+    pub fn deadline_slack_p50_us(&self) -> i64 {
+        self.deadline_slack_percentile_us(50.0)
+    }
+
     fn absorb(&mut self, index: usize, outcome: QueryOutcome) {
         match outcome {
             QueryOutcome::Done(resp) => {
                 self.completed += 1;
                 self.latencies_us.push(resp.latency.as_micros() as u64);
+                self.queue_waits_us.push(resp.queue_wait.as_micros() as u64);
+                if let Some(slack) = resp.deadline_slack_us {
+                    self.deadline_slacks_us.push(slack);
+                }
                 self.cache_hits += resp.cache_hits as u64;
                 self.candidates += resp.candidates as u64;
                 self.results.push((index, resp.ids));
@@ -125,6 +179,11 @@ impl LoadReport {
                 self.completed += 1;
                 self.degraded += 1;
                 self.latencies_us.push(response.latency.as_micros() as u64);
+                self.queue_waits_us
+                    .push(response.queue_wait.as_micros() as u64);
+                if let Some(slack) = response.deadline_slack_us {
+                    self.deadline_slacks_us.push(slack);
+                }
                 self.cache_hits += response.cache_hits as u64;
                 self.candidates += response.candidates as u64;
                 self.degraded_results.push((index, response.ids, missing));
@@ -137,6 +196,8 @@ impl LoadReport {
     fn finish(&mut self, wall: Duration) {
         self.wall = wall;
         self.latencies_us.sort_unstable();
+        self.queue_waits_us.sort_unstable();
+        self.deadline_slacks_us.sort_unstable();
         self.results.sort_by_key(|(i, _)| *i);
         self.degraded_results.sort_by_key(|(i, _, _)| *i);
     }
@@ -178,6 +239,8 @@ pub fn run_closed_loop(
                 merged.degraded += local.degraded;
                 merged.failed += local.failed;
                 merged.latencies_us.extend(local.latencies_us);
+                merged.queue_waits_us.extend(local.queue_waits_us);
+                merged.deadline_slacks_us.extend(local.deadline_slacks_us);
                 merged.results.extend(local.results);
                 merged.degraded_results.extend(local.degraded_results);
                 merged.cache_hits += local.cache_hits;
@@ -264,6 +327,7 @@ mod tests {
                     io_pages: 1,
                     cache_hits: 0,
                     candidates: 2,
+                    deadline_slack_us: None,
                 },
                 missing: vec![PointId(9)],
             },
@@ -283,6 +347,33 @@ mod tests {
         );
         assert_eq!(r.degraded_results.len(), 1);
         assert!((r.availability() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_wait_and_deadline_slack_percentiles() {
+        let mut r = LoadReport::default();
+        for i in 0..10u64 {
+            r.offered += 1;
+            r.absorb(
+                i as usize,
+                QueryOutcome::Done(crate::server::QueryResponse {
+                    ids: vec![],
+                    latency: Duration::from_micros(100 + i),
+                    queue_wait: Duration::from_micros(10 * (i + 1)),
+                    io_pages: 0,
+                    cache_hits: 0,
+                    candidates: 0,
+                    deadline_slack_us: Some(i as i64 * 100 - 300),
+                }),
+            );
+        }
+        r.finish(Duration::from_secs(1));
+        assert_eq!(r.queue_wait_p50_us(), 50);
+        assert_eq!(r.queue_wait_percentile_us(100.0), 100);
+        // Slacks run -300..600 step 100; p05 lands on the worst (most
+        // negative) slack, the near-deadline tail.
+        assert_eq!(r.deadline_slack_p05_us(), -300);
+        assert_eq!(r.deadline_slack_p50_us(), 100);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! dropped, even through shutdown.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -37,7 +37,9 @@ use hc_cache::concurrent::{
     ConcurrentNodeCache, ConcurrentPointCache, SharedNodeCache, SharedPointCache,
 };
 use hc_core::dataset::PointId;
-use hc_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use hc_obs::{
+    Counter, Gauge, Histogram, MetricsRegistry, RequestTrace, SloMonitor, SloOutcome, TraceOutcome,
+};
 use hc_query::tree_search::TreeSearchEngine;
 use hc_query::{KnnEngine, SharedParts, TreeSharedParts};
 use hc_storage::clock::{Clock, RealClock};
@@ -75,6 +77,11 @@ pub struct ServeConfig {
     /// offered to this sampler — the feed for a maintenance daemon's
     /// rebuild window (§3.5). Must be cheap: it runs on the worker thread.
     pub sampler: Option<Arc<dyn QuerySampler>>,
+    /// When set, every terminal request outcome (including admission
+    /// rejections) feeds this SLO monitor, driving the Healthy/Warn/
+    /// Critical state `/healthz` reports and the Critical-transition
+    /// flight recorder.
+    pub slo: Option<Arc<SloMonitor>>,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +95,7 @@ impl Default for ServeConfig {
             retry: RetryPolicy::default(),
             clock: Arc::new(RealClock),
             sampler: None,
+            slo: None,
         }
     }
 }
@@ -107,6 +115,9 @@ pub struct QueryResponse {
     pub cache_hits: usize,
     /// `|C(q)|` for this query.
     pub candidates: usize,
+    /// Deadline budget remaining at fulfilment, µs (negative if the
+    /// answer landed late). `None` when the request had no deadline.
+    pub deadline_slack_us: Option<i64>,
 }
 
 /// Terminal state of an admitted request. Every ticket resolves to exactly
@@ -215,7 +226,9 @@ impl Ticket {
     }
 }
 
-struct QueryRequest {
+pub(crate) struct QueryRequest {
+    /// Server-assigned request sequence number — the trace-ring key.
+    seq: u64,
     query: Vec<f32>,
     k: usize,
     /// Shed (TimedOut) if a worker picks this up after the deadline.
@@ -275,24 +288,67 @@ enum Backend {
 }
 
 /// What a worker extracts from either engine's per-query stats to build the
-/// [`QueryResponse`]. Field meanings per backend:
+/// [`QueryResponse`] and the engine-phase half of the request trace. Field
+/// meanings per backend:
 ///
-/// * Point: `cache_hits` = candidates answered from the compact cache,
-///   `candidates` = `|C(q)|`.
-/// * Tree: `cache_hits` = exact + compact node-cache hits, `candidates` =
-///   leaves in lower-bound order (the tree's unit of work).
+/// * Point: Algorithm 1's own terms — `cache_hits` = candidates answered
+///   from the compact cache, `candidates` = `|C(q)|`, phases =
+///   gen/reduce/refine.
+/// * Tree: mapped onto the same slots — `cache_hits` = exact + compact
+///   node-cache hits, `candidates` = leaves considered, `pruned` = leaves
+///   skipped by bound ordering, `c_refine` = deferred leaves, `fetched` =
+///   leaf fetches, phases = bounds/traverse/deferred.
 struct EngineAnswer {
     ids: Vec<PointId>,
     io_pages: u64,
     cache_hits: usize,
     candidates: usize,
     missing: Vec<PointId>,
+    pruned: usize,
+    true_results: usize,
+    c_refine: usize,
+    fetched: usize,
+    pages_retried: u64,
+    fault_excluded: usize,
+    gen_ns: u64,
+    reduce_ns: u64,
+    refine_ns: u64,
+    modeled_refine_secs: f64,
+}
+
+impl EngineAnswer {
+    /// The engine-phase portion of this answer as a [`RequestTrace`]; the
+    /// worker layers the lifecycle fields (seq, queue wait, worker id,
+    /// cache generation, deadline, outcome) on top.
+    fn trace_base(&self) -> RequestTrace {
+        RequestTrace {
+            candidates: self.candidates.min(u32::MAX as usize) as u32,
+            cache_hits: self.cache_hits.min(u32::MAX as usize) as u32,
+            pruned: self.pruned.min(u32::MAX as usize) as u32,
+            true_results: self.true_results.min(u32::MAX as usize) as u32,
+            c_refine: self.c_refine.min(u32::MAX as usize) as u32,
+            fetched: self.fetched.min(u32::MAX as usize) as u32,
+            io_pages: self.io_pages.min(u32::MAX as u64) as u32,
+            pages_retried: self.pages_retried.min(u32::MAX as u64) as u32,
+            fault_excluded: self.fault_excluded.min(u32::MAX as usize) as u32,
+            missing: self.missing.len().min(u32::MAX as usize) as u32,
+            gen_ns: self.gen_ns,
+            reduce_ns: self.reduce_ns,
+            refine_ns: self.refine_ns,
+            modeled_refine_secs: self.modeled_refine_secs,
+            ..RequestTrace::default()
+        }
+    }
 }
 
 /// One worker's engine, either backend, behind a uniform `run`.
 enum WorkerEngine<'a> {
     Point(KnnEngine<'a>),
     Tree(TreeSearchEngine<'a>),
+}
+
+fn dur_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
 }
 
 impl WorkerEngine<'_> {
@@ -305,6 +361,16 @@ impl WorkerEngine<'_> {
                     io_pages: stats.io_pages,
                     cache_hits: stats.cache_hits,
                     candidates: stats.candidates,
+                    pruned: stats.pruned,
+                    true_results: stats.true_results,
+                    c_refine: stats.c_refine,
+                    fetched: stats.fetched,
+                    pages_retried: stats.pages_retried,
+                    fault_excluded: stats.fault_excluded,
+                    gen_ns: dur_ns(stats.gen_cpu),
+                    reduce_ns: dur_ns(stats.reduce_cpu),
+                    refine_ns: dur_ns(stats.refine_cpu),
+                    modeled_refine_secs: stats.modeled_refine_secs,
                     missing: stats.missing,
                 }
             }
@@ -315,6 +381,16 @@ impl WorkerEngine<'_> {
                     io_pages: stats.io_pages,
                     cache_hits: stats.exact_hits + stats.compact_hits,
                     candidates: stats.leaves_total,
+                    pruned: stats.leaves_total.saturating_sub(stats.leaves_visited),
+                    true_results: stats.exact_hits,
+                    c_refine: stats.deferred,
+                    fetched: stats.leaf_fetches.min(u32::MAX as u64) as usize,
+                    pages_retried: stats.pages_retried,
+                    fault_excluded: stats.fault_excluded,
+                    gen_ns: dur_ns(stats.bounds_cpu),
+                    reduce_ns: dur_ns(stats.traverse_cpu),
+                    refine_ns: dur_ns(stats.deferred_cpu),
+                    modeled_refine_secs: stats.modeled_io_secs,
                     missing: stats.missing,
                 }
             }
@@ -329,6 +405,15 @@ pub struct QueryServer {
     in_flight: Arc<AtomicUsize>,
     obs: Arc<ServeObs>,
     accepting: Arc<std::sync::atomic::AtomicBool>,
+    /// Next request sequence number (trace-ring key).
+    seq: Arc<AtomicU64>,
+    registry: MetricsRegistry,
+    slo: Option<Arc<SloMonitor>>,
+    /// Reads the serving cache generation (bumps on hot swap).
+    cache_generation: Arc<dyn Fn() -> u64 + Send + Sync>,
+    worker_count: usize,
+    queue_capacity: usize,
+    started: Instant,
 }
 
 impl QueryServer {
@@ -371,6 +456,16 @@ impl QueryServer {
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let in_flight = Arc::new(AtomicUsize::new(0));
         let obs = Arc::new(ServeObs::bind(registry));
+        let cache_generation: Arc<dyn Fn() -> u64 + Send + Sync> = match &backend {
+            Backend::Point { cache, .. } => {
+                let cache = Arc::clone(cache);
+                Arc::new(move || cache.generation())
+            }
+            Backend::Tree { cache, .. } => {
+                let cache = Arc::clone(cache);
+                Arc::new(move || cache.generation())
+            }
+        };
 
         let workers = (0..config.workers)
             .map(|i| {
@@ -393,6 +488,13 @@ impl QueryServer {
             in_flight,
             obs,
             accepting: Arc::new(std::sync::atomic::AtomicBool::new(true)),
+            seq: Arc::new(AtomicU64::new(0)),
+            registry: registry.clone(),
+            slo: config.slo.clone(),
+            cache_generation,
+            worker_count: config.workers,
+            queue_capacity: config.queue_capacity,
+            started: Instant::now(),
         }
     }
 
@@ -409,7 +511,9 @@ impl QueryServer {
             return Err(SubmitError::ShuttingDown);
         }
         let slot = Arc::new(ResponseSlot::new());
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let request = QueryRequest {
+            seq,
             query,
             k,
             deadline,
@@ -426,6 +530,23 @@ impl QueryServer {
             Err(PushError::Full(_)) => {
                 self.in_flight.fetch_sub(1, Ordering::AcqRel);
                 self.obs.rejected.inc();
+                // A shed request still leaves a trace and burns the
+                // availability SLO — admission rejections are exactly the
+                // overload signal the monitor exists to catch.
+                self.registry.trace(RequestTrace {
+                    seq,
+                    worker: u32::MAX,
+                    has_deadline: deadline.is_some(),
+                    outcome: TraceOutcome::QueueFull,
+                    ..RequestTrace::default()
+                });
+                if let Some(slo) = &self.slo {
+                    slo.observe(SloOutcome {
+                        answered: false,
+                        degraded: false,
+                        latency_us: 0,
+                    });
+                }
                 Err(SubmitError::QueueFull)
             }
             Err(PushError::Closed(_)) => {
@@ -442,6 +563,61 @@ impl QueryServer {
 
     pub fn queue_depth(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The registry this server reports into.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The SLO monitor fed by this server, if one was configured.
+    pub fn slo(&self) -> Option<&Arc<SloMonitor>> {
+        self.slo.as_ref()
+    }
+
+    /// Worker threads in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Admission queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Whether the server is still accepting submissions.
+    pub fn is_accepting(&self) -> bool {
+        self.accepting.load(Ordering::Acquire)
+    }
+
+    /// Time since the server started.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The cache generation currently serving (bumps on hot swap; 0 for
+    /// non-swappable caches).
+    pub fn cache_generation(&self) -> u64 {
+        (self.cache_generation)()
+    }
+
+    // Shared handles for the admin endpoint: it outlives no one (its
+    // thread stops on drop) but must read live state without borrowing
+    // the server.
+    pub(crate) fn queue_handle(&self) -> Arc<BoundedQueue<QueryRequest>> {
+        Arc::clone(&self.queue)
+    }
+
+    pub(crate) fn in_flight_handle(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.in_flight)
+    }
+
+    pub(crate) fn accepting_handle(&self) -> Arc<std::sync::atomic::AtomicBool> {
+        Arc::clone(&self.accepting)
+    }
+
+    pub(crate) fn cache_generation_handle(&self) -> Arc<dyn Fn() -> u64 + Send + Sync> {
+        Arc::clone(&self.cache_generation)
     }
 
     /// Fulfil every request still sitting in the (closed) queue with a
@@ -506,7 +682,11 @@ fn build_engine<'a>(
             engine.eager_refetch = config.eager_refetch;
             engine.retry = config.retry;
             engine.clock = Arc::clone(&config.clock);
-            engine.obs = hc_query::QueryObs::bind_labeled(registry, &format!("worker{worker_id}"));
+            // Traces are recorded once, at the serving layer, with full
+            // lifecycle context — the engine keeps its histograms but
+            // stays out of the ring.
+            engine.obs = hc_query::QueryObs::bind_labeled(registry, &format!("worker{worker_id}"))
+                .without_traces();
             engine.retry_obs.bind(registry);
             WorkerEngine::Point(engine)
         }
@@ -555,6 +735,46 @@ fn worker_loop(
         &registry,
         &config,
     );
+    let cache_generation = || match &backend {
+        Backend::Point { cache, .. } => cache.generation(),
+        Backend::Tree { cache, .. } => cache.generation(),
+    };
+    // One trace record and one SLO observation per terminal request — the
+    // same one-uncontended-lock-per-request discipline as the ring itself.
+    let finish_trace =
+        |base: RequestTrace, request: &QueryRequest, picked_up: Instant, outcome: TraceOutcome| {
+            let now = Instant::now();
+            let slack_us = request
+                .deadline
+                .map(|d| {
+                    if d >= now {
+                        d.duration_since(now).as_micros().min(i64::MAX as u128) as i64
+                    } else {
+                        -(now.duration_since(d).as_micros().min(i64::MAX as u128) as i64)
+                    }
+                })
+                .unwrap_or(0);
+            let total_us = now.duration_since(request.submitted).as_micros() as u64;
+            registry.trace(RequestTrace {
+                seq: request.seq,
+                queue_wait_us: picked_up.duration_since(request.submitted).as_micros() as u64,
+                total_us,
+                worker: worker_id as u32,
+                cache_generation: cache_generation(),
+                has_deadline: request.deadline.is_some(),
+                deadline_slack_us: slack_us,
+                outcome,
+                ..base
+            });
+            if let Some(slo) = &config.slo {
+                slo.observe(SloOutcome {
+                    answered: outcome.is_answered(),
+                    degraded: outcome == TraceOutcome::Degraded,
+                    latency_us: total_us,
+                });
+            }
+            slack_us
+        };
 
     while let Some(request) = queue.pop() {
         obs.queue_depth.set(queue.len() as f64);
@@ -562,6 +782,12 @@ fn worker_loop(
         if let Some(deadline) = request.deadline {
             if picked_up > deadline {
                 obs.timed_out.inc();
+                finish_trace(
+                    RequestTrace::default(),
+                    &request,
+                    picked_up,
+                    TraceOutcome::TimedOut,
+                );
                 // Decrement before fulfilling (here and below): once a ticket
                 // resolves, a waiter must never observe this request still
                 // counted in `in_flight`.
@@ -579,6 +805,12 @@ fn worker_loop(
             Err(payload) => {
                 obs.worker_panics.inc();
                 obs.failed.inc();
+                finish_trace(
+                    RequestTrace::default(),
+                    &request,
+                    picked_up,
+                    TraceOutcome::Failed,
+                );
                 in_flight.fetch_sub(1, Ordering::AcqRel);
                 request.slot.fulfil(QueryOutcome::Failed {
                     reason: panic_reason(payload),
@@ -613,6 +845,12 @@ fn worker_loop(
         obs.completed.inc();
         obs.latency_us.record(latency.as_micros() as u64);
         obs.queue_wait_us.record(queue_wait.as_micros() as u64);
+        let trace_outcome = if answer.missing.is_empty() {
+            TraceOutcome::Done
+        } else {
+            TraceOutcome::Degraded
+        };
+        let slack_us = finish_trace(answer.trace_base(), &request, picked_up, trace_outcome);
         let response = QueryResponse {
             ids: answer.ids,
             latency,
@@ -620,6 +858,7 @@ fn worker_loop(
             io_pages: answer.io_pages,
             cache_hits: answer.cache_hits,
             candidates: answer.candidates,
+            deadline_slack_us: request.deadline.map(|_| slack_us),
         };
         let outcome = if answer.missing.is_empty() {
             QueryOutcome::Done(response)
