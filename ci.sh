@@ -71,3 +71,23 @@ grep -q '"name":"drift.node.first_epoch_hit_warm"' target/metrics/drift.metrics.
 # transition counter and the burn gauges must be in its report.
 grep -q '"name":"slo.transitions","value":[1-9]' target/metrics/drift.metrics.json
 grep -q '"name":"slo.burn_fast","label":"exactness"' target/metrics/drift.metrics.json
+
+# Live ingest (DESIGN.md §13): WAL/memtable/segment/manifest unit suites,
+# crash-recovery property tests (arbitrary truncation, torn tails, bit
+# rot), the end-to-end lifecycle walk, the serve-backend integration, and
+# a CI-sized ingest bench — sustained mixed mutations with concurrent
+# query load where every verified burst must be exact against the
+# brute-force live-set oracle, and a mid-run kill/restart must replay all
+# acked writes from the WAL with the manifest generation monotonic.
+cargo test -q -p hc-ingest
+cargo test -q -p hc-ingest --test crash_recovery
+cargo test -q -p hc-ingest --test lifecycle
+cargo test -q -p hc-serve --test ingest_serve
+ingest_out="$(cargo run -q --release -p hc-bench --bin ingest -- --smoke)"
+grep -q ' 0 incorrect results' <<<"$ingest_out"
+grep -q '^wal replay: .* (monotonic)$' <<<"$ingest_out"
+test -s target/metrics/ingest.metrics.json
+grep -q '"name":"ingest.seals","value":[1-9]' target/metrics/ingest.metrics.json
+grep -q '"name":"ingest.wal_replayed_records","value":[1-9]' target/metrics/ingest.metrics.json
+grep -q '"name":"ingest.compactions","value":[1-9]' target/metrics/ingest.metrics.json
+grep -q '"name":"maint.ingest.cycles","value":[1-9]' target/metrics/ingest.metrics.json

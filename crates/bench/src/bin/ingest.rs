@@ -1,0 +1,346 @@
+//! Live-ingest bench: sustained mixed mutation + query traffic with every
+//! measured burst verified exact, and a kill/restart mid-run recovered
+//! from the WAL.
+//!
+//! ```text
+//! cargo run --release -p hc-bench --bin ingest [-- --smoke]
+//! ```
+//!
+//! The run has two halves split by a simulated crash:
+//!
+//! 1. **Load**: a writer applies a seeded insert/upsert/delete stream
+//!    ([`hc_workload::MutationStream`]) to an [`IngestEngine`] served by
+//!    [`QueryServer::start_ingest`], while background threads keep
+//!    unverified query traffic flowing through the same server. Between
+//!    write batches the writer quiesces and fires a *verified burst*:
+//!    each answer must equal the brute-force top-k over the stream's
+//!    shadow of the live set — exactness mid-ingest, across however many
+//!    seals and compactions the batch triggered.
+//! 2. **Crash + recovery**: the server and engine are dropped mid-run, a
+//!    torn frame is appended to the WAL tail (the classic
+//!    killed-mid-append shape), and [`IngestEngine::recover`] rebuilds
+//!    from the device. The bench asserts the replay returned exactly the
+//!    acked ops, the torn tail was dropped, the manifest generation
+//!    advanced monotonically across the restart, and the remaining bursts
+//!    stay exact on the recovered engine.
+//!
+//! The process exits nonzero on any incorrect result; the summary lines
+//! (`0 incorrect results`, `wal replay:`) are what `ci.sh` greps.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use hc_bench::report;
+use hc_ingest::wal::encode_record;
+use hc_ingest::{IngestConfig, IngestEngine, ReplayEnd, WalDevice, WalOp, WalRecord};
+use hc_maint::IngestDaemon;
+use hc_obs::MetricsRegistry;
+use hc_serve::{QueryOutcome, QueryServer, ServeConfig, SubmitError};
+use hc_workload::{MutationMix, MutationOp, MutationStream};
+
+const DIM: usize = 16;
+const SEED: u64 = 0xEB17;
+
+struct Scale {
+    bursts_before_crash: usize,
+    bursts_after_crash: usize,
+    ops_per_burst: usize,
+    queries_per_burst: usize,
+    k: usize,
+    id_space: u32,
+    background_threads: usize,
+}
+
+impl Scale {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            Self {
+                bursts_before_crash: 4,
+                bursts_after_crash: 2,
+                ops_per_burst: 150,
+                queries_per_burst: 10,
+                k: 5,
+                id_space: 400,
+                background_threads: 2,
+            }
+        } else {
+            Self {
+                bursts_before_crash: 12,
+                bursts_after_crash: 6,
+                ops_per_burst: 500,
+                queries_per_burst: 25,
+                k: 10,
+                id_space: 4000,
+                background_threads: 3,
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    verified: usize,
+    incorrect: usize,
+    background_completed: u64,
+    ops: u64,
+}
+
+fn ingest_config() -> IngestConfig {
+    let mut config = IngestConfig::new(DIM);
+    // Small memtable budget so sustained load crosses many seals, and a
+    // low compaction threshold so the stack merges mid-run.
+    config.memtable_max_bytes = 96 * (DIM * 4 + 64);
+    config.compact_min_segments = 4;
+    config
+}
+
+fn apply(engine: &IngestEngine, op: MutationOp) {
+    match op {
+        MutationOp::Insert { id, vector } => {
+            engine.insert(id, vector);
+        }
+        MutationOp::Delete { id } => {
+            engine.delete(id);
+        }
+    }
+}
+
+/// Run `bursts` write-batch + verified-burst rounds against `server`, with
+/// `scale.background_threads` unverified query streams running throughout.
+/// The main thread is the only writer, so each verified burst sees a
+/// quiescent live set — the brute-force shadow is its exact oracle.
+fn run_phase(
+    server: &QueryServer,
+    daemon: &IngestDaemon,
+    stream: &mut MutationStream,
+    query_pool: &[Vec<f32>],
+    scale: &Scale,
+    bursts: usize,
+    tally: &mut Tally,
+) {
+    let engine = daemon.engine();
+    let stop = AtomicBool::new(false);
+    let background_completed = AtomicU64::new(0);
+    thread::scope(|s| {
+        for t in 0..scale.background_threads {
+            let stop = &stop;
+            let background_completed = &background_completed;
+            s.spawn(move || {
+                let mut i = t;
+                while !stop.load(Ordering::Acquire) {
+                    let q = query_pool[i % query_pool.len()].clone();
+                    i += 7;
+                    match server.submit(q, scale.k, None) {
+                        Ok(ticket) => match ticket.wait() {
+                            QueryOutcome::Done(_) => {
+                                background_completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            other => panic!("background query must complete: {other:?}"),
+                        },
+                        // Overload shed is a valid outcome for unpaced
+                        // background load; back off briefly.
+                        Err(SubmitError::QueueFull) => {
+                            thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                        Err(SubmitError::ShuttingDown) => return,
+                    }
+                }
+            });
+        }
+
+        let mut last_generation = engine.manifest_generation();
+        for _ in 0..bursts {
+            for _ in 0..scale.ops_per_burst {
+                apply(engine, stream.next_op());
+                tally.ops += 1;
+            }
+            // One maintenance cycle per batch: seal the remainder, compact
+            // the stack when it has grown deep enough, scrub sealed files —
+            // the same loop IngestDaemon::spawn runs on a timer.
+            let cycle = daemon.run_once();
+            assert!(
+                cycle.scrub.is_clean(),
+                "no faults configured, scrub must be clean: {:?}",
+                cycle.scrub
+            );
+            let generation = engine.manifest_generation();
+            assert!(
+                generation >= last_generation,
+                "manifest generation must be monotonic: {last_generation} -> {generation}"
+            );
+            last_generation = generation;
+            // Verified burst: the writer (this thread) is quiescent, so the
+            // stream's shadow is exactly the live set every answer must
+            // match — while the background threads keep the server busy.
+            for _ in 0..scale.queries_per_burst {
+                let q = stream.query();
+                let expected = stream.reference_top_k(&q, scale.k);
+                let ticket = server
+                    .submit(q, scale.k, None)
+                    .expect("verified burst must admit");
+                match ticket.wait() {
+                    QueryOutcome::Done(resp) if resp.ids == expected => {}
+                    QueryOutcome::Done(resp) => {
+                        tally.incorrect += 1;
+                        eprintln!("INCORRECT: got {:?}, expected {expected:?}", resp.ids);
+                    }
+                    other => {
+                        tally.incorrect += 1;
+                        eprintln!("INCORRECT: non-Done outcome {other:?}");
+                    }
+                }
+                tally.verified += 1;
+            }
+        }
+        stop.store(true, Ordering::Release);
+    });
+    tally.background_completed += background_completed.load(Ordering::Relaxed);
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = Scale::new(smoke);
+    let registry = MetricsRegistry::global();
+    let started = Instant::now();
+
+    let device = Arc::new(WalDevice::new());
+    let engine = Arc::new(IngestEngine::new(
+        Arc::clone(&device),
+        ingest_config(),
+        registry,
+    ));
+    let server = QueryServer::start_ingest(
+        Arc::clone(&engine),
+        ServeConfig {
+            workers: 3,
+            queue_capacity: 128,
+            ..ServeConfig::default()
+        },
+        registry,
+    );
+
+    let mut stream = MutationStream::new(DIM, scale.id_space, MutationMix::default(), SEED);
+    // A fixed unverified-query pool drawn from the same cluster geometry
+    // (same seed → same centers as the op stream).
+    let query_pool: Vec<Vec<f32>> = {
+        let mut qgen = MutationStream::new(DIM, scale.id_space, MutationMix::default(), SEED);
+        (0..64).map(|_| qgen.query()).collect()
+    };
+    let mut tally = Tally::default();
+
+    let daemon = IngestDaemon::new(Arc::clone(&engine), registry);
+    run_phase(
+        &server,
+        &daemon,
+        &mut stream,
+        &query_pool,
+        &scale,
+        scale.bursts_before_crash,
+        &mut tally,
+    );
+    let pre_crash = engine.status();
+    assert!(
+        pre_crash.seals >= 1,
+        "load must cross at least one seal: {pre_crash:?}"
+    );
+    let generation_before = pre_crash.manifest_generation;
+    let acked_before = tally.ops;
+
+    // Kill mid-run: drop the server and engine, then tear the WAL tail as
+    // a crash mid-append would (an unacked frame the replay must drop).
+    server.shutdown();
+    drop(daemon);
+    drop(engine);
+    let torn = encode_record(&WalRecord {
+        seq: u64::MAX,
+        op: WalOp::Insert {
+            id: hc_core::dataset::PointId(0),
+            vector: vec![0.0; DIM],
+        },
+    });
+    device.append_torn(&torn, torn.len() / 2);
+
+    let (engine, replayed) = IngestEngine::recover(Arc::clone(&device), ingest_config(), registry);
+    let engine = Arc::new(engine);
+    assert_eq!(
+        replayed.records.len() as u64,
+        acked_before,
+        "replay must return exactly the acked writes"
+    );
+    assert_eq!(
+        replayed.end,
+        ReplayEnd::TornTail,
+        "the torn frame must be detected and dropped"
+    );
+    let generation_after = engine.manifest_generation();
+    assert!(
+        generation_after >= generation_before,
+        "generation must not regress across restart: {generation_before} -> {generation_after}"
+    );
+    // The recovered live set is byte-for-byte the shadow's.
+    let recovered: std::collections::HashSet<u32> = engine.live_ids();
+    let expected: std::collections::HashSet<u32> = stream.live().keys().copied().collect();
+    assert_eq!(
+        recovered, expected,
+        "recovered live set must match the shadow"
+    );
+    println!(
+        "wal replay: {} records recovered (end={:?}), generation {} -> {} (monotonic)",
+        replayed.records.len(),
+        replayed.end,
+        generation_before,
+        generation_after
+    );
+
+    // Keep running on the recovered engine: exactness must hold post-replay.
+    let server = QueryServer::start_ingest(
+        Arc::clone(&engine),
+        ServeConfig {
+            workers: 3,
+            queue_capacity: 128,
+            ..ServeConfig::default()
+        },
+        registry,
+    );
+    let daemon = IngestDaemon::new(Arc::clone(&engine), registry);
+    run_phase(
+        &server,
+        &daemon,
+        &mut stream,
+        &query_pool,
+        &scale,
+        scale.bursts_after_crash,
+        &mut tally,
+    );
+    server.shutdown();
+
+    let status = engine.status();
+    assert!(
+        status.compactions >= 1,
+        "sustained load must compact at least once: {status:?}"
+    );
+    println!(
+        "ingest bench: {} ops ({} live), {} seals, {} compactions, {} segments, wal {} bytes",
+        tally.ops,
+        stream.live_len(),
+        status.seals,
+        status.compactions,
+        status.segments,
+        status.wal_bytes
+    );
+    println!(
+        "ingest bench: {} verified queries, {} incorrect results, {} background queries, {:.2}s",
+        tally.verified,
+        tally.incorrect,
+        tally.background_completed,
+        started.elapsed().as_secs_f64()
+    );
+    assert_eq!(tally.incorrect, 0, "exactness violated under live ingest");
+    assert!(
+        tally.background_completed > 0,
+        "background query load never completed a request"
+    );
+    report::emit("ingest");
+}

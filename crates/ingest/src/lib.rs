@@ -1,0 +1,34 @@
+//! # hc-ingest — the live-mutable dataset (DESIGN.md §13)
+//!
+//! Everything below this crate assumes a frozen, build-time `PointFile`.
+//! This crate makes the store *writable* without giving up exactness:
+//!
+//! * [`wal`] — durable inserts/deletes land in a checksummed write-ahead
+//!   log first; replay of the verified prefix is the crash-recovery story
+//!   (torn tails dropped, corruption detected, never a fabricated point).
+//! * [`memtable`] — the in-RAM newest level: exact vectors and tombstones,
+//!   brute-force scanned at query time, masking everything older.
+//! * [`segment`] — sealing flushes the memtable into an immutable, paged,
+//!   per-page-checksummed segment (the same `PointFile` codec and fallible
+//!   `PageStore` machinery as the base dataset) with a per-segment
+//!   compact-code sidecar for bound-pruned exact refinement.
+//! * [`manifest`] — the generational segment stack (`Swappable*` pattern):
+//!   shadowing resolved at publish time, atomic swaps on seal and
+//!   compaction, generations monotonic across restarts via the WAL
+//!   device's superblock.
+//! * [`engine`] — the [`IngestEngine`] tying it together: serialized
+//!   writers, lock-free exact queries mid-ingest, inline + background
+//!   seals, full-stack compaction with fresh sidecars, fleet scrub of
+//!   sealed files, and `ingest.*` telemetry.
+
+pub mod engine;
+pub mod manifest;
+pub mod memtable;
+pub mod segment;
+pub mod wal;
+
+pub use engine::{IngestAnswer, IngestConfig, IngestEngine, IngestStatus};
+pub use manifest::{Manifest, ManifestVersion, SegmentEntry};
+pub use memtable::{MemEntry, Memtable};
+pub use segment::{Segment, SegmentSearch, SidecarConfig};
+pub use wal::{replay, Replay, ReplayEnd, Wal, WalDevice, WalOp, WalRecord};

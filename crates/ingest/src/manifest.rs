@@ -1,0 +1,244 @@
+//! The generational manifest (DESIGN.md §13.4).
+//!
+//! A [`ManifestVersion`] is an immutable snapshot of the sealed world: the
+//! segment stack newest-first, each entry carrying the segment plus its
+//! `live_locals` — the slots *not* shadowed by any newer segment's keys or
+//! tombstones. Shadowing is resolved once, at publish time, so the query
+//! path never re-derives it: scanning every entry's `live_locals` (minus
+//! the memtable mask) visits exactly one version of every live id.
+//!
+//! [`Manifest`] swaps versions with the same generational pattern as
+//! `hc-cache`'s `Swappable*` stores: an `RwLock<Arc<…>>` pointer plus an
+//! `AtomicU64` generation. Readers clone the `Arc` and keep a consistent
+//! snapshot for the whole query; a swap is a pointer store — in-flight
+//! queries finish on the old version, new queries see the new one, and the
+//! generation counter advancing is the observable "the world changed"
+//! signal (`ingest.manifest_generation` on `/statusz`).
+//!
+//! Generations are monotonic *across restarts*: the engine persists each
+//! published generation to the WAL device's superblock
+//! ([`crate::wal::WalDevice::publish_generation`]) and a recovered
+//! manifest resumes from that floor.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::segment::Segment;
+
+/// One segment plus the slots still visible through every newer level.
+#[derive(Clone)]
+pub struct SegmentEntry {
+    pub segment: Arc<Segment>,
+    /// Local slots not shadowed by newer segments (sorted ascending).
+    pub live_locals: Vec<u32>,
+}
+
+impl SegmentEntry {
+    /// A fresh entry: every slot visible (nothing newer exists yet).
+    pub fn fresh(segment: Arc<Segment>) -> Self {
+        let live_locals = (0..segment.len() as u32).collect();
+        Self {
+            segment,
+            live_locals,
+        }
+    }
+
+    /// Ids this level hides from everything older: its stored keys (newer
+    /// versions) plus its tombstones (deletions).
+    fn shadow(&self) -> impl Iterator<Item = u32> + '_ {
+        self.segment
+            .keys()
+            .iter()
+            .chain(self.segment.tombstones())
+            .copied()
+    }
+}
+
+/// An immutable snapshot of the sealed segment stack, newest first.
+#[derive(Clone, Default)]
+pub struct ManifestVersion {
+    segments: Vec<SegmentEntry>,
+}
+
+impl ManifestVersion {
+    /// The empty store: no sealed data.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Entries newest-first.
+    pub fn segments(&self) -> &[SegmentEntry] {
+        &self.segments
+    }
+
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Rows visible through the whole stack (one version per live id).
+    pub fn total_live(&self) -> usize {
+        self.segments.iter().map(|e| e.live_locals.len()).sum()
+    }
+
+    /// Tombstones still carried (compaction drops them).
+    pub fn total_tombstones(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|e| e.segment.tombstones().len())
+            .sum()
+    }
+
+    /// The next version after sealing `segment` on top: the new segment's
+    /// keys and tombstones shadow every older entry. Older entries already
+    /// shadow each other, so one cull against the new level suffices.
+    pub fn with_new_segment(&self, segment: Arc<Segment>) -> Self {
+        let shadow: HashSet<u32> = SegmentEntry::fresh(Arc::clone(&segment)).shadow().collect();
+        let mut segments = Vec::with_capacity(self.segments.len() + 1);
+        segments.push(SegmentEntry::fresh(segment));
+        for entry in &self.segments {
+            let live_locals: Vec<u32> = entry
+                .live_locals
+                .iter()
+                .copied()
+                .filter(|&local| !shadow.contains(&entry.segment.key_of(local)))
+                .collect();
+            segments.push(SegmentEntry {
+                segment: Arc::clone(&entry.segment),
+                live_locals,
+            });
+        }
+        Self { segments }
+    }
+
+    /// The merged live rows of the whole stack, sorted by id — compaction's
+    /// input. `live_locals` already resolves every id to its newest
+    /// version, so this is a plain union.
+    pub fn merged_rows(&self) -> Vec<(u32, Vec<f32>)> {
+        let mut rows: Vec<(u32, Vec<f32>)> = self
+            .segments
+            .iter()
+            .flat_map(|e| {
+                e.live_locals
+                    .iter()
+                    .map(|&local| (e.segment.key_of(local), e.segment.row(local).to_vec()))
+            })
+            .collect();
+        rows.sort_by_key(|(id, _)| *id);
+        debug_assert!(
+            rows.windows(2).all(|w| w[0].0 < w[1].0),
+            "live_locals must resolve each id exactly once"
+        );
+        rows
+    }
+
+    /// A single-segment version holding `merged` — the post-compaction
+    /// world.
+    pub fn compacted(merged: Arc<Segment>) -> Self {
+        Self {
+            segments: vec![SegmentEntry::fresh(merged)],
+        }
+    }
+}
+
+/// The swappable pointer to the current [`ManifestVersion`].
+pub struct Manifest {
+    current: RwLock<Arc<ManifestVersion>>,
+    generation: AtomicU64,
+}
+
+impl Manifest {
+    /// An empty manifest starting at `generation_floor` (0 for a fresh
+    /// store; the device's persisted floor on recovery).
+    pub fn new(generation_floor: u64) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(ManifestVersion::empty())),
+            generation: AtomicU64::new(generation_floor),
+        }
+    }
+
+    /// The current version — a consistent snapshot for the caller's whole
+    /// query, unaffected by concurrent swaps.
+    pub fn current(&self) -> Arc<ManifestVersion> {
+        Arc::clone(&self.current.read().expect("manifest lock poisoned"))
+    }
+
+    /// Publish `version` and return the new generation.
+    pub fn swap(&self, version: ManifestVersion) -> u64 {
+        let mut slot = self.current.write().expect("manifest lock poisoned");
+        *slot = Arc::new(version);
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SidecarConfig;
+
+    fn seg(seq: u64, rows: &[(u32, f32)], tombs: &[u32]) -> Arc<Segment> {
+        Arc::new(Segment::build(
+            seq,
+            rows.iter().map(|&(id, v)| (id, vec![v, v])).collect(),
+            tombs.to_vec(),
+            2,
+            SidecarConfig::default(),
+            None,
+        ))
+    }
+
+    #[test]
+    fn newer_segments_shadow_keys_and_tombstones() {
+        let v0 = ManifestVersion::empty();
+        let v1 = v0.with_new_segment(seg(1, &[(1, 1.0), (2, 2.0), (3, 3.0)], &[]));
+        // Segment 2 rewrites id 2 and tombstones id 3.
+        let v2 = v1.with_new_segment(seg(2, &[(2, 20.0)], &[3]));
+        assert_eq!(v2.num_segments(), 2);
+        assert_eq!(v2.segments()[0].live_locals, vec![0]); // id 2 (new)
+        assert_eq!(v2.segments()[1].live_locals, vec![0]); // id 1 only
+        assert_eq!(v2.total_live(), 2);
+        assert_eq!(v2.total_tombstones(), 1);
+        let rows = v2.merged_rows();
+        assert_eq!(
+            rows,
+            vec![(1u32, vec![1.0f32, 1.0]), (2, vec![20.0, 20.0])],
+            "merge takes the newest version and drops tombstoned ids"
+        );
+    }
+
+    #[test]
+    fn compaction_collapses_the_stack() {
+        let v = ManifestVersion::empty()
+            .with_new_segment(seg(1, &[(1, 1.0), (2, 2.0)], &[]))
+            .with_new_segment(seg(2, &[(3, 3.0)], &[1]));
+        let rows = v.merged_rows();
+        let merged = Arc::new(Segment::build(
+            2,
+            rows,
+            vec![],
+            2,
+            SidecarConfig::default(),
+            None,
+        ));
+        let compacted = ManifestVersion::compacted(merged);
+        assert_eq!(compacted.num_segments(), 1);
+        assert_eq!(compacted.total_live(), 2); // ids 2 and 3
+        assert_eq!(compacted.total_tombstones(), 0);
+    }
+
+    #[test]
+    fn swap_advances_generation_and_readers_keep_snapshots() {
+        let m = Manifest::new(7); // recovered floor
+        assert_eq!(m.generation(), 7);
+        let before = m.current();
+        let gen = m.swap(ManifestVersion::empty().with_new_segment(seg(1, &[(1, 1.0)], &[])));
+        assert_eq!(gen, 8);
+        assert_eq!(m.generation(), 8);
+        assert_eq!(before.num_segments(), 0, "old snapshot is unaffected");
+        assert_eq!(m.current().num_segments(), 1);
+    }
+}

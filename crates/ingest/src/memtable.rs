@@ -1,0 +1,230 @@
+//! The in-RAM mutable level (DESIGN.md §13.2).
+//!
+//! Every acknowledged write lands here right after its WAL append: inserts
+//! as full vectors, deletes as tombstones. The memtable is the *newest*
+//! level of the store, so at query time its entries shadow every sealed
+//! segment — an id present here (live or tombstoned) masks any older
+//! version of the same id below. That shadowing is what keeps mid-ingest
+//! answers exact: the memtable scan is brute force over exact in-RAM
+//! vectors, and the mask it exports removes the stale duplicates segments
+//! would otherwise contribute.
+//!
+//! The struct itself is plain data — no interior locking. The engine wraps
+//! it in an `RwLock` so concurrent queries scan while the single writer
+//! path (insert/delete/seal, serialized by the engine's writer mutex)
+//! mutates.
+
+use std::collections::{HashMap, HashSet};
+
+use hc_core::dataset::PointId;
+use hc_core::distance::euclidean;
+
+/// Rough per-entry bookkeeping overhead (hash slot, key, Option tag) folded
+/// into the size accounting that triggers seals.
+const ENTRY_OVERHEAD_BYTES: usize = 24;
+
+/// One shadowing entry: a live vector or a tombstone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemEntry {
+    Live(Vec<f32>),
+    Tombstone,
+}
+
+/// The mutable newest level: id → latest version.
+#[derive(Debug)]
+pub struct Memtable {
+    dim: usize,
+    entries: HashMap<u32, MemEntry>,
+    approx_bytes: usize,
+}
+
+impl Memtable {
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self {
+            dim,
+            entries: HashMap::new(),
+            approx_bytes: 0,
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Upsert: `id` now maps to `vector`, shadowing anything older.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch — the WAL already persisted the
+    /// record, so a mismatched vector here is a caller bug, not bad data.
+    pub fn insert(&mut self, id: PointId, vector: Vec<f32>) {
+        assert_eq!(vector.len(), self.dim, "point dimensionality mismatch");
+        let added = ENTRY_OVERHEAD_BYTES + vector.len() * 4;
+        if let Some(old) = self.entries.insert(id.0, MemEntry::Live(vector)) {
+            self.approx_bytes -= Self::entry_bytes(&old);
+        }
+        self.approx_bytes += added;
+    }
+
+    /// Tombstone `id`: masks every older version, here and in segments.
+    pub fn delete(&mut self, id: PointId) {
+        if let Some(old) = self.entries.insert(id.0, MemEntry::Tombstone) {
+            self.approx_bytes -= Self::entry_bytes(&old);
+        }
+        self.approx_bytes += ENTRY_OVERHEAD_BYTES;
+    }
+
+    fn entry_bytes(e: &MemEntry) -> usize {
+        match e {
+            MemEntry::Live(v) => ENTRY_OVERHEAD_BYTES + v.len() * 4,
+            MemEntry::Tombstone => ENTRY_OVERHEAD_BYTES,
+        }
+    }
+
+    /// The latest version of `id`, if this level has one.
+    pub fn get(&self, id: PointId) -> Option<&MemEntry> {
+        self.entries.get(&id.0)
+    }
+
+    /// Total entries (live + tombstones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Live vectors only.
+    pub fn live_points(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| matches!(e, MemEntry::Live(_)))
+            .count()
+    }
+
+    /// Tombstones only.
+    pub fn tombstones(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| matches!(e, MemEntry::Tombstone))
+            .count()
+    }
+
+    /// Approximate resident bytes — the seal trigger compares this against
+    /// the configured memtable budget.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// The shadow mask this level casts over everything older: every id
+    /// with an entry here, live or tombstoned.
+    pub fn mask(&self) -> HashSet<u32> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Exact brute-force top-k over the live vectors: ascending
+    /// `(distance, id)` pairs, ties broken by id for determinism.
+    pub fn top_k(&self, q: &[f32], k: usize) -> Vec<(f64, PointId)> {
+        debug_assert_eq!(q.len(), self.dim);
+        let mut hits: Vec<(f64, PointId)> = self
+            .entries
+            .iter()
+            .filter_map(|(&id, e)| match e {
+                MemEntry::Live(v) => Some((euclidean(q, v), PointId(id))),
+                MemEntry::Tombstone => None,
+            })
+            .collect();
+        hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        hits.truncate(k);
+        hits
+    }
+
+    /// Hand the level's contents over to a seal: sorted live `(id, vector)`
+    /// rows plus sorted tombstoned ids. The memtable itself is untouched —
+    /// the seal protocol clears it only *after* the manifest swap publishes
+    /// the segment, so queries never see a gap.
+    pub fn snapshot_for_seal(&self) -> (Vec<(u32, Vec<f32>)>, Vec<u32>) {
+        let mut live = Vec::new();
+        let mut tombstones = Vec::new();
+        for (&id, e) in &self.entries {
+            match e {
+                MemEntry::Live(v) => live.push((id, v.clone())),
+                MemEntry::Tombstone => tombstones.push(id),
+            }
+        }
+        live.sort_by_key(|(id, _)| *id);
+        tombstones.sort_unstable();
+        (live, tombstones)
+    }
+
+    /// Drop every entry (the post-swap half of a seal).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.approx_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_shadows_and_tombstones_mask() {
+        let mut m = Memtable::new(2);
+        m.insert(PointId(1), vec![0.0, 0.0]);
+        m.insert(PointId(1), vec![5.0, 5.0]); // upsert replaces
+        m.insert(PointId(2), vec![1.0, 0.0]);
+        m.delete(PointId(2));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.live_points(), 1);
+        assert_eq!(m.tombstones(), 1);
+        let hits = m.top_k(&[0.0, 0.0], 10);
+        assert_eq!(hits.len(), 1, "tombstoned point must not score");
+        assert_eq!(hits[0].1, PointId(1));
+        assert!((hits[0].0 - 50.0f64.sqrt()).abs() < 1e-9);
+        assert!(m.mask().contains(&2), "tombstones still shadow segments");
+    }
+
+    #[test]
+    fn top_k_is_sorted_truncated_and_deterministic() {
+        let mut m = Memtable::new(1);
+        for id in 0..10u32 {
+            m.insert(PointId(id), vec![id as f32]);
+        }
+        let hits = m.top_k(&[0.0], 3);
+        let ids: Vec<u32> = hits.iter().map(|(_, id)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert!(hits.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn byte_accounting_tracks_replacements() {
+        let mut m = Memtable::new(4);
+        assert_eq!(m.approx_bytes(), 0);
+        m.insert(PointId(1), vec![0.0; 4]);
+        let one = m.approx_bytes();
+        m.insert(PointId(1), vec![1.0; 4]); // replace: no growth
+        assert_eq!(m.approx_bytes(), one);
+        m.delete(PointId(1)); // tombstone is smaller than a vector
+        assert!(m.approx_bytes() < one);
+        m.clear();
+        assert_eq!(m.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn seal_snapshot_is_sorted_and_leaves_the_level_intact() {
+        let mut m = Memtable::new(1);
+        m.insert(PointId(9), vec![9.0]);
+        m.insert(PointId(3), vec![3.0]);
+        m.delete(PointId(7));
+        let (live, tombs) = m.snapshot_for_seal();
+        assert_eq!(
+            live,
+            vec![(3u32, vec![3.0f32]), (9, vec![9.0])],
+            "live rows sorted by id"
+        );
+        assert_eq!(tombs, vec![7]);
+        assert_eq!(m.len(), 3, "snapshot must not drain the memtable");
+    }
+}

@@ -1,0 +1,425 @@
+//! Sealed immutable segments (DESIGN.md §13.3).
+//!
+//! A seal flushes one memtable snapshot into a [`Segment`]: the live
+//! vectors become a paged, per-page-checksummed [`PointFile`] (the same
+//! codec and fallible [`PageStore`] machinery the frozen base dataset
+//! uses), the tombstones ride along as a sorted id list, and a per-segment
+//! compact-code sidecar is built at seal time — the paper's bit-packed
+//! τ-bit encoding via [`GlobalScheme`], fitted to *this segment's* value
+//! distribution (GoVector-style per-segment caching: each sealed run keeps
+//! its own compact codes rather than sharing one global pool).
+//!
+//! Queries use the sidecar for sound distance lower bounds: candidates are
+//! refined in ascending-lb order, reading exact vectors through the
+//! fallible store with bounded transient retries, and stop as soon as the
+//! k-th exact distance is ≤ the next lower bound — the multi-step optimal
+//! stopping rule, so the answer over the segment's unmasked rows is exact
+//! while most pages are never read.
+//!
+//! Like the base file, a segment can be wrapped in a [`FaultInjector`]
+//! (per-segment seed) so sealed pages fail realistically; scrub passes
+//! repair them from the seal-time replica via [`ScrubbablePageStore`].
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use hc_core::codes::PackedCodes;
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::distance::euclidean;
+use hc_core::histogram::HistogramKind;
+use hc_core::quantize::Quantizer;
+use hc_core::scheme::{ApproxScheme, GlobalScheme};
+use hc_storage::fault::{FaultConfig, FaultInjector};
+use hc_storage::point_file::PointFile;
+use hc_storage::scrub::ScrubbablePageStore;
+
+/// Sidecar fit parameters: how a seal builds its segment's compact codes.
+#[derive(Debug, Clone, Copy)]
+pub struct SidecarConfig {
+    /// Histogram bucket budget B (τ = ⌈log₂ B⌉ bits per code).
+    pub buckets: u32,
+    /// Quantizer domain size over the segment's value range.
+    pub n_dom: u32,
+}
+
+impl Default for SidecarConfig {
+    fn default() -> Self {
+        Self {
+            buckets: 64,
+            n_dom: 1024,
+        }
+    }
+}
+
+/// One sealed, immutable level of the store.
+pub struct Segment {
+    /// Seal ordinal: higher = newer. Compaction outputs keep the max of
+    /// their inputs so newest-first ordering survives merges.
+    seq: u64,
+    /// Local slot → user id, sorted ascending (slot `i` stores `keys[i]`).
+    keys: Vec<u32>,
+    /// Ids deleted as of this seal, sorted — they mask older segments.
+    tombstones: Vec<u32>,
+    /// The pristine seal-time file: replica for scrub repair and offline
+    /// (no-I/O) access for verification.
+    file: Arc<PointFile>,
+    /// The store queries actually read through — the file itself, or a
+    /// fault-injecting wrapper around it.
+    store: Arc<dyn ScrubbablePageStore>,
+    /// The sidecar's bound scheme, fitted to this segment's distribution.
+    scheme: GlobalScheme,
+    /// Packed τ-bit codes, one slot per key.
+    codes: PackedCodes,
+}
+
+/// What one segment search did and found.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct SegmentSearch {
+    /// Ascending `(exact distance, id)` — at most k, exact over the
+    /// segment's unmasked live rows minus `missing`.
+    pub hits: Vec<(f64, PointId)>,
+    /// Unmasked candidates whose bounds were evaluated.
+    pub considered: usize,
+    /// Candidates eliminated by the lower bound without an exact read.
+    pub pruned: usize,
+    /// Exact vectors actually fetched.
+    pub fetched: usize,
+    /// Physical pages this search read.
+    pub io_pages: usize,
+    /// Retries of transient page faults.
+    pub pages_retried: usize,
+    /// Ids whose page stayed unreadable within the retry budget — the
+    /// answer over this segment is exact minus these (degraded, surfaced
+    /// to the caller, never silently wrong).
+    pub missing: Vec<PointId>,
+}
+
+impl Segment {
+    /// Seal a memtable snapshot into a segment. `live` must be sorted by id
+    /// (as [`crate::memtable::Memtable::snapshot_for_seal`] yields it);
+    /// `fault` wraps the sealed file in a [`FaultInjector`] so its pages
+    /// fail like the base dataset's.
+    pub fn build(
+        seq: u64,
+        live: Vec<(u32, Vec<f32>)>,
+        tombstones: Vec<u32>,
+        dim: usize,
+        sidecar: SidecarConfig,
+        fault: Option<FaultConfig>,
+    ) -> Self {
+        debug_assert!(live.windows(2).all(|w| w[0].0 < w[1].0), "live sorted");
+        let mut dataset = Dataset::with_dim(dim);
+        let mut keys = Vec::with_capacity(live.len());
+        for (id, vector) in &live {
+            keys.push(*id);
+            dataset.push(vector);
+        }
+        // `value_range` widens degenerate ranges and covers the empty case,
+        // so the quantizer is always well-formed.
+        let (lo, hi) = dataset.value_range();
+        let quantizer = Quantizer::new(lo, hi, sidecar.n_dom);
+        let histogram = HistogramKind::EquiDepth.build(
+            &quantizer.frequency_array(dataset.as_flat()),
+            sidecar.buckets,
+        );
+        let scheme = GlobalScheme::new(histogram, quantizer, dim);
+        let mut codes = PackedCodes::with_capacity(dim, scheme.tau(), keys.len());
+        let mut words = Vec::with_capacity(scheme.words_per_point());
+        for (_, vector) in &live {
+            words.clear();
+            scheme.encode_into(vector, &mut words);
+            codes.push(hc_core::codes::CodeIter::new(&words, scheme.tau(), dim));
+        }
+        let file = Arc::new(PointFile::new(dataset));
+        let store: Arc<dyn ScrubbablePageStore> = match fault {
+            Some(cfg) => Arc::new(FaultInjector::new(Arc::clone(&file), cfg)),
+            None => Arc::clone(&file) as Arc<dyn ScrubbablePageStore>,
+        };
+        Self {
+            seq,
+            keys,
+            tombstones,
+            file,
+            store,
+            scheme,
+            codes,
+        }
+    }
+
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Rows stored (live at seal time; masking happens above).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Local slot → user id.
+    pub fn key_of(&self, local: u32) -> u32 {
+        self.keys[local as usize]
+    }
+
+    pub fn keys(&self) -> &[u32] {
+        &self.keys
+    }
+
+    pub fn tombstones(&self) -> &[u32] {
+        &self.tombstones
+    }
+
+    /// Whether this segment tombstones `id` (binary search; sorted list).
+    pub fn is_tombstoned(&self, id: u32) -> bool {
+        self.tombstones.binary_search(&id).is_ok()
+    }
+
+    /// Whether this segment stores a version of `id`.
+    pub fn contains_key(&self, id: u32) -> bool {
+        self.keys.binary_search(&id).is_ok()
+    }
+
+    /// The store queries read through (fault-injected when configured) —
+    /// also what scrub cycles walk.
+    pub fn store(&self) -> &Arc<dyn ScrubbablePageStore> {
+        &self.store
+    }
+
+    /// The pristine seal-time file (replica / offline access).
+    pub fn file(&self) -> &Arc<PointFile> {
+        &self.file
+    }
+
+    /// Offline (no-I/O, infallible) row access — compaction merges read
+    /// through this, exactly like cache rebuilds read the base dataset.
+    pub fn row(&self, local: u32) -> &[f32] {
+        self.file.dataset().point(PointId(local))
+    }
+
+    /// Sidecar bytes per row (compact-code footprint, for obs).
+    pub fn sidecar_bytes(&self) -> usize {
+        self.codes.bytes_per_point() * self.keys.len()
+    }
+
+    /// Exact top-k over `locals` (this segment's still-live slots per the
+    /// manifest) minus ids in `mask` (shadowed by newer levels), refined in
+    /// ascending-lower-bound order with bounded transient retries.
+    pub fn top_k(
+        &self,
+        q: &[f32],
+        k: usize,
+        locals: &[u32],
+        mask: &HashSet<u32>,
+        max_retries: u32,
+    ) -> SegmentSearch {
+        let mut out = SegmentSearch::default();
+        if k == 0 {
+            return out;
+        }
+        // Bound pass: one lb per unmasked candidate, sidecar only, no I/O.
+        let mut by_lb: Vec<(f64, u32)> = Vec::with_capacity(locals.len());
+        for &local in locals {
+            let id = self.key_of(local);
+            if mask.contains(&id) {
+                continue;
+            }
+            let lb = self
+                .scheme
+                .bounds(q, self.codes.point_words(local as usize))
+                .lb;
+            by_lb.push((lb, local));
+        }
+        out.considered = by_lb.len();
+        by_lb.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        // Refine pass: exact reads in lb order until the stopping rule fires.
+        let mut buffer = self.store.begin_query();
+        let mut best: Vec<(f64, PointId)> = Vec::with_capacity(k + 1);
+        for (i, &(lb, local)) in by_lb.iter().enumerate() {
+            if best.len() == k && lb >= best[k - 1].0 {
+                // Sound lower bounds in ascending order: nothing further can
+                // beat the current k-th exact distance.
+                out.pruned = by_lb.len() - i;
+                break;
+            }
+            let id = PointId(self.key_of(local));
+            let mut attempt = 0u32;
+            let exact = loop {
+                match self.store.read_point(PointId(local), attempt, &mut buffer) {
+                    Ok(p) => break Some(euclidean(q, p)),
+                    Err(e) if e.is_transient() && attempt < max_retries => {
+                        attempt += 1;
+                        out.pages_retried += 1;
+                    }
+                    Err(_) => break None,
+                }
+            };
+            match exact {
+                Some(d) => {
+                    out.fetched += 1;
+                    let at = best.partition_point(|&(bd, bid)| (bd, bid.0) <= (d, id.0));
+                    best.insert(at, (d, id));
+                    best.truncate(k);
+                }
+                None => out.missing.push(id),
+            }
+        }
+        out.io_pages = buffer.pages_touched();
+        out.hits = best;
+        out
+    }
+
+    /// Brute-force exact top-k over unmasked `locals` via offline access —
+    /// the oracle the tests and the bench verifier compare against.
+    pub fn top_k_reference(
+        &self,
+        q: &[f32],
+        k: usize,
+        locals: &[u32],
+        mask: &HashSet<u32>,
+    ) -> Vec<(f64, PointId)> {
+        let mut hits: Vec<(f64, PointId)> = locals
+            .iter()
+            .filter(|&&local| !mask.contains(&self.key_of(local)))
+            .map(|&local| (euclidean(q, self.row(local)), PointId(self.key_of(local))))
+            .collect();
+        hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seal(seq: u64, rows: &[(u32, Vec<f32>)], tombs: &[u32]) -> Segment {
+        Segment::build(
+            seq,
+            rows.to_vec(),
+            tombs.to_vec(),
+            rows.first().map_or(2, |(_, v)| v.len()),
+            SidecarConfig::default(),
+            None,
+        )
+    }
+
+    fn grid_rows(n: u32, d: usize) -> Vec<(u32, Vec<f32>)> {
+        (0..n)
+            .map(|i| {
+                (
+                    i * 3, // sparse, non-contiguous user ids
+                    (0..d).map(|j| ((i as usize * d + j) % 17) as f32).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn top_k_matches_brute_force_and_prunes() {
+        let rows = grid_rows(120, 8);
+        let s = seal(1, &rows, &[]);
+        let locals: Vec<u32> = (0..rows.len() as u32).collect();
+        let mask = HashSet::new();
+        let q: Vec<f32> = (0..8).map(|j| (j as f32) * 0.7).collect();
+        let got = s.top_k(&q, 5, &locals, &mask, 3);
+        let want = s.top_k_reference(&q, 5, &locals, &mask);
+        assert_eq!(got.hits, want);
+        assert!(got.missing.is_empty());
+        assert!(
+            got.pruned > 0,
+            "sidecar bounds should prune some of 120 candidates"
+        );
+        assert_eq!(got.fetched + got.pruned, got.considered);
+    }
+
+    #[test]
+    fn mask_and_live_locals_shadow_rows() {
+        let rows = grid_rows(30, 4);
+        let s = seal(1, &rows, &[]);
+        let q = vec![0.0f32; 4];
+        // Mask half the ids (as if the memtable rewrote them)…
+        let mask: HashSet<u32> = rows.iter().map(|(id, _)| *id).step_by(2).collect();
+        let locals: Vec<u32> = (0..rows.len() as u32).collect();
+        let got = s.top_k(&q, 30, &locals, &mask, 3);
+        assert!(got.hits.iter().all(|(_, id)| !mask.contains(&id.0)));
+        assert_eq!(got.hits.len(), 15);
+        // …and drop some locals (as if a newer segment superseded them).
+        let fewer: Vec<u32> = (0..10u32).collect();
+        let got = s.top_k(&q, 30, &fewer, &HashSet::new(), 3);
+        assert_eq!(got.hits.len(), 10);
+    }
+
+    #[test]
+    fn faulted_segment_stays_exact_modulo_missing() {
+        // 150 dims → 6 points per 4KB page → 20 pages, so fault rolls have
+        // real pages to land on (one-page segments buffer after one read).
+        let rows = grid_rows(120, 150);
+        let fault = FaultConfig {
+            seed: 13,
+            transient_rate: 0.3,
+            unreadable_rate: 0.15,
+            ..FaultConfig::none()
+        };
+        let s = Segment::build(
+            2,
+            rows.clone(),
+            vec![],
+            150,
+            SidecarConfig::default(),
+            Some(fault),
+        );
+        let locals: Vec<u32> = (0..rows.len() as u32).collect();
+        let mask = HashSet::new();
+        let mut retried = 0;
+        for shift in 0..8 {
+            let q: Vec<f32> = (0..150).map(|j| (16 - (j % 8) + shift) as f32).collect();
+            let got = s.top_k(&q, 6, &locals, &mask, 4);
+            retried += got.pages_retried;
+            // Every returned hit is exact; missing ids explain any
+            // divergence from the oracle.
+            let missing: HashSet<u32> = got.missing.iter().map(|id| id.0).collect();
+            let oracle: Vec<(f64, PointId)> = s
+                .top_k_reference(&q, 6 + missing.len(), &locals, &mask)
+                .into_iter()
+                .filter(|(_, id)| !missing.contains(&id.0))
+                .take(6)
+                .collect();
+            assert_eq!(got.hits, oracle, "shift {shift}");
+        }
+        assert!(retried > 0, "transient faults must retry somewhere");
+    }
+
+    #[test]
+    fn empty_and_tombstone_only_segments_work() {
+        let s = seal(3, &[], &[4, 9]);
+        assert!(s.is_empty());
+        assert!(s.is_tombstoned(4));
+        assert!(!s.is_tombstoned(5));
+        let got = s.top_k(&[0.0, 0.0], 5, &[], &HashSet::new(), 3);
+        assert!(got.hits.is_empty());
+        assert_eq!(s.store().num_pages(), 0);
+    }
+
+    #[test]
+    fn scrub_repairs_a_faulted_segment() {
+        use hc_storage::scrub::Scrubber;
+        let rows = grid_rows(120, 150); // 20 pages
+        let fault = FaultConfig {
+            seed: 7,
+            unreadable_rate: 0.5,
+            ..FaultConfig::none()
+        };
+        let s = Segment::build(4, rows, vec![], 150, SidecarConfig::default(), Some(fault));
+        let report = Scrubber::default().run(s.store().as_ref());
+        assert!(report.pages_bad > 0, "seed 7 @ 0.5 must kill pages");
+        assert!(report.is_clean(), "all dead pages repair from the replica");
+        // Post-scrub, the full refine path reads everything it needs.
+        let locals: Vec<u32> = (0..s.len() as u32).collect();
+        let got = s.top_k(&[0.0; 150], 10, &locals, &HashSet::new(), 3);
+        assert!(got.missing.is_empty(), "repaired segment must not degrade");
+    }
+}

@@ -1,0 +1,432 @@
+//! The checksummed write-ahead log (DESIGN.md §13.1).
+//!
+//! Durability in the live-mutable path is a byte log: every insert or
+//! delete is framed, checksummed, and appended to the [`WalDevice`] *before*
+//! it touches the memtable, so an acknowledged write survives any crash of
+//! the in-RAM structures. The device is the simulated durable medium —
+//! the same substitution `hc-storage` makes for the paged point file — a
+//! byte vector whose contents outlive the engine that wrote them, plus a
+//! tiny superblock (the manifest generation floor) standing in for the
+//! MANIFEST file a real LSM store fsyncs alongside its log.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! | len: u32 LE | checksum: u64 LE | payload: len bytes |
+//! payload = | seq: u64 LE | op: u8 | id: u32 LE | (dim: u32 LE | dim × f32 LE)? |
+//! ```
+//!
+//! The checksum covers the payload bytes ([`hc_storage::codec::bytes_checksum`] —
+//! the same mixing pipeline that guards data pages). Replay walks frames
+//! from the front and stops at the first frame that is torn (fewer bytes
+//! than the header promises, or a truncated header) or corrupt (checksum
+//! mismatch): everything before that point is exactly the acknowledged
+//! prefix, and a half-written final record is dropped rather than surfaced
+//! as a corrupt point.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use hc_core::dataset::PointId;
+use hc_storage::codec::bytes_checksum;
+
+/// Frame header bytes: `len: u32` + `checksum: u64`.
+const HEADER_BYTES: usize = 4 + 8;
+
+const OP_INSERT: u8 = 0;
+const OP_DELETE: u8 = 1;
+
+/// One durable mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// Upsert: `id` now maps to `vector`.
+    Insert { id: PointId, vector: Vec<f32> },
+    /// Tombstone: `id` is gone (masks every older version).
+    Delete { id: PointId },
+}
+
+impl WalOp {
+    /// The point this operation addresses.
+    pub fn id(&self) -> PointId {
+        match self {
+            WalOp::Insert { id, .. } | WalOp::Delete { id } => *id,
+        }
+    }
+}
+
+/// A decoded log record: the op plus its global sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    pub seq: u64,
+    pub op: WalOp,
+}
+
+/// The simulated durable medium behind the log: an append-only byte vector
+/// plus the manifest-generation superblock. It deliberately has no
+/// reference to the engine — "crash" in tests and benches is dropping the
+/// engine while keeping the device, exactly like losing RAM but not disk.
+#[derive(Debug, Default)]
+pub struct WalDevice {
+    bytes: Mutex<Vec<u8>>,
+    /// Highest manifest generation ever published by an engine over this
+    /// device — the superblock a recovered manifest resumes from, which is
+    /// what keeps generations monotonic across restarts.
+    generation_floor: AtomicU64,
+}
+
+impl WalDevice {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Durable log length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.lock().expect("wal device poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a full frame atomically (the normal write path).
+    pub fn append(&self, frame: &[u8]) {
+        self.bytes
+            .lock()
+            .expect("wal device poisoned")
+            .extend_from_slice(frame);
+    }
+
+    /// Append only the first `upto` bytes of a frame — a torn write, as a
+    /// crash mid-append would leave it. Test/bench-only by nature; the
+    /// normal path never calls it.
+    pub fn append_torn(&self, frame: &[u8], upto: usize) {
+        let upto = upto.min(frame.len());
+        self.bytes
+            .lock()
+            .expect("wal device poisoned")
+            .extend_from_slice(&frame[..upto]);
+    }
+
+    /// Cut the log to `len` bytes — simulates losing the tail of the medium.
+    pub fn truncate(&self, len: usize) {
+        let mut bytes = self.bytes.lock().expect("wal device poisoned");
+        if len < bytes.len() {
+            bytes.truncate(len);
+        }
+    }
+
+    /// Flip one bit of the stored log (bit-rot simulation).
+    pub fn corrupt_bit(&self, byte: usize, bit: u8) {
+        let mut bytes = self.bytes.lock().expect("wal device poisoned");
+        if let Some(b) = bytes.get_mut(byte) {
+            *b ^= 1 << (bit % 8);
+        }
+    }
+
+    /// Copy the durable bytes out (replay input).
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.bytes.lock().expect("wal device poisoned").clone()
+    }
+
+    /// The persisted manifest-generation floor.
+    pub fn generation_floor(&self) -> u64 {
+        self.generation_floor.load(Ordering::Acquire)
+    }
+
+    /// Raise the floor to `generation` (never lowers it).
+    pub fn publish_generation(&self, generation: u64) {
+        self.generation_floor
+            .fetch_max(generation, Ordering::AcqRel);
+    }
+}
+
+/// Encode one record into its framed byte form.
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16);
+    payload.extend_from_slice(&record.seq.to_le_bytes());
+    match &record.op {
+        WalOp::Insert { id, vector } => {
+            payload.push(OP_INSERT);
+            payload.extend_from_slice(&id.0.to_le_bytes());
+            payload.extend_from_slice(&(vector.len() as u32).to_le_bytes());
+            for v in vector {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        WalOp::Delete { id } => {
+            payload.push(OP_DELETE);
+            payload.extend_from_slice(&id.0.to_le_bytes());
+        }
+    }
+    let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&bytes_checksum(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Why replay stopped where it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayEnd {
+    /// The log ended exactly on a frame boundary.
+    Clean,
+    /// The final frame was cut short (crash mid-append); it was dropped.
+    TornTail,
+    /// A frame's checksum did not match its payload; replay stopped there.
+    Corrupt,
+}
+
+/// Result of scanning a durable log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replay {
+    /// Every fully-written, checksum-verified record, in append order.
+    pub records: Vec<WalRecord>,
+    /// How the scan terminated.
+    pub end: ReplayEnd,
+    /// Bytes of verified frames (the recoverable prefix).
+    pub verified_bytes: usize,
+}
+
+/// Scan `bytes` front to back, yielding the acknowledged prefix.
+pub fn replay(bytes: &[u8]) -> Replay {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    loop {
+        if at == bytes.len() {
+            return Replay {
+                records,
+                end: ReplayEnd::Clean,
+                verified_bytes: at,
+            };
+        }
+        if bytes.len() - at < HEADER_BYTES {
+            return Replay {
+                records,
+                end: ReplayEnd::TornTail,
+                verified_bytes: at,
+            };
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        let checksum = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("8 bytes"));
+        let start = at + HEADER_BYTES;
+        if bytes.len() - start < len {
+            return Replay {
+                records,
+                end: ReplayEnd::TornTail,
+                verified_bytes: at,
+            };
+        }
+        let payload = &bytes[start..start + len];
+        if bytes_checksum(payload) != checksum {
+            return Replay {
+                records,
+                end: ReplayEnd::Corrupt,
+                verified_bytes: at,
+            };
+        }
+        match decode_payload(payload) {
+            Some(record) => records.push(record),
+            // A verified checksum over an undecodable payload means the
+            // writer itself was broken; treat it like corruption and stop.
+            None => {
+                return Replay {
+                    records,
+                    end: ReplayEnd::Corrupt,
+                    verified_bytes: at,
+                }
+            }
+        }
+        at = start + len;
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    if payload.len() < 13 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().ok()?);
+    let op = payload[8];
+    let id = PointId(u32::from_le_bytes(payload[9..13].try_into().ok()?));
+    match op {
+        OP_DELETE if payload.len() == 13 => Some(WalRecord {
+            seq,
+            op: WalOp::Delete { id },
+        }),
+        OP_INSERT if payload.len() >= 17 => {
+            let dim = u32::from_le_bytes(payload[13..17].try_into().ok()?) as usize;
+            if payload.len() != 17 + dim * 4 {
+                return None;
+            }
+            let vector = payload[17..]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect();
+            Some(WalRecord {
+                seq,
+                op: WalOp::Insert { id, vector },
+            })
+        }
+        _ => None,
+    }
+}
+
+/// The appender: sequences records and writes frames to the device. One per
+/// engine; the engine's writer lock serializes calls.
+pub struct Wal {
+    device: std::sync::Arc<WalDevice>,
+    next_seq: AtomicU64,
+}
+
+impl Wal {
+    /// A writer starting at sequence 0 over an empty (or fresh) device.
+    pub fn new(device: std::sync::Arc<WalDevice>) -> Self {
+        Self {
+            device,
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// A writer resuming after `recovered` — sequencing continues after the
+    /// highest replayed sequence number.
+    pub fn resume(device: std::sync::Arc<WalDevice>, next_seq: u64) -> Self {
+        Self {
+            device,
+            next_seq: AtomicU64::new(next_seq),
+        }
+    }
+
+    /// Durably append `op`; returns the record's sequence number. The write
+    /// is acknowledged (and may be applied to the memtable) only once this
+    /// returns.
+    pub fn append(&self, op: WalOp) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::AcqRel);
+        let frame = encode_record(&WalRecord { seq, op });
+        self.device.append(&frame);
+        seq
+    }
+
+    /// The sequence number the next append will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq.load(Ordering::Acquire)
+    }
+
+    /// The device this log writes to.
+    pub fn device(&self) -> &std::sync::Arc<WalDevice> {
+        &self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord {
+                seq: 0,
+                op: WalOp::Insert {
+                    id: PointId(7),
+                    vector: vec![1.0, -2.5, 0.0],
+                },
+            },
+            WalRecord {
+                seq: 1,
+                op: WalOp::Delete { id: PointId(7) },
+            },
+            WalRecord {
+                seq: 2,
+                op: WalOp::Insert {
+                    id: PointId(9),
+                    vector: vec![3.5, 4.25, -0.125],
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_replay_round_trips() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        let replayed = replay(&bytes);
+        assert_eq!(replayed.end, ReplayEnd::Clean);
+        assert_eq!(replayed.records, records);
+        assert_eq!(replayed.verified_bytes, bytes.len());
+    }
+
+    #[test]
+    fn torn_tail_drops_only_the_partial_record() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        let mut boundaries = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+            boundaries.push(bytes.len());
+        }
+        // Cut anywhere strictly inside the last frame: the first two records
+        // survive, the third is dropped, never mangled.
+        for cut in boundaries[1] + 1..boundaries[2] {
+            let replayed = replay(&bytes[..cut]);
+            assert_eq!(replayed.end, ReplayEnd::TornTail, "cut at {cut}");
+            assert_eq!(replayed.records, records[..2]);
+            assert_eq!(replayed.verified_bytes, boundaries[1]);
+        }
+    }
+
+    #[test]
+    fn bit_flip_stops_replay_without_yielding_a_corrupt_point() {
+        let records = sample_records();
+        let mut clean = Vec::new();
+        for r in &records {
+            clean.extend_from_slice(&encode_record(r));
+        }
+        for byte in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[byte] ^= 0x10;
+            let replayed = replay(&bytes);
+            // Whatever was flipped (header or payload, any frame), every
+            // record that does come back is one of the originals.
+            for rec in &replayed.records {
+                assert!(
+                    records.contains(rec),
+                    "byte {byte}: replay fabricated record {rec:?}"
+                );
+            }
+            assert!(replayed.records.len() <= records.len());
+        }
+    }
+
+    #[test]
+    fn wal_appends_ack_in_sequence_and_device_survives_the_writer() {
+        let device = Arc::new(WalDevice::new());
+        {
+            let wal = Wal::new(Arc::clone(&device));
+            assert_eq!(
+                wal.append(WalOp::Insert {
+                    id: PointId(1),
+                    vector: vec![0.5]
+                }),
+                0
+            );
+            assert_eq!(wal.append(WalOp::Delete { id: PointId(1) }), 1);
+            assert_eq!(wal.next_seq(), 2);
+        } // writer "crashes"
+        let replayed = replay(&device.snapshot());
+        assert_eq!(replayed.end, ReplayEnd::Clean);
+        assert_eq!(replayed.records.len(), 2);
+        let resumed = Wal::resume(device, 2);
+        assert_eq!(resumed.append(WalOp::Delete { id: PointId(3) }), 2);
+    }
+
+    #[test]
+    fn generation_floor_is_monotonic() {
+        let device = WalDevice::new();
+        assert_eq!(device.generation_floor(), 0);
+        device.publish_generation(5);
+        device.publish_generation(3); // never lowers
+        assert_eq!(device.generation_floor(), 5);
+    }
+}

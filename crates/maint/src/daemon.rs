@@ -203,25 +203,10 @@ impl MaintDaemon {
     /// Run [`MaintDaemon::run_once`] every `interval` on a background
     /// thread until the returned handle is stopped or dropped.
     pub fn spawn(self: &Arc<Self>, interval: Duration) -> MaintHandle {
-        let (stop, ticks) = mpsc::channel::<()>();
         let daemon = Arc::clone(self);
-        let join = thread::Builder::new()
-            .name("hc-maint".into())
-            .spawn(move || loop {
-                match ticks.recv_timeout(interval) {
-                    Err(RecvTimeoutError::Timeout) => {
-                        let _ = daemon.run_once();
-                    }
-                    // Stop signal or handle dropped mid-send: either way,
-                    // maintenance is over.
-                    Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
-                }
-            })
-            .expect("spawn maintenance thread");
-        MaintHandle {
-            stop,
-            join: Some(join),
-        }
+        MaintHandle::spawn_interval("hc-maint", interval, move || {
+            let _ = daemon.run_once();
+        })
     }
 }
 
@@ -233,6 +218,34 @@ pub struct MaintHandle {
 }
 
 impl MaintHandle {
+    /// Run `tick` every `interval` on a named background thread until the
+    /// returned handle is stopped or dropped. The generic interval loop
+    /// behind every maintenance daemon ([`MaintDaemon::spawn`], the ingest
+    /// lifecycle daemon): one mpsc channel doubles as the stop signal and
+    /// the timer, so stopping never waits out a sleep.
+    pub fn spawn_interval(
+        name: &str,
+        interval: Duration,
+        mut tick: impl FnMut() + Send + 'static,
+    ) -> MaintHandle {
+        let (stop, ticks) = mpsc::channel::<()>();
+        let join = thread::Builder::new()
+            .name(name.into())
+            .spawn(move || loop {
+                match ticks.recv_timeout(interval) {
+                    Err(RecvTimeoutError::Timeout) => tick(),
+                    // Stop signal or handle dropped mid-send: either way,
+                    // maintenance is over.
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                }
+            })
+            .expect("spawn maintenance thread");
+        MaintHandle {
+            stop,
+            join: Some(join),
+        }
+    }
+
     /// Signal the daemon thread and wait for it to exit. Any cycle already
     /// in progress completes first.
     pub fn stop(mut self) {

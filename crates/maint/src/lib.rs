@@ -26,13 +26,20 @@
 //!   [`hc_storage::ScrubbablePageStore`], retry transient faults, repair
 //!   sticky-unreadable pages from the build-time replica, so degraded
 //!   availability recovers to exact service.
+//! * [`ingest::IngestDaemon`] — the same loop for the live-mutable dataset
+//!   (DESIGN.md §13): time-driven memtable seals (bounding WAL replay for
+//!   trickle writers), stack compaction, and a fleet scrub of every sealed
+//!   segment file, each cycle riding the engine's own manifest-swap
+//!   protocol so queries stay exact throughout.
 //!
 //! Metrics land in the `maint.*` series (rebuild count/duration, serving
 //! generation, swap count, warm-fill size, scrub scan/repair totals); see
 //! DESIGN.md §11 for the full lifecycle protocol.
 
 pub mod daemon;
+pub mod ingest;
 pub mod sampler;
 
 pub use daemon::{warm_fill_node_cache, MaintDaemon, MaintHandle, RebuildReport};
+pub use ingest::{IngestCycleReport, IngestDaemon};
 pub use sampler::WorkloadSampler;

@@ -48,6 +48,9 @@ struct AdminState {
     in_flight: Box<dyn Fn() -> usize + Send + Sync>,
     accepting: Box<dyn Fn() -> bool + Send + Sync>,
     cache_generation: Box<dyn Fn() -> u64 + Send + Sync>,
+    /// Live ingest status, when the server's backend is ingest-backed
+    /// (`None` for the frozen point/tree backends).
+    ingest_status: Option<Box<dyn Fn() -> hc_ingest::IngestStatus + Send + Sync>>,
 }
 
 /// A running admin endpoint. Dropping it (or calling
@@ -116,6 +119,10 @@ impl QueryServer {
                 let s = self.cache_generation_handle();
                 Box::new(move || s())
             },
+            ingest_status: self.ingest_engine().map(|engine| {
+                let engine = Arc::clone(engine);
+                Box::new(move || engine.status()) as Box<dyn Fn() -> _ + Send + Sync>
+            }),
         };
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
@@ -280,10 +287,33 @@ fn statusz(state: &AdminState) -> String {
             )
         }
     };
+    // The ingest section only exists for the live-mutable backend; frozen
+    // point/tree servers report `"ingest":null` so probes can distinguish
+    // "not ingest-backed" from "ingest-backed but idle".
+    let ingest = match &state.ingest_status {
+        None => "null".to_owned(),
+        Some(status) => {
+            let s = status();
+            format!(
+                "{{\"wal_bytes\":{},\"memtable_points\":{},\"memtable_tombstones\":{},\
+                 \"segments\":{},\"segment_rows_live\":{},\"segment_tombstones\":{},\
+                 \"manifest_generation\":{},\"seals\":{},\"compactions\":{}}}",
+                s.wal_bytes,
+                s.memtable_points,
+                s.memtable_tombstones,
+                s.segments,
+                s.segment_rows_live,
+                s.segment_tombstones,
+                s.manifest_generation,
+                s.seals,
+                s.compactions
+            )
+        }
+    };
     format!(
         "{{\"workers\":{},\"queue_capacity\":{},\"queue_depth\":{},\"in_flight\":{},\
          \"accepting\":{},\"cache_generation\":{},\"uptime_secs\":{:.3},\
-         \"slo_state\":\"{}\",\"burn_rates\":{},\"events\":{}}}\n",
+         \"slo_state\":\"{}\",\"burn_rates\":{},\"ingest\":{},\"events\":{}}}\n",
         state.workers,
         state.queue_capacity,
         (state.queue_depth)(),
@@ -293,6 +323,7 @@ fn statusz(state: &AdminState) -> String {
         state.started.elapsed().as_secs_f64(),
         slo_state,
         burns,
+        ingest,
         export::events_to_json(&state.registry.events().to_vec())
     )
 }

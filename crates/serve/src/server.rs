@@ -1,6 +1,6 @@
 //! The concurrent query server: worker threads over shared parts.
 //!
-//! Two backends share one serving shell. [`QueryServer::start`] runs the
+//! Three backends share one serving shell. [`QueryServer::start`] runs the
 //! flat-index path: every worker owns a full [`KnnEngine`] (its own
 //! scratch, its own labeled `query.*` metric series) but all engines share
 //! the same `Arc`'d index, page store, and [`ConcurrentPointCache`] — so a
@@ -8,7 +8,11 @@
 //! [`QueryServer::start_tree`] runs the tree path instead: workers own
 //! [`TreeSearchEngine`]s over [`TreeSharedParts`] and a shared
 //! [`ConcurrentNodeCache`] (leaf granularity, §3.6.1), so a leaf fetched by
-//! one worker serves exact or compact hits to the rest. Requests flow
+//! one worker serves exact or compact hits to the rest.
+//! [`QueryServer::start_ingest`] serves the live-mutable dataset: workers
+//! share one [`IngestEngine`] and every answer is exact over the
+//! (memtable ∪ segments − tombstones) set it observed, even while writers
+//! keep appending (DESIGN.md §13). Requests flow
 //! through a [`BoundedQueue`]; admission control turns overload into
 //! explicit [`SubmitError::QueueFull`] / [`QueryOutcome::TimedOut`]
 //! outcomes rather than unbounded queueing.
@@ -37,6 +41,7 @@ use hc_cache::concurrent::{
     ConcurrentNodeCache, ConcurrentPointCache, SharedNodeCache, SharedPointCache,
 };
 use hc_core::dataset::PointId;
+use hc_ingest::{IngestEngine, IngestStatus};
 use hc_obs::{
     Counter, Gauge, Histogram, MetricsRegistry, RequestTrace, SloMonitor, SloOutcome, TraceOutcome,
 };
@@ -285,6 +290,11 @@ enum Backend {
         parts: TreeSharedParts,
         cache: Arc<dyn ConcurrentNodeCache>,
     },
+    /// Live-mutable dataset: exact mid-ingest queries against an
+    /// [`IngestEngine`] (memtable ∪ sealed segments − tombstones). The
+    /// engine is internally synchronized, so workers share one `Arc`
+    /// rather than building per-worker state.
+    Ingest { engine: Arc<IngestEngine> },
 }
 
 /// What a worker extracts from either engine's per-query stats to build the
@@ -341,10 +351,14 @@ impl EngineAnswer {
     }
 }
 
-/// One worker's engine, either backend, behind a uniform `run`.
+/// One worker's engine, any backend, behind a uniform `run`.
 enum WorkerEngine<'a> {
     Point(KnnEngine<'a>),
     Tree(TreeSearchEngine<'a>),
+    Ingest {
+        engine: Arc<IngestEngine>,
+        io_model: IoModel,
+    },
 }
 
 fn dur_ns(d: Duration) -> u64 {
@@ -372,6 +386,38 @@ impl WorkerEngine<'_> {
                     refine_ns: dur_ns(stats.refine_cpu),
                     modeled_refine_secs: stats.modeled_refine_secs,
                     missing: stats.missing,
+                }
+            }
+            // Ingest: the engine is shared and internally synchronized, so
+            // `run` is a plain call. Slot mapping — `cache_hits` = segment
+            // candidates answered by the sidecar bounds alone (no I/O, the
+            // compact-cache analogue), `candidates` = memtable rows scanned
+            // plus segment bound evals, `c_refine` = exact fetches needed,
+            // `fault_excluded` = ids lost to unreadable pages. The engine
+            // has no internal phase clock, so the whole evaluation is
+            // charged to the refine phase.
+            WorkerEngine::Ingest { engine, io_model } => {
+                let started = Instant::now();
+                let answer = engine.query(q, k);
+                let elapsed = dur_ns(started.elapsed());
+                EngineAnswer {
+                    ids: answer.hits.iter().map(|&(_, id)| id).collect(),
+                    io_pages: answer.io_pages as u64,
+                    cache_hits: answer.pruned,
+                    candidates: answer.considered,
+                    pruned: answer.pruned,
+                    true_results: answer.hits.len(),
+                    c_refine: answer.fetched,
+                    fetched: answer.fetched,
+                    pages_retried: answer.pages_retried as u64,
+                    fault_excluded: answer.missing.len(),
+                    gen_ns: 0,
+                    reduce_ns: 0,
+                    refine_ns: elapsed,
+                    modeled_refine_secs: io_model
+                        .modeled_time(answer.io_pages as u64)
+                        .as_secs_f64(),
+                    missing: answer.missing,
                 }
             }
             WorkerEngine::Tree(engine) => {
@@ -411,6 +457,9 @@ pub struct QueryServer {
     slo: Option<Arc<SloMonitor>>,
     /// Reads the serving cache generation (bumps on hot swap).
     cache_generation: Arc<dyn Fn() -> u64 + Send + Sync>,
+    /// The live-mutable engine behind this server, when the backend is
+    /// [`Backend::Ingest`] — the admin endpoint reports its status.
+    ingest: Option<Arc<IngestEngine>>,
     worker_count: usize,
     queue_capacity: usize,
     started: Instant,
@@ -451,6 +500,21 @@ impl QueryServer {
         Self::start_backend(Backend::Tree { parts, cache }, config, registry)
     }
 
+    /// Spawn `config.workers` threads serving exact queries against a
+    /// live-mutable [`IngestEngine`] (DESIGN.md §13). Writers keep
+    /// appending to the WAL and sealing segments while this pool answers;
+    /// every answer is exact over whatever (memtable ∪ segments −
+    /// tombstones) set the query observed. The "cache generation" reported
+    /// in traces and `/statusz` is the manifest generation, which bumps on
+    /// every seal and compaction — the ingest analogue of a hot swap.
+    pub fn start_ingest(
+        engine: Arc<IngestEngine>,
+        config: ServeConfig,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        Self::start_backend(Backend::Ingest { engine }, config, registry)
+    }
+
     fn start_backend(backend: Backend, config: ServeConfig, registry: &MetricsRegistry) -> Self {
         assert!(config.workers >= 1, "need at least one worker");
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
@@ -465,6 +529,14 @@ impl QueryServer {
                 let cache = Arc::clone(cache);
                 Arc::new(move || cache.generation())
             }
+            Backend::Ingest { engine } => {
+                let engine = Arc::clone(engine);
+                Arc::new(move || engine.manifest_generation())
+            }
+        };
+        let ingest = match &backend {
+            Backend::Ingest { engine } => Some(Arc::clone(engine)),
+            _ => None,
         };
 
         let workers = (0..config.workers)
@@ -492,6 +564,7 @@ impl QueryServer {
             registry: registry.clone(),
             slo: config.slo.clone(),
             cache_generation,
+            ingest,
             worker_count: config.workers,
             queue_capacity: config.queue_capacity,
             started: Instant::now(),
@@ -620,6 +693,18 @@ impl QueryServer {
         Arc::clone(&self.cache_generation)
     }
 
+    /// The live-mutable engine behind this server, when it was started
+    /// with [`QueryServer::start_ingest`].
+    pub fn ingest_engine(&self) -> Option<&Arc<IngestEngine>> {
+        self.ingest.as_ref()
+    }
+
+    /// A point-in-time ingest status snapshot, when the backend is
+    /// ingest-backed. `/statusz` renders this.
+    pub fn ingest_status(&self) -> Option<IngestStatus> {
+        self.ingest.as_ref().map(|e| e.status())
+    }
+
     /// Fulfil every request still sitting in the (closed) queue with a
     /// terminal [`QueryOutcome::Failed`]. Workers normally drain the queue
     /// themselves during shutdown; this is the backstop that guarantees no
@@ -700,6 +785,14 @@ fn build_engine<'a>(
             engine.bind_obs_labeled(registry, &format!("worker{worker_id}"));
             WorkerEngine::Tree(engine)
         }
+        // Ingest: no per-worker state to build — the engine is shared and
+        // a "rebuild" after a caught panic is just a fresh Arc clone (all
+        // real state lives behind the engine's own locks, which a panicked
+        // query cannot poison: it takes no write locks).
+        Backend::Ingest { engine } => WorkerEngine::Ingest {
+            engine: Arc::clone(engine),
+            io_model: config.io_model,
+        },
     }
 }
 
@@ -726,7 +819,7 @@ fn worker_loop(
     // adapter here — it survives engine rebuilds after a caught panic.
     let node_adapter = match &backend {
         Backend::Tree { cache, .. } => Some(SharedNodeCache::new(Arc::clone(cache))),
-        Backend::Point { .. } => None,
+        Backend::Point { .. } | Backend::Ingest { .. } => None,
     };
     let mut engine = build_engine(
         worker_id,
@@ -738,6 +831,7 @@ fn worker_loop(
     let cache_generation = || match &backend {
         Backend::Point { cache, .. } => cache.generation(),
         Backend::Tree { cache, .. } => cache.generation(),
+        Backend::Ingest { engine } => engine.manifest_generation(),
     };
     // One trace record and one SLO observation per terminal request — the
     // same one-uncontended-lock-per-request discipline as the ring itself.

@@ -99,6 +99,18 @@ impl ScrubReport {
     pub fn is_clean(&self) -> bool {
         self.pages_clean + self.pages_repaired == self.pages_scanned
     }
+
+    /// Fold another pass's totals into this one — used when one scrub cycle
+    /// walks several stores (the base point file plus every sealed ingest
+    /// segment) and reports a single fleet-wide result.
+    pub fn merge(&mut self, other: &ScrubReport) {
+        self.pages_scanned += other.pages_scanned;
+        self.pages_clean += other.pages_clean;
+        self.transient_cured += other.transient_cured;
+        self.pages_bad += other.pages_bad;
+        self.pages_repaired += other.pages_repaired;
+        self.pages_unrepairable += other.pages_unrepairable;
+    }
 }
 
 /// Drives scrub passes over a [`ScrubbablePageStore`].
@@ -140,6 +152,22 @@ impl Scrubber {
             }
         }
         report
+    }
+
+    /// Walk a fleet of stores — the live-mutable dataset's sealed segment
+    /// files alongside the base point file — and return the merged report.
+    /// Each store is scrubbed exactly like [`Scrubber::run`] would; a
+    /// sticky-unreadable page in a sealed segment repairs from that
+    /// segment's build-time replica the same way base-file pages do.
+    pub fn run_many<'s>(
+        &self,
+        stores: impl IntoIterator<Item = &'s dyn ScrubbablePageStore>,
+    ) -> ScrubReport {
+        let mut total = ScrubReport::default();
+        for store in stores {
+            total.merge(&self.run(store));
+        }
+        total
     }
 
     /// Verify one page, retrying transient failures up to the budget.
@@ -272,6 +300,23 @@ mod tests {
         assert_eq!(report.pages_repaired, 2);
         // Each page: 1 failed verify + 1 replica read + 1 re-verify.
         assert!(f.stats().pages_read() >= 6);
+    }
+
+    #[test]
+    fn run_many_merges_reports_across_stores() {
+        let clean = file(12, 150); // 2 pages, pristine
+        let cfg = FaultConfig {
+            seed: 7,
+            unreadable_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let faulted = FaultInjector::new(file(12, 150), cfg);
+        let stores: [&dyn ScrubbablePageStore; 2] = [clean.as_ref(), &faulted];
+        let report = Scrubber::default().run_many(stores);
+        assert_eq!(report.pages_scanned, 4);
+        assert_eq!(report.pages_clean, 2);
+        assert_eq!(report.pages_repaired, 2);
+        assert!(report.is_clean());
     }
 
     /// A `PageBuffer` never caches a page that only a scrub touched — the

@@ -11,14 +11,19 @@
 //! * [`presets`] — the three paper datasets at laptop scale with matching
 //!   dimensionalities and page geometry,
 //! * [`drift`] — Zipf streams whose hot set rotates every N draws, for the
-//!   cache-lifecycle (§3.5 periodic rebuild) experiments.
+//!   cache-lifecycle (§3.5 periodic rebuild) experiments,
+//! * [`mutation`] — deterministic insert/upsert/delete streams with a
+//!   built-in live-set shadow, the exactness oracle for the ingest path
+//!   (DESIGN.md §13).
 
 pub mod drift;
+pub mod mutation;
 pub mod presets;
 pub mod querylog;
 pub mod synth;
 pub mod zipf;
 
 pub use drift::DriftingHotspot;
+pub use mutation::{MutationMix, MutationOp, MutationStream};
 pub use presets::{Preset, Scale};
 pub use querylog::{Popularity, QueryLog, QueryLogConfig};

@@ -1,0 +1,310 @@
+//! Deterministic mixed mutation streams for live-ingest experiments.
+//!
+//! The ingest path (DESIGN.md §13) is exercised by workloads the frozen
+//! query logs cannot express: interleaved inserts, upserts, and deletes
+//! whose correctness oracle is the *live set at the moment of the query*.
+//! [`MutationStream`] generates that traffic reproducibly: a seeded
+//! weighted choice among fresh inserts, upserts of live ids, and deletes
+//! of live ids, with clustered Gaussian vectors (the [`crate::synth`]
+//! shape) so segment sidecars have realistic per-dimension structure to
+//! prune against.
+//!
+//! The stream maintains its own shadow copy of the expected live set —
+//! [`MutationStream::live`] — which doubles as the brute-force reference
+//! for exactness checks: after applying every emitted op to an engine, the
+//! engine's live set must equal the shadow exactly, and any query's true
+//! top-k is computable from it.
+
+use std::collections::HashMap;
+
+use hc_core::dataset::PointId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One mutation against the live-mutable dataset. Inserts are upserts:
+/// re-inserting a live id replaces its vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationOp {
+    Insert { id: PointId, vector: Vec<f32> },
+    Delete { id: PointId },
+}
+
+impl MutationOp {
+    /// The id this op targets.
+    pub fn id(&self) -> PointId {
+        match self {
+            MutationOp::Insert { id, .. } | MutationOp::Delete { id } => *id,
+        }
+    }
+}
+
+/// Relative weights of the three op kinds. Draws degrade gracefully: a
+/// delete or upsert drawn while nothing is live becomes a fresh insert,
+/// and a fresh insert drawn with the id space exhausted becomes an upsert.
+#[derive(Debug, Clone, Copy)]
+pub struct MutationMix {
+    pub fresh_inserts: u32,
+    pub upserts: u32,
+    pub deletes: u32,
+}
+
+impl Default for MutationMix {
+    /// Insert-heavy with a steady trickle of overwrites and deletes — the
+    /// growth regime the seal/compaction ladder is designed for.
+    fn default() -> Self {
+        Self {
+            fresh_inserts: 6,
+            upserts: 2,
+            deletes: 2,
+        }
+    }
+}
+
+/// Seedable generator of mixed mutation traffic with a built-in shadow of
+/// the expected live set.
+#[derive(Debug, Clone)]
+pub struct MutationStream {
+    rng: StdRng,
+    dim: usize,
+    id_space: u32,
+    mix: MutationMix,
+    centers: Vec<Vec<f32>>,
+    sigma: f32,
+    /// Expected live set after every op emitted so far: the exactness
+    /// oracle. `ids` mirrors its key set for O(1) random victim choice.
+    shadow: HashMap<u32, Vec<f32>>,
+    ids: Vec<u32>,
+    next_fresh: u32,
+}
+
+impl MutationStream {
+    /// A stream over ids `0..id_space` of `dim`-dimensional vectors drawn
+    /// from an 8-cluster Gaussian mixture seeded by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`, `id_space == 0`, or every mix weight is zero.
+    pub fn new(dim: usize, id_space: u32, mix: MutationMix, seed: u64) -> Self {
+        assert!(dim > 0, "need at least one dimension");
+        assert!(id_space > 0, "need a non-empty id space");
+        assert!(
+            mix.fresh_inserts + mix.upserts + mix.deletes > 0,
+            "mix must have positive total weight"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clusters = 8.min(id_space as usize);
+        let centers = (0..clusters)
+            .map(|_| (0..dim).map(|_| rng.gen_range(0.0..100.0f32)).collect())
+            .collect();
+        Self {
+            rng,
+            dim,
+            id_space,
+            mix,
+            centers,
+            sigma: 4.0,
+            shadow: HashMap::new(),
+            ids: Vec::new(),
+            next_fresh: 0,
+        }
+    }
+
+    /// The expected live set after every op emitted so far — the
+    /// brute-force exactness reference.
+    pub fn live(&self) -> &HashMap<u32, Vec<f32>> {
+        &self.shadow
+    }
+
+    /// Live ids right now.
+    pub fn live_len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The next op, already applied to the internal shadow.
+    pub fn next_op(&mut self) -> MutationOp {
+        let total = self.mix.fresh_inserts + self.mix.upserts + self.mix.deletes;
+        let roll = self.rng.gen_range(0..total);
+        let fresh_available = self.next_fresh < self.id_space;
+        let have_live = !self.ids.is_empty();
+        if roll < self.mix.fresh_inserts {
+            if fresh_available {
+                self.fresh_insert()
+            } else if have_live {
+                self.upsert()
+            } else {
+                self.recycle_insert()
+            }
+        } else if roll < self.mix.fresh_inserts + self.mix.upserts {
+            if have_live {
+                self.upsert()
+            } else if fresh_available {
+                self.fresh_insert()
+            } else {
+                self.recycle_insert()
+            }
+        } else if have_live {
+            self.delete()
+        } else if fresh_available {
+            self.fresh_insert()
+        } else {
+            self.recycle_insert()
+        }
+    }
+
+    /// A query vector near a (random) live point, falling back to a random
+    /// cluster draw while nothing is live — the hot-read companion to the
+    /// mutation stream.
+    pub fn query(&mut self) -> Vec<f32> {
+        match self.ids.as_slice() {
+            [] => {
+                let c = self.rng.gen_range(0..self.centers.len());
+                self.vector_near(c)
+            }
+            ids => {
+                let anchor = ids[self.rng.gen_range(0..ids.len())];
+                let mut v = self.shadow[&anchor].clone();
+                for x in v.iter_mut() {
+                    *x += self.rng.gen_range(-0.5..0.5f32);
+                }
+                v
+            }
+        }
+    }
+
+    /// Exact top-k over the shadow live set: ascending Euclidean distance,
+    /// ties by id — the same total order the ingest engine uses.
+    pub fn reference_top_k(&self, q: &[f32], k: usize) -> Vec<PointId> {
+        let mut scored: Vec<(f64, u32)> = self
+            .shadow
+            .iter()
+            .map(|(&id, v)| {
+                let d = q
+                    .iter()
+                    .zip(v.iter())
+                    .map(|(a, b)| {
+                        let diff = *a as f64 - *b as f64;
+                        diff * diff
+                    })
+                    .sum::<f64>()
+                    .sqrt();
+                (d, id)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        scored.truncate(k);
+        scored.into_iter().map(|(_, id)| PointId(id)).collect()
+    }
+
+    fn vector_near(&mut self, cluster: usize) -> Vec<f32> {
+        let sigma = self.sigma;
+        (0..self.dim)
+            .map(|d| self.centers[cluster][d] + self.rng.gen_range(-sigma..sigma))
+            .collect()
+    }
+
+    fn fresh_insert(&mut self) -> MutationOp {
+        let id = self.next_fresh;
+        self.next_fresh += 1;
+        let vector = self.vector_near(id as usize % self.centers.len());
+        self.shadow.insert(id, vector.clone());
+        self.ids.push(id);
+        MutationOp::Insert {
+            id: PointId(id),
+            vector,
+        }
+    }
+
+    fn upsert(&mut self) -> MutationOp {
+        let id = self.ids[self.rng.gen_range(0..self.ids.len())];
+        let vector = self.vector_near(id as usize % self.centers.len());
+        self.shadow.insert(id, vector.clone());
+        MutationOp::Insert {
+            id: PointId(id),
+            vector,
+        }
+    }
+
+    /// Re-insert a previously used (now dead) id: the id space is
+    /// exhausted and nothing is live, so any draw is a valid insert.
+    fn recycle_insert(&mut self) -> MutationOp {
+        debug_assert!(self.ids.is_empty() && self.next_fresh >= self.id_space);
+        let id = self.rng.gen_range(0..self.id_space);
+        let vector = self.vector_near(id as usize % self.centers.len());
+        self.shadow.insert(id, vector.clone());
+        self.ids.push(id);
+        MutationOp::Insert {
+            id: PointId(id),
+            vector,
+        }
+    }
+
+    fn delete(&mut self) -> MutationOp {
+        let slot = self.rng.gen_range(0..self.ids.len());
+        let id = self.ids.swap_remove(slot);
+        self.shadow.remove(&id);
+        MutationOp::Delete { id: PointId(id) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = MutationStream::new(8, 100, MutationMix::default(), 42);
+        let mut b = MutationStream::new(8, 100, MutationMix::default(), 42);
+        for _ in 0..500 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        assert_eq!(a.live(), b.live());
+    }
+
+    #[test]
+    fn shadow_tracks_the_emitted_ops() {
+        let mut stream = MutationStream::new(4, 50, MutationMix::default(), 7);
+        let mut replay: HashMap<u32, Vec<f32>> = HashMap::new();
+        for _ in 0..1000 {
+            match stream.next_op() {
+                MutationOp::Insert { id, vector } => {
+                    replay.insert(id.0, vector);
+                }
+                MutationOp::Delete { id } => {
+                    assert!(
+                        replay.remove(&id.0).is_some(),
+                        "stream must never delete a dead id"
+                    );
+                }
+            }
+        }
+        assert_eq!(&replay, stream.live());
+        assert_eq!(replay.len(), stream.live_len());
+    }
+
+    #[test]
+    fn exhausted_id_space_degrades_to_upserts() {
+        let mix = MutationMix {
+            fresh_inserts: 1,
+            upserts: 0,
+            deletes: 0,
+        };
+        let mut stream = MutationStream::new(2, 5, mix, 3);
+        for _ in 0..100 {
+            let op = stream.next_op();
+            assert!(matches!(op, MutationOp::Insert { id, .. } if id.0 < 5));
+        }
+        assert_eq!(stream.live_len(), 5, "all five ids live, none fabricated");
+    }
+
+    #[test]
+    fn reference_top_k_orders_by_distance_then_id() {
+        let mut stream = MutationStream::new(2, 10, MutationMix::default(), 1);
+        for _ in 0..20 {
+            stream.next_op();
+        }
+        let q = stream.query();
+        let top = stream.reference_top_k(&q, 3);
+        assert!(top.len() <= 3);
+        let all = stream.reference_top_k(&q, stream.live_len());
+        assert_eq!(&all[..top.len()], &top[..], "prefix property");
+    }
+}

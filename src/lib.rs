@@ -25,6 +25,9 @@
 //! * [`maint`] — the live cache-lifecycle subsystem: query-stream sampling,
 //!   background §3.5 rebuilds hot-swapped in by generation, offline
 //!   node-cache warm fill, and storage scrub/repair.
+//! * [`ingest`] — the live-mutable dataset: checksummed WAL, tombstone-aware
+//!   memtable, sealed per-page-checksummed segments with compact-code
+//!   sidecars, generational manifest swaps, and exact mid-ingest queries.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and
 //! `DESIGN.md` for the full system inventory and experiment index.
@@ -32,6 +35,7 @@
 pub use hc_cache as cache;
 pub use hc_core as core;
 pub use hc_index as index;
+pub use hc_ingest as ingest;
 pub use hc_maint as maint;
 pub use hc_obs as obs;
 pub use hc_query as query;
