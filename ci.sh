@@ -47,6 +47,8 @@ grep -q '"name":"chaos.tree.pages_retried"' target/metrics/chaos.metrics.json
 # The chaos SLO arc must have tripped the flight recorder: an incident file
 # with the registry snapshot and the degraded traces that caused it.
 grep -q '"name":"chaos.slo.incidents","value":[1-9]' target/metrics/chaos.metrics.json
+# The latency-spike class ran on the simulated clock and lost nothing.
+grep -q '"name":"chaos.spike.count","value":[1-9]' target/metrics/chaos.metrics.json
 test -s target/metrics/incident-0.json
 grep -q '"degraded_traces"' target/metrics/incident-0.json
 
@@ -89,5 +91,27 @@ grep -q '^wal replay: .* (monotonic)$' <<<"$ingest_out"
 test -s target/metrics/ingest.metrics.json
 grep -q '"name":"ingest.seals","value":[1-9]' target/metrics/ingest.metrics.json
 grep -q '"name":"ingest.wal_replayed_records","value":[1-9]' target/metrics/ingest.metrics.json
+grep -q '"name":"ingest.wal_checkpoints","value":[1-9]' target/metrics/ingest.metrics.json
 grep -q '"name":"ingest.compactions","value":[1-9]' target/metrics/ingest.metrics.json
 grep -q '"name":"maint.ingest.cycles","value":[1-9]' target/metrics/ingest.metrics.json
+
+# Fleet (DESIGN.md §14): router merge correctness proptests, scatter-gather
+# integration tests (hedging, failover, shard death, scrub recovery, the
+# fleet admin plane), then the CI-sized fleet bench — mixed-tenant Zipf
+# traffic through a mid-run replica kill at 100% fault rate, a whole-shard
+# kill, and a scrub recovery. The binary asserts zero incorrect answers,
+# ≥99% availability through both kills, bounded p99, and the /healthz arc
+# (200 with a dead replica, 503 with a dead shard, 200 after scrub); here
+# we check the arc landed in the metrics report.
+cargo test -q -p hc-fleet
+cargo test -q -p hc-fleet --test merge_props
+cargo test -q -p hc-fleet --test fleet
+cargo run -q --release -p hc-bench --bin fleet -- --smoke
+test -s target/metrics/fleet.metrics.json
+grep -q '"name":"fleet.incorrect","value":0' target/metrics/fleet.metrics.json
+grep -q '"name":"fleet.hedges_fired","value":[1-9]' target/metrics/fleet.metrics.json
+grep -q '"name":"fleet.failovers","value":[1-9]' target/metrics/fleet.metrics.json
+grep -q '"name":"fleet.kill.healthz_status","value":200' target/metrics/fleet.metrics.json
+grep -q '"name":"fleet.degrade.healthz_status","value":503' target/metrics/fleet.metrics.json
+grep -q '"name":"fleet.recover.healthz_status","value":200' target/metrics/fleet.metrics.json
+grep -q '"name":"fleet.bench.pages_repaired","value":[1-9]' target/metrics/fleet.metrics.json

@@ -276,8 +276,133 @@ fn main() {
         k,
         registry,
     );
+    spike_section(&index, &file, &scheme, cache_bytes, &queries, &per_query, k);
     slo_section(&index, &file, &scheme, cache_bytes, &queries, k);
     hc_bench::report::emit("chaos");
+}
+
+/// The latency-spike fault class: spikes stall successful reads but lose
+/// nothing, so a spike-heavy schedule must hold availability at 100% with
+/// every answer still exact — slow is not wrong. The injector stalls on a
+/// [`SimulatedClock`], so the schedule runs in real milliseconds while the
+/// spike telemetry (`storage.fault.spike`, total slept) stays truthful.
+#[allow(clippy::too_many_arguments)]
+fn spike_section(
+    index: &Arc<C2lshHolder>,
+    file: &Arc<hc_storage::point_file::PointFile>,
+    scheme: &Arc<dyn hc_core::scheme::ApproxScheme>,
+    cache_bytes: usize,
+    queries: &[Vec<f32>],
+    per_query: &[(Vec<PointId>, Vec<f64>)],
+    k: usize,
+) {
+    use std::time::Duration;
+
+    use hc_storage::{Clock, SimulatedClock};
+
+    println!("\nlatency-spike class (simulated clock, 5ms spikes at 20%):");
+    let registry = MetricsRegistry::new();
+    let clock = Arc::new(SimulatedClock::new());
+    let injector = Arc::new(
+        FaultInjector::new(
+            Arc::clone(file),
+            FaultConfig {
+                seed: FAULT_SEED,
+                latency_spike_rate: 0.2,
+                spike: Duration::from_millis(5),
+                ..FaultConfig::none()
+            },
+        )
+        .with_clock(Arc::clone(&clock) as Arc<dyn Clock>),
+    );
+    let parts = SharedParts::new(
+        Arc::clone(index) as Arc<dyn CandidateIndex + Send + Sync>,
+        injector as Arc<dyn hc_storage::PageStore>,
+    );
+    let cache = Arc::new(ShardedCompactCache::lru(
+        Arc::clone(scheme),
+        cache_bytes,
+        SHARDS,
+    ));
+    let server = QueryServer::start(
+        parts,
+        cache,
+        ServeConfig {
+            workers: WORKERS,
+            queue_capacity: 256,
+            io_model: IoModel::SSD,
+            ..ServeConfig::default()
+        },
+        &registry,
+    );
+    let report = run_closed_loop(&server, queries, CLIENTS, k, None);
+    server.shutdown();
+
+    // Spikes delay, they do not lose: full availability, zero degradation,
+    // and every answer identical to the fault-free reference.
+    assert_eq!(report.failed, 0, "a latency spike must never Fail a query");
+    assert_eq!(report.degraded, 0, "a latency spike must never lose a page");
+    assert!(
+        report.availability() >= 0.99,
+        "availability {:.4} < 0.99 under latency spikes",
+        report.availability()
+    );
+    assert_eq!(
+        report.results.len(),
+        queries.len(),
+        "spike run must answer everything exactly"
+    );
+    let dataset_dists = |qi: usize, ids: &[PointId]| -> Vec<f64> {
+        let mut d: Vec<f64> = ids
+            .iter()
+            .map(|&id| euclidean(&queries[qi], file.dataset().point(id)))
+            .collect();
+        d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        d
+    };
+    for (qi, ids) in &report.results {
+        let got = dataset_dists(*qi, ids);
+        let want = &per_query[*qi].1;
+        assert_eq!(got.len(), want.len(), "spike request {qi}");
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() < 1e-9, "spike request {qi}: {g} vs {w}");
+        }
+    }
+
+    // The class must actually have fired, and the stalls must be accounted
+    // on the injected clock — not smuggled into wall time.
+    let spikes = registry
+        .snapshot()
+        .counter("storage.fault.spike")
+        .unwrap_or(0);
+    assert!(
+        spikes > 0,
+        "spike schedule never fired — section is vacuous"
+    );
+    let slept = clock.total_slept();
+    assert!(
+        slept > Duration::ZERO,
+        "spikes fired but nothing slept on the injected clock"
+    );
+    println!(
+        "  {} spikes, {:.1}ms simulated stall, availability {:.2}%, p99 {:.2}ms wall",
+        spikes,
+        slept.as_secs_f64() * 1e3,
+        report.availability() * 100.0,
+        report.p99_us() as f64 / 1e3,
+    );
+
+    let global = MetricsRegistry::global();
+    global.gauge("chaos.spike.count").set(spikes as f64);
+    global
+        .gauge("chaos.spike.simulated_stall_us")
+        .set(slept.as_micros() as f64);
+    global
+        .gauge("chaos.spike.availability")
+        .set(report.availability());
+    global
+        .gauge("chaos.spike.p99_us")
+        .set(report.p99_us() as f64);
 }
 
 /// The live ops-plane arc: one server over a sticky-unreadable store with

@@ -1,0 +1,368 @@
+//! Fleet experiment: mixed-tenant Zipf traffic against a sharded fleet
+//! (DESIGN.md §14) through its full fault arc — steady state, a mid-run
+//! replica kill at 100% fault rate absorbed by failover, a whole-shard
+//! kill absorbed by graceful degradation, and a scrub recovery — with
+//! every burst verified against the fault-free reference and the live
+//! `/healthz` + `/statusz` endpoints probed at each stage.
+//!
+//! ```text
+//! cargo run --release -p hc-bench --bin fleet            # full
+//! cargo run --release -p hc-bench --bin fleet -- --smoke # CI
+//! ```
+//!
+//! Verification is unconditional: a `Done` outcome's distances must equal
+//! the exact top-k over the query's full fleet-wide candidate union, a
+//! `Degraded` outcome's must equal the exact top-k over that union minus
+//! its declared `missing` — exact over what was reachable, the loss named.
+//! One incorrect answer anywhere fails the run.
+//!
+//! The arc the assertions pin down:
+//!
+//! * **steady** — all answers exact; primaries carry small latency spikes,
+//!   so hedged re-issues fire and are won by the clean secondaries.
+//! * **replica kill** (mid-burst, 100% unreadable on shard 0 replica 0) —
+//!   failover keeps every answer exact, availability ≥ 99%, p99 stays
+//!   bounded, `/healthz` stays 200 while `/statusz` reports the dead
+//!   replica: one dead fault domain with a healthy sibling is not an
+//!   outage.
+//! * **shard kill** (both shard-0 replicas dead) — answers degrade
+//!   honestly (`missing` = shard 0's candidates), availability holds,
+//!   and the fleet SLO's exactness burn flips `/healthz` to 503.
+//! * **scrub + recover** — repairs flow through the same injectors the
+//!   live fleet reads from; answers return to exact and `/healthz` to 200.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use hc_bench::world::{World, DEFAULT_TAU};
+use hc_core::dataset::PointId;
+use hc_core::distance::euclidean;
+use hc_core::histogram::HistogramKind;
+use hc_fleet::{run_fleet_closed_loop, Fleet, FleetConfig, FleetLoadReport, FleetOutcome};
+use hc_obs::{MetricsRegistry, SloConfig};
+use hc_storage::FaultConfig;
+use hc_workload::zipf::Zipf;
+use hc_workload::{Preset, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHARDS: usize = 4;
+const REPLICAS: usize = 2;
+const CLIENTS: usize = 8;
+const SEED: u64 = 0xF1EE7;
+const FAULT_SEED: u64 = 0xDEAD;
+/// Zipf skews of the two tenant streams interleaved into the request mix.
+const TENANT_S: [f64; 2] = [0.8, 1.2];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let get = |flag: &str| -> Option<String> {
+        args.windows(2)
+            .filter(|w| w[0] == flag)
+            .map(|w| w[1].clone())
+            .next_back()
+    };
+    let scale = match get("--scale").as_deref().unwrap_or("test") {
+        "test" => Scale::Test,
+        "bench" => Scale::Bench,
+        "full" => Scale::Full,
+        other => panic!("unknown scale {other:?}"),
+    };
+    // Four phases of one burst each; the burst must cover the SLO windows
+    // (min_events 16, fast window 32) for the healthz arc to be decidable.
+    let burst: usize = get("--requests")
+        .map(|v| v.parse::<usize>().expect("numeric --requests") / 4)
+        .unwrap_or(if smoke { 64 } else { 160 })
+        .max(32);
+
+    let k = 10;
+    let world = World::build(Preset::nus_wide(scale), k);
+    let scheme = world.scheme(HistogramKind::KnnOptimal, DEFAULT_TAU);
+    let registry = MetricsRegistry::global();
+
+    // Mixed-tenant traffic: two Zipf streams of different skew over the
+    // same query pool, interleaved request by request.
+    let tenants: Vec<Zipf> = TENANT_S
+        .iter()
+        .map(|&s| Zipf::new(world.log.pool.len(), s))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let queries: Vec<Vec<f32>> = (0..burst * 4)
+        .map(|i| world.log.pool[tenants[i % tenants.len()].sample(&mut rng)].clone())
+        .collect();
+
+    let config = FleetConfig {
+        shards: SHARDS,
+        replicas: REPLICAS,
+        queue_capacity: 256,
+        cache_bytes_per_replica: (world.cache_bytes / SHARDS).max(1 << 14),
+        hedge_floor: Duration::from_millis(3),
+        slo: Some(SloConfig {
+            exactness_target: 0.95,
+            latency_budget_us: 10_000_000, // latency is asserted directly below
+            fast_window: 32,
+            slow_window: 128,
+            min_events: 16,
+            warn_burn: 1.0,
+            critical_burn: 2.0,
+            ..SloConfig::default()
+        }),
+        ..FleetConfig::default()
+    };
+    // Primaries run with small real latency spikes so the hedging path is
+    // genuinely exercised; secondaries are clean fault domains (distinct
+    // seeds) for failover and hedge wins to land on.
+    let fleet = Fleet::build(
+        &world.dataset,
+        scheme,
+        config,
+        |s, r| {
+            if r == 0 {
+                FaultConfig {
+                    seed: FAULT_SEED ^ s as u64,
+                    latency_spike_rate: 0.02,
+                    spike: Duration::from_millis(4),
+                    ..FaultConfig::none()
+                }
+            } else {
+                FaultConfig::none()
+            }
+        },
+        registry,
+    );
+    let admin = fleet.serve_admin("127.0.0.1:0").expect("bind fleet admin");
+    let addr = admin.local_addr();
+
+    // Fault-free references, computed offline from the in-memory data:
+    // each query's fleet-wide candidate union and the oracle closures.
+    let candidate_union: Vec<Vec<PointId>> = queries
+        .iter()
+        .map(|q| {
+            let mut union = BTreeSet::new();
+            for shard in fleet.shards() {
+                union.extend(shard.candidates_global(q, k));
+            }
+            union.into_iter().collect()
+        })
+        .collect();
+    let dataset = &world.dataset;
+    let top_k_dists = |qi: usize, exclude: &[PointId]| -> Vec<f64> {
+        let dead: BTreeSet<PointId> = exclude.iter().copied().collect();
+        let mut d: Vec<f64> = candidate_union[qi]
+            .iter()
+            .filter(|id| !dead.contains(id))
+            .map(|&id| euclidean(&queries[qi], dataset.point(id)))
+            .collect();
+        d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        d.truncate(k);
+        d
+    };
+    // Zero tolerance: an answer that is not the exact top-k over what the
+    // fleet could reach (minus what it *declared* lost) fails the run.
+    let verify = |report: &FleetLoadReport, phase: &str, offset: usize| {
+        for (qi, outcome) in &report.outcomes {
+            let qi = qi + offset;
+            let (response, missing) = match outcome {
+                FleetOutcome::Done(r) => (r, Vec::new()),
+                FleetOutcome::Degraded {
+                    response, missing, ..
+                } => (response, missing.clone()),
+                FleetOutcome::Failed { .. } => continue,
+            };
+            let got: Vec<f64> = response.hits.iter().map(|&(d, _)| d).collect();
+            let want = top_k_dists(qi, &missing);
+            assert_eq!(
+                got.len(),
+                want.len(),
+                "{phase} request {qi}: result count diverged"
+            );
+            for (g, w) in got.iter().zip(&want) {
+                assert!(
+                    (g - w).abs() < 1e-9,
+                    "{phase} request {qi}: INCORRECT distance {g} vs {w}"
+                );
+            }
+        }
+    };
+    let phase_row = |phase: &str, report: &FleetLoadReport| {
+        println!(
+            "{:<12} {:>6} {:>6} {:>9} {:>7} {:>9.2} {:>9.2}",
+            phase,
+            report.offered,
+            report.done,
+            report.degraded,
+            report.failed,
+            report.percentile_us(0.5) as f64 / 1e3,
+            report.percentile_us(0.99) as f64 / 1e3,
+        );
+        let label = phase.to_owned();
+        registry
+            .gauge_with_label("fleet.bench.availability", &label)
+            .set(report.availability());
+        registry
+            .gauge_with_label("fleet.bench.p99_us", &label)
+            .set(report.percentile_us(0.99) as f64);
+    };
+
+    println!(
+        "dataset={} n={} d={} shards={SHARDS} replicas={REPLICAS} burst={burst} k={k} tenants={:?}",
+        world.preset.name,
+        dataset.len(),
+        dataset.dim(),
+        TENANT_S,
+    );
+    println!(
+        "{:<12} {:>6} {:>6} {:>9} {:>7} {:>9} {:>9}",
+        "phase", "reqs", "done", "degraded", "failed", "p50 (ms)", "p99 (ms)"
+    );
+
+    // Phase A — steady state. Spiky primaries, clean secondaries: every
+    // answer exact, hedges fire and some are won.
+    let (status, body) = hc_bench::ops::http_get(addr, "/healthz");
+    assert_eq!(status, 200, "steady-state healthz: {body}");
+    let steady = run_fleet_closed_loop(&fleet, &queries[..burst], CLIENTS, k, None);
+    verify(&steady, "steady", 0);
+    assert_eq!(
+        steady.done, steady.offered,
+        "steady phase must be all-exact"
+    );
+    phase_row("steady", &steady);
+
+    // Phase B — mid-run replica kill: flip shard 0's primary to 100%
+    // unreadable while the fleet keeps serving. Failover eats the loss.
+    let kill_queries = &queries[burst..2 * burst];
+    let first = run_fleet_closed_loop(&fleet, &kill_queries[..burst / 2], CLIENTS, k, None);
+    fleet.shards()[0].replicas[0]
+        .injector
+        .set_config(FaultConfig {
+            seed: FAULT_SEED,
+            unreadable_rate: 1.0,
+            ..FaultConfig::none()
+        });
+    let second = run_fleet_closed_loop(&fleet, &kill_queries[burst / 2..], CLIENTS, k, None);
+    verify(&first, "kill/pre", burst);
+    verify(&second, "kill/post", burst + burst / 2);
+    let kill_offered = first.offered + second.offered;
+    let kill_answered = first.done + first.degraded + second.done + second.degraded;
+    let kill_avail = kill_answered as f64 / kill_offered as f64;
+    assert!(
+        kill_avail >= 0.99,
+        "availability {kill_avail:.4} < 0.99 across the replica kill"
+    );
+    assert_eq!(
+        second.done, second.offered,
+        "failover must keep a one-dead-replica fleet fully exact"
+    );
+    let kill_p99 = second.percentile_us(0.99);
+    assert!(
+        kill_p99 < 400_000,
+        "p99 {kill_p99}µs unbounded under replica kill — hedging/failover not containing the tail"
+    );
+    assert!(
+        !fleet.replica_healthy(0, 0),
+        "router must have marked the killed replica unhealthy"
+    );
+    let (status, healthz_body) = hc_bench::ops::http_get(addr, "/healthz");
+    assert_eq!(
+        status, 200,
+        "one dead replica with a healthy sibling is not an outage: {healthz_body}"
+    );
+    let (_, statusz) = hc_bench::ops::http_get(addr, "/statusz");
+    assert!(
+        statusz.contains("\"replica\":0,\"healthy\":false"),
+        "statusz must name the dead replica: {statusz}"
+    );
+    phase_row("replica-kill", &second);
+    registry
+        .gauge("fleet.kill.healthz_status")
+        .set(status as f64);
+    registry.gauge("fleet.kill.availability").set(kill_avail);
+
+    // Phase C — whole-shard kill: the sibling dies too. No replica of
+    // shard 0 can read a page; answers degrade honestly and the fleet
+    // SLO's exactness burn flips /healthz.
+    fleet.shards()[0].replicas[1]
+        .injector
+        .set_config(FaultConfig {
+            seed: FAULT_SEED ^ 1,
+            unreadable_rate: 1.0,
+            ..FaultConfig::none()
+        });
+    let degrade = run_fleet_closed_loop(&fleet, &queries[2 * burst..3 * burst], CLIENTS, k, None);
+    verify(&degrade, "shard-kill", 2 * burst);
+    assert!(
+        degrade.degraded > 0,
+        "a whole dead shard must degrade answers"
+    );
+    assert_eq!(degrade.failed, 0, "losing one shard must not Fail queries");
+    assert!(
+        degrade.availability() >= 0.99,
+        "graceful degradation must hold availability: {:.4}",
+        degrade.availability()
+    );
+    // Degraded answers must declare shard 0's candidates — spot-check one.
+    let declared = degrade
+        .outcomes
+        .iter()
+        .find_map(|(qi, o)| match o {
+            FleetOutcome::Degraded { missing, .. } => Some((*qi, missing.clone())),
+            _ => None,
+        })
+        .expect("a degraded outcome exists");
+    let shard0: BTreeSet<PointId> = fleet.shards()[0]
+        .candidates_global(&queries[2 * burst + declared.0], k)
+        .into_iter()
+        .collect();
+    assert!(
+        declared.1.iter().all(|id| shard0.contains(id)),
+        "declared losses must come from the dead shard"
+    );
+    let (status, body) = hc_bench::ops::http_get(addr, "/healthz");
+    assert_eq!(status, 503, "exactness burn must flip /healthz: {body}");
+    phase_row("shard-kill", &degrade);
+    registry
+        .gauge("fleet.degrade.healthz_status")
+        .set(status as f64);
+
+    // Phase D — scrub + recover: repair every shard-0 replica through the
+    // same injectors the live fleet reads from, then a clean burst brings
+    // the exactness windows — and /healthz — back.
+    let scrub = fleet.shards()[0].scrub();
+    assert!(scrub.pages_repaired > 0, "scrub found nothing to repair");
+    let recover = run_fleet_closed_loop(&fleet, &queries[3 * burst..], CLIENTS, k, None);
+    verify(&recover, "recover", 3 * burst);
+    assert_eq!(
+        recover.done, recover.offered,
+        "post-scrub fleet must be fully exact again"
+    );
+    let (status, body) = hc_bench::ops::http_get(addr, "/healthz");
+    assert_eq!(status, 200, "post-scrub healthz must recover: {body}");
+    phase_row("recover", &recover);
+    registry
+        .gauge("fleet.recover.healthz_status")
+        .set(status as f64);
+    registry
+        .gauge("fleet.bench.pages_repaired")
+        .set(scrub.pages_repaired as f64);
+
+    // Arc-level telemetry asserts: hedging really ran, nothing was wrong.
+    let snap = registry.snapshot();
+    let hedges = snap.counter("fleet.hedges_fired").unwrap_or(0);
+    assert!(hedges > 0, "spiky primaries never triggered a hedge");
+    let failovers = snap.counter("fleet.failovers").unwrap_or(0);
+    assert!(failovers > 0, "a dead primary must have caused failovers");
+    registry.gauge("fleet.incorrect").set(0.0);
+    println!(
+        "verified: 0 incorrect answers across {} requests ({} hedges fired, {} won, {} failovers, {} pages repaired)",
+        burst * 4,
+        hedges,
+        snap.counter("fleet.hedges_won").unwrap_or(0),
+        failovers,
+        scrub.pages_repaired,
+    );
+
+    admin.shutdown();
+    fleet.shutdown();
+    hc_bench::report::emit("fleet");
+}

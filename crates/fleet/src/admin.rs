@@ -1,0 +1,121 @@
+//! The fleet ops endpoint: the serve admin plane with a fleet `/statusz`.
+//!
+//! [`Fleet::serve_admin`] reuses hc-serve's endpoint machinery via
+//! [`AdminHooks`] — same routes, same wire format — but health is judged at
+//! the *fleet* level: `/healthz` follows the fleet [`SloMonitor`], so one
+//! dead shard whose replicas (or the merge's degradation contract) keep
+//! answers flowing stays **200**, and the endpoint only goes **503** when
+//! the fleet SLO itself burns (answers lost or exactness gone). The
+//! per-shard truth lives in `/statusz`: every replica's router-observed
+//! health, consecutive errors, queue depth, and cache generation, so an
+//! operator can see *which* fault domain is dark while the load balancer
+//! correctly keeps the fleet in rotation.
+
+use std::net::ToSocketAddrs;
+use std::sync::Arc;
+
+use hc_obs::export;
+use hc_obs::slo::SloObjective;
+use hc_serve::{serve_admin_hooks, AdminHooks, AdminServer};
+
+use crate::router::Fleet;
+use crate::shard::Shard;
+
+impl Fleet {
+    /// Bind `addr` (use `127.0.0.1:0` for an ephemeral port) and serve the
+    /// fleet admin routes until the returned handle is dropped. `/healthz`
+    /// reflects the fleet SLO monitor; `/statusz` carries one section per
+    /// shard with per-replica health as the router sees it.
+    pub fn serve_admin<A: ToSocketAddrs>(&self, addr: A) -> std::io::Result<AdminServer> {
+        let shards: Vec<Arc<Shard>> = self.shards().to_vec();
+        let state = Arc::clone(&self.state);
+        let registry = self.registry().clone();
+        let hooks = AdminHooks::new(
+            self.registry().clone(),
+            self.state.slo.as_ref().map(Arc::clone),
+            move || statusz(&shards, &state, &registry),
+        );
+        serve_admin_hooks(addr, hooks)
+    }
+}
+
+fn statusz(
+    shards: &[Arc<Shard>],
+    state: &crate::router::FleetState,
+    registry: &hc_obs::MetricsRegistry,
+) -> String {
+    let (slo_state, burns) = match &state.slo {
+        None => ("unmonitored".to_owned(), String::from("[]")),
+        Some(m) => {
+            let entries: Vec<String> = SloObjective::ALL
+                .iter()
+                .map(|o| {
+                    let b = m.burn_rates(*o);
+                    format!(
+                        "{{\"objective\":\"{}\",\"fast\":{:.4},\"slow\":{:.4}}}",
+                        o.as_str(),
+                        b.fast,
+                        b.slow
+                    )
+                })
+                .collect();
+            (
+                m.state().as_str().to_owned(),
+                format!("[{}]", entries.join(",")),
+            )
+        }
+    };
+    let snap = registry.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let shard_sections: Vec<String> = shards
+        .iter()
+        .map(|shard| {
+            let replicas: Vec<String> = shard
+                .replicas
+                .iter()
+                .enumerate()
+                .map(|(r, replica)| {
+                    format!(
+                        "{{\"replica\":{r},\"healthy\":{},\"consecutive_errors\":{},\
+                         \"queue_depth\":{},\"in_flight\":{},\"accepting\":{},\
+                         \"cache_generation\":{}}}",
+                        state.replica_healthy(shard.id, r),
+                        state.health[shard.id][r].consecutive_errors(),
+                        replica.server.queue_depth(),
+                        replica.server.in_flight(),
+                        replica.server.is_accepting(),
+                        replica.server.cache_generation(),
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"shard\":{},\"points\":{},\"replicas\":[{}]}}",
+                shard.id,
+                shard.data.dataset.len(),
+                replicas.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"shards\":{},\"replicas_per_shard\":{},\"uptime_secs\":{:.3},\
+         \"slo_state\":\"{}\",\"burn_rates\":{},\
+         \"requests\":{},\"done\":{},\"degraded\":{},\"failed\":{},\
+         \"hedges_fired\":{},\"hedges_won\":{},\"failovers\":{},\
+         \"shard_timeouts\":{},\"shard_status\":[{}],\"events\":{}}}\n",
+        shards.len(),
+        shards.first().map(|s| s.replicas.len()).unwrap_or(0),
+        state.started.elapsed().as_secs_f64(),
+        slo_state,
+        burns,
+        counter("fleet.requests"),
+        counter("fleet.done"),
+        counter("fleet.degraded"),
+        counter("fleet.failed"),
+        counter("fleet.hedges_fired"),
+        counter("fleet.hedges_won"),
+        counter("fleet.failovers"),
+        counter("fleet.shard_timeouts"),
+        shard_sections.join(","),
+        export::events_to_json(&registry.events().to_vec())
+    )
+}

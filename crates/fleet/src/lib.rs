@@ -1,0 +1,42 @@
+//! # hc-fleet
+//!
+//! Fault-domain sharded serving (DESIGN.md §14). One `QueryServer` over one
+//! file is a single fault domain: a sticky-unreadable burst or a stalled
+//! worker pool degrades every query. This crate partitions the dataset into
+//! N shards — each a full serving stack (C2LSH index, fallible page store
+//! behind a `FaultInjector`, sharded compact cache behind a hot-swappable
+//! handle, worker pool, maintenance daemon) replicated R ways — and puts a
+//! scatter-gather router in front:
+//!
+//! * [`partition`] — round-robin split of the global dataset into per-shard
+//!   local datasets with local→global id maps.
+//! * [`shard`] — one shard: the local data, its index, and R independent
+//!   replicas (each with its own fault injector seed, cache, and worker
+//!   pool), plus per-replica maintenance daemons.
+//! * [`merge`] — the pure scatter-gather merge: exact top-k by distance
+//!   over responsive shards, with every unreachable candidate folded into
+//!   `missing` (never a silently wrong answer).
+//! * [`router`] — [`router::Fleet`]: fans each query out with per-shard
+//!   deadlines derived from the request deadline, retries full admission
+//!   queues with the decorrelated-jitter policy on the injectable clock,
+//!   hedges a re-issue to the next replica when a shard exceeds its
+//!   latency-histogram-driven hedge threshold, fails over on degraded or
+//!   failed replica answers, and degrades gracefully when a whole shard is
+//!   unreachable.
+//! * [`admin`] — the fleet ops endpoint: `/healthz` driven by the *fleet*
+//!   SLO monitor (one dead shard with healthy replicas stays 200) and a
+//!   per-shard, per-replica `/statusz` section.
+//! * [`loadgen`] — a closed-loop driver for fleet-level benches.
+
+pub mod admin;
+pub mod loadgen;
+pub mod merge;
+pub mod partition;
+pub mod router;
+pub mod shard;
+
+pub use loadgen::{run_fleet_closed_loop, FleetLoadReport};
+pub use merge::{merge_top_k, MergedTopK, ShardFetch};
+pub use partition::{partition, ShardData};
+pub use router::{Fleet, FleetConfig, FleetOutcome, FleetResponse, ShardStatus};
+pub use shard::{Shard, ShardReplica};

@@ -1,0 +1,100 @@
+//! Closed-loop load driver for the fleet router.
+//!
+//! Mirrors hc-serve's bench loadgen at the fleet level: `clients` threads
+//! stride a shared query list, each submitting through [`Fleet::query`]
+//! with a fresh per-request deadline, and the merged outcomes come back
+//! *with their query indices* so a bench can verify every answer against
+//! its fault-free reference.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::router::{Fleet, FleetOutcome};
+
+/// What one closed-loop run produced.
+pub struct FleetLoadReport {
+    /// Queries submitted.
+    pub offered: usize,
+    /// Exact fleet answers.
+    pub done: usize,
+    /// Degraded-but-honest answers.
+    pub degraded: usize,
+    /// Requests no shard answered.
+    pub failed: usize,
+    /// Per-request submit-to-merge latencies, µs (unordered).
+    pub latencies_us: Vec<u64>,
+    /// `(query index, outcome)` for every request, for reference checking.
+    pub outcomes: Vec<(usize, FleetOutcome)>,
+}
+
+impl FleetLoadReport {
+    /// Fraction of requests that produced an answer (exact or degraded).
+    pub fn availability(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        (self.done + self.degraded) as f64 / self.offered as f64
+    }
+
+    /// Latency quantile in µs over the whole run (0 when empty).
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// Drive `queries` through the fleet from `clients` closed-loop threads
+/// (client `c` takes queries `c, c+clients, ...`). Each request gets its
+/// own deadline of `deadline_budget` from submit time when one is given.
+pub fn run_fleet_closed_loop(
+    fleet: &Fleet,
+    queries: &[Vec<f32>],
+    clients: usize,
+    k: usize,
+    deadline_budget: Option<Duration>,
+) -> FleetLoadReport {
+    let clients = clients.max(1);
+    let results: Mutex<Vec<(usize, u64, FleetOutcome)>> =
+        Mutex::new(Vec::with_capacity(queries.len()));
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let results = &results;
+            scope.spawn(move || {
+                for i in (c..queries.len()).step_by(clients) {
+                    let started = Instant::now();
+                    let deadline = deadline_budget.map(|b| started + b);
+                    let outcome = fleet.query(&queries[i], k, deadline);
+                    let us = started.elapsed().as_micros() as u64;
+                    results
+                        .lock()
+                        .expect("results poisoned")
+                        .push((i, us, outcome));
+                }
+            });
+        }
+    });
+    let results = results.into_inner().expect("results poisoned");
+    let mut report = FleetLoadReport {
+        offered: results.len(),
+        done: 0,
+        degraded: 0,
+        failed: 0,
+        latencies_us: Vec::with_capacity(results.len()),
+        outcomes: Vec::with_capacity(results.len()),
+    };
+    for (i, us, outcome) in results {
+        match &outcome {
+            FleetOutcome::Done(_) => report.done += 1,
+            FleetOutcome::Degraded { .. } => report.degraded += 1,
+            FleetOutcome::Failed { .. } => report.failed += 1,
+        }
+        report.latencies_us.push(us);
+        report.outcomes.push((i, outcome));
+    }
+    report
+}

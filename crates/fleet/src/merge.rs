@@ -1,0 +1,169 @@
+//! The pure scatter-gather merge: exact top-k over responsive shards,
+//! unreachable candidates declared, never silently dropped.
+//!
+//! This is deliberately a pure function over plain data — the router
+//! assembles one [`ShardFetch`] per shard and calls [`merge_top_k`]; the
+//! proptests in `tests/merge_props.rs` drive it with arbitrary partitions
+//! and outcome combinations against a brute-force oracle. Distances are
+//! computed router-side from the in-memory shard datasets, so a merged hit
+//! is never trusted from the wire; ties break by global id for a total,
+//! deterministic order.
+
+use std::collections::BTreeSet;
+
+use hc_core::dataset::PointId;
+
+/// What the router learned from one shard, in global ids.
+#[derive(Debug, Clone)]
+pub enum ShardFetch {
+    /// The shard answered exactly: its local top-k with exact distances.
+    Done { hits: Vec<(f64, PointId)> },
+    /// The shard answered over what it could read and declared the rest.
+    /// `hits` is the exact local top-k of the shard's candidates minus
+    /// `missing` (DESIGN.md §10 degradation semantics, per shard).
+    Degraded {
+        hits: Vec<(f64, PointId)>,
+        missing: Vec<PointId>,
+    },
+    /// The shard never answered (timeout, failure, no accepting replica).
+    /// `candidates` is what it *would* have considered — the router's
+    /// local candidate generation for that shard — all folded into the
+    /// merged `missing` set.
+    Unreachable { candidates: Vec<PointId> },
+}
+
+/// The merged fleet answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedTopK {
+    /// Exact top-k over every responsive shard's hits, ascending by
+    /// `(distance, id)`.
+    pub hits: Vec<(f64, PointId)>,
+    /// Every candidate the merge could not see: the union of degraded
+    /// shards' declared losses and unreachable shards' candidate sets,
+    /// sorted and deduplicated.
+    pub missing: Vec<PointId>,
+    /// Shards that answered (exactly or degraded).
+    pub responsive: usize,
+    /// Shards that never answered.
+    pub unreachable: usize,
+}
+
+/// Merge per-shard fetches into the fleet top-k. The result is the exact
+/// top-`k` by distance over the union of responsive shards' hits — which,
+/// because each responsive shard contributes its own exact local top-k and
+/// shards partition the id space, equals the exact top-`k` over the union
+/// of their candidate sets — with `missing` the exact union of everything
+/// unreachable. An empty `missing` therefore proves the merged answer
+/// exact; a non-empty one bounds what was lost.
+pub fn merge_top_k(k: usize, shards: &[ShardFetch]) -> MergedTopK {
+    let mut hits: Vec<(f64, PointId)> = Vec::new();
+    let mut missing: BTreeSet<PointId> = BTreeSet::new();
+    let mut responsive = 0;
+    let mut unreachable = 0;
+    for fetch in shards {
+        match fetch {
+            ShardFetch::Done { hits: h } => {
+                responsive += 1;
+                hits.extend_from_slice(h);
+            }
+            ShardFetch::Degraded {
+                hits: h,
+                missing: m,
+            } => {
+                responsive += 1;
+                hits.extend_from_slice(h);
+                missing.extend(m.iter().copied());
+            }
+            ShardFetch::Unreachable { candidates } => {
+                unreachable += 1;
+                missing.extend(candidates.iter().copied());
+            }
+        }
+    }
+    hits.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    hits.truncate(k);
+    MergedTopK {
+        hits,
+        missing: missing.into_iter().collect(),
+        responsive,
+        unreachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(d: f64, id: u32) -> (f64, PointId) {
+        (d, PointId(id))
+    }
+
+    #[test]
+    fn merges_across_shards_by_distance() {
+        let merged = merge_top_k(
+            3,
+            &[
+                ShardFetch::Done {
+                    hits: vec![hit(1.0, 10), hit(4.0, 11)],
+                },
+                ShardFetch::Done {
+                    hits: vec![hit(2.0, 20), hit(3.0, 21)],
+                },
+            ],
+        );
+        assert_eq!(merged.hits, vec![hit(1.0, 10), hit(2.0, 20), hit(3.0, 21)]);
+        assert!(merged.missing.is_empty());
+        assert_eq!((merged.responsive, merged.unreachable), (2, 0));
+    }
+
+    #[test]
+    fn unreachable_candidates_fold_into_missing_deduplicated() {
+        let merged = merge_top_k(
+            2,
+            &[
+                ShardFetch::Done {
+                    hits: vec![hit(1.0, 1)],
+                },
+                ShardFetch::Unreachable {
+                    candidates: vec![PointId(9), PointId(5), PointId(9)],
+                },
+                ShardFetch::Degraded {
+                    hits: vec![hit(0.5, 2)],
+                    missing: vec![PointId(5), PointId(7)],
+                },
+            ],
+        );
+        assert_eq!(merged.hits, vec![hit(0.5, 2), hit(1.0, 1)]);
+        assert_eq!(merged.missing, vec![PointId(5), PointId(7), PointId(9)]);
+        assert_eq!((merged.responsive, merged.unreachable), (2, 1));
+    }
+
+    #[test]
+    fn distance_ties_break_by_global_id() {
+        let merged = merge_top_k(
+            2,
+            &[
+                ShardFetch::Done {
+                    hits: vec![hit(1.0, 7)],
+                },
+                ShardFetch::Done {
+                    hits: vec![hit(1.0, 3)],
+                },
+            ],
+        );
+        assert_eq!(merged.hits, vec![hit(1.0, 3), hit(1.0, 7)]);
+    }
+
+    #[test]
+    fn no_responsive_shards_yields_an_empty_honest_answer() {
+        let merged = merge_top_k(
+            5,
+            &[ShardFetch::Unreachable {
+                candidates: vec![PointId(1), PointId(2)],
+            }],
+        );
+        assert!(merged.hits.is_empty());
+        assert_eq!(merged.missing, vec![PointId(1), PointId(2)]);
+        assert_eq!((merged.responsive, merged.unreachable), (0, 1));
+    }
+}

@@ -1,0 +1,117 @@
+//! Round-robin dataset partitioning with local→global id maps.
+//!
+//! The paper's caching scheme (§3–§4) is per-dataset, so partitioning
+//! composes without new theory: each shard owns a smaller dataset, builds
+//! its own index over it, and budgets its own cache (qwLSH's per-partition
+//! cache argument). The router works in *global* ids; every shard answer
+//! is translated through its [`ShardData::global_ids`] map before merging.
+
+use std::sync::Arc;
+
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::distance::euclidean;
+
+/// One shard's slice of the global dataset.
+pub struct ShardData {
+    /// The local dataset: row `i` is global point `global_ids[i]`.
+    pub dataset: Arc<Dataset>,
+    /// Local row index → global [`PointId`].
+    pub global_ids: Vec<PointId>,
+}
+
+impl ShardData {
+    /// Translate a shard-local id to the global id space.
+    pub fn global(&self, local: PointId) -> PointId {
+        self.global_ids[local.0 as usize]
+    }
+
+    /// Exact distance from `q` to the shard-local point `local`, computed
+    /// from the in-memory local dataset (the router's own distance
+    /// authority — independent of whatever the shard's storage returned).
+    pub fn distance(&self, q: &[f32], local: PointId) -> f64 {
+        euclidean(q, self.dataset.point(local))
+    }
+}
+
+/// Split `dataset` round-robin into `shards` local datasets: global id `i`
+/// lands on shard `i % shards`. Round-robin keeps every shard's row count
+/// within one of each other and spreads any locality in the id space, so
+/// shard loads stay balanced under skewed (Zipf) query traffic.
+///
+/// # Panics
+/// Panics if `shards` is zero or exceeds the dataset size.
+pub fn partition(dataset: &Dataset, shards: usize) -> Vec<ShardData> {
+    assert!(shards > 0, "need at least one shard");
+    assert!(
+        shards <= dataset.len(),
+        "cannot split {} points into {shards} shards",
+        dataset.len()
+    );
+    let mut rows: Vec<Vec<Vec<f32>>> = vec![Vec::new(); shards];
+    let mut ids: Vec<Vec<PointId>> = vec![Vec::new(); shards];
+    for i in 0..dataset.len() {
+        let id = PointId(i as u32);
+        let s = i % shards;
+        rows[s].push(dataset.point(id).to_vec());
+        ids[s].push(id);
+    }
+    rows.into_iter()
+        .zip(ids)
+        .map(|(rows, global_ids)| ShardData {
+            dataset: Arc::new(Dataset::from_rows(&rows)),
+            global_ids,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize, d: usize) -> Dataset {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| (0..d).map(|j| (i * d + j) as f32).collect())
+            .collect();
+        Dataset::from_rows(&rows)
+    }
+
+    #[test]
+    fn every_point_lands_on_exactly_one_shard_with_its_row_intact() {
+        let data = dataset(103, 8);
+        let shards = partition(&data, 4);
+        let mut seen = vec![false; data.len()];
+        for shard in &shards {
+            assert_eq!(shard.dataset.len(), shard.global_ids.len());
+            for local in 0..shard.dataset.len() {
+                let lid = PointId(local as u32);
+                let gid = shard.global(lid);
+                assert!(!seen[gid.0 as usize], "global id {gid:?} duplicated");
+                seen[gid.0 as usize] = true;
+                assert_eq!(shard.dataset.point(lid), data.point(gid));
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "some global id lost");
+    }
+
+    #[test]
+    fn round_robin_balances_within_one_row() {
+        let shards = partition(&dataset(103, 4), 8);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.dataset.len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "unbalanced partition: {sizes:?}");
+    }
+
+    #[test]
+    fn shard_distance_matches_the_global_dataset() {
+        let data = dataset(24, 6);
+        let shards = partition(&data, 3);
+        let q: Vec<f32> = vec![1.5; 6];
+        for shard in &shards {
+            for local in 0..shard.dataset.len() {
+                let lid = PointId(local as u32);
+                let want = euclidean(&q, data.point(shard.global(lid)));
+                assert_eq!(shard.distance(&q, lid), want);
+            }
+        }
+    }
+}

@@ -1,0 +1,825 @@
+//! The scatter-gather router: fan out, hedge, fail over, merge, degrade.
+//!
+//! [`Fleet::query`] submits the query to one replica of every shard and
+//! polls the tickets in rotation under a per-shard deadline derived from
+//! the request deadline (minus a merge reserve). Four robustness
+//! mechanisms compose, cheapest first:
+//!
+//! * **Bounded submit retry** — a full admission queue is retried with the
+//!   storage layer's decorrelated-jitter [`RetryPolicy`], sleeping on the
+//!   injectable [`Clock`] so tests pay no real time.
+//! * **Hedged re-issue** — if a shard has not answered within its hedge
+//!   threshold (a quantile of its own recent latency ring times a factor,
+//!   floored while the ring warms), the query is re-issued to the next
+//!   replica and whichever answer lands first wins.
+//! * **Failover** — a replica that answers `Degraded`/`Failed`/`TimedOut`
+//!   triggers an immediate re-issue to the next untried replica (replica
+//!   fault domains are independent, so the pages dead on one are almost
+//!   surely alive on another); the degraded answer is kept as a fallback.
+//! * **Graceful degradation** — a shard that never answers is declared
+//!   dead for this query: its candidate set (computed router-side from the
+//!   in-memory index) folds into `Degraded{missing}`. The merged answer is
+//!   always the exact top-k over responsive shards — never silently wrong.
+//!
+//! Every distance in the merged answer is recomputed router-side from the
+//! in-memory shard datasets ([`crate::partition::ShardData::distance`]),
+//! so merging never trusts wire payloads it can verify locally.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use hc_core::dataset::{Dataset, PointId};
+use hc_core::scheme::ApproxScheme;
+use hc_obs::{Counter, Gauge, Histogram, MetricsRegistry, SloConfig, SloMonitor, SloOutcome};
+use hc_serve::{QueryOutcome, QueryServer, SubmitError, Ticket};
+use hc_storage::{Clock, FaultConfig, IoModel, RealClock, RetryPolicy};
+
+use crate::merge::{merge_top_k, ShardFetch};
+use crate::partition::partition;
+use crate::shard::Shard;
+
+/// Fleet topology and routing policy.
+#[derive(Clone)]
+pub struct FleetConfig {
+    /// Number of shards the dataset is partitioned into.
+    pub shards: usize,
+    /// Replicas per shard (≥ 1). Hedging and failover need ≥ 2.
+    pub replicas: usize,
+    /// Worker threads per replica server.
+    pub workers_per_replica: usize,
+    /// Admission queue capacity per replica server.
+    pub queue_capacity: usize,
+    /// Compact-cache budget per replica.
+    pub cache_bytes_per_replica: usize,
+    /// Power-of-two shard count of each replica's compact cache.
+    pub cache_shards: usize,
+    /// Sliding-window length of each replica's workload sampler.
+    pub sampler_window: usize,
+    /// Result size the sampler window is replayed at during rebuilds.
+    pub sampler_k: usize,
+    /// Latency model handed to each replica server.
+    pub io_model: IoModel,
+    /// Simulated I/O stall scale for each replica server.
+    pub simulate_io_scale: Option<f64>,
+    /// Retry policy for full admission queues (router) and storage reads
+    /// (workers) — the same decorrelated-jitter discipline end to end.
+    pub retry: RetryPolicy,
+    /// Clock the submit-retry backoff and fault spikes sleep on.
+    pub clock: Arc<dyn Clock>,
+    /// Per-shard time budget when the request carries no deadline; a
+    /// request deadline tightens it (minus [`FleetConfig::merge_reserve`]).
+    pub shard_timeout: Duration,
+    /// Slice of the request budget reserved for the merge.
+    pub merge_reserve: Duration,
+    /// Hedge threshold floor, also used while a shard's latency ring has
+    /// fewer than [`FleetConfig::min_hedge_samples`] samples.
+    pub hedge_floor: Duration,
+    /// Quantile of the shard's latency ring the hedge threshold tracks.
+    pub hedge_quantile: f64,
+    /// Multiplier on that quantile: hedge when a shard takes this many
+    /// times its recent q-th percentile.
+    pub hedge_factor: f64,
+    /// Ring samples required before the histogram drives the threshold.
+    pub min_hedge_samples: usize,
+    /// Router poll pacing while tickets are outstanding.
+    pub poll_slice: Duration,
+    /// Consecutive replica errors before its health gauge reports 0.
+    pub unhealthy_after: u32,
+    /// Fleet-level SLO monitor config; `None` leaves the fleet unmonitored.
+    pub slo: Option<SloConfig>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            replicas: 2,
+            workers_per_replica: 2,
+            queue_capacity: 64,
+            cache_bytes_per_replica: 64 << 10,
+            cache_shards: 4,
+            sampler_window: 512,
+            sampler_k: 10,
+            io_model: IoModel::SSD,
+            simulate_io_scale: None,
+            retry: RetryPolicy::default(),
+            clock: Arc::new(RealClock),
+            shard_timeout: Duration::from_millis(500),
+            merge_reserve: Duration::from_millis(2),
+            hedge_floor: Duration::from_millis(2),
+            hedge_quantile: 0.95,
+            hedge_factor: 3.0,
+            min_hedge_samples: 32,
+            poll_slice: Duration::from_micros(100),
+            unhealthy_after: 3,
+            slo: None,
+        }
+    }
+}
+
+/// Per-shard resolution status carried in the fleet response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// Some replica answered exactly.
+    Done,
+    /// Best answer was degraded (declared missing candidates).
+    Degraded,
+    /// No replica answered before the shard deadline.
+    TimedOut,
+    /// Every replica failed outright (panic, shutdown, or no admission).
+    Failed,
+}
+
+impl ShardStatus {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShardStatus::Done => "done",
+            ShardStatus::Degraded => "degraded",
+            ShardStatus::TimedOut => "timed_out",
+            ShardStatus::Failed => "failed",
+        }
+    }
+
+    fn answered(&self) -> bool {
+        matches!(self, ShardStatus::Done | ShardStatus::Degraded)
+    }
+}
+
+/// The merged fleet answer.
+#[derive(Debug, Clone)]
+pub struct FleetResponse {
+    /// Exact top-k over responsive shards, ascending `(distance, global id)`.
+    pub hits: Vec<(f64, PointId)>,
+    /// Submit-to-merge wall time.
+    pub latency: Duration,
+    /// Time spent in the merge (including dead-shard candidate naming).
+    pub merge_latency: Duration,
+    /// Hedged re-issues fired for this request.
+    pub hedges: u32,
+    /// Per-shard resolution, indexed by shard id.
+    pub shard_status: Vec<ShardStatus>,
+}
+
+/// Terminal state of one fleet query.
+#[derive(Debug, Clone)]
+pub enum FleetOutcome {
+    /// Every candidate was readable somewhere: the answer is provably the
+    /// exact fleet top-k.
+    Done(FleetResponse),
+    /// Some candidates were unreachable; `response.hits` is still the
+    /// exact top-k over everything readable, and `missing` names exactly
+    /// what was not.
+    Degraded {
+        response: FleetResponse,
+        /// Union of degraded shards' declared losses and dead shards'
+        /// candidate sets, sorted global ids.
+        missing: Vec<PointId>,
+        /// Shards that never answered this request.
+        dead_shards: Vec<usize>,
+    },
+    /// No shard answered at all.
+    Failed { reason: String },
+}
+
+impl FleetOutcome {
+    /// The response, when the fleet answered (exactly or degraded).
+    pub fn response(&self) -> Option<&FleetResponse> {
+        match self {
+            FleetOutcome::Done(r) | FleetOutcome::Degraded { response: r, .. } => Some(r),
+            FleetOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// `fleet.*` metric handles.
+pub(crate) struct FleetObs {
+    pub(crate) requests: Counter,
+    pub(crate) done: Counter,
+    pub(crate) degraded: Counter,
+    pub(crate) failed: Counter,
+    pub(crate) shards_degraded: Counter,
+    pub(crate) shard_timeouts: Counter,
+    pub(crate) hedges_fired: Counter,
+    pub(crate) hedges_won: Counter,
+    pub(crate) failovers: Counter,
+    pub(crate) submit_retries: Counter,
+    latency_us: Histogram,
+    merge_us: Histogram,
+}
+
+impl FleetObs {
+    fn bind(registry: &MetricsRegistry) -> Self {
+        Self {
+            requests: registry.counter("fleet.requests"),
+            done: registry.counter("fleet.done"),
+            degraded: registry.counter("fleet.degraded"),
+            failed: registry.counter("fleet.failed"),
+            shards_degraded: registry.counter("fleet.shards_degraded"),
+            shard_timeouts: registry.counter("fleet.shard_timeouts"),
+            hedges_fired: registry.counter("fleet.hedges_fired"),
+            hedges_won: registry.counter("fleet.hedges_won"),
+            failovers: registry.counter("fleet.failovers"),
+            submit_retries: registry.counter("fleet.submit_retries"),
+            latency_us: registry.histogram("fleet.latency_us"),
+            merge_us: registry.histogram("fleet.merge_us"),
+        }
+    }
+}
+
+/// Replica health as the router observes it: consecutive bad resolutions.
+pub(crate) struct ReplicaHealth {
+    consecutive_errors: AtomicU32,
+    gauge: Gauge,
+}
+
+impl ReplicaHealth {
+    pub(crate) fn consecutive_errors(&self) -> u32 {
+        self.consecutive_errors.load(Ordering::Acquire)
+    }
+}
+
+/// Bounded ring of recent per-shard latencies (µs) driving the hedge
+/// threshold.
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    const CAPACITY: usize = 256;
+
+    fn new() -> Self {
+        Self {
+            samples: Vec::with_capacity(Self::CAPACITY),
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, us: u64) {
+        if self.samples.len() < Self::CAPACITY {
+            self.samples.push(us);
+        } else {
+            self.samples[self.next] = us;
+        }
+        self.next = (self.next + 1) % Self::CAPACITY;
+    }
+
+    fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[idx])
+    }
+
+    fn len(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+/// Shared router state: per-shard latency rings, per-replica health, obs,
+/// and the fleet SLO monitor. `Arc`'d so the admin endpoint reads it live.
+pub(crate) struct FleetState {
+    rings: Vec<Mutex<LatencyRing>>,
+    pub(crate) health: Vec<Vec<ReplicaHealth>>,
+    pub(crate) obs: FleetObs,
+    pub(crate) slo: Option<Arc<SloMonitor>>,
+    pub(crate) started: Instant,
+    unhealthy_after: u32,
+}
+
+impl FleetState {
+    pub(crate) fn replica_healthy(&self, shard: usize, replica: usize) -> bool {
+        self.health[shard][replica].consecutive_errors() < self.unhealthy_after
+    }
+
+    fn mark_ok(&self, shard: usize, replica: usize) {
+        let h = &self.health[shard][replica];
+        h.consecutive_errors.store(0, Ordering::Release);
+        h.gauge.set(1.0);
+    }
+
+    fn mark_error(&self, shard: usize, replica: usize) {
+        let h = &self.health[shard][replica];
+        let bad = h.consecutive_errors.fetch_add(1, Ordering::AcqRel) + 1;
+        h.gauge
+            .set(if bad < self.unhealthy_after { 1.0 } else { 0.0 });
+    }
+}
+
+/// A partitioned, replicated serving fleet plus its scatter-gather router.
+pub struct Fleet {
+    shards: Vec<Arc<Shard>>,
+    pub(crate) state: Arc<FleetState>,
+    pub(crate) config: FleetConfig,
+    registry: MetricsRegistry,
+}
+
+impl Fleet {
+    /// Partition `dataset` into `config.shards` shards and build each one's
+    /// replica stacks. `fault(shard, replica)` supplies every replica's
+    /// fault regime — give replicas distinct seeds so their fault domains
+    /// are independent. All replicas share `scheme` (the global compact
+    /// scheme: quantizer and histogram describe the whole dataset, so
+    /// per-shard codes stay comparable).
+    pub fn build(
+        dataset: &Dataset,
+        scheme: Arc<dyn ApproxScheme>,
+        config: FleetConfig,
+        fault: impl Fn(usize, usize) -> FaultConfig,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        assert!(config.shards >= 1, "need at least one shard");
+        assert!(config.replicas >= 1, "need at least one replica");
+        let shards: Vec<Arc<Shard>> = partition(dataset, config.shards)
+            .into_iter()
+            .enumerate()
+            .map(|(id, data)| {
+                Arc::new(Shard::build(
+                    id,
+                    data,
+                    Arc::clone(&scheme),
+                    &config,
+                    |replica| fault(id, replica),
+                    registry,
+                ))
+            })
+            .collect();
+        let health = (0..config.shards)
+            .map(|s| {
+                (0..config.replicas)
+                    .map(|r| {
+                        let gauge = registry
+                            .gauge_with_label("fleet.replica.healthy", &format!("s{s}r{r}"));
+                        gauge.set(1.0);
+                        ReplicaHealth {
+                            consecutive_errors: AtomicU32::new(0),
+                            gauge,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let slo = config
+            .slo
+            .clone()
+            .map(|c| Arc::new(SloMonitor::new(c, registry)));
+        let state = Arc::new(FleetState {
+            rings: (0..config.shards)
+                .map(|_| Mutex::new(LatencyRing::new()))
+                .collect(),
+            health,
+            obs: FleetObs::bind(registry),
+            slo,
+            started: Instant::now(),
+            unhealthy_after: config.unhealthy_after,
+        });
+        Self {
+            shards,
+            state,
+            config,
+            registry: registry.clone(),
+        }
+    }
+
+    /// The shards, indexed by id. Benches reach through here for kill
+    /// switches (`shards()[s].replicas[r].injector.set_config(..)`) and
+    /// scrub recovery (`shards()[s].scrub()`).
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The fleet-level SLO monitor, when configured.
+    pub fn slo(&self) -> Option<&Arc<SloMonitor>> {
+        self.state.slo.as_ref()
+    }
+
+    /// Whether the router currently considers `replica` of `shard` healthy
+    /// (fewer than `unhealthy_after` consecutive bad resolutions).
+    pub fn replica_healthy(&self, shard: usize, replica: usize) -> bool {
+        self.state.replica_healthy(shard, replica)
+    }
+
+    /// The hedge threshold shard `shard` would get right now.
+    pub fn hedge_threshold(&self, shard: usize) -> Duration {
+        let ring = self.state.rings[shard].lock().expect("ring poisoned");
+        if ring.len() < self.config.min_hedge_samples {
+            return self.config.hedge_floor;
+        }
+        let q = ring.quantile_us(self.config.hedge_quantile).unwrap_or(0);
+        let t = Duration::from_micros((q as f64 * self.config.hedge_factor) as u64);
+        t.clamp(self.config.hedge_floor, self.config.shard_timeout)
+    }
+
+    /// One scatter-gather query: fan out to every shard, hedge and fail
+    /// over inside the per-shard budget, merge exactly, degrade gracefully.
+    pub fn query(&self, q: &[f32], k: usize, deadline: Option<Instant>) -> FleetOutcome {
+        let started = Instant::now();
+        self.state.obs.requests.inc();
+        let shard_deadline = self.shard_deadline(started, deadline);
+        let mut hedges_this_request = 0u32;
+
+        let mut pending: Vec<PendingShard> = (0..self.shards.len())
+            .map(|s| self.open_shard(s, q, k, shard_deadline))
+            .collect();
+
+        // Poll tickets in rotation until every shard resolves or the
+        // shard deadline passes. `wait_timeout(ZERO)` is a non-blocking
+        // check; pacing comes from one short sleep per empty rotation.
+        loop {
+            if pending.iter().all(|p| p.resolution.is_some()) {
+                break;
+            }
+            let now = Instant::now();
+            if now >= shard_deadline {
+                break;
+            }
+            let mut progressed = false;
+            for p in pending.iter_mut() {
+                if p.resolution.is_some() {
+                    continue;
+                }
+                for t in 0..p.tickets.len() {
+                    if p.tickets[t].done {
+                        continue;
+                    }
+                    let outcome = p.tickets[t].ticket.wait_timeout(Duration::ZERO);
+                    if let Some(outcome) = outcome {
+                        p.tickets[t].done = true;
+                        progressed = true;
+                        let replica = p.tickets[t].replica;
+                        let is_hedge = p.tickets[t].is_hedge;
+                        self.absorb(p, replica, is_hedge, outcome, q, k, shard_deadline);
+                        if p.resolution.is_some() {
+                            break;
+                        }
+                    }
+                }
+                if p.resolution.is_none()
+                    && !p.hedged
+                    && p.next_replica < self.config.replicas
+                    && now.duration_since(p.first_submit) >= p.hedge_threshold
+                {
+                    p.hedged = true;
+                    if self.submit_next(p, q, k, shard_deadline, true) {
+                        self.state.obs.hedges_fired.inc();
+                        hedges_this_request += 1;
+                    }
+                }
+            }
+            if !progressed {
+                let remaining = shard_deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                std::thread::sleep(self.config.poll_slice.min(remaining));
+            }
+        }
+
+        // Deadline: anything unresolved is dead for this request. A
+        // degraded fallback beats declaring the whole shard missing.
+        for p in pending.iter_mut() {
+            if p.resolution.is_none() {
+                p.resolution = Some(match p.fallback.take() {
+                    Some((hits, missing)) => Resolution {
+                        status: ShardStatus::Degraded,
+                        hits,
+                        missing,
+                    },
+                    None => {
+                        self.state.obs.shard_timeouts.inc();
+                        Resolution {
+                            status: ShardStatus::TimedOut,
+                            hits: Vec::new(),
+                            missing: Vec::new(),
+                        }
+                    }
+                });
+            }
+        }
+
+        // Merge. Dead shards contribute their candidate sets — computed
+        // here, router-side, from the in-memory index — as missing.
+        let merge_started = Instant::now();
+        let mut shard_status = Vec::with_capacity(pending.len());
+        let fetches: Vec<ShardFetch> = pending
+            .into_iter()
+            .enumerate()
+            .map(|(s, p)| {
+                let r = p.resolution.expect("all shards resolved above");
+                shard_status.push(r.status);
+                if !matches!(r.status, ShardStatus::Done) {
+                    self.state.obs.shards_degraded.inc();
+                }
+                match r.status {
+                    ShardStatus::Done => ShardFetch::Done { hits: r.hits },
+                    ShardStatus::Degraded => ShardFetch::Degraded {
+                        hits: r.hits,
+                        missing: r.missing,
+                    },
+                    ShardStatus::TimedOut | ShardStatus::Failed => ShardFetch::Unreachable {
+                        candidates: self.shards[s].candidates_global(q, k),
+                    },
+                }
+            })
+            .collect();
+        let merged = merge_top_k(k, &fetches);
+        let merge_latency = merge_started.elapsed();
+        let latency = started.elapsed();
+        self.state
+            .obs
+            .merge_us
+            .record(merge_latency.as_micros() as u64);
+        self.state.obs.latency_us.record(latency.as_micros() as u64);
+
+        let dead_shards: Vec<usize> = shard_status
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| !st.answered())
+            .map(|(s, _)| s)
+            .collect();
+        let response = FleetResponse {
+            hits: merged.hits,
+            latency,
+            merge_latency,
+            hedges: hedges_this_request,
+            shard_status,
+        };
+        let outcome = if merged.responsive == 0 {
+            FleetOutcome::Failed {
+                reason: "no shard responded before the deadline".to_owned(),
+            }
+        } else if merged.missing.is_empty() {
+            // Nothing was lost anywhere — even if a shard timed out with an
+            // empty candidate set, the answer is provably exact.
+            FleetOutcome::Done(response)
+        } else {
+            FleetOutcome::Degraded {
+                response,
+                missing: merged.missing,
+                dead_shards,
+            }
+        };
+        match &outcome {
+            FleetOutcome::Done(_) => self.state.obs.done.inc(),
+            FleetOutcome::Degraded { .. } => self.state.obs.degraded.inc(),
+            FleetOutcome::Failed { .. } => self.state.obs.failed.inc(),
+        }
+        if let Some(slo) = &self.state.slo {
+            slo.observe(SloOutcome {
+                answered: !matches!(outcome, FleetOutcome::Failed { .. }),
+                degraded: matches!(outcome, FleetOutcome::Degraded { .. }),
+                latency_us: latency.as_micros() as u64,
+            });
+        }
+        outcome
+    }
+
+    /// Graceful shutdown: drain and join every replica server.
+    pub fn shutdown(self) {
+        for shard in self.shards {
+            if let Ok(shard) = Arc::try_unwrap(shard) {
+                for replica in shard.replicas {
+                    replica.server.shutdown();
+                }
+            }
+        }
+    }
+
+    fn shard_deadline(&self, started: Instant, deadline: Option<Instant>) -> Instant {
+        let base = started + self.config.shard_timeout;
+        match deadline {
+            None => base,
+            Some(d) => {
+                let reserved = d.checked_sub(self.config.merge_reserve).unwrap_or(started);
+                base.min(reserved.max(started))
+            }
+        }
+    }
+
+    /// Open a shard's fan-out: submit to its first accepting replica.
+    fn open_shard(
+        &self,
+        shard: usize,
+        q: &[f32],
+        k: usize,
+        shard_deadline: Instant,
+    ) -> PendingShard {
+        let mut p = PendingShard {
+            shard,
+            tickets: Vec::with_capacity(2),
+            next_replica: 0,
+            first_submit: Instant::now(),
+            hedge_threshold: self.hedge_threshold(shard),
+            hedged: false,
+            fallback: None,
+            resolution: None,
+        };
+        if !self.submit_next(&mut p, q, k, shard_deadline, false) {
+            // No replica admitted the query at all.
+            p.resolution = Some(Resolution {
+                status: ShardStatus::Failed,
+                hits: Vec::new(),
+                missing: Vec::new(),
+            });
+        }
+        p
+    }
+
+    /// Submit to the next untried replicas until one admits the query.
+    /// Full queues are retried with the decorrelated-jitter backoff on the
+    /// injected clock before moving on. Returns whether a ticket was added.
+    fn submit_next(
+        &self,
+        p: &mut PendingShard,
+        q: &[f32],
+        k: usize,
+        shard_deadline: Instant,
+        is_hedge: bool,
+    ) -> bool {
+        while p.next_replica < self.config.replicas {
+            let replica = p.next_replica;
+            p.next_replica += 1;
+            let server = &self.shards[p.shard].replicas[replica].server;
+            match self.submit_with_retry(server, p.shard, q, k, shard_deadline) {
+                Some(ticket) => {
+                    p.tickets.push(TicketEntry {
+                        replica,
+                        ticket,
+                        is_hedge,
+                        done: false,
+                    });
+                    return true;
+                }
+                None => self.state.mark_error(p.shard, replica),
+            }
+        }
+        false
+    }
+
+    fn submit_with_retry(
+        &self,
+        server: &QueryServer,
+        shard: usize,
+        q: &[f32],
+        k: usize,
+        shard_deadline: Instant,
+    ) -> Option<Ticket> {
+        let retry = &self.config.retry;
+        let mut attempt: u32 = 0;
+        loop {
+            match server.submit(q.to_vec(), k, Some(shard_deadline)) {
+                Ok(ticket) => return Some(ticket),
+                Err(SubmitError::ShuttingDown) => return None,
+                Err(SubmitError::QueueFull) => {
+                    if attempt >= retry.max_retries || Instant::now() >= shard_deadline {
+                        return None;
+                    }
+                    attempt += 1;
+                    self.state.obs.submit_retries.inc();
+                    let sleep = retry.backoff(shard as u64, attempt);
+                    if !sleep.is_zero() {
+                        self.config.clock.sleep(sleep);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fold one replica outcome into the shard's pending state.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb(
+        &self,
+        p: &mut PendingShard,
+        replica: usize,
+        is_hedge: bool,
+        outcome: QueryOutcome,
+        q: &[f32],
+        k: usize,
+        shard_deadline: Instant,
+    ) {
+        let shard = &self.shards[p.shard];
+        match outcome {
+            QueryOutcome::Done(response) => {
+                self.state.mark_ok(p.shard, replica);
+                if is_hedge {
+                    self.state.obs.hedges_won.inc();
+                }
+                let hits = response
+                    .ids
+                    .iter()
+                    .map(|&local| (shard.data.distance(q, local), shard.data.global(local)))
+                    .collect();
+                self.record_latency(p);
+                p.resolution = Some(Resolution {
+                    status: ShardStatus::Done,
+                    hits,
+                    missing: Vec::new(),
+                });
+            }
+            QueryOutcome::Degraded { response, missing } => {
+                // The replica answered, but its media lost candidates:
+                // count it against replica health and try a sibling whose
+                // fault domain is independent, keeping this answer as the
+                // fallback.
+                self.state.mark_error(p.shard, replica);
+                let hits: Vec<(f64, PointId)> = response
+                    .ids
+                    .iter()
+                    .map(|&local| (shard.data.distance(q, local), shard.data.global(local)))
+                    .collect();
+                let missing: Vec<PointId> = missing
+                    .iter()
+                    .map(|&local| shard.data.global(local))
+                    .collect();
+                let better = match &p.fallback {
+                    None => true,
+                    Some((_, prev_missing)) => missing.len() < prev_missing.len(),
+                };
+                if better {
+                    p.fallback = Some((hits, missing));
+                }
+                self.try_failover_or_settle(p, q, k, shard_deadline);
+            }
+            QueryOutcome::TimedOut | QueryOutcome::Failed { .. } => {
+                self.state.mark_error(p.shard, replica);
+                self.try_failover_or_settle(p, q, k, shard_deadline);
+            }
+        }
+    }
+
+    /// After a bad replica outcome: re-issue to the next replica if one is
+    /// untried and there is time; otherwise settle for the best fallback
+    /// (or nothing — the deadline sweep declares the shard dead). Settling
+    /// waits for still-outstanding sibling tickets, so a bad primary never
+    /// cancels a hedge that might still answer exactly.
+    fn try_failover_or_settle(
+        &self,
+        p: &mut PendingShard,
+        q: &[f32],
+        k: usize,
+        shard_deadline: Instant,
+    ) {
+        if p.next_replica < self.config.replicas
+            && Instant::now() < shard_deadline
+            && self.submit_next(p, q, k, shard_deadline, false)
+        {
+            self.state.obs.failovers.inc();
+            return;
+        }
+        let outstanding = p.tickets.iter().any(|t| !t.done);
+        if outstanding {
+            return;
+        }
+        if let Some((hits, missing)) = p.fallback.take() {
+            self.record_latency(p);
+            p.resolution = Some(Resolution {
+                status: ShardStatus::Degraded,
+                hits,
+                missing,
+            });
+        }
+    }
+
+    fn record_latency(&self, p: &PendingShard) {
+        let us = p.first_submit.elapsed().as_micros() as u64;
+        self.state.rings[p.shard]
+            .lock()
+            .expect("ring poisoned")
+            .push(us);
+    }
+}
+
+struct TicketEntry {
+    replica: usize,
+    ticket: Ticket,
+    is_hedge: bool,
+    done: bool,
+}
+
+struct Resolution {
+    status: ShardStatus,
+    hits: Vec<(f64, PointId)>,
+    missing: Vec<PointId>,
+}
+
+struct PendingShard {
+    shard: usize,
+    tickets: Vec<TicketEntry>,
+    /// Next replica index to try (submit, hedge, or failover).
+    next_replica: usize,
+    first_submit: Instant,
+    hedge_threshold: Duration,
+    hedged: bool,
+    /// Best degraded answer so far, in global ids: `(hits, missing)`.
+    #[allow(clippy::type_complexity)]
+    fallback: Option<(Vec<(f64, PointId)>, Vec<PointId>)>,
+    resolution: Option<Resolution>,
+}

@@ -1,0 +1,165 @@
+//! One fault domain: a shard's local data, index, and replicas.
+//!
+//! Each shard is a *full* serving stack over its slice of the dataset —
+//! C2LSH candidate index, per-replica fallible page store behind a
+//! [`FaultInjector`], per-replica [`ShardedCompactCache`] behind a
+//! hot-swappable handle, per-replica [`QueryServer`] worker pool, and a
+//! per-replica [`MaintDaemon`] for background rebuild + scrub. Replicas
+//! share the shard's index and local dataset (both immutable, CPU-only)
+//! but own independent storage fault domains: each replica's injector has
+//! its own seed, so the pages dead on one replica are (almost surely)
+//! alive on another — the property hedging and failover exploit.
+
+use std::sync::Arc;
+
+use hc_cache::{ConcurrentPointCache, SwappablePointCache};
+use hc_core::dataset::PointId;
+use hc_core::quantize::Quantizer;
+use hc_core::scheme::ApproxScheme;
+use hc_index::{C2lsh, C2lshParams, CandidateIndex};
+use hc_maint::{MaintDaemon, WorkloadSampler};
+use hc_obs::MetricsRegistry;
+use hc_query::{MaintenanceConfig, SharedParts};
+use hc_serve::{QueryServer, ShardedCompactCache};
+use hc_storage::{
+    FaultConfig, FaultInjector, PointFile, ScrubReport, ScrubbablePageStore, Scrubber,
+};
+
+use crate::partition::ShardData;
+use crate::router::FleetConfig;
+
+/// One replica of a shard: its own storage fault domain, cache, worker
+/// pool, and maintenance daemon.
+pub struct ShardReplica {
+    /// The worker pool answering this replica's queries.
+    pub server: QueryServer,
+    /// The replica's fault layer — the bench's kill switch
+    /// ([`FaultInjector::set_config`]) and the scrubber's repair target.
+    pub injector: Arc<FaultInjector>,
+    /// The hot-swappable serving cache the maintenance daemon rebuilds.
+    pub cache: Arc<SwappablePointCache>,
+    /// Background rebuild + scrub driver for this replica.
+    pub maint: Arc<MaintDaemon>,
+}
+
+/// One shard: local data and index shared across `replicas` independent
+/// serving stacks.
+pub struct Shard {
+    /// Shard index in the fleet (also its partition residue).
+    pub id: usize,
+    /// The local dataset and local→global id map.
+    pub data: ShardData,
+    /// Candidate index over the local dataset, shared by every replica and
+    /// by the router (which uses it to name a dead shard's candidates).
+    pub index: Arc<dyn CandidateIndex + Send + Sync>,
+    /// Independent serving stacks over the same local data.
+    pub replicas: Vec<ShardReplica>,
+}
+
+impl Shard {
+    /// Build shard `id` over `data`: one index, `config.replicas` replica
+    /// stacks. `fault(replica)` supplies each replica's fault regime —
+    /// distinct seeds per replica keep their dead-page sets independent.
+    pub fn build(
+        id: usize,
+        data: ShardData,
+        scheme: Arc<dyn ApproxScheme>,
+        config: &FleetConfig,
+        fault: impl Fn(usize) -> FaultConfig,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        let index: Arc<dyn CandidateIndex + Send + Sync> = Arc::new(C2lsh::build(
+            &data.dataset,
+            C2lshParams {
+                seed: 0x5EED ^ (id as u64),
+                ..C2lshParams::default()
+            },
+        ));
+        let quantizer = Quantizer::for_range(data.dataset.value_range());
+        let replicas = (0..config.replicas.max(1))
+            .map(|r| {
+                let file = Arc::new(PointFile::new((*data.dataset).clone()));
+                let injector = Arc::new(
+                    FaultInjector::new(file, fault(r)).with_clock(Arc::clone(&config.clock)),
+                );
+                let cache = Arc::new(SwappablePointCache::new(Arc::new(
+                    ShardedCompactCache::lru(
+                        Arc::clone(&scheme),
+                        config.cache_bytes_per_replica,
+                        config.cache_shards,
+                    ),
+                )));
+                let sampler = Arc::new(WorkloadSampler::new(
+                    MaintenanceConfig::new(
+                        config.sampler_window,
+                        scheme.tau(),
+                        config.cache_bytes_per_replica,
+                        config.sampler_k,
+                    ),
+                    registry,
+                ));
+                let serve_config = hc_serve::ServeConfig {
+                    workers: config.workers_per_replica,
+                    queue_capacity: config.queue_capacity,
+                    io_model: config.io_model,
+                    simulate_io_scale: config.simulate_io_scale,
+                    eager_refetch: false,
+                    retry: config.retry,
+                    clock: Arc::clone(&config.clock),
+                    sampler: Some(Arc::clone(&sampler) as _),
+                    slo: None,
+                };
+                let server = QueryServer::start(
+                    SharedParts::new(Arc::clone(&index), Arc::clone(&injector) as _),
+                    Arc::clone(&cache) as Arc<dyn ConcurrentPointCache>,
+                    serve_config,
+                    registry,
+                );
+                let maint = Arc::new(MaintDaemon::new(
+                    sampler,
+                    Arc::clone(&index),
+                    Arc::clone(&data.dataset),
+                    quantizer.clone(),
+                    Arc::clone(&cache),
+                    config.cache_shards,
+                    registry,
+                ));
+                ShardReplica {
+                    server,
+                    injector,
+                    cache,
+                    maint,
+                }
+            })
+            .collect();
+        Self {
+            id,
+            data,
+            index,
+            replicas,
+        }
+    }
+
+    /// The shard's candidate set for `q` in *global* ids — what the fleet
+    /// answer must declare missing when this shard is unreachable. Pure
+    /// CPU over the in-memory index; no shard I/O, so it works exactly
+    /// when the shard itself does not.
+    pub fn candidates_global(&self, q: &[f32], k: usize) -> Vec<PointId> {
+        self.index
+            .candidates(q, k)
+            .into_iter()
+            .map(|local| self.data.global(local))
+            .collect()
+    }
+
+    /// Scrub every replica's store: verify all pages, repair sticky-dead
+    /// ones from the build-time replica. The recover half of the bench's
+    /// kill → degrade → scrub-recover arc.
+    pub fn scrub(&self) -> ScrubReport {
+        Scrubber::default().run_many(
+            self.replicas
+                .iter()
+                .map(|r| r.injector.as_ref() as &dyn ScrubbablePageStore),
+        )
+    }
+}

@@ -1,0 +1,125 @@
+//! Router merge correctness properties (DESIGN.md §14): for *arbitrary*
+//! per-shard outcomes — Done, Degraded with arbitrary splits, TimedOut or
+//! Failed shards, over arbitrary partitions — the merged top-k must equal
+//! a brute-force top-k over everything responsive shards could read, and
+//! `missing` must be exactly the union of unreachable candidates. The
+//! degradation contract in one sentence: the fleet may *lose* candidates,
+//! and must *say* which, but may never silently reorder or invent.
+
+use std::collections::BTreeSet;
+
+use hc_core::dataset::PointId;
+use hc_fleet::{merge_top_k, ShardFetch};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random distance per global id, with deliberate
+/// collisions (mod 50) so tie-breaking by id is exercised constantly.
+fn dist(id: u32) -> f64 {
+    ((id.wrapping_mul(2_654_435_761)) % 50) as f64 / 7.0
+}
+
+/// One shard's generated fate.
+#[derive(Debug, Clone)]
+struct ShardPlan {
+    /// Candidate count for this shard (its slice of the id space).
+    candidates: usize,
+    /// 0 => Done, 1 => Degraded, 2 => Unreachable.
+    kind: u8,
+    /// For Degraded: which candidate indices are unreadable (mod mask).
+    dead_stride: usize,
+}
+
+fn arb_plan() -> impl Strategy<Value = (Vec<ShardPlan>, usize)> {
+    (
+        prop::collection::vec(
+            (0usize..12, 0u8..3, 1usize..5).prop_map(|(candidates, kind, dead_stride)| ShardPlan {
+                candidates,
+                kind,
+                dead_stride,
+            }),
+            1..8,
+        ),
+        1usize..15,
+    )
+}
+
+/// Shard `s` owns global ids `s*1000 .. s*1000+candidates` — disjoint by
+/// construction, like a real partition.
+fn shard_ids(s: usize, plan: &ShardPlan) -> Vec<PointId> {
+    (0..plan.candidates)
+        .map(|j| PointId((s * 1000 + j) as u32))
+        .collect()
+}
+
+fn local_top_k(ids: &[PointId], k: usize) -> Vec<(f64, PointId)> {
+    let mut hits: Vec<(f64, PointId)> = ids.iter().map(|&id| (dist(id.0), id)).collect();
+    hits.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    hits.truncate(k);
+    hits
+}
+
+proptest! {
+    #[test]
+    fn merged_top_k_is_brute_force_over_responsive_shards(plan in arb_plan()) {
+        let (plans, k) = plan;
+        let mut fetches = Vec::new();
+        let mut readable: Vec<PointId> = Vec::new();
+        let mut expect_missing: BTreeSet<PointId> = BTreeSet::new();
+        let mut expect_responsive = 0;
+        let mut expect_unreachable = 0;
+        for (s, plan) in plans.iter().enumerate() {
+            let ids = shard_ids(s, plan);
+            match plan.kind {
+                0 => {
+                    expect_responsive += 1;
+                    readable.extend(&ids);
+                    fetches.push(ShardFetch::Done { hits: local_top_k(&ids, k) });
+                }
+                1 => {
+                    expect_responsive += 1;
+                    let (dead, alive): (Vec<PointId>, Vec<PointId>) = ids
+                        .iter()
+                        .partition(|id| (id.0 as usize).is_multiple_of(plan.dead_stride));
+                    readable.extend(&alive);
+                    expect_missing.extend(dead.iter().copied());
+                    fetches.push(ShardFetch::Degraded {
+                        hits: local_top_k(&alive, k),
+                        missing: dead,
+                    });
+                }
+                _ => {
+                    expect_unreachable += 1;
+                    expect_missing.extend(ids.iter().copied());
+                    fetches.push(ShardFetch::Unreachable { candidates: ids });
+                }
+            }
+        }
+
+        let merged = merge_top_k(k, &fetches);
+
+        // The exact top-k over everything responsive shards could read.
+        let brute = local_top_k(&readable, k);
+        prop_assert_eq!(&merged.hits, &brute);
+
+        // `missing` is exactly the union of unreachable candidates —
+        // degraded shards' declared losses plus dead shards' candidate
+        // sets — sorted and deduplicated, nothing more, nothing less.
+        let expect_missing: Vec<PointId> = expect_missing.into_iter().collect();
+        prop_assert_eq!(&merged.missing, &expect_missing);
+
+        prop_assert_eq!(merged.responsive, expect_responsive);
+        prop_assert_eq!(merged.unreachable, expect_unreachable);
+
+        // Exactness is decidable from the answer alone: empty `missing`
+        // means nothing anywhere was lost.
+        if merged.missing.is_empty() {
+            let all: Vec<PointId> = plans
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.kind != 2 || p.candidates == 0)
+                .flat_map(|(s, p)| shard_ids(s, p))
+                .collect();
+            prop_assert_eq!(&merged.hits, &local_top_k(&all, k));
+        }
+    }
+}

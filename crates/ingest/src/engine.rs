@@ -39,7 +39,9 @@ use hc_storage::scrub::{ScrubReport, ScrubbablePageStore, Scrubber};
 use crate::manifest::{Manifest, ManifestVersion};
 use crate::memtable::{MemEntry, Memtable};
 use crate::segment::{Segment, SidecarConfig};
-use crate::wal::{replay, Replay, Wal, WalDevice, WalOp};
+use crate::wal::{
+    decode_segment_snapshot, encode_segment_snapshot, replay, Replay, Wal, WalDevice, WalOp,
+};
 
 /// Tuning for one engine instance.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +50,12 @@ pub struct IngestConfig {
     pub dim: usize,
     /// Memtable byte budget; exceeding it seals inline on the write path.
     pub memtable_max_bytes: usize,
+    /// Hard memtable admission cap: once `approx_bytes` reaches it, writes
+    /// are refused with a retryable [`AdmissionError::Busy`] instead of
+    /// growing RAM without bound. Inline seals normally keep the memtable
+    /// far below this; it bites when sealing is deferred to a background
+    /// cadence (the hc-maint ingest daemon) and the writers outrun it.
+    pub admission_max_bytes: usize,
     /// Segment count at which [`IngestEngine::maybe_compact`] fires.
     pub compact_min_segments: usize,
     /// Per-segment compact-code sidecar fit.
@@ -57,6 +65,12 @@ pub struct IngestConfig {
     /// Fault profile applied to sealed segment files (seed is re-derived
     /// per segment so each seal rolls its own fault schedule).
     pub fault: Option<FaultConfig>,
+    /// Persist each sealed segment's image to the device and truncate the
+    /// WAL prefix it covers (DESIGN.md §13.6). Recovery then rebuilds
+    /// segments from images and replays only the log tail. Off, the WAL
+    /// grows forever and replay starts at byte 0 — the pre-checkpoint
+    /// discipline, kept for the raw-log crash properties.
+    pub checkpoint_on_seal: bool,
 }
 
 impl IngestConfig {
@@ -64,13 +78,45 @@ impl IngestConfig {
         Self {
             dim,
             memtable_max_bytes: 1 << 20,
+            admission_max_bytes: (1 << 20) * 4,
             compact_min_segments: 4,
             sidecar: SidecarConfig::default(),
             max_read_retries: 3,
             fault: None,
+            checkpoint_on_seal: true,
         }
     }
 }
+
+/// Why a write was refused at admission. Retryable by contract: the engine
+/// refused to *take* the op — nothing was logged or applied — so the caller
+/// may back off and resubmit without risking a duplicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The memtable is at its admission cap and sealing has not caught up.
+    Busy {
+        /// Memtable size at refusal.
+        memtable_bytes: usize,
+        /// The configured [`IngestConfig::admission_max_bytes`].
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Busy {
+                memtable_bytes,
+                limit,
+            } => write!(
+                f,
+                "ingest busy: memtable at {memtable_bytes} bytes (admission cap {limit}); retry after a seal"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
 
 /// What one exact mid-ingest query did and found.
 #[derive(Debug, Default, Clone, PartialEq)]
@@ -98,6 +144,9 @@ pub struct IngestAnswer {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IngestStatus {
     pub wal_bytes: usize,
+    /// First WAL sequence not covered by persisted segment images — how far
+    /// the log has been checkpointed away.
+    pub wal_checkpoint_seq: u64,
     pub memtable_points: usize,
     pub memtable_tombstones: usize,
     pub segments: usize,
@@ -116,6 +165,8 @@ struct IngestObs {
     seals: Counter,
     compactions: Counter,
     wal_replayed: Counter,
+    checkpoints: Counter,
+    backpressure: Counter,
     wal_bytes: Gauge,
     memtable_points: Gauge,
     segments: Gauge,
@@ -131,6 +182,8 @@ impl IngestObs {
             seals: registry.counter("ingest.seals"),
             compactions: registry.counter("ingest.compactions"),
             wal_replayed: registry.counter("ingest.wal_replayed_records"),
+            checkpoints: registry.counter("ingest.wal_checkpoints"),
+            backpressure: registry.counter("ingest.backpressure"),
             wal_bytes: registry.gauge("ingest.wal_bytes"),
             memtable_points: registry.gauge("ingest.memtable_points"),
             segments: registry.gauge("ingest.segments"),
@@ -178,35 +231,57 @@ impl IngestEngine {
         }
     }
 
-    /// Rebuild the engine's RAM state from the device: replay the verified
-    /// WAL prefix through the normal apply path (inline seals and all) and
-    /// resume the manifest at the persisted generation floor.
+    /// Rebuild the engine's RAM state from the device: restore sealed
+    /// segments from persisted images (checkpointed history), then replay
+    /// the verified WAL tail — records at or above the checkpoint sequence
+    /// — through the normal apply path. The manifest resumes at the
+    /// persisted generation floor. On a never-checkpointed device this is
+    /// exactly the old replay-from-byte-0 recovery.
     pub fn recover(
         device: Arc<WalDevice>,
         config: IngestConfig,
         registry: &MetricsRegistry,
     ) -> (Self, Replay) {
         let replayed = replay(&device.snapshot());
+        let checkpoint = device.checkpoint_seq();
         let engine = Self::new(Arc::clone(&device), config, registry);
-        {
+        let restored = {
             let _writer = engine.writer.lock().expect("writer lock poisoned");
+            let restored = engine.restore_segments();
             for record in &replayed.records {
-                engine.apply(record.op.clone());
+                // A record below the checkpoint is already inside a
+                // restored segment (a crash landed between persist and
+                // truncate); applying it again would be harmless (upsert
+                // shadowing) but skipping is cleaner.
+                if record.seq >= checkpoint {
+                    engine.apply(record.op.clone());
+                }
             }
-        }
-        // Resume sequencing after the highest replayed record.
-        let next = replayed.records.last().map_or(0, |r| r.seq + 1);
+            restored
+        };
+        // Resume sequencing after everything durable: the highest replayed
+        // record or the checkpoint floor, whichever is further along.
+        let next = replayed
+            .records
+            .last()
+            .map_or(0, |r| r.seq + 1)
+            .max(checkpoint);
         let recovered = Wal::resume(Arc::clone(&device), next);
         // SAFETY-free swap: `wal` is only used behind &self, but we own the
         // engine here, so replacing the appender before sharing is fine.
         let mut engine = engine;
         engine.wal = recovered;
-        engine.obs.wal_replayed.add(replayed.records.len() as u64);
+        let applied = replayed
+            .records
+            .iter()
+            .filter(|r| r.seq >= checkpoint)
+            .count();
+        engine.obs.wal_replayed.add(applied as u64);
         engine.registry.event(
             "ingest.wal_replay",
             &format!(
-                "records={} end={:?} verified_bytes={} generation_floor={}",
-                replayed.records.len(),
+                "records={applied} segments_restored={restored} checkpoint_seq={checkpoint} \
+                 end={:?} verified_bytes={} generation_floor={}",
                 replayed.end,
                 replayed.verified_bytes,
                 device.generation_floor()
@@ -214,6 +289,45 @@ impl IngestEngine {
         );
         engine.refresh_gauges();
         (engine, replayed)
+    }
+
+    /// Rebuild sealed segments from the device's persisted images, oldest
+    /// first so newer segments shadow older ones exactly as live seals did.
+    /// Returns how many were restored. Caller holds the writer lock.
+    fn restore_segments(&self) -> usize {
+        let blobs = self.device.load_segments();
+        if blobs.is_empty() {
+            return 0;
+        }
+        let mut version = (*self.manifest.current()).clone();
+        let mut max_seq = 0;
+        let mut restored = 0;
+        for (seq, bytes) in blobs {
+            let Some((image_seq, dim, rows, tombstones)) = decode_segment_snapshot(&bytes) else {
+                continue; // structurally invalid image: discarded whole
+            };
+            if image_seq != seq || dim != self.config.dim {
+                continue;
+            }
+            let segment = Arc::new(Segment::build(
+                seq,
+                rows,
+                tombstones,
+                self.config.dim,
+                self.config.sidecar,
+                self.segment_fault(seq),
+            ));
+            version = version.with_new_segment(segment);
+            max_seq = max_seq.max(seq);
+            restored += 1;
+        }
+        if restored > 0 {
+            let generation = self.manifest.swap(version);
+            self.device.publish_generation(generation);
+            self.next_segment_seq
+                .fetch_max(max_seq + 1, Ordering::AcqRel);
+        }
+        restored
     }
 
     pub fn config(&self) -> &IngestConfig {
@@ -226,27 +340,51 @@ impl IngestEngine {
         &self.device
     }
 
-    /// Durable upsert. Returns the WAL sequence number — by the time this
-    /// returns, the write survives any crash.
-    pub fn insert(&self, id: PointId, vector: Vec<f32>) -> u64 {
+    /// Durable upsert. `Ok` carries the WAL sequence number — by the time
+    /// this returns, the write survives any crash. `Err(Busy)` means the
+    /// memtable is at its admission cap: nothing was logged or applied, and
+    /// the caller should back off and retry after a seal catches up.
+    pub fn insert(&self, id: PointId, vector: Vec<f32>) -> Result<u64, AdmissionError> {
         assert_eq!(vector.len(), self.config.dim, "dimensionality mismatch");
         let _writer = self.writer.lock().expect("writer lock poisoned");
+        self.admit()?;
         let seq = self.wal.append(WalOp::Insert {
             id,
             vector: vector.clone(),
         });
         self.obs.inserts.inc();
         self.apply(WalOp::Insert { id, vector });
-        seq
+        Ok(seq)
     }
 
-    /// Durable delete (tombstone).
-    pub fn delete(&self, id: PointId) -> u64 {
+    /// Durable delete (tombstone). Same admission contract as
+    /// [`IngestEngine::insert`] — a tombstone is a memtable entry too.
+    pub fn delete(&self, id: PointId) -> Result<u64, AdmissionError> {
         let _writer = self.writer.lock().expect("writer lock poisoned");
+        self.admit()?;
         let seq = self.wal.append(WalOp::Delete { id });
         self.obs.deletes.inc();
         self.apply(WalOp::Delete { id });
-        seq
+        Ok(seq)
+    }
+
+    /// Admission control on the write path: refuse (retryably, before the
+    /// WAL append) once the memtable has blown past its hard cap. Caller
+    /// holds the writer lock.
+    fn admit(&self) -> Result<(), AdmissionError> {
+        let memtable_bytes = self
+            .memtable
+            .read()
+            .expect("memtable lock poisoned")
+            .approx_bytes();
+        if memtable_bytes >= self.config.admission_max_bytes {
+            self.obs.backpressure.inc();
+            return Err(AdmissionError::Busy {
+                memtable_bytes,
+                limit: self.config.admission_max_bytes,
+            });
+        }
+        Ok(())
     }
 
     /// Apply one (already durable) op to the memtable; seal inline if the
@@ -286,6 +424,12 @@ impl IngestEngine {
         let seq = self.next_segment_seq.fetch_add(1, Ordering::AcqRel);
         let rows = live.len();
         let tombs = tombstones.len();
+        // Encode the durable image before the snapshot moves into the
+        // segment build.
+        let image = self
+            .config
+            .checkpoint_on_seal
+            .then(|| encode_segment_snapshot(seq, self.config.dim, &live, &tombstones));
         let segment = Arc::new(Segment::build(
             seq,
             live,
@@ -297,6 +441,17 @@ impl IngestEngine {
         let version = self.manifest.current().with_new_segment(segment);
         let generation = self.manifest.swap(version);
         self.device.publish_generation(generation);
+        if let Some(image) = image {
+            // Persist the image, then checkpoint. The writer lock is held,
+            // so the log holds exactly the records applied to this seal's
+            // snapshot or to earlier (already persisted) seals — the whole
+            // log is covered and truncates away. A crash between the two
+            // calls merely leaves records double-covered; replay skips them
+            // by sequence number.
+            self.device.persist_segment(seq, image);
+            self.device.checkpoint(self.wal.next_seq());
+            self.obs.checkpoints.inc();
+        }
         // Swap first, clear second: queries between the two see the data
         // twice-shadowed (mask wins), never zero times.
         self.memtable
@@ -307,7 +462,11 @@ impl IngestEngine {
         self.obs.seals.inc();
         self.registry.event(
             "ingest.seal",
-            &format!("seq={seq} rows={rows} tombstones={tombs} generation={generation}"),
+            &format!(
+                "seq={seq} rows={rows} tombstones={tombs} generation={generation} \
+                 checkpoint_seq={}",
+                self.device.checkpoint_seq()
+            ),
         );
         true
     }
@@ -332,10 +491,15 @@ impl IngestEngine {
             return false;
         }
         let inputs = version.num_segments();
+        let input_seqs: Vec<u64> = version.segments().iter().map(|e| e.segment.seq()).collect();
         let rows = version.merged_rows();
         let dropped_tombstones = version.total_tombstones();
         let out_rows = rows.len();
         let seq = self.next_segment_seq.fetch_add(1, Ordering::AcqRel);
+        let image = self
+            .config
+            .checkpoint_on_seal
+            .then(|| encode_segment_snapshot(seq, self.config.dim, &rows, &[]));
         let merged = Arc::new(Segment::build(
             seq,
             rows,
@@ -346,6 +510,14 @@ impl IngestEngine {
         ));
         let generation = self.manifest.swap(ManifestVersion::compacted(merged));
         self.device.publish_generation(generation);
+        if let Some(image) = image {
+            // Same persist-then-remove ordering as seal: a crash between
+            // the two leaves inputs and merged output both on the device,
+            // where restore's newest-shadows-oldest makes the duplication
+            // harmless.
+            self.device.persist_segment(seq, image);
+            self.device.remove_segments(&input_seqs);
+        }
         self.compactions.fetch_add(1, Ordering::Relaxed);
         self.obs.compactions.inc();
         self.registry.event(
@@ -472,6 +644,7 @@ impl IngestEngine {
         let version = self.manifest.current();
         IngestStatus {
             wal_bytes: self.device.len(),
+            wal_checkpoint_seq: self.device.checkpoint_seq(),
             memtable_points,
             memtable_tombstones,
             segments: version.num_segments(),
@@ -540,9 +713,9 @@ mod tests {
         let e = engine(6);
         let q: Vec<f32> = (0..6).map(|j| j as f32 * 1.3).collect();
         for id in 0..40u32 {
-            e.insert(PointId(id), vec_for(id, 6));
+            e.insert(PointId(id), vec_for(id, 6)).expect("admitted");
             if id % 10 == 3 {
-                e.delete(PointId(id / 2));
+                e.delete(PointId(id / 2)).expect("admitted");
             }
             // Exact after every single mutation.
             assert_eq!(e.query(&q, 5).hits, oracle(&e, &q, 5), "after op {id}");
@@ -551,8 +724,8 @@ mod tests {
         assert_eq!(e.query(&q, 5).hits, oracle(&e, &q, 5), "after seal");
         // More traffic over sealed data, then more seals and a compaction.
         for id in 40..80u32 {
-            e.insert(PointId(id), vec_for(id + 1, 6));
-            e.delete(PointId(id - 35));
+            e.insert(PointId(id), vec_for(id + 1, 6)).expect("admitted");
+            e.delete(PointId(id - 35)).expect("admitted");
             if id % 10 == 0 {
                 e.seal();
             }
@@ -569,9 +742,9 @@ mod tests {
     #[test]
     fn upserts_resolve_to_the_newest_version_across_levels() {
         let e = engine(2);
-        e.insert(PointId(1), vec![1.0, 1.0]);
+        e.insert(PointId(1), vec![1.0, 1.0]).expect("admitted");
         e.seal();
-        e.insert(PointId(1), vec![100.0, 100.0]); // rewrite in memtable
+        e.insert(PointId(1), vec![100.0, 100.0]).expect("admitted"); // rewrite in memtable
         let hits = e.query(&[99.0, 99.0], 1).hits;
         assert_eq!(hits[0].1, PointId(1));
         assert!(
@@ -587,10 +760,10 @@ mod tests {
     #[test]
     fn deletes_mask_sealed_data() {
         let e = engine(2);
-        e.insert(PointId(1), vec![0.0, 0.0]);
-        e.insert(PointId(2), vec![1.0, 1.0]);
+        e.insert(PointId(1), vec![0.0, 0.0]).expect("admitted");
+        e.insert(PointId(2), vec![1.0, 1.0]).expect("admitted");
         e.seal();
-        e.delete(PointId(1)); // tombstone in memtable over sealed row
+        e.delete(PointId(1)).expect("admitted"); // tombstone in memtable over sealed row
         assert_eq!(e.query(&[0.0, 0.0], 5).hits.len(), 1);
         assert_eq!(e.get(PointId(1)), None);
         e.seal(); // tombstone sealed into its own segment
@@ -605,7 +778,7 @@ mod tests {
         config.memtable_max_bytes = 200; // a few entries
         let e = IngestEngine::new(Arc::new(WalDevice::new()), config, &MetricsRegistry::new());
         for id in 0..50u32 {
-            e.insert(PointId(id), vec_for(id, 4));
+            e.insert(PointId(id), vec_for(id, 4)).expect("admitted");
         }
         let s = e.status();
         assert!(s.seals > 0, "budget must force seals");
@@ -621,11 +794,12 @@ mod tests {
         let (pre_hits, pre_generation) = {
             let e = IngestEngine::new(Arc::clone(&device), IngestConfig::new(2), &registry);
             for id in 0..30u32 {
-                e.insert(PointId(id), vec![id as f32, (id % 7) as f32]);
+                e.insert(PointId(id), vec![id as f32, (id % 7) as f32])
+                    .expect("admitted");
             }
-            e.delete(PointId(4));
+            e.delete(PointId(4)).expect("admitted");
             e.seal();
-            e.insert(PointId(40), vec![0.25, 0.25]);
+            e.insert(PointId(40), vec![0.25, 0.25]).expect("admitted");
             (e.query(&q, 5).hits, e.manifest_generation())
         }; // crash: engine dropped, device survives
         assert!(pre_generation > 0);
@@ -642,12 +816,11 @@ mod tests {
 
         let (e2, replayed) =
             IngestEngine::recover(Arc::clone(&device), IngestConfig::new(2), &registry);
-        assert_eq!(
-            replayed.records.len(),
-            32,
-            "30 inserts + 1 delete + 1 insert"
-        );
+        // The seal checkpointed: the 31 pre-seal records live in the
+        // persisted segment image, so replay surfaces only the tail insert.
+        assert_eq!(replayed.records.len(), 1, "post-checkpoint tail only");
         assert_eq!(replayed.end, crate::wal::ReplayEnd::TornTail);
+        assert_eq!(e2.status().wal_checkpoint_seq, 31);
         assert_eq!(e2.get(PointId(41)), None, "unacked write must not surface");
         assert_eq!(e2.get(PointId(4)), None, "acked delete survives");
         assert_eq!(e2.get(PointId(40)), Some(vec![0.25, 0.25]));
@@ -659,8 +832,124 @@ mod tests {
         );
         assert_eq!(
             registry.snapshot().counter("ingest.wal_replayed_records"),
-            Some(32)
+            Some(1)
         );
+    }
+
+    #[test]
+    fn seal_checkpoints_the_wal_and_compaction_swaps_the_images() {
+        let device = Arc::new(WalDevice::new());
+        let registry = MetricsRegistry::new();
+        let mut config = IngestConfig::new(2);
+        config.compact_min_segments = 2;
+        let e = IngestEngine::new(Arc::clone(&device), config, &registry);
+        for id in 0..10u32 {
+            e.insert(PointId(id), vec![id as f32, 0.0])
+                .expect("admitted");
+        }
+        let before_seal = device.len();
+        assert!(before_seal > 0);
+        assert!(e.seal());
+        // The log is truncated; the sealed data lives in one durable image.
+        assert_eq!(device.len(), 0, "seal must checkpoint the WAL away");
+        assert_eq!(device.checkpoint_seq(), 10);
+        assert_eq!(device.segment_count(), 1);
+        assert_eq!(e.status().wal_checkpoint_seq, 10);
+
+        for id in 10..14u32 {
+            e.insert(PointId(id), vec![id as f32, 1.0])
+                .expect("admitted");
+        }
+        e.seal();
+        assert_eq!(device.segment_count(), 2);
+        assert!(e.maybe_compact());
+        // Compaction persisted the merged image and removed its inputs.
+        assert_eq!(device.segment_count(), 1);
+        assert_eq!(
+            registry.snapshot().counter("ingest.wal_checkpoints"),
+            Some(2)
+        );
+
+        // Crash with an empty log: everything comes back from images alone.
+        drop(e);
+        let (e2, replayed) = IngestEngine::recover(Arc::clone(&device), config, &registry);
+        assert_eq!(replayed.records.len(), 0, "no log tail to replay");
+        assert_eq!(e2.live_ids().len(), 14);
+        for id in 0..14u32 {
+            let y = if id < 10 { 0.0 } else { 1.0 };
+            assert_eq!(e2.get(PointId(id)), Some(vec![id as f32, y]));
+        }
+    }
+
+    #[test]
+    fn recovery_replays_only_the_tail_across_many_checkpoints() {
+        let device = Arc::new(WalDevice::new());
+        let registry = MetricsRegistry::new();
+        let mut config = IngestConfig::new(2);
+        config.memtable_max_bytes = 4 * (24 + 2 * 4); // ~4 entries per seal
+        let e = IngestEngine::new(Arc::clone(&device), config, &registry);
+        for id in 0..40u32 {
+            e.insert(PointId(id), vec![id as f32, 2.0])
+                .expect("admitted");
+            if id % 9 == 0 {
+                e.delete(PointId(id / 3)).expect("admitted");
+            }
+        }
+        let status = e.status();
+        assert!(status.seals >= 3, "budget must force several seals");
+        assert!(status.wal_checkpoint_seq > 0);
+        let live_before: usize = e.live_ids().len();
+        let tail_records = replay(&device.snapshot()).records.len();
+        assert!(
+            device.len() < 40 * (2 * 4 + 64),
+            "the log must hold only the post-checkpoint tail"
+        );
+        drop(e);
+        let (e2, replayed) = IngestEngine::recover(Arc::clone(&device), config, &registry);
+        assert_eq!(replayed.records.len(), tail_records);
+        assert_eq!(e2.live_ids().len(), live_before);
+    }
+
+    #[test]
+    fn admission_cap_refuses_retryably_under_memtable_pressure() {
+        let registry = MetricsRegistry::new();
+        let mut config = IngestConfig::new(4);
+        // Sealing deferred (background cadence owns it); tiny admission cap.
+        config.memtable_max_bytes = usize::MAX;
+        config.admission_max_bytes = 5 * (4 * 4 + 64);
+        let e = IngestEngine::new(Arc::new(WalDevice::new()), config, &registry);
+        let mut admitted = 0u32;
+        let err = loop {
+            match e.insert(PointId(admitted), vec_for(admitted, 4)) {
+                Ok(_) => admitted += 1,
+                Err(err) => break err,
+            }
+        };
+        assert!(admitted >= 4, "cap must admit a few entries first");
+        let AdmissionError::Busy {
+            memtable_bytes,
+            limit,
+        } = err;
+        assert!(memtable_bytes >= limit);
+        // Deletes are refused under the same pressure (tombstones are
+        // memtable entries too), and nothing was logged for refused ops.
+        assert_eq!(
+            e.delete(PointId(0)).unwrap_err(),
+            AdmissionError::Busy {
+                memtable_bytes,
+                limit
+            }
+        );
+        let wal_bytes = e.status().wal_bytes;
+        assert_eq!(e.live_ids().len(), admitted as usize);
+        // A seal drains the memtable; admission reopens — the error was
+        // genuinely retryable.
+        assert!(e.seal());
+        e.insert(PointId(999), vec_for(999, 4)).expect("readmitted");
+        assert!(e.status().wal_bytes < wal_bytes, "checkpoint ran at seal");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ingest.backpressure"), Some(2));
+        assert_eq!(snap.counter("ingest.inserts"), Some(admitted as u64 + 1));
     }
 
     #[test]
@@ -677,7 +966,7 @@ mod tests {
         config.max_read_retries = 4;
         let e = IngestEngine::new(Arc::new(WalDevice::new()), config, &MetricsRegistry::new());
         for id in 0..150u32 {
-            e.insert(PointId(id), vec_for(id, 150));
+            e.insert(PointId(id), vec_for(id, 150)).expect("admitted");
         }
         e.seal();
         let q: Vec<f32> = (0..150).map(|j| ((j % 8) * 2) as f32).collect();
@@ -709,16 +998,18 @@ mod tests {
         let registry = MetricsRegistry::new();
         let e = IngestEngine::new(Arc::new(WalDevice::new()), IngestConfig::new(2), &registry);
         for id in 0..10u32 {
-            e.insert(PointId(id), vec![id as f32, 0.0]);
+            e.insert(PointId(id), vec![id as f32, 0.0])
+                .expect("admitted");
         }
-        e.delete(PointId(0));
+        e.delete(PointId(0)).expect("admitted");
         e.seal();
         let s = e.status();
         assert_eq!(s.segments, 1);
         assert_eq!(s.memtable_points, 0);
         assert_eq!(s.segment_rows_live, 9);
         assert_eq!(s.segment_tombstones, 1);
-        assert!(s.wal_bytes > 0);
+        assert_eq!(s.wal_bytes, 0, "the seal checkpointed the log away");
+        assert_eq!(s.wal_checkpoint_seq, 11);
         assert_eq!(s.manifest_generation, 1);
         let snap = registry.snapshot();
         assert_eq!(snap.counter("ingest.inserts"), Some(10));

@@ -27,7 +27,7 @@ pub mod memtable;
 pub mod segment;
 pub mod wal;
 
-pub use engine::{IngestAnswer, IngestConfig, IngestEngine, IngestStatus};
+pub use engine::{AdmissionError, IngestAnswer, IngestConfig, IngestEngine, IngestStatus};
 pub use manifest::{Manifest, ManifestVersion, SegmentEntry};
 pub use memtable::{MemEntry, Memtable};
 pub use segment::{Segment, SegmentSearch, SidecarConfig};

@@ -61,17 +61,39 @@ pub struct WalRecord {
     pub op: WalOp,
 }
 
+/// A durably persisted sealed-segment image: what a real LSM store writes
+/// as an SST file next to its log. Checksummed as a whole; a blob that
+/// fails verification at load is discarded (a torn segment file), never
+/// half-applied.
+#[derive(Debug, Clone)]
+struct SegmentBlob {
+    seq: u64,
+    checksum: u64,
+    bytes: Vec<u8>,
+}
+
 /// The simulated durable medium behind the log: an append-only byte vector
 /// plus the manifest-generation superblock. It deliberately has no
 /// reference to the engine — "crash" in tests and benches is dropping the
 /// engine while keeping the device, exactly like losing RAM but not disk.
+///
+/// Checkpointing (DESIGN.md §13.6) adds two more durable areas: persisted
+/// segment blobs (the SST files) and the checkpoint sequence superblock.
+/// Once a seal's segment blob is persisted, the log prefix it covers is
+/// redundant and [`WalDevice::checkpoint`] truncates it — recovery then
+/// rebuilds segments from blobs and replays only the log tail.
 #[derive(Debug, Default)]
 pub struct WalDevice {
     bytes: Mutex<Vec<u8>>,
+    /// Persisted sealed-segment images, ascending `seq`.
+    segments: Mutex<Vec<SegmentBlob>>,
     /// Highest manifest generation ever published by an engine over this
     /// device — the superblock a recovered manifest resumes from, which is
     /// what keeps generations monotonic across restarts.
     generation_floor: AtomicU64,
+    /// First WAL sequence number *not* covered by persisted segments: the
+    /// replay starting point. Records below it live in blobs, not the log.
+    checkpoint_seq: AtomicU64,
 }
 
 impl WalDevice {
@@ -138,6 +160,145 @@ impl WalDevice {
         self.generation_floor
             .fetch_max(generation, Ordering::AcqRel);
     }
+
+    /// Durably persist a sealed segment's image under `seq` (replacing any
+    /// prior image with the same seq — a re-seal after a crash replays to
+    /// the same place). Must happen *before* [`WalDevice::checkpoint`]
+    /// truncates the log bytes it covers; a crash between the two merely
+    /// double-covers records, which upsert replay makes idempotent.
+    pub fn persist_segment(&self, seq: u64, bytes: Vec<u8>) {
+        let blob = SegmentBlob {
+            seq,
+            checksum: bytes_checksum(&bytes),
+            bytes,
+        };
+        let mut segments = self.segments.lock().expect("segment store poisoned");
+        match segments.binary_search_by_key(&seq, |b| b.seq) {
+            Ok(at) => segments[at] = blob,
+            Err(at) => segments.insert(at, blob),
+        }
+    }
+
+    /// Drop persisted segment images (compaction removed their data into a
+    /// merged successor).
+    pub fn remove_segments(&self, seqs: &[u64]) {
+        self.segments
+            .lock()
+            .expect("segment store poisoned")
+            .retain(|b| !seqs.contains(&b.seq));
+    }
+
+    /// Load every persisted segment image that verifies, ascending `seq`.
+    /// A blob whose checksum no longer matches its bytes is skipped — a
+    /// torn or rotten segment file is discarded whole, never half-read.
+    pub fn load_segments(&self) -> Vec<(u64, Vec<u8>)> {
+        self.segments
+            .lock()
+            .expect("segment store poisoned")
+            .iter()
+            .filter(|b| bytes_checksum(&b.bytes) == b.checksum)
+            .map(|b| (b.seq, b.bytes.clone()))
+            .collect()
+    }
+
+    /// Persisted segment images on the device.
+    pub fn segment_count(&self) -> usize {
+        self.segments.lock().expect("segment store poisoned").len()
+    }
+
+    /// Total persisted segment-image bytes.
+    pub fn segment_bytes(&self) -> usize {
+        self.segments
+            .lock()
+            .expect("segment store poisoned")
+            .iter()
+            .map(|b| b.bytes.len())
+            .sum()
+    }
+
+    /// Checkpoint the log: every record below `covers_seq` is now covered
+    /// by persisted segments, so the log bytes are truncated away and
+    /// replay resumes from `covers_seq`. Never lowers the checkpoint.
+    pub fn checkpoint(&self, covers_seq: u64) {
+        // Raise the superblock first: a crash between the two leaves extra
+        // log bytes that replay skips by sequence number, not lost data.
+        self.checkpoint_seq.fetch_max(covers_seq, Ordering::AcqRel);
+        self.bytes.lock().expect("wal device poisoned").clear();
+    }
+
+    /// First WAL sequence number replay must apply (earlier ones live in
+    /// persisted segments).
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.checkpoint_seq.load(Ordering::Acquire)
+    }
+}
+
+/// Encode a sealed memtable snapshot as a segment image:
+///
+/// ```text
+/// | seq u64 | dim u32 | rows u32 | tombs u32 |
+/// rows × ( id u32 | dim × f32 ) | tombs × u32
+/// ```
+///
+/// The device checksums the whole image on persist; decode re-validates
+/// structure (an image that lies about its counts is rejected).
+pub fn encode_segment_snapshot(
+    seq: u64,
+    dim: usize,
+    rows: &[(u32, Vec<f32>)],
+    tombstones: &[u32],
+) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(20 + rows.len() * (4 + dim * 4) + tombstones.len() * 4);
+    bytes.extend_from_slice(&seq.to_le_bytes());
+    bytes.extend_from_slice(&(dim as u32).to_le_bytes());
+    bytes.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&(tombstones.len() as u32).to_le_bytes());
+    for (id, vector) in rows {
+        debug_assert_eq!(vector.len(), dim);
+        bytes.extend_from_slice(&id.to_le_bytes());
+        for v in vector {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    for id in tombstones {
+        bytes.extend_from_slice(&id.to_le_bytes());
+    }
+    bytes
+}
+
+/// Decode a segment image. `None` on any structural mismatch.
+#[allow(clippy::type_complexity)]
+pub fn decode_segment_snapshot(
+    bytes: &[u8],
+) -> Option<(u64, usize, Vec<(u32, Vec<f32>)>, Vec<u32>)> {
+    if bytes.len() < 20 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(bytes[..8].try_into().ok()?);
+    let dim = u32::from_le_bytes(bytes[8..12].try_into().ok()?) as usize;
+    let n_rows = u32::from_le_bytes(bytes[12..16].try_into().ok()?) as usize;
+    let n_tombs = u32::from_le_bytes(bytes[16..20].try_into().ok()?) as usize;
+    let row_bytes = 4 + dim * 4;
+    if bytes.len() != 20 + n_rows * row_bytes + n_tombs * 4 {
+        return None;
+    }
+    let mut at = 20;
+    let mut rows = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let id = u32::from_le_bytes(bytes[at..at + 4].try_into().ok()?);
+        let vector = bytes[at + 4..at + row_bytes]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        rows.push((id, vector));
+        at += row_bytes;
+    }
+    let mut tombstones = Vec::with_capacity(n_tombs);
+    for _ in 0..n_tombs {
+        tombstones.push(u32::from_le_bytes(bytes[at..at + 4].try_into().ok()?));
+        at += 4;
+    }
+    Some((seq, dim, rows, tombstones))
 }
 
 /// Encode one record into its framed byte form.
@@ -428,5 +589,58 @@ mod tests {
         device.publish_generation(5);
         device.publish_generation(3); // never lowers
         assert_eq!(device.generation_floor(), 5);
+    }
+
+    #[test]
+    fn segment_snapshot_round_trips() {
+        let rows = vec![(7u32, vec![1.0f32, -2.5]), (9, vec![0.0, 4.25])];
+        let tombs = vec![3u32, 11];
+        let bytes = encode_segment_snapshot(5, 2, &rows, &tombs);
+        assert_eq!(decode_segment_snapshot(&bytes), Some((5, 2, rows, tombs)));
+        // Structural lies are rejected, not half-read.
+        assert_eq!(decode_segment_snapshot(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(decode_segment_snapshot(&[]), None);
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_log_and_persisted_blobs_survive() {
+        let device = Arc::new(WalDevice::new());
+        let wal = Wal::new(Arc::clone(&device));
+        for i in 0..3u32 {
+            wal.append(WalOp::Insert {
+                id: PointId(i),
+                vector: vec![i as f32],
+            });
+        }
+        assert!(!device.is_empty());
+        let image = encode_segment_snapshot(1, 1, &[(0, vec![0.0])], &[]);
+        device.persist_segment(1, image.clone());
+        device.checkpoint(3);
+        assert_eq!(device.len(), 0, "checkpoint truncates the log");
+        assert_eq!(device.checkpoint_seq(), 3);
+        assert_eq!(device.load_segments(), vec![(1, image)]);
+        // Checkpoints never regress; same-seq persist replaces.
+        device.checkpoint(2);
+        assert_eq!(device.checkpoint_seq(), 3);
+        let replacement = encode_segment_snapshot(1, 1, &[(5, vec![9.0])], &[]);
+        device.persist_segment(1, replacement.clone());
+        assert_eq!(device.load_segments(), vec![(1, replacement)]);
+        device.remove_segments(&[1]);
+        assert_eq!(device.segment_count(), 0);
+    }
+
+    #[test]
+    fn corrupt_segment_blobs_are_discarded_whole_at_load() {
+        let device = WalDevice::new();
+        let good = encode_segment_snapshot(1, 1, &[(0, vec![1.0])], &[]);
+        device.persist_segment(1, good.clone());
+        device.persist_segment(2, good.clone());
+        // Rot one blob behind the checksum's back.
+        {
+            let mut segments = device.segments.lock().unwrap();
+            segments[0].bytes[10] ^= 0x40;
+        }
+        let loaded = device.load_segments();
+        assert_eq!(loaded, vec![(2, good)]);
     }
 }

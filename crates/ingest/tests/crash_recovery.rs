@@ -49,9 +49,23 @@ fn to_wal_op(raw: &RawOp) -> WalOp {
 
 /// Tiny memtable budget so op sequences cross seals (and the WAL-is-the-
 /// only-durable-medium property is tested across segment rebuilds too).
+/// Checkpoint-on-seal is disabled here: these proptests model the WAL as
+/// one append-only byte stream whose frame offsets never move, so the log
+/// must not be truncated under them. The checkpoint-crossing discipline
+/// has its own proptest below with checkpointing left on.
 fn config() -> IngestConfig {
     let mut config = IngestConfig::new(DIM);
     config.memtable_max_bytes = 10 * (DIM * 4 + 64);
+    config.compact_min_segments = 3;
+    config.checkpoint_on_seal = false;
+    config
+}
+
+/// Checkpointing config: a budget of ~5 entries per seal makes a 60-op
+/// stream cross many seal→persist-image→truncate-log cycles.
+fn checkpointing_config() -> IngestConfig {
+    let mut config = IngestConfig::new(DIM);
+    config.memtable_max_bytes = 5 * (24 + DIM * 4);
     config.compact_min_segments = 3;
     config
 }
@@ -66,10 +80,10 @@ fn write_all(ops: &[RawOp]) -> (Arc<WalDevice>, Vec<usize>) {
     for raw in ops {
         match to_wal_op(raw) {
             WalOp::Insert { id, vector } => {
-                engine.insert(id, vector);
+                engine.insert(id, vector).expect("admitted");
             }
             WalOp::Delete { id } => {
-                engine.delete(id);
+                engine.delete(id).expect("admitted");
             }
         }
         frame_ends.push(device.len());
@@ -190,6 +204,68 @@ proptest! {
                 "checksummed replay must stop exactly at the damaged frame"
             );
             assert_recovers_prefix(&device, &ops, damaged_frame);
+        }
+    }
+
+    /// With checkpoint-on-seal enabled, every seal persists a segment image
+    /// and truncates the log, so a crash point lands in the *post-checkpoint
+    /// tail*. Recovery must restore the checkpointed ops from images and
+    /// replay only the tail frames that survived the cut — the combined
+    /// live set equals the shadow of exactly those ops, bit-identical.
+    #[test]
+    fn crash_across_checkpoint_boundaries_recovers_images_plus_tail(
+        ops in arb_ops(),
+        cut_fraction in 0.0f64..=1.0,
+    ) {
+        let registry = MetricsRegistry::new();
+        let device = Arc::new(WalDevice::new());
+        let engine =
+            IngestEngine::new(Arc::clone(&device), checkpointing_config(), &registry);
+        let mut covered = 0usize; // ops durably held by segment images
+        let mut tail_ends = Vec::new(); // frame ends within the current log
+        for (i, raw) in ops.iter().enumerate() {
+            match to_wal_op(raw) {
+                WalOp::Insert { id, vector } => {
+                    engine.insert(id, vector).expect("admitted");
+                }
+                WalOp::Delete { id } => {
+                    engine.delete(id).expect("admitted");
+                }
+            }
+            if device.is_empty() {
+                // An inline seal checkpointed: everything so far is
+                // image-borne and the tail restarts from byte 0.
+                covered = i + 1;
+                tail_ends.clear();
+            } else {
+                tail_ends.push(device.len());
+            }
+        }
+        drop(engine);
+        let cut = (device.len() as f64 * cut_fraction) as usize;
+        device.truncate(cut);
+        let surviving_tail = tail_ends.iter().filter(|&&end| end <= cut).count();
+        let acked = covered + surviving_tail;
+
+        let (recovered, replayed) =
+            IngestEngine::recover(Arc::clone(&device), checkpointing_config(), &registry);
+        prop_assert_eq!(
+            replayed.records.len(),
+            surviving_tail,
+            "replay must cover only the post-checkpoint tail"
+        );
+        let expected = shadow_after(&ops, acked);
+        let mut live: Vec<u32> = recovered.live_ids().into_iter().collect();
+        live.sort_unstable();
+        let mut expected_ids: Vec<u32> = expected.keys().copied().collect();
+        expected_ids.sort_unstable();
+        prop_assert_eq!(live, expected_ids, "recovered live set diverged");
+        for (&id, vector) in &expected {
+            prop_assert_eq!(
+                recovered.get(PointId(id)).as_deref(),
+                Some(vector.as_slice()),
+                "recovered vector for id {} is not bit-identical", id
+            );
         }
     }
 }

@@ -67,12 +67,12 @@ fn long_mixed_run_stays_exact_through_seals_compactions_and_a_crash() {
         if roll < 7 || shadow.is_empty() {
             let id = rng.gen_range(0..300u32);
             let v = vector(&mut rng);
-            engine.insert(PointId(id), v.clone());
+            engine.insert(PointId(id), v.clone()).expect("admitted");
             shadow.insert(id, v);
         } else {
             let ids: Vec<u32> = shadow.keys().copied().collect();
             let id = ids[rng.gen_range(0..ids.len())];
-            engine.delete(PointId(id));
+            engine.delete(PointId(id)).expect("admitted");
             shadow.remove(&id);
         }
         engine.maybe_compact();
@@ -88,11 +88,21 @@ fn long_mixed_run_stays_exact_through_seals_compactions_and_a_crash() {
     assert!(pre_crash.seals >= 10, "run too tame: {pre_crash:?}");
     assert!(pre_crash.compactions >= 1, "never compacted: {pre_crash:?}");
 
-    // Kill and recover: the WAL is the only durable medium, so the rebuilt
-    // engine must reconstruct the identical live set.
+    assert!(
+        pre_crash.wal_checkpoint_seq > 0,
+        "seals must have checkpointed the log: {pre_crash:?}"
+    );
+
+    // Kill and recover: segment images hold everything up to the last
+    // checkpoint, the WAL holds the tail — together they must reconstruct
+    // the identical live set, and replay must touch only the tail.
     drop(engine);
     let (engine, replayed) = IngestEngine::recover(Arc::clone(&device), config, &registry);
-    assert_eq!(replayed.records.len(), 1200, "every op was acked");
+    assert_eq!(
+        replayed.records.len() as u64,
+        1200 - pre_crash.wal_checkpoint_seq,
+        "replay must cover exactly the post-checkpoint tail"
+    );
     assert!(
         engine.manifest_generation() >= last_generation,
         "generation must be monotonic across restart"
@@ -128,7 +138,7 @@ fn faulted_lifecycle_degrades_but_never_lies_then_scrubs_clean() {
     let mut shadow: HashMap<u32, Vec<f32>> = HashMap::new();
     for id in 0..90u32 {
         let v: Vec<f32> = (0..WIDE).map(|_| rng.gen_range(-10.0..10.0f32)).collect();
-        engine.insert(PointId(id), v.clone());
+        engine.insert(PointId(id), v.clone()).expect("admitted");
         shadow.insert(id, v);
     }
     engine.seal();

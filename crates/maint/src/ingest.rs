@@ -199,12 +199,12 @@ mod tests {
         let daemon = IngestDaemon::new(Arc::clone(&engine), &registry);
         // Trickle: two writes, cycle, two writes, cycle — each cycle must
         // seal what little arrived, and the second must also compact.
-        engine.insert(PointId(1), vec![1.0; 4]);
-        engine.insert(PointId(2), vec![2.0; 4]);
+        engine.insert(PointId(1), vec![1.0; 4]).expect("admitted");
+        engine.insert(PointId(2), vec![2.0; 4]).expect("admitted");
         let first = daemon.run_once();
         assert!(first.sealed && !first.compacted);
-        engine.delete(PointId(1));
-        engine.insert(PointId(3), vec![3.0; 4]);
+        engine.delete(PointId(1)).expect("admitted");
+        engine.insert(PointId(3), vec![3.0; 4]).expect("admitted");
         let second = daemon.run_once();
         assert!(second.sealed && second.compacted);
         assert_eq!(second.generation, 3, "two seals + one compaction");
@@ -224,10 +224,10 @@ mod tests {
         config.memtable_max_bytes = usize::MAX;
         let engine = engine_with(config, &registry);
         let daemon = IngestDaemon::new(Arc::clone(&engine), &registry).with_seal_min_points(3);
-        engine.insert(PointId(1), vec![1.0; 4]);
-        engine.insert(PointId(2), vec![2.0; 4]);
+        engine.insert(PointId(1), vec![1.0; 4]).expect("admitted");
+        engine.insert(PointId(2), vec![2.0; 4]).expect("admitted");
         assert!(!daemon.run_once().sealed, "below the floor: defer");
-        engine.insert(PointId(3), vec![3.0; 4]);
+        engine.insert(PointId(3), vec![3.0; 4]).expect("admitted");
         assert!(daemon.run_once().sealed, "at the floor: seal");
     }
 
@@ -245,7 +245,7 @@ mod tests {
         });
         let engine = engine_with(config, &registry);
         for id in 0..60u32 {
-            engine.insert(PointId(id), vector(id));
+            engine.insert(PointId(id), vector(id)).expect("admitted");
         }
         let daemon = IngestDaemon::new(Arc::clone(&engine), &registry);
         let report = daemon.run_once();
@@ -282,7 +282,7 @@ mod tests {
         config.memtable_max_bytes = usize::MAX;
         config.compact_min_segments = usize::MAX;
         let engine = engine_with(config, &registry);
-        engine.insert(PointId(9), vec![9.0; 4]);
+        engine.insert(PointId(9), vec![9.0; 4]).expect("admitted");
         let daemon = Arc::new(IngestDaemon::new(Arc::clone(&engine), &registry));
         let handle = daemon.spawn(Duration::from_millis(2));
         let deadline = Instant::now() + Duration::from_secs(10);

@@ -19,6 +19,12 @@
 //! or [`AdminServer::shutdown`]) is prompt without platform-specific
 //! socket tricks. Everything is `std`; no HTTP library exists in this
 //! workspace and none is needed for five GET routes.
+//!
+//! The HTTP plumbing is generic over [`AdminHooks`]: `/metrics`,
+//! `/metrics.json`, `/healthz`, and `/tracez` are derived from the hooks'
+//! registry and SLO monitor, while `/statusz` delegates to a caller-built
+//! closure — so other serving planes (the hc-fleet router) reuse the same
+//! endpoint with their own status document via [`serve_admin_hooks`].
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -34,6 +40,32 @@ use crate::server::QueryServer;
 
 /// How many traces `/tracez` returns per ranking.
 const TRACEZ_LIMIT: usize = 32;
+
+/// What an admin endpoint serves: the registry behind `/metrics`,
+/// `/metrics.json`, and `/tracez`, the optional SLO monitor behind
+/// `/healthz`, and a closure producing the full `/statusz` JSON body
+/// (trailing newline included). [`QueryServer::serve_admin`] builds one
+/// from its own worker-pool state; the fleet router builds one with a
+/// per-shard status document.
+pub struct AdminHooks {
+    registry: MetricsRegistry,
+    slo: Option<Arc<SloMonitor>>,
+    statusz: Box<dyn Fn() -> String + Send + Sync>,
+}
+
+impl AdminHooks {
+    pub fn new(
+        registry: MetricsRegistry,
+        slo: Option<Arc<SloMonitor>>,
+        statusz: impl Fn() -> String + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            registry,
+            slo,
+            statusz: Box::new(statusz),
+        }
+    }
+}
 
 /// Everything the admin thread needs, snapshotted from the [`QueryServer`]
 /// at spawn time. Live values (queue depth, in-flight) come through
@@ -124,20 +156,46 @@ impl QueryServer {
                 Box::new(move || engine.status()) as Box<dyn Fn() -> _ + Send + Sync>
             }),
         };
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
-        let join = std::thread::Builder::new()
-            .name("hc-admin".into())
-            .spawn(move || accept_loop(listener, state, stop_flag))?;
-        Ok(AdminServer {
-            addr: local,
-            stop,
-            join: Some(join),
-        })
+        let hooks = AdminHooks::new(self.registry().clone(), self.slo().cloned(), move || {
+            statusz(&state)
+        });
+        serve_admin_bound(listener, local, hooks)
     }
 }
 
-fn accept_loop(listener: TcpListener, state: AdminState, stop: Arc<AtomicBool>) {
+/// Bind `addr` and serve the admin routes for an arbitrary plane described
+/// by `hooks` until the returned handle is dropped. This is the same
+/// endpoint [`QueryServer::serve_admin`] runs — nonblocking accept loop,
+/// one request per connection — with the `/statusz` document supplied by
+/// the caller.
+pub fn serve_admin_hooks<A: ToSocketAddrs>(
+    addr: A,
+    hooks: AdminHooks,
+) -> std::io::Result<AdminServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    serve_admin_bound(listener, local, hooks)
+}
+
+fn serve_admin_bound(
+    listener: TcpListener,
+    local: SocketAddr,
+    hooks: AdminHooks,
+) -> std::io::Result<AdminServer> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("hc-admin".into())
+        .spawn(move || accept_loop(listener, hooks, stop_flag))?;
+    Ok(AdminServer {
+        addr: local,
+        stop,
+        join: Some(join),
+    })
+}
+
+fn accept_loop(listener: TcpListener, state: AdminHooks, stop: Arc<AtomicBool>) {
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -155,7 +213,7 @@ fn accept_loop(listener: TcpListener, state: AdminState, stop: Arc<AtomicBool>) 
 }
 
 /// Read the request line (plus whatever headers arrive with it) and route.
-fn handle_connection(mut stream: TcpStream, state: &AdminState) -> std::io::Result<()> {
+fn handle_connection(mut stream: TcpStream, state: &AdminHooks) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut buf = [0u8; 2048];
@@ -192,7 +250,7 @@ fn handle_connection(mut stream: TcpStream, state: &AdminState) -> std::io::Resu
     write_response(&mut stream, status, content_type, &body)
 }
 
-fn route(path: &str, state: &AdminState) -> (u16, &'static str, String) {
+fn route(path: &str, state: &AdminHooks) -> (u16, &'static str, String) {
     // Strip any query string; routes take none.
     let path = path.split('?').next().unwrap_or(path);
     match path {
@@ -208,7 +266,7 @@ fn route(path: &str, state: &AdminState) -> (u16, &'static str, String) {
         ),
         "/healthz" => healthz(state),
         "/tracez" => (200, "application/json", tracez(state)),
-        "/statusz" => (200, "application/json", statusz(state)),
+        "/statusz" => (200, "application/json", (state.statusz)()),
         _ => (
             404,
             "application/json",
@@ -218,7 +276,7 @@ fn route(path: &str, state: &AdminState) -> (u16, &'static str, String) {
     }
 }
 
-fn healthz(state: &AdminState) -> (u16, &'static str, String) {
+fn healthz(state: &AdminHooks) -> (u16, &'static str, String) {
     let slo_state = state
         .slo
         .as_ref()
@@ -241,7 +299,7 @@ fn healthz(state: &AdminState) -> (u16, &'static str, String) {
     )
 }
 
-fn tracez(state: &AdminState) -> String {
+fn tracez(state: &AdminHooks) -> String {
     let traces = state.registry.traces();
     let slowest = traces.slowest_by(TRACEZ_LIMIT, |t| t.latency_secs());
     let degraded = traces.slowest_by(TRACEZ_LIMIT, |t| {
@@ -295,10 +353,12 @@ fn statusz(state: &AdminState) -> String {
         Some(status) => {
             let s = status();
             format!(
-                "{{\"wal_bytes\":{},\"memtable_points\":{},\"memtable_tombstones\":{},\
+                "{{\"wal_bytes\":{},\"wal_checkpoint_seq\":{},\"memtable_points\":{},\
+                 \"memtable_tombstones\":{},\
                  \"segments\":{},\"segment_rows_live\":{},\"segment_tombstones\":{},\
                  \"manifest_generation\":{},\"seals\":{},\"compactions\":{}}}",
                 s.wal_bytes,
+                s.wal_checkpoint_seq,
                 s.memtable_points,
                 s.memtable_tombstones,
                 s.segments,

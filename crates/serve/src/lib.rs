@@ -36,7 +36,7 @@ pub mod queue;
 pub mod sampler;
 pub mod server;
 
-pub use admin::AdminServer;
+pub use admin::{serve_admin_hooks, AdminHooks, AdminServer};
 pub use cache::ShardedCompactCache;
 pub use loadgen::{run_closed_loop, run_open_loop, LoadReport};
 pub use node_cache::ShardedNodeCache;

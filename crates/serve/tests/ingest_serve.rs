@@ -98,12 +98,12 @@ fn served_answers_stay_exact_while_the_dataset_mutates() {
         match step % 5 {
             4 if !shadow.is_empty() => {
                 let victim = *shadow.keys().min().expect("non-empty");
-                engine.delete(PointId(victim));
+                engine.delete(PointId(victim)).expect("admitted");
                 shadow.remove(&victim);
             }
             _ => {
                 let id = step % 120;
-                engine.insert(PointId(id), vector(id));
+                engine.insert(PointId(id), vector(id)).expect("admitted");
                 shadow.insert(id, vector(id));
             }
         }
@@ -148,9 +148,9 @@ fn statusz_reports_the_ingest_section() {
     let device = Arc::new(WalDevice::new());
     let engine = Arc::new(IngestEngine::new(device, IngestConfig::new(DIM), &registry));
     for id in 0..40u32 {
-        engine.insert(PointId(id), vector(id));
+        engine.insert(PointId(id), vector(id)).expect("admitted");
     }
-    engine.delete(PointId(3));
+    engine.delete(PointId(3)).expect("admitted");
     engine.seal();
     let server = QueryServer::start_ingest(
         Arc::clone(&engine),

@@ -22,7 +22,7 @@
 //! they never populate the page buffer, so dedup stays truthful.
 
 use std::collections::HashSet;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
 use hc_core::dataset::PointId;
@@ -115,9 +115,14 @@ const CLASS_CORRUPT: u64 = 0xC0DE;
 const CLASS_SPIKE: u64 = 0x5B1C;
 
 /// A seedable fault layer over the pristine point file.
+///
+/// The config is runtime-swappable ([`FaultInjector::set_config`]) so a
+/// chaos harness can change the fault regime mid-run — e.g. kill a live
+/// shard by raising `unreadable_rate` to 1.0 — without rebuilding the
+/// store the serving stack already holds.
 pub struct FaultInjector {
     inner: Arc<PointFile>,
-    config: FaultConfig,
+    config: RwLock<FaultConfig>,
     obs: FaultObs,
     clock: Arc<dyn Clock>,
     /// Pages repaired from the build-time replica by a scrub pass
@@ -134,7 +139,7 @@ impl FaultInjector {
         config.validate();
         Self {
             inner,
-            config,
+            config: RwLock::new(config),
             obs: FaultObs::default(),
             clock: Arc::new(RealClock),
             healed: Mutex::new(HashSet::new()),
@@ -149,8 +154,22 @@ impl FaultInjector {
         self
     }
 
-    pub fn config(&self) -> &FaultConfig {
-        &self.config
+    pub fn config(&self) -> FaultConfig {
+        *self.config.read().expect("fault config lock poisoned")
+    }
+
+    /// Install a new fault regime on the live store. The healed overlay is
+    /// discarded — a new config describes a fresh media event, so pages a
+    /// scrub pass repaired under the old regime are dead again if the new
+    /// rates say so. In-flight reads see either the old or the new config,
+    /// never a blend.
+    ///
+    /// # Panics
+    /// Panics if any rate in `config` is outside `[0, 1]`.
+    pub fn set_config(&self, config: FaultConfig) {
+        config.validate();
+        *self.config.write().expect("fault config lock poisoned") = config;
+        self.healed.lock().expect("healed lock poisoned").clear();
     }
 
     /// The wrapped pristine file.
@@ -160,11 +179,11 @@ impl FaultInjector {
 
     /// Roll one fault class for a physical read: a pure function of
     /// `(seed, class, page, attempt)`.
-    fn roll(&self, class: u64, page: u64, attempt: u32, rate: f64) -> bool {
+    fn roll(config: &FaultConfig, class: u64, page: u64, attempt: u32, rate: f64) -> bool {
         if rate <= 0.0 {
             return false;
         }
-        let h = mix(self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        let h = mix(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ class.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
             ^ page.wrapping_mul(0x94D0_49BB_1331_11EB)
             ^ u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9));
@@ -188,10 +207,17 @@ impl FaultInjector {
             .contains(&page)
     }
 
+    /// Whether `page` currently reads as sticky-unreadable under `config`
+    /// (dead medium, not yet repaired).
+    fn is_dead_with(&self, config: &FaultConfig, page: u64) -> bool {
+        Self::roll(config, CLASS_UNREADABLE, page, 0, config.unreadable_rate)
+            && !self.is_healed(page)
+    }
+
     /// Whether `page` currently reads as sticky-unreadable (dead medium,
     /// not yet repaired).
     pub fn is_dead(&self, page: u64) -> bool {
-        self.roll(CLASS_UNREADABLE, page, 0, self.config.unreadable_rate) && !self.is_healed(page)
+        self.is_dead_with(&self.config(), page)
     }
 
     /// How many pages scrub passes have repaired so far.
@@ -204,17 +230,24 @@ impl FaultInjector {
     /// which delay but never corrupt), then verifies the payload against
     /// the build-time checksum. Counts as real I/O either way.
     pub(crate) fn probe_page(&self, page: u64, attempt: u32) -> Result<(), StorageError> {
-        if self.is_dead(page) {
+        let config = self.config();
+        if self.is_dead_with(&config, page) {
             self.count_failed_attempt(attempt);
             self.obs.record("unreadable");
             return Err(StorageError::Unreadable { page });
         }
-        if self.roll(CLASS_TRANSIENT, page, attempt, self.config.transient_rate) {
+        if Self::roll(
+            &config,
+            CLASS_TRANSIENT,
+            page,
+            attempt,
+            config.transient_rate,
+        ) {
             self.count_failed_attempt(attempt);
             self.obs.record("transient");
             return Err(StorageError::TransientRead { page });
         }
-        if self.roll(CLASS_TORN, page, attempt, self.config.torn_rate) {
+        if Self::roll(&config, CLASS_TORN, page, attempt, config.torn_rate) {
             self.count_failed_attempt(attempt);
             self.obs.record("torn");
             let want_bytes = PAGE_SIZE;
@@ -225,7 +258,7 @@ impl FaultInjector {
                 want_bytes,
             });
         }
-        if self.roll(CLASS_CORRUPT, page, attempt, self.config.corrupt_rate) {
+        if Self::roll(&config, CLASS_CORRUPT, page, attempt, config.corrupt_rate) {
             // Same discipline as `read_point`: materialize the corrupted
             // transfer and let the real codec catch it.
             self.count_failed_attempt(attempt);
@@ -298,19 +331,26 @@ impl PageStore for FaultInjector {
         if buffer.contains(page) {
             return self.inner.try_fetch(id, attempt, buffer);
         }
+        let config = self.config();
         // Permanent faults first: a dead page is dead on every attempt —
         // until a scrub pass re-replicates it ([`Self::heal_page`]).
-        if self.is_dead(page) {
+        if self.is_dead_with(&config, page) {
             self.count_failed_attempt(attempt);
             self.obs.record("unreadable");
             return Err(StorageError::Unreadable { page });
         }
-        if self.roll(CLASS_TRANSIENT, page, attempt, self.config.transient_rate) {
+        if Self::roll(
+            &config,
+            CLASS_TRANSIENT,
+            page,
+            attempt,
+            config.transient_rate,
+        ) {
             self.count_failed_attempt(attempt);
             self.obs.record("transient");
             return Err(StorageError::TransientRead { page });
         }
-        if self.roll(CLASS_TORN, page, attempt, self.config.torn_rate) {
+        if Self::roll(&config, CLASS_TORN, page, attempt, config.torn_rate) {
             self.count_failed_attempt(attempt);
             self.obs.record("torn");
             let want_bytes = PAGE_SIZE;
@@ -321,7 +361,7 @@ impl PageStore for FaultInjector {
                 want_bytes,
             });
         }
-        if self.roll(CLASS_CORRUPT, page, attempt, self.config.corrupt_rate) {
+        if Self::roll(&config, CLASS_CORRUPT, page, attempt, config.corrupt_rate) {
             // Materialize the corrupted transfer and run the *real* codec
             // verification over it — the error carries the actual mismatched
             // digest, not a synthesized one.
@@ -343,10 +383,16 @@ impl PageStore for FaultInjector {
                 got,
             });
         }
-        if self.roll(CLASS_SPIKE, page, attempt, self.config.latency_spike_rate) {
-            self.obs.record_spike(self.config.spike);
-            if !self.config.spike.is_zero() {
-                self.clock.sleep(self.config.spike);
+        if Self::roll(
+            &config,
+            CLASS_SPIKE,
+            page,
+            attempt,
+            config.latency_spike_rate,
+        ) {
+            self.obs.record_spike(config.spike);
+            if !config.spike.is_zero() {
+                self.clock.sleep(config.spike);
             }
         }
         // Healthy read: delegate — the inner file counts the I/O, verifies
@@ -647,6 +693,55 @@ mod tests {
             t0.elapsed() < Duration::from_millis(100),
             "simulated spikes must cost no real time"
         );
+    }
+
+    #[test]
+    fn set_config_swaps_the_regime_and_discards_the_healed_overlay() {
+        use crate::scrub::Scrubber;
+        let f = file(24, 150); // 4 pages
+        let injector = FaultInjector::new(Arc::clone(&f), FaultConfig::none());
+        let mut buf = PageStore::begin_query(&injector);
+        injector.read_point(PointId(0), 0, &mut buf).unwrap();
+
+        // Mid-run kill: every page goes sticky-unreadable on the live store.
+        injector.set_config(FaultConfig {
+            seed: 13,
+            unreadable_rate: 1.0,
+            ..FaultConfig::none()
+        });
+        let mut buf = PageStore::begin_query(&injector);
+        for id in (0..24u32).step_by(6) {
+            assert!(
+                injector.read_point(PointId(id), 0, &mut buf).is_err(),
+                "killed store must refuse every physical read"
+            );
+        }
+
+        // Scrub repairs from the replica: the healed overlay beats rate 1.0.
+        let report = Scrubber::default().run(&injector);
+        assert_eq!(report.pages_repaired, 4);
+        let mut buf = PageStore::begin_query(&injector);
+        injector.read_point(PointId(0), 0, &mut buf).unwrap();
+
+        // A *new* kill is a fresh media event: the old repairs do not carry.
+        injector.set_config(FaultConfig {
+            seed: 13,
+            unreadable_rate: 1.0,
+            ..FaultConfig::none()
+        });
+        assert_eq!(injector.healed_pages(), 0, "set_config must reset healing");
+        let mut buf = PageStore::begin_query(&injector);
+        assert!(injector.read_point(PointId(0), 0, &mut buf).is_err());
+
+        // And back to health: the regime swap is fully reversible.
+        injector.set_config(FaultConfig::none());
+        let mut buf = PageStore::begin_query(&injector);
+        for id in 0..24u32 {
+            assert_eq!(
+                injector.read_point(PointId(id), 0, &mut buf).unwrap(),
+                f.dataset().point(PointId(id))
+            );
+        }
     }
 
     #[test]

@@ -28,12 +28,17 @@
 //! * [`ingest`] — the live-mutable dataset: checksummed WAL, tombstone-aware
 //!   memtable, sealed per-page-checksummed segments with compact-code
 //!   sidecars, generational manifest swaps, and exact mid-ingest queries.
+//! * [`fleet`] — fault-domain sharded serving: partitioned shard stacks
+//!   with independent replicas, a scatter-gather router with per-shard
+//!   deadlines, hedged fan-out, and failover, and fleet-wide graceful
+//!   degradation with a fleet-level SLO and admin plane.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and
 //! `DESIGN.md` for the full system inventory and experiment index.
 
 pub use hc_cache as cache;
 pub use hc_core as core;
+pub use hc_fleet as fleet;
 pub use hc_index as index;
 pub use hc_ingest as ingest;
 pub use hc_maint as maint;
