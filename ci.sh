@@ -24,6 +24,22 @@ grep -q '"name":"serve.qps","label":"tree"' target/metrics/serve_scale.metrics.j
 grep -q '"name":"serve.queue_wait_p99_us"' target/metrics/serve_scale.metrics.json
 grep -q '"name":"serve.deadline_slack_p05_us","label":"overload"' target/metrics/serve_scale.metrics.json
 
+# Blocked compact-scan kernels (DESIGN.md §15): the scalar-vs-vectorized
+# equivalence battery under all three kernel selections — default (runtime
+# feature detection), AVX2 pinned on at compile time, and SIMD force-disabled
+# via the env override — then a microbench smoke whose own asserts require
+# bit-identical bounds from every kernel and a real speedup on the SIMD path.
+# serve_scale above already asserted the ≥2× phase.bounds win end to end;
+# here we check the series landed in both reports.
+cargo test -q -p hc-core --test scan_equivalence
+RUSTFLAGS="-C target-feature=+avx2" cargo test -q -p hc-core --test scan_equivalence
+HC_SCAN_SIMD=off cargo test -q -p hc-core --test scan_equivalence
+cargo run -q --release -p hc-bench --bin scan -- --smoke
+test -s target/metrics/scan.metrics.json
+grep -q '"name":"scan.speedup_blocked_simd"' target/metrics/scan.metrics.json
+grep -q '"name":"phase.bounds_p50_ns","label":"blocked"' target/metrics/serve_scale.metrics.json
+grep -q '"name":"scan.bounds_speedup"' target/metrics/serve_scale.metrics.json
+
 # Ops plane: exposition-grammar lint, request-trace/SLO/admin integration
 # tests, then a live endpoint smoke — bind an ephemeral admin port against
 # a tiny server and fetch /metrics and /healthz over a raw TCP socket,

@@ -57,6 +57,18 @@ pub trait ConcurrentPointCache: Send + Sync {
     fn generation(&self) -> u64 {
         0
     }
+
+    /// Probe a whole candidate set at once: `out[i]` answers `ids[i]`.
+    /// Semantically per-id [`ConcurrentPointCache::lookup`]s in order (the
+    /// default); batch-aware implementations (`ShardedCompactCache`) take
+    /// one lock per shard and share the per-query scan tables instead of
+    /// locking per candidate.
+    fn lookup_batch(&self, q: &[f32], ids: &[PointId], out: &mut Vec<CacheLookup>) {
+        out.clear();
+        for &id in ids {
+            out.push(self.lookup(q, id));
+        }
+    }
 }
 
 /// Adapter: present an `Arc<dyn ConcurrentPointCache>` as a [`PointCache`]
@@ -81,6 +93,12 @@ impl SharedPointCache {
 impl PointCache for SharedPointCache {
     fn lookup(&mut self, q: &[f32], id: PointId) -> CacheLookup {
         self.0.lookup(q, id)
+    }
+
+    fn lookup_batch(&mut self, q: &[f32], ids: &[PointId], out: &mut Vec<CacheLookup>) {
+        // Forward to the concurrent batch path — falling through to the
+        // `PointCache` default would degrade to a lock per candidate.
+        self.0.lookup_batch(q, ids, out)
     }
 
     fn admit(&mut self, id: PointId, point: &[f32]) {

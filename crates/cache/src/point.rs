@@ -17,9 +17,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use hc_core::bounds::DistBounds;
+use hc_core::bounds::{BoundsAcc, DistBounds};
+use hc_core::codes::CodeIter;
 use hc_core::dataset::{Dataset, PointId};
 use hc_core::distance::euclidean;
+use hc_core::scan::{scan_slots, BlockedCodes, QueryTables, ScanScratch, Simd};
 use hc_core::scheme::ApproxScheme;
 use hc_obs::MetricsRegistry;
 
@@ -95,6 +97,39 @@ pub trait PointCache {
     /// occupancy gauges in `registry`, labeled with [`PointCache::label`].
     /// The default is a no-op (e.g. [`NoCache`] has nothing to report).
     fn bind_obs(&mut self, _registry: &MetricsRegistry) {}
+
+    /// Probe a whole candidate set at once: `out[i]` answers `ids[i]`.
+    ///
+    /// Semantically identical to calling [`PointCache::lookup`] per id in
+    /// order (including LRU recency effects and hit/miss accounting) — the
+    /// default does exactly that — but batch-aware caches override it to
+    /// amortize per-query work: the compact cache builds its bucket-distance
+    /// tables once and runs the blocked scan kernels over all resident
+    /// candidates (`hc_core::scan`).
+    fn lookup_batch(&mut self, q: &[f32], ids: &[PointId], out: &mut Vec<CacheLookup>) {
+        out.clear();
+        for &id in ids {
+            out.push(self.lookup(q, id));
+        }
+    }
+}
+
+/// Which phase-2 bound kernel a [`CompactPointCache`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanKernel {
+    /// Row-major storage, per-candidate `ApproxScheme::bounds` — the
+    /// reference implementation every blocked result is proven against.
+    Scalar,
+    /// Dimension-major (transposed) storage scanned block-at-a-time through
+    /// per-query tables, with the given SIMD selection for the inner
+    /// table-gather loop. Bit-identical to `Scalar` by construction.
+    Blocked(Simd),
+}
+
+impl Default for ScanKernel {
+    fn default() -> Self {
+        ScanKernel::Blocked(Simd::Auto)
+    }
 }
 
 /// The NO-CACHE baseline.
@@ -333,15 +368,34 @@ impl PointCache for ExactPointCache {
     }
 }
 
+/// Code storage of a [`CompactPointCache`] — one of the two layouts,
+/// selected by [`ScanKernel`] at construction.
+///
+/// Both hold the same τ-bit codes; `Blocked` is the transposed reshape (the
+/// bits of a point reconstruct exactly via
+/// `BlockedCodes::gather_point_words`), so byte accounting is unchanged:
+/// a point still costs `scheme.bytes_per_point()` (blocked rows pack
+/// `64·τ` bits per 64 lanes — at most the row-major word-aligned footprint,
+/// plus one partial tail block).
+enum CodeStore {
+    Rows { words: Vec<u64>, wpp: usize },
+    Blocked { codes: BlockedCodes },
+}
+
 /// Compact cache of bit-packed approximate points under a scheme.
 pub struct CompactPointCache {
     slots: Slots,
     scheme: Arc<dyn ApproxScheme>,
-    words: Vec<u64>,
-    wpp: usize,
+    store: CodeStore,
+    kernel: ScanKernel,
     capacity_bytes: usize,
     policy: CachePolicy,
     scratch: Vec<u64>,
+    /// Reusable batch-probe buffers (slot/output pairs + kernel scratch).
+    pairs: Vec<(u32, u32)>,
+    bounds_buf: Vec<DistBounds>,
+    scan_scratch: ScanScratch,
+    tables_buf: QueryTables,
     obs: CacheObs,
 }
 
@@ -353,42 +407,142 @@ impl CompactPointCache {
         capacity_bytes: usize,
         scheme: Arc<dyn ApproxScheme>,
     ) -> Self {
+        Self::hff_with_kernel(
+            dataset,
+            ranking,
+            capacity_bytes,
+            scheme,
+            ScanKernel::default(),
+        )
+    }
+
+    /// Static HFF cache under an explicit bound kernel (benches pin
+    /// [`ScanKernel::Scalar`] as the baseline of the speedup comparisons).
+    pub fn hff_with_kernel(
+        dataset: &Dataset,
+        ranking: &[PointId],
+        capacity_bytes: usize,
+        scheme: Arc<dyn ApproxScheme>,
+        kernel: ScanKernel,
+    ) -> Self {
         assert_eq!(scheme.dim(), dataset.dim());
-        let wpp = scheme.words_per_point();
         let per = scheme.bytes_per_point();
         let max_items = (capacity_bytes / per).min(dataset.len());
-        let mut slots = Slots::new(max_items, CachePolicy::Hff);
-        let mut words = Vec::with_capacity(max_items * wpp);
-        for &id in ranking.iter().take(max_items) {
-            slots.fill(id);
-            scheme.encode_into(dataset.point(id), &mut words);
-        }
-        Self {
+        let slots = Slots::new(max_items, CachePolicy::Hff);
+        let mut cache = Self {
             slots,
+            store: Self::make_store(&scheme, kernel),
+            kernel: Self::resolve_kernel(&scheme, kernel),
             scheme,
-            words,
-            wpp,
             capacity_bytes,
             policy: CachePolicy::Hff,
             scratch: Vec::new(),
+            pairs: Vec::new(),
+            bounds_buf: Vec::new(),
+            scan_scratch: ScanScratch::default(),
+            tables_buf: QueryTables::default(),
             obs: CacheObs::noop(),
+        };
+        for &id in ranking.iter().take(max_items) {
+            let slot = cache.slots.fill(id);
+            cache.write_slot(slot, dataset.point(id));
         }
+        cache
     }
 
     /// Dynamic LRU cache, initially empty.
     pub fn lru(scheme: Arc<dyn ApproxScheme>, capacity_bytes: usize) -> Self {
-        let wpp = scheme.words_per_point();
+        Self::lru_with_kernel(scheme, capacity_bytes, ScanKernel::default())
+    }
+
+    /// Dynamic LRU cache under an explicit bound kernel.
+    pub fn lru_with_kernel(
+        scheme: Arc<dyn ApproxScheme>,
+        capacity_bytes: usize,
+        kernel: ScanKernel,
+    ) -> Self {
         let per = scheme.bytes_per_point();
         let max_items = capacity_bytes / per;
         Self {
             slots: Slots::new(max_items, CachePolicy::Lru),
+            store: Self::make_store(&scheme, kernel),
+            kernel: Self::resolve_kernel(&scheme, kernel),
             scheme,
-            words: Vec::new(),
-            wpp,
             capacity_bytes,
             policy: CachePolicy::Lru,
             scratch: Vec::new(),
+            pairs: Vec::new(),
+            bounds_buf: Vec::new(),
+            scan_scratch: ScanScratch::default(),
+            tables_buf: QueryTables::default(),
             obs: CacheObs::noop(),
+        }
+    }
+
+    /// A blocked kernel needs per-dimension bucket intervals; schemes
+    /// without them (the multi-dimensional scheme) fall back to scalar.
+    fn resolve_kernel(scheme: &Arc<dyn ApproxScheme>, kernel: ScanKernel) -> ScanKernel {
+        match kernel {
+            ScanKernel::Blocked(_) if scheme.scan_intervals().is_none() => ScanKernel::Scalar,
+            k => k,
+        }
+    }
+
+    fn make_store(scheme: &Arc<dyn ApproxScheme>, kernel: ScanKernel) -> CodeStore {
+        match Self::resolve_kernel(scheme, kernel) {
+            ScanKernel::Scalar => CodeStore::Rows {
+                words: Vec::new(),
+                wpp: scheme.words_per_point(),
+            },
+            ScanKernel::Blocked(_) => CodeStore::Blocked {
+                codes: BlockedCodes::new(scheme.dim(), scheme.tau()),
+            },
+        }
+    }
+
+    /// Encode `point` and store it at `slot` in whichever layout is active.
+    fn write_slot(&mut self, slot: u32, point: &[f32]) {
+        let s = slot as usize;
+        self.scratch.clear();
+        self.scheme.encode_into(point, &mut self.scratch);
+        match &mut self.store {
+            CodeStore::Rows { words, wpp } => {
+                if words.len() < (s + 1) * *wpp {
+                    words.resize((s + 1) * *wpp, 0);
+                }
+                words[s * *wpp..(s + 1) * *wpp].copy_from_slice(&self.scratch);
+            }
+            CodeStore::Blocked { codes } => {
+                codes.set_lane(
+                    s,
+                    CodeIter::new(&self.scratch, self.scheme.tau(), self.scheme.dim()),
+                );
+            }
+        }
+    }
+
+    /// Bound the candidate in `slot` without per-query tables (single-probe
+    /// path). Bit-identical to `ApproxScheme::bounds`: same interval math
+    /// ([`BoundsAcc`]) in the same dimension order, just sourced from the
+    /// transposed layout when that is what we store.
+    fn slot_bounds(&self, q: &[f32], slot: u32) -> DistBounds {
+        let s = slot as usize;
+        match &self.store {
+            CodeStore::Rows { words, wpp } => {
+                self.scheme.bounds(q, &words[s * *wpp..(s + 1) * *wpp])
+            }
+            CodeStore::Blocked { codes } => {
+                let intervals = self
+                    .scheme
+                    .scan_intervals()
+                    .expect("blocked store requires scan intervals");
+                let mut acc = BoundsAcc::new();
+                for (j, code) in codes.lane_codes(s).enumerate() {
+                    let (lo, hi) = intervals.interval(j, code);
+                    acc.add(q[j], lo, hi);
+                }
+                acc.finish()
+            }
         }
     }
 
@@ -406,6 +560,11 @@ impl CompactPointCache {
         &self.scheme
     }
 
+    /// The bound kernel this cache resolved to at construction.
+    pub fn kernel(&self) -> ScanKernel {
+        self.kernel
+    }
+
     /// Like [`PointCache::bind_obs`] but under an explicit label instead of
     /// [`PointCache::label`]. Shard-per-mutex wrappers use this to keep each
     /// shard's series separate (e.g. `"COMPACT(τ=8)/LRU/shard3"`).
@@ -414,6 +573,75 @@ impl CompactPointCache {
         self.obs.used_bytes.set(self.used_bytes() as f64);
         self.obs.capacity_bytes.set(self.capacity_bytes as f64);
     }
+
+    /// Batch probe with an optionally pre-built table set — the sharded
+    /// wrapper builds [`QueryTables`] once per query and reuses them across
+    /// shards. `tables` is ignored by scalar-kernel caches. `out[i]` answers
+    /// `ids[i]`; recency/accounting effects match per-id [`PointCache::lookup`]
+    /// calls in `ids` order.
+    pub fn lookup_batch_with_tables(
+        &mut self,
+        q: &[f32],
+        tables: Option<&QueryTables>,
+        ids: &[PointId],
+        out: &mut Vec<CacheLookup>,
+    ) {
+        out.clear();
+        let simd = match self.kernel {
+            ScanKernel::Blocked(simd) => simd,
+            ScanKernel::Scalar => {
+                for &id in ids {
+                    out.push(self.lookup(q, id));
+                }
+                return;
+            }
+        };
+        // Resolve residency first (LRU touches in id order, same as the
+        // sequential path), then bound all hits in one blocked pass.
+        out.resize(ids.len(), CacheLookup::Miss);
+        self.pairs.clear();
+        for (i, &id) in ids.iter().enumerate() {
+            match self.slots.get(id) {
+                Some(slot) => {
+                    self.obs.hits.inc();
+                    self.pairs.push((slot, i as u32));
+                }
+                None => self.obs.misses.inc(),
+            }
+        }
+        if self.pairs.is_empty() {
+            return;
+        }
+        let CodeStore::Blocked { codes } = &self.store else {
+            unreachable!("blocked kernel implies blocked store");
+        };
+        let intervals = self
+            .scheme
+            .scan_intervals()
+            .expect("blocked store requires scan intervals");
+        let tables = match tables {
+            Some(t) => t,
+            None => {
+                // Rebuild into the cache-owned buffer: per-query table cost
+                // is then the fill alone, not two large allocations.
+                self.tables_buf.rebuild(q, &intervals, simd);
+                &self.tables_buf
+            }
+        };
+        self.bounds_buf.clear();
+        self.bounds_buf.resize(ids.len(), DistBounds::UNKNOWN);
+        scan_slots(
+            tables,
+            codes,
+            &self.pairs,
+            &mut self.bounds_buf,
+            &mut self.scan_scratch,
+            simd,
+        );
+        for &(_, i) in &self.pairs {
+            out[i as usize] = CacheLookup::Bounds(self.bounds_buf[i as usize]);
+        }
+    }
 }
 
 impl PointCache for CompactPointCache {
@@ -421,9 +649,7 @@ impl PointCache for CompactPointCache {
         match self.slots.get(id) {
             Some(slot) => {
                 self.obs.hits.inc();
-                let s = slot as usize;
-                let w = &self.words[s * self.wpp..(s + 1) * self.wpp];
-                CacheLookup::Bounds(self.scheme.bounds(q, w))
+                CacheLookup::Bounds(self.slot_bounds(q, slot))
             }
             None => {
                 self.obs.misses.inc();
@@ -434,13 +660,7 @@ impl PointCache for CompactPointCache {
 
     fn admit(&mut self, id: PointId, point: &[f32]) {
         if let Some(alloc) = self.slots.allocate(id) {
-            let s = alloc.slot as usize;
-            self.scratch.clear();
-            self.scheme.encode_into(point, &mut self.scratch);
-            if self.words.len() < (s + 1) * self.wpp {
-                self.words.resize((s + 1) * self.wpp, 0);
-            }
-            self.words[s * self.wpp..(s + 1) * self.wpp].copy_from_slice(&self.scratch);
+            self.write_slot(alloc.slot, point);
             self.obs.insertions.inc();
             if alloc.evicted {
                 self.obs.evictions.inc();
@@ -451,6 +671,10 @@ impl PointCache for CompactPointCache {
 
     fn contains(&self, id: PointId) -> bool {
         self.slots.map.contains_key(&id)
+    }
+
+    fn lookup_batch(&mut self, q: &[f32], ids: &[PointId], out: &mut Vec<CacheLookup>) {
+        self.lookup_batch_with_tables(q, None, ids, out);
     }
 
     fn used_bytes(&self) -> usize {
@@ -624,5 +848,120 @@ mod tests {
         assert_eq!(e.label(), "EXACT/HFF");
         let c = CompactPointCache::lru(scheme(&ds, 16), 128);
         assert!(c.label().starts_with("COMPACT(τ=4)/LRU"));
+    }
+
+    fn assert_lookups_bit_identical(a: &CacheLookup, b: &CacheLookup, ctx: &str) {
+        match (a, b) {
+            (CacheLookup::Miss, CacheLookup::Miss) => {}
+            (CacheLookup::Bounds(x), CacheLookup::Bounds(y)) => {
+                assert_eq!(x.lb.to_bits(), y.lb.to_bits(), "{ctx}: lb");
+                assert_eq!(x.ub.to_bits(), y.ub.to_bits(), "{ctx}: ub");
+            }
+            other => panic!("{ctx}: mismatched lookups {other:?}"),
+        }
+    }
+
+    /// The blocked kernel (single probe AND batch probe, scalar-blocked AND
+    /// SIMD) must answer bit-identically to the scalar reference cache under
+    /// the same admission history.
+    #[test]
+    fn blocked_and_scalar_kernels_agree_bitwise() {
+        let ds = dataset();
+        let s = scheme(&ds, 16);
+        let per = s.bytes_per_point();
+        let kernels = [
+            ScanKernel::Scalar,
+            ScanKernel::Blocked(hc_core::scan::Simd::Scalar),
+            ScanKernel::Blocked(hc_core::scan::Simd::Auto),
+        ];
+        let mut caches: Vec<CompactPointCache> = kernels
+            .iter()
+            .map(|&k| CompactPointCache::lru_with_kernel(Arc::clone(&s), per * 8, k))
+            .collect();
+        // Interleave admissions (with evictions) and probes.
+        let ops: Vec<u32> = vec![0, 3, 5, 7, 9, 11, 13, 15, 17, 19, 2, 4, 0, 3];
+        for &id in &ops {
+            for c in &mut caches {
+                c.admit(PointId(id), ds.point(PointId(id)));
+            }
+        }
+        let q = [3.3f32, 17.2];
+        let ids: Vec<PointId> = (0u32..20).map(PointId).collect();
+        // Single lookups.
+        for &id in &ids {
+            let want = caches[0].lookup(&q, id);
+            // Re-probe kernels 1.. then fix up kernel 0's extra recency
+            // touch by running identical op sequences everywhere.
+            for c in &mut caches[1..] {
+                assert_lookups_bit_identical(&c.lookup(&q, id), &want, &format!("single {id}"));
+            }
+        }
+        // Batch lookups (all at once, including misses).
+        let mut outs: Vec<Vec<CacheLookup>> = Vec::new();
+        for c in &mut caches {
+            let mut out = Vec::new();
+            c.lookup_batch(&q, &ids, &mut out);
+            outs.push(out);
+        }
+        for out in &outs[1..] {
+            for (i, (a, b)) in outs[0].iter().zip(out.iter()).enumerate() {
+                assert_lookups_bit_identical(b, a, &format!("batch idx {i}"));
+            }
+        }
+    }
+
+    /// `lookup_batch` must be observably identical to per-id `lookup`s in
+    /// order — including LRU recency side effects that decide who gets
+    /// evicted next.
+    #[test]
+    fn lookup_batch_matches_sequential_semantics() {
+        let ds = dataset();
+        let s = scheme(&ds, 16);
+        let per = s.bytes_per_point();
+        let mut batch = CompactPointCache::lru(Arc::clone(&s), per * 3);
+        let mut seq = CompactPointCache::lru(Arc::clone(&s), per * 3);
+        let q = [1.0f32, 19.0];
+        for &id in &[1u32, 2, 3] {
+            batch.admit(PointId(id), ds.point(PointId(id)));
+            seq.admit(PointId(id), ds.point(PointId(id)));
+        }
+        // Probe (1, 2) → 3 becomes the LRU victim in *both* caches.
+        let probe: Vec<PointId> = vec![PointId(1), PointId(2)];
+        let mut out = Vec::new();
+        batch.lookup_batch(&q, &probe, &mut out);
+        let want: Vec<CacheLookup> = probe.iter().map(|&id| seq.lookup(&q, id)).collect();
+        for (i, (a, b)) in want.iter().zip(out.iter()).enumerate() {
+            assert_lookups_bit_identical(b, a, &format!("idx {i}"));
+        }
+        batch.admit(PointId(9), ds.point(PointId(9)));
+        seq.admit(PointId(9), ds.point(PointId(9)));
+        assert!(!batch.contains(PointId(3)), "batch recency must evict 3");
+        assert!(!seq.contains(PointId(3)), "sequential recency must evict 3");
+        assert!(batch.contains(PointId(1)) && seq.contains(PointId(1)));
+    }
+
+    /// HFF + blocked layout: static fill goes through the transposed store.
+    #[test]
+    fn hff_blocked_store_serves_ranking() {
+        let ds = dataset();
+        let s = scheme(&ds, 16);
+        let ranking: Vec<PointId> = (0u32..20).map(PointId).collect();
+        let mut blocked = CompactPointCache::hff_with_kernel(
+            &ds,
+            &ranking,
+            1 << 20,
+            Arc::clone(&s),
+            ScanKernel::default(),
+        );
+        let mut scalar =
+            CompactPointCache::hff_with_kernel(&ds, &ranking, 1 << 20, s, ScanKernel::Scalar);
+        let q = [7.7f32, 12.1];
+        let mut out_b = Vec::new();
+        let mut out_s = Vec::new();
+        blocked.lookup_batch(&q, &ranking, &mut out_b);
+        scalar.lookup_batch(&q, &ranking, &mut out_s);
+        for (i, (a, b)) in out_s.iter().zip(out_b.iter()).enumerate() {
+            assert_lookups_bit_identical(b, a, &format!("hff idx {i}"));
+        }
     }
 }

@@ -96,6 +96,13 @@ impl ConcurrentPointCache for SwappablePointCache {
         self.current().lookup(q, id)
     }
 
+    fn lookup_batch(&self, q: &[f32], ids: &[PointId], out: &mut Vec<CacheLookup>) {
+        // One generation serves the whole batch (the clone pins it), and the
+        // inner batch path keeps its one-lock-per-shard + shared-tables
+        // optimization instead of degrading to per-id delegated lookups.
+        self.current().lookup_batch(q, ids, out)
+    }
+
     fn admit(&self, id: PointId, point: &[f32]) {
         self.current().admit(id, point)
     }

@@ -43,6 +43,32 @@ impl DistBounds {
     }
 }
 
+/// One dimension's `(lb², ub²)` contribution: query coordinate `q` against
+/// the bucket's real interval `[lo, hi]`.
+///
+/// This is the single source of truth for per-dimension interval math: both
+/// the scalar [`BoundsAcc`] path and the blocked-scan table precompute
+/// ([`crate::scan::QueryTables`]) call it, which is what makes the two paths
+/// bit-identical — they sum exactly the same f64 terms in the same
+/// (dimension-ascending) order. The lower-bound term is `0.0` when `q` lies
+/// inside the interval; adding `+0.0` to a non-negative partial sum is a
+/// bit-level no-op, so the table path (which adds unconditionally) matches
+/// the branchy path below.
+#[inline]
+pub fn interval_contrib(q: f32, lo: f32, hi: f32) -> (f64, f64) {
+    debug_assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+    let dl = (q as f64 - lo as f64).abs();
+    let du = (q as f64 - hi as f64).abs();
+    let far = dl.max(du);
+    let lb = if q < lo || q > hi {
+        let near = dl.min(du);
+        near * near
+    } else {
+        0.0
+    };
+    (lb, far * far)
+}
+
 /// Accumulator for per-dimension interval contributions; finalize with
 /// [`BoundsAcc::finish`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -61,14 +87,10 @@ impl BoundsAcc {
     /// bucket's real interval `[lo, hi]`.
     #[inline]
     pub fn add(&mut self, q: f32, lo: f32, hi: f32) {
-        debug_assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
-        let dl = (q as f64 - lo as f64).abs();
-        let du = (q as f64 - hi as f64).abs();
-        let far = dl.max(du);
-        self.ub_sq += far * far;
-        if q < lo || q > hi {
-            let near = dl.min(du);
-            self.lb_sq += near * near;
+        let (lb, ub) = interval_contrib(q, lo, hi);
+        self.ub_sq += ub;
+        if lb != 0.0 {
+            self.lb_sq += lb;
         }
     }
 

@@ -34,6 +34,11 @@ pub fn pack_codes(codes: impl ExactSizeIterator<Item = u32>, tau: u32, out: &mut
         words[w] |= (code as u64) << shift;
         let spill = shift + tau as usize;
         if spill > 64 {
+            // `spill > 64` with `tau <= 32` forces `shift >= 33`, so
+            // `64 - shift` is in [1, 31] — never a full-width (UB) shift.
+            // `spill == 64` (code ends exactly at the word boundary) takes
+            // the no-spill path above. Pinned by `boundary_alignments_*`.
+            debug_assert!(shift > 32, "spill implies shift >= 33, got {shift}");
             words[w + 1] |= (code as u64) >> (64 - shift);
         }
         bit += tau as usize;
@@ -53,6 +58,12 @@ pub fn unpack_code(words: &[u64], tau: u32, i: usize) -> u32 {
     };
     let mut v = words[w] >> shift;
     if shift + tau as usize > 64 {
+        // Same invariant as the pack spill path: `shift >= 33` here, so
+        // `64 - shift` is a partial shift. If `shift` could be 0 this
+        // expression would be a full-width shift — UB — which is why the
+        // condition is strict `> 64`: a code ending exactly on the word
+        // boundary (`shift + tau == 64`) is served whole from `words[w]`.
+        debug_assert!(shift > 32, "spill implies shift >= 33, got {shift}");
         v |= words[w + 1] << (64 - shift);
     }
     (v & mask) as u32
@@ -269,5 +280,85 @@ mod tests {
     fn bytes_accounting() {
         let pc = PackedCodes::new(150, 10);
         assert_eq!(pc.bytes_per_point(), 192); // 24 words × 8
+    }
+
+    /// Exhaustive boundary battery: for every τ, enough codes that the bit
+    /// offset cycles through every alignment mod 64 — so every `shift+τ == 64`
+    /// exact-fit and every `shift+τ > 64` spill case is exercised — with
+    /// all-ones codes (worst case for bit leakage between neighbors).
+    #[test]
+    fn boundary_alignments_all_taus_max_codes() {
+        for tau in 1..=32u32 {
+            let max = if tau == 32 {
+                u32::MAX
+            } else {
+                (1u32 << tau) - 1
+            };
+            // The alignment pattern repeats every lcm(τ,64)/τ ≤ 64 codes;
+            // 130 codes covers two full cycles plus change.
+            let d = 130;
+            let codes: Vec<u32> = (0..d)
+                .map(|i| if i % 2 == 0 { max } else { max / 3 })
+                .collect();
+            let mut words = Vec::new();
+            pack_codes(codes.iter().copied(), tau, &mut words);
+            for (i, &c) in codes.iter().enumerate() {
+                assert_eq!(unpack_code(&words, tau, i), c, "tau={tau} i={i}");
+            }
+        }
+    }
+
+    /// `shift + τ == 64`: the code ends exactly at the word boundary and
+    /// must be served whole from one word (no spill read of `words[w+1]`).
+    #[test]
+    fn exact_word_boundary_fit_reads_one_word() {
+        for tau in [1u32, 2, 4, 8, 16, 32] {
+            let per_word = (64 / tau) as usize;
+            let max = if tau == 32 {
+                u32::MAX
+            } else {
+                (1u32 << tau) - 1
+            };
+            // Exactly one word of codes: the last one has shift+τ == 64.
+            let codes = vec![max; per_word];
+            let mut words = Vec::new();
+            pack_codes(codes.iter().copied(), tau, &mut words);
+            assert_eq!(words.len(), 1, "tau={tau}: no second word allocated");
+            assert_eq!(words[0], u64::MAX, "tau={tau}: word fully populated");
+            assert_eq!(unpack_code(&words, tau, per_word - 1), max);
+        }
+    }
+
+    #[test]
+    fn tau_32_full_width_codes() {
+        // τ=32 is the mask special case ((1<<32) would overflow u32 math):
+        // two codes per word, u32::MAX must survive packing untouched.
+        let codes = [u32::MAX, 0, 0xDEAD_BEEF, u32::MAX, 1];
+        let mut words = Vec::new();
+        pack_codes(codes.iter().copied(), 32, &mut words);
+        assert_eq!(words.len(), 3);
+        assert_eq!(words[0], u64::from(u32::MAX)); // code 1 (= 0) fills the high half
+        for (i, &c) in codes.iter().enumerate() {
+            assert_eq!(unpack_code(&words, 32, i), c);
+        }
+    }
+
+    /// Every word-straddling (spill) position for every straddling τ: pack a
+    /// single max code at each alignment and check nothing leaks into
+    /// neighboring zero codes.
+    #[test]
+    fn spill_positions_do_not_leak() {
+        for tau in [3u32, 5, 7, 11, 13, 17, 23, 29, 31] {
+            let max = (1u32 << tau) - 1;
+            let d = 200usize;
+            for hot in 0..d.min(70) {
+                let codes: Vec<u32> = (0..d).map(|i| if i == hot { max } else { 0 }).collect();
+                let mut words = Vec::new();
+                pack_codes(codes.iter().copied(), tau, &mut words);
+                for (i, &c) in codes.iter().enumerate() {
+                    assert_eq!(unpack_code(&words, tau, i), c, "tau={tau} hot={hot} i={i}");
+                }
+            }
+        }
     }
 }

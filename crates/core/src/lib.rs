@@ -42,6 +42,7 @@ pub mod histogram;
 pub mod metric;
 pub mod normalize;
 pub mod quantize;
+pub mod scan;
 pub mod scheme;
 
 /// Convenient re-exports of the types most programs need.
@@ -53,5 +54,6 @@ pub mod prelude {
     pub use crate::histogram::{Histogram, HistogramKind};
     pub use crate::normalize::Normalizer;
     pub use crate::quantize::Quantizer;
+    pub use crate::scan::{BlockedCodes, QueryTables, ScanIntervals, Simd};
     pub use crate::scheme::{ApproxScheme, GlobalScheme, IndividualScheme, MultiDimScheme};
 }

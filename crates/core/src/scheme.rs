@@ -17,6 +17,7 @@ use crate::codes::{pack_codes, words_per_point, CodeIter};
 use crate::histogram::multidim::MultiDimBuckets;
 use crate::histogram::Histogram;
 use crate::quantize::Quantizer;
+use crate::scan::ScanIntervals;
 
 /// Encode points to packed code words and derive distance bounds from them.
 pub trait ApproxScheme: Send + Sync {
@@ -53,6 +54,14 @@ pub trait ApproxScheme: Send + Sync {
         let mut out = Vec::with_capacity(self.words_per_point());
         self.encode_into(point, &mut out);
         out
+    }
+
+    /// Per-dimension bucket intervals for the blocked compact scan
+    /// (`crate::scan`): `Some` when every code is a per-dimension bucket id
+    /// whose interval can be tabulated per query, `None` for schemes without
+    /// that structure (they keep the scalar [`Self::bounds`] path).
+    fn scan_intervals(&self) -> Option<ScanIntervals<'_>> {
+        None
     }
 }
 
@@ -138,6 +147,10 @@ impl ApproxScheme for GlobalScheme {
             })
             .sum()
     }
+
+    fn scan_intervals(&self) -> Option<ScanIntervals<'_>> {
+        Some(ScanIntervals::Shared(&self.real))
+    }
 }
 
 /// Per-dimension histogram scheme (iHC-*): dimension `j` is coded by its own
@@ -217,6 +230,10 @@ impl ApproxScheme for IndividualScheme {
                 w * w
             })
             .sum()
+    }
+
+    fn scan_intervals(&self) -> Option<ScanIntervals<'_>> {
+        Some(ScanIntervals::PerDim(&self.real))
     }
 }
 

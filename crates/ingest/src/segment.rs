@@ -23,11 +23,12 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use hc_core::codes::PackedCodes;
+use hc_core::bounds::DistBounds;
 use hc_core::dataset::{Dataset, PointId};
 use hc_core::distance::euclidean;
 use hc_core::histogram::HistogramKind;
 use hc_core::quantize::Quantizer;
+use hc_core::scan::{scan_slots, BlockedCodes, QueryTables, ScanScratch, Simd};
 use hc_core::scheme::{ApproxScheme, GlobalScheme};
 use hc_storage::fault::{FaultConfig, FaultInjector};
 use hc_storage::point_file::PointFile;
@@ -68,8 +69,10 @@ pub struct Segment {
     store: Arc<dyn ScrubbablePageStore>,
     /// The sidecar's bound scheme, fitted to this segment's distribution.
     scheme: GlobalScheme,
-    /// Packed τ-bit codes, one slot per key.
-    codes: PackedCodes,
+    /// τ-bit codes in the blocked dimension-major layout, one lane per key
+    /// — the segment-local mirror of the cache's compact store, so the
+    /// bound pass runs the same table-driven block kernel.
+    codes: BlockedCodes,
 }
 
 /// What one segment search did and found.
@@ -123,12 +126,15 @@ impl Segment {
             sidecar.buckets,
         );
         let scheme = GlobalScheme::new(histogram, quantizer, dim);
-        let mut codes = PackedCodes::with_capacity(dim, scheme.tau(), keys.len());
+        let mut codes = BlockedCodes::new(dim, scheme.tau());
         let mut words = Vec::with_capacity(scheme.words_per_point());
-        for (_, vector) in &live {
+        for (slot, (_, vector)) in live.iter().enumerate() {
             words.clear();
             scheme.encode_into(vector, &mut words);
-            codes.push(hc_core::codes::CodeIter::new(&words, scheme.tau(), dim));
+            codes.set_lane(
+                slot,
+                hc_core::codes::CodeIter::new(&words, scheme.tau(), dim),
+            );
         }
         let file = Arc::new(PointFile::new(dataset));
         let store: Arc<dyn ScrubbablePageStore> = match fault {
@@ -199,9 +205,11 @@ impl Segment {
         self.file.dataset().point(PointId(local))
     }
 
-    /// Sidecar bytes per row (compact-code footprint, for obs).
+    /// Sidecar bytes per row (compact-code footprint, for obs). The blocked
+    /// layout packs `64·τ` bits per 64 lanes, so the per-row cost equals the
+    /// row-major `bytes_per_point` the budget formulas already use.
     pub fn sidecar_bytes(&self) -> usize {
-        self.codes.bytes_per_point() * self.keys.len()
+        self.scheme.bytes_per_point() * self.keys.len()
     }
 
     /// Exact top-k over `locals` (this segment's still-live slots per the
@@ -220,19 +228,39 @@ impl Segment {
             return out;
         }
         // Bound pass: one lb per unmasked candidate, sidecar only, no I/O.
-        let mut by_lb: Vec<(f64, u32)> = Vec::with_capacity(locals.len());
-        for &local in locals {
-            let id = self.key_of(local);
-            if mask.contains(&id) {
-                continue;
-            }
-            let lb = self
-                .scheme
-                .bounds(q, self.codes.point_words(local as usize))
-                .lb;
-            by_lb.push((lb, local));
-        }
-        out.considered = by_lb.len();
+        // One table build per query, then the blocked kernel sweeps every
+        // unmasked lane — the same bit-exact pass the compact cache runs.
+        let unmasked: Vec<u32> = locals
+            .iter()
+            .copied()
+            .filter(|&local| !mask.contains(&self.key_of(local)))
+            .collect();
+        out.considered = unmasked.len();
+        let intervals = self
+            .scheme
+            .scan_intervals()
+            .expect("GlobalScheme always exposes scan intervals");
+        let tables = QueryTables::build(q, &intervals);
+        let pairs: Vec<(u32, u32)> = unmasked
+            .iter()
+            .enumerate()
+            .map(|(i, &local)| (local, i as u32))
+            .collect();
+        let mut bounds = vec![DistBounds::UNKNOWN; unmasked.len()];
+        let mut scratch = ScanScratch::default();
+        scan_slots(
+            &tables,
+            &self.codes,
+            &pairs,
+            &mut bounds,
+            &mut scratch,
+            Simd::Auto,
+        );
+        let mut by_lb: Vec<(f64, u32)> = unmasked
+            .iter()
+            .zip(&bounds)
+            .map(|(&local, b)| (b.lb, local))
+            .collect();
         by_lb.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
         // Refine pass: exact reads in lb order until the stopping rule fires.
@@ -391,6 +419,26 @@ mod tests {
             assert_eq!(got.hits, oracle, "shift {shift}");
         }
         assert!(retried > 0, "transient faults must retry somewhere");
+    }
+
+    /// The blocked sidecar's table-driven bounds must be bit-identical to
+    /// the scalar `GlobalScheme::bounds` over the reconstructed row-major
+    /// words — the segment-level leg of the scan equivalence battery.
+    #[test]
+    fn blocked_sidecar_bounds_match_scalar_scheme() {
+        let rows = grid_rows(90, 7); // ragged final block (90 = 64 + 26)
+        let s = seal(5, &rows, &[]);
+        let q: Vec<f32> = (0..7).map(|j| j as f32 * 1.3 - 2.0).collect();
+        let intervals = s.scheme.scan_intervals().expect("global scheme");
+        let tables = QueryTables::build(&q, &intervals);
+        let mut words = Vec::new();
+        for slot in 0..s.len() {
+            s.codes.gather_point_words(slot, &mut words);
+            let want = s.scheme.bounds(&q, &words);
+            let got = tables.lane_bounds(s.codes.lane_codes(slot));
+            assert_eq!(got.lb.to_bits(), want.lb.to_bits(), "slot {slot} lb");
+            assert_eq!(got.ub.to_bits(), want.ub.to_bits(), "slot {slot} ub");
+        }
     }
 
     #[test]

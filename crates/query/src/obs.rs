@@ -7,7 +7,8 @@
 //!
 //! * `query.count` — queries executed,
 //! * `phase.gen_ns` / `phase.reduce_ns` / `phase.refine_ns` — Algorithm 1
-//!   phase CPU histograms,
+//!   phase CPU histograms, plus `phase.bounds_ns` for the batched
+//!   cache-bound computation inside phase 2 (the scan-kernel hot loop),
 //! * `query.candidates` / `query.c_refine` / `query.io_pages` — per-query
 //!   work-size histograms,
 //! * `query.rho_hit_ppm` / `query.rho_prune_ppm` — the paper's ρ_hit and
@@ -38,6 +39,7 @@ pub struct QueryObs {
     queries: Counter,
     gen_ns: Histogram,
     reduce_ns: Histogram,
+    bounds_ns: Histogram,
     refine_ns: Histogram,
     rho_hit_ppm: Histogram,
     rho_prune_ppm: Histogram,
@@ -82,6 +84,7 @@ impl QueryObs {
             queries: counter("query.count"),
             gen_ns: histogram("phase.gen_ns"),
             reduce_ns: histogram("phase.reduce_ns"),
+            bounds_ns: histogram("phase.bounds_ns"),
             refine_ns: histogram("phase.refine_ns"),
             rho_hit_ppm: histogram("query.rho_hit_ppm"),
             rho_prune_ppm: histogram("query.rho_prune_ppm"),
@@ -118,6 +121,8 @@ impl QueryObs {
         let refine_ns = stats.refine_cpu.as_nanos().min(u64::MAX as u128) as u64;
         self.gen_ns.record(gen_ns);
         self.reduce_ns.record(reduce_ns);
+        self.bounds_ns
+            .record(stats.bounds_cpu.as_nanos().min(u64::MAX as u128) as u64);
         self.refine_ns.record(refine_ns);
         self.rho_hit_ppm.record_ratio(stats.hit_ratio());
         self.rho_prune_ppm.record_ratio(stats.prune_ratio());
@@ -310,6 +315,7 @@ mod tests {
             fetched: 15,
             gen_cpu: Duration::from_micros(3),
             reduce_cpu: Duration::from_micros(50),
+            bounds_cpu: Duration::from_micros(40),
             refine_cpu: Duration::from_micros(7),
             modeled_refine_secs: 0.06,
             missing: Vec::new(),
@@ -331,6 +337,12 @@ mod tests {
         assert_eq!(rho.max, 800_000);
         assert_eq!(snap.histogram("query.io_pages").expect("io series").sum, 24);
         assert!(snap.histogram("phase.reduce_ns").expect("phase series").sum >= 2 * 50_000);
+        assert!(
+            snap.histogram("phase.bounds_ns")
+                .expect("bounds series")
+                .sum
+                >= 2 * 40_000
+        );
         assert_eq!(snap.traces.len(), 2);
         assert_eq!(snap.traces[1].seq, 1);
         assert!((snap.traces[0].rho_hit() - 0.8).abs() < 1e-9);
