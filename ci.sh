@@ -111,6 +111,26 @@ grep -q '"name":"ingest.wal_checkpoints","value":[1-9]' target/metrics/ingest.me
 grep -q '"name":"ingest.compactions","value":[1-9]' target/metrics/ingest.metrics.json
 grep -q '"name":"maint.ingest.cycles","value":[1-9]' target/metrics/ingest.metrics.json
 
+# Batched I/O (DESIGN.md §16): broker unit suite, the single-flight
+# concurrency/fault-propagation tests, and the proptest battery proving
+# concurrent queries through a shared broker stay bit-identical to the
+# single-threaded broker-less reference under fault schedules up to 30%.
+# The io bench smoke asserts the rest itself — identical answers on every
+# pass, ≥20% physical-page reduction, a better refine p50 than the
+# sharing-disabled passthrough, a bounded look-ahead waste ratio, and a
+# chaos sweep with zero incorrect answers — so here we check the report
+# landed with the headline series: zero incorrect, real coalescing, and
+# the waste-ratio gauge present.
+cargo test -q -p hc-io
+cargo test -q -p hc-io --test single_flight
+cargo test -q -p hc-io --test broker_props
+cargo run -q --release -p hc-bench --bin io -- --smoke
+test -s target/metrics/io.metrics.json
+grep -q '"name":"io.incorrect","value":0' target/metrics/io.metrics.json
+grep -q '"name":"io.pages_coalesced","value":[1-9]' target/metrics/io.metrics.json
+grep -q '"name":"io.lookahead_wasted_ratio"' target/metrics/io.metrics.json
+grep -q '"name":"storage.io.hot_hits","value":[1-9]' target/metrics/io.metrics.json
+
 # Fleet (DESIGN.md §14): router merge correctness proptests, scatter-gather
 # integration tests (hedging, failover, shard death, scrub recovery, the
 # fleet admin plane), then the CI-sized fleet bench — mixed-tenant Zipf

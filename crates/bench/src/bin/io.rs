@@ -1,0 +1,414 @@
+//! Batched-I/O experiment: overlapping Zipf traffic from concurrent
+//! clients through the [`FetchBroker`] — cross-query single-flight
+//! coalescing, the shared hot/cold page buffer, and look-ahead batching
+//! (DESIGN.md §16) — while *verifying* that every client's answers stay
+//! bit-identical to a single-threaded broker-less reference.
+//!
+//! ```text
+//! cargo run --release -p hc-bench --bin io               # full
+//! cargo run --release -p hc-bench --bin io -- --smoke    # CI
+//! ```
+//!
+//! Three passes over the same per-client traces (a shared stampede prefix
+//! plus per-client Zipf draws from one hot pool):
+//!
+//! 1. **reference** — single-threaded, broker-less, no look-ahead: the
+//!    ground-truth answers and the baseline physical page count (every
+//!    client pays for its own reads).
+//! 2. **passthrough** — concurrent clients through a broker with sharing
+//!    disabled, HDD-modeled read latency: the honest latency baseline.
+//! 3. **broker** — concurrent clients through the full broker (hot
+//!    buffer + single-flight + look-ahead), same modeled latency.
+//!
+//! Gates: answers identical everywhere, physical pages ≤ 0.8× baseline,
+//! `pages_coalesced > 0`, refine p50 better than passthrough, and the
+//! look-ahead waste ratio bounded. A chaos sweep then re-verifies outcome
+//! invariance under mixed fault schedules and holds availability ≥ 99%
+//! at a 1% fault rate. `io.incorrect` is 0 or the binary has already
+//! panicked — the metric is written only after every check passed.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use hc_bench::world::{Method, World, DEFAULT_TAU};
+use hc_core::dataset::PointId;
+use hc_core::histogram::HistogramKind;
+use hc_io::{BatchIoModel, BrokerConfig, FetchBroker};
+use hc_obs::MetricsRegistry;
+use hc_query::KnnEngine;
+use hc_storage::io_stats::IoModel;
+use hc_storage::point_file::PointFile;
+use hc_storage::{FaultConfig, FaultInjector, PageStore, RealClock};
+use hc_workload::zipf::Zipf;
+use hc_workload::{Preset, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ZIPF_S: f64 = 0.8;
+const SEED: u64 = 0x10BE;
+const FAULT_SEED: u64 = 0xFA10;
+const K: usize = 10;
+const HOT_PAGES: usize = 4096;
+
+/// `(sorted-by-rank ids, sorted missing, refine wall µs, fetch batches)`
+/// for one request.
+type Outcome = (Vec<PointId>, Vec<PointId>, u64, u64);
+
+fn run_trace(
+    world: &World,
+    store: &dyn PageStore,
+    trace: &[Vec<f32>],
+    lookahead: usize,
+) -> Vec<Outcome> {
+    let cache = world.cache(
+        Method::Hc(HistogramKind::KnnOptimal),
+        DEFAULT_TAU,
+        world.cache_bytes,
+    );
+    let mut engine = KnnEngine::new(&world.index, store, cache);
+    engine.lookahead = lookahead;
+    trace
+        .iter()
+        .map(|q| {
+            let (ids, stats) = engine.query(q, K);
+            let mut missing = stats.missing.clone();
+            missing.sort_unstable_by_key(|p| p.0);
+            (
+                ids,
+                missing,
+                stats.refine_cpu.as_micros() as u64,
+                stats.io_batches,
+            )
+        })
+        .collect()
+}
+
+/// Run every client's trace concurrently against one shared store, with a
+/// barrier before each request index so stampedes actually stampede.
+fn run_concurrent(
+    world: &World,
+    store: &(dyn PageStore + Sync),
+    traces: &[Vec<Vec<f32>>],
+    lookahead: usize,
+) -> Vec<Vec<Outcome>> {
+    let barrier = Barrier::new(traces.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = traces
+            .iter()
+            .map(|trace| {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let cache = world.cache(
+                        Method::Hc(HistogramKind::KnnOptimal),
+                        DEFAULT_TAU,
+                        world.cache_bytes,
+                    );
+                    let mut engine = KnnEngine::new(&world.index, store, cache);
+                    engine.lookahead = lookahead;
+                    trace
+                        .iter()
+                        .map(|q| {
+                            barrier.wait();
+                            let (ids, stats) = engine.query(q, K);
+                            let mut missing = stats.missing.clone();
+                            missing.sort_unstable_by_key(|p| p.0);
+                            (
+                                ids,
+                                missing,
+                                stats.refine_cpu.as_micros() as u64,
+                                stats.io_batches,
+                            )
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    })
+}
+
+fn p50(mut v: Vec<u64>) -> u64 {
+    assert!(!v.is_empty());
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn refine_times(outcomes: &[Vec<Outcome>]) -> Vec<u64> {
+    outcomes.iter().flatten().map(|(_, _, us, _)| *us).collect()
+}
+
+fn answers(outcomes: &[Vec<Outcome>]) -> Vec<Vec<(Vec<PointId>, Vec<PointId>)>> {
+    outcomes
+        .iter()
+        .map(|t| {
+            t.iter()
+                .map(|(ids, miss, _, _)| (ids.clone(), miss.clone()))
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let get = |flag: &str, default: usize| -> usize {
+        args.windows(2)
+            .filter(|w| w[0] == flag)
+            .map(|w| w[1].parse().expect("numeric flag"))
+            .next_back()
+            .unwrap_or(default)
+    };
+    let clients = get("--clients", 8);
+    let requests = get("--requests", if smoke { 12 } else { 40 });
+    let lookahead = get("--lookahead", 4);
+    assert!(clients >= 2, "the experiment needs concurrency");
+
+    let world = World::build(Preset::nus_wide(Scale::Test), K);
+
+    // Per-client traces: a shared stampede prefix (every client issues the
+    // identical query at the same instant — the coalescing window), then
+    // per-client Zipf draws from one hot pool (the hot-buffer window).
+    let stampede = requests.min(4);
+    let zipf = Zipf::new(world.log.pool.len(), ZIPF_S);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let shared: Vec<Vec<f32>> = (0..stampede)
+        .map(|_| world.log.pool[zipf.sample(&mut rng)].clone())
+        .collect();
+    let traces: Vec<Vec<Vec<f32>>> = (0..clients)
+        .map(|c| {
+            let mut rng = StdRng::seed_from_u64(SEED ^ (0x9e37_79b9 * (c as u64 + 1)));
+            let mut t = shared.clone();
+            t.extend((stampede..requests).map(|_| world.log.pool[zipf.sample(&mut rng)].clone()));
+            t
+        })
+        .collect();
+
+    println!(
+        "dataset={} n={} d={} clients={clients} requests={requests}/client k={K} lookahead={lookahead}",
+        world.preset.name,
+        world.dataset.len(),
+        world.dataset.dim(),
+    );
+
+    // Pass 1: single-threaded broker-less reference — ground truth plus the
+    // baseline page bill (every client pays its own reads; no sharing).
+    let file_ref = Arc::new(PointFile::new(world.dataset.clone()));
+    let reference: Vec<Vec<Outcome>> = traces
+        .iter()
+        .map(|t| run_trace(&world, file_ref.as_ref(), t, 0))
+        .collect();
+    let pages_baseline = file_ref.stats().pages_read();
+    let ref_answers = answers(&reference);
+
+    // Pass 2: concurrent passthrough broker (sharing disabled) with
+    // HDD-modeled device latency — the latency baseline, and proof the
+    // broker shell itself is transparent.
+    let file_pt = Arc::new(PointFile::new(world.dataset.clone()));
+    let passthrough = FetchBroker::with_config(
+        Arc::clone(&file_pt) as Arc<dyn PageStore>,
+        BrokerConfig {
+            hot_pages: 0,
+            coalesce: false,
+            io_model: Some(IoModel::HDD),
+            clock: Arc::new(RealClock),
+        },
+    );
+    let t0 = Instant::now();
+    let pt_outcomes = run_concurrent(&world, &passthrough, &traces, 0);
+    let pt_wall = t0.elapsed();
+    assert_eq!(
+        answers(&pt_outcomes),
+        ref_answers,
+        "passthrough broker changed an answer"
+    );
+    assert_eq!(
+        file_pt.stats().pages_read(),
+        pages_baseline,
+        "passthrough must not share"
+    );
+
+    // Pass 3: the full broker — hot buffer, single-flight, look-ahead —
+    // under the same modeled latency.
+    let registry = MetricsRegistry::global();
+    let file_br = Arc::new(PointFile::new(world.dataset.clone()));
+    let broker = FetchBroker::with_config(
+        Arc::clone(&file_br) as Arc<dyn PageStore>,
+        BrokerConfig {
+            hot_pages: HOT_PAGES,
+            coalesce: true,
+            io_model: Some(IoModel::HDD),
+            clock: Arc::new(RealClock),
+        },
+    );
+    broker.bind_obs(registry); // storage.io.* series land in the report
+    let t0 = Instant::now();
+    let br_outcomes = run_concurrent(&world, &broker, &traces, lookahead);
+    let br_wall = t0.elapsed();
+    assert_eq!(
+        answers(&br_outcomes),
+        ref_answers,
+        "broker (coalescing + hot buffer + look-ahead) changed an answer"
+    );
+
+    let snap = file_br.stats().snapshot();
+    let pages_broker = snap.pages_read;
+    let reduction = 1.0 - pages_broker as f64 / pages_baseline.max(1) as f64;
+    let waste_ratio = snap.lookahead_wasted as f64 / snap.lookahead_issued.max(1) as f64;
+    let p50_pt = p50(refine_times(&pt_outcomes));
+    let p50_br = p50(refine_times(&br_outcomes));
+
+    println!(
+        "{:<24} {:>12} {:>12} {:>14} {:>12}",
+        "pass", "pages", "coalesced", "refine p50(µs)", "wall (ms)"
+    );
+    println!(
+        "{:<24} {:>12} {:>12} {:>14} {:>12}",
+        "reference (1 thread)", pages_baseline, "-", "-", "-"
+    );
+    println!(
+        "{:<24} {:>12} {:>12} {:>14} {:>12.1}",
+        "passthrough",
+        file_pt.stats().pages_read(),
+        0,
+        p50_pt,
+        pt_wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "{:<24} {:>12} {:>12} {:>14} {:>12.1}",
+        "broker",
+        pages_broker,
+        snap.pages_coalesced,
+        p50_br,
+        br_wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "reduction {:.1}%  hot_hits {}  lookahead issued {} wasted {} (ratio {:.3})",
+        reduction * 100.0,
+        snap.hot_hits,
+        snap.lookahead_issued,
+        snap.lookahead_wasted,
+        waste_ratio
+    );
+
+    // The point of the subsystem, held as gates.
+    assert!(
+        pages_broker as f64 <= 0.8 * pages_baseline as f64,
+        "broker read {pages_broker} pages vs baseline {pages_baseline}: < 20% reduction"
+    );
+    assert!(
+        snap.pages_coalesced > 0,
+        "stampede prefix must coalesce at least once"
+    );
+    assert!(snap.hot_hits > 0, "Zipf repeats must hit the hot buffer");
+    assert!(
+        p50_br < p50_pt,
+        "refine p50 {p50_br}µs not better than passthrough {p50_pt}µs"
+    );
+    assert!(
+        waste_ratio <= 0.5,
+        "look-ahead waste ratio {waste_ratio:.3} > 0.5 at depth {lookahead}"
+    );
+
+    // Analytic device model: what the batch *shape* is worth on seek-bound
+    // hardware (§16) — reported, not gated; the simulator bills per page.
+    // Both sides price the same refiner-submitted work (the broker decides
+    // separately how much of it reaches the device): one seek per page
+    // flat, one seek per look-ahead batch batched.
+    let batches: u64 = br_outcomes.iter().flatten().map(|(_, _, _, b)| *b).sum();
+    let submitted = snap.pages_read + snap.hot_hits + snap.pages_coalesced;
+    let flat_secs = IoModel::HDD.modeled_secs(submitted);
+    let batch_secs = BatchIoModel::HDD.modeled_secs(batches.max(1), submitted);
+    registry.gauge("io.modeled_flat_secs").set(flat_secs);
+    registry.gauge("io.modeled_batch_secs").set(batch_secs);
+    assert!(
+        batch_secs < flat_secs,
+        "batched seek model ({batch_secs:.3}s) must beat one-seek-per-page ({flat_secs:.3}s)"
+    );
+
+    // Chaos sweep: mixed fault schedules through the full broker stay
+    // outcome-identical to the broker-less reference (zero incorrect), and
+    // availability holds at a 1% rate.
+    println!(
+        "{:<8} {:>8} {:>10} {:>10}",
+        "rate", "avail", "degraded", "incorrect"
+    );
+    for &rate in &[0.0, 0.01, 0.05] {
+        let config = FaultConfig::mixed(FAULT_SEED, rate);
+        let file_a = Arc::new(PointFile::new(world.dataset.clone()));
+        let injector_ref = FaultInjector::new(file_a, config);
+        let chaos_ref: Vec<Vec<Outcome>> = traces
+            .iter()
+            .map(|t| run_trace(&world, &injector_ref, t, 0))
+            .collect();
+
+        let file_b = Arc::new(PointFile::new(world.dataset.clone()));
+        let injector: Arc<dyn PageStore> = Arc::new(FaultInjector::new(file_b, config));
+        let chaos_broker = FetchBroker::new(injector);
+        let chaos_out = run_concurrent(&world, &chaos_broker, &traces, lookahead);
+
+        let incorrect = answers(&chaos_out)
+            .iter()
+            .flatten()
+            .zip(answers(&chaos_ref).iter().flatten())
+            .filter(|(got, want)| got != want)
+            .count();
+        assert_eq!(
+            incorrect, 0,
+            "broker diverged from reference at rate {rate}"
+        );
+        let total = (clients * requests) as f64;
+        let degraded = chaos_out
+            .iter()
+            .flatten()
+            .filter(|(_, missing, _, _)| !missing.is_empty())
+            .count();
+        let avail = 1.0 - degraded as f64 / total;
+        if rate == 0.0 {
+            assert_eq!(degraded, 0, "zero-rate run degraded a query");
+        }
+        if rate > 0.0 && rate <= 0.011 {
+            assert!(
+                avail >= 0.99,
+                "availability {avail:.4} < 0.99 at rate {rate}"
+            );
+        }
+        println!(
+            "{rate:<8} {:>7.2}% {degraded:>10} {incorrect:>10}",
+            avail * 100.0
+        );
+        let label = format!("rate={rate}");
+        registry
+            .gauge_with_label("io.chaos.availability", &label)
+            .set(avail);
+        registry
+            .gauge_with_label("io.chaos.degraded", &label)
+            .set(degraded as f64);
+    }
+
+    // Written last: a nonzero value can never reach the report because any
+    // divergence above has already panicked the binary.
+    registry.counter("io.incorrect").add(0);
+    registry
+        .counter("io.pages_coalesced")
+        .add(snap.pages_coalesced);
+    registry.counter("io.hot_hits").add(snap.hot_hits);
+    registry.gauge("io.clients").set(clients as f64);
+    registry
+        .gauge("io.requests_per_client")
+        .set(requests as f64);
+    registry.gauge("io.lookahead").set(lookahead as f64);
+    registry
+        .gauge("io.pages_baseline")
+        .set(pages_baseline as f64);
+    registry.gauge("io.pages_broker").set(pages_broker as f64);
+    registry.gauge("io.reduction_ratio").set(reduction);
+    registry
+        .gauge("io.refine_p50_passthrough_us")
+        .set(p50_pt as f64);
+    registry.gauge("io.refine_p50_broker_us").set(p50_br as f64);
+    registry.gauge("io.lookahead_wasted_ratio").set(waste_ratio);
+    hc_bench::report::emit("io");
+}

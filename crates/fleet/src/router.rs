@@ -62,6 +62,9 @@ pub struct FleetConfig {
     pub io_model: IoModel,
     /// Simulated I/O stall scale for each replica server.
     pub simulate_io_scale: Option<f64>,
+    /// Refinement look-ahead depth for each replica's worker engines
+    /// (DESIGN.md §16). 0 disables look-ahead batching.
+    pub lookahead: usize,
     /// Retry policy for full admission queues (router) and storage reads
     /// (workers) — the same decorrelated-jitter discipline end to end.
     pub retry: RetryPolicy,
@@ -103,6 +106,7 @@ impl Default for FleetConfig {
             sampler_k: 10,
             io_model: IoModel::SSD,
             simulate_io_scale: None,
+            lookahead: 0,
             retry: RetryPolicy::default(),
             clock: Arc::new(RealClock),
             shard_timeout: Duration::from_millis(500),

@@ -104,6 +104,7 @@ impl Shard {
                     io_model: config.io_model,
                     simulate_io_scale: config.simulate_io_scale,
                     eager_refetch: false,
+                    lookahead: config.lookahead,
                     retry: config.retry,
                     clock: Arc::clone(&config.clock),
                     sampler: Some(Arc::clone(&sampler) as _),

@@ -19,9 +19,18 @@
 //! Like the base file, a segment can be wrapped in a [`FaultInjector`]
 //! (per-segment seed) so sealed pages fail realistically; scrub passes
 //! repair them from the seal-time replica via [`ScrubbablePageStore`].
+//!
+//! Query reads go through a per-segment [`FetchBroker`] (DESIGN.md §16):
+//! concurrent server workers searching the same sealed run coalesce
+//! identical page reads and share a hot-page buffer, while scrub keeps
+//! walking the raw store underneath. Broker sharing is outcome-preserving —
+//! fault rolls are a pure function of `(page, attempt)`, so a hot or
+//! coalesced read observes exactly what a private read would have.
 
 use std::collections::HashSet;
 use std::sync::Arc;
+
+use hc_io::FetchBroker;
 
 use hc_core::bounds::DistBounds;
 use hc_core::dataset::{Dataset, PointId};
@@ -33,6 +42,7 @@ use hc_core::scheme::{ApproxScheme, GlobalScheme};
 use hc_storage::fault::{FaultConfig, FaultInjector};
 use hc_storage::point_file::PointFile;
 use hc_storage::scrub::ScrubbablePageStore;
+use hc_storage::store::PageStore;
 
 /// Sidecar fit parameters: how a seal builds its segment's compact codes.
 #[derive(Debug, Clone, Copy)]
@@ -64,9 +74,13 @@ pub struct Segment {
     /// The pristine seal-time file: replica for scrub repair and offline
     /// (no-I/O) access for verification.
     file: Arc<PointFile>,
-    /// The store queries actually read through — the file itself, or a
-    /// fault-injecting wrapper around it.
+    /// The raw device: the file itself, or a fault-injecting wrapper
+    /// around it. Scrub cycles walk this directly.
     store: Arc<dyn ScrubbablePageStore>,
+    /// The path queries actually read through: a per-segment broker over
+    /// `store` that coalesces concurrent identical page reads and serves
+    /// re-referenced pages from a shared hot buffer.
+    read_store: Arc<FetchBroker>,
     /// The sidecar's bound scheme, fitted to this segment's distribution.
     scheme: GlobalScheme,
     /// τ-bit codes in the blocked dimension-major layout, one lane per key
@@ -141,12 +155,14 @@ impl Segment {
             Some(cfg) => Arc::new(FaultInjector::new(Arc::clone(&file), cfg)),
             None => Arc::clone(&file) as Arc<dyn ScrubbablePageStore>,
         };
+        let read_store = Arc::new(FetchBroker::new(Arc::clone(&store) as Arc<dyn PageStore>));
         Self {
             seq,
             keys,
             tombstones,
             file,
             store,
+            read_store,
             scheme,
             codes,
         }
@@ -188,10 +204,16 @@ impl Segment {
         self.keys.binary_search(&id).is_ok()
     }
 
-    /// The store queries read through (fault-injected when configured) —
-    /// also what scrub cycles walk.
+    /// The raw device (fault-injected when configured) — what scrub cycles
+    /// walk.
     pub fn store(&self) -> &Arc<dyn ScrubbablePageStore> {
         &self.store
+    }
+
+    /// The broker queries read through: single-flight coalescing plus a
+    /// shared hot-page buffer over [`Segment::store`].
+    pub fn read_store(&self) -> &Arc<FetchBroker> {
+        &self.read_store
     }
 
     /// The pristine seal-time file (replica / offline access).
@@ -263,8 +285,10 @@ impl Segment {
             .collect();
         by_lb.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
-        // Refine pass: exact reads in lb order until the stopping rule fires.
-        let mut buffer = self.store.begin_query();
+        // Refine pass: exact reads in lb order until the stopping rule
+        // fires. Reads go through the segment broker, so concurrent workers
+        // coalesce identical pages and share hot residency.
+        let mut buffer = self.read_store.begin_query();
         let mut best: Vec<(f64, PointId)> = Vec::with_capacity(k + 1);
         for (i, &(lb, local)) in by_lb.iter().enumerate() {
             if best.len() == k && lb >= best[k - 1].0 {
@@ -276,7 +300,10 @@ impl Segment {
             let id = PointId(self.key_of(local));
             let mut attempt = 0u32;
             let exact = loop {
-                match self.store.read_point(PointId(local), attempt, &mut buffer) {
+                match self
+                    .read_store
+                    .read_point(PointId(local), attempt, &mut buffer)
+                {
                     Ok(p) => break Some(euclidean(q, p)),
                     Err(e) if e.is_transient() && attempt < max_retries => {
                         attempt += 1;
@@ -450,6 +477,25 @@ mod tests {
         let got = s.top_k(&[0.0, 0.0], 5, &[], &HashSet::new(), 3);
         assert!(got.hits.is_empty());
         assert_eq!(s.store().num_pages(), 0);
+    }
+
+    #[test]
+    fn segment_broker_serves_repeat_queries_from_hot_pages() {
+        let rows = grid_rows(120, 150); // 6 points per page → 20 pages
+        let s = seal(6, &rows, &[]);
+        let locals: Vec<u32> = (0..rows.len() as u32).collect();
+        let q: Vec<f32> = (0..150).map(|j| (j % 8) as f32).collect();
+        let first = s.top_k(&q, 6, &locals, &HashSet::new(), 3);
+        let physical = s.file().stats().pages_read();
+        assert!(physical > 0);
+        let second = s.top_k(&q, 6, &locals, &HashSet::new(), 3);
+        assert_eq!(first.hits, second.hits, "broker must not change results");
+        assert_eq!(
+            s.file().stats().pages_read(),
+            physical,
+            "the repeat query must be served from the segment's hot buffer"
+        );
+        assert!(s.file().stats().hot_hits() > 0);
     }
 
     #[test]

@@ -1,0 +1,484 @@
+//! [`FetchBroker`] — the concurrent fetch path between refiners and the
+//! fallible [`PageStore`].
+//!
+//! The broker is a `PageStore` itself, so everything above it (retry
+//! ladders, refiners, serving workers) is unchanged; it adds three
+//! cross-query behaviours in front of the device:
+//!
+//! 1. **Shared hot-page buffer** ([`HotPageBuffer`]). A page that some
+//!    query already read and verified is served without touching the
+//!    device: the broker marks it into the caller's per-query
+//!    [`PageBuffer`] and delegates, which the store accounts as a dedup'd
+//!    (free) read. This is safe because page payloads are
+//!    checksum-verified on the physical read that admitted them, and the
+//!    deterministic fault schedule never fails a buffered page.
+//! 2. **Single-flight coalescing.** Concurrent first-attempt reads of the
+//!    same page collapse onto one in-flight fetch: one leader performs the
+//!    physical read (paying the modeled device latency exactly once);
+//!    waiters block on the flight and share its outcome — *including the
+//!    error path*, so a fault-injected failure propagates to every
+//!    coalesced waiter with the original [`StorageError`] class.
+//! 3. **Modeled device latency.** With an [`IoModel`] attached, every
+//!    physical read sleeps `t_io` on the broker's [`Clock`] before hitting
+//!    the store. In-memory stores complete in nanoseconds, which would make
+//!    coalescing windows vanishingly small; the modeled sleep restores the
+//!    real overlap window (~100 µs SSD, 5 ms HDD) so coalescing and its
+//!    benefit are measurable.
+//!
+//! ## Outcome preservation
+//!
+//! The fault layer's rolls are a pure function of `(seed, class, page,
+//! attempt)` — *query-independent*. A read served from the hot buffer or a
+//! coalesced flight therefore reports exactly the outcome the caller would
+//! have observed performing the read itself: success where its own read
+//! would have succeeded (first-attempt transient faults key on attempt 0
+//! either way), and the identical error class where it would have failed.
+//! Results through the broker are bit-identical to a broker-less run even
+//! under fault injection — the equivalence the `broker_props` battery
+//! checks exhaustively.
+//!
+//! Retries (`attempt > 0`) **bypass** both single-flight and admission:
+//! each query's retry ladder must re-roll its own deterministic schedule,
+//! not inherit another query's attempt ordinal (DESIGN.md §10 semantics are
+//! preserved exactly). Hot-buffer hits still apply — a page verified by
+//! anyone is good for everyone.
+//!
+//! ## Accounting (one path per read)
+//!
+//! Every `read_point` through the broker lands in exactly one bucket:
+//!
+//! | path                    | counters touched                                   |
+//! |-------------------------|-----------------------------------------------------|
+//! | per-query buffer hit    | `pages_deduped` (+ point) — store, unchanged       |
+//! | hot-buffer hit          | `hot_hits`, then `pages_deduped` (+ point)         |
+//! | coalesced wait, Ok      | `pages_coalesced`, then `pages_deduped` (+ point)  |
+//! | coalesced wait, Err     | `pages_coalesced` only                             |
+//! | leader / retry / bypass | `pages_read` (+ `pages_retried` if attempt > 0)    |
+//!
+//! So `pages_read` stays the count of *physical* device reads, and
+//! `pages_deduped` is the honest "reads served without physical I/O" —
+//! the broker never inflates the point-cache hit counters (`cache.*`),
+//! which belong to a different layer entirely.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use hc_core::dataset::PointId;
+use hc_obs::MetricsRegistry;
+use hc_storage::{Clock, IoModel, IoStats, PageBuffer, PageStore, RealClock, StorageError};
+
+use crate::hot::HotPageBuffer;
+
+/// Construction knobs for [`FetchBroker`].
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// Page budget of the shared hot/cold buffer. 0 disables it.
+    pub hot_pages: usize,
+    /// Whether concurrent first-attempt reads of one page single-flight.
+    pub coalesce: bool,
+    /// Modeled device latency paid (on `clock`) by every physical read.
+    /// `None` leaves the store's native timing untouched.
+    pub io_model: Option<IoModel>,
+    /// Where modeled latency sleeps. Tests inject a `SimulatedClock`.
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        Self {
+            hot_pages: 4096,
+            coalesce: true,
+            io_model: None,
+            clock: Arc::new(RealClock),
+        }
+    }
+}
+
+/// One in-flight physical read. Waiters block on the condvar until the
+/// leader publishes the outcome; `StorageError` is `Copy`, so the result
+/// shares trivially.
+#[derive(Debug)]
+struct Flight {
+    outcome: Mutex<Option<Result<(), StorageError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Self {
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, outcome: Result<(), StorageError>) {
+        let mut slot = self.outcome.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(outcome);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<(), StorageError> {
+        let mut slot = self.outcome.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = *slot {
+                return outcome;
+            }
+            slot = self.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Unwind guard for the flight leader: if the leader's read panics before
+/// publishing, the guard publishes a transient failure and removes the
+/// flight, so waiters error out (and may retry) instead of hanging forever.
+struct FlightGuard<'a> {
+    broker: &'a FetchBroker,
+    page: u64,
+    flight: &'a Arc<Flight>,
+    published: bool,
+}
+
+impl FlightGuard<'_> {
+    fn publish(mut self, outcome: Result<(), StorageError>) {
+        self.published = true;
+        self.broker.finish_flight(self.page, self.flight, outcome);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.broker.finish_flight(
+                self.page,
+                self.flight,
+                Err(StorageError::TransientRead { page: self.page }),
+            );
+        }
+    }
+}
+
+enum Role {
+    Leader(Arc<Flight>),
+    Waiter(Arc<Flight>),
+}
+
+/// Cross-query fetch broker: hot-page buffer + single-flight coalescing +
+/// modeled device latency, behind the ordinary [`PageStore`] interface.
+pub struct FetchBroker {
+    store: Arc<dyn PageStore>,
+    hot: HotPageBuffer,
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+    coalesce: bool,
+    io_model: Option<IoModel>,
+    clock: Arc<dyn Clock>,
+}
+
+impl std::fmt::Debug for FetchBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FetchBroker")
+            .field("coalesce", &self.coalesce)
+            .field("io_model", &self.io_model)
+            .field("hot_resident", &(self.hot.hot_len() + self.hot.cold_len()))
+            .finish()
+    }
+}
+
+impl FetchBroker {
+    /// Broker with default config (4096-page hot buffer, coalescing on, no
+    /// modeled latency).
+    pub fn new(store: Arc<dyn PageStore>) -> Self {
+        Self::with_config(store, BrokerConfig::default())
+    }
+
+    pub fn with_config(store: Arc<dyn PageStore>, config: BrokerConfig) -> Self {
+        Self {
+            store,
+            hot: HotPageBuffer::new(config.hot_pages),
+            inflight: Mutex::new(HashMap::new()),
+            coalesce: config.coalesce,
+            io_model: config.io_model,
+            clock: config.clock,
+        }
+    }
+
+    /// A broker that adds nothing: no hot buffer, no coalescing, no modeled
+    /// latency. Every read passes straight through — the transparency
+    /// baseline benches compare against.
+    pub fn passthrough(store: Arc<dyn PageStore>) -> Self {
+        Self::with_config(
+            store,
+            BrokerConfig {
+                hot_pages: 0,
+                coalesce: false,
+                io_model: None,
+                clock: Arc::new(RealClock),
+            },
+        )
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &Arc<dyn PageStore> {
+        &self.store
+    }
+
+    /// The shared hot-page buffer (tests and benches inspect residency).
+    pub fn hot_buffer(&self) -> &HotPageBuffer {
+        &self.hot
+    }
+
+    /// Flights currently in the air. Zero once all reads return — the
+    /// tests' leak check.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Pay the modeled device latency for one physical read.
+    fn simulate_io(&self) {
+        if let Some(model) = self.io_model {
+            self.clock.sleep(model.t_io);
+        }
+    }
+
+    fn finish_flight(&self, page: u64, flight: &Arc<Flight>, outcome: Result<(), StorageError>) {
+        {
+            let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            map.remove(&page);
+        }
+        flight.publish(outcome);
+    }
+
+    /// Physical read path: modeled latency, the store's own fault/checksum
+    /// machinery, hot-buffer admission on success.
+    fn read_physical<'s>(
+        &'s self,
+        id: PointId,
+        page: u64,
+        attempt: u32,
+        buffer: &mut PageBuffer,
+    ) -> Result<&'s [f32], StorageError> {
+        self.simulate_io();
+        let result = self.store.read_point(id, attempt, buffer);
+        if result.is_ok() {
+            self.hot.admit(page);
+        }
+        result
+    }
+}
+
+impl PageStore for FetchBroker {
+    fn read_point<'s>(
+        &'s self,
+        id: PointId,
+        attempt: u32,
+        buffer: &mut PageBuffer,
+    ) -> Result<&'s [f32], StorageError> {
+        let page = self.store.page_of(id);
+
+        // Within-query buffer: this query already verified the page; the
+        // store serves it for free (counted as pages_deduped there).
+        if buffer.contains(page) {
+            return self.store.read_point(id, attempt, buffer);
+        }
+
+        // Shared hot buffer: someone verified the page; good for everyone.
+        if self.hot.touch(page) {
+            self.store.stats().record_hot_hit();
+            buffer.mark_buffered(page);
+            return self.store.read_point(id, attempt, buffer);
+        }
+
+        // Retries bypass single-flight: each query's retry ladder re-rolls
+        // its own deterministic (page, attempt) schedule.
+        if attempt > 0 || !self.coalesce {
+            return self.read_physical(id, page, attempt, buffer);
+        }
+
+        let role = {
+            let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match map.entry(page) {
+                Entry::Occupied(e) => Role::Waiter(Arc::clone(e.get())),
+                Entry::Vacant(v) => {
+                    let flight = Arc::new(Flight::new());
+                    v.insert(Arc::clone(&flight));
+                    Role::Leader(flight)
+                }
+            }
+        };
+
+        match role {
+            Role::Leader(flight) => {
+                let guard = FlightGuard {
+                    broker: self,
+                    page,
+                    flight: &flight,
+                    published: false,
+                };
+                let result = self.read_physical(id, page, 0, buffer);
+                guard.publish(result.as_ref().map(|_| ()).map_err(|&e| e));
+                result
+            }
+            Role::Waiter(flight) => {
+                let outcome = flight.wait();
+                self.store.stats().record_page_coalesced();
+                match outcome {
+                    Ok(()) => {
+                        // Second reference: promotes the page toward hot.
+                        self.hot.touch(page);
+                        buffer.mark_buffered(page);
+                        self.store.read_point(id, 0, buffer)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
+    fn begin_query(&self) -> PageBuffer {
+        self.store.begin_query()
+    }
+
+    fn page_of(&self, id: PointId) -> u64 {
+        self.store.page_of(id)
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.store.stats()
+    }
+
+    fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.store.num_pages()
+    }
+
+    fn bind_obs(&self, registry: &MetricsRegistry) {
+        // Delegate so fault layers keep binding their storage.fault.* series.
+        self.store.bind_obs(registry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_core::dataset::Dataset;
+    use hc_storage::{PointFile, SimulatedClock};
+
+    fn small_file(points: usize, dim: usize) -> Arc<PointFile> {
+        let rows: Vec<Vec<f32>> = (0..points)
+            .map(|i| (0..dim).map(|d| (i * dim + d) as f32).collect())
+            .collect();
+        Arc::new(PointFile::new(Dataset::from_rows(&rows)))
+    }
+
+    #[test]
+    fn broker_is_transparent_for_data_and_physical_reads() {
+        let file = small_file(64, 8);
+        let plain = small_file(64, 8);
+        let broker = FetchBroker::new(Arc::clone(&file) as Arc<dyn PageStore>);
+
+        let mut bbuf = broker.begin_query();
+        let mut pbuf = plain.begin_query();
+        for i in 0..64 {
+            let id = PointId(i);
+            let via_broker = broker.read_point(id, 0, &mut bbuf).expect("pristine");
+            let direct = plain.read_point(id, 0, &mut pbuf).expect("pristine");
+            assert_eq!(via_broker, direct, "payload must be byte-identical");
+        }
+        // One query: no cross-query sharing yet, so physical reads match.
+        assert_eq!(file.stats().pages_read(), plain.stats().pages_read());
+        assert_eq!(broker.inflight_len(), 0);
+    }
+
+    #[test]
+    fn hot_buffer_serves_second_query_without_physical_reads() {
+        let file = small_file(64, 8);
+        let broker = FetchBroker::new(Arc::clone(&file) as Arc<dyn PageStore>);
+
+        let mut q1 = broker.begin_query();
+        for i in 0..64 {
+            broker.read_point(PointId(i), 0, &mut q1).expect("pristine");
+        }
+        let physical_after_q1 = file.stats().pages_read();
+        assert!(physical_after_q1 > 0);
+
+        let mut q2 = broker.begin_query();
+        for i in 0..64 {
+            broker.read_point(PointId(i), 0, &mut q2).expect("pristine");
+        }
+        assert_eq!(
+            file.stats().pages_read(),
+            physical_after_q1,
+            "second query must be served entirely from the hot buffer"
+        );
+        assert_eq!(file.stats().hot_hits(), physical_after_q1);
+        assert_eq!(broker.inflight_len(), 0);
+    }
+
+    #[test]
+    fn passthrough_broker_shares_nothing() {
+        let file = small_file(64, 8);
+        let broker = FetchBroker::passthrough(Arc::clone(&file) as Arc<dyn PageStore>);
+
+        let mut q1 = broker.begin_query();
+        let mut q2 = broker.begin_query();
+        for i in 0..64 {
+            broker.read_point(PointId(i), 0, &mut q1).expect("pristine");
+            broker.read_point(PointId(i), 0, &mut q2).expect("pristine");
+        }
+        assert_eq!(file.stats().hot_hits(), 0);
+        assert_eq!(file.stats().pages_coalesced(), 0);
+        // Both queries paid full physical I/O.
+        assert_eq!(file.stats().pages_read(), 2 * file.num_pages());
+    }
+
+    #[test]
+    fn modeled_latency_sleeps_only_on_physical_reads() {
+        let file = small_file(64, 8);
+        let clock = Arc::new(SimulatedClock::new());
+        let broker = FetchBroker::with_config(
+            Arc::clone(&file) as Arc<dyn PageStore>,
+            BrokerConfig {
+                hot_pages: 4096,
+                coalesce: true,
+                io_model: Some(IoModel::SSD),
+                clock: Arc::clone(&clock) as Arc<dyn Clock>,
+            },
+        );
+
+        let mut q1 = broker.begin_query();
+        for i in 0..64 {
+            broker.read_point(PointId(i), 0, &mut q1).expect("pristine");
+        }
+        let sleeps_after_q1 = clock.sleep_count() as u64;
+        assert_eq!(sleeps_after_q1, file.stats().pages_read());
+
+        // Hot-served query: zero additional sleeps.
+        let mut q2 = broker.begin_query();
+        for i in 0..64 {
+            broker.read_point(PointId(i), 0, &mut q2).expect("pristine");
+        }
+        assert_eq!(clock.sleep_count() as u64, sleeps_after_q1);
+    }
+
+    #[test]
+    fn stats_and_shape_delegate_to_inner_store() {
+        let file = small_file(100, 16);
+        let broker = FetchBroker::new(Arc::clone(&file) as Arc<dyn PageStore>);
+        assert_eq!(broker.dim(), 16);
+        assert_eq!(broker.len(), 100);
+        assert!(!broker.is_empty());
+        assert_eq!(broker.num_pages(), file.num_pages());
+        assert_eq!(broker.page_of(PointId(0)), file.page_of(PointId(0)));
+        assert!(std::ptr::eq(broker.stats(), file.stats()));
+    }
+}

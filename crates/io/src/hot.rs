@@ -1,0 +1,266 @@
+//! Shared hot-page buffer with a GoVector-style hot/cold split.
+//!
+//! The buffer tracks page *residency*, not page bytes: the simulated disk
+//! already holds its data in memory, so what a real buffer pool would gain
+//! from keeping bytes around is modeled by skipping the fault-injected,
+//! latency-modeled read path entirely. A page enters the **cold** segment
+//! (FIFO probation) when some query's physical read verifies it, and is
+//! promoted to the **hot** segment (LRU) the first time *another* access
+//! references it — one-shot scan pages wash out of probation without ever
+//! displacing the genuinely hot working set, the 2Q/Second-Chance insight
+//! GoVector applies to vector pages.
+//!
+//! All methods take `&self`; one small mutex guards both segments. The
+//! buffer is consulted once per page miss, not per point, so this lock is
+//! orders of magnitude colder than the per-shard cache locks.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// Capacity split: 3/4 of the page budget for the hot LRU segment, the rest
+/// for cold probation (GoVector keeps probation small for the same reason
+/// 2Q does: it only needs to be deep enough to catch a re-reference).
+const HOT_SHARE_NUM: usize = 3;
+const HOT_SHARE_DEN: usize = 4;
+
+/// Shared hot/cold page-residency buffer. Capacity 0 disables it.
+#[derive(Debug)]
+pub struct HotPageBuffer {
+    inner: Mutex<HotCold>,
+}
+
+#[derive(Debug)]
+struct HotCold {
+    hot_capacity: usize,
+    cold_capacity: usize,
+    /// Hot segment: page → last-touch tick (lazy LRU; `hot_order` may hold
+    /// stale entries that are skipped at eviction time).
+    hot: HashMap<u64, u64>,
+    hot_order: VecDeque<(u64, u64)>,
+    /// Cold probation: strict FIFO.
+    cold: HashMap<u64, ()>,
+    cold_order: VecDeque<u64>,
+    tick: u64,
+}
+
+impl HotPageBuffer {
+    /// A buffer spanning at most `capacity_pages` pages across both
+    /// segments. `0` disables the buffer entirely (every probe misses).
+    pub fn new(capacity_pages: usize) -> Self {
+        let hot_capacity = if capacity_pages == 0 {
+            0
+        } else {
+            (capacity_pages * HOT_SHARE_NUM / HOT_SHARE_DEN).max(1)
+        };
+        let cold_capacity = capacity_pages.saturating_sub(hot_capacity);
+        Self {
+            inner: Mutex::new(HotCold {
+                hot_capacity,
+                cold_capacity,
+                hot: HashMap::new(),
+                hot_order: VecDeque::new(),
+                cold: HashMap::new(),
+                cold_order: VecDeque::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    /// Probe for `page`. A hit refreshes recency; a cold hit is the page's
+    /// re-reference and promotes it into the hot segment. Returns whether
+    /// the page is resident.
+    pub fn touch(&self, page: u64) -> bool {
+        let mut s = lock(&self.inner);
+        if s.hot_capacity == 0 {
+            return false;
+        }
+        s.tick += 1;
+        let tick = s.tick;
+        if let Some(last) = s.hot.get_mut(&page) {
+            *last = tick;
+            s.hot_order.push_back((page, tick));
+            s.compact_if_needed();
+            return true;
+        }
+        if s.cold.remove(&page).is_some() {
+            // Promotion on re-reference; the stale FIFO slot is skipped lazily.
+            s.insert_hot(page, tick);
+            return true;
+        }
+        false
+    }
+
+    /// Offer a page that a physical read just verified. New pages start in
+    /// cold probation; resident pages are left where they are (their next
+    /// touch handles recency).
+    pub fn admit(&self, page: u64) {
+        let mut s = lock(&self.inner);
+        if s.hot_capacity == 0 || s.hot.contains_key(&page) || s.cold.contains_key(&page) {
+            return;
+        }
+        if s.cold_capacity == 0 {
+            // Degenerate split (capacity 1): admit straight to hot.
+            s.tick += 1;
+            let tick = s.tick;
+            s.insert_hot(page, tick);
+            return;
+        }
+        while s.cold.len() >= s.cold_capacity {
+            match s.cold_order.pop_front() {
+                Some(victim) => {
+                    s.cold.remove(&victim); // may be a stale slot; harmless
+                }
+                None => break,
+            }
+        }
+        s.cold.insert(page, ());
+        s.cold_order.push_back(page);
+    }
+
+    /// Whether `page` is resident in either segment (no recency effect).
+    pub fn contains(&self, page: u64) -> bool {
+        let s = lock(&self.inner);
+        s.hot.contains_key(&page) || s.cold.contains_key(&page)
+    }
+
+    /// Resident pages in the hot segment.
+    pub fn hot_len(&self) -> usize {
+        lock(&self.inner).hot.len()
+    }
+
+    /// Resident pages in cold probation.
+    pub fn cold_len(&self) -> usize {
+        lock(&self.inner).cold.len()
+    }
+}
+
+impl HotCold {
+    fn insert_hot(&mut self, page: u64, tick: u64) {
+        while self.hot.len() >= self.hot_capacity {
+            if !self.evict_hot_lru() {
+                break;
+            }
+        }
+        self.hot.insert(page, tick);
+        self.hot_order.push_back((page, tick));
+        self.compact_if_needed();
+    }
+
+    /// Pop the true LRU entry, skipping stale order slots. Returns whether
+    /// something was evicted.
+    fn evict_hot_lru(&mut self) -> bool {
+        while let Some((page, tick)) = self.hot_order.pop_front() {
+            if self.hot.get(&page) == Some(&tick) {
+                self.hot.remove(&page);
+                return true;
+            }
+        }
+        // Order queue exhausted with live entries left (cannot happen unless
+        // compaction raced a touch); drop an arbitrary entry to make room.
+        if let Some(&page) = self.hot.keys().next() {
+            self.hot.remove(&page);
+            return true;
+        }
+        false
+    }
+
+    /// Bound the lazy queue: when stale slots dominate, rebuild it from the
+    /// live map in tick order.
+    fn compact_if_needed(&mut self) {
+        if self.hot_order.len() <= self.hot.len().max(16) * 4 {
+            return;
+        }
+        let mut live: Vec<(u64, u64)> = self.hot.iter().map(|(&p, &t)| (p, t)).collect();
+        live.sort_by_key(|&(_, t)| t);
+        self.hot_order = live.into();
+    }
+}
+
+fn lock(m: &Mutex<HotCold>) -> std::sync::MutexGuard<'_, HotCold> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_pages_need_a_rereference_to_survive() {
+        let b = HotPageBuffer::new(8); // hot 6, cold 2
+        b.admit(1);
+        b.admit(2);
+        assert!(b.contains(1) && b.contains(2));
+        // FIFO probation: admitting two more washes 1 and 2 out untouched.
+        b.admit(3);
+        b.admit(4);
+        assert!(!b.contains(1) && !b.contains(2));
+        assert_eq!(b.cold_len(), 2);
+    }
+
+    #[test]
+    fn rereference_promotes_to_hot_and_sticks() {
+        let b = HotPageBuffer::new(8); // hot 6, cold 2
+        b.admit(1);
+        assert!(b.touch(1), "cold page must hit");
+        assert_eq!(b.hot_len(), 1);
+        assert_eq!(b.cold_len(), 0);
+        // Probation churn no longer evicts the promoted page.
+        for p in 10..20 {
+            b.admit(p);
+        }
+        assert!(b.touch(1), "hot page survived the cold churn");
+    }
+
+    #[test]
+    fn hot_segment_evicts_lru() {
+        let b = HotPageBuffer::new(4); // hot 3, cold 1
+        for p in [1u64, 2, 3] {
+            b.admit(p);
+            assert!(b.touch(p)); // promote each
+        }
+        assert_eq!(b.hot_len(), 3);
+        // Refresh 1 and 3, then promote a fourth: 2 is the LRU victim.
+        assert!(b.touch(1));
+        assert!(b.touch(3));
+        b.admit(4);
+        assert!(b.touch(4));
+        assert!(!b.contains(2), "LRU hot page must be evicted");
+        assert!(b.contains(1) && b.contains(3) && b.contains(4));
+    }
+
+    #[test]
+    fn zero_capacity_disables_everything() {
+        let b = HotPageBuffer::new(0);
+        b.admit(1);
+        assert!(!b.touch(1));
+        assert!(!b.contains(1));
+        assert_eq!(b.hot_len() + b.cold_len(), 0);
+    }
+
+    #[test]
+    fn capacity_one_degenerates_to_single_hot_slot() {
+        let b = HotPageBuffer::new(1);
+        b.admit(1);
+        assert!(b.touch(1));
+        b.admit(2);
+        assert!(b.touch(2));
+        assert!(!b.contains(1));
+        assert_eq!(b.hot_len(), 1);
+    }
+
+    #[test]
+    fn lazy_queue_stays_bounded_under_touch_storms() {
+        let b = HotPageBuffer::new(8);
+        b.admit(1);
+        b.touch(1);
+        for _ in 0..10_000 {
+            assert!(b.touch(1));
+        }
+        let s = lock(&b.inner);
+        assert!(
+            s.hot_order.len() < 1000,
+            "stale-slot queue must be compacted, got {}",
+            s.hot_order.len()
+        );
+    }
+}

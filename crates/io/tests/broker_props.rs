@@ -1,0 +1,126 @@
+//! Property battery: the broker is outcome-invariant under concurrency.
+//!
+//! Randomized datasets, fault schedules (mixed classes, up to 30%), and
+//! look-ahead depths; several threads hammer overlapping queries through
+//! one shared [`FetchBroker`] and every per-query outcome — result ids,
+//! missing sets, fault-excluded counts — must be bit-identical to a
+//! single-threaded broker-less reference. This is the load-bearing
+//! property: fault rolls are pure functions of `(seed, class, page,
+//! attempt)`, so sharing pages across queries can never change what any
+//! individual query observes.
+
+use std::sync::{Arc, Barrier};
+
+use hc_cache::NoCache;
+use hc_core::dataset::{Dataset, PointId};
+use hc_index::CandidateIndex;
+use hc_io::FetchBroker;
+use hc_query::KnnEngine;
+use hc_storage::fault::{FaultConfig, FaultInjector};
+use hc_storage::point_file::PointFile;
+use hc_storage::PageStore;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 24;
+const DIM: usize = 256; // 4 points per 4 KiB page — queries overlap pages.
+const K: usize = 3;
+const QUERIES: usize = 4;
+
+struct ScanIndex;
+
+impl CandidateIndex for ScanIndex {
+    fn candidates(&self, _q: &[f32], _k: usize) -> Vec<PointId> {
+        (0..N as u32).map(PointId).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+}
+
+fn dataset(seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f32>> = (0..N)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    Dataset::from_rows(&rows)
+}
+
+fn queries(seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51ab_917e);
+    (0..QUERIES)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect()
+}
+
+/// `(sorted hit ids, sorted missing ids, fault_excluded)` per query.
+type Outcome = (Vec<PointId>, Vec<PointId>, usize);
+
+fn run_queries(store: &dyn PageStore, qs: &[Vec<f32>], lookahead: usize) -> Vec<Outcome> {
+    let index = ScanIndex;
+    let mut engine = KnnEngine::new(&index, store, Box::new(NoCache));
+    engine.lookahead = lookahead;
+    qs.iter()
+        .map(|q| {
+            let (ids, stats) = engine.query(q, K);
+            let mut missing = stats.missing.clone();
+            missing.sort_unstable_by_key(|p| p.0);
+            (ids, missing, stats.fault_excluded)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Concurrent queries through a shared broker — with coalescing, the
+    /// hot buffer, and look-ahead all in play — match the single-threaded
+    /// broker-less reference exactly, including which points went missing
+    /// under fault schedules up to 30%.
+    #[test]
+    fn concurrent_broker_matches_brokerless_reference(
+        seed in 0u64..512,
+        rate in 0.0f64..0.3,
+        lookahead in 0usize..6,
+        threads in 2usize..5,
+    ) {
+        let ds = dataset(seed);
+        let qs = queries(seed);
+        let config = FaultConfig::mixed(seed.wrapping_mul(2654435761), rate);
+
+        // Single-threaded, broker-less, no look-ahead: the legacy path.
+        let reference = {
+            let file = Arc::new(PointFile::new(ds.clone()));
+            let store = FaultInjector::new(file, config);
+            run_queries(&store, &qs, 0)
+        };
+
+        // Every thread runs the full query set through one shared broker,
+        // racing on the same pages.
+        let file = Arc::new(PointFile::new(ds));
+        let store: Arc<dyn PageStore> = Arc::new(FaultInjector::new(file, config));
+        let broker = Arc::new(FetchBroker::new(store));
+        let barrier = Arc::new(Barrier::new(threads));
+        let per_thread: Vec<Vec<Outcome>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let broker = Arc::clone(&broker);
+                    let barrier = Arc::clone(&barrier);
+                    let qs = &qs;
+                    s.spawn(move || {
+                        barrier.wait();
+                        run_queries(broker.as_ref(), qs, lookahead)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        });
+
+        for outcomes in &per_thread {
+            prop_assert_eq!(outcomes, &reference);
+        }
+        prop_assert_eq!(broker.inflight_len(), 0);
+    }
+}

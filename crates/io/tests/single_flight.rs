@@ -1,0 +1,254 @@
+//! Cross-query single-flight semantics under real concurrency.
+//!
+//! The broker's contract: concurrent first-attempt reads of one page
+//! collapse onto one physical fetch, waiters share the leader's outcome
+//! with the original [`StorageError`] class, and no waiter ever hangs —
+//! the error path is as shared as the success path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use hc_core::dataset::{Dataset, PointId};
+use hc_io::FetchBroker;
+use hc_storage::fault::{FaultConfig, FaultInjector};
+use hc_storage::point_file::{PageBuffer, PointFile};
+use hc_storage::{IoStats, PageStore, StorageError};
+
+/// Wrapper that stalls every *physical* read (page not yet in the query
+/// buffer) long enough for concurrent readers to pile onto the flight.
+struct SlowStore {
+    inner: Arc<dyn PageStore>,
+    hold: Duration,
+    physical_reads: AtomicUsize,
+}
+
+impl SlowStore {
+    fn new(inner: Arc<dyn PageStore>, hold: Duration) -> Self {
+        Self {
+            inner,
+            hold,
+            physical_reads: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl PageStore for SlowStore {
+    fn read_point<'s>(
+        &'s self,
+        id: PointId,
+        attempt: u32,
+        buffer: &mut PageBuffer,
+    ) -> Result<&'s [f32], StorageError> {
+        if !buffer.contains(self.inner.page_of(id)) {
+            self.physical_reads.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(self.hold);
+        }
+        self.inner.read_point(id, attempt, buffer)
+    }
+
+    fn begin_query(&self) -> PageBuffer {
+        self.inner.begin_query()
+    }
+
+    fn page_of(&self, id: PointId) -> u64 {
+        self.inner.page_of(id)
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+}
+
+fn one_point_per_page_file(points: usize) -> Arc<PointFile> {
+    // 1024-dim f32 = 4096 bytes = exactly one point per page.
+    let rows: Vec<Vec<f32>> = (0..points).map(|i| vec![i as f32; 1024]).collect();
+    Arc::new(PointFile::new(Dataset::from_rows(&rows)))
+}
+
+#[test]
+fn eight_concurrent_reads_of_one_page_coalesce_to_one_fetch() {
+    let file = one_point_per_page_file(4);
+    let slow = Arc::new(SlowStore::new(
+        Arc::clone(&file) as Arc<dyn PageStore>,
+        Duration::from_millis(300),
+    ));
+    let broker = Arc::new(FetchBroker::new(Arc::clone(&slow) as Arc<dyn PageStore>));
+
+    const READERS: usize = 8;
+    let barrier = Arc::new(Barrier::new(READERS));
+    std::thread::scope(|s| {
+        for _ in 0..READERS {
+            let broker = Arc::clone(&broker);
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                let mut buf = broker.begin_query();
+                barrier.wait();
+                let point = broker
+                    .read_point(PointId(1), 0, &mut buf)
+                    .expect("pristine store");
+                assert_eq!(point[0], 1.0, "every reader sees the page's bytes");
+            });
+        }
+    });
+
+    assert_eq!(
+        slow.physical_reads.load(Ordering::SeqCst),
+        1,
+        "one leader performs the only physical fetch"
+    );
+    assert_eq!(file.stats().pages_read(), 1);
+    assert_eq!(
+        file.stats().pages_coalesced() + file.stats().hot_hits(),
+        (READERS - 1) as u64,
+        "the other {} readers were served without device I/O",
+        READERS - 1
+    );
+    assert_eq!(broker.inflight_len(), 0, "no leaked flights");
+}
+
+#[test]
+fn sticky_unreadable_page_fails_every_coalesced_waiter_with_its_class() {
+    let file = one_point_per_page_file(6);
+    // Find a seed where exactly point 2's page is sticky-unreadable.
+    let seed = (0..u64::MAX)
+        .find(|&s| {
+            let inj = FaultInjector::new(
+                Arc::clone(&file),
+                FaultConfig {
+                    seed: s,
+                    unreadable_rate: 0.2,
+                    ..FaultConfig::none()
+                },
+            );
+            (0..6u32).all(|id| {
+                let mut b = PageStore::begin_query(&inj);
+                inj.read_point(PointId(id), 0, &mut b).is_err() == (id == 2)
+            })
+        })
+        .expect("some seed kills exactly page 2");
+    let inj: Arc<dyn PageStore> = Arc::new(FaultInjector::new(
+        Arc::clone(&file),
+        FaultConfig {
+            seed,
+            unreadable_rate: 0.2,
+            ..FaultConfig::none()
+        },
+    ));
+    let dead_page = inj.page_of(PointId(2));
+    let slow = Arc::new(SlowStore::new(inj, Duration::from_millis(300)));
+    let broker = Arc::new(FetchBroker::new(Arc::clone(&slow) as Arc<dyn PageStore>));
+
+    const READERS: usize = 8;
+    let barrier = Arc::new(Barrier::new(READERS));
+    let errors: Vec<StorageError> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..READERS)
+            .map(|_| {
+                let broker = Arc::clone(&broker);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let mut buf = broker.begin_query();
+                    barrier.wait();
+                    broker
+                        .read_point(PointId(2), 0, &mut buf)
+                        .expect_err("page 2 is sticky-unreadable")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+
+    // Every reader — leader and waiters alike — observed the original
+    // error class for the dead page. Nobody hung (the scope returned),
+    // nobody got a fabricated error, and nobody silently succeeded.
+    assert_eq!(errors.len(), READERS);
+    for e in &errors {
+        assert_eq!(*e, StorageError::Unreadable { page: dead_page });
+    }
+    // Failures are never admitted to the hot buffer, so later readers
+    // re-probe the device honestly rather than trusting a bad page.
+    assert_eq!(file.stats().hot_hits(), 0);
+    assert_eq!(
+        slow.physical_reads.load(Ordering::SeqCst) as u64 + file.stats().pages_coalesced(),
+        READERS as u64,
+        "every read either went physical or was coalesced"
+    );
+    assert!(
+        file.stats().pages_coalesced() >= 1,
+        "the stall window must have coalesced at least one waiter"
+    );
+    assert_eq!(broker.inflight_len(), 0, "failed flights are reaped too");
+}
+
+#[test]
+fn transient_fault_coalesces_the_failure_then_each_retry_cures_itself() {
+    let file = one_point_per_page_file(6);
+    // Seed where point 3's page fails transiently at attempt 0 and cures on
+    // attempt 1 (checked below by performing the retry).
+    let seed = (0..u64::MAX)
+        .find(|&s| {
+            let inj = FaultInjector::new(
+                Arc::clone(&file),
+                FaultConfig {
+                    seed: s,
+                    transient_rate: 0.3,
+                    ..FaultConfig::none()
+                },
+            );
+            let mut b = PageStore::begin_query(&inj);
+            let first = inj.read_point(PointId(3), 0, &mut b).is_err();
+            let mut b2 = PageStore::begin_query(&inj);
+            let cured = inj.read_point(PointId(3), 1, &mut b2).is_ok();
+            first && cured
+        })
+        .expect("some seed fails attempt 0 and cures attempt 1");
+    let inj: Arc<dyn PageStore> = Arc::new(FaultInjector::new(
+        Arc::clone(&file),
+        FaultConfig {
+            seed,
+            transient_rate: 0.3,
+            ..FaultConfig::none()
+        },
+    ));
+    let slow = Arc::new(SlowStore::new(inj, Duration::from_millis(200)));
+    let broker = Arc::new(FetchBroker::new(Arc::clone(&slow) as Arc<dyn PageStore>));
+
+    const READERS: usize = 4;
+    let barrier = Arc::new(Barrier::new(READERS));
+    std::thread::scope(|s| {
+        for _ in 0..READERS {
+            let broker = Arc::clone(&broker);
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                let mut buf = broker.begin_query();
+                barrier.wait();
+                // Attempt 0 fails (coalesced or leader — same error); the
+                // retry bypasses single-flight and cures independently.
+                let e = broker
+                    .read_point(PointId(3), 0, &mut buf)
+                    .expect_err("attempt 0 rolls the transient fault");
+                assert!(e.is_transient());
+                let point = broker
+                    .read_point(PointId(3), 1, &mut buf)
+                    .expect("attempt 1 cures");
+                assert_eq!(point[0], 3.0);
+            });
+        }
+    });
+    assert_eq!(broker.inflight_len(), 0);
+}

@@ -72,6 +72,13 @@ pub struct QueryStats {
     /// Unreadable candidates proven irrelevant by their cached lower bound —
     /// losses absorbed without degrading the result (DESIGN.md §10).
     pub fault_excluded: usize,
+    /// Pages submitted ahead of need by look-ahead batching (DESIGN.md §16).
+    pub lookahead_issued: usize,
+    /// Prefetched pages never consumed before the stopping rule fired.
+    pub lookahead_wasted: usize,
+    /// Refinement fetch batches (look-ahead packs the same pages into fewer
+    /// batches; equal to the page-missing fetch steps when look-ahead is 0).
+    pub io_batches: u64,
 }
 
 impl QueryStats {
@@ -129,6 +136,12 @@ pub struct AggregateStats {
     pub avg_pages_retried: f64,
     /// Queries that returned a degraded (explicitly incomplete) result.
     pub degraded_queries: usize,
+    /// Mean look-ahead pages issued per query (0 with look-ahead off).
+    pub avg_lookahead_issued: f64,
+    /// Mean prefetched-but-unconsumed pages per query.
+    pub avg_lookahead_wasted: f64,
+    /// Mean refinement fetch batches per query.
+    pub avg_io_batches: f64,
 }
 
 impl AggregateStats {
@@ -152,6 +165,9 @@ impl AggregateStats {
             agg.avg_response_secs += s.modeled_response_secs() / n;
             agg.avg_pages_retried += s.pages_retried as f64 / n;
             agg.degraded_queries += usize::from(s.is_degraded());
+            agg.avg_lookahead_issued += s.lookahead_issued as f64 / n;
+            agg.avg_lookahead_wasted += s.lookahead_wasted as f64 / n;
+            agg.avg_io_batches += s.io_batches as f64 / n;
         }
         agg
     }
@@ -183,6 +199,11 @@ pub struct KnnEngine<'a> {
     /// Time source for backoff waits (default: the wall clock). Swap in a
     /// `SimulatedClock` to make nonzero-base policies free under test.
     pub clock: std::sync::Arc<dyn Clock>,
+    /// Look-ahead depth for refinement: pages of the next `lookahead`
+    /// lb-ordered candidates are submitted with each fetch batch. 0 (the
+    /// default) is the classic one-page-per-step refiner; results are
+    /// bit-identical for every depth (DESIGN.md §16).
+    pub lookahead: usize,
     /// Metric handles; [`QueryObs::noop`] until [`KnnEngine::bind_obs`].
     pub obs: QueryObs,
     /// `retry.*` telemetry; inert until bound.
@@ -203,9 +224,16 @@ impl<'a> KnnEngine<'a> {
             eager_refetch: false,
             retry: RetryPolicy::default(),
             clock: std::sync::Arc::new(RealClock),
+            lookahead: 0,
             obs: QueryObs::noop(),
             retry_obs: RetryObs::new(),
         }
+    }
+
+    /// Set the refinement look-ahead depth (0 disables batching).
+    pub fn with_lookahead(mut self, lookahead: usize) -> Self {
+        self.lookahead = lookahead;
+        self
     }
 
     /// Enable the footnote-6 eager-refetch optimization.
@@ -364,10 +392,14 @@ impl<'a> KnnEngine<'a> {
                 &self.retry,
                 &self.retry_obs,
                 self.clock.as_ref(),
+                self.lookahead,
             );
             stats.fetched += outcome.fetched;
             stats.missing = outcome.missing;
             stats.fault_excluded = outcome.excluded_by_bounds;
+            stats.lookahead_issued = outcome.lookahead_issued;
+            stats.lookahead_wasted = outcome.lookahead_wasted;
+            stats.io_batches = outcome.io_batches;
             results.extend(outcome.results.into_iter().map(|(id, _)| id));
         }
         let io_delta = self.file.stats().snapshot().delta_since(io_before);
@@ -586,6 +618,9 @@ mod tests {
             missing: vec![PointId(7)],
             pages_retried: 2,
             fault_excluded: 1,
+            lookahead_issued: 4,
+            lookahead_wasted: 1,
+            io_batches: 6,
         };
         let agg = AggregateStats::from_queries(std::slice::from_ref(&s));
         assert_eq!(agg.queries, 1);

@@ -14,6 +14,22 @@
 //! its cached lower bound (`lb ≥ d_k` — the bound the compact cache kept for
 //! exactly this moment) or reported in [`RefineOutcome::missing`], making the
 //! result explicitly degraded rather than silently wrong (DESIGN.md §10).
+//!
+//! ## Look-ahead batching (DESIGN.md §16)
+//!
+//! With `lookahead = m > 0`, each refinement step submits the pages of the
+//! next `m` lb-ordered candidates together with the current candidate's —
+//! one *batch* per step instead of one page per step, so a batch-aware
+//! device (or a coalescing broker underneath) amortizes per-request cost.
+//! Prefetching is **outcome-invariant**: it never touches the result heap,
+//! the stopping rule, or cache admission order, and the fault schedule is a
+//! pure function of `(page, attempt)` — a prefetched page succeeds or fails
+//! exactly as the evaluation read would have. A failed prefetch is recorded
+//! and replayed at evaluation time (same [`StorageError`] the evaluation
+//! ladder would have produced) rather than re-running the retry ladder, so
+//! retries are not double-counted. Pages fetched ahead but never consumed —
+//! the stopping rule fired first — are counted as *wasted* look-ahead, the
+//! price of batching that `storage.io.lookahead_wasted` keeps honest.
 
 use hc_core::dataset::PointId;
 use hc_core::distance::{euclidean, DistEntry};
@@ -62,6 +78,16 @@ pub struct RefineOutcome {
     /// distance, so losing their page lost no information. These do not
     /// degrade the result.
     pub excluded_by_bounds: usize,
+    /// Pages submitted ahead of need by look-ahead batching.
+    pub lookahead_issued: usize,
+    /// Prefetched pages never consumed by an evaluated candidate (the
+    /// stopping rule fired first) — wasted device work.
+    pub lookahead_wasted: usize,
+    /// Fetch batches submitted: steps that performed at least one page read
+    /// (own page or prefetch). With `lookahead = 0` this equals the number
+    /// of page-missing fetch steps; larger look-ahead packs the same pages
+    /// into fewer batches.
+    pub io_batches: u64,
 }
 
 impl RefineOutcome {
@@ -77,7 +103,10 @@ impl RefineOutcome {
 ///
 /// Fetched points are offered to `cache` for admission (dynamic policies).
 /// Reads go through `retry`; unreadable candidates degrade per the module
-/// docs instead of failing the query.
+/// docs instead of failing the query. `lookahead` is the number of upcoming
+/// candidates whose pages are submitted together with each evaluation (0
+/// reduces exactly to the classic one-page-per-step refiner; see the module
+/// docs for the outcome-invariance argument).
 #[allow(clippy::too_many_arguments)]
 pub fn multistep_refine(
     store: &dyn PageStore,
@@ -90,6 +119,7 @@ pub fn multistep_refine(
     retry: &RetryPolicy,
     retry_obs: &RetryObs,
     clock: &dyn Clock,
+    lookahead: usize,
 ) -> RefineOutcome {
     assert!(k >= 1);
     // Max-heap of current best k (top = worst of the best).
@@ -106,14 +136,51 @@ pub fn multistep_refine(
 
     let mut fetched = 0usize;
     let mut deferred: Vec<Pending> = Vec::new();
-    for cand in pending {
+    // Pages whose prefetch exhausted retries, with the error the evaluation
+    // ladder would have produced (deterministic schedule ⇒ identical).
+    let mut prefetch_failed: std::collections::HashMap<u64, hc_storage::StorageError> =
+        std::collections::HashMap::new();
+    // Prefetched pages not yet consumed by an evaluated candidate.
+    let mut ahead: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut lookahead_issued = 0usize;
+    let mut io_batches = 0u64;
+    for i in 0..pending.len() {
+        let cand = pending[i];
         if best.len() >= k {
             let dk = best.peek().expect("len >= k").dist;
             if cand.lb >= dk {
                 break; // optimal stopping: no later candidate can qualify
             }
         }
-        match retry.fetch_with(store, cand.id, buffer, retry_obs, clock) {
+        let page = store.page_of(cand.id);
+        // One batch per step: the current candidate's page (if it still
+        // needs I/O) plus the next `lookahead` candidates' pages.
+        let mut batch_pages = 0u64;
+        if !buffer.contains(page) && !prefetch_failed.contains_key(&page) {
+            batch_pages += 1;
+        }
+        for next in pending.iter().skip(i + 1).take(lookahead) {
+            let p = store.page_of(next.id);
+            if buffer.contains(p) || prefetch_failed.contains_key(&p) {
+                continue;
+            }
+            lookahead_issued += 1;
+            store.stats().record_lookahead_issued();
+            batch_pages += 1;
+            ahead.insert(p);
+            if let Err(e) = retry.fetch_with(store, next.id, buffer, retry_obs, clock) {
+                prefetch_failed.insert(p, e);
+            }
+        }
+        if batch_pages > 0 {
+            io_batches += 1;
+        }
+        ahead.remove(&page);
+        let read = match prefetch_failed.get(&page) {
+            Some(&e) => Err(e),
+            None => retry.fetch_with(store, cand.id, buffer, retry_obs, clock),
+        };
+        match read {
             Ok(point) => {
                 fetched += 1;
                 let d = euclidean(q, point);
@@ -129,6 +196,10 @@ pub fn multistep_refine(
             }
         }
     }
+    let lookahead_wasted = ahead.len();
+    store
+        .stats()
+        .record_lookahead_wasted(lookahead_wasted as u64);
 
     let mut missing = Vec::new();
     let mut excluded_by_bounds = 0usize;
@@ -150,6 +221,9 @@ pub fn multistep_refine(
         fetched,
         missing,
         excluded_by_bounds,
+        lookahead_issued,
+        lookahead_wasted,
+        io_batches,
     }
 }
 
@@ -197,6 +271,17 @@ mod tests {
         known: &[(PointId, f64)],
         pending: Vec<Pending>,
     ) -> RefineOutcome {
+        refine_ahead(store, q, k, known, pending, 0)
+    }
+
+    fn refine_ahead(
+        store: &dyn PageStore,
+        q: &[f32],
+        k: usize,
+        known: &[(PointId, f64)],
+        pending: Vec<Pending>,
+        lookahead: usize,
+    ) -> RefineOutcome {
         let mut buf = store.begin_query();
         multistep_refine(
             store,
@@ -209,6 +294,7 @@ mod tests {
             &RetryPolicy::default(),
             &RetryObs::new(),
             &hc_storage::clock::RealClock,
+            lookahead,
         )
     }
 
@@ -475,5 +561,96 @@ mod tests {
         // (best.len() < k ⇒ no bound can exclude anything).
         assert_eq!(out.results.len(), 1);
         assert_eq!(out.missing, vec![PointId(1), PointId(2)]);
+    }
+
+    #[test]
+    fn full_lookahead_packs_the_scan_into_one_batch() {
+        // One point per page; zero bounds force a full scan. With look-ahead
+        // covering the whole pending list, every page is submitted in the
+        // first step's batch and all later steps find their page buffered.
+        let ds = Dataset::from_rows(
+            &(0..6)
+                .map(|i| vec![(i * 10) as f32; 1024])
+                .collect::<Vec<_>>(),
+        );
+        let f = PointFile::new(ds);
+        let pending: Vec<Pending> = (0..6u32).map(|i| pend(i, 0.0)).collect();
+        let flat = refine_ahead(&f, [12.0f32; 1024].as_slice(), 2, &[], pending.clone(), 0);
+        assert_eq!(flat.io_batches, 6, "no look-ahead: one batch per page");
+        assert_eq!(flat.lookahead_issued, 0);
+
+        let batched = refine_ahead(&f, [12.0f32; 1024].as_slice(), 2, &[], pending, 8);
+        assert_eq!(batched.io_batches, 1, "full look-ahead: a single batch");
+        assert_eq!(batched.lookahead_issued, 5);
+        assert_eq!(
+            batched.lookahead_wasted, 0,
+            "full scan consumes every prefetch"
+        );
+        assert_eq!(
+            batched.results, flat.results,
+            "batching must not change results"
+        );
+        assert_eq!(f.stats().lookahead_issued(), 5);
+    }
+
+    #[test]
+    fn early_stop_counts_unconsumed_prefetches_as_wasted() {
+        let ds = Dataset::from_rows(
+            &(0..6)
+                .map(|i| vec![(i * 10) as f32; 1024])
+                .collect::<Vec<_>>(),
+        );
+        let f = PointFile::new(ds);
+        // Candidate 0 is exact-best; the rest carry bounds far past its
+        // distance, so the stopping rule fires right after step 0 — the
+        // three pages prefetched alongside it are pure waste.
+        let mut pending = vec![pend(0, 0.0)];
+        pending.extend((1..6u32).map(|i| pend(i, 1e6)));
+        let out = refine_ahead(&f, [0.0f32; 1024].as_slice(), 1, &[], pending, 3);
+        assert_eq!(out.results[0].0, PointId(0));
+        assert_eq!(out.lookahead_issued, 3);
+        assert_eq!(out.lookahead_wasted, 3);
+        assert_eq!(f.stats().lookahead_wasted(), 3);
+        // 1 own page + 3 prefetched: waste shows up in physical reads too.
+        assert_eq!(f.stats().pages_read(), 4);
+    }
+
+    #[test]
+    fn lookahead_is_outcome_invariant_under_mixed_faults() {
+        // The module-docs claim, checked head-on: for the same fault
+        // schedule, every look-ahead depth yields bit-identical results,
+        // missing sets, and bound exclusions — faults roll per
+        // (page, attempt), so a prefetch observes exactly what the
+        // evaluation read would have.
+        let ds = Dataset::from_rows(
+            &(0..12)
+                .map(|i| vec![(i * 7) as f32; 1024])
+                .collect::<Vec<_>>(),
+        );
+        let f = Arc::new(PointFile::new(ds));
+        for seed in [3u64, 17, 4242] {
+            let inj = FaultInjector::new(Arc::clone(&f), FaultConfig::mixed(seed, 0.3));
+            let queries: [&[f32]; 3] = [&[5.0; 1024], &[40.0; 1024], &[80.0; 1024]];
+            for q in queries {
+                let pending: Vec<Pending> = (0..12u32)
+                    .map(|i| {
+                        pend(
+                            i,
+                            ((i as f64) * 7.0 * 32.0 - q[0] as f64 * 32.0).abs() * 0.5,
+                        )
+                    })
+                    .collect();
+                let baseline = refine_ahead(&inj, q, 3, &[], pending.clone(), 0);
+                for m in [1usize, 2, 5, 16] {
+                    let out = refine_ahead(&inj, q, 3, &[], pending.clone(), m);
+                    assert_eq!(out.results, baseline.results, "seed {seed} m {m}");
+                    assert_eq!(out.missing, baseline.missing, "seed {seed} m {m}");
+                    assert_eq!(
+                        out.excluded_by_bounds, baseline.excluded_by_bounds,
+                        "seed {seed} m {m}"
+                    );
+                }
+            }
+        }
     }
 }

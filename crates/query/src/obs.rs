@@ -321,6 +321,9 @@ mod tests {
             missing: Vec::new(),
             pages_retried: 0,
             fault_excluded: 0,
+            lookahead_issued: 0,
+            lookahead_wasted: 0,
+            io_batches: 0,
         }
     }
 

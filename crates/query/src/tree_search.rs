@@ -78,6 +78,10 @@ pub struct TreeQueryStats {
     /// Points whose read failed but whose lower bound proved they could not
     /// be results — the answer stays exact despite the fault.
     pub fault_excluded: usize,
+    /// Pages submitted ahead of need by the deferred pass's look-ahead.
+    pub lookahead_issued: u64,
+    /// Prefetched pages never consumed before the stopping rule fired.
+    pub lookahead_wasted: u64,
     /// CPU time of the leaf-bound computation phase.
     pub bounds_cpu: Duration,
     /// CPU time of the traversal phase.
@@ -115,6 +119,11 @@ pub struct TreeSearchEngine<'a> {
     pub io_model: IoModel,
     retry: RetryPolicy,
     clock: Arc<dyn Clock>,
+    /// Look-ahead depth of the deferred multi-step pass: pages of the next
+    /// `lookahead` lb-ordered deferred candidates are prefetched alongside
+    /// each evaluation. 0 (the default) disables it; results are identical
+    /// for every depth (DESIGN.md §16).
+    lookahead: usize,
     obs: TreeQueryObs,
     retry_obs: RetryObs,
 }
@@ -134,6 +143,7 @@ impl<'a> TreeSearchEngine<'a> {
             io_model: IoModel::HDD,
             retry: RetryPolicy::default(),
             clock: Arc::new(RealClock),
+            lookahead: 0,
             obs: TreeQueryObs::noop(),
             retry_obs: RetryObs::new(),
         }
@@ -142,6 +152,12 @@ impl<'a> TreeSearchEngine<'a> {
     /// Override the retry policy (default: [`RetryPolicy::default`]).
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Set the deferred-pass look-ahead depth (0 disables it).
+    pub fn with_lookahead(mut self, lookahead: usize) -> Self {
+        self.lookahead = lookahead;
         self
     }
 
@@ -274,7 +290,14 @@ impl<'a> TreeSearchEngine<'a> {
         // exact distance.
         stats.deferred = deferred.len();
         deferred.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
-        for (id, lb) in deferred {
+        // Look-ahead bookkeeping (DESIGN.md §16): pages whose prefetch
+        // exhausted its retries (the deterministic schedule means any later
+        // read of the page fails identically, so it is never re-issued), and
+        // prefetched pages not yet consumed by a leaf sweep or evaluation.
+        let mut prefetch_failed: HashSet<u64> = HashSet::new();
+        let mut ahead: HashSet<u64> = HashSet::new();
+        for i in 0..deferred.len() {
+            let (id, lb) = deferred[i];
             let dk = if best.len() < k {
                 f64::INFINITY
             } else {
@@ -282,6 +305,31 @@ impl<'a> TreeSearchEngine<'a> {
             };
             if lb >= dk {
                 break;
+            }
+            // Submit the next candidates' pages with this step's batch; a
+            // prefetch never touches the heap or the stopping rule, so the
+            // evaluated set and the results are unchanged for any depth.
+            for &(nid, _) in deferred.iter().skip(i + 1).take(self.lookahead) {
+                let p = self.store.page_of(nid);
+                if buffer.contains(p) || prefetch_failed.contains(&p) {
+                    continue;
+                }
+                stats.lookahead_issued += 1;
+                self.store.stats().record_lookahead_issued();
+                ahead.insert(p);
+                if self
+                    .retry
+                    .fetch_with(
+                        self.store,
+                        nid,
+                        &mut buffer,
+                        &self.retry_obs,
+                        self.clock.as_ref(),
+                    )
+                    .is_err()
+                {
+                    prefetch_failed.insert(p);
+                }
             }
             let leaf = self.index.leaf_of(id);
             if fetched.insert(leaf) {
@@ -291,6 +339,15 @@ impl<'a> TreeSearchEngine<'a> {
                 let mut members: Vec<&[f32]> = Vec::with_capacity(pts.len());
                 let mut all_ok = true;
                 for p in pts {
+                    let page = self.store.page_of(*p);
+                    ahead.remove(&page);
+                    if prefetch_failed.contains(&page) {
+                        // The prefetch already ran the full retry ladder on
+                        // this page and lost; re-rolling it would fail the
+                        // same way and double-count the retries.
+                        all_ok = false;
+                        continue;
+                    }
                     match self.retry.fetch_with(
                         self.store,
                         *p,
@@ -310,6 +367,12 @@ impl<'a> TreeSearchEngine<'a> {
             // read above reached it; the faults are deterministic, so a page
             // that failed the sweep fails here too and the candidate is
             // judged by its compact lower bound at the end).
+            let page = self.store.page_of(id);
+            ahead.remove(&page);
+            if prefetch_failed.contains(&page) {
+                dead.push((id, lb));
+                continue;
+            }
             match self.retry.fetch_with(
                 self.store,
                 id,
@@ -321,6 +384,10 @@ impl<'a> TreeSearchEngine<'a> {
                 Err(_) => dead.push((id, lb)),
             }
         }
+        stats.lookahead_wasted = ahead.len() as u64;
+        self.store
+            .stats()
+            .record_lookahead_wasted(stats.lookahead_wasted);
 
         // Judge the dead candidates against the final k-th exact distance:
         // a failed read is only allowed to disappear from the answer if its
@@ -518,6 +585,42 @@ mod tests {
             cached_io < bare_io,
             "compact node cache should cut I/O: {cached_io} vs {bare_io}"
         );
+    }
+
+    #[test]
+    fn deferred_lookahead_is_outcome_invariant_under_faults() {
+        // 256-dim points → 4 per page, so prefetches actually cross pages.
+        // For each fault schedule, every look-ahead depth must produce the
+        // same results, missing sets, and bound exclusions as depth 0.
+        let ds = dataset(200, 256, 11);
+        let idx = VpTree::build(&ds, 8, 11);
+        let f = Arc::new(PointFile::new(ds.clone()));
+        let run = |lookahead: usize, seed: u64| {
+            let mut cache = CompactNodeCache::new(scheme(&ds), usize::MAX / 2);
+            for leaf in 0..idx.num_leaves() {
+                let pts: Vec<&[f32]> = idx.leaf_points(leaf).iter().map(|p| ds.point(*p)).collect();
+                assert!(cache.try_fill(leaf, pts.into_iter()));
+            }
+            let inj = FaultInjector::new(Arc::clone(&f), FaultConfig::mixed(seed, 0.25));
+            let engine = TreeSearchEngine::new(&idx, &ds, &inj, &cache).with_lookahead(lookahead);
+            let mut out = Vec::new();
+            let mut issued = 0u64;
+            for qi in [10usize, 99, 180] {
+                let q = ds.point(PointId::from(qi)).to_vec();
+                let (res, st) = engine.query(&q, 5);
+                issued += st.lookahead_issued;
+                out.push((res, st.missing, st.fault_excluded));
+            }
+            (out, issued)
+        };
+        for seed in [1u64, 9] {
+            let (base, base_issued) = run(0, seed);
+            assert_eq!(base_issued, 0, "depth 0 must not prefetch");
+            for m in [1usize, 3, 8] {
+                let (got, _) = run(m, seed);
+                assert_eq!(got, base, "seed {seed} depth {m}");
+            }
+        }
     }
 
     #[test]

@@ -72,6 +72,11 @@ pub struct ServeConfig {
     /// Enable the footnote-6 eager refetch in every worker engine.
     /// (Point backend only; the tree path has no eager refetch.)
     pub eager_refetch: bool,
+    /// Refinement look-ahead depth installed in every worker engine
+    /// (DESIGN.md §16): pages of the next `lookahead` lb-ordered candidates
+    /// are submitted with each fetch batch. 0 disables batching; results
+    /// are identical for every depth.
+    pub lookahead: usize,
     /// Storage retry policy installed in every worker engine.
     pub retry: RetryPolicy,
     /// Clock the retry backoff sleeps on. [`RealClock`] in production; tests
@@ -97,6 +102,7 @@ impl Default for ServeConfig {
             io_model: IoModel::SSD,
             simulate_io_scale: None,
             eager_refetch: false,
+            lookahead: 0,
             retry: RetryPolicy::default(),
             clock: Arc::new(RealClock),
             sampler: None,
@@ -765,6 +771,7 @@ fn build_engine<'a>(
             let mut engine = parts.engine(Box::new(SharedPointCache::new(Arc::clone(cache))));
             engine.io_model = config.io_model;
             engine.eager_refetch = config.eager_refetch;
+            engine.lookahead = config.lookahead;
             engine.retry = config.retry;
             engine.clock = Arc::clone(&config.clock);
             // Traces are recorded once, at the serving layer, with full
@@ -780,7 +787,8 @@ fn build_engine<'a>(
             let mut engine = parts
                 .engine(adapter)
                 .with_retry(config.retry)
-                .with_clock(Arc::clone(&config.clock));
+                .with_clock(Arc::clone(&config.clock))
+                .with_lookahead(config.lookahead);
             engine.io_model = config.io_model;
             engine.bind_obs_labeled(registry, &format!("worker{worker_id}"));
             WorkerEngine::Tree(engine)

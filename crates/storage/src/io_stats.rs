@@ -27,6 +27,10 @@ struct IoMirror {
     points_fetched: Counter,
     pages_deduped: Counter,
     pages_retried: Counter,
+    pages_coalesced: Counter,
+    hot_hits: Counter,
+    lookahead_issued: Counter,
+    lookahead_wasted: Counter,
 }
 
 /// Monotone counters of simulated disk activity. Cloneable snapshots allow
@@ -37,6 +41,10 @@ pub struct IoStats {
     points_fetched: AtomicU64,
     pages_deduped: AtomicU64,
     pages_retried: AtomicU64,
+    pages_coalesced: AtomicU64,
+    hot_hits: AtomicU64,
+    lookahead_issued: AtomicU64,
+    lookahead_wasted: AtomicU64,
     mirror: OnceLock<IoMirror>,
 }
 
@@ -61,6 +69,10 @@ impl IoStats {
             points_fetched: registry.counter("storage.points_fetched"),
             pages_deduped: registry.counter("storage.pages_deduped"),
             pages_retried: registry.counter("storage.pages_retried"),
+            pages_coalesced: registry.counter("storage.io.pages_coalesced"),
+            hot_hits: registry.counter("storage.io.hot_hits"),
+            lookahead_issued: registry.counter("storage.io.lookahead_issued"),
+            lookahead_wasted: registry.counter("storage.io.lookahead_wasted"),
         });
     }
 
@@ -105,6 +117,52 @@ impl IoStats {
         }
     }
 
+    /// Record a page access satisfied by joining another query's in-flight
+    /// fetch (single-flight coalescing in a fetch broker). Like a dedup, the
+    /// waiter paid no physical I/O of its own — the leader's read is the one
+    /// counted in `pages_read`. Coalesced waits on the *error* path count
+    /// here too: the shared failure replaced a physical attempt.
+    #[inline]
+    pub fn record_page_coalesced(&self) {
+        self.pages_coalesced.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.mirror.get() {
+            m.pages_coalesced.inc();
+        }
+    }
+
+    /// Record a page access served by a shared hot-page buffer without
+    /// touching the store. Never double-counted as a point-cache hit — the
+    /// `cache.*` series belong to the distance caches, this is page-level.
+    #[inline]
+    pub fn record_hot_hit(&self) {
+        self.hot_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.mirror.get() {
+            m.hot_hits.inc();
+        }
+    }
+
+    /// Record one page prefetched ahead of need by look-ahead refinement.
+    #[inline]
+    pub fn record_lookahead_issued(&self) {
+        self.lookahead_issued.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.mirror.get() {
+            m.lookahead_issued.inc();
+        }
+    }
+
+    /// Record `n` look-ahead pages that no evaluated candidate ever used
+    /// (the stopping rule fired first) — the tunable waste of the policy.
+    #[inline]
+    pub fn record_lookahead_wasted(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.lookahead_wasted.fetch_add(n, Ordering::Relaxed);
+        if let Some(m) = self.mirror.get() {
+            m.lookahead_wasted.add(n);
+        }
+    }
+
     /// Total pages read so far.
     #[inline]
     pub fn pages_read(&self) -> u64 {
@@ -132,6 +190,30 @@ impl IoStats {
         self.pages_retried.load(Ordering::Relaxed)
     }
 
+    /// Total page accesses absorbed by cross-query single-flight coalescing.
+    #[inline]
+    pub fn pages_coalesced(&self) -> u64 {
+        self.pages_coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Total page accesses served by a shared hot-page buffer.
+    #[inline]
+    pub fn hot_hits(&self) -> u64 {
+        self.hot_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total pages prefetched ahead of need by look-ahead refinement.
+    #[inline]
+    pub fn lookahead_issued(&self) -> u64 {
+        self.lookahead_issued.load(Ordering::Relaxed)
+    }
+
+    /// Total look-ahead pages never used by an evaluated candidate.
+    #[inline]
+    pub fn lookahead_wasted(&self) -> u64 {
+        self.lookahead_wasted.load(Ordering::Relaxed)
+    }
+
     /// An immutable snapshot for delta computation.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -139,6 +221,10 @@ impl IoStats {
             points_fetched: self.points_fetched(),
             pages_deduped: self.pages_deduped(),
             pages_retried: self.pages_retried(),
+            pages_coalesced: self.pages_coalesced(),
+            hot_hits: self.hot_hits(),
+            lookahead_issued: self.lookahead_issued(),
+            lookahead_wasted: self.lookahead_wasted(),
         }
     }
 
@@ -148,6 +234,10 @@ impl IoStats {
         self.points_fetched.store(0, Ordering::Relaxed);
         self.pages_deduped.store(0, Ordering::Relaxed);
         self.pages_retried.store(0, Ordering::Relaxed);
+        self.pages_coalesced.store(0, Ordering::Relaxed);
+        self.hot_hits.store(0, Ordering::Relaxed);
+        self.lookahead_issued.store(0, Ordering::Relaxed);
+        self.lookahead_wasted.store(0, Ordering::Relaxed);
     }
 }
 
@@ -158,6 +248,10 @@ pub struct IoSnapshot {
     pub points_fetched: u64,
     pub pages_deduped: u64,
     pub pages_retried: u64,
+    pub pages_coalesced: u64,
+    pub hot_hits: u64,
+    pub lookahead_issued: u64,
+    pub lookahead_wasted: u64,
 }
 
 impl IoSnapshot {
@@ -168,6 +262,10 @@ impl IoSnapshot {
             points_fetched: self.points_fetched - earlier.points_fetched,
             pages_deduped: self.pages_deduped - earlier.pages_deduped,
             pages_retried: self.pages_retried - earlier.pages_retried,
+            pages_coalesced: self.pages_coalesced - earlier.pages_coalesced,
+            hot_hits: self.hot_hits - earlier.hot_hits,
+            lookahead_issued: self.lookahead_issued - earlier.lookahead_issued,
+            lookahead_wasted: self.lookahead_wasted - earlier.lookahead_wasted,
         }
     }
 
@@ -313,6 +411,39 @@ mod tests {
         );
         s.reset();
         assert_eq!(s.pages_retried(), 0, "reset left pages_retried stale");
+    }
+
+    #[test]
+    fn broker_counters_accumulate_mirror_and_reset() {
+        let registry = MetricsRegistry::new();
+        let s = IoStats::new();
+        s.bind(&registry);
+        s.record_page_coalesced();
+        s.record_page_coalesced();
+        s.record_hot_hit();
+        s.record_lookahead_issued();
+        s.record_lookahead_issued();
+        s.record_lookahead_issued();
+        s.record_lookahead_wasted(2);
+        s.record_lookahead_wasted(0); // no-op, must not touch the mirror
+        assert_eq!(s.pages_coalesced(), 2);
+        assert_eq!(s.hot_hits(), 1);
+        assert_eq!(s.lookahead_issued(), 3);
+        assert_eq!(s.lookahead_wasted(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("storage.io.pages_coalesced"), Some(2));
+        assert_eq!(snap.counter("storage.io.hot_hits"), Some(1));
+        assert_eq!(snap.counter("storage.io.lookahead_issued"), Some(3));
+        assert_eq!(snap.counter("storage.io.lookahead_wasted"), Some(2));
+        let a = s.snapshot();
+        s.record_page_coalesced();
+        s.record_hot_hit();
+        let d = s.snapshot().delta_since(a);
+        assert_eq!(d.pages_coalesced, 1);
+        assert_eq!(d.hot_hits, 1);
+        assert_eq!(d.lookahead_issued, 0);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
     }
 
     #[test]

@@ -281,6 +281,16 @@ impl PageBuffer {
     pub fn contains(&self, page: u64) -> bool {
         self.pages.contains(&page)
     }
+
+    /// Mark `page` as resident without a read through this buffer. For
+    /// shared-buffer layers above the store (a fetch broker's hot-page
+    /// buffer or a coalesced in-flight fetch): the page's bytes were already
+    /// checksum-verified by the physical read that admitted it, so the
+    /// invariant that buffered pages never fail is preserved. Reads of a
+    /// marked page are served as within-query dedups.
+    pub fn mark_buffered(&mut self, page: u64) {
+        self.pages.insert(page);
+    }
 }
 
 #[cfg(test)]

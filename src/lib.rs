@@ -10,6 +10,10 @@
 //!   distance bounds, metrics, and the §4 cost model.
 //! * [`storage`] — the paged disk simulator and point file with I/O
 //!   accounting.
+//! * [`io`] — the concurrent fetch broker between refiners and the page
+//!   store: cross-query single-flight page coalescing, a GoVector-style
+//!   hot/cold shared page buffer, and the batch-aware device cost model
+//!   behind look-ahead refinement.
 //! * [`index`] — C2LSH, iDistance, VA-file, VP-tree, R-tree.
 //! * [`cache`] — HFF/LRU policies over exact, compact, C-VA, and leaf-node
 //!   caches.
@@ -41,6 +45,7 @@ pub use hc_core as core;
 pub use hc_fleet as fleet;
 pub use hc_index as index;
 pub use hc_ingest as ingest;
+pub use hc_io as io;
 pub use hc_maint as maint;
 pub use hc_obs as obs;
 pub use hc_query as query;

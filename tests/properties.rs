@@ -165,6 +165,7 @@ proptest! {
             &exploit_every_bit::storage::RetryPolicy::default(),
             &exploit_every_bit::storage::RetryObs::new(),
             &exploit_every_bit::storage::RealClock,
+            0,
         );
         // Compare against sorted exact distances.
         let mut all: Vec<f64> = ds.iter().map(|(_, p)| euclidean(&q, p)).collect();
